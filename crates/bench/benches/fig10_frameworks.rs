@@ -1,0 +1,105 @@
+//! Fig. 10 — one optimizer (Adam) across framework backends.
+//!
+//! Reproduces the paper's comparison of "Adam TF", "Adam CF2" (native
+//! framework optimizers over their own executors) against "Adam TF
+//! Deep500" / "Adam CF2 Deep500" (the reference optimizer over each
+//! framework's executor): accuracy per epoch and total time.
+//!
+//! Expected shapes (paper): all four reach comparable accuracy ("Deep500's
+//! Adam … still achieves high accuracy, even when the framework does
+//! not"); the TF executor is the slowest; the reference optimizer costs
+//! more than the native fused one on either executor.
+
+use deep500::frameworks::fused_optim::FusedAdam;
+use deep500::prelude::*;
+use deep500::train::TrainingConfig;
+use deep500_bench::{banner, full_scale};
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "Fig. 10 — Adam across framework backends",
+        "native (fused) vs Deep500 reference Adam over TF-like and Caffe2-like executors",
+    );
+    let (hw, train_len, epochs, batch) = if full_scale() {
+        (32, 2048, 10, 64)
+    } else {
+        (16, 384, 5, 32)
+    };
+
+    struct Config {
+        label: &'static str,
+        profile: FrameworkProfile,
+        fused: bool,
+    }
+    let configs = vec![
+        Config { label: "Adam TF (native)", profile: FrameworkProfile::tensorflow(), fused: false },
+        // The paper's TF composes Adam from tensor ops — modeled by the
+        // composed reference running over the TF executor; Caffe2's fused
+        // Adam kernel is the FusedAdam update.
+        Config { label: "Adam CF2 (native, fused)", profile: FrameworkProfile::caffe2(), fused: true },
+        Config { label: "Adam TF Deep500", profile: FrameworkProfile::tensorflow(), fused: false },
+        Config { label: "Adam CF2 Deep500", profile: FrameworkProfile::caffe2(), fused: false },
+    ];
+
+    let mut table = Table::new(
+        "accuracy per epoch (%) and total time",
+        &{
+            let mut h = vec!["configuration"];
+            let labels: Vec<&str> = (0..epochs)
+                .map(|e| Box::leak(format!("e{e}").into_boxed_str()) as &str)
+                .collect();
+            h.extend(labels);
+            h.push("time [s]");
+            h
+        },
+    );
+    let mut times = Vec::new();
+    for cfg in configs {
+        let train_ds =
+            SyntheticDataset::new("fig10", Shape::new(&[3, hw, hw]), 10, train_len, 2.0, 10);
+        let test_ds = train_ds.holdout(train_len / 4);
+        let net = models::lenet(3, hw, 10, 100).unwrap();
+        let mut ex = FrameworkExecutor::new(&net, cfg.profile).unwrap();
+        let mut train = ShuffleSampler::new(Arc::new(train_ds), batch, 2);
+        let mut test = ShuffleSampler::new(Arc::new(test_ds), batch * 2, 2);
+        let mut runner = TrainingRunner::new(TrainingConfig {
+            epochs,
+            test_accuracy_every: 1,
+            ..Default::default()
+        });
+        let log = if cfg.fused {
+            let mut opt = FusedAdam::new(0.002);
+            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+        } else {
+            let mut opt = Adam::new(0.002);
+            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+        };
+        let mut cells = vec![cfg.label.to_string()];
+        for e in 0..epochs {
+            cells.push(
+                log.test_accuracy
+                    .iter()
+                    .find(|&&(ep, _, _)| ep == e)
+                    .map(|&(_, a, _)| format!("{:.0}", a * 100.0))
+                    .unwrap_or_default(),
+            );
+        }
+        cells.push(format!("{:.2}", log.total_time));
+        table.row(&cells);
+        times.push((cfg.label, log.total_time, log.final_test_accuracy().unwrap()));
+    }
+    table.print();
+
+    println!("\nreading guide (paper Fig. 10):");
+    println!("  * every configuration reaches a comparable accuracy band;");
+    println!("  * the TF-like executor is slower than the Caffe2-like one at equal math;");
+    let tf_native = times[0].1;
+    let cf2_native = times[1].1;
+    println!(
+        "  here: TF executor {:.2} s vs Caffe2 executor {:.2} s (ratio {:.2}x)",
+        tf_native,
+        cf2_native,
+        tf_native / cf2_native
+    );
+}

@@ -1,0 +1,166 @@
+//! Fig. 9 — optimizer convergence and performance.
+//!
+//! Reproduces the two panels of the paper's Fig. 9 (Caffe2 executor,
+//! ResNet-18, CIFAR at the paper's scale; CNN + synthetic CIFAR-shaped
+//! task here): test accuracy vs epoch and training loss vs elapsed time,
+//! for native (fused) optimizers against Deep500 reference optimizers and
+//! the custom AcceleGrad.
+//!
+//! Expected shapes (paper): all optimizers reach comparable accuracy
+//! bands; the *reference* (composed, allocation-heavy) implementations run
+//! slower than the *native* fused kernels (paper: reference Adam ≈5×
+//! slower, AcceleGrad ≈1.6× slower than native Caffe2 optimizers) while
+//! matching their accuracy.
+
+use deep500::frameworks::fused_optim::{FusedAdaGrad, FusedAdam, FusedMomentum, FusedRmsProp, FusedSgd};
+use deep500::prelude::*;
+use deep500::train::TrainingConfig;
+use deep500_bench::{banner, full_scale};
+use std::sync::Arc;
+
+struct Entry {
+    name: &'static str,
+    opt: Box<dyn ThreeStepOptimizer>,
+}
+
+fn lineup() -> Vec<Entry> {
+    vec![
+        Entry { name: "GradDescent native", opt: Box::new(FusedSgd::new(0.05)) },
+        Entry { name: "Momentum native", opt: Box::new(FusedMomentum::new(0.01, 0.9)) },
+        Entry { name: "Adam native", opt: Box::new(FusedAdam::new(0.002)) },
+        Entry { name: "AdaGrad native", opt: Box::new(FusedAdaGrad::new(0.01)) },
+        Entry { name: "RmsProp native", opt: Box::new(FusedRmsProp::new(0.001)) },
+        Entry { name: "GradDescent Deep500", opt: Box::new(GradientDescent::new(0.05)) },
+        Entry { name: "Momentum Deep500", opt: Box::new(Momentum::new(0.01, 0.9)) },
+        Entry { name: "Adam-Ref Deep500", opt: Box::new(Adam::new(0.002)) },
+        Entry {
+            name: "AcceleGrad (custom)",
+            opt: Box::new(AcceleGrad::new(AcceleGradConfig {
+                d: 2.0,
+                g: 5.0,
+                lr: 0.05,
+                eps: 1e-8,
+            })),
+        },
+    ]
+}
+
+fn main() {
+    banner(
+        "Fig. 9 — optimizer convergence (Level 2)",
+        "test accuracy vs epoch + loss vs time, native vs reference optimizers",
+    );
+    let (hw, train_len, epochs, batch) = if full_scale() {
+        (32, 2048, 10, 64)
+    } else {
+        (16, 384, 5, 32)
+    };
+    println!("task: CNN on 3x{hw}x{hw} synthetic CIFAR-like, {train_len} samples, {epochs} epochs\n");
+
+    let mut acc_table = Table::new(
+        "test accuracy (%) vs epoch",
+        &{
+            let mut h = vec!["optimizer"];
+            let epoch_labels: Vec<String> = (0..epochs).map(|e| format!("e{e}")).collect();
+            let leaked: Vec<&str> = epoch_labels
+                .iter()
+                .map(|s| Box::leak(s.clone().into_boxed_str()) as &str)
+                .collect();
+            h.extend(leaked);
+            h.push("total time [s]");
+            h
+        },
+    );
+    let mut results: Vec<(String, f64, f64)> = Vec::new(); // name, final acc, time
+
+    for mut entry in lineup() {
+        // Identical model/data seeds across optimizers: a fair comparison.
+        let train_ds =
+            SyntheticDataset::new("fig9", Shape::new(&[3, hw, hw]), 10, train_len, 2.0, 9);
+        let test_ds = train_ds.holdout(train_len / 4);
+        let net = models::lenet(3, hw, 10, 99).unwrap();
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut train = ShuffleSampler::new(Arc::new(train_ds), batch, 1);
+        let mut test = ShuffleSampler::new(Arc::new(test_ds), batch * 2, 1);
+        let mut runner = TrainingRunner::new(TrainingConfig {
+            epochs,
+            test_accuracy_every: 1,
+            ..Default::default()
+        });
+        let log = runner
+            .run(entry.opt.as_mut(), &mut ex, &mut train, Some(&mut test))
+            .unwrap();
+        let mut cells = vec![entry.name.to_string()];
+        for e in 0..epochs {
+            let acc = log
+                .test_accuracy
+                .iter()
+                .find(|&&(ep, _, _)| ep == e)
+                .map(|&(_, a, _)| format!("{:.0}", a * 100.0))
+                .unwrap_or_default();
+            cells.push(acc);
+        }
+        cells.push(format!("{:.2}", log.total_time));
+        acc_table.row(&cells);
+        results.push((
+            entry.name.to_string(),
+            log.final_test_accuracy().unwrap(),
+            log.total_time,
+        ));
+    }
+    acc_table.print();
+
+    // Loss-vs-time panel condensed into a slowdown summary.
+    println!("\n--- performance: reference (composed) vs native (fused) updates ---");
+    let time_of = |name: &str| results.iter().find(|(n, _, _)| n == name).map(|r| r.2).unwrap();
+    let pairs = [
+        ("Adam", "Adam native", "Adam-Ref Deep500"),
+        ("GradDescent", "GradDescent native", "GradDescent Deep500"),
+        ("Momentum", "Momentum native", "Momentum Deep500"),
+    ];
+    for (label, native, reference) in pairs {
+        let (tn, tr) = (time_of(native), time_of(reference));
+        println!(
+            "  {label:>12}: native {tn:.2} s vs reference {tr:.2} s  -> reference is {:.2}x slower",
+            tr / tn
+        );
+    }
+    let accs: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let spread = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - accs.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nfinal-accuracy spread across optimizers: {:.1} points (paper: all\n\
+         optimizers land in a comparable band; reference implementations are\n\
+         slower, not less accurate)",
+        spread * 100.0
+    );
+
+    // Isolated update-rule cost at ResNet-50 parameter scale — where the
+    // paper's ≈5x composed-vs-fused Adam gap lives (on a small CNN the
+    // update is hidden behind convolution time).
+    println!("\n--- update-rule microbenchmark (25.6M parameters, ResNet-50 size) ---");
+    let n = if full_scale() { 25_600_000 } else { 2_000_000 };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(50);
+    let w = Tensor::rand_uniform([n], -1.0, 1.0, &mut rng);
+    let g = Tensor::rand_uniform([n], -1.0, 1.0, &mut rng);
+    let pairs: Vec<(&str, Box<dyn ThreeStepOptimizer>, Box<dyn ThreeStepOptimizer>)> = vec![
+        ("Adam", Box::new(FusedAdam::new(0.01)), Box::new(Adam::new(0.01))),
+        (
+            "Momentum",
+            Box::new(FusedMomentum::new(0.01, 0.9)),
+            Box::new(Momentum::new(0.01, 0.9)),
+        ),
+    ];
+    for (label, mut fused, mut composed) in pairs {
+        fused.update_rule(&g, &w, "w").unwrap(); // warm state
+        composed.update_rule(&g, &w, "w").unwrap();
+        let tf = deep500_bench::measure(|| fused.update_rule(&g, &w, "w").unwrap());
+        let tc = deep500_bench::measure(|| composed.update_rule(&g, &w, "w").unwrap());
+        println!(
+            "  {label:>9}: fused {:7.2} ms  composed {:7.2} ms  -> composed {:.2}x slower (paper: ~5x for Adam)",
+            tf.median * 1e3,
+            tc.median * 1e3,
+            tc.median / tf.median
+        );
+    }
+}

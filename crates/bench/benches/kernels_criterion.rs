@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the Level-0 kernels and Level-3
+//! collectives — statistical regression tracking for the substrate that
+//! all paper figures rest on (GEMM algorithms, convolution algorithms,
+//! the D5J decoders, and the allreduce schedules).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deep500::data::codec;
+use deep500::dist::collectives::{allreduce_flat, allreduce_ring};
+use deep500::dist::comm::{Communicator, ThreadTransport};
+use deep500::dist::NetworkModel;
+use deep500::ops::conv::{Conv2dOp, ConvAlgorithm};
+use deep500::ops::gemm::{matmul, Algorithm};
+use deep500::ops::Operator;
+use deep500::prelude::*;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_256");
+    group.sample_size(10);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let a = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    for algo in [Algorithm::Naive, Algorithm::Blocked, Algorithm::Parallel] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |bench, &algo| bench.iter(|| matmul(algo, black_box(&a), black_box(&b)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_2x8x32x32_k3");
+    group.sample_size(10);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    let x = Tensor::rand_uniform([2, 8, 32, 32], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform([16, 8, 3, 3], -0.5, 0.5, &mut rng);
+    let bias = Tensor::zeros([16]);
+    for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col, ConvAlgorithm::Winograd] {
+        let op = Conv2dOp::new(1, 1, algo);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &op,
+            |bench, op| bench.iter(|| op.forward(black_box(&[&x, &w, &bias])).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d5j_decode_3x64x64");
+    group.sample_size(10);
+    let src = SyntheticDataset::cifar10_like(1, 3);
+    let (pix, _) = src.sample_u8(0);
+    // Upscale to a 64x64 plane set by tiling the 32x32 sample.
+    let mut big = vec![0u8; 3 * 64 * 64];
+    for (i, v) in big.iter_mut().enumerate() {
+        *v = pix[i % pix.len()];
+    }
+    let img = codec::RawImage::new(3, 64, 64, big).unwrap();
+    let bytes = codec::encode(&img, 85).unwrap();
+    group.bench_function("scalar (PIL-like)", |b| {
+        b.iter(|| codec::decode_scalar(black_box(&bytes)).unwrap())
+    });
+    group.bench_function("turbo (libjpeg-turbo-like)", |b| {
+        b.iter(|| codec::decode_turbo(black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_4ranks_16k");
+    group.sample_size(10);
+    for (name, ring) in [("ring", true), ("flat", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let comms = ThreadTransport::create(4, NetworkModel::instant());
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|mut comm| {
+                        std::thread::spawn(move || {
+                            let mut buf = vec![comm.rank() as f32; 16 * 1024];
+                            if ring {
+                                allreduce_ring(&mut comm, &mut buf).unwrap();
+                            } else {
+                                allreduce_flat(&mut comm, &mut buf).unwrap();
+                            }
+                            buf[0]
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    black_box(h.join().unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv, bench_codec, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! `calibrate` — one-shot kernel speed report for this host.
+//!
+//! Prints the wallclock of the paper's two highlighted problem sizes
+//! (Fig. 6's box-plot kernels) across the substrate's algorithm choices,
+//! so benchmark scales can be picked for the machine at hand.
+//!
+//! Run with: `cargo run --release -p deep500-bench --bin calibrate`
+
+use deep500::ops::conv::{Conv2dOp, ConvAlgorithm};
+use deep500::ops::deepbench::{HIGHLIGHTED_CONV, HIGHLIGHTED_GEMM};
+use deep500::ops::gemm::{matmul, Algorithm};
+use deep500::ops::Operator;
+use deep500::prelude::*;
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    println!(
+        "host calibration ({} logical cores)\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    let g = HIGHLIGHTED_GEMM;
+    println!("GEMM {}x{}x{} (Fig. 6b highlight):", g.m, g.n, g.k);
+    let a = Tensor::rand_uniform([g.m, g.k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([g.k, g.n], -1.0, 1.0, &mut rng);
+    for algo in [Algorithm::Blocked, Algorithm::Parallel] {
+        let t = Timer::start();
+        let _ = matmul(algo, &a, &b).unwrap();
+        println!(
+            "  {algo:>9?}: {:8.1} ms  ({:.2} GFLOP/s)",
+            t.elapsed_ms(),
+            g.flops() / t.elapsed_s() / 1e9
+        );
+    }
+
+    let c = HIGHLIGHTED_CONV;
+    println!("\nconv N={} C={} H=W={} k={} (Fig. 6a highlight):", c.n, c.c, c.h, c.r);
+    let x = Tensor::rand_uniform([c.n, c.c, c.h, c.w], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform([c.k, c.c, c.r, c.r], -0.5, 0.5, &mut rng);
+    let bias = Tensor::zeros([c.k]);
+    for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col, ConvAlgorithm::Winograd] {
+        let op = Conv2dOp::new(c.stride, c.pad, algo);
+        let t = Timer::start();
+        let _ = op.forward(&[&x, &w, &bias]).unwrap();
+        println!(
+            "  {algo:>9?}: {:8.1} ms  ({:.2} GFLOP/s)",
+            t.elapsed_ms(),
+            c.flops() / t.elapsed_s() / 1e9
+        );
+    }
+    println!(
+        "\nuse D5_BENCH_SCALE=full for paper-size benchmark sweeps if these\nkernels complete in well under a second each."
+    );
+}

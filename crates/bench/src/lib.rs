@@ -1,0 +1,80 @@
+//! # deep500-bench — harness utilities
+//!
+//! Each `benches/figN_*.rs` target regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md`'s experiment index and
+//! `EXPERIMENTS.md` for recorded results). This library holds the shared
+//! plumbing: environment-driven scaling knobs and measurement helpers.
+
+use deep500::metrics::stats::Summary;
+use deep500::metrics::Timer;
+
+/// Read an environment scaling knob (`D5_BENCH_SCALE`): `full` runs
+/// paper-scale problem sizes, anything else (default) runs reduced sizes
+/// that finish in minutes on one core.
+pub fn full_scale() -> bool {
+    std::env::var("D5_BENCH_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Repetition count for timed measurements: the paper's 30 at full scale,
+/// 7 otherwise (still enough for a nonparametric CI).
+pub fn reruns() -> usize {
+    if full_scale() {
+        30
+    } else {
+        7
+    }
+}
+
+/// Time `f` `reruns()` times and summarize (median + 95% CI).
+pub fn measure<T>(mut f: impl FnMut() -> T) -> Summary {
+    let n = reruns();
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (_, secs) = Timer::time(&mut f);
+        times.push(secs);
+    }
+    Summary::of(&times)
+}
+
+/// Format a summary as `median [lo, hi] ms`.
+pub fn fmt_ms(s: &Summary) -> String {
+    format!(
+        "{:8.2} [{:6.2}, {:6.2}]",
+        s.median * 1e3,
+        s.median_ci.lo * 1e3,
+        s.median_ci.hi * 1e3
+    )
+}
+
+/// Print the standard bench banner.
+pub fn banner(figure: &str, what: &str) {
+    println!("================================================================");
+    println!("Deep500-rs — {figure}");
+    println!("{what}");
+    println!(
+        "scale: {} | reruns: {}",
+        if full_scale() { "full (paper-size)" } else { "reduced (set D5_BENCH_SCALE=full)" },
+        reruns()
+    );
+    println!("================================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_sane_summary() {
+        let s = measure(|| std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert_eq!(s.n, reruns());
+        assert!(s.median >= 0.0);
+        assert!(s.median_ci.lo <= s.median && s.median <= s.median_ci.hi);
+    }
+
+    #[test]
+    fn fmt_ms_shape() {
+        let s = Summary::of(&[0.001, 0.002, 0.003]);
+        let t = fmt_ms(&s);
+        assert!(t.contains('['));
+    }
+}

@@ -1,0 +1,182 @@
+//! 8×8 forward and inverse discrete cosine transforms.
+//!
+//! The forward transform is shared; the two *inverse* transforms embody the
+//! paper's PIL-vs-libjpeg-turbo decoder contrast:
+//!
+//! * [`idct_8x8_scalar`] evaluates the textbook 2-D IDCT sum directly,
+//!   recomputing cosine terms per output pixel — O(64²) trig-heavy work per
+//!   block, like a straightforward pure-Python/PIL path,
+//! * [`idct_8x8_turbo`] applies two separable 1-D passes using a
+//!   precomputed 8×8 coefficient table — O(2·8·64) multiply-adds, no trig,
+//!   no allocation.
+//!
+//! Both are mathematically the same transform; outputs match to float
+//! round-off, and the codec quantizes afterwards so decoded pixels are
+//! bit-identical.
+
+use std::f32::consts::PI;
+use std::sync::OnceLock;
+
+/// C(u) normalization factor of the DCT-II.
+#[inline]
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        (1.0f32 / 8.0).sqrt()
+    } else {
+        (2.0f32 / 8.0).sqrt()
+    }
+}
+
+/// Precomputed `basis[u][x] = alpha(u) * cos((2x+1) u pi / 16)`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    static TABLE: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0f32; 8]; 8];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = alpha(u) * ((2 * x + 1) as f32 * u as f32 * PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+/// Forward 2-D DCT of an 8×8 spatial block (row-major) into `freq`.
+pub fn fdct_8x8(block: &[f32; 64], freq: &mut [f32; 64]) {
+    let b = basis();
+    // Separable: rows then columns.
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for x in 0..8 {
+                acc += block[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * b[v][y];
+            }
+            freq[v * 8 + u] = acc;
+        }
+    }
+}
+
+/// Textbook scalar 2-D IDCT: direct double sum with per-term cosines.
+/// Deliberately the straightforward implementation (the "PIL" analogue).
+pub fn idct_8x8_scalar(freq: &[f32; 64], block: &mut [f32; 64]) {
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f64;
+            for v in 0..8 {
+                for u in 0..8 {
+                    let cu = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+                    let cv = if v == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+                    acc += cu
+                        * cv
+                        * freq[v * 8 + u] as f64
+                        * (((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI) / 16.0).cos()
+                        * (((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI) / 16.0).cos();
+                }
+            }
+            block[y * 8 + x] = acc as f32;
+        }
+    }
+}
+
+/// Optimized separable IDCT with the precomputed basis table (the
+/// "libjpeg-turbo" analogue).
+pub fn idct_8x8_turbo(freq: &[f32; 64], block: &mut [f32; 64]) {
+    let b = basis();
+    // Columns: tmp[y][u] = sum_v freq[v][u] * basis[v][y]
+    let mut tmp = [0.0f32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0f32;
+            for v in 0..8 {
+                acc += freq[v * 8 + u] * b[v][y];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Rows: block[y][x] = sum_u tmp[y][u] * basis[u][x]
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f32;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * b[u][x];
+            }
+            block[y * 8 + x] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: u32) -> [f32; 64] {
+        let mut b = [0.0f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as f32 + seed as f32) * 0.7).sin() * 100.0;
+        }
+        b
+    }
+
+    #[test]
+    fn fdct_idct_roundtrip() {
+        let block = sample_block(0);
+        let mut freq = [0.0f32; 64];
+        let mut back = [0.0f32; 64];
+        fdct_8x8(&block, &mut freq);
+        idct_8x8_turbo(&freq, &mut back);
+        for i in 0..64 {
+            assert!((block[i] - back[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_turbo_agree() {
+        for seed in 0..5 {
+            let block = sample_block(seed);
+            let mut freq = [0.0f32; 64];
+            fdct_8x8(&block, &mut freq);
+            let mut a = [0.0f32; 64];
+            let mut b = [0.0f32; 64];
+            idct_8x8_scalar(&freq, &mut a);
+            idct_8x8_turbo(&freq, &mut b);
+            for i in 0..64 {
+                assert!((a[i] - b[i]).abs() < 1e-2, "i={i}: {} vs {}", a[i], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        // A constant block has all energy in the DC coefficient.
+        let block = [42.0f32; 64];
+        let mut freq = [0.0f32; 64];
+        fdct_8x8(&block, &mut freq);
+        assert!((freq[0] - 42.0 * 8.0).abs() < 1e-3, "DC = N * value");
+        for (i, &f) in freq.iter().enumerate().skip(1) {
+            assert!(f.abs() < 1e-3, "AC[{i}] = {f}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let block = sample_block(3);
+        let mut freq = [0.0f32; 64];
+        fdct_8x8(&block, &mut freq);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = freq.iter().map(|v| v * v).sum();
+        assert!(
+            (e_spatial - e_freq).abs() / e_spatial < 1e-4,
+            "{e_spatial} vs {e_freq}"
+        );
+    }
+}

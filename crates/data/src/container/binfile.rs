@@ -1,0 +1,207 @@
+//! Raw binary dataset files (the MNIST/CIFAR storage style).
+//!
+//! Layout: magic `D5BIN\0`, u32 LE sample count, u32 LE channels/height/
+//! width, then `count` labels (u32 LE), then `count * c*h*w` raw `u8`
+//! pixels. Like the real MNIST IDX files, the whole dataset is small
+//! enough to load into memory once — which is why the paper finds that for
+//! MNIST "data loading is faster than allocating and generating synthetic
+//! data".
+
+use crate::dataset::{Dataset, Sample};
+use crate::io_model::{StorageClock, StorageModel};
+use deep500_tensor::{Error, Result, Shape, Tensor};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 6] = b"D5BIN\0";
+
+/// Write a raw binary dataset file from `(pixels, label)` pairs.
+pub fn write_binfile(
+    path: &Path,
+    c: usize,
+    h: usize,
+    w: usize,
+    samples: &[(Vec<u8>, u32)],
+) -> Result<()> {
+    let per = c * h * w;
+    for (pix, _) in samples {
+        if pix.len() != per {
+            return Err(Error::Invalid(format!(
+                "sample of {} bytes, expected {per}",
+                pix.len()
+            )));
+        }
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(MAGIC)?;
+    f.write_all(&(samples.len() as u32).to_le_bytes())?;
+    f.write_all(&(c as u32).to_le_bytes())?;
+    f.write_all(&(h as u32).to_le_bytes())?;
+    f.write_all(&(w as u32).to_le_bytes())?;
+    for (_, label) in samples {
+        f.write_all(&label.to_le_bytes())?;
+    }
+    for (pix, _) in samples {
+        f.write_all(pix)?;
+    }
+    f.flush()?;
+    Ok(())
+}
+
+/// A raw binary dataset loaded fully into memory at open time (charging
+/// one streaming read to the storage clock), with `num_classes` declared
+/// by the caller.
+pub struct BinFileDataset {
+    name: String,
+    c: usize,
+    h: usize,
+    w: usize,
+    labels: Vec<u32>,
+    pixels: Vec<u8>,
+    classes: usize,
+}
+
+impl BinFileDataset {
+    /// Open and fully load a binfile; the storage model charges one open +
+    /// one sequential stream of the file size.
+    pub fn open(
+        path: &Path,
+        classes: usize,
+        model: &StorageModel,
+        clock: &Arc<StorageClock>,
+    ) -> Result<Self> {
+        let mut f = std::fs::File::open(path)?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        clock.charge(model.open_latency_s + model.stream_cost(bytes.len()));
+
+        if bytes.len() < MAGIC.len() + 16 || &bytes[..6] != MAGIC {
+            return Err(Error::Format("not a D5BIN file".into()));
+        }
+        let rd = |off: usize| -> u32 {
+            u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+        };
+        let count = rd(6) as usize;
+        let c = rd(10) as usize;
+        let h = rd(14) as usize;
+        let w = rd(18) as usize;
+        let per = c * h * w;
+        let labels_off = 22;
+        let pixels_off = labels_off + count * 4;
+        if bytes.len() != pixels_off + count * per {
+            return Err(Error::Format(format!(
+                "binfile size {} inconsistent with header",
+                bytes.len()
+            )));
+        }
+        let labels = (0..count).map(|i| rd(labels_off + i * 4)).collect();
+        let pixels = bytes[pixels_off..].to_vec();
+        Ok(BinFileDataset {
+            name: path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "binfile".into()),
+            c,
+            h,
+            w,
+            labels,
+            pixels,
+            classes,
+        })
+    }
+}
+
+impl Dataset for BinFileDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+    fn sample_shape(&self) -> Shape {
+        Shape::new(&[self.c, self.h, self.w])
+    }
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+    fn sample(&self, idx: usize) -> Result<Sample> {
+        if idx >= self.labels.len() {
+            return Err(Error::NotFound(format!("sample {idx}")));
+        }
+        let per = self.c * self.h * self.w;
+        let raw = &self.pixels[idx * per..(idx + 1) * per];
+        // Normalize to [-1, 1] like a standard input pipeline.
+        let data: Vec<f32> = raw.iter().map(|&b| b as f32 / 127.5 - 1.0).collect();
+        Ok(Sample {
+            data: Tensor::from_vec(self.sample_shape(), data)?,
+            label: self.labels[idx],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticDataset;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("d5-binfile-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let src = SyntheticDataset::mnist_like(20, 5);
+        let samples: Vec<(Vec<u8>, u32)> = (0..20).map(|i| src.sample_u8(i)).collect();
+        let path = tmp("mnist20.d5bin");
+        write_binfile(&path, 1, 28, 28, &samples).unwrap();
+
+        let clock = Arc::new(StorageClock::new());
+        let ds =
+            BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.sample_shape(), Shape::new(&[1, 28, 28]));
+        assert!(clock.elapsed() > 0.0, "I/O must be charged");
+        let s = ds.sample(7).unwrap();
+        assert_eq!(s.label, samples[7].1);
+        // Pixel 0 roundtrips through the normalization.
+        let expected = samples[7].0[0] as f32 / 127.5 - 1.0;
+        assert!((s.data.data()[0] - expected).abs() < 1e-6);
+        assert!(ds.sample(20).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_sample_rejected_at_write() {
+        let path = tmp("bad.d5bin");
+        assert!(write_binfile(&path, 1, 2, 2, &[(vec![0u8; 3], 0)]).is_err());
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = tmp("corrupt.d5bin");
+        std::fs::write(&path, b"garbage").unwrap();
+        let clock = Arc::new(StorageClock::new());
+        assert!(
+            BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).is_err()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let src = SyntheticDataset::mnist_like(4, 1);
+        let samples: Vec<(Vec<u8>, u32)> = (0..4).map(|i| src.sample_u8(i)).collect();
+        let path = tmp("trunc.d5bin");
+        write_binfile(&path, 1, 28, 28, &samples).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let clock = Arc::new(StorageClock::new());
+        assert!(
+            BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).is_err()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

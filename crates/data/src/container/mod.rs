@@ -1,0 +1,17 @@
+//! Storage container formats.
+//!
+//! The paper's Fig. 8 / Table III compare three ways of storing image
+//! datasets on disk:
+//!
+//! * raw binary files (MNIST/CIFAR style) — [`binfile`],
+//! * a TFRecord-like chunked record container with pseudo-shuffling and a
+//!   parallel decode pipeline — [`recordfile`],
+//! * a POSIX-tar-style archive with a precomputed index for true random
+//!   access (the paper's `IndexedTarDataset`) — [`indexed_tar`].
+//!
+//! All three write and read *real files*; the simulated part is only the
+//! storage latency charged to a [`StorageClock`](crate::io_model::StorageClock).
+
+pub mod binfile;
+pub mod indexed_tar;
+pub mod recordfile;

@@ -1,0 +1,36 @@
+//! # deep500-data — datasets, codecs, containers, samplers
+//!
+//! The paper's dataset infrastructure, rebuilt as native substrates:
+//!
+//! * [`dataset`] — the `Dataset` trait, samples, and minibatch assembly,
+//! * [`synthetic`] — deterministic synthetic datasets with the shapes and
+//!   on-disk sizes of MNIST / Fashion-MNIST / CIFAR-10/100 / ImageNet (the
+//!   paper downloads the real ones; our substitution keeps formats, sizes
+//!   and learnability while remaining self-contained),
+//! * [`codec`] — the **D5J** lossy image codec (8×8 DCT + quantization +
+//!   zigzag RLE), standing in for JPEG, with two decoders: a straightforward
+//!   scalar decoder ("PIL") and an optimized separable decoder
+//!   ("libjpeg-turbo") — the decoder pair behind Table III,
+//! * [`container`] — storage formats: raw binary (MNIST-style), a
+//!   TFRecord-like chunked record file with a 10,000-image pseudo-shuffle
+//!   buffer and parallel minibatch decoding, and an indexed POSIX-tar-style
+//!   archive with true random access,
+//! * [`io_model`] — a parametric storage-latency model (local disk vs
+//!   parallel filesystem) supplying the I/O component of the paper's
+//!   dataset-latency experiments (Fig. 8),
+//! * [`sampler`] — `DatasetSampler` implementations: sequential, true
+//!   shuffling, buffer-based pseudo-shuffling (TF-style), and sharded
+//!   (distributed) sampling,
+//! * [`bias`] — the `DatasetBias` metric (label histogram of sampled
+//!   elements) and `test_sampler`.
+
+pub mod bias;
+pub mod codec;
+pub mod container;
+pub mod dataset;
+pub mod io_model;
+pub mod sampler;
+pub mod synthetic;
+
+pub use dataset::{Dataset, Minibatch, Sample};
+pub use sampler::DatasetSampler;

@@ -1,0 +1,360 @@
+//! Dataset samplers (Level-2 `DatasetSampler` interface).
+//!
+//! A sampler turns a [`Dataset`] into a stream of minibatches. The paper's
+//! interface "provides minibatches by sampling a given dataset, and can be
+//! extended to test different sampling schemes"; we provide:
+//!
+//! * [`SequentialSampler`] — in-order batches,
+//! * [`ShuffleSampler`] — a fresh full permutation every epoch (true
+//!   shuffling),
+//! * [`BufferShuffleSampler`] — TF-style pseudo-shuffling through a
+//!   bounded buffer (reduced stochasticity, cheap sequential I/O),
+//! * [`ShardedSampler`] — the Level-3 `DistributedSampler`: rank `r` of
+//!   `world` sees every `world`-th index, preserving the distributed-SGD
+//!   semantics the paper keeps when forking processes.
+
+use crate::dataset::{assemble_minibatch, Dataset, Minibatch};
+use deep500_tensor::{Result, Xoshiro256StarStar};
+use std::sync::Arc;
+
+/// A source of minibatches over a dataset.
+pub trait DatasetSampler: Send {
+    /// The sampled dataset.
+    fn dataset(&self) -> &dyn Dataset;
+
+    /// Configured batch size.
+    fn batch_size(&self) -> usize;
+
+    /// Next minibatch, or `None` when the epoch is exhausted.
+    fn next_batch(&mut self) -> Result<Option<Minibatch>>;
+
+    /// Start a new epoch (reshuffle where applicable).
+    fn reset_epoch(&mut self);
+
+    /// Number of (full or partial) batches per epoch.
+    fn batches_per_epoch(&self) -> usize {
+        self.dataset().len().div_ceil(self.batch_size().max(1))
+    }
+}
+
+/// In-order batches.
+pub struct SequentialSampler {
+    dataset: Arc<dyn Dataset>,
+    batch: usize,
+    cursor: usize,
+}
+
+impl SequentialSampler {
+    pub fn new(dataset: Arc<dyn Dataset>, batch: usize) -> Self {
+        SequentialSampler { dataset, batch: batch.max(1), cursor: 0 }
+    }
+}
+
+impl DatasetSampler for SequentialSampler {
+    fn dataset(&self) -> &dyn Dataset {
+        self.dataset.as_ref()
+    }
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+    fn next_batch(&mut self) -> Result<Option<Minibatch>> {
+        if self.cursor >= self.dataset.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch).min(self.dataset.len());
+        let indices: Vec<usize> = (self.cursor..end).collect();
+        self.cursor = end;
+        Ok(Some(assemble_minibatch(self.dataset.as_ref(), &indices)?))
+    }
+    fn reset_epoch(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// True shuffling: a fresh permutation of the whole dataset per epoch.
+pub struct ShuffleSampler {
+    dataset: Arc<dyn Dataset>,
+    batch: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    rng: Xoshiro256StarStar,
+}
+
+impl ShuffleSampler {
+    pub fn new(dataset: Arc<dyn Dataset>, batch: usize, seed: u64) -> Self {
+        let mut s = ShuffleSampler {
+            order: (0..dataset.len()).collect(),
+            dataset,
+            batch: batch.max(1),
+            cursor: 0,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+        };
+        s.rng.shuffle(&mut s.order);
+        s
+    }
+
+    /// The current epoch's permutation (test hook).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+impl DatasetSampler for ShuffleSampler {
+    fn dataset(&self) -> &dyn Dataset {
+        self.dataset.as_ref()
+    }
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+    fn next_batch(&mut self) -> Result<Option<Minibatch>> {
+        if self.cursor >= self.order.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch).min(self.order.len());
+        let indices = &self.order[self.cursor..end];
+        let mb = assemble_minibatch(self.dataset.as_ref(), indices)?;
+        self.cursor = end;
+        Ok(Some(mb))
+    }
+    fn reset_epoch(&mut self) {
+        self.cursor = 0;
+        self.rng.shuffle(&mut self.order);
+    }
+}
+
+/// TF-style pseudo-shuffling: indices stream sequentially into a bounded
+/// buffer; batches draw uniformly from the buffer. Cheap for sequential
+/// storage, but "reduces stochasticity" (paper §V-D) — early batches can
+/// only contain early samples.
+pub struct BufferShuffleSampler {
+    dataset: Arc<dyn Dataset>,
+    batch: usize,
+    capacity: usize,
+    buffer: Vec<usize>,
+    next_index: usize,
+    rng: Xoshiro256StarStar,
+    seed: u64,
+    epoch: u64,
+}
+
+impl BufferShuffleSampler {
+    pub fn new(dataset: Arc<dyn Dataset>, batch: usize, capacity: usize, seed: u64) -> Self {
+        BufferShuffleSampler {
+            dataset,
+            batch: batch.max(1),
+            capacity: capacity.max(1),
+            buffer: Vec::new(),
+            next_index: 0,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            seed,
+            epoch: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.buffer.len() < self.capacity && self.next_index < self.dataset.len() {
+            self.buffer.push(self.next_index);
+            self.next_index += 1;
+        }
+    }
+}
+
+impl DatasetSampler for BufferShuffleSampler {
+    fn dataset(&self) -> &dyn Dataset {
+        self.dataset.as_ref()
+    }
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+    fn next_batch(&mut self) -> Result<Option<Minibatch>> {
+        self.refill();
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        let take = self.batch.min(self.buffer.len());
+        let mut indices = Vec::with_capacity(take);
+        for _ in 0..take {
+            let j = self.rng.next_below(self.buffer.len());
+            indices.push(self.buffer.swap_remove(j));
+        }
+        Ok(Some(assemble_minibatch(self.dataset.as_ref(), &indices)?))
+    }
+    fn reset_epoch(&mut self) {
+        self.epoch += 1;
+        self.buffer.clear();
+        self.next_index = 0;
+        self.rng = Xoshiro256StarStar::seed_from_u64(self.seed ^ self.epoch);
+    }
+}
+
+/// The Level-3 distributed sampler: rank `rank` of `world` draws the
+/// subsequence `rank, rank+world, rank+2·world, …` of an (optionally
+/// shuffled) global permutation, so the union over ranks is exactly one
+/// epoch with no overlap.
+pub struct ShardedSampler {
+    dataset: Arc<dyn Dataset>,
+    batch: usize,
+    rank: usize,
+    world: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    rng: Xoshiro256StarStar,
+    shuffle: bool,
+}
+
+impl ShardedSampler {
+    /// Sharded sampler; all ranks must use the same `seed` so their global
+    /// permutations agree (the paper's "proper distributed DL semantics
+    /// w.r.t. dataset sampling").
+    pub fn new(
+        dataset: Arc<dyn Dataset>,
+        batch: usize,
+        rank: usize,
+        world: usize,
+        shuffle: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(rank < world, "rank {rank} out of world {world}");
+        let mut s = ShardedSampler {
+            order: (0..dataset.len()).collect(),
+            dataset,
+            batch: batch.max(1),
+            rank,
+            world,
+            cursor: 0,
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+            shuffle,
+        };
+        if s.shuffle {
+            s.rng.shuffle(&mut s.order);
+        }
+        s
+    }
+
+    /// Indices owned by this rank in the current epoch.
+    pub fn shard_indices(&self) -> Vec<usize> {
+        self.order
+            .iter()
+            .skip(self.rank)
+            .step_by(self.world)
+            .copied()
+            .collect()
+    }
+}
+
+impl DatasetSampler for ShardedSampler {
+    fn dataset(&self) -> &dyn Dataset {
+        self.dataset.as_ref()
+    }
+    fn batch_size(&self) -> usize {
+        self.batch
+    }
+    fn next_batch(&mut self) -> Result<Option<Minibatch>> {
+        let shard = self.shard_indices();
+        if self.cursor >= shard.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch).min(shard.len());
+        let indices = &shard[self.cursor..end];
+        let mb = assemble_minibatch(self.dataset.as_ref(), indices)?;
+        self.cursor = end;
+        Ok(Some(mb))
+    }
+    fn reset_epoch(&mut self) {
+        self.cursor = 0;
+        if self.shuffle {
+            self.rng.shuffle(&mut self.order);
+        }
+    }
+    fn batches_per_epoch(&self) -> usize {
+        let shard = self.dataset.len().div_ceil(self.world);
+        shard.div_ceil(self.batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticDataset;
+
+    fn ds(n: usize) -> Arc<dyn Dataset> {
+        Arc::new(SyntheticDataset::mnist_like(n, 1))
+    }
+
+    fn drain(s: &mut dyn DatasetSampler) -> Vec<Minibatch> {
+        let mut out = Vec::new();
+        while let Some(b) = s.next_batch().unwrap() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn sequential_covers_epoch_in_order() {
+        let mut s = SequentialSampler::new(ds(10), 4);
+        let batches = drain(&mut s);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2); // partial tail
+        assert_eq!(s.batches_per_epoch(), 3);
+        s.reset_epoch();
+        assert_eq!(drain(&mut s).len(), 3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_reshuffles() {
+        let mut s = ShuffleSampler::new(ds(20), 7, 3);
+        let first_order = s.order().to_vec();
+        let total: usize = drain(&mut s).iter().map(|b| b.len()).sum();
+        assert_eq!(total, 20);
+        let mut sorted = first_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        s.reset_epoch();
+        assert_ne!(s.order(), &first_order[..], "new epoch, new permutation");
+    }
+
+    #[test]
+    fn buffer_shuffle_reduces_stochasticity() {
+        // With capacity 4, the first batch can only contain indices < 4+batch.
+        let d = ds(100);
+        let mut s = BufferShuffleSampler::new(d, 4, 4, 1);
+        let b = s.next_batch().unwrap().unwrap();
+        assert_eq!(b.len(), 4);
+        // Epoch covers everything exactly once.
+        s.reset_epoch();
+        let total: usize = drain(&mut s).iter().map(|b| b.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn sharded_ranks_partition_the_epoch() {
+        let d = ds(23);
+        let world = 4;
+        let mut seen = Vec::new();
+        for rank in 0..world {
+            let s = ShardedSampler::new(d.clone(), 5, rank, world, true, 99);
+            seen.extend(s.shard_indices());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>(), "no overlap, no gaps");
+    }
+
+    #[test]
+    fn sharded_batches_drain() {
+        let d = ds(16);
+        let mut s = ShardedSampler::new(d, 3, 1, 4, false, 0);
+        let batches = drain(&mut s);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 4); // 16/4 per rank
+        assert_eq!(s.batches_per_epoch(), 2);
+        s.reset_epoch();
+        assert_eq!(drain(&mut s).len(), batches.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of world")]
+    fn sharded_rank_bound() {
+        ShardedSampler::new(ds(4), 1, 4, 4, false, 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Collective operations implemented over point-to-point messaging.
+//!
+//! Every collective is built from real `send`/`recv` calls, so the
+//! communication volumes reported by the Level-3 metrics are exact
+//! properties of the executed schedules — not estimates:
+//!
+//! * [`allreduce_ring`] — bandwidth-optimal ring (reduce-scatter +
+//!   allgather): each rank sends `2·(n−1)/n · S` bytes,
+//! * [`allreduce_flat`] — gather-to-root + broadcast (the naive scheme the
+//!   PS architecture resembles),
+//! * [`broadcast_tree`] / [`gather_to_root`] — binomial-tree broadcast and
+//!   flat gather,
+//! * [`neighbor_exchange`] — the DPSGD gossip step on a ring topology.
+
+use crate::comm::Communicator;
+use deep500_tensor::{Error, Result};
+
+/// Elementwise in-place sum: `acc += other`.
+fn add_into(acc: &mut [f32], other: &[f32]) -> Result<()> {
+    if acc.len() != other.len() {
+        return Err(Error::Communication(format!(
+            "collective buffer mismatch: {} vs {}",
+            acc.len(),
+            other.len()
+        )));
+    }
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a += b;
+    }
+    Ok(())
+}
+
+/// Ring allreduce (sum): reduce-scatter then allgather. `buf` holds each
+/// rank's contribution on entry and the global sum on exit.
+pub fn allreduce_ring(comm: &mut dyn Communicator, buf: &mut [f32]) -> Result<()> {
+    let n = comm.world();
+    if n == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+    // Chunk boundaries (chunk c = [starts[c], starts[c+1])).
+    let starts: Vec<usize> = (0..=n).map(|c| c * buf.len() / n).collect();
+    let chunk = |c: usize| (starts[c % n], starts[c % n + 1]);
+
+    // Reduce-scatter: after step s, rank r holds the partial sum of chunk
+    // (r - s) from s+1 contributors.
+    for s in 0..n - 1 {
+        let (tx_lo, tx_hi) = chunk((rank + n - s) % n);
+        comm.send(right, &buf[tx_lo..tx_hi])?;
+        let incoming = comm.recv(left)?;
+        let (rx_lo, rx_hi) = chunk((rank + n - s - 1) % n);
+        add_into(&mut buf[rx_lo..rx_hi], &incoming)?;
+    }
+    // Allgather: circulate the finished chunks.
+    for s in 0..n - 1 {
+        let (tx_lo, tx_hi) = chunk((rank + 1 + n - s) % n);
+        comm.send(right, &buf[tx_lo..tx_hi])?;
+        let incoming = comm.recv(left)?;
+        let (rx_lo, rx_hi) = chunk((rank + n - s) % n);
+        buf[rx_lo..rx_hi].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// Flat allreduce: everyone sends to rank 0, which sums and broadcasts the
+/// result (via a binomial tree). The PS-style schedule.
+pub fn allreduce_flat(comm: &mut dyn Communicator, buf: &mut [f32]) -> Result<()> {
+    let n = comm.world();
+    if n == 1 {
+        return Ok(());
+    }
+    if comm.rank() == 0 {
+        for peer in 1..n {
+            let incoming = comm.recv(peer)?;
+            add_into(buf, &incoming)?;
+        }
+    } else {
+        comm.send(0, buf)?;
+    }
+    broadcast_tree(comm, buf, 0)
+}
+
+/// Binomial-tree broadcast from `root` (relabeled so the tree works for
+/// any root).
+pub fn broadcast_tree(comm: &mut dyn Communicator, buf: &mut [f32], root: usize) -> Result<()> {
+    let n = comm.world();
+    if n == 1 {
+        return Ok(());
+    }
+    let vrank = (comm.rank() + n - root) % n; // virtual rank, root = 0
+    // Receive phase: the lowest set bit of vrank identifies the parent
+    // (vrank with that bit cleared). The root has no set bits and skips it.
+    let mut mask = 1usize;
+    while mask < n {
+        if vrank & mask != 0 {
+            let parent = ((vrank & !mask) + root) % n;
+            let data = comm.recv(parent)?;
+            if data.len() != buf.len() {
+                return Err(Error::Communication("broadcast size mismatch".into()));
+            }
+            buf.copy_from_slice(&data);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children at every bit below the one we
+    // received on (all bits for the root).
+    mask >>= 1;
+    while mask > 0 {
+        let child_v = vrank | mask;
+        if child_v != vrank && child_v < n {
+            comm.send((child_v + root) % n, buf)?;
+        }
+        mask >>= 1;
+    }
+    Ok(())
+}
+
+/// Gather all ranks' buffers to `root`; returns `Some(parts)` (indexed by
+/// rank) at the root, `None` elsewhere.
+pub fn gather_to_root(
+    comm: &mut dyn Communicator,
+    buf: &[f32],
+    root: usize,
+) -> Result<Option<Vec<Vec<f32>>>> {
+    if comm.rank() == root {
+        let mut parts = vec![Vec::new(); comm.world()];
+        parts[root] = buf.to_vec();
+        for (peer, part) in parts.iter_mut().enumerate() {
+            if peer != root {
+                *part = comm.recv(peer)?;
+            }
+        }
+        Ok(Some(parts))
+    } else {
+        comm.send(root, buf)?;
+        Ok(None)
+    }
+}
+
+/// DPSGD-style neighbor exchange on a ring: send `buf` to both neighbors,
+/// receive theirs, return the three-way average (self + left + right) / 3.
+/// Communication volume per rank is constant in the world size.
+pub fn neighbor_exchange(comm: &mut dyn Communicator, buf: &[f32]) -> Result<Vec<f32>> {
+    let n = comm.world();
+    if n == 1 {
+        return Ok(buf.to_vec());
+    }
+    let rank = comm.rank();
+    let right = (rank + 1) % n;
+    let left = (rank + n - 1) % n;
+    comm.send(right, buf)?;
+    comm.send(left, buf)?;
+    let from_left = comm.recv(left)?;
+    let from_right = if n == 2 {
+        // With two ranks, left == right; the second message is distinct.
+        comm.recv(left)?
+    } else {
+        comm.recv(right)?
+    };
+    if from_left.len() != buf.len() || from_right.len() != buf.len() {
+        return Err(Error::Communication("neighbor buffer mismatch".into()));
+    }
+    Ok(buf
+        .iter()
+        .zip(&from_left)
+        .zip(&from_right)
+        .map(|((&a, &b), &c)| (a + b + c) / 3.0)
+        .collect())
+}
+
+/// Scale a buffer in place by `1/world` — the averaging step after a sum
+/// allreduce.
+pub fn average_in_place(comm: &dyn Communicator, buf: &mut [f32]) {
+    let inv = 1.0 / comm.world() as f32;
+    for v in buf {
+        *v *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ThreadTransport;
+    use crate::netmodel::NetworkModel;
+    use std::thread;
+
+    /// Run `f` on every rank of a fresh world; returns per-rank results.
+    fn on_world<T: Send + 'static>(
+        world: usize,
+        f: impl Fn(&mut dyn Communicator) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let comms = ThreadTransport::create(world, NetworkModel::instant());
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut c| {
+                let f = f.clone();
+                thread::spawn(move || f(&mut c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn contribution(rank: usize, len: usize) -> Vec<f32> {
+        (0..len).map(|i| (rank * 100 + i) as f32).collect()
+    }
+
+    fn expected_sum(world: usize, len: usize) -> Vec<f32> {
+        let mut acc = vec![0.0f32; len];
+        for r in 0..world {
+            for (a, b) in acc.iter_mut().zip(contribution(r, len)) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn ring_allreduce_sums_for_many_world_sizes() {
+        for world in [1usize, 2, 3, 4, 5, 8] {
+            for len in [1usize, 4, 7, 64] {
+                let results = on_world(world, move |c| {
+                    let mut buf = contribution(c.rank(), len);
+                    allreduce_ring(c, &mut buf).unwrap();
+                    buf
+                });
+                let expect = expected_sum(world, len);
+                for (r, got) in results.iter().enumerate() {
+                    assert_eq!(got, &expect, "world {world} len {len} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_allreduce_matches_ring() {
+        for world in [2usize, 3, 4, 6] {
+            let len = 10;
+            let results = on_world(world, move |c| {
+                let mut buf = contribution(c.rank(), len);
+                allreduce_flat(c, &mut buf).unwrap();
+                buf
+            });
+            let expect = expected_sum(world, len);
+            for got in &results {
+                assert_eq!(got, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_tree_delivers_from_any_root() {
+        for world in [2usize, 3, 4, 5, 8] {
+            for root in 0..world.min(3) {
+                let results = on_world(world, move |c| {
+                    let mut buf = if c.rank() == root {
+                        vec![42.0, 7.0]
+                    } else {
+                        vec![0.0, 0.0]
+                    };
+                    broadcast_tree(c, &mut buf, root).unwrap();
+                    buf
+                });
+                for (r, got) in results.iter().enumerate() {
+                    assert_eq!(got, &vec![42.0, 7.0], "world {world} root {root} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = on_world(4, |c| {
+            let buf = vec![c.rank() as f32];
+            gather_to_root(c, &buf, 0).unwrap()
+        });
+        let root = results[0].as_ref().unwrap();
+        assert_eq!(root.len(), 4);
+        for (r, part) in root.iter().enumerate() {
+            assert_eq!(part, &vec![r as f32]);
+        }
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn neighbor_exchange_averages_ring_neighbors() {
+        let results = on_world(4, |c| {
+            let buf = vec![c.rank() as f32 * 3.0];
+            neighbor_exchange(c, &buf).unwrap()
+        });
+        // rank 1: (0 + 3 + 6)/3 = 3
+        assert_eq!(results[1], vec![3.0]);
+        // rank 0: (9 + 0 + 3)/3 = 4
+        assert_eq!(results[0], vec![4.0]);
+    }
+
+    #[test]
+    fn neighbor_exchange_two_ranks() {
+        let results = on_world(2, |c| {
+            let buf = vec![if c.rank() == 0 { 3.0 } else { 9.0 }];
+            neighbor_exchange(c, &buf).unwrap()
+        });
+        // Each rank averages self + the peer's value twice.
+        assert_eq!(results[0], vec![7.0]); // (3 + 9 + 9)/3
+        assert_eq!(results[1], vec![5.0]); // (9 + 3 + 3)/3
+    }
+
+    #[test]
+    fn ring_volume_is_bandwidth_optimal() {
+        let len = 64usize;
+        let world = 4usize;
+        let results = on_world(world, move |c| {
+            let mut buf = contribution(c.rank(), len);
+            allreduce_ring(c, &mut buf).unwrap();
+            c.stats().bytes_sent
+        });
+        // 2*(n-1)/n * S bytes per rank.
+        let expect = 2 * (world - 1) * (len * 4) / world;
+        for &sent in &results {
+            assert_eq!(sent, expect as u64);
+        }
+    }
+
+    #[test]
+    fn flat_volume_concentrates_at_root() {
+        let len = 64usize;
+        let results = on_world(4, move |c| {
+            let mut buf = contribution(c.rank(), len);
+            allreduce_flat(c, &mut buf).unwrap();
+            (c.stats().bytes_sent, c.stats().bytes_received)
+        });
+        let root_recv = results[0].1;
+        assert!(root_recv >= 3 * (len as u64) * 4, "root takes the incast");
+    }
+}

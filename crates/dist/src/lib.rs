@@ -1,0 +1,38 @@
+//! # deep500-dist — Level 3: Distributed Training
+//!
+//! The paper's "cornerstone feature": distributing DNN training "with
+//! virtually no effort from an API user", by wrapping Level-2 three-step
+//! optimizers with communication. The paper runs on MPI over Cray Aries;
+//! this reproduction substitutes two transports behind one
+//! [`comm::Communicator`] interface:
+//!
+//! * a **thread transport** — real in-process ranks over crossbeam
+//!   channels, used for correctness (tests run real data-parallel SGD on
+//!   2–8 ranks and check exact equivalence with sequential large-batch
+//!   SGD),
+//! * a **virtual-time layer** — every message carries its sender's virtual
+//!   timestamp; an α-β [`netmodel::NetworkModel`]
+//!   (Aries-like presets) prices each hop, so the same collective
+//!   algorithms yield faithful time estimates without a supercomputer,
+//! * a **schedule simulator** ([`scaling`]) — for Fig. 12's 8–256-node
+//!   sweeps, the per-scheme communication schedules execute round by round
+//!   against the network model; communication volumes are exact properties
+//!   of the schedules.
+//!
+//! Provided distributed SGD variants (paper §IV-F/§V-E): consistent
+//! centralized (PSSGD), inconsistent centralized (ASGD),
+//! stale-synchronous, consistent decentralized (DSGD, both a
+//! "Python-reference" flavour with conversion overhead and the optimized
+//! CDSGD), neighbor-based decentralized (DPSGD), model averaging (MAVG),
+//! Horovod-style fused-buffer allreduce, and SparCML sparse allreduce.
+
+pub mod collectives;
+pub mod comm;
+pub mod netmodel;
+pub mod optimizers;
+pub mod runner;
+pub mod scaling;
+pub mod sparse;
+
+pub use comm::{Communicator, ThreadTransport};
+pub use netmodel::NetworkModel;

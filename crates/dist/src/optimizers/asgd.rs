@@ -1,0 +1,85 @@
+//! Inconsistent centralized SGD — asynchronous parameter server (Fig. 5b).
+//!
+//! Workers push gradients and pull whatever parameters the server holds
+//! *right now*; the server applies each gradient immediately against its
+//! current (possibly newer) parameters — HOGWILD-style inconsistency.
+//! No barrier exists between workers, but "despite being asynchronous,
+//! ASGD becomes slower the more worker nodes queue up to communicate"
+//! (§V-E) — the serialization shows up in the virtual clock because every
+//! delivery occupies the server endpoint.
+
+use super::{apply_update, collect_gradients, local_backprop, DistributedOptimizer, SchemeCore};
+use crate::comm::Communicator;
+use deep500_data::Minibatch;
+use deep500_graph::GraphExecutor;
+use deep500_metrics::CommunicationVolume;
+use deep500_tensor::{Result, Tensor};
+use deep500_train::optimizer::StepResult;
+use deep500_train::ThreeStepOptimizer;
+
+/// Asynchronous parameter-server SGD.
+pub struct InconsistentCentralized {
+    core: SchemeCore,
+    /// Server-side gradient application counter (version vector).
+    pub updates_applied: u64,
+}
+
+impl InconsistentCentralized {
+    pub fn new(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
+        InconsistentCentralized { core: SchemeCore::new(base, comm), updates_applied: 0 }
+    }
+}
+
+impl DistributedOptimizer for InconsistentCentralized {
+    fn name(&self) -> &str {
+        "ASGD"
+    }
+
+    fn train_step(
+        &mut self,
+        executor: &mut dyn GraphExecutor,
+        batch: &Minibatch,
+    ) -> Result<StepResult> {
+        let result = local_backprop(self.core.base.as_mut(), executor, batch)?;
+        let world = self.core.comm.world();
+        let rank = self.core.comm.rank();
+        let grads = collect_gradients(executor)?;
+        if rank == 0 {
+            // Server: apply own gradient, then serve each worker's push in
+            // arrival order — each against the *current* parameters, and
+            // reply with whatever the parameters are at that moment
+            // (inconsistent reads).
+            for (pname, grad) in grads {
+                apply_update(self.core.base.as_mut(), executor, &pname, &grad)?;
+                self.updates_applied += 1;
+                for peer in 1..world {
+                    let incoming = self.core.comm.recv(peer)?;
+                    let shape = executor.network().fetch_tensor(&pname)?.shape().clone();
+                    let g = Tensor::from_vec(shape, incoming)?;
+                    apply_update(self.core.base.as_mut(), executor, &pname, &g)?;
+                    self.updates_applied += 1;
+                    let current = executor.network().fetch_tensor(&pname)?.data().to_vec();
+                    self.core.comm.send(peer, &current)?;
+                }
+            }
+        } else {
+            for (pname, grad) in grads {
+                self.core.comm.send(0, grad.data())?;
+                let fresh = self.core.comm.recv(0)?;
+                let shape = executor.network().fetch_tensor(&pname)?.shape().clone();
+                executor
+                    .network_mut()
+                    .feed_tensor(pname, Tensor::from_vec(shape, fresh)?);
+            }
+        }
+        Ok(result)
+    }
+
+    fn comm_stats(&self) -> CommunicationVolume {
+        self.core.comm.stats()
+    }
+
+    fn virtual_time(&self) -> f64 {
+        self.core.comm.elapsed()
+    }
+}

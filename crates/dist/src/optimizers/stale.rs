@@ -1,0 +1,131 @@
+//! Stale-synchronous centralized SGD (paper Fig. 5c).
+//!
+//! The middle ground between synchronous and asynchronous PS training:
+//! workers may run ahead of the slowest worker by at most `max_staleness`
+//! versions. Instead of synchronizing with the server *every* step (PSSGD)
+//! the worker pushes/pulls only when its local step counter would exceed
+//! the last-synchronized server version by the staleness bound — so with
+//! bound `s`, communication happens every `s+1` steps, and parameters used
+//! in between are up to `s` versions stale.
+
+use super::{apply_update, collect_gradients, local_backprop, DistributedOptimizer, SchemeCore};
+use crate::comm::Communicator;
+use deep500_data::Minibatch;
+use deep500_graph::GraphExecutor;
+use deep500_metrics::CommunicationVolume;
+use deep500_tensor::{Result, Tensor};
+use deep500_train::optimizer::StepResult;
+use deep500_train::ThreeStepOptimizer;
+
+/// Stale-synchronous parameter-server SGD.
+pub struct StaleSynchronous {
+    core: SchemeCore,
+    /// Maximum allowed staleness (0 = fully synchronous).
+    pub max_staleness: u64,
+    local_step: u64,
+    /// Locally accumulated gradients awaiting the next synchronization.
+    pending: Vec<(String, Vec<f32>)>,
+}
+
+impl StaleSynchronous {
+    pub fn new(
+        base: Box<dyn ThreeStepOptimizer>,
+        comm: Box<dyn Communicator>,
+        max_staleness: u64,
+    ) -> Self {
+        StaleSynchronous {
+            core: SchemeCore::new(base, comm),
+            max_staleness,
+            local_step: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn accumulate(&mut self, grads: Vec<(String, Tensor)>) {
+        if self.pending.is_empty() {
+            self.pending = grads
+                .into_iter()
+                .map(|(n, g)| (n, g.into_vec()))
+                .collect();
+        } else {
+            for ((_, acc), (_, g)) in self.pending.iter_mut().zip(grads) {
+                for (a, b) in acc.iter_mut().zip(g.data()) {
+                    *a += b;
+                }
+            }
+        }
+    }
+}
+
+impl DistributedOptimizer for StaleSynchronous {
+    fn name(&self) -> &str {
+        "StaleSyncSGD"
+    }
+
+    fn train_step(
+        &mut self,
+        executor: &mut dyn GraphExecutor,
+        batch: &Minibatch,
+    ) -> Result<StepResult> {
+        let result = local_backprop(self.core.base.as_mut(), executor, batch)?;
+        self.local_step += 1;
+        let grads = collect_gradients(executor)?;
+
+        // Apply locally right away (staleness: local params drift from the
+        // server's between synchronizations) and bank the gradient.
+        for (pname, grad) in &grads {
+            apply_update(self.core.base.as_mut(), executor, pname, grad)?;
+        }
+        self.accumulate(grads);
+
+        // Synchronize once the staleness budget is exhausted.
+        if !self.local_step.is_multiple_of(self.max_staleness + 1) {
+            return Ok(result);
+        }
+        let world = self.core.comm.world();
+        let rank = self.core.comm.rank();
+        let pending = std::mem::take(&mut self.pending);
+        if rank == 0 {
+            for (pname, own) in pending {
+                let mut acc = own;
+                for peer in 1..world {
+                    let incoming = self.core.comm.recv(peer)?;
+                    for (a, b) in acc.iter_mut().zip(incoming) {
+                        *a += b;
+                    }
+                }
+                // Server holds the authoritative params: replace local ones
+                // with the average of everyone's drifted replicas... the
+                // canonical SSP server applies the *sum of gradients* to its
+                // own copy; workers then adopt the server state.
+                let inv = 1.0 / world as f32;
+                acc.iter_mut().for_each(|v| *v *= inv);
+                let shape = executor.network().fetch_tensor(&pname)?.shape().clone();
+                let g = Tensor::from_vec(shape, acc)?;
+                apply_update(self.core.base.as_mut(), executor, &pname, &g)?;
+                let fresh = executor.network().fetch_tensor(&pname)?.data().to_vec();
+                for peer in 1..world {
+                    self.core.comm.send(peer, &fresh)?;
+                }
+            }
+        } else {
+            for (pname, own) in pending {
+                self.core.comm.send(0, &own)?;
+                let fresh = self.core.comm.recv(0)?;
+                let shape = executor.network().fetch_tensor(&pname)?.shape().clone();
+                executor
+                    .network_mut()
+                    .feed_tensor(pname, Tensor::from_vec(shape, fresh)?);
+            }
+        }
+        Ok(result)
+    }
+
+    fn comm_stats(&self) -> CommunicationVolume {
+        self.core.comm.stats()
+    }
+
+    fn virtual_time(&self) -> f64 {
+        self.core.comm.elapsed()
+    }
+}

@@ -1,0 +1,481 @@
+//! Distributed training orchestration over the thread transport.
+//!
+//! [`run_distributed`] spawns one OS thread per rank, hands each a wired
+//! communicator, and joins the results — the reproduction's analogue of
+//! the paper's "OS forking to turn an existing Python application into an
+//! MPI-capable one". [`train_data_parallel`] is the high-level recipe of
+//! Listing 8: pick a distributed scheme, a base optimizer, and a sharded
+//! sampler, and train.
+
+use crate::comm::{ThreadCommunicator, ThreadTransport};
+use crate::netmodel::NetworkModel;
+use crate::optimizers::DistributedOptimizer;
+use deep500_data::sampler::{DatasetSampler, ShardedSampler};
+use deep500_data::Dataset;
+use deep500_graph::{GraphExecutor, Network, ReferenceExecutor};
+use deep500_metrics::CommunicationVolume;
+use deep500_tensor::{Error, Result};
+use std::sync::Arc;
+use std::thread;
+
+/// Everything a rank's closure receives.
+pub struct RankContext {
+    pub rank: usize,
+    pub world: usize,
+    pub comm: ThreadCommunicator,
+}
+
+/// Spawn `world` rank threads running `f`; returns per-rank results (index
+/// = rank). Any rank error aborts the whole run.
+pub fn run_distributed<T: Send + 'static>(
+    world: usize,
+    model: NetworkModel,
+    f: impl Fn(RankContext) -> Result<T> + Send + Sync + Clone + 'static,
+) -> Result<Vec<T>> {
+    let comms = ThreadTransport::create(world, model);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .enumerate()
+        .map(|(rank, comm)| {
+            let f = f.clone();
+            thread::Builder::new()
+                .name(format!("d5-rank{rank}"))
+                .spawn(move || f(RankContext { rank, world, comm }))
+                .expect("spawn rank thread")
+        })
+        .collect();
+    let mut results = Vec::with_capacity(world);
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(v)) => results.push(v),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err =
+                    first_err.or(Some(Error::Communication("rank thread panicked".into())))
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(results),
+    }
+}
+
+/// Per-rank outcome of a distributed training run.
+#[derive(Debug, Clone)]
+pub struct RankResult {
+    pub rank: usize,
+    /// Loss after each step on this rank.
+    pub losses: Vec<f32>,
+    /// Final parameters (name → flat values) for cross-rank checks.
+    pub final_params: Vec<(String, Vec<f32>)>,
+    /// Communication counters.
+    pub volume: CommunicationVolume,
+    /// Virtual time (compute + modeled communication).
+    pub virtual_time: f64,
+}
+
+/// Scheme factory: builds the per-rank distributed optimizer from its
+/// communicator.
+pub type SchemeFactory =
+    Arc<dyn Fn(ThreadCommunicator) -> Box<dyn DistributedOptimizer> + Send + Sync>;
+
+/// Data-parallel distributed training (Listing 8): every rank replicates
+/// `network`, draws disjoint shards of `dataset`, and steps its scheme for
+/// `steps` iterations with per-rank batch `batch`. The virtual clock on
+/// each rank advances by the *measured* local compute time of each step.
+#[allow(clippy::too_many_arguments)] // experiment-configuration surface
+pub fn train_data_parallel(
+    network: &Network,
+    dataset: Arc<dyn Dataset>,
+    scheme: SchemeFactory,
+    world: usize,
+    batch: usize,
+    steps: usize,
+    model: NetworkModel,
+    seed: u64,
+) -> Result<Vec<RankResult>> {
+    let proto = Arc::new(network.clone_structure());
+    run_distributed(world, model, move |ctx| {
+        let rank = ctx.rank;
+        let mut executor = ReferenceExecutor::new(proto.clone_structure())?;
+        let mut sampler =
+            ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
+        let mut opt = scheme(ctx.comm);
+        let mut losses = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let mb = match sampler.next_batch()? {
+                Some(mb) => mb,
+                None => {
+                    sampler.reset_epoch();
+                    sampler.next_batch()?.ok_or_else(|| {
+                        Error::Invalid("empty shard: world too large for dataset".into())
+                    })?
+                }
+            };
+            let t = std::time::Instant::now();
+            let result = opt.train_step(&mut executor, &mb)?;
+            // The measured step time is charged as virtual compute; the
+            // communicator already charged the communication.
+            let _ = t.elapsed();
+            losses.push(result.loss);
+        }
+        let final_params = executor
+            .network()
+            .get_params()
+            .iter()
+            .map(|p| {
+                Ok((
+                    p.clone(),
+                    executor.network().fetch_tensor(p)?.data().to_vec(),
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RankResult {
+            rank,
+            losses,
+            final_params,
+            volume: opt.comm_stats(),
+            virtual_time: opt.virtual_time(),
+        })
+    })
+    .map(|mut rs| {
+        rs.sort_by_key(|r| r.rank);
+        rs
+    })
+}
+
+/// Check that all ranks hold identical parameters within `tol` — the
+/// consistency property of synchronous schemes.
+pub fn ranks_consistent(results: &[RankResult], tol: f32) -> bool {
+    let Some(first) = results.first() else {
+        return true;
+    };
+    results.iter().all(|r| {
+        r.final_params
+            .iter()
+            .zip(&first.final_params)
+            .all(|((n1, v1), (n2, v2))| {
+                n1 == n2
+                    && v1.len() == v2.len()
+                    && v1.iter().zip(v2).all(|(a, b)| (a - b).abs() <= tol)
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizers::dpsgd::DecentralizedNeighbor;
+    use crate::optimizers::dsgd::ConsistentDecentralized;
+    use crate::optimizers::mavg::ModelAveraging;
+    use crate::optimizers::pssgd::ConsistentCentralized;
+    use crate::optimizers::sparcml::SparseDecentralized;
+    use deep500_data::synthetic::SyntheticDataset;
+    use deep500_graph::models;
+    use deep500_train::optimizer::train_step;
+    use deep500_train::sgd::GradientDescent;
+
+    fn dataset(n: usize) -> Arc<dyn Dataset> {
+        Arc::new(SyntheticDataset::new(
+            "dist",
+            deep500_tensor::Shape::new(&[8]),
+            3,
+            n,
+            0.3,
+            42,
+        ))
+    }
+
+    fn net() -> Network {
+        models::mlp(8, &[8], 3, 7).unwrap()
+    }
+
+    #[test]
+    fn run_distributed_propagates_errors() {
+        let r: Result<Vec<()>> = run_distributed(2, NetworkModel::instant(), |ctx| {
+            if ctx.rank == 1 {
+                Err(Error::Invalid("boom".into()))
+            } else {
+                // Rank 0 must not deadlock waiting on rank 1.
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    /// The Level-3 exactness check: consistent-decentralized SGD over N
+    /// ranks with per-rank batch b equals sequential SGD with batch N·b.
+    #[test]
+    fn dsgd_matches_sequential_large_batch() {
+        let world = 4usize;
+        let per_rank_batch = 4usize;
+        let steps = 3usize;
+        let ds = dataset(256);
+
+        // Distributed run (unshuffled shards for a reproducible union).
+        let proto = net();
+        let scheme: SchemeFactory = Arc::new(|comm| {
+            Box::new(ConsistentDecentralized::optimized(
+                Box::new(GradientDescent::new(0.1)),
+                Box::new(comm),
+            ))
+        });
+        let proto2 = Arc::new(proto.clone_structure());
+        let ds2 = ds.clone();
+        let results = run_distributed(world, NetworkModel::instant(), move |ctx| {
+            let mut executor = ReferenceExecutor::new(proto2.clone_structure())?;
+            let mut sampler = ShardedSampler::new(
+                ds2.clone(),
+                per_rank_batch,
+                ctx.rank,
+                world,
+                false, // no shuffle: shard k-th batch = strided indices
+                0,
+            );
+            let mut opt = scheme(ctx.comm);
+            for _ in 0..steps {
+                let mb = sampler.next_batch()?.expect("enough data");
+                opt.train_step(&mut executor, &mb)?;
+            }
+            executor
+                .network()
+                .get_params()
+                .iter()
+                .map(|p| Ok(executor.network().fetch_tensor(p)?.data().to_vec()))
+                .collect::<Result<Vec<_>>>()
+        })
+        .unwrap();
+
+        // Sequential run with the union batches (same samples, same order
+        // by construction of the strided shards).
+        let mut executor = ReferenceExecutor::new(proto).unwrap();
+        let mut opt = GradientDescent::new(0.1);
+        for step in 0..steps {
+            // Union of all ranks' step-th batches: global indices
+            // rank + world * (step*b + j).
+            let mut indices = Vec::new();
+            for rank in 0..world {
+                for j in 0..per_rank_batch {
+                    indices.push(rank + world * (step * per_rank_batch + j));
+                }
+            }
+            let mb = deep500_data::dataset::assemble_minibatch(ds.as_ref(), &indices).unwrap();
+            train_step(&mut opt, &mut executor, &mb).unwrap();
+        }
+        let seq_params: Vec<Vec<f32>> = executor
+            .network()
+            .get_params()
+            .iter()
+            .map(|p| executor.network().fetch_tensor(p).unwrap().data().to_vec())
+            .collect();
+
+        for rank_params in &results {
+            for (dist, seq) in rank_params.iter().zip(&seq_params) {
+                for (a, b) in dist.iter().zip(seq) {
+                    assert!(
+                        (a - b).abs() < 5e-4,
+                        "distributed {a} vs sequential {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_schemes_keep_ranks_consistent() {
+        for (name, scheme) in [
+            (
+                "dsgd",
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(ConsistentDecentralized::reference(
+                        Box::new(GradientDescent::new(0.05)),
+                        Box::new(comm),
+                    )) as Box<dyn DistributedOptimizer>
+                }) as SchemeFactory,
+            ),
+            (
+                "horovod",
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(ConsistentDecentralized::horovod(
+                        Box::new(GradientDescent::new(0.05)),
+                        Box::new(comm),
+                    )) as Box<dyn DistributedOptimizer>
+                }) as SchemeFactory,
+            ),
+            (
+                "pssgd",
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(ConsistentCentralized::new(
+                        Box::new(GradientDescent::new(0.05)),
+                        Box::new(comm),
+                    )) as Box<dyn DistributedOptimizer>
+                }) as SchemeFactory,
+            ),
+        ] {
+            let results = train_data_parallel(
+                &net(),
+                dataset(128),
+                scheme,
+                4,
+                4,
+                3,
+                NetworkModel::instant(),
+                1,
+            )
+            .unwrap();
+            assert!(
+                ranks_consistent(&results, 1e-5),
+                "{name}: ranks diverged"
+            );
+            assert!(results.iter().all(|r| r.volume.bytes_sent > 0));
+        }
+    }
+
+    #[test]
+    fn pssgd_matches_dsgd_trajectory() {
+        // Both are synchronous averaging schemes: same math, same params.
+        let mk = |centralized: bool| {
+            let scheme: SchemeFactory = if centralized {
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(ConsistentCentralized::new(
+                        Box::new(GradientDescent::new(0.1)),
+                        Box::new(comm),
+                    )) as Box<dyn DistributedOptimizer>
+                })
+            } else {
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(ConsistentDecentralized::optimized(
+                        Box::new(GradientDescent::new(0.1)),
+                        Box::new(comm),
+                    )) as Box<dyn DistributedOptimizer>
+                })
+            };
+            train_data_parallel(
+                &net(),
+                dataset(128),
+                scheme,
+                4,
+                4,
+                3,
+                NetworkModel::instant(),
+                9,
+            )
+            .unwrap()
+        };
+        let ps = mk(true);
+        let ds = mk(false);
+        for ((n1, a), (n2, b)) in ps[0].final_params.iter().zip(&ds[0].final_params) {
+            assert_eq!(n1, n2);
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-4, "{n1}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ps_volume_scales_with_world_but_dsgd_does_not() {
+        let vol = |scheme: SchemeFactory, world: usize| -> u64 {
+            let results = train_data_parallel(
+                &net(),
+                dataset(256),
+                scheme,
+                world,
+                2,
+                2,
+                NetworkModel::instant(),
+                3,
+            )
+            .unwrap();
+            results[0].volume.bytes_sent + results[0].volume.bytes_received
+        };
+        let ps = |_: ()| -> SchemeFactory {
+            Arc::new(|comm: ThreadCommunicator| {
+                Box::new(ConsistentCentralized::new(
+                    Box::new(GradientDescent::new(0.1)),
+                    Box::new(comm),
+                )) as Box<dyn DistributedOptimizer>
+            })
+        };
+        let dsgd = |_: ()| -> SchemeFactory {
+            Arc::new(|comm: ThreadCommunicator| {
+                Box::new(ConsistentDecentralized::optimized(
+                    Box::new(GradientDescent::new(0.1)),
+                    Box::new(comm),
+                )) as Box<dyn DistributedOptimizer>
+            })
+        };
+        // PS rank-0 traffic roughly doubles from 3 to 6 workers.
+        let ps3 = vol(ps(()), 3);
+        let ps6 = vol(ps(()), 6);
+        assert!(ps6 as f64 > ps3 as f64 * 1.8, "ps {ps3} -> {ps6}");
+        // Ring allreduce per-rank traffic is ~constant (2(n-1)/n·S).
+        let d3 = vol(dsgd(()), 3);
+        let d6 = vol(dsgd(()), 6);
+        assert!(
+            (d6 as f64) < (d3 as f64) * 1.4,
+            "dsgd {d3} -> {d6} should stay flat"
+        );
+    }
+
+    #[test]
+    fn gossip_and_mavg_and_sparse_run_and_learn() {
+        // Smoke + loss-decrease check for the remaining schemes.
+        let schemes: Vec<(&str, SchemeFactory)> = vec![
+            (
+                "dpsgd",
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(DecentralizedNeighbor::new(
+                        Box::new(GradientDescent::new(0.1)),
+                        Box::new(comm),
+                    )) as Box<dyn DistributedOptimizer>
+                }),
+            ),
+            (
+                "mavg",
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(ModelAveraging::new(
+                        Box::new(GradientDescent::new(0.1)),
+                        Box::new(comm),
+                        2,
+                    )) as Box<dyn DistributedOptimizer>
+                }),
+            ),
+            (
+                "sparcml",
+                Arc::new(|comm: ThreadCommunicator| {
+                    Box::new(SparseDecentralized::new(
+                        Box::new(GradientDescent::new(0.1)),
+                        Box::new(comm),
+                        0.25,
+                    )) as Box<dyn DistributedOptimizer>
+                }),
+            ),
+        ];
+        for (name, scheme) in schemes {
+            let results = train_data_parallel(
+                &net(),
+                dataset(512),
+                scheme,
+                4,
+                8,
+                40,
+                NetworkModel::aries(),
+                5,
+            )
+            .unwrap();
+            for r in &results {
+                // Noisy minibatch losses: compare head/tail averages.
+                let head: f32 = r.losses[..5].iter().sum::<f32>() / 5.0;
+                let tail: f32 = r.losses[r.losses.len() - 5..].iter().sum::<f32>() / 5.0;
+                assert!(
+                    tail < head,
+                    "{name} rank {}: loss {head} -> {tail}",
+                    r.rank
+                );
+                assert!(r.virtual_time > 0.0, "{name}: virtual time tracked");
+            }
+        }
+    }
+}

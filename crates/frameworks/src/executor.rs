@@ -1,0 +1,438 @@
+//! The simulated-framework graph executor.
+//!
+//! `FrameworkExecutor` executes a portable Deep500 network the way the
+//! profiled framework would: the network is first *lowered* through a
+//! [`NetworkVisitor`] (exactly the paper's ONNX-visitor pipeline, Fig. 4),
+//! which rewrites operator algorithm choices to the framework's backend
+//! kernels; execution then pays the profile's dispatch overhead and copy
+//! behaviour per node — all real CPU work.
+
+use crate::profile::FrameworkProfile;
+use deep500_graph::network::{Network, Node, NodeId};
+use deep500_graph::visitor::{traverse, NetworkVisitor};
+use deep500_graph::{GraphExecutor, MemoryAccountant};
+use deep500_metrics::event::{EventList, Phase};
+use deep500_ops::registry::Attributes;
+use deep500_ops::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor};
+use std::collections::HashMap;
+
+/// Visitor that lowers a portable network onto a framework profile:
+/// structural copy with backend algorithm attributes on compute nodes.
+struct ProfileLowering<'a> {
+    profile: &'a FrameworkProfile,
+    out: Network,
+}
+
+impl ProfileLowering<'_> {
+    fn copy_node(&mut self, node: &Node, attrs: Attributes) -> Result<()> {
+        let ins: Vec<&str> = node.inputs.iter().map(|s| s.as_str()).collect();
+        let outs: Vec<&str> = node.outputs.iter().map(|s| s.as_str()).collect();
+        self.out
+            .add_node(node.name.clone(), node.op_type.clone(), attrs, &ins, &outs)?;
+        Ok(())
+    }
+}
+
+impl NetworkVisitor for ProfileLowering<'_> {
+    fn begin_network(&mut self, net: &Network) -> Result<()> {
+        self.out.name = format!("{}@{}", net.name, self.profile.name);
+        for i in net.graph_inputs() {
+            self.out.add_input(i.clone());
+        }
+        for o in net.graph_outputs() {
+            self.out.add_output(o.clone());
+        }
+        for p in net.get_params() {
+            self.out.add_parameter(p.clone(), net.fetch_tensor(p)?.clone());
+        }
+        Ok(())
+    }
+    fn visit_conv2d(&mut self, _id: NodeId, node: &Node, _net: &Network) -> Result<()> {
+        let attrs = node
+            .attrs
+            .clone()
+            .with_str("algorithm", self.profile.conv_algo_attr());
+        self.copy_node(node, attrs)
+    }
+    fn visit_matmul(&mut self, _id: NodeId, node: &Node, _net: &Network) -> Result<()> {
+        let attrs = node
+            .attrs
+            .clone()
+            .with_str("algorithm", self.profile.gemm_algo_attr());
+        self.copy_node(node, attrs)
+    }
+    fn visit_linear(&mut self, _id: NodeId, node: &Node, _net: &Network) -> Result<()> {
+        let attrs = node
+            .attrs
+            .clone()
+            .with_str("algorithm", self.profile.gemm_algo_attr());
+        self.copy_node(node, attrs)
+    }
+    fn visit_custom(&mut self, _id: NodeId, node: &Node, _net: &Network) -> Result<()> {
+        self.copy_node(node, node.attrs.clone())
+    }
+}
+
+/// Lower a portable network onto a framework profile (visitor pipeline).
+pub fn lower_network(net: &Network, profile: &FrameworkProfile) -> Result<Network> {
+    let mut v = ProfileLowering { profile, out: Network::new("") };
+    traverse(net, &mut v)?;
+    Ok(v.out)
+}
+
+/// A [`GraphExecutor`] that executes with a framework profile's overheads.
+pub struct FrameworkExecutor {
+    profile: FrameworkProfile,
+    network: Network,
+    ops: HashMap<NodeId, Box<dyn Operator>>,
+    order: Vec<NodeId>,
+    events: EventList,
+    memory: MemoryAccountant,
+    pass_counter: usize,
+}
+
+impl FrameworkExecutor {
+    /// Build an executor for `network` under `profile` with unbounded
+    /// memory.
+    pub fn new(network: &Network, profile: FrameworkProfile) -> Result<Self> {
+        Self::with_memory_limit(network, profile, usize::MAX)
+    }
+
+    /// Build with a device memory capacity (bytes) — the simulated GPU of
+    /// the Fig. 7 experiment.
+    pub fn with_memory_limit(
+        network: &Network,
+        profile: FrameworkProfile,
+        capacity: usize,
+    ) -> Result<Self> {
+        let lowered = lower_network(network, &profile)?;
+        let ops = lowered.instantiate_ops()?;
+        let order = lowered.topological_order()?;
+        Ok(FrameworkExecutor {
+            profile,
+            network: lowered,
+            ops,
+            order,
+            events: EventList::new(),
+            memory: MemoryAccountant::new(capacity),
+            pass_counter: 0,
+        })
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &FrameworkProfile {
+        &self.profile
+    }
+
+    /// Re-lower after a graph transformation mutated the network.
+    pub fn refresh(&mut self) -> Result<()> {
+        self.ops = self.network.instantiate_ops()?;
+        self.order = self.network.topological_order()?;
+        Ok(())
+    }
+
+    /// Framework copy behaviour before an operator runs: returns owned
+    /// copies when the profile copies inputs.
+    fn maybe_copy_inputs(&self, inputs: &[&Tensor]) -> Option<Vec<Tensor>> {
+        if self.profile.input_copies {
+            Some(inputs.iter().map(|&t| t.clone()).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Extra copy passes on split/concat outputs (TF's memcpy penalty).
+    fn split_concat_penalty(&self, node: &Node, outputs: &mut [Tensor]) {
+        if self.profile.split_concat_copy_passes == 0 {
+            return;
+        }
+        if node.op_type == "Split" || node.op_type == "Concat" {
+            for _ in 0..self.profile.split_concat_copy_passes {
+                for t in outputs.iter_mut() {
+                    // A genuine full-buffer copy.
+                    let copy = t.data().to_vec();
+                    t.data_mut().copy_from_slice(std::hint::black_box(&copy));
+                }
+            }
+        }
+    }
+
+    fn forward_env(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.memory.reset();
+        let mut env: HashMap<String, Tensor> = HashMap::new();
+        for (name, t) in feeds {
+            self.memory.allocate(t.size_bytes())?;
+            env.insert(name.to_string(), t.clone());
+        }
+        // Remaining-consumer counts: inference-only activations are freed
+        // once their last consumer ran (graph outputs stay pinned).
+        let mut remaining: HashMap<String, usize> = HashMap::new();
+        for (_, node) in self.network.nodes() {
+            for i in &node.inputs {
+                *remaining.entry(i.clone()).or_insert(0) += 1;
+            }
+        }
+        for out in self.network.graph_outputs() {
+            *remaining.entry(out.clone()).or_insert(0) += usize::MAX / 2;
+        }
+        // Split/Concat on a view-capable backend (PyTorch-like,
+        // `split_concat_copy_passes == 0`) alias their inputs instead of
+        // copying, so their outputs cost no device memory. Aliased tensors
+        // are never charged, and their base tensor stays pinned while the
+        // views may still be read.
+        let views = self.profile.split_concat_copy_passes == 0;
+        let mut aliased: std::collections::HashSet<String> = std::collections::HashSet::new();
+
+        for &id in &self.order.clone() {
+            let node = self.network.node(id).expect("live node").clone();
+            let op = self.ops.get(&id).expect("instantiated op");
+            let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+            for name in &node.inputs {
+                let t = env
+                    .get(name)
+                    .map(Ok)
+                    .unwrap_or_else(|| self.network.fetch_tensor(name))?;
+                input_refs.push(t);
+            }
+            let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
+            let workspace = op.workspace_bytes(&shapes);
+            self.memory.allocate(workspace)?;
+
+            // Framework runtime behaviour: dispatch burn + optional copies.
+            self.profile.dispatch();
+            let copied = self.maybe_copy_inputs(&input_refs);
+            let exec_refs: Vec<&Tensor> = match &copied {
+                Some(c) => c.iter().collect(),
+                None => input_refs,
+            };
+
+            self.events.begin(Phase::OperatorForward, id.0);
+            let mut outputs = op.forward(&exec_refs)?;
+            self.events.end(Phase::OperatorForward, id.0);
+            self.split_concat_penalty(&node, &mut outputs);
+
+            self.memory.release(workspace);
+            let alias = views && (node.op_type == "Split" || node.op_type == "Concat");
+            for (tensor, name) in outputs.into_iter().zip(&node.outputs) {
+                if alias {
+                    aliased.insert(name.clone());
+                } else {
+                    self.memory.allocate(tensor.size_bytes())?;
+                }
+                env.insert(name.clone(), tensor);
+            }
+            // Free activations whose consumers are all done. A view node
+            // pins its base (the views may still be read); views themselves
+            // were never charged.
+            if !alias {
+                for name in &node.inputs {
+                    if aliased.contains(name) {
+                        continue;
+                    }
+                    if let Some(count) = remaining.get_mut(name) {
+                        *count = count.saturating_sub(1);
+                        if *count == 0 && !self.network.is_parameter(name) {
+                            if let Some(t) = env.get(name) {
+                                self.memory.release(t.size_bytes());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(env)
+    }
+
+    fn collect_outputs(&self, env: &HashMap<String, Tensor>) -> Result<HashMap<String, Tensor>> {
+        let mut out = HashMap::new();
+        for name in self.network.graph_outputs() {
+            let t = env
+                .get(name)
+                .ok_or_else(|| Error::NotFound(format!("graph output '{name}'")))?;
+            out.insert(name.clone(), t.clone());
+        }
+        Ok(out)
+    }
+}
+
+impl GraphExecutor for FrameworkExecutor {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Inference, pass);
+        let env = self.forward_env(feeds)?;
+        let out = self.collect_outputs(&env);
+        self.events.end(Phase::Inference, pass);
+        out
+    }
+
+    fn inference_and_backprop(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        loss: &str,
+    ) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Backprop, pass);
+        let env = self.forward_env(feeds)?;
+        let loss_tensor = env
+            .get(loss)
+            .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
+        let mut grads: HashMap<String, Tensor> = HashMap::new();
+        grads.insert(loss.to_string(), Tensor::full(loss_tensor.shape().clone(), 1.0));
+
+        for &id in self.order.clone().iter().rev() {
+            let node = self.network.node(id).expect("live node").clone();
+            if !node.outputs.iter().any(|o| grads.contains_key(o)) {
+                continue;
+            }
+            let op = self.ops.get(&id).expect("instantiated op");
+            let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+            for name in &node.inputs {
+                let t = env
+                    .get(name)
+                    .map(Ok)
+                    .unwrap_or_else(|| self.network.fetch_tensor(name))?;
+                input_refs.push(t);
+            }
+            let output_tensors: Vec<&Tensor> = node
+                .outputs
+                .iter()
+                .map(|o| env.get(o).ok_or_else(|| Error::NotFound(o.clone())))
+                .collect::<Result<_>>()?;
+            let grad_outputs: Vec<Tensor> = node
+                .outputs
+                .iter()
+                .zip(&output_tensors)
+                .map(|(name, t)| {
+                    grads
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+                })
+                .collect();
+            let grad_refs: Vec<&Tensor> = grad_outputs.iter().collect();
+
+            self.profile.dispatch();
+            self.events.begin(Phase::OperatorBackward, id.0);
+            let input_grads = op.backward(&grad_refs, &input_refs, &output_tensors)?;
+            self.events.end(Phase::OperatorBackward, id.0);
+
+            for (gname, gtensor) in node.inputs.iter().zip(input_grads) {
+                match grads.get_mut(gname) {
+                    Some(existing) => existing.axpy(1.0, &gtensor)?,
+                    None => {
+                        grads.insert(gname.clone(), gtensor);
+                    }
+                }
+            }
+        }
+        for (pname, gname) in self.network.gradient() {
+            let g = grads.get(&pname).cloned().unwrap_or_else(|| {
+                let shape = self
+                    .network
+                    .fetch_tensor(&pname)
+                    .map(|t| t.shape().clone())
+                    .unwrap_or_else(|_| Shape::scalar());
+                Tensor::zeros(shape)
+            });
+            self.network.feed_tensor(gname, g);
+        }
+        let out = self.collect_outputs(&env);
+        self.events.end(Phase::Backprop, pass);
+        out
+    }
+
+    fn events_mut(&mut self) -> &mut EventList {
+        &mut self.events
+    }
+
+    fn peak_memory(&self) -> usize {
+        self.memory.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep500_graph::validate::{test_executor, test_executor_backprop};
+    use deep500_graph::{models, ReferenceExecutor};
+
+    fn net() -> Network {
+        models::lenet(1, 12, 4, 77).unwrap()
+    }
+
+    fn feeds() -> Vec<(&'static str, Tensor)> {
+        vec![
+            ("x", Tensor::ones([2, 1, 12, 12])),
+            ("labels", Tensor::from_slice(&[0.0, 3.0])),
+        ]
+    }
+
+    #[test]
+    fn all_profiles_match_the_reference_executor() {
+        for profile in FrameworkProfile::all() {
+            let name = profile.name;
+            let mut fx = FrameworkExecutor::new(&net(), profile).unwrap();
+            let mut rx = ReferenceExecutor::new(net()).unwrap();
+            let report = test_executor(&mut fx, &mut rx, &feeds(), 2).unwrap();
+            assert!(
+                report.passes(1e-4),
+                "{name}: outputs diverge: {:?}",
+                report.output_norms
+            );
+        }
+    }
+
+    #[test]
+    fn backprop_gradients_match_reference() {
+        let mut fx =
+            FrameworkExecutor::new(&net(), FrameworkProfile::tensorflow()).unwrap();
+        let mut rx = ReferenceExecutor::new(net()).unwrap();
+        let report =
+            test_executor_backprop(&mut fx, &mut rx, &feeds(), "loss", 2).unwrap();
+        assert!(report.passes(1e-3), "{:?}", report.gradient_norms);
+        assert!(!report.gradient_norms.is_empty());
+    }
+
+    #[test]
+    fn lowering_rewrites_algorithms() {
+        let lowered = lower_network(&net(), &FrameworkProfile::deepbench()).unwrap();
+        let conv = lowered
+            .nodes()
+            .find(|(_, n)| n.op_type == "Conv2d")
+            .unwrap()
+            .1;
+        assert_eq!(conv.attrs.str_or("algorithm", ""), "im2col");
+        assert!(lowered.name.contains("@deepbench"));
+        assert_eq!(lowered.num_nodes(), net().num_nodes());
+    }
+
+    #[test]
+    fn memory_limit_causes_oom() {
+        let r = FrameworkExecutor::with_memory_limit(
+            &net(),
+            FrameworkProfile::pytorch(),
+            4 * 1024,
+        )
+        .unwrap()
+        .inference(&feeds());
+        assert!(matches!(r, Err(Error::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn peak_memory_reported() {
+        let mut fx = FrameworkExecutor::new(&net(), FrameworkProfile::pytorch()).unwrap();
+        fx.inference(&feeds()).unwrap();
+        assert!(fx.peak_memory() > 0);
+        assert_eq!(fx.profile().name, "pytorch");
+    }
+}

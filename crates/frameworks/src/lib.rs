@@ -1,0 +1,30 @@
+//! # deep500-frameworks — simulated DL framework backends
+//!
+//! The paper benchmarks Deep500 against and on top of TensorFlow, Caffe2,
+//! and PyTorch, with DeepBench as the raw-kernel baseline. Real framework
+//! bindings are out of scope for this reproduction (repro band: "DL
+//! framework bindings immature"), so this crate builds the **mechanisms**
+//! that differentiate those frameworks as real Rust code over the shared
+//! Level-0 kernels:
+//!
+//! * [`profile::FrameworkProfile`] — per-framework
+//!   dispatch overhead (real busy-work), tensor-copy behaviour (TF-style
+//!   general tensor ops copy inputs), kernel/algorithm selection, and
+//!   split/concat copy costs (the asymmetry behind Fig. 7),
+//! * [`executor::FrameworkExecutor`] — a
+//!   [`GraphExecutor`](deep500_graph::GraphExecutor) that executes a portable network the way the
+//!   profiled framework would, built by visiting the network exactly as
+//!   the paper's ONNX visitors do,
+//! * [fused native optimizers](fused_optim) — single-pass in-place update
+//!   kernels (the paper's Caffe2 "Adam" operator), several times faster
+//!   than the composed reference optimizers of `deep500-train`,
+//! * [`native`] — direct kernel invocation (the DeepBench baseline) and
+//!   `custom_op_from_native`-style wrapping with its measured overhead.
+
+pub mod executor;
+pub mod fused_optim;
+pub mod native;
+pub mod profile;
+
+pub use executor::FrameworkExecutor;
+pub use profile::FrameworkProfile;

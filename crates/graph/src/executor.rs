@@ -1,0 +1,575 @@
+//! Graph executors: inference and backpropagation over a [`Network`].
+//!
+//! The paper's `GraphExecutor` "controls the DNN execution" and exposes two
+//! functions: `inference` and `inference_and_backprop`. The provided
+//! [`ReferenceExecutor`] is the paper's reference implementation — a
+//! topological-sort interpreter — extended with:
+//!
+//! * reverse-mode automatic differentiation over the DAG (gradients land in
+//!   the network value store under [`grad_name`](crate::grad_name)),
+//! * [`Event`] hooks around every phase (fine-grained measurement + early
+//!   exit, §IV-D),
+//! * a [`MemoryAccountant`] that tracks live activation + workspace bytes
+//!   and fails with [`Error::OutOfMemory`] when a device capacity is
+//!   exceeded — the mechanism behind the paper's Fig. 7 OOM observations,
+//! * the [`FrameworkOverheadProbe`] implementing the paper's
+//!   `FrameworkOverhead` metric (whole-pass time minus per-operator time).
+
+use crate::network::{Network, NodeId};
+use deep500_metrics::event::{Event, EventList, Phase};
+use deep500_ops::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor};
+use std::collections::HashMap;
+
+/// Tracks live tensor bytes against a capacity, recording the peak.
+#[derive(Debug, Clone)]
+pub struct MemoryAccountant {
+    capacity: usize,
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryAccountant {
+    /// Accountant with the given capacity in bytes (`usize::MAX` = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        MemoryAccountant { capacity, current: 0, peak: 0 }
+    }
+
+    /// Unbounded accountant (still tracks the peak).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Claim `bytes`; errors with `OutOfMemory` if capacity is exceeded.
+    pub fn allocate(&mut self, bytes: usize) -> Result<()> {
+        let next = self.current.saturating_add(bytes);
+        if next > self.capacity {
+            return Err(Error::OutOfMemory { requested: bytes, capacity: self.capacity });
+        }
+        self.current = next;
+        self.peak = self.peak.max(self.current);
+        Ok(())
+    }
+
+    /// Release `bytes`.
+    pub fn release(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Peak live bytes observed so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Currently live bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Reset counters (capacity retained).
+    pub fn reset(&mut self) {
+        self.current = 0;
+        self.peak = 0;
+    }
+}
+
+/// The graph-execution interface (paper §IV-D).
+pub trait GraphExecutor: Send {
+    /// The executed network.
+    fn network(&self) -> &Network;
+
+    /// Mutable access to the executed network (feeding parameters etc.).
+    fn network_mut(&mut self) -> &mut Network;
+
+    /// Run inference: feed `(name, tensor)` pairs, return the declared graph
+    /// outputs by name.
+    fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>>;
+
+    /// Run inference followed by backpropagation from the scalar tensor
+    /// `loss`. Parameter gradients are stored in the network under
+    /// `grad::<param>`; the graph outputs are returned.
+    fn inference_and_backprop(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        loss: &str,
+    ) -> Result<HashMap<String, Tensor>>;
+
+    /// Event hooks invoked around execution phases.
+    fn events_mut(&mut self) -> &mut EventList;
+
+    /// Peak memory of the last pass in bytes (0 if not tracked).
+    fn peak_memory(&self) -> usize {
+        0
+    }
+}
+
+/// The reference topological-sort executor with autodiff.
+pub struct ReferenceExecutor {
+    network: Network,
+    ops: HashMap<NodeId, Box<dyn Operator>>,
+    order: Vec<NodeId>,
+    events: EventList,
+    memory: MemoryAccountant,
+    pass_counter: usize,
+}
+
+impl ReferenceExecutor {
+    /// Build an executor for `network`, instantiating all operators and
+    /// fixing the topological order. Unbounded memory.
+    pub fn new(network: Network) -> Result<Self> {
+        Self::with_memory_limit(network, usize::MAX)
+    }
+
+    /// Build with a device memory capacity in bytes; execution fails with
+    /// `Error::OutOfMemory` when live activations + workspace exceed it.
+    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        let ops = network.instantiate_ops()?;
+        let order = network.topological_order()?;
+        Ok(ReferenceExecutor {
+            network,
+            ops,
+            order,
+            events: EventList::new(),
+            memory: MemoryAccountant::new(capacity),
+            pass_counter: 0,
+        })
+    }
+
+    /// Re-derive operator instances and topological order after a graph
+    /// transformation mutated the network.
+    pub fn refresh(&mut self) -> Result<()> {
+        self.ops = self.network.instantiate_ops()?;
+        self.order = self.network.topological_order()?;
+        Ok(())
+    }
+
+    /// Consume the executor, returning its network.
+    pub fn into_network(self) -> Network {
+        self.network
+    }
+
+    /// Forward pass producing the full tensor environment.
+    fn forward_env(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.memory.reset();
+        let mut env: HashMap<String, Tensor> = HashMap::new();
+        for (name, t) in feeds {
+            self.memory.allocate(t.size_bytes())?;
+            env.insert(name.to_string(), t.clone());
+        }
+        // Remaining-consumer counts for activation freeing. Declared graph
+        // outputs and feeds are pinned (consumer count saturated).
+        let mut remaining: HashMap<String, usize> = HashMap::new();
+        for (_, node) in self.network.nodes() {
+            for i in &node.inputs {
+                *remaining.entry(i.clone()).or_insert(0) += 1;
+            }
+        }
+        for out in self.network.graph_outputs() {
+            *remaining.entry(out.clone()).or_insert(0) += usize::MAX / 2;
+        }
+
+        for &id in &self.order.clone() {
+            let node = self.network.node(id).expect("live node").clone();
+            let op = self.ops.get(&id).expect("instantiated op");
+            // Gather inputs from env / params.
+            let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+            for name in &node.inputs {
+                let t = env
+                    .get(name)
+                    .map(Ok)
+                    .unwrap_or_else(|| self.network.fetch_tensor(name))?;
+                input_refs.push(t);
+            }
+            // Workspace accounting (freed right after the op).
+            let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
+            let workspace = op.workspace_bytes(&shapes);
+            self.memory.allocate(workspace)?;
+
+            self.events.begin(Phase::OperatorForward, id.0);
+            let outputs = op.forward(&input_refs)?;
+            self.events.end(Phase::OperatorForward, id.0);
+
+            self.memory.release(workspace);
+            for (tensor, name) in outputs.into_iter().zip(&node.outputs) {
+                self.memory.allocate(tensor.size_bytes())?;
+                env.insert(name.clone(), tensor);
+            }
+            // Free inputs whose consumers are exhausted.
+            for name in &node.inputs {
+                if let Some(count) = remaining.get_mut(name) {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 && !self.network.is_parameter(name) {
+                        if let Some(t) = env.get(name) {
+                            self.memory.release(t.size_bytes());
+                        }
+                        // Keep the value for backprop; accounting models a
+                        // framework that frees inference-only activations.
+                    }
+                }
+            }
+        }
+        Ok(env)
+    }
+
+    /// Collect declared graph outputs from an environment.
+    fn collect_outputs(&self, env: &HashMap<String, Tensor>) -> Result<HashMap<String, Tensor>> {
+        let mut out = HashMap::new();
+        for name in self.network.graph_outputs() {
+            let t = env
+                .get(name)
+                .ok_or_else(|| Error::NotFound(format!("graph output '{name}'")))?;
+            out.insert(name.clone(), t.clone());
+        }
+        Ok(out)
+    }
+}
+
+impl GraphExecutor for ReferenceExecutor {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Inference, pass);
+        let env = self.forward_env(feeds)?;
+        let outputs = self.collect_outputs(&env);
+        self.events.end(Phase::Inference, pass);
+        outputs
+    }
+
+    fn inference_and_backprop(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        loss: &str,
+    ) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Backprop, pass);
+        let env = self.forward_env(feeds)?;
+        let loss_tensor = env
+            .get(loss)
+            .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
+
+        // Seed: dL/dL = 1.
+        let mut grads: HashMap<String, Tensor> = HashMap::new();
+        grads.insert(loss.to_string(), Tensor::full(loss_tensor.shape().clone(), 1.0));
+
+        for &id in self.order.clone().iter().rev() {
+            let node = self.network.node(id).expect("live node").clone();
+            // Skip nodes that contribute no gradient.
+            if !node.outputs.iter().any(|o| grads.contains_key(o)) {
+                continue;
+            }
+            let op = self.ops.get(&id).expect("instantiated op");
+            let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+            for name in &node.inputs {
+                let t = env
+                    .get(name)
+                    .map(Ok)
+                    .unwrap_or_else(|| self.network.fetch_tensor(name))?;
+                input_refs.push(t);
+            }
+            let output_tensors: Vec<&Tensor> = node
+                .outputs
+                .iter()
+                .map(|o| env.get(o).ok_or_else(|| Error::NotFound(o.clone())))
+                .collect::<Result<_>>()?;
+            // Missing output grads are zeros.
+            let grad_outputs: Vec<Tensor> = node
+                .outputs
+                .iter()
+                .zip(&output_tensors)
+                .map(|(name, t)| {
+                    grads
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+                })
+                .collect();
+            let grad_refs: Vec<&Tensor> = grad_outputs.iter().collect();
+
+            self.events.begin(Phase::OperatorBackward, id.0);
+            let input_grads = op.backward(&grad_refs, &input_refs, &output_tensors)?;
+            self.events.end(Phase::OperatorBackward, id.0);
+
+            for (gname, gtensor) in node.inputs.iter().zip(input_grads) {
+                match grads.get_mut(gname) {
+                    Some(existing) => existing.axpy(1.0, &gtensor)?,
+                    None => {
+                        grads.insert(gname.clone(), gtensor);
+                    }
+                }
+            }
+        }
+
+        // Publish parameter gradients into the network value store.
+        for (pname, gname) in self.network.gradient() {
+            let g = grads
+                .get(&pname)
+                .cloned()
+                .unwrap_or_else(|| {
+                    let shape = self
+                        .network
+                        .fetch_tensor(&pname)
+                        .map(|t| t.shape().clone())
+                        .unwrap_or_else(|_| Shape::scalar());
+                    Tensor::zeros(shape)
+                });
+            self.network.feed_tensor(gname, g);
+        }
+
+        let outputs = self.collect_outputs(&env);
+        self.events.end(Phase::Backprop, pass);
+        outputs
+    }
+
+    fn events_mut(&mut self) -> &mut EventList {
+        &mut self.events
+    }
+
+    fn peak_memory(&self) -> usize {
+        self.memory.peak()
+    }
+}
+
+/// Implements the paper's Level-1 `FrameworkOverhead` metric: "the overall
+/// time for inference and backpropagation compared with the sum of running
+/// times of individual operators" — i.e. dispatch/management overhead.
+#[derive(Default)]
+pub struct FrameworkOverheadProbe {
+    op_time: f64,
+    total_time: f64,
+    op_start: Option<std::time::Instant>,
+    pass_start: Option<std::time::Instant>,
+}
+
+impl FrameworkOverheadProbe {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seconds spent inside operators.
+    pub fn operator_time(&self) -> f64 {
+        self.op_time
+    }
+
+    /// Seconds spent in whole passes.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Framework overhead: total minus per-operator time.
+    pub fn overhead(&self) -> f64 {
+        (self.total_time - self.op_time).max(0.0)
+    }
+
+    /// Overhead as a fraction of total time.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.overhead() / self.total_time
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Event for FrameworkOverheadProbe {
+    fn begin(&mut self, phase: Phase, _id: usize) {
+        match phase {
+            Phase::OperatorForward | Phase::OperatorBackward => {
+                self.op_start = Some(std::time::Instant::now());
+            }
+            Phase::Inference | Phase::Backprop => {
+                self.pass_start = Some(std::time::Instant::now());
+            }
+            _ => {}
+        }
+    }
+    fn end(&mut self, phase: Phase, _id: usize) {
+        match phase {
+            Phase::OperatorForward | Phase::OperatorBackward => {
+                if let Some(s) = self.op_start.take() {
+                    self.op_time += s.elapsed().as_secs_f64();
+                }
+            }
+            Phase::Inference | Phase::Backprop => {
+                if let Some(s) = self.pass_start.take() {
+                    self.total_time += s.elapsed().as_secs_f64();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep500_ops::registry::Attributes;
+
+    /// x --Relu--> h --Scale(2)--> y ; plus a Linear net for backprop.
+    fn relu_scale_net() -> Network {
+        let mut net = Network::new("t");
+        net.add_input("x");
+        net.add_node("r", "Relu", Attributes::new(), &["x"], &["h"]).unwrap();
+        net.add_node(
+            "s",
+            "Scale",
+            Attributes::new().with_float("alpha", 2.0),
+            &["h"],
+            &["y"],
+        )
+        .unwrap();
+        net.add_output("y");
+        net
+    }
+
+    fn linear_loss_net() -> Network {
+        // loss = MSE(x * W^T + b, target)
+        let mut net = Network::new("lin");
+        net.add_input("x");
+        net.add_input("target");
+        net.add_parameter("W", Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap());
+        net.add_parameter("b", Tensor::from_slice(&[0.0]));
+        net.add_node("fc", "Linear", Attributes::new(), &["x", "W", "b"], &["pred"]).unwrap();
+        net.add_node("mse", "MseLoss", Attributes::new(), &["pred", "target"], &["loss"]).unwrap();
+        net.add_output("loss");
+        net.add_output("pred");
+        net
+    }
+
+    #[test]
+    fn inference_computes_outputs() {
+        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        let x = Tensor::from_slice(&[-1.0, 2.0]);
+        let out = ex.inference(&[("x", x)]).unwrap();
+        assert_eq!(out["y"].data(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn backprop_produces_param_grads() {
+        let mut ex = ReferenceExecutor::new(linear_loss_net()).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
+        let target = Tensor::from_vec([1, 1], vec![0.0]).unwrap();
+        let out = ex
+            .inference_and_backprop(&[("x", x), ("target", target)], "loss")
+            .unwrap();
+        // pred = 1*1 + 1*2 + 0 = 3; loss = 9
+        assert!((out["loss"].data()[0] - 9.0).abs() < 1e-5);
+        let gw = ex.network().fetch_tensor("grad::W").unwrap();
+        // dloss/dpred = 2*pred = 6 ; dW = dpred^T x = [6, 12]
+        assert!(gw.approx_eq(
+            &Tensor::from_vec([1, 2], vec![6.0, 12.0]).unwrap(),
+            1e-4
+        ));
+        let gb = ex.network().fetch_tensor("grad::b").unwrap();
+        assert!((gb.data()[0] - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn missing_feed_is_detected() {
+        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        assert!(ex.inference(&[]).is_err());
+    }
+
+    #[test]
+    fn memory_accountant_enforces_capacity() {
+        let mut acc = MemoryAccountant::new(100);
+        acc.allocate(60).unwrap();
+        assert_eq!(acc.current(), 60);
+        assert!(matches!(
+            acc.allocate(50),
+            Err(Error::OutOfMemory { requested: 50, capacity: 100 })
+        ));
+        acc.release(60);
+        acc.allocate(100).unwrap();
+        assert_eq!(acc.peak(), 100);
+        acc.reset();
+        assert_eq!(acc.current(), 0);
+    }
+
+    #[test]
+    fn executor_ooms_on_tiny_capacity() {
+        let net = relu_scale_net();
+        let mut ex = ReferenceExecutor::with_memory_limit(net, 8).unwrap();
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]); // 16 bytes
+        let err = ex.inference(&[("x", x)]).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn peak_memory_is_reported() {
+        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        let x = Tensor::from_slice(&[1.0; 100]);
+        ex.inference(&[("x", x)]).unwrap();
+        assert!(ex.peak_memory() >= 400);
+    }
+
+    #[test]
+    fn overhead_probe_accumulates() {
+        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        ex.events_mut().push(Box::new(FrameworkOverheadProbe::new()));
+        let x = Tensor::from_slice(&[1.0; 1000]);
+        for _ in 0..3 {
+            ex.inference(&[("x", x.clone())]).unwrap();
+        }
+        // The probe is inside the event list; this test verifies the
+        // dispatch path doesn't panic. Standalone probe check:
+        let mut probe = FrameworkOverheadProbe::new();
+        probe.begin(Phase::Inference, 0);
+        probe.begin(Phase::OperatorForward, 0);
+        probe.end(Phase::OperatorForward, 0);
+        probe.end(Phase::Inference, 0);
+        assert!(probe.total_time() >= probe.operator_time());
+        assert!(probe.overhead_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn multi_output_nodes_backprop() {
+        // Split a tensor, scale one half, sum both halves back via Concat
+        // and MSE against zeros: gradient must reach the input.
+        let mut net = Network::new("split");
+        net.add_input("x");
+        net.add_input("target");
+        net.add_node(
+            "sp",
+            "Split",
+            Attributes::new().with_ints("sizes", &[1, 1]),
+            &["x"],
+            &["a", "b"],
+        )
+        .unwrap();
+        net.add_node(
+            "sc",
+            "Scale",
+            Attributes::new().with_float("alpha", 3.0),
+            &["a"],
+            &["a3"],
+        )
+        .unwrap();
+        net.add_node(
+            "cc",
+            "Concat",
+            Attributes::new().with_int("num_inputs", 2),
+            &["a3", "b"],
+            &["y"],
+        )
+        .unwrap();
+        net.add_node("l", "MseLoss", Attributes::new(), &["y", "target"], &["loss"]).unwrap();
+        net.add_output("loss");
+        net.add_parameter("dummy", Tensor::scalar(0.0));
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let x = Tensor::from_vec([2, 1], vec![1.0, 1.0]).unwrap();
+        let t = Tensor::from_vec([2, 1], vec![0.0, 0.0]).unwrap();
+        let out = ex
+            .inference_and_backprop(&[("x", x), ("target", t)], "loss")
+            .unwrap();
+        // y = [3, 1]; loss = (9+1)/2 = 5
+        assert!((out["loss"].data()[0] - 5.0).abs() < 1e-5);
+    }
+}

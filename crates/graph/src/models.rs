@@ -1,0 +1,254 @@
+//! Model zoo: the architectures the paper benchmarks with, scaled to run
+//! on a CPU substrate.
+//!
+//! The paper "facilitates access to DNN architectures (as ONNX files) for
+//! LeNet, ResNet with varying depths, and Wide ResNet"; its experiments use
+//! LeNet/MNIST, ResNet-18/50 on CIFAR/ImageNet, and AlexNet for the
+//! micro-batch study. We provide: [`lenet`], [`mlp`], [`alexnet_like`]
+//! (large early convolutions, the OOM workload of Fig. 7), and
+//! [`resnet_like`] (residual blocks with batchnorm and skip `Add`s).
+
+use crate::builder::NetworkBuilder;
+use crate::network::Network;
+use deep500_ops::registry::Attributes;
+use deep500_tensor::rng::{init, Xoshiro256StarStar};
+use deep500_tensor::{Result, Tensor};
+
+/// LeNet-5-style CNN for `in_c x hw x hw` inputs (MNIST: 1×28×28).
+/// Ends in a softmax-cross-entropy loss with inputs `x` and `labels` and
+/// outputs `logits` / `loss`.
+pub fn lenet(in_c: usize, hw: usize, classes: usize, seed: u64) -> Result<Network> {
+    NetworkBuilder::image_input("lenet", in_c, hw, hw, seed)
+        .conv(6, 5, 1, 2)
+        .relu()
+        .maxpool(2, 2)
+        .conv(16, 5, 1, 0)
+        .relu()
+        .maxpool(2, 2)
+        .flatten()
+        .dense(120)
+        .relu()
+        .dense(84)
+        .relu()
+        .dense(classes)
+        .classifier_loss()
+        .build()
+}
+
+/// Multi-layer perceptron: `features -> hidden* -> classes`, ReLU between
+/// layers, classifier loss at the end.
+pub fn mlp(features: usize, hidden: &[usize], classes: usize, seed: u64) -> Result<Network> {
+    let mut b = NetworkBuilder::vector_input("mlp", features, seed);
+    for &h in hidden {
+        b = b.dense(h).relu();
+    }
+    b.dense(classes).classifier_loss().build()
+}
+
+/// AlexNet-style convolution stack: the large-minibatch convolution
+/// workload of the paper's Level-1 micro-batching experiment. Kept
+/// shallow (the experiment exercises the first conv's memory footprint,
+/// not ImageNet accuracy).
+pub fn alexnet_like(in_c: usize, hw: usize, classes: usize, seed: u64) -> Result<Network> {
+    NetworkBuilder::image_input("alexnet", in_c, hw, hw, seed)
+        .conv_with_algo(16, 5, 2, 2, "im2col")
+        .relu()
+        .maxpool(2, 2)
+        .conv_with_algo(32, 3, 1, 1, "im2col")
+        .relu()
+        .maxpool(2, 2)
+        .flatten()
+        .dense(64)
+        .relu()
+        .dense(classes)
+        .classifier_loss()
+        .build()
+}
+
+/// A small residual network: stem conv, `blocks` residual blocks
+/// (conv-bn-relu-conv-bn + skip `Add`, then relu), global pooling via
+/// strided max-pool, dense classifier. Stands in for the paper's
+/// ResNet-18/50 at laptop scale.
+pub fn resnet_like(
+    in_c: usize,
+    hw: usize,
+    channels: usize,
+    blocks: usize,
+    classes: usize,
+    seed: u64,
+) -> Result<Network> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut net = Network::new("resnet");
+    net.add_input("x");
+    net.add_input("labels");
+
+    let add_conv = |net: &mut Network,
+                        name: &str,
+                        cin: usize,
+                        cout: usize,
+                        input: &str,
+                        output: &str,
+                        rng: &mut Xoshiro256StarStar|
+     -> Result<()> {
+        let wname = format!("{name}.w");
+        let bname = format!("{name}.b");
+        let mut w = Tensor::zeros([cout, cin, 3, 3]);
+        init::he_normal(rng, w.data_mut(), cin * 9);
+        net.add_parameter(&wname, w);
+        net.add_parameter(&bname, Tensor::zeros([cout]));
+        net.add_node(
+            name,
+            "Conv2d",
+            Attributes::new().with_int("stride", 1).with_int("pad", 1),
+            &[input, &wname, &bname],
+            &[output],
+        )?;
+        Ok(())
+    };
+    let add_bn = |net: &mut Network, name: &str, c: usize, input: &str, output: &str| -> Result<()> {
+        net.add_parameter(format!("{name}.gamma"), Tensor::ones([c]));
+        net.add_parameter(format!("{name}.beta"), Tensor::zeros([c]));
+        net.add_node(
+            name,
+            "BatchNorm",
+            Attributes::new(),
+            &[input, &format!("{name}.gamma"), &format!("{name}.beta")],
+            &[output],
+        )?;
+        Ok(())
+    };
+
+    // Stem.
+    add_conv(&mut net, "stem", in_c, channels, "x", "t0", &mut rng)?;
+    net.add_node("stem_relu", "Relu", Attributes::new(), &["t0"], &["r0"])?;
+
+    let mut cur = "r0".to_string();
+    for bidx in 0..blocks {
+        let c1 = format!("b{bidx}c1");
+        let n1 = format!("b{bidx}n1");
+        let a1 = format!("b{bidx}a1");
+        let c2 = format!("b{bidx}c2");
+        let n2 = format!("b{bidx}n2");
+        let sum = format!("b{bidx}sum");
+        let out = format!("b{bidx}out");
+        add_conv(&mut net, &c1, channels, channels, &cur, &format!("{c1}.o"), &mut rng)?;
+        add_bn(&mut net, &n1, channels, &format!("{c1}.o"), &format!("{n1}.o"))?;
+        net.add_node(&a1, "Relu", Attributes::new(), &[&format!("{n1}.o")], &[&format!("{a1}.o")])?;
+        add_conv(&mut net, &c2, channels, channels, &format!("{a1}.o"), &format!("{c2}.o"), &mut rng)?;
+        add_bn(&mut net, &n2, channels, &format!("{c2}.o"), &format!("{n2}.o"))?;
+        // Residual Add: skip from block input.
+        net.add_node(
+            &sum,
+            "Add",
+            Attributes::new(),
+            &[&format!("{n2}.o"), &cur],
+            &[&format!("{sum}.o")],
+        )?;
+        net.add_node(&out, "Relu", Attributes::new(), &[&format!("{sum}.o")], &[&format!("{out}.o")])?;
+        cur = format!("{out}.o");
+    }
+
+    // Head: downsample, flatten, classify.
+    net.add_node(
+        "head_pool",
+        "MaxPool2d",
+        Attributes::new().with_int("kernel", 2).with_int("stride", 2),
+        &[&cur],
+        &["pooled"],
+    )?;
+    net.add_node("head_flat", "Flatten", Attributes::new(), &["pooled"], &["flat"])?;
+    let pooled_hw = hw / 2;
+    let fin = channels * pooled_hw * pooled_hw;
+    let mut w = Tensor::zeros([classes, fin]);
+    init::xavier_uniform(&mut rng, w.data_mut(), fin, classes);
+    net.add_parameter("head.w", w);
+    net.add_parameter("head.b", Tensor::zeros([classes]));
+    net.add_node(
+        "head_fc",
+        "Linear",
+        Attributes::new(),
+        &["flat", "head.w", "head.b"],
+        &["logits"],
+    )?;
+    net.add_node(
+        "loss_node",
+        "SoftmaxCrossEntropy",
+        Attributes::new(),
+        &["logits", "labels"],
+        &["loss"],
+    )?;
+    net.add_output("logits");
+    net.add_output("loss");
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{GraphExecutor, ReferenceExecutor};
+
+    fn run_train_step(net: Network, x: Tensor, labels: Tensor) -> (f32, usize) {
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let out = ex
+            .inference_and_backprop(&[("x", x), ("labels", labels)], "loss")
+            .unwrap();
+        let n_grads = ex
+            .network()
+            .get_params()
+            .iter()
+            .filter(|p| ex.network().has_tensor(&crate::grad_name(p)))
+            .count();
+        (out["loss"].data()[0], n_grads)
+    }
+
+    #[test]
+    fn lenet_trains_one_step() {
+        let net = lenet(1, 28, 10, 1).unwrap();
+        let nparams = net.get_params().len();
+        let (loss, grads) = run_train_step(
+            net,
+            Tensor::zeros([2, 1, 28, 28]),
+            Tensor::from_slice(&[0.0, 5.0]),
+        );
+        assert!(loss > 0.0 && loss.is_finite());
+        assert_eq!(grads, nparams);
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let net = mlp(16, &[8, 8], 4, 2).unwrap();
+        let (loss, grads) = run_train_step(
+            net,
+            Tensor::zeros([3, 16]),
+            Tensor::from_slice(&[0.0, 1.0, 2.0]),
+        );
+        assert!((loss - (4.0f32).ln()).abs() < 0.5); // near-uniform at init
+        assert_eq!(grads, 6); // 3 layers x (w, b)
+    }
+
+    #[test]
+    fn alexnet_like_runs() {
+        let net = alexnet_like(3, 32, 10, 3).unwrap();
+        let (loss, _) = run_train_step(
+            net,
+            Tensor::zeros([2, 3, 32, 32]),
+            Tensor::from_slice(&[1.0, 2.0]),
+        );
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn resnet_like_has_residual_adds_and_trains() {
+        let net = resnet_like(1, 8, 4, 2, 3, 4).unwrap();
+        let adds = net.nodes().filter(|(_, n)| n.op_type == "Add").count();
+        assert_eq!(adds, 2, "one skip Add per block");
+        let nparams = net.get_params().len();
+        let (loss, grads) = run_train_step(
+            net,
+            Tensor::ones([2, 1, 8, 8]),
+            Tensor::from_slice(&[0.0, 2.0]),
+        );
+        assert!(loss.is_finite());
+        assert_eq!(grads, nparams, "skip connections must not block gradients");
+    }
+}

@@ -1,0 +1,87 @@
+//! Graph transformations (Level-1 "Transformable" capability).
+//!
+//! The paper separates the network abstraction from operators precisely so
+//! that "researchers can build their own graph transformations to optimize
+//! between operators". Two transformations are provided, matching the
+//! paper's evaluation and motivation:
+//!
+//! * [`microbatch`] — the micro-batch convolution rewrite of Oyama et al.
+//!   (§V-C, Fig. 7): `Conv -> Split + k·Conv + Concat` under a memory
+//!   constraint, with per-micro-batch algorithm selection,
+//! * [`fusion`] — elementwise-operator fusion (the Caffe2-style fused-Adam
+//!   optimization of Use Case 1): chains of elementwise ops collapse into a
+//!   single operator, removing per-operator dispatch overhead.
+
+pub mod fusion;
+pub mod microbatch;
+
+use crate::network::Network;
+use deep500_tensor::{Error, Result, Shape};
+use std::collections::HashMap;
+
+/// Static shape inference: propagate shapes from the given graph-input
+/// shapes (and parameter shapes) through every node in topological order.
+/// Returns the shape of every tensor in the graph.
+pub fn infer_shapes(
+    net: &Network,
+    input_shapes: &[(&str, Shape)],
+) -> Result<HashMap<String, Shape>> {
+    let ops = net.instantiate_ops()?;
+    let mut shapes: HashMap<String, Shape> = HashMap::new();
+    for (name, s) in input_shapes {
+        shapes.insert(name.to_string(), s.clone());
+    }
+    for p in net.get_params() {
+        shapes.insert(p.clone(), net.fetch_tensor(p)?.shape().clone());
+    }
+    for id in net.topological_order()? {
+        let node = net.node(id).expect("live node");
+        let in_shapes: Vec<&Shape> = node
+            .inputs
+            .iter()
+            .map(|n| {
+                shapes
+                    .get(n)
+                    .ok_or_else(|| Error::NotFound(format!("shape of '{n}'")))
+            })
+            .collect::<Result<_>>()?;
+        let out_shapes = ops
+            .get(&id)
+            .expect("instantiated op")
+            .output_shapes(&in_shapes)?;
+        for (name, s) in node.outputs.iter().zip(out_shapes) {
+            shapes.insert(name.clone(), s);
+        }
+    }
+    Ok(shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn infer_shapes_through_lenet() {
+        let net = models::lenet(1, 28, 10, 0).unwrap();
+        let shapes = infer_shapes(
+            &net,
+            &[
+                ("x", Shape::new(&[4, 1, 28, 28])),
+                ("labels", Shape::new(&[4])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(shapes["logits"], Shape::new(&[4, 10]));
+        assert_eq!(shapes["loss"], Shape::scalar());
+        // First conv: same padding keeps 28x28 with 6 channels.
+        assert_eq!(shapes["conv1"], Shape::new(&[4, 6, 28, 28]));
+    }
+
+    #[test]
+    fn missing_input_shape_is_reported() {
+        let net = models::mlp(8, &[4], 2, 0).unwrap();
+        let err = infer_shapes(&net, &[("x", Shape::new(&[1, 8]))]).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Level-1 validation: `test_executor` and `test_executor_backprop`.
+//!
+//! The paper validates "the accuracy and performance of Network and
+//! GraphExecutor" by comparing any executor against the reference executor
+//! on identical feeds: outputs must agree within an ℓ∞ tolerance for
+//! inference, and parameter gradients must agree for backpropagation.
+
+use crate::executor::GraphExecutor;
+use crate::grad_name;
+use deep500_metrics::norms::DiffNorms;
+use deep500_metrics::stats::Summary;
+use deep500_metrics::Timer;
+use deep500_tensor::{Error, Result, Tensor};
+
+/// Result of comparing two executors.
+#[derive(Debug, Clone)]
+pub struct ExecutorReport {
+    /// Per-output difference norms (`name`, norms), sorted by name.
+    pub output_norms: Vec<(String, DiffNorms)>,
+    /// Per-parameter gradient norms (backprop validation only).
+    pub gradient_norms: Vec<(String, DiffNorms)>,
+    /// Wallclock summary of the candidate executor.
+    pub candidate_time: Summary,
+    /// Wallclock summary of the reference executor.
+    pub reference_time: Summary,
+}
+
+impl ExecutorReport {
+    /// Pass criterion: every compared tensor within `tol` in ℓ∞.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.output_norms.iter().all(|(_, n)| n.within(tol))
+            && self.gradient_norms.iter().all(|(_, n)| n.within(tol))
+    }
+
+    /// Candidate/reference median-runtime ratio (>1 = candidate slower).
+    pub fn slowdown(&self) -> f64 {
+        if self.reference_time.median > 0.0 {
+            self.candidate_time.median / self.reference_time.median
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Compare inference outputs of `candidate` against `reference` over
+/// `reruns` repetitions of the same feeds.
+pub fn test_executor(
+    candidate: &mut dyn GraphExecutor,
+    reference: &mut dyn GraphExecutor,
+    feeds: &[(&str, Tensor)],
+    reruns: usize,
+) -> Result<ExecutorReport> {
+    if reruns == 0 {
+        return Err(Error::Invalid("test_executor requires reruns >= 1".into()));
+    }
+    let mut cand_times = Vec::with_capacity(reruns);
+    let mut ref_times = Vec::with_capacity(reruns);
+    let mut cand_out = None;
+    let mut ref_out = None;
+    for _ in 0..reruns {
+        let (c, t) = Timer::time(|| candidate.inference(feeds));
+        cand_times.push(t);
+        cand_out = Some(c?);
+        let (r, t) = Timer::time(|| reference.inference(feeds));
+        ref_times.push(t);
+        ref_out = Some(r?);
+    }
+    let cand_out = cand_out.expect("reruns >= 1");
+    let ref_out = ref_out.expect("reruns >= 1");
+    let mut output_norms = Vec::new();
+    for (name, rt) in &ref_out {
+        let ct = cand_out
+            .get(name)
+            .ok_or_else(|| Error::Validation(format!("candidate missing output '{name}'")))?;
+        if ct.shape() != rt.shape() {
+            return Err(Error::ShapeMismatch(format!(
+                "output '{name}': {} vs {}",
+                ct.shape(),
+                rt.shape()
+            )));
+        }
+        output_norms.push((name.clone(), DiffNorms::of(ct.data(), rt.data())));
+    }
+    output_norms.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(ExecutorReport {
+        output_norms,
+        gradient_norms: Vec::new(),
+        candidate_time: Summary::of(&cand_times),
+        reference_time: Summary::of(&ref_times),
+    })
+}
+
+/// Compare inference + backpropagation of two executors: outputs *and*
+/// parameter gradients must agree.
+pub fn test_executor_backprop(
+    candidate: &mut dyn GraphExecutor,
+    reference: &mut dyn GraphExecutor,
+    feeds: &[(&str, Tensor)],
+    loss: &str,
+    reruns: usize,
+) -> Result<ExecutorReport> {
+    if reruns == 0 {
+        return Err(Error::Invalid("test_executor_backprop requires reruns >= 1".into()));
+    }
+    let mut cand_times = Vec::with_capacity(reruns);
+    let mut ref_times = Vec::with_capacity(reruns);
+    let mut cand_out = None;
+    let mut ref_out = None;
+    for _ in 0..reruns {
+        let (c, t) = Timer::time(|| candidate.inference_and_backprop(feeds, loss));
+        cand_times.push(t);
+        cand_out = Some(c?);
+        let (r, t) = Timer::time(|| reference.inference_and_backprop(feeds, loss));
+        ref_times.push(t);
+        ref_out = Some(r?);
+    }
+    let cand_out = cand_out.expect("reruns >= 1");
+    let ref_out = ref_out.expect("reruns >= 1");
+    let mut output_norms = Vec::new();
+    for (name, rt) in &ref_out {
+        let ct = cand_out
+            .get(name)
+            .ok_or_else(|| Error::Validation(format!("candidate missing output '{name}'")))?;
+        output_norms.push((name.clone(), DiffNorms::of(ct.data(), rt.data())));
+    }
+    output_norms.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut gradient_norms = Vec::new();
+    let params: Vec<String> = reference.network().get_params().to_vec();
+    for p in params {
+        let gname = grad_name(&p);
+        let rg = reference.network().fetch_tensor(&gname)?;
+        let cg = candidate.network().fetch_tensor(&gname).map_err(|_| {
+            Error::Validation(format!("candidate missing gradient '{gname}'"))
+        })?;
+        gradient_norms.push((p, DiffNorms::of(cg.data(), rg.data())));
+    }
+    gradient_norms.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(ExecutorReport {
+        output_norms,
+        gradient_norms,
+        candidate_time: Summary::of(&cand_times),
+        reference_time: Summary::of(&ref_times),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ReferenceExecutor;
+    use crate::models;
+
+    #[test]
+    fn executor_agrees_with_itself() {
+        let net = models::mlp(8, &[6], 3, 5).unwrap();
+        let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut b = ReferenceExecutor::new(net).unwrap();
+        let x = Tensor::ones([2, 8]);
+        let labels = Tensor::from_slice(&[0.0, 1.0]);
+        let report = test_executor(
+            &mut a,
+            &mut b,
+            &[("x", x.clone()), ("labels", labels.clone())],
+            3,
+        )
+        .unwrap();
+        assert!(report.passes(0.0));
+        let report = test_executor_backprop(
+            &mut a,
+            &mut b,
+            &[("x", x), ("labels", labels)],
+            "loss",
+            3,
+        )
+        .unwrap();
+        assert!(report.passes(0.0));
+        assert!(!report.gradient_norms.is_empty());
+        assert!(report.slowdown() > 0.0);
+    }
+
+    #[test]
+    fn divergent_parameters_fail_validation() {
+        let net_a = models::mlp(4, &[4], 2, 1).unwrap();
+        let net_b = models::mlp(4, &[4], 2, 2).unwrap(); // different seed
+        let mut a = ReferenceExecutor::new(net_a).unwrap();
+        let mut b = ReferenceExecutor::new(net_b).unwrap();
+        let x = Tensor::ones([1, 4]);
+        let labels = Tensor::from_slice(&[0.0]);
+        let report =
+            test_executor(&mut a, &mut b, &[("x", x), ("labels", labels)], 2).unwrap();
+        assert!(!report.passes(1e-6));
+    }
+
+    #[test]
+    fn zero_reruns_rejected() {
+        let net = models::mlp(4, &[], 2, 1).unwrap();
+        let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut b = ReferenceExecutor::new(net).unwrap();
+        assert!(test_executor(&mut a, &mut b, &[], 0).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! The visitor pattern for lowering networks onto backends.
+//!
+//! The paper loads ONNX into an object-oriented representation and then
+//! "uses the Visitor design pattern to invoke Network construction by
+//! calling the right functions" (Fig. 4, Listing 6). A
+//! [`NetworkVisitor`] receives one typed callback per standard operator,
+//! in topological order, with a fallback for custom operators; backends
+//! (the simulated frameworks) implement it to build their own executable
+//! form of the network.
+
+use crate::network::{Network, Node, NodeId};
+use deep500_tensor::Result;
+
+/// Per-operator visitation callbacks. All default to
+/// [`visit_custom`](NetworkVisitor::visit_custom) so a visitor only
+/// overrides the operators it treats specially — exactly like the paper's
+/// `OnnxBaseVisitor` subclasses.
+#[allow(unused_variables)]
+pub trait NetworkVisitor {
+    /// Called before any node.
+    fn begin_network(&mut self, net: &Network) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called after all nodes.
+    fn end_network(&mut self, net: &Network) -> Result<()> {
+        Ok(())
+    }
+
+    /// Fallback for operators without a dedicated callback (including
+    /// user-registered custom operators).
+    fn visit_custom(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        Ok(())
+    }
+
+    fn visit_conv2d(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_linear(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_matmul(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_pool(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_activation(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_softmax(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_batchnorm(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_elementwise(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_dropout(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_loss(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+    fn visit_shape_op(&mut self, id: NodeId, node: &Node, net: &Network) -> Result<()> {
+        self.visit_custom(id, node, net)
+    }
+}
+
+/// Walk `net` in topological order, dispatching each node to the matching
+/// typed callback of `visitor`.
+pub fn traverse(net: &Network, visitor: &mut dyn NetworkVisitor) -> Result<()> {
+    visitor.begin_network(net)?;
+    for id in net.topological_order()? {
+        let node = net.node(id).expect("live node");
+        match node.op_type.as_str() {
+            "Conv2d" => visitor.visit_conv2d(id, node, net)?,
+            "Linear" => visitor.visit_linear(id, node, net)?,
+            "MatMul" => visitor.visit_matmul(id, node, net)?,
+            "MaxPool2d" | "AvgPool2d" | "MedianPool2d" => visitor.visit_pool(id, node, net)?,
+            "Relu" | "Sigmoid" | "Tanh" => visitor.visit_activation(id, node, net)?,
+            "Softmax" => visitor.visit_softmax(id, node, net)?,
+            "BatchNorm" => visitor.visit_batchnorm(id, node, net)?,
+            "Add" | "Sub" | "Mul" | "Div" | "Scale" | "Sqrt" => {
+                visitor.visit_elementwise(id, node, net)?
+            }
+            "Dropout" => visitor.visit_dropout(id, node, net)?,
+            "SoftmaxCrossEntropy" | "MseLoss" => visitor.visit_loss(id, node, net)?,
+            "Reshape" | "Flatten" | "Split" | "Concat" => {
+                visitor.visit_shape_op(id, node, net)?
+            }
+            _ => visitor.visit_custom(id, node, net)?,
+        }
+    }
+    visitor.end_network(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep500_ops::registry::Attributes;
+    use deep500_tensor::Tensor;
+
+    #[derive(Default)]
+    struct Tally {
+        convs: usize,
+        activations: usize,
+        customs: usize,
+        others: usize,
+        began: bool,
+        ended: bool,
+        order: Vec<String>,
+    }
+    impl NetworkVisitor for Tally {
+        fn begin_network(&mut self, _n: &Network) -> Result<()> {
+            self.began = true;
+            Ok(())
+        }
+        fn end_network(&mut self, _n: &Network) -> Result<()> {
+            self.ended = true;
+            Ok(())
+        }
+        fn visit_conv2d(&mut self, _id: NodeId, node: &Node, _n: &Network) -> Result<()> {
+            self.convs += 1;
+            self.order.push(node.name.clone());
+            Ok(())
+        }
+        fn visit_activation(&mut self, _id: NodeId, node: &Node, _n: &Network) -> Result<()> {
+            self.activations += 1;
+            self.order.push(node.name.clone());
+            Ok(())
+        }
+        fn visit_custom(&mut self, _id: NodeId, node: &Node, _n: &Network) -> Result<()> {
+            self.customs += 1;
+            self.order.push(node.name.clone());
+            Ok(())
+        }
+        fn visit_pool(&mut self, _id: NodeId, node: &Node, _n: &Network) -> Result<()> {
+            self.others += 1;
+            self.order.push(node.name.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dispatch_by_op_type_in_topo_order() {
+        let mut net = Network::new("v");
+        net.add_input("x");
+        net.add_parameter("w", Tensor::zeros([2, 1, 3, 3]));
+        net.add_parameter("b", Tensor::zeros([2]));
+        net.add_node(
+            "c1",
+            "Conv2d",
+            Attributes::new().with_int("pad", 1),
+            &["x", "w", "b"],
+            &["h1"],
+        )
+        .unwrap();
+        net.add_node("a1", "Relu", Attributes::new(), &["h1"], &["h2"]).unwrap();
+        net.add_node(
+            "p1",
+            "MaxPool2d",
+            Attributes::new(),
+            &["h2"],
+            &["y"],
+        )
+        .unwrap();
+        net.add_output("y");
+        let mut t = Tally::default();
+        traverse(&net, &mut t).unwrap();
+        assert!(t.began && t.ended);
+        assert_eq!((t.convs, t.activations, t.others, t.customs), (1, 1, 1, 0));
+        assert_eq!(t.order, vec!["c1", "a1", "p1"]);
+    }
+
+    #[test]
+    fn unhandled_ops_fall_back_to_custom() {
+        let mut net = Network::new("v2");
+        net.add_input("x");
+        net.add_node("s", "Sqrt", Attributes::new(), &["x"], &["y"]).unwrap();
+        net.add_output("y");
+        // Tally handles elementwise via default -> custom.
+        let mut t = Tally::default();
+        traverse(&net, &mut t).unwrap();
+        assert_eq!(t.customs, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for Level 1: d5nx round-trips over randomly
+//! generated networks, topological-order validity, shape-inference
+//! agreement with execution, and transformation semantics.
+
+use deep500_graph::format;
+use deep500_graph::network::Network;
+use deep500_graph::transforms::{infer_shapes, microbatch::plan_microbatches};
+use deep500_graph::{GraphExecutor, ReferenceExecutor};
+use deep500_ops::registry::Attributes;
+use deep500_tensor::{Shape, Tensor, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+/// Generate a random feed-forward chain of unary ops over a vector input.
+fn random_chain(ops: &[u8], features: usize, seed: u64) -> Network {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut net = Network::new(format!("chain{seed}"));
+    net.add_input("x");
+    let mut cur = "x".to_string();
+    for (i, &op) in ops.iter().enumerate() {
+        let out = format!("t{i}");
+        match op % 5 {
+            0 => {
+                net.add_node(format!("n{i}"), "Relu", Attributes::new(), &[&cur], &[&out])
+                    .unwrap();
+            }
+            1 => {
+                net.add_node(format!("n{i}"), "Tanh", Attributes::new(), &[&cur], &[&out])
+                    .unwrap();
+            }
+            2 => {
+                net.add_node(
+                    format!("n{i}"),
+                    "Scale",
+                    Attributes::new()
+                        .with_float("alpha", (op as f64) / 31.0 + 0.1)
+                        .with_float("beta", -0.25),
+                    &[&cur],
+                    &[&out],
+                )
+                .unwrap();
+            }
+            3 => {
+                net.add_node(format!("n{i}"), "Sigmoid", Attributes::new(), &[&cur], &[&out])
+                    .unwrap();
+            }
+            _ => {
+                // Dense layer keeps feature count.
+                let w = Tensor::rand_uniform([features, features], -0.5, 0.5, &mut rng);
+                let b = Tensor::rand_uniform([features], -0.1, 0.1, &mut rng);
+                net.add_parameter(format!("w{i}"), w);
+                net.add_parameter(format!("b{i}"), b);
+                net.add_node(
+                    format!("n{i}"),
+                    "Linear",
+                    Attributes::new(),
+                    &[&cur, &format!("w{i}"), &format!("b{i}")],
+                    &[&out],
+                )
+                .unwrap();
+            }
+        }
+        cur = out;
+    }
+    net.add_output(cur);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// d5nx round-trip preserves structure and execution semantics for
+    /// arbitrary generated networks.
+    #[test]
+    fn d5nx_roundtrip_random_networks(
+        ops in prop::collection::vec(any::<u8>(), 1..8),
+        features in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let net = random_chain(&ops, features, seed);
+        let bytes = format::encode(&net);
+        let back = format::decode(&bytes).unwrap();
+        prop_assert_eq!(back.num_nodes(), net.num_nodes());
+        prop_assert_eq!(back.get_params(), net.get_params());
+        // Re-encoding is byte-identical (deterministic format).
+        prop_assert_eq!(format::encode(&back), bytes);
+        // Same outputs.
+        let x = Tensor::rand_uniform(
+            [2, features],
+            -1.0,
+            1.0,
+            &mut Xoshiro256StarStar::seed_from_u64(seed ^ 9),
+        );
+        let mut e1 = ReferenceExecutor::new(net).unwrap();
+        let mut e2 = ReferenceExecutor::new(back).unwrap();
+        let o1 = e1.inference(&[("x", x.clone())]).unwrap();
+        let o2 = e2.inference(&[("x", x)]).unwrap();
+        for (k, v) in &o1 {
+            prop_assert_eq!(v, &o2[k]);
+        }
+    }
+
+    /// Topological order lists every node exactly once, producers first.
+    #[test]
+    fn topo_order_is_valid(
+        ops in prop::collection::vec(any::<u8>(), 1..10),
+        seed in 0u64..100,
+    ) {
+        let net = random_chain(&ops, 3, seed);
+        let order = net.topological_order().unwrap();
+        prop_assert_eq!(order.len(), net.num_nodes());
+        let mut produced: std::collections::HashSet<String> =
+            net.graph_inputs().iter().cloned().collect();
+        for p in net.get_params() {
+            produced.insert(p.clone());
+        }
+        for id in order {
+            let node = net.node(id).unwrap();
+            for i in &node.inputs {
+                prop_assert!(produced.contains(i), "input '{}' not yet produced", i);
+            }
+            for o in &node.outputs {
+                produced.insert(o.clone());
+            }
+        }
+    }
+
+    /// Static shape inference matches the shapes actually produced.
+    #[test]
+    fn shape_inference_matches_execution(
+        ops in prop::collection::vec(any::<u8>(), 1..6),
+        features in 1usize..5,
+        batch in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let net = random_chain(&ops, features, seed);
+        let shapes =
+            infer_shapes(&net, &[("x", Shape::new(&[batch, features]))]).unwrap();
+        let out_name = net.graph_outputs()[0].clone();
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let x = Tensor::zeros([batch, features]);
+        let out = ex.inference(&[("x", x)]).unwrap();
+        prop_assert_eq!(out[&out_name].shape(), &shapes[&out_name]);
+    }
+
+    /// The micro-batch planner always covers the batch, never exceeds the
+    /// memory cap, and puts the remainder (if any) first.
+    #[test]
+    fn microbatch_plan_invariants(
+        batch in 1usize..500,
+        per_sample in 1usize..1000,
+        cap_factor in 1usize..64,
+    ) {
+        let capacity = per_sample * cap_factor;
+        let plan = plan_microbatches(batch, per_sample, capacity, 3, 1).unwrap();
+        prop_assert_eq!(plan.batch(), batch);
+        for &s in &plan.sizes {
+            prop_assert!(s * per_sample <= capacity, "piece {} exceeds cap", s);
+            prop_assert!(s > 0);
+        }
+        // Uniform tail after an optional remainder head.
+        if plan.sizes.len() > 1 {
+            let tail = plan.sizes[1];
+            prop_assert!(plan.sizes[1..].iter().all(|&s| s == tail));
+            prop_assert!(plan.sizes[0] <= tail);
+        }
+        prop_assert_eq!(plan.algorithms.len(), plan.sizes.len());
+    }
+
+    /// Gradients exist for every parameter after backprop through any
+    /// generated chain ending in a loss.
+    #[test]
+    fn backprop_reaches_all_parameters(
+        ops in prop::collection::vec(any::<u8>(), 1..6),
+        seed in 0u64..100,
+    ) {
+        let mut net = random_chain(&ops, 4, seed);
+        let out = net.graph_outputs()[0].clone();
+        net.add_input("target");
+        net.add_node("loss_n", "MseLoss", Attributes::new(), &[&out, "target"], &["loss"])
+            .unwrap();
+        net.add_output("loss");
+        let nparams = net.get_params().len();
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let x = Tensor::ones([2, 4]);
+        let t = Tensor::zeros([2, 4]);
+        ex.inference_and_backprop(&[("x", x), ("target", t)], "loss").unwrap();
+        let with_grads = ex
+            .network()
+            .get_params()
+            .iter()
+            .filter(|p| ex.network().has_tensor(&deep500_graph::grad_name(p)))
+            .count();
+        prop_assert_eq!(with_grads, nparams);
+    }
+}

@@ -1,0 +1,198 @@
+//! Executor and training-loop event hooks.
+//!
+//! Events are the paper's mechanism for fine-grained measurements and early
+//! exits: "user-specified hooks that are called at certain points during
+//! complex actions such as backpropagation and training". Graph executors
+//! call [`Event::begin`]/[`Event::end`] around each phase; a hook may request
+//! early termination (e.g. an early-stopping criterion) via
+//! [`Event::should_stop`].
+
+/// The instrumentable phases of Deep500 execution, ordered from innermost
+/// (single operator) to outermost (whole training run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// One operator's forward computation; `id` is the node id.
+    OperatorForward,
+    /// One operator's backward computation; `id` is the node id.
+    OperatorBackward,
+    /// A whole-network inference pass.
+    Inference,
+    /// A whole-network inference + backpropagation pass.
+    Backprop,
+    /// One optimizer step (sample → update).
+    Iteration,
+    /// One pass over the training set.
+    Epoch,
+    /// Loading/sampling one minibatch.
+    Sampling,
+    /// A distributed communication operation (allreduce, push/pull, ...).
+    Communication,
+}
+
+/// A hook invoked by executors, optimizers and runners.
+///
+/// All methods have no-op defaults so implementors only override what they
+/// need. A metric type can implement both `Event` and
+/// [`TestMetric`](crate::TestMetric), mirroring the paper's dual-inheritance
+/// pattern.
+pub trait Event: Send {
+    /// Called when `phase` begins; `id` identifies the instance (node id,
+    /// epoch number, iteration number — phase dependent).
+    fn begin(&mut self, phase: Phase, id: usize) {
+        let _ = (phase, id);
+    }
+
+    /// Called when `phase` ends.
+    fn end(&mut self, phase: Phase, id: usize) {
+        let _ = (phase, id);
+    }
+
+    /// Polled by runners after each iteration/epoch; returning `true`
+    /// requests an early exit (the paper's early-stopping condition hook).
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// A heterogeneous list of event hooks, dispatched in registration order.
+#[derive(Default)]
+pub struct EventList {
+    hooks: Vec<Box<dyn Event>>,
+}
+
+impl EventList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a hook.
+    pub fn push(&mut self, hook: Box<dyn Event>) {
+        self.hooks.push(hook);
+    }
+
+    /// Number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Whether no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+
+    /// Broadcast `begin` to all hooks.
+    pub fn begin(&mut self, phase: Phase, id: usize) {
+        for h in &mut self.hooks {
+            h.begin(phase, id);
+        }
+    }
+
+    /// Broadcast `end` to all hooks.
+    pub fn end(&mut self, phase: Phase, id: usize) {
+        for h in &mut self.hooks {
+            h.end(phase, id);
+        }
+    }
+
+    /// `true` if any hook requests a stop.
+    pub fn should_stop(&self) -> bool {
+        self.hooks.iter().any(|h| h.should_stop())
+    }
+}
+
+impl Event for EventList {
+    fn begin(&mut self, phase: Phase, id: usize) {
+        EventList::begin(self, phase, id)
+    }
+    fn end(&mut self, phase: Phase, id: usize) {
+        EventList::end(self, phase, id)
+    }
+    fn should_stop(&self) -> bool {
+        EventList::should_stop(self)
+    }
+}
+
+/// An early-stopping hook that trips after a fixed number of `Iteration`
+/// ends — useful for bounding benchmark runs.
+pub struct StopAfterIterations {
+    remaining: usize,
+}
+
+impl StopAfterIterations {
+    /// Stop once `n` iterations have completed.
+    pub fn new(n: usize) -> Self {
+        Self { remaining: n }
+    }
+}
+
+impl Event for StopAfterIterations {
+    fn end(&mut self, phase: Phase, _id: usize) {
+        if phase == Phase::Iteration && self.remaining > 0 {
+            self.remaining -= 1;
+        }
+    }
+    fn should_stop(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        begun: Vec<(Phase, usize)>,
+        ended: Vec<(Phase, usize)>,
+    }
+    impl Event for Recorder {
+        fn begin(&mut self, phase: Phase, id: usize) {
+            self.begun.push((phase, id));
+        }
+        fn end(&mut self, phase: Phase, id: usize) {
+            self.ended.push((phase, id));
+        }
+    }
+
+    #[test]
+    fn event_list_broadcasts() {
+        let mut list = EventList::new();
+        list.push(Box::new(StopAfterIterations::new(2)));
+        assert_eq!(list.len(), 1);
+        assert!(!list.should_stop());
+        list.end(Phase::Iteration, 0);
+        assert!(!list.should_stop());
+        list.end(Phase::Iteration, 1);
+        assert!(list.should_stop());
+    }
+
+    #[test]
+    fn stop_after_ignores_other_phases() {
+        let mut s = StopAfterIterations::new(1);
+        s.end(Phase::Epoch, 0);
+        assert!(!s.should_stop());
+        s.end(Phase::Iteration, 0);
+        assert!(s.should_stop());
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        struct Nop;
+        impl Event for Nop {}
+        let mut n = Nop;
+        n.begin(Phase::Inference, 0);
+        n.end(Phase::Inference, 0);
+        assert!(!n.should_stop());
+    }
+
+    #[test]
+    fn recorder_sees_ids() {
+        let mut list = EventList::new();
+        list.push(Box::new(Recorder { begun: vec![], ended: vec![] }));
+        list.begin(Phase::OperatorForward, 7);
+        list.end(Phase::OperatorForward, 7);
+        // (internal state not observable through the trait object; this test
+        // exercises the dispatch path)
+        assert!(!list.is_empty());
+    }
+}

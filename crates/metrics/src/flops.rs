@@ -1,0 +1,122 @@
+//! Floating-point-operation counting.
+//!
+//! Deep500 reports FLOPs as a per-operator and per-network performance
+//! metric. Operators declare their analytical FLOP cost; this metric
+//! accumulates those counts and, combined with wallclock time, yields
+//! FLOP/s rates.
+
+use crate::{MetricValue, TestMetric};
+
+/// Accumulates floating-point-operation counts.
+#[derive(Debug, Default)]
+pub struct FlopsMetric {
+    total: f64,
+}
+
+impl FlopsMetric {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `flops` operations.
+    pub fn add(&mut self, flops: f64) {
+        self.total += flops;
+    }
+
+    /// Total operations counted.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Rate in FLOP/s given elapsed seconds.
+    pub fn rate(&self, seconds: f64) -> f64 {
+        if seconds > 0.0 {
+            self.total / seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl TestMetric for FlopsMetric {
+    fn name(&self) -> &str {
+        "flops"
+    }
+    fn observe(&mut self, value: f64) {
+        self.add(value);
+    }
+    fn summarize(&self) -> MetricValue {
+        MetricValue::Scalar(self.total)
+    }
+    fn reset(&mut self) {
+        self.total = 0.0;
+    }
+}
+
+/// Analytical FLOP counts for the standard dense kernels, shared by the
+/// operator implementations and the benchmark harnesses.
+pub mod counts {
+    /// GEMM `C[MxN] = A[MxK] * B[KxN]`: one multiply + one add per inner step.
+    pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+        2.0 * m as f64 * n as f64 * k as f64
+    }
+
+    /// Direct 2-D convolution with `n` images, `c_in`/`c_out` channels,
+    /// `h_out * w_out` output pixels and a `kh x kw` kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        n: usize,
+        c_in: usize,
+        c_out: usize,
+        h_out: usize,
+        w_out: usize,
+        kh: usize,
+        kw: usize,
+    ) -> f64 {
+        2.0 * n as f64 * c_out as f64 * h_out as f64 * w_out as f64 * c_in as f64 * kh as f64
+            * kw as f64
+    }
+
+    /// Elementwise op over `len` values, `ops_per_element` FLOPs each.
+    pub fn elementwise(len: usize, ops_per_element: usize) -> f64 {
+        len as f64 * ops_per_element as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_rates() {
+        let mut f = FlopsMetric::new();
+        f.add(100.0);
+        f.observe(50.0);
+        assert_eq!(f.total(), 150.0);
+        assert_eq!(f.rate(3.0), 50.0);
+        assert!(f.rate(0.0).is_infinite());
+        f.reset();
+        assert_eq!(f.total(), 0.0);
+    }
+
+    #[test]
+    fn gemm_count() {
+        assert_eq!(counts::gemm(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    fn conv_count_matches_im2col_gemm() {
+        // conv as GEMM: M=c_out, N=n*h_out*w_out, K=c_in*kh*kw
+        let (n, ci, co, ho, wo, kh, kw) = (2, 3, 8, 5, 5, 3, 3);
+        assert_eq!(
+            counts::conv2d(n, ci, co, ho, wo, kh, kw),
+            counts::gemm(co, n * ho * wo, ci * kh * kw)
+        );
+    }
+
+    #[test]
+    fn elementwise_count() {
+        assert_eq!(counts::elementwise(10, 2), 20.0);
+    }
+}

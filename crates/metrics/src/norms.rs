@@ -1,0 +1,143 @@
+//! Accuracy metrics based on vector norms.
+//!
+//! Deep500 validates correctness "in the form of ℓ1, ℓ2, ℓ∞ norms" of the
+//! difference between a candidate output and a reference output (§III-E).
+//! These functions operate on flat `f32` slices — the canonical tensor
+//! storage — and compute in `f64` for stable accumulation.
+
+/// ℓ1 norm of `a - b` (sum of absolute differences).
+pub fn l1_diff(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm operands must match in length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum()
+}
+
+/// ℓ2 norm of `a - b` (Euclidean distance).
+pub fn l2_diff(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm operands must match in length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// ℓ∞ norm of `a - b` (maximum absolute difference) — the statistic the
+/// paper reports for framework-vs-reference operator correctness (≈7e-4).
+pub fn linf_diff(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm operands must match in length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// ℓ2 norm of a single vector.
+pub fn l2(a: &[f32]) -> f64 {
+    a.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt()
+}
+
+/// Maximum absolute *relative* error, with absolute fallback below `atol`
+/// to avoid division blow-ups near zero.
+pub fn max_relative_error(a: &[f32], b: &[f32], atol: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "norm operands must match in length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let (x, y) = (x as f64, y as f64);
+            let diff = (x - y).abs();
+            let scale = x.abs().max(y.abs());
+            if scale < atol {
+                diff
+            } else {
+                diff / scale
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// All three difference norms at once, as reported by `test_forward`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffNorms {
+    pub l1: f64,
+    pub l2: f64,
+    pub linf: f64,
+}
+
+impl DiffNorms {
+    /// Compute all norms of `a - b`.
+    pub fn of(a: &[f32], b: &[f32]) -> DiffNorms {
+        DiffNorms {
+            l1: l1_diff(a, b),
+            l2: l2_diff(a, b),
+            linf: linf_diff(a, b),
+        }
+    }
+
+    /// True if `linf <= tol` — the pass criterion used by validation.
+    pub fn within(&self, tol: f64) -> bool {
+        self.linf <= tol
+    }
+}
+
+impl std::fmt::Display for DiffNorms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "l1={:.3e} l2={:.3e} linf={:.3e}",
+            self.l1, self.l2, self.linf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_norms() {
+        let a = [1.0f32, -2.0, 3.0];
+        let d = DiffNorms::of(&a, &a);
+        assert_eq!((d.l1, d.l2, d.linf), (0.0, 0.0, 0.0));
+        assert!(d.within(0.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let a = [0.0f32, 0.0, 0.0];
+        let b = [3.0f32, -4.0, 0.0];
+        assert_eq!(l1_diff(&a, &b), 7.0);
+        assert_eq!(l2_diff(&a, &b), 5.0);
+        assert_eq!(linf_diff(&a, &b), 4.0);
+        assert_eq!(l2(&b), 5.0);
+    }
+
+    #[test]
+    fn relative_error_uses_absolute_fallback() {
+        let a = [1e-12f32];
+        let b = [2e-12f32];
+        // scale below atol -> absolute difference, tiny
+        assert!(max_relative_error(&a, &b, 1e-6) < 1e-10);
+        let a = [100.0f32];
+        let b = [101.0f32];
+        assert!((max_relative_error(&a, &b, 1e-6) - 1.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn length_mismatch_panics() {
+        l1_diff(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let d = DiffNorms { l1: 1.0, l2: 2.0, linf: 3.0 };
+        let s = format!("{d}");
+        assert!(s.contains("linf=3.000e0"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Wallclock-time measurement.
+
+use crate::event::{Event, Phase};
+use crate::stats::Summary;
+use crate::{MetricValue, TestMetric};
+use std::time::Instant;
+
+/// A simple scope timer returning elapsed seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn start() -> Timer {
+        Timer { start: Instant::now() }
+    }
+
+    /// Elapsed seconds since `start`.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed milliseconds since `start`.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_s() * 1e3
+    }
+
+    /// Time a closure, returning `(result, seconds)`.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let t = Timer::start();
+        let r = f();
+        (r, t.elapsed_s())
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// The paper's wallclock-time metric: accumulates per-run durations (in
+/// seconds), wants 30 re-runs, and summarizes to the median. It also
+/// implements [`Event`], timing a chosen [`Phase`] when attached to an
+/// executor or runner.
+pub struct WallclockTime {
+    name: String,
+    phase: Phase,
+    samples: Vec<f64>,
+    pending: Option<Instant>,
+    reruns: usize,
+}
+
+impl WallclockTime {
+    /// Wallclock metric timing `phase`, defaulting to 30 re-runs.
+    pub fn new(phase: Phase) -> Self {
+        WallclockTime {
+            name: format!("wallclock[{phase:?}]"),
+            phase,
+            samples: Vec::new(),
+            pending: None,
+            reruns: 30,
+        }
+    }
+
+    /// Override the requested number of re-runs.
+    pub fn with_reruns(mut self, n: usize) -> Self {
+        self.reruns = n;
+        self
+    }
+
+    /// All recorded durations, seconds.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Full summary (median, quartiles, 95% CI).
+    pub fn summary(&self) -> Option<Summary> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(Summary::of(&self.samples))
+        }
+    }
+}
+
+impl TestMetric for WallclockTime {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn reruns(&self) -> usize {
+        self.reruns
+    }
+    fn observe(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+    fn summarize(&self) -> MetricValue {
+        match self.summary() {
+            Some(s) => MetricValue::Scalar(s.median),
+            None => MetricValue::Scalar(f64::NAN),
+        }
+    }
+    fn reset(&mut self) {
+        self.samples.clear();
+        self.pending = None;
+    }
+}
+
+impl Event for WallclockTime {
+    fn begin(&mut self, phase: Phase, _id: usize) {
+        if phase == self.phase {
+            self.pending = Some(Instant::now());
+        }
+    }
+    fn end(&mut self, phase: Phase, _id: usize) {
+        if phase == self.phase {
+            if let Some(start) = self.pending.take() {
+                self.samples.push(start.elapsed().as_secs_f64());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_something() {
+        let (v, secs) = Timer::time(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn wallclock_event_accumulates() {
+        let mut m = WallclockTime::new(Phase::Inference);
+        for i in 0..3 {
+            m.begin(Phase::Inference, i);
+            m.end(Phase::Inference, i);
+        }
+        // Other phases must be ignored.
+        m.begin(Phase::Epoch, 0);
+        m.end(Phase::Epoch, 0);
+        assert_eq!(m.samples().len(), 3);
+        assert!(m.summarize().as_scalar().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn wallclock_reruns_default_and_override() {
+        let m = WallclockTime::new(Phase::Inference);
+        assert_eq!(m.reruns(), 30);
+        let m = m.with_reruns(5);
+        assert_eq!(m.reruns(), 5);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let mut m = WallclockTime::new(Phase::Backprop);
+        m.end(Phase::Backprop, 0);
+        assert!(m.samples().is_empty());
+        m.reset();
+        assert!(m.summary().is_none());
+    }
+}

@@ -1,0 +1,478 @@
+//! 2-D convolution (NCHW), with the paper's algorithm diversity.
+//!
+//! The paper's motivating examples stress that convolutions "can be
+//! computed using different methods, e.g., im2col or Winograd"; the Level-1
+//! micro-batch experiment even assigns *different* algorithms to different
+//! micro-batch sizes (Fig. 7). We implement three interchangeable
+//! algorithms:
+//!
+//! * [`ConvAlgorithm::Direct`] — seven-loop direct convolution,
+//!   parallelized over images,
+//! * [`ConvAlgorithm::Im2col`] — lowering to GEMM (the "implicit precompute
+//!   GEMM" of the paper's figure), sharing the Level-0 GEMM kernels,
+//! * [`ConvAlgorithm::Winograd`] — F(2×2, 3×3) Winograd for stride-1 3×3
+//!   kernels (falls back to im2col otherwise), with genuinely different
+//!   floating-point rounding, which is what makes the paper's ℓ∞
+//!   cross-implementation comparisons non-trivial.
+//!
+//! Inputs follow ONNX `Conv`: `X [N,C,H,W]`, `W [Cout,Cin,kh,kw]`,
+//! `B [Cout]`.
+
+pub mod winograd;
+
+use crate::gemm;
+use crate::operator::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor};
+use rayon::prelude::*;
+
+/// Convolution algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvAlgorithm {
+    Direct,
+    #[default]
+    Im2col,
+    Winograd,
+}
+
+/// Resolved convolution dimensions:
+/// `(n, c, h, w, c_out, kh, kw, h_out, w_out)`.
+pub type ConvDims = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+
+/// Geometry of a convolution: stride and symmetric zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial extent for input extent `h` and kernel extent `k`.
+    pub fn out_extent(&self, h: usize, k: usize) -> Result<usize> {
+        let padded = h + 2 * self.pad;
+        if k == 0 || self.stride == 0 {
+            return Err(Error::Invalid("kernel/stride must be nonzero".into()));
+        }
+        if padded < k {
+            return Err(Error::ShapeMismatch(format!(
+                "kernel {k} larger than padded input {padded}"
+            )));
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+}
+
+/// The 2-D convolution operator.
+#[derive(Debug, Clone)]
+pub struct Conv2dOp {
+    pub geometry: ConvGeometry,
+    pub algo: ConvAlgorithm,
+}
+
+impl Conv2dOp {
+    /// Convolution with the given stride/padding and algorithm.
+    pub fn new(stride: usize, pad: usize, algo: ConvAlgorithm) -> Self {
+        Conv2dOp {
+            geometry: ConvGeometry { stride, pad },
+            algo,
+        }
+    }
+
+    fn dims(&self, x: &Shape, w: &Shape) -> Result<ConvDims> {
+        if x.rank() != 4 || w.rank() != 4 {
+            return Err(Error::ShapeMismatch(format!(
+                "Conv2d: X {x} and W {w} must be rank 4"
+            )));
+        }
+        let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (co, ci, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+        if ci != c {
+            return Err(Error::ShapeMismatch(format!(
+                "Conv2d: input channels {c} vs kernel channels {ci}"
+            )));
+        }
+        let ho = self.geometry.out_extent(h, kh)?;
+        let wo = self.geometry.out_extent(wd, kw)?;
+        Ok((n, c, h, wd, co, kh, kw, ho, wo))
+    }
+}
+
+impl Operator for Conv2dOp {
+    fn name(&self) -> &str {
+        "Conv2d"
+    }
+    fn num_inputs(&self) -> usize {
+        3
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        let (n, _, _, _, co, _, _, ho, wo) = self.dims(s[0], s[1])?;
+        if s[2].numel() != co {
+            return Err(Error::ShapeMismatch(format!(
+                "Conv2d bias {} vs {co} output channels",
+                s[2]
+            )));
+        }
+        Ok(vec![Shape::new(&[n, co, ho, wo])])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
+        let g = self.geometry;
+        let out = match self.algo {
+            ConvAlgorithm::Direct => forward_direct(x, w, b, g)?,
+            ConvAlgorithm::Im2col => forward_im2col(x, w, b, g)?,
+            ConvAlgorithm::Winograd => {
+                if w.shape().dim(2) == 3 && w.shape().dim(3) == 3 && g.stride == 1 {
+                    winograd::forward_winograd_3x3(x, w, b, g.pad)?
+                } else {
+                    forward_im2col(x, w, b, g)?
+                }
+            }
+        };
+        Ok(vec![out])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        backward_direct(grad_outputs[0], inputs[0], inputs[1], self.geometry)
+    }
+    fn flops(&self, s: &[&Shape]) -> f64 {
+        match self.dims(s[0], s[1]) {
+            Ok((n, c, _, _, co, kh, kw, ho, wo)) => {
+                deep500_metrics::flops::counts::conv2d(n, c, co, ho, wo, kh, kw)
+            }
+            Err(_) => 0.0,
+        }
+    }
+    fn workspace_bytes(&self, s: &[&Shape]) -> usize {
+        // Models a framework-style whole-batch lowering buffer: im2col
+        // materializes [N * C*kh*kw * Ho*Wo] floats; Winograd keeps
+        // transformed tiles (16/4 floats per output element per channel).
+        // This batch-proportional workspace is exactly what the micro-batch
+        // transformation (Fig. 7) reduces. Direct convolution needs none.
+        match self.dims(s[0], s[1]) {
+            Ok((n, c, _, _, _co, kh, kw, ho, wo)) => match self.algo {
+                ConvAlgorithm::Direct => 0,
+                ConvAlgorithm::Im2col => n * c * kh * kw * ho * wo * 4,
+                ConvAlgorithm::Winograd => n * c * ho * wo * 4 * 4,
+            },
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Padded fetch: `x[n, c, h, w]` with zero padding outside bounds.
+#[inline]
+#[allow(clippy::too_many_arguments)] // inner-kernel plumbing: all scalars
+fn fetch(x: &[f32], c: usize, hd: usize, wd: usize, n: usize, ci: usize, h: isize, w: isize) -> f32 {
+    if h < 0 || w < 0 || h as usize >= hd || w as usize >= wd {
+        0.0
+    } else {
+        x[((n * c + ci) * hd + h as usize) * wd + w as usize]
+    }
+}
+
+/// Direct convolution, parallel over images.
+pub fn forward_direct(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, wd) = {
+        let s = x.shape();
+        (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+    };
+    let (co, _ci, kh, kw) = {
+        let s = w.shape();
+        (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+    };
+    let ho = g.out_extent(h, kh)?;
+    let wo = g.out_extent(wd, kw)?;
+    let mut out = Tensor::zeros([n, co, ho, wo]);
+    let (xd, wdat, bd) = (x.data(), w.data(), b.data());
+    out.data_mut()
+        .par_chunks_mut(co * ho * wo)
+        .enumerate()
+        .for_each(|(img, optr)| {
+            for oc in 0..co {
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        let mut acc = bd[oc];
+                        for ic in 0..c {
+                            for fh in 0..kh {
+                                for fw in 0..kw {
+                                    let ih = (oh * g.stride + fh) as isize - g.pad as isize;
+                                    let iw = (ow * g.stride + fw) as isize - g.pad as isize;
+                                    let v = fetch(xd, c, h, wd, img, ic, ih, iw);
+                                    acc += v * wdat[((oc * c + ic) * kh + fh) * kw + fw];
+                                }
+                            }
+                        }
+                        optr[(oc * ho + oh) * wo + ow] = acc;
+                    }
+                }
+            }
+        });
+    Ok(out)
+}
+
+/// Lower one image into a column matrix `[C*kh*kw, ho*wo]`.
+#[allow(clippy::too_many_arguments)] // kernel plumbing: all scalars
+fn im2col_image(
+    xd: &[f32],
+    img: usize,
+    c: usize,
+    h: usize,
+    wd: usize,
+    kh: usize,
+    kw: usize,
+    ho: usize,
+    wo: usize,
+    g: ConvGeometry,
+    col: &mut [f32],
+) {
+    let cols = ho * wo;
+    for ic in 0..c {
+        for fh in 0..kh {
+            for fw in 0..kw {
+                let row = (ic * kh + fh) * kw + fw;
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        let ih = (oh * g.stride + fh) as isize - g.pad as isize;
+                        let iw = (ow * g.stride + fw) as isize - g.pad as isize;
+                        col[row * cols + oh * wo + ow] = fetch(xd, c, h, wd, img, ic, ih, iw);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// im2col + GEMM convolution, parallel over images.
+pub fn forward_im2col(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, wd) = {
+        let s = x.shape();
+        (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+    };
+    let (co, _ci, kh, kw) = {
+        let s = w.shape();
+        (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+    };
+    let ho = g.out_extent(h, kh)?;
+    let wo = g.out_extent(wd, kw)?;
+    let mut out = Tensor::zeros([n, co, ho, wo]);
+    let k = c * kh * kw;
+    let cols = ho * wo;
+    let (xd, wdat, bd) = (x.data(), w.data(), b.data());
+    out.data_mut()
+        .par_chunks_mut(co * cols)
+        .enumerate()
+        .for_each(|(img, optr)| {
+            let mut col = vec![0.0f32; k * cols];
+            im2col_image(xd, img, c, h, wd, kh, kw, ho, wo, g, &mut col);
+            // W [co x k] * col [k x cols] -> out [co x cols]
+            gemm::gemm(gemm::Algorithm::Blocked, co, cols, k, wdat, &col, optr);
+            for oc in 0..co {
+                let bias = bd[oc];
+                for v in &mut optr[oc * cols..(oc + 1) * cols] {
+                    *v += bias;
+                }
+            }
+        });
+    Ok(out)
+}
+
+/// Direct backward pass: gradients w.r.t. input, weights, bias.
+pub fn backward_direct(
+    dy: &Tensor,
+    x: &Tensor,
+    w: &Tensor,
+    g: ConvGeometry,
+) -> Result<Vec<Tensor>> {
+    let (n, c, h, wd) = {
+        let s = x.shape();
+        (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+    };
+    let (co, _ci, kh, kw) = {
+        let s = w.shape();
+        (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
+    };
+    let ho = g.out_extent(h, kh)?;
+    let wo = g.out_extent(wd, kw)?;
+    if dy.shape() != &Shape::new(&[n, co, ho, wo]) {
+        return Err(Error::ShapeMismatch(format!(
+            "Conv2d backward: dY shape {} vs expected [{n}x{co}x{ho}x{wo}]",
+            dy.shape()
+        )));
+    }
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dw = Tensor::zeros(w.shape().clone());
+    let mut db = Tensor::zeros([co]);
+    let (dyd, xd, wdat) = (dy.data(), x.data(), w.data());
+    {
+        let dxd = dx.data_mut();
+        for img in 0..n {
+            for oc in 0..co {
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        let gval = dyd[((img * co + oc) * ho + oh) * wo + ow];
+                        if gval == 0.0 {
+                            continue;
+                        }
+                        for ic in 0..c {
+                            for fh in 0..kh {
+                                for fw in 0..kw {
+                                    let ih = (oh * g.stride + fh) as isize - g.pad as isize;
+                                    let iw = (ow * g.stride + fw) as isize - g.pad as isize;
+                                    if ih < 0 || iw < 0 || ih as usize >= h || iw as usize >= wd {
+                                        continue;
+                                    }
+                                    let xoff =
+                                        ((img * c + ic) * h + ih as usize) * wd + iw as usize;
+                                    dxd[xoff] += gval * wdat[((oc * c + ic) * kh + fh) * kw + fw];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    {
+        let dwd = dw.data_mut();
+        let dbd = db.data_mut();
+        for img in 0..n {
+            for oc in 0..co {
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        let gval = dyd[((img * co + oc) * ho + oh) * wo + ow];
+                        dbd[oc] += gval;
+                        if gval == 0.0 {
+                            continue;
+                        }
+                        for ic in 0..c {
+                            for fh in 0..kh {
+                                for fw in 0..kw {
+                                    let ih = (oh * g.stride + fh) as isize - g.pad as isize;
+                                    let iw = (ow * g.stride + fw) as isize - g.pad as isize;
+                                    let v = fetch(xd, c, h, wd, img, ic, ih, iw);
+                                    dwd[((oc * c + ic) * kh + fh) * kw + fw] += gval * v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(vec![dx, dw, db])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep500_metrics::norms::linf_diff;
+    use deep500_tensor::rng::Xoshiro256StarStar;
+
+    fn rand_case(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        co: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Tensor, Tensor, Tensor) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (
+            Tensor::rand_uniform([n, c, h, w], -1.0, 1.0, &mut rng),
+            Tensor::rand_uniform([co, c, k, k], -0.5, 0.5, &mut rng),
+            Tensor::rand_uniform([co], -0.1, 0.1, &mut rng),
+        )
+    }
+
+    #[test]
+    fn output_shapes_computed() {
+        let op = Conv2dOp::new(2, 1, ConvAlgorithm::Direct);
+        let x = Shape::new(&[2, 3, 8, 8]);
+        let w = Shape::new(&[4, 3, 3, 3]);
+        let b = Shape::new(&[4]);
+        let out = op.output_shapes(&[&x, &w, &b]).unwrap();
+        // (8 + 2 - 3)/2 + 1 = 4
+        assert_eq!(out[0], Shape::new(&[2, 4, 4, 4]));
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let op = Conv2dOp::new(1, 0, ConvAlgorithm::Direct);
+        let x = Shape::new(&[1, 1, 2, 2]);
+        let w = Shape::new(&[1, 1, 5, 5]);
+        let b = Shape::new(&[1]);
+        assert!(op.output_shapes(&[&x, &w, &b]).is_err());
+        let w2 = Shape::new(&[1, 3, 2, 2]); // channel mismatch
+        assert!(op.output_shapes(&[&x, &w2, &b]).is_err());
+    }
+
+    #[test]
+    fn known_1x1_convolution() {
+        // 1x1 kernel with weight 2 and bias 1 is an affine map.
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![2.0]).unwrap();
+        let b = Tensor::from_slice(&[1.0]);
+        let op = Conv2dOp::new(1, 0, ConvAlgorithm::Direct);
+        let y = op.forward(&[&x, &w, &b]).unwrap();
+        assert_eq!(y[0].data(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn algorithms_agree() {
+        let (x, w, b) = rand_case(2, 3, 9, 9, 4, 3, 7);
+        let direct = Conv2dOp::new(1, 1, ConvAlgorithm::Direct)
+            .forward(&[&x, &w, &b])
+            .unwrap();
+        let im2col = Conv2dOp::new(1, 1, ConvAlgorithm::Im2col)
+            .forward(&[&x, &w, &b])
+            .unwrap();
+        let wino = Conv2dOp::new(1, 1, ConvAlgorithm::Winograd)
+            .forward(&[&x, &w, &b])
+            .unwrap();
+        assert!(linf_diff(direct[0].data(), im2col[0].data()) < 1e-4);
+        assert!(
+            linf_diff(direct[0].data(), wino[0].data()) < 1e-3,
+            "winograd error {}",
+            linf_diff(direct[0].data(), wino[0].data())
+        );
+    }
+
+    #[test]
+    fn strided_algorithms_agree() {
+        let (x, w, b) = rand_case(1, 2, 11, 11, 3, 5, 9);
+        let direct = Conv2dOp::new(2, 2, ConvAlgorithm::Direct)
+            .forward(&[&x, &w, &b])
+            .unwrap();
+        let im2col = Conv2dOp::new(2, 2, ConvAlgorithm::Im2col)
+            .forward(&[&x, &w, &b])
+            .unwrap();
+        assert!(linf_diff(direct[0].data(), im2col[0].data()) < 1e-4);
+    }
+
+    #[test]
+    fn bias_gradient_is_output_sum() {
+        let (x, w, b) = rand_case(2, 2, 5, 5, 3, 3, 11);
+        let op = Conv2dOp::new(1, 1, ConvAlgorithm::Direct);
+        let y = op.forward(&[&x, &w, &b]).unwrap();
+        let dy = Tensor::ones(y[0].shape().clone());
+        let grads = op.backward(&[&dy], &[&x, &w, &b], &[&y[0]]).unwrap();
+        let per_channel = y[0].shape().dim(0) * y[0].shape().dim(2) * y[0].shape().dim(3);
+        for &g in grads[2].data() {
+            assert!((g - per_channel as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn flops_match_formula() {
+        let op = Conv2dOp::new(1, 0, ConvAlgorithm::Direct);
+        let x = Shape::new(&[1, 1, 3, 3]);
+        let w = Shape::new(&[1, 1, 3, 3]);
+        let b = Shape::new(&[1]);
+        // single output pixel, 9 MACs = 18 FLOPs
+        assert_eq!(op.flops(&[&x, &w, &b]), 18.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Winograd F(2×2, 3×3) convolution.
+//!
+//! The minimal-filtering algorithm of Lavin & Gray reduces the
+//! multiplications per 2×2 output tile from 36 to 16 by transforming 4×4
+//! input tiles and 3×3 filters into a 4×4 "Winograd domain", multiplying
+//! elementwise, and transforming back:
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! The rounding behaviour intentionally differs from direct/im2col
+//! convolution, which is exactly why the paper compares implementations by
+//! ℓ∞ norm instead of bit equality.
+
+use super::ConvGeometry;
+use deep500_tensor::{Result, Tensor};
+use rayon::prelude::*;
+
+/// `Bᵀ d B` for a 4×4 tile `d` (input transform).
+#[inline]
+fn input_transform(d: &[f32; 16], out: &mut [f32; 16]) {
+    // Bt = [1  0 -1  0; 0  1  1  0; 0 -1  1  0; 0  1  0 -1]
+    let mut tmp = [0.0f32; 16];
+    // tmp = Bt * d
+    for c in 0..4 {
+        tmp[c] = d[c] - d[8 + c];
+        tmp[4 + c] = d[4 + c] + d[8 + c];
+        tmp[8 + c] = -d[4 + c] + d[8 + c];
+        tmp[12 + c] = d[4 + c] - d[12 + c];
+    }
+    // out = tmp * B  (B = Btᵀ)
+    for r in 0..4 {
+        let t = &tmp[4 * r..4 * r + 4];
+        out[4 * r] = t[0] - t[2];
+        out[4 * r + 1] = t[1] + t[2];
+        out[4 * r + 2] = -t[1] + t[2];
+        out[4 * r + 3] = t[1] - t[3];
+    }
+}
+
+/// `G g Gᵀ` for a 3×3 filter `g` (filter transform, result 4×4).
+#[inline]
+fn filter_transform(g: &[f32]) -> [f32; 16] {
+    // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+    let mut tmp = [0.0f32; 12]; // 4x3 = G * g
+    for c in 0..3 {
+        let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+        tmp[c] = g0;
+        tmp[3 + c] = 0.5 * (g0 + g1 + g2);
+        tmp[6 + c] = 0.5 * (g0 - g1 + g2);
+        tmp[9 + c] = g2;
+    }
+    let mut out = [0.0f32; 16]; // tmp * Gᵀ
+    for r in 0..4 {
+        let (t0, t1, t2) = (tmp[3 * r], tmp[3 * r + 1], tmp[3 * r + 2]);
+        out[4 * r] = t0;
+        out[4 * r + 1] = 0.5 * (t0 + t1 + t2);
+        out[4 * r + 2] = 0.5 * (t0 - t1 + t2);
+        out[4 * r + 3] = t2;
+    }
+    out
+}
+
+/// `Aᵀ m A` for a 4×4 Winograd-domain tile `m` (output transform, 2×2).
+#[inline]
+fn output_transform(m: &[f32; 16]) -> [f32; 4] {
+    // At = [1 1 1 0; 0 1 -1 -1]
+    let mut tmp = [0.0f32; 8]; // 2x4 = At * m
+    for c in 0..4 {
+        tmp[c] = m[c] + m[4 + c] + m[8 + c];
+        tmp[4 + c] = m[4 + c] - m[8 + c] - m[12 + c];
+    }
+    [
+        tmp[0] + tmp[1] + tmp[2],
+        tmp[1] - tmp[2] - tmp[3],
+        tmp[4] + tmp[5] + tmp[6],
+        tmp[5] - tmp[6] - tmp[7],
+    ]
+}
+
+/// Winograd F(2×2,3×3) forward convolution for stride-1 3×3 kernels,
+/// arbitrary symmetric padding. Parallel over images.
+pub fn forward_winograd_3x3(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Result<Tensor> {
+    let s = x.shape();
+    let (n, c, h, wd) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let co = w.shape().dim(0);
+    let g = ConvGeometry { stride: 1, pad };
+    let ho = g.out_extent(h, 3)?;
+    let wo = g.out_extent(wd, 3)?;
+
+    // Pre-transform all filters: [co][c] -> 4x4.
+    let wdat = w.data();
+    let filters: Vec<[f32; 16]> = (0..co * c)
+        .map(|i| filter_transform(&wdat[i * 9..i * 9 + 9]))
+        .collect();
+
+    let tiles_h = ho.div_ceil(2);
+    let tiles_w = wo.div_ceil(2);
+    let mut out = Tensor::zeros([n, co, ho, wo]);
+    let (xd, bd) = (x.data(), b.data());
+    out.data_mut()
+        .par_chunks_mut(co * ho * wo)
+        .enumerate()
+        .for_each(|(img, optr)| {
+            let mut dtile = [0.0f32; 16];
+            let mut dtrans = [0.0f32; 16];
+            let mut macc = [0.0f32; 16];
+            for th in 0..tiles_h {
+                for tw in 0..tiles_w {
+                    // Transform this tile once per input channel, accumulate
+                    // per output channel in the Winograd domain.
+                    for oc in 0..co {
+                        macc.iter_mut().for_each(|v| *v = 0.0);
+                        for ic in 0..c {
+                            // Gather the 4x4 input tile (with padding).
+                            for r in 0..4 {
+                                for cc in 0..4 {
+                                    let ih = (th * 2 + r) as isize - pad as isize;
+                                    let iw = (tw * 2 + cc) as isize - pad as isize;
+                                    dtile[r * 4 + cc] = if ih < 0
+                                        || iw < 0
+                                        || ih as usize >= h
+                                        || iw as usize >= wd
+                                    {
+                                        0.0
+                                    } else {
+                                        xd[((img * c + ic) * h + ih as usize) * wd + iw as usize]
+                                    };
+                                }
+                            }
+                            input_transform(&dtile, &mut dtrans);
+                            let f = &filters[oc * c + ic];
+                            for i in 0..16 {
+                                macc[i] += dtrans[i] * f[i];
+                            }
+                        }
+                        let y = output_transform(&macc);
+                        for r in 0..2 {
+                            for cc in 0..2 {
+                                let oh = th * 2 + r;
+                                let ow = tw * 2 + cc;
+                                if oh < ho && ow < wo {
+                                    optr[(oc * ho + oh) * wo + ow] = y[r * 2 + cc] + bd[oc];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{forward_direct, ConvGeometry};
+    use deep500_metrics::norms::linf_diff;
+    use deep500_tensor::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn filter_transform_of_identity_kernel() {
+        // Delta kernel at center: convolution is identity. G g Gt has known values.
+        let mut g = [0.0f32; 9];
+        g[4] = 1.0;
+        let f = filter_transform(&g);
+        // Row pattern: [0, .5, -.5, 0] outer [0, .5, -.5, 0] scaled
+        assert_eq!(f[0], 0.0);
+        assert!((f[5] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_direct_convolution_on_even_sizes() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let x = Tensor::rand_uniform([2, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([4, 3, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform([4], -0.1, 0.1, &mut rng);
+        for pad in [0usize, 1] {
+            let direct =
+                forward_direct(&x, &w, &b, ConvGeometry { stride: 1, pad }).unwrap();
+            let wino = forward_winograd_3x3(&x, &w, &b, pad).unwrap();
+            assert_eq!(direct.shape(), wino.shape());
+            let err = linf_diff(direct.data(), wino.data());
+            assert!(err < 1e-4, "pad {pad}: linf {err}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_on_odd_output_extent() {
+        // Odd output extents exercise the partial-tile edge handling.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+        let x = Tensor::rand_uniform([1, 2, 7, 9], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::zeros([3]);
+        let direct = forward_direct(&x, &w, &b, ConvGeometry { stride: 1, pad: 1 }).unwrap();
+        let wino = forward_winograd_3x3(&x, &w, &b, 1).unwrap();
+        let err = linf_diff(direct.data(), wino.data());
+        assert!(err < 1e-4, "linf {err}");
+    }
+
+    #[test]
+    fn rounding_differs_from_direct_but_is_small() {
+        // On larger accumulations Winograd rounds differently — the property
+        // the paper's l-inf validation is designed around. The error must be
+        // nonzero (different algorithm) yet tiny (correct algorithm).
+        let mut rng = Xoshiro256StarStar::seed_from_u64(23);
+        let x = Tensor::rand_uniform([1, 16, 16, 16], -2.0, 2.0, &mut rng);
+        let w = Tensor::rand_uniform([8, 16, 3, 3], -0.5, 0.5, &mut rng);
+        let b = Tensor::zeros([8]);
+        let direct = forward_direct(&x, &w, &b, ConvGeometry { stride: 1, pad: 1 }).unwrap();
+        let wino = forward_winograd_3x3(&x, &w, &b, 1).unwrap();
+        let err = linf_diff(direct.data(), wino.data());
+        assert!(err > 0.0, "identical bit patterns are suspicious");
+        assert!(err < 1e-3, "linf {err}");
+    }
+}

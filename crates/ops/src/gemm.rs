@@ -1,0 +1,311 @@
+//! General matrix-matrix multiplication kernels.
+//!
+//! DeepBench's two operator families are GEMM and convolution; GEMM also
+//! backs the fully-connected layer and the im2col convolution algorithm.
+//! Three kernels of increasing quality are provided:
+//!
+//! * [`Algorithm::Naive`] — triple loop in `ijk` order (poor locality);
+//!   stands in for an unoptimized reference,
+//! * [`Algorithm::Blocked`] — cache-blocked `ikj` micro-kernels,
+//! * [`Algorithm::Parallel`] — the blocked kernel parallelized across row
+//!   panels with rayon; this is the "cuDNN-class" kernel that the simulated
+//!   frameworks and the DeepBench baseline all call.
+//!
+//! All kernels compute `C = A * B` for row-major `A (M x K)`, `B (K x N)`,
+//! `C (M x N)` and are bit-identical for the same blocking, enabling the
+//! paper's cross-framework `ℓ∞` comparisons to reflect genuine algorithmic
+//! reordering differences (naive vs blocked accumulate in different orders).
+
+use deep500_tensor::{Error, Result, Tensor};
+use rayon::prelude::*;
+
+/// GEMM kernel selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    Naive,
+    Blocked,
+    #[default]
+    Parallel,
+}
+
+/// Cache-block edge for the blocked kernels (elements).
+const BLOCK: usize = 64;
+
+/// `C = A * B` with the selected algorithm; buffers are row-major slices.
+pub fn gemm(
+    algo: Algorithm,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    match algo {
+        Algorithm::Naive => gemm_naive(m, n, k, a, b, c),
+        Algorithm::Blocked => gemm_blocked(m, n, k, a, b, c),
+        Algorithm::Parallel => gemm_parallel(m, n, k, a, b, c),
+    }
+}
+
+fn gemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Serial cache-blocked kernel: `ikj` inner order so the innermost loop
+/// streams both `B` and `C` rows (unit stride), blocked to keep panels in
+/// cache.
+fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c.iter_mut().for_each(|v| *v = 0.0);
+    for ib in (0..m).step_by(BLOCK) {
+        let ie = (ib + BLOCK).min(m);
+        for pb in (0..k).step_by(BLOCK) {
+            let pe = (pb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let je = (jb + BLOCK).min(n);
+                for i in ib..ie {
+                    for p in pb..pe {
+                        let aval = a[i * k + p];
+                        let brow = &b[p * n + jb..p * n + je];
+                        let crow = &mut c[i * n + jb..i * n + je];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The blocked kernel parallelized over `C`'s row panels.
+fn gemm_parallel(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    // Small problems: parallel dispatch costs more than it saves.
+    if m * n * k < 64 * 64 * 64 {
+        return gemm_blocked(m, n, k, a, b, c);
+    }
+    c.par_chunks_mut(BLOCK * n)
+        .enumerate()
+        .for_each(|(chunk, cpanel)| {
+            let ib = chunk * BLOCK;
+            let rows = cpanel.len() / n;
+            let apanel = &a[ib * k..(ib + rows) * k];
+            gemm_blocked(rows, n, k, apanel, b, cpanel);
+        });
+}
+
+/// Tensor-level GEMM: `A [M x K] * B [K x N] -> C [M x N]`.
+pub fn matmul(algo: Algorithm, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(Error::ShapeMismatch(format!(
+            "matmul requires rank-2 operands, got {} and {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, ka) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(Error::ShapeMismatch(format!(
+            "matmul inner dims: {} vs {}",
+            ka, kb
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    gemm(algo, m, n, ka, a.data(), b.data(), c.data_mut());
+    Ok(c)
+}
+
+/// `A^T * B` without materializing the transpose: `A [K x M]`, `B [K x N]`,
+/// result `[M x N]`. Used by FC/conv backward passes.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != kb {
+        return Err(Error::ShapeMismatch(format!("A^T*B inner dims: {k} vs {kb}")));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for p in 0..k {
+        for i in 0..m {
+            let av = ad[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `A * B^T`: `A [M x K]`, `B [N x K]`, result `[M x N]`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, kb) = (b.shape().dim(0), b.shape().dim(1));
+    if k != kb {
+        return Err(Error::ShapeMismatch(format!("A*B^T inner dims: {k} vs {kb}")));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            cd[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    Ok(c)
+}
+
+/// The `MatMul` operator: `C = A * B`.
+#[derive(Debug, Clone, Default)]
+pub struct MatMulOp {
+    pub algo: Algorithm,
+}
+
+impl MatMulOp {
+    pub fn new(algo: Algorithm) -> Self {
+        MatMulOp { algo }
+    }
+}
+
+impl crate::operator::Operator for MatMulOp {
+    fn name(&self) -> &str {
+        "MatMul"
+    }
+    fn num_inputs(&self) -> usize {
+        2
+    }
+    fn output_shapes(
+        &self,
+        s: &[&deep500_tensor::Shape],
+    ) -> Result<Vec<deep500_tensor::Shape>> {
+        if s[0].rank() != 2 || s[1].rank() != 2 || s[0].dim(1) != s[1].dim(0) {
+            return Err(Error::ShapeMismatch(format!(
+                "MatMul: {} x {}",
+                s[0], s[1]
+            )));
+        }
+        Ok(vec![deep500_tensor::Shape::new(&[s[0].dim(0), s[1].dim(1)])])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        Ok(vec![matmul(self.algo, inputs[0], inputs[1])?])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let g = grad_outputs[0];
+        // dA = dC * B^T ; dB = A^T * dC
+        let da = matmul_a_bt(g, inputs[1])?;
+        let db = matmul_at_b(inputs[0], g)?;
+        Ok(vec![da, db])
+    }
+    fn flops(&self, s: &[&deep500_tensor::Shape]) -> f64 {
+        deep500_metrics::flops::counts::gemm(s[0].dim(0), s[1].dim(1), s[0].dim(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Operator;
+    use deep500_metrics::norms::linf_diff;
+    use deep500_tensor::rng::Xoshiro256StarStar;
+
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        gemm_naive(m, n, k, a, b, &mut c);
+        c
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        for algo in [Algorithm::Naive, Algorithm::Blocked, Algorithm::Parallel] {
+            assert_eq!(matmul(algo, &a, &b).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_on_odd_sizes() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (65, 33, 129), (130, 70, 64)] {
+            let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+            let reference = reference(m, n, k, a.data(), b.data());
+            for algo in [Algorithm::Blocked, Algorithm::Parallel] {
+                let c = matmul(algo, &a, &b).unwrap();
+                let err = linf_diff(c.data(), &reference);
+                assert!(err < 1e-3, "{algo:?} {m}x{n}x{k}: linf {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(Algorithm::Naive, &a, &b).is_err());
+        let v = Tensor::zeros([3]);
+        assert!(matmul(Algorithm::Naive, &v, &b).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let a = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([4, 5], -1.0, 1.0, &mut rng);
+        let atb = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(Algorithm::Naive, &a.transpose2d().unwrap(), &b).unwrap();
+        assert!(atb.approx_eq(&explicit, 1e-5));
+
+        let c = Tensor::rand_uniform([5, 3], -1.0, 1.0, &mut rng);
+        let d = Tensor::rand_uniform([6, 3], -1.0, 1.0, &mut rng);
+        let abt = matmul_a_bt(&c, &d).unwrap();
+        let explicit = matmul(Algorithm::Naive, &c, &d.transpose2d().unwrap()).unwrap();
+        assert!(abt.approx_eq(&explicit, 1e-5));
+    }
+
+    #[test]
+    fn matmul_op_backward_matches_manual() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let a = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([4, 2], -1.0, 1.0, &mut rng);
+        let op = MatMulOp::default();
+        let out = op.forward(&[&a, &b]).unwrap();
+        let g = Tensor::ones([3, 2]);
+        let grads = op.backward(&[&g], &[&a, &b], &[&out[0]]).unwrap();
+        assert_eq!(grads[0].shape(), a.shape());
+        assert_eq!(grads[1].shape(), b.shape());
+        // dA = G * B^T with G = ones => row sums of B^T = col sums broadcast
+        let expected_da = matmul(Algorithm::Naive, &g, &b.transpose2d().unwrap()).unwrap();
+        assert!(grads[0].approx_eq(&expected_da, 1e-5));
+    }
+
+    #[test]
+    fn flops_declared() {
+        let op = MatMulOp::default();
+        let s1 = deep500_tensor::Shape::new(&[2, 3]);
+        let s2 = deep500_tensor::Shape::new(&[3, 4]);
+        assert_eq!(op.flops(&[&s1, &s2]), 48.0);
+    }
+}

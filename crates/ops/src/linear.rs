@@ -1,0 +1,134 @@
+//! The fully-connected (dense) layer: `Y = X Wᵀ + b`.
+//!
+//! Inputs: `X [N, in]`, `W [out, in]`, `b [out]`; output `Y [N, out]`.
+//! Backed by the Level-0 GEMM kernels.
+
+use crate::gemm::{self, Algorithm};
+use crate::operator::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor};
+
+/// Fully-connected layer operator.
+#[derive(Debug, Clone, Default)]
+pub struct LinearOp {
+    pub algo: Algorithm,
+}
+
+impl LinearOp {
+    pub fn new(algo: Algorithm) -> Self {
+        LinearOp { algo }
+    }
+
+    fn dims(&self, x: &Shape, w: &Shape, b: &Shape) -> Result<(usize, usize, usize)> {
+        if x.rank() != 2 || w.rank() != 2 || b.rank() != 1 {
+            return Err(Error::ShapeMismatch(format!(
+                "Linear: X {x}, W {w}, b {b}"
+            )));
+        }
+        let (n, fin) = (x.dim(0), x.dim(1));
+        let (fout, fin2) = (w.dim(0), w.dim(1));
+        if fin != fin2 || b.dim(0) != fout {
+            return Err(Error::ShapeMismatch(format!(
+                "Linear: X {x} W {w} b {b} are inconsistent"
+            )));
+        }
+        Ok((n, fin, fout))
+    }
+}
+
+impl Operator for LinearOp {
+    fn name(&self) -> &str {
+        "Linear"
+    }
+    fn num_inputs(&self) -> usize {
+        3
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        let (n, _, fout) = self.dims(s[0], s[1], s[2])?;
+        Ok(vec![Shape::new(&[n, fout])])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
+        let (n, _fin, fout) = self.dims(x.shape(), w.shape(), b.shape())?;
+        // Y = X * Wᵀ
+        let mut y = gemm::matmul_a_bt(x, w)?;
+        let yd = y.data_mut();
+        let bd = b.data();
+        for r in 0..n {
+            for c in 0..fout {
+                yd[r * fout + c] += bd[c];
+            }
+        }
+        Ok(vec![y])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let g = grad_outputs[0]; // [N, out]
+        let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
+        // dX = g * W          [N, in]
+        let dx = gemm::matmul(self.algo, g, w)?;
+        // dW = gᵀ * X         [out, in]
+        let dw = gemm::matmul_at_b(g, x)?;
+        // db = column sums of g
+        let (n, fout) = (g.shape().dim(0), g.shape().dim(1));
+        let mut db = Tensor::zeros(b.shape().clone());
+        for r in 0..n {
+            for c in 0..fout {
+                db.data_mut()[c] += g.data()[r * fout + c];
+            }
+        }
+        let _ = w;
+        Ok(vec![dx, dw, db])
+    }
+    fn flops(&self, s: &[&Shape]) -> f64 {
+        deep500_metrics::flops::counts::gemm(s[0].dim(0), s[1].dim(0), s[0].dim(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        // X = [[1, 2]], W = [[1, 0], [0, 1], [1, 1]], b = [0, 10, 100]
+        let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
+        let w = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = Tensor::from_slice(&[0.0, 10.0, 100.0]);
+        let y = LinearOp::default().forward(&[&x, &w, &b]).unwrap();
+        assert_eq!(y[0].data(), &[1.0, 12.0, 103.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias_grad() {
+        let x = Tensor::from_vec([2, 3], vec![1.0; 6]).unwrap();
+        let w = Tensor::from_vec([4, 3], vec![0.5; 12]).unwrap();
+        let b = Tensor::zeros([4]);
+        let op = LinearOp::default();
+        let y = op.forward(&[&x, &w, &b]).unwrap();
+        let g = Tensor::ones([2, 4]);
+        let grads = op.backward(&[&g], &[&x, &w, &b], &[&y[0]]).unwrap();
+        assert_eq!(grads[0].shape(), &Shape::new(&[2, 3]));
+        assert_eq!(grads[1].shape(), &Shape::new(&[4, 3]));
+        assert_eq!(grads[2].shape(), &Shape::new(&[4]));
+        // db = sum over batch of ones = 2 per output
+        assert!(grads[2].data().iter().all(|&v| v == 2.0));
+        // dX row = sum of W rows = 4 * 0.5 = 2.0 per input feature
+        assert!(grads[0].data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn inconsistent_shapes_rejected() {
+        let op = LinearOp::default();
+        let x = Shape::new(&[2, 3]);
+        let w = Shape::new(&[4, 5]); // wrong in-features
+        let b = Shape::new(&[4]);
+        assert!(op.output_shapes(&[&x, &w, &b]).is_err());
+        let w = Shape::new(&[4, 3]);
+        let b = Shape::new(&[5]); // wrong bias
+        assert!(op.output_shapes(&[&x, &w, &b]).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Batch normalization (training mode, per-channel over NCHW).
+//!
+//! Inputs: `X [N,C,H,W]`, `gamma [C]`, `beta [C]`. The batch statistics are
+//! recomputed in the backward pass, keeping the operator stateless (the
+//! running-statistics bookkeeping of inference-mode batchnorm belongs to
+//! training loops, not Level 0).
+
+use crate::operator::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor};
+
+/// Batch-normalization operator.
+#[derive(Debug, Clone)]
+pub struct BatchNormOp {
+    pub eps: f32,
+}
+
+impl Default for BatchNormOp {
+    fn default() -> Self {
+        BatchNormOp { eps: 1e-5 }
+    }
+}
+
+/// Per-channel mean and (biased) variance over `N, H, W`.
+fn channel_stats(x: &Tensor) -> (Vec<f64>, Vec<f64>, usize) {
+    let s = x.shape();
+    let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let plane = h * w;
+    let m = n * plane;
+    let mut mean = vec![0.0f64; c];
+    let mut var = vec![0.0f64; c];
+    let xd = x.data();
+    for img in 0..n {
+        for (ch, mu) in mean.iter_mut().enumerate() {
+            let base = (img * c + ch) * plane;
+            for &v in &xd[base..base + plane] {
+                *mu += v as f64;
+            }
+        }
+    }
+    for mu in &mut mean {
+        *mu /= m as f64;
+    }
+    for img in 0..n {
+        for (ch, vr) in var.iter_mut().enumerate() {
+            let base = (img * c + ch) * plane;
+            for &v in &xd[base..base + plane] {
+                let d = v as f64 - mean[ch];
+                *vr += d * d;
+            }
+        }
+    }
+    for v in &mut var {
+        *v /= m as f64;
+    }
+    (mean, var, m)
+}
+
+impl BatchNormOp {
+    fn check(&self, s: &[&Shape]) -> Result<usize> {
+        if s[0].rank() != 4 {
+            return Err(Error::ShapeMismatch(format!(
+                "BatchNorm requires rank-4 input, got {}",
+                s[0]
+            )));
+        }
+        let c = s[0].dim(1);
+        if s[1].numel() != c || s[2].numel() != c {
+            return Err(Error::ShapeMismatch(format!(
+                "BatchNorm: gamma {} / beta {} vs {c} channels",
+                s[1], s[2]
+            )));
+        }
+        Ok(c)
+    }
+}
+
+impl Operator for BatchNormOp {
+    fn name(&self) -> &str {
+        "BatchNorm"
+    }
+    fn num_inputs(&self) -> usize {
+        3
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        self.check(s)?;
+        Ok(vec![s[0].clone()])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let (x, gamma, beta) = (inputs[0], inputs[1], inputs[2]);
+        let shapes = [x.shape(), gamma.shape(), beta.shape()];
+        self.check(&[shapes[0], shapes[1], shapes[2]])?;
+        let s = x.shape();
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let plane = h * w;
+        let (mean, var, _m) = channel_stats(x);
+        let mut out = Tensor::zeros(s.clone());
+        let (xd, gd, bd) = (x.data(), gamma.data(), beta.data());
+        let od = out.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps as f64).sqrt();
+                let base = (img * c + ch) * plane;
+                for i in 0..plane {
+                    let xhat = (xd[base + i] as f64 - mean[ch]) * inv;
+                    od[base + i] = (gd[ch] as f64 * xhat + bd[ch] as f64) as f32;
+                }
+            }
+        }
+        Ok(vec![out])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let (x, gamma, _beta) = (inputs[0], inputs[1], inputs[2]);
+        let dy = grad_outputs[0];
+        let s = x.shape();
+        let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+        let plane = h * w;
+        let (mean, var, m) = channel_stats(x);
+        let (xd, gd, dyd) = (x.data(), gamma.data(), dy.data());
+
+        // First pass: dgamma, dbeta.
+        let mut dgamma = vec![0.0f64; c];
+        let mut dbeta = vec![0.0f64; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps as f64).sqrt();
+                let base = (img * c + ch) * plane;
+                for i in 0..plane {
+                    let xhat = (xd[base + i] as f64 - mean[ch]) * inv;
+                    let g = dyd[base + i] as f64;
+                    dgamma[ch] += g * xhat;
+                    dbeta[ch] += g;
+                }
+            }
+        }
+
+        // Second pass: dx = gamma*inv * (dy - dbeta/m - xhat*dgamma/m).
+        let mut dx = Tensor::zeros(s.clone());
+        let dxd = dx.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps as f64).sqrt();
+                let scale = gd[ch] as f64 * inv;
+                let base = (img * c + ch) * plane;
+                for i in 0..plane {
+                    let xhat = (xd[base + i] as f64 - mean[ch]) * inv;
+                    let g = dyd[base + i] as f64;
+                    dxd[base + i] =
+                        (scale * (g - dbeta[ch] / m as f64 - xhat * dgamma[ch] / m as f64)) as f32;
+                }
+            }
+        }
+        let dgamma_t =
+            Tensor::from_vec([c], dgamma.iter().map(|&v| v as f32).collect()).expect("shape");
+        let dbeta_t =
+            Tensor::from_vec([c], dbeta.iter().map(|&v| v as f32).collect()).expect("shape");
+        Ok(vec![dx, dgamma_t, dbeta_t])
+    }
+    fn flops(&self, s: &[&Shape]) -> f64 {
+        deep500_metrics::flops::counts::elementwise(s[0].numel(), 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep500_tensor::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let x = Tensor::rand_normal([4, 2, 3, 3], 5.0, 2.0, &mut rng);
+        let gamma = Tensor::ones([2]);
+        let beta = Tensor::zeros([2]);
+        let y = BatchNormOp::default().forward(&[&x, &gamma, &beta]).unwrap();
+        // Per-channel mean ~0, variance ~1.
+        let (mean, var, _) = channel_stats(&y[0]);
+        for ch in 0..2 {
+            assert!(mean[ch].abs() < 1e-5, "mean {}", mean[ch]);
+            assert!((var[ch] - 1.0).abs() < 1e-3, "var {}", var[ch]);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let x = Tensor::rand_normal([2, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let gamma = Tensor::from_slice(&[3.0]);
+        let beta = Tensor::from_slice(&[-1.0]);
+        let y = BatchNormOp::default().forward(&[&x, &gamma, &beta]).unwrap();
+        let (mean, var, _) = channel_stats(&y[0]);
+        assert!((mean[0] + 1.0).abs() < 1e-5);
+        assert!((var[0] - 9.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn dbeta_is_grad_sum() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let x = Tensor::rand_normal([2, 2, 2, 2], 0.0, 1.0, &mut rng);
+        let gamma = Tensor::ones([2]);
+        let beta = Tensor::zeros([2]);
+        let op = BatchNormOp::default();
+        let y = op.forward(&[&x, &gamma, &beta]).unwrap();
+        let dy = Tensor::ones(x.shape().clone());
+        let grads = op.backward(&[&dy], &[&x, &gamma, &beta], &[&y[0]]).unwrap();
+        // dbeta = sum of ones over N*H*W = 8 per channel
+        assert!(grads[2].data().iter().all(|&v| (v - 8.0).abs() < 1e-4));
+        // dX for constant dy is ~0 (normalization removes constants)
+        assert!(grads[0].data().iter().all(|&v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let op = BatchNormOp::default();
+        let bad = Shape::new(&[2, 3]);
+        let g = Shape::new(&[3]);
+        assert!(op.output_shapes(&[&bad, &g, &g]).is_err());
+        let x = Shape::new(&[1, 3, 2, 2]);
+        let wrong = Shape::new(&[4]);
+        assert!(op.output_shapes(&[&x, &wrong, &g]).is_err());
+    }
+}

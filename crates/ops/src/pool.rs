@@ -1,0 +1,289 @@
+//! Pooling operators: max, average, and **median** pooling.
+//!
+//! Median pooling is the paper's running custom-operator example
+//! (Listings 3–4): a user-defined operator registered through the custom
+//! operator interface and usable alongside built-ins. We implement it with
+//! the same forward/backward contract as the built-in pools. For an even
+//! window, the median is the mean of the two middle elements and the
+//! gradient splits equally between them.
+
+use crate::conv::ConvGeometry;
+use crate::operator::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor};
+
+/// The pooling reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    Max,
+    Average,
+    Median,
+}
+
+/// A 2-D pooling operator over NCHW input, kernel `k x k`, stride `s`,
+/// no padding (matching the common DNN usage).
+#[derive(Debug, Clone)]
+pub struct Pool2dOp {
+    pub kind: PoolKind,
+    pub kernel: usize,
+    pub stride: usize,
+}
+
+impl Pool2dOp {
+    pub fn new(kind: PoolKind, kernel: usize, stride: usize) -> Self {
+        Pool2dOp { kind, kernel, stride }
+    }
+
+    /// Max pooling, the common DNN downsampler.
+    pub fn max(kernel: usize, stride: usize) -> Self {
+        Self::new(PoolKind::Max, kernel, stride)
+    }
+
+    /// Average pooling.
+    pub fn average(kernel: usize, stride: usize) -> Self {
+        Self::new(PoolKind::Average, kernel, stride)
+    }
+
+    /// Median pooling — the paper's custom-operator example.
+    pub fn median(kernel: usize, stride: usize) -> Self {
+        Self::new(PoolKind::Median, kernel, stride)
+    }
+
+    fn geometry(&self) -> ConvGeometry {
+        ConvGeometry { stride: self.stride, pad: 0 }
+    }
+
+    fn out_dims(&self, x: &Shape) -> Result<(usize, usize, usize, usize, usize, usize)> {
+        if x.rank() != 4 {
+            return Err(Error::ShapeMismatch(format!(
+                "Pool2d requires rank-4 input, got {x}"
+            )));
+        }
+        let g = self.geometry();
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let ho = g.out_extent(h, self.kernel)?;
+        let wo = g.out_extent(w, self.kernel)?;
+        Ok((n, c, h, w, ho, wo))
+    }
+
+    /// Window values and their input offsets for window (oh, ow).
+    #[allow(clippy::too_many_arguments)]
+    fn window(
+        &self,
+        xd: &[f32],
+        base: usize, // offset of (img, channel) plane
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        vals: &mut Vec<(f32, usize)>,
+    ) {
+        vals.clear();
+        for fh in 0..self.kernel {
+            for fw in 0..self.kernel {
+                let ih = oh * self.stride + fh;
+                let iw = ow * self.stride + fw;
+                debug_assert!(ih < h && iw < w);
+                let off = base + ih * w + iw;
+                vals.push((xd[off], off));
+            }
+        }
+    }
+}
+
+impl Operator for Pool2dOp {
+    fn name(&self) -> &str {
+        match self.kind {
+            PoolKind::Max => "MaxPool2d",
+            PoolKind::Average => "AvgPool2d",
+            PoolKind::Median => "MedianPool2d",
+        }
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        let (n, c, _, _, ho, wo) = self.out_dims(s[0])?;
+        Ok(vec![Shape::new(&[n, c, ho, wo])])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let x = inputs[0];
+        let (n, c, h, w, ho, wo) = self.out_dims(x.shape())?;
+        let mut out = Tensor::zeros([n, c, ho, wo]);
+        let xd = x.data();
+        let od = out.data_mut();
+        let mut vals = Vec::with_capacity(self.kernel * self.kernel);
+        for plane in 0..n * c {
+            let base = plane * h * w;
+            for oh in 0..ho {
+                for ow in 0..wo {
+                    self.window(xd, base, h, w, oh, ow, &mut vals);
+                    let v = match self.kind {
+                        PoolKind::Max => vals
+                            .iter()
+                            .map(|&(v, _)| v)
+                            .fold(f32::NEG_INFINITY, f32::max),
+                        PoolKind::Average => {
+                            vals.iter().map(|&(v, _)| v).sum::<f32>() / vals.len() as f32
+                        }
+                        PoolKind::Median => {
+                            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in pool"));
+                            let m = vals.len();
+                            if m % 2 == 1 {
+                                vals[m / 2].0
+                            } else {
+                                0.5 * (vals[m / 2 - 1].0 + vals[m / 2].0)
+                            }
+                        }
+                    };
+                    od[(plane * ho + oh) * wo + ow] = v;
+                }
+            }
+        }
+        Ok(vec![out])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let x = inputs[0];
+        let dy = grad_outputs[0];
+        let (n, c, h, w, ho, wo) = self.out_dims(x.shape())?;
+        let mut dx = Tensor::zeros(x.shape().clone());
+        let (xd, dyd) = (x.data(), dy.data());
+        let dxd = dx.data_mut();
+        let mut vals = Vec::with_capacity(self.kernel * self.kernel);
+        for plane in 0..n * c {
+            let base = plane * h * w;
+            for oh in 0..ho {
+                for ow in 0..wo {
+                    let g = dyd[(plane * ho + oh) * wo + ow];
+                    self.window(xd, base, h, w, oh, ow, &mut vals);
+                    match self.kind {
+                        PoolKind::Max => {
+                            // Route to the first maximal element (ties: cuDNN-style
+                            // deterministic choice).
+                            let (_, off) = vals
+                                .iter()
+                                .copied()
+                                .fold((f32::NEG_INFINITY, 0usize), |acc, (v, o)| {
+                                    if v > acc.0 {
+                                        (v, o)
+                                    } else {
+                                        acc
+                                    }
+                                });
+                            dxd[off] += g;
+                        }
+                        PoolKind::Average => {
+                            let share = g / vals.len() as f32;
+                            for &(_, off) in vals.iter() {
+                                dxd[off] += share;
+                            }
+                        }
+                        PoolKind::Median => {
+                            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in pool"));
+                            let m = vals.len();
+                            if m % 2 == 1 {
+                                dxd[vals[m / 2].1] += g;
+                            } else {
+                                dxd[vals[m / 2 - 1].1] += 0.5 * g;
+                                dxd[vals[m / 2].1] += 0.5 * g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(vec![dx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(vals: &[f32]) -> Tensor {
+        let n = (vals.len() as f64).sqrt() as usize;
+        Tensor::from_vec([1, 1, n, n], vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = plane(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+        let op = Pool2dOp::max(2, 2);
+        let y = op.forward(&[&x]).unwrap();
+        assert_eq!(y[0].shape(), &Shape::new(&[1, 1, 2, 2]));
+        assert_eq!(y[0].data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = plane(&[1.0, 2.0, 3.0, 4.0]);
+        let op = Pool2dOp::average(2, 2);
+        let y = op.forward(&[&x]).unwrap();
+        assert_eq!(y[0].data(), &[2.5]);
+    }
+
+    #[test]
+    fn median_pool_odd_window() {
+        let x = plane(&[9.0, 1.0, 5.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0]);
+        let op = Pool2dOp::median(3, 1);
+        let y = op.forward(&[&x]).unwrap();
+        // median of 1..9 is 5
+        assert_eq!(y[0].data(), &[5.0]);
+    }
+
+    #[test]
+    fn median_pool_even_window_averages_middles() {
+        let x = plane(&[1.0, 2.0, 3.0, 4.0]);
+        let op = Pool2dOp::median(2, 2);
+        let y = op.forward(&[&x]).unwrap();
+        assert_eq!(y[0].data(), &[2.5]);
+    }
+
+    #[test]
+    fn max_backward_routes_to_argmax() {
+        let x = plane(&[1.0, 2.0, 3.0, 4.0]);
+        let op = Pool2dOp::max(2, 2);
+        let y = op.forward(&[&x]).unwrap();
+        let g = Tensor::from_vec([1, 1, 1, 1], vec![10.0]).unwrap();
+        let dx = op.backward(&[&g], &[&x], &[&y[0]]).unwrap();
+        assert_eq!(dx[0].data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn median_backward_splits_on_even_window() {
+        let x = plane(&[1.0, 2.0, 3.0, 4.0]);
+        let op = Pool2dOp::median(2, 2);
+        let y = op.forward(&[&x]).unwrap();
+        let g = Tensor::from_vec([1, 1, 1, 1], vec![2.0]).unwrap();
+        let dx = op.backward(&[&g], &[&x], &[&y[0]]).unwrap();
+        // middles of {1,2,3,4} are 2 and 3
+        assert_eq!(dx[0].data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_backward_distributes_evenly() {
+        let x = plane(&[1.0, 2.0, 3.0, 4.0]);
+        let op = Pool2dOp::average(2, 2);
+        let y = op.forward(&[&x]).unwrap();
+        let g = Tensor::from_vec([1, 1, 1, 1], vec![4.0]).unwrap();
+        let dx = op.backward(&[&g], &[&x], &[&y[0]]).unwrap();
+        assert_eq!(dx[0].data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let op = Pool2dOp::max(2, 2);
+        assert!(op.output_shapes(&[&Shape::new(&[3, 3])]).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Pool2dOp::max(2, 2).name(), "MaxPool2d");
+        assert_eq!(Pool2dOp::average(2, 2).name(), "AvgPool2d");
+        assert_eq!(Pool2dOp::median(2, 2).name(), "MedianPool2d");
+    }
+}

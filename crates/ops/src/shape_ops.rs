@@ -1,0 +1,334 @@
+//! Shape-manipulation operators: Reshape/Flatten, Split, Concat, Dropout.
+//!
+//! `Split` and `Concat` along the batch axis are the building blocks of the
+//! micro-batch graph transformation (paper Fig. 7): a large convolution is
+//! rewritten into `Split -> k x Conv2d -> Concat`. Their backward passes
+//! are each other's forward passes.
+
+use crate::operator::Operator;
+use deep500_tensor::{Error, Result, Shape, Tensor, Xoshiro256StarStar};
+
+/// Reshape to a fixed target shape (same element count).
+#[derive(Debug, Clone)]
+pub struct ReshapeOp {
+    pub target: Vec<usize>,
+}
+
+impl ReshapeOp {
+    pub fn new(target: &[usize]) -> Self {
+        ReshapeOp { target: target.to_vec() }
+    }
+
+    /// Flatten to `[N, rest]` keeping axis 0 — handled specially because the
+    /// batch extent varies between minibatches.
+    pub fn flatten() -> FlattenOp {
+        FlattenOp
+    }
+}
+
+impl Operator for ReshapeOp {
+    fn name(&self) -> &str {
+        "Reshape"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        Ok(vec![s[0].reshape(&self.target)?])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        Ok(vec![inputs[0].reshaped(&self.target)?])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        Ok(vec![grad_outputs[0]
+            .reshaped(inputs[0].shape().dims())?])
+    }
+}
+
+/// Flatten `[N, ...]` to `[N, prod(...)]`.
+#[derive(Debug, Clone, Default)]
+pub struct FlattenOp;
+
+impl Operator for FlattenOp {
+    fn name(&self) -> &str {
+        "Flatten"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        if s[0].rank() == 0 {
+            return Err(Error::ShapeMismatch("cannot flatten a scalar".into()));
+        }
+        let n = s[0].dim(0);
+        Ok(vec![Shape::new(&[n, s[0].numel() / n.max(1)])])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let shapes = self.output_shapes(&[inputs[0].shape()])?;
+        Ok(vec![inputs[0].reshaped(shapes[0].dims())?])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        Ok(vec![grad_outputs[0].reshaped(inputs[0].shape().dims())?])
+    }
+}
+
+/// Split along axis 0 into parts of the given sizes (ONNX `Split`).
+#[derive(Debug, Clone)]
+pub struct SplitOp {
+    pub sizes: Vec<usize>,
+}
+
+impl SplitOp {
+    pub fn new(sizes: &[usize]) -> Self {
+        SplitOp { sizes: sizes.to_vec() }
+    }
+}
+
+impl Operator for SplitOp {
+    fn name(&self) -> &str {
+        "Split"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        self.sizes.len()
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        if s[0].rank() == 0 {
+            return Err(Error::ShapeMismatch("cannot split a scalar".into()));
+        }
+        let total: usize = self.sizes.iter().sum();
+        if total != s[0].dim(0) {
+            return Err(Error::ShapeMismatch(format!(
+                "Split sizes sum to {total} but axis-0 extent is {}",
+                s[0].dim(0)
+            )));
+        }
+        Ok(self.sizes.iter().map(|&n| s[0].with_dim(0, n)).collect())
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        self.output_shapes(&[inputs[0].shape()])?;
+        let mut out = Vec::with_capacity(self.sizes.len());
+        let mut start = 0usize;
+        for &n in &self.sizes {
+            out.push(inputs[0].slice_axis0(start, n)?);
+            start += n;
+        }
+        Ok(out)
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        _inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let parts: Vec<Tensor> = grad_outputs.iter().map(|&g| g.clone()).collect();
+        Ok(vec![Tensor::concat_axis0(&parts)?])
+    }
+}
+
+/// Concatenate along axis 0 (ONNX `Concat`, axis=0).
+#[derive(Debug, Clone)]
+pub struct ConcatOp {
+    pub num_inputs: usize,
+}
+
+impl ConcatOp {
+    pub fn new(num_inputs: usize) -> Self {
+        ConcatOp { num_inputs }
+    }
+}
+
+impl Operator for ConcatOp {
+    fn name(&self) -> &str {
+        "Concat"
+    }
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        Ok(vec![Shape::concat(s, 0)?])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let parts: Vec<Tensor> = inputs.iter().map(|&t| t.clone()).collect();
+        Ok(vec![Tensor::concat_axis0(&parts)?])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let g = grad_outputs[0];
+        let mut grads = Vec::with_capacity(inputs.len());
+        let mut start = 0usize;
+        for &inp in inputs {
+            let n = inp.shape().dim(0);
+            grads.push(g.slice_axis0(start, n)?);
+            start += n;
+        }
+        Ok(grads)
+    }
+}
+
+/// Dropout with a deterministic per-instance mask (reproducibility): the
+/// mask is a pure function of the instance seed and the input shape, so
+/// forward and backward see the same mask without shared mutable state.
+#[derive(Debug, Clone)]
+pub struct DropoutOp {
+    pub ratio: f32,
+    pub seed: u64,
+}
+
+impl DropoutOp {
+    pub fn new(ratio: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&ratio), "dropout ratio must be in [0,1)");
+        DropoutOp { ratio, seed }
+    }
+
+    fn mask(&self, numel: usize) -> Vec<f32> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed ^ numel as u64);
+        let keep = 1.0 - self.ratio;
+        (0..numel)
+            .map(|_| {
+                if rng.next_f32() < keep {
+                    1.0 / keep // inverted dropout scaling
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+impl Operator for DropoutOp {
+    fn name(&self) -> &str {
+        "Dropout"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
+        Ok(vec![s[0].clone()])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let mask = self.mask(inputs[0].numel());
+        let mut out = inputs[0].clone();
+        for (v, m) in out.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        Ok(vec![out])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let mask = self.mask(inputs[0].numel());
+        let mut dx = grad_outputs[0].clone();
+        for (v, m) in dx.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        Ok(vec![dx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_and_backward_restore() {
+        let x = Tensor::from_vec([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let op = ReshapeOp::new(&[3, 2]);
+        let y = op.forward(&[&x]).unwrap();
+        assert_eq!(y[0].shape(), &Shape::new(&[3, 2]));
+        let dx = op.backward(&[&y[0]], &[&x], &[&y[0]]).unwrap();
+        assert_eq!(dx[0].shape(), x.shape());
+    }
+
+    #[test]
+    fn flatten_keeps_batch() {
+        let x = Tensor::zeros([2, 3, 4]);
+        let y = FlattenOp.forward(&[&x]).unwrap();
+        assert_eq!(y[0].shape(), &Shape::new(&[2, 12]));
+    }
+
+    #[test]
+    fn split_concat_inverse() {
+        let x = Tensor::from_vec([5, 2], (0..10).map(|i| i as f32).collect()).unwrap();
+        let split = SplitOp::new(&[2, 3]);
+        let parts = split.forward(&[&x]).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].shape(), &Shape::new(&[2, 2]));
+        let concat = ConcatOp::new(2);
+        let back = concat.forward(&[&parts[0], &parts[1]]).unwrap();
+        assert_eq!(&back[0], &x);
+    }
+
+    #[test]
+    fn split_backward_is_concat() {
+        let x = Tensor::from_vec([4, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let split = SplitOp::new(&[1, 3]);
+        let parts = split.forward(&[&x]).unwrap();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let dx = split.backward(&refs, &[&x], &refs).unwrap();
+        assert_eq!(&dx[0], &x);
+    }
+
+    #[test]
+    fn split_sizes_must_cover() {
+        let split = SplitOp::new(&[2, 2]);
+        assert!(split.output_shapes(&[&Shape::new(&[5, 1])]).is_err());
+        assert_eq!(split.num_outputs(), 2);
+    }
+
+    #[test]
+    fn concat_backward_slices() {
+        let a = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let op = ConcatOp::new(2);
+        let y = op.forward(&[&a, &b]).unwrap();
+        let grads = op.backward(&[&y[0]], &[&a, &b], &[&y[0]]).unwrap();
+        assert_eq!(&grads[0], &a);
+        assert_eq!(&grads[1], &b);
+    }
+
+    #[test]
+    fn dropout_mask_is_deterministic_and_scaled() {
+        let op = DropoutOp::new(0.5, 99);
+        let x = Tensor::ones([1000]);
+        let y1 = op.forward(&[&x]).unwrap();
+        let y2 = op.forward(&[&x]).unwrap();
+        assert_eq!(y1[0], y2[0], "same seed, same mask");
+        // Kept elements scaled by 1/keep = 2.0; expectation preserved.
+        let mean = y1[0].mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!(y1[0].data().iter().all(|&v| v == 0.0 || v == 2.0));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let op = DropoutOp::new(0.3, 5);
+        let x = Tensor::ones([100]);
+        let y = op.forward(&[&x]).unwrap();
+        let g = Tensor::ones([100]);
+        let dx = op.backward(&[&g], &[&x], &[&y[0]]).unwrap();
+        // dx is nonzero exactly where y is nonzero
+        for (a, b) in y[0].data().iter().zip(dx[0].data()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+}

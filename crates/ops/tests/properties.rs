@@ -1,0 +1,125 @@
+//! Property-based tests for Level-0 operators: algorithmic agreement,
+//! analytical invariants, and gradient correctness on random inputs.
+
+use deep500_ops::activation::{ActivationOp, SoftmaxOp};
+use deep500_ops::conv::{forward_direct, forward_im2col, ConvGeometry};
+use deep500_ops::gemm::{matmul, Algorithm};
+use deep500_ops::grad_check::test_gradient;
+use deep500_ops::pool::Pool2dOp;
+use deep500_ops::shape_ops::{ConcatOp, SplitOp};
+use deep500_ops::Operator;
+use deep500_tensor::{Tensor, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All GEMM kernels agree with the naive reference on random shapes.
+    #[test]
+    fn gemm_kernels_agree(m in 1usize..40, n in 1usize..40, k in 1usize..40, seed in 0u64..1000) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 1);
+        let reference = matmul(Algorithm::Naive, &a, &b).unwrap();
+        for algo in [Algorithm::Blocked, Algorithm::Parallel] {
+            let c = matmul(algo, &a, &b).unwrap();
+            prop_assert!(c.approx_eq(&reference, 1e-3), "{algo:?} diverged");
+        }
+    }
+
+    /// GEMM is linear: (alpha*A) * B == alpha * (A*B).
+    #[test]
+    fn gemm_linearity(m in 1usize..12, n in 1usize..12, k in 1usize..12,
+                      alpha in -3.0f32..3.0, seed in 0u64..100) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 2);
+        let lhs = matmul(Algorithm::Blocked, &a.scale(alpha), &b).unwrap();
+        let rhs = matmul(Algorithm::Blocked, &a, &b).unwrap().scale(alpha);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// Direct and im2col convolution agree on random geometries.
+    #[test]
+    fn conv_algorithms_agree(
+        n in 1usize..3, c in 1usize..4, hw in 3usize..12,
+        co in 1usize..4, k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let x = rand_tensor(&[n, c, hw, hw], seed);
+        let w = rand_tensor(&[co, c, k, k], seed ^ 3);
+        let b = rand_tensor(&[co], seed ^ 4);
+        let g = ConvGeometry { stride, pad };
+        let direct = forward_direct(&x, &w, &b, g).unwrap();
+        let lowered = forward_im2col(&x, &w, &b, g).unwrap();
+        prop_assert!(direct.approx_eq(&lowered, 1e-4));
+    }
+
+    /// Pooling order: min(window) <= avg <= max for every output element.
+    #[test]
+    fn pooling_order(hw in 4usize..10, k in 2usize..4, seed in 0u64..200) {
+        prop_assume!(hw >= k);
+        let x = rand_tensor(&[1, 2, hw, hw], seed);
+        let max = Pool2dOp::max(k, k).forward(&[&x]).unwrap();
+        let avg = Pool2dOp::average(k, k).forward(&[&x]).unwrap();
+        let med = Pool2dOp::median(k, k).forward(&[&x]).unwrap();
+        for i in 0..max[0].numel() {
+            prop_assert!(avg[0].data()[i] <= max[0].data()[i] + 1e-6);
+            prop_assert!(med[0].data()[i] <= max[0].data()[i] + 1e-6);
+        }
+    }
+
+    /// Softmax rows sum to one and are strictly positive.
+    #[test]
+    fn softmax_is_a_distribution(rows in 1usize..6, cols in 1usize..8, seed in 0u64..200) {
+        let x = rand_tensor(&[rows, cols], seed).scale(5.0);
+        let y = SoftmaxOp::softmax_rows(&x).unwrap();
+        for r in 0..rows {
+            let row = &y.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    /// Split then Concat along axis 0 is the identity for any partition.
+    #[test]
+    fn split_concat_identity(parts in prop::collection::vec(1usize..5, 1..5),
+                             cols in 1usize..6, seed in 0u64..100) {
+        let total: usize = parts.iter().sum();
+        let x = rand_tensor(&[total, cols], seed);
+        let split = SplitOp::new(&parts);
+        let pieces = split.forward(&[&x]).unwrap();
+        let refs: Vec<&Tensor> = pieces.iter().collect();
+        let concat = ConcatOp::new(parts.len());
+        let back = concat.forward(&refs).unwrap();
+        prop_assert_eq!(&back[0], &x);
+    }
+
+    /// Activations are monotone nondecreasing (ReLU/Sigmoid/Tanh).
+    #[test]
+    fn activations_monotone(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for op in [ActivationOp::relu(), ActivationOp::sigmoid(), ActivationOp::tanh()] {
+            let x = Tensor::from_slice(&[lo, hi]);
+            let y = op.forward(&[&x]).unwrap();
+            prop_assert!(y[0].data()[0] <= y[0].data()[1] + 1e-7, "{}", op.name());
+        }
+    }
+
+    /// Numerical gradient check passes for random linear-layer instances.
+    #[test]
+    fn linear_gradcheck_random(n in 1usize..4, fin in 1usize..5, fout in 1usize..5,
+                               seed in 0u64..50) {
+        let x = rand_tensor(&[n, fin], seed);
+        let w = rand_tensor(&[fout, fin], seed ^ 7);
+        let b = rand_tensor(&[fout], seed ^ 8);
+        let op = deep500_ops::linear::LinearOp::default();
+        let report = test_gradient(&op, &[&x, &w, &b], 1e-3, 30).unwrap();
+        prop_assert!(report.passes(5e-3), "max rel {}", report.max_rel_error);
+    }
+}

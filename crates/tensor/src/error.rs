@@ -1,0 +1,80 @@
+//! The common error type shared across the Deep500-rs crates.
+
+use std::fmt;
+
+/// Errors produced anywhere in the Deep500-rs stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Tensor shapes are incompatible for the requested operation.
+    ShapeMismatch(String),
+    /// A (simulated) device ran out of memory. Carries the requested and
+    /// available byte counts; used by the Level-1 micro-batching experiment
+    /// to reproduce the paper's out-of-memory behaviour for large
+    /// minibatches.
+    OutOfMemory { requested: usize, capacity: usize },
+    /// An argument was out of range or otherwise invalid.
+    Invalid(String),
+    /// An I/O failure (real or from the simulated storage layer).
+    Io(String),
+    /// A malformed serialized artifact (d5nx model, container, codec).
+    Format(String),
+    /// A named entity (node, tensor, operator, dataset) does not exist.
+    NotFound(String),
+    /// The operation is valid but not supported by this component.
+    Unsupported(String),
+    /// A distributed-communication failure (peer gone, mismatched collective).
+    Communication(String),
+    /// Numerical validation failed (divergence, NaN, tolerance exceeded).
+    Validation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            Error::OutOfMemory { requested, capacity } => write!(
+                f,
+                "out of memory: requested {requested} B, capacity {capacity} B"
+            ),
+            Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+            Error::Io(m) => write!(f, "I/O error: {m}"),
+            Error::Format(m) => write!(f, "format error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Communication(m) => write!(f, "communication error: {m}"),
+            Error::Validation(m) => write!(f, "validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::OutOfMemory { requested: 10, capacity: 5 };
+        assert_eq!(e.to_string(), "out of memory: requested 10 B, capacity 5 B");
+        assert!(Error::ShapeMismatch("a vs b".into())
+            .to_string()
+            .contains("a vs b"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

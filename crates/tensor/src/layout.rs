@@ -1,0 +1,138 @@
+//! Data layouts for image tensors.
+//!
+//! One of the framework-interoperability gaps the paper highlights (Use
+//! Case 1) is *data layout*: TensorFlow defaults to NHWC while Caffe2 and
+//! PyTorch use NCHW, and comparing operators fairly requires making the
+//! layout explicit and convertible. Deep500's tensor descriptors "include
+//! data layout types"; this module supplies the layout tags plus exact
+//! transposition routines between them.
+
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+
+/// Memory layout of a 4-D image tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataLayout {
+    /// Batch, channels, height, width — Caffe2/PyTorch default.
+    #[default]
+    Nchw,
+    /// Batch, height, width, channels — TensorFlow CPU default.
+    Nhwc,
+}
+
+impl DataLayout {
+    /// Short tag used in descriptors and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DataLayout::Nchw => "NCHW",
+            DataLayout::Nhwc => "NHWC",
+        }
+    }
+
+    /// Reorder logical `(n, c, h, w)` extents into this layout's axis order.
+    pub fn shape_from_nchw(&self, n: usize, c: usize, h: usize, w: usize) -> Shape {
+        match self {
+            DataLayout::Nchw => Shape::new(&[n, c, h, w]),
+            DataLayout::Nhwc => Shape::new(&[n, h, w, c]),
+        }
+    }
+
+    /// Extract logical `(n, c, h, w)` from a shape in this layout.
+    pub fn nchw_extents(&self, shape: &Shape) -> Result<(usize, usize, usize, usize)> {
+        if shape.rank() != 4 {
+            return Err(Error::ShapeMismatch(format!(
+                "layout {} requires rank-4 shape, got {shape}",
+                self.tag()
+            )));
+        }
+        let d = shape.dims();
+        Ok(match self {
+            DataLayout::Nchw => (d[0], d[1], d[2], d[3]),
+            DataLayout::Nhwc => (d[0], d[3], d[1], d[2]),
+        })
+    }
+}
+
+/// Transpose an NCHW buffer to NHWC. Returns the transposed buffer.
+pub fn nchw_to_nhwc(data: &[f32], n: usize, c: usize, h: usize, w: usize) -> Vec<f32> {
+    assert_eq!(data.len(), n * c * h * w);
+    let mut out = vec![0.0f32; data.len()];
+    for in_ in 0..n {
+        for ic in 0..c {
+            for ih in 0..h {
+                for iw in 0..w {
+                    let src = ((in_ * c + ic) * h + ih) * w + iw;
+                    let dst = ((in_ * h + ih) * w + iw) * c + ic;
+                    out[dst] = data[src];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Transpose an NHWC buffer to NCHW. Returns the transposed buffer.
+pub fn nhwc_to_nchw(data: &[f32], n: usize, c: usize, h: usize, w: usize) -> Vec<f32> {
+    assert_eq!(data.len(), n * c * h * w);
+    let mut out = vec![0.0f32; data.len()];
+    for in_ in 0..n {
+        for ih in 0..h {
+            for iw in 0..w {
+                for ic in 0..c {
+                    let src = ((in_ * h + ih) * w + iw) * c + ic;
+                    let dst = ((in_ * c + ic) * h + ih) * w + iw;
+                    out[dst] = data[src];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_shapes() {
+        assert_eq!(DataLayout::Nchw.tag(), "NCHW");
+        assert_eq!(
+            DataLayout::Nhwc.shape_from_nchw(2, 3, 4, 5),
+            Shape::new(&[2, 4, 5, 3])
+        );
+        assert_eq!(
+            DataLayout::Nhwc
+                .nchw_extents(&Shape::new(&[2, 4, 5, 3]))
+                .unwrap(),
+            (2, 3, 4, 5)
+        );
+        assert!(DataLayout::Nchw.nchw_extents(&Shape::new(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn transposes_are_inverses() {
+        let (n, c, h, w) = (2, 3, 4, 5);
+        let data: Vec<f32> = (0..n * c * h * w).map(|i| i as f32).collect();
+        let nhwc = nchw_to_nhwc(&data, n, c, h, w);
+        let back = nhwc_to_nchw(&nhwc, n, c, h, w);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn transpose_moves_the_right_element() {
+        // element (n=0, c=1, h=0, w=0) of a 1x2x1x1 tensor
+        let data = [10.0f32, 20.0];
+        let nhwc = nchw_to_nhwc(&data, 1, 2, 1, 1);
+        assert_eq!(nhwc, [10.0, 20.0]); // degenerate spatial dims: same order
+        let (n, c, h, w) = (1, 2, 2, 1);
+        let data = [1.0f32, 2.0, 3.0, 4.0]; // c0: [1,2], c1: [3,4]
+        let nhwc = nchw_to_nhwc(&data, n, c, h, w);
+        // NHWC order: (h0,w0,c0)=1, (h0,w0,c1)=3, (h1,w0,c0)=2, (h1,w0,c1)=4
+        assert_eq!(nhwc, [1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn default_layout_is_nchw() {
+        assert_eq!(DataLayout::default(), DataLayout::Nchw);
+    }
+}

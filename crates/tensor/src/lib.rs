@@ -1,0 +1,33 @@
+//! # deep500-tensor
+//!
+//! The dense-tensor substrate underneath Deep500-rs. The Deep500 paper is a
+//! *meta-framework* that assumes high-performance frameworks exist; in this
+//! reproduction we build that substrate ourselves. This crate provides:
+//!
+//! * [`shape::Shape`] — dimension/stride algebra for N-D arrays,
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` tensor (the paper
+//!   uses 32-bit floats for all DNN parameters and errors),
+//! * [`descriptor::TensorDesc`] / [`descriptor::DeviceDesc`]
+//!   — the paper's ABI-style tensor and device descriptors used for
+//!   framework interoperability,
+//! * [`rng`] — a deterministic, seedable xoshiro256\*\* generator plus
+//!   normal/uniform sampling and the standard DNN weight initializers
+//!   (reproducibility, pillar 5: every random bit in Deep500-rs flows from
+//!   an explicit seed through this generator),
+//! * [`Error`] — the common error type shared by the higher-level crates
+//!   (notably [`Error::OutOfMemory`], which the Level-1 micro-batching
+//!   experiment relies on).
+
+pub mod descriptor;
+pub mod error;
+pub mod layout;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use descriptor::{DataType, DeviceDesc, TensorDesc};
+pub use error::{Error, Result};
+pub use layout::DataLayout;
+pub use rng::Xoshiro256StarStar;
+pub use shape::Shape;
+pub use tensor::Tensor;

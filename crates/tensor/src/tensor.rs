@@ -1,0 +1,471 @@
+//! The dense `f32` tensor.
+//!
+//! All DNN buffers in Deep500-rs are contiguous row-major `f32` tensors
+//! (the paper's evaluation uses 32-bit floats throughout). Heavy kernels
+//! (GEMM, convolution) live in `deep500-ops`; this type supplies storage,
+//! elementwise arithmetic, reductions, and batch-axis manipulation
+//! (slice/concat) needed by samplers and graph transformations.
+
+use crate::error::{Error, Result};
+use crate::rng::Xoshiro256StarStar;
+use crate::shape::Shape;
+
+/// An owned, contiguous, row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Tensor from an existing buffer; length must match the shape.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Tensor> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(Error::ShapeMismatch(format!(
+                "buffer of {} elements vs shape {} ({} elements)",
+                data.len(),
+                shape,
+                shape.numel()
+            )));
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Tensor {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn rand_uniform(
+        shape: impl Into<Shape>,
+        lo: f32,
+        hi: f32,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        rng.fill_uniform(&mut t.data, lo, hi);
+        t
+    }
+
+    /// Normal random tensor `N(mean, stddev^2)`.
+    pub fn rand_normal(
+        shape: impl Into<Shape>,
+        mean: f32,
+        stddev: f32,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        rng.fill_normal(&mut t.data, mean, stddev);
+        t
+    }
+
+    // ------------------------------------------------------- accessors
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size in bytes of the element buffer.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Immutable view of the flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Set element at a multi-index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reshape in place (metadata only); element count must match.
+    pub fn reshape(&mut self, dims: &[usize]) -> Result<()> {
+        self.shape = self.shape.reshape(dims)?;
+        Ok(())
+    }
+
+    /// A reshaped copy.
+    pub fn reshaped(&self, dims: &[usize]) -> Result<Tensor> {
+        let mut t = self.clone();
+        t.reshape(dims)?;
+        Ok(t)
+    }
+
+    // --------------------------------------------------- elementwise ops
+
+    /// Elementwise `self + other` (same shape).
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise `self - other` (same shape).
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise `self * other` (same shape).
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise `self / other` (same shape).
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Elementwise combine with an arbitrary function.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch(format!(
+                "{} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Elementwise in-place accumulate: `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(Error::ShapeMismatch(format!(
+                "{} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scaled copy: `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|v| alpha * v)
+    }
+
+    /// In-place scale.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    // -------------------------------------------------------- reductions
+
+    /// Sum of all elements (f64 accumulator).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum element (NaN-ignoring); `-inf` if empty.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element; `+inf` if empty.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// ℓ2 norm of the flat buffer.
+    pub fn l2_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&v| v as f64 * v as f64)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// True if any element is NaN or infinite — the "exploding loss" check.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Row-wise argmax of a `[rows, cols]` tensor (classification outputs).
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.shape.rank() != 2 {
+            return Err(Error::ShapeMismatch(format!(
+                "argmax_rows requires rank-2 tensor, got {}",
+                self.shape
+            )));
+        }
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------ batch-axis slicing
+
+    /// Copy rows `[start, start+len)` along axis 0 — the minibatch/microbatch
+    /// slice used by samplers and the micro-batching transformation.
+    pub fn slice_axis0(&self, start: usize, len: usize) -> Result<Tensor> {
+        if self.shape.rank() == 0 {
+            return Err(Error::ShapeMismatch("cannot slice a scalar".into()));
+        }
+        let n = self.shape.dim(0);
+        if start + len > n {
+            return Err(Error::Invalid(format!(
+                "slice [{start}, {}) out of bounds for axis-0 extent {n}",
+                start + len
+            )));
+        }
+        let row = self.numel() / n.max(1);
+        let data = self.data[start * row..(start + len) * row].to_vec();
+        Ok(Tensor {
+            shape: self.shape.with_dim(0, len),
+            data,
+        })
+    }
+
+    /// Concatenate tensors along axis 0.
+    pub fn concat_axis0(parts: &[Tensor]) -> Result<Tensor> {
+        let shapes: Vec<&Shape> = parts.iter().map(|t| t.shape()).collect();
+        let shape = Shape::concat(&shapes, 0)?;
+        let mut data = Vec::with_capacity(shape.numel());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Transpose a rank-2 tensor.
+    pub fn transpose2d(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(Error::ShapeMismatch(format!(
+                "transpose2d requires rank-2, got {}",
+                self.shape
+            )));
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut data = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(Tensor { shape: Shape::new(&[c, r]), data })
+    }
+
+    /// Approximate elementwise equality within `tol` (test helper).
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert_eq!(z.sum(), 0.0);
+        let o = Tensor::ones([4]);
+        assert_eq!(o.sum(), 4.0);
+        let f = Tensor::full([2], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5]);
+        let s = Tensor::scalar(7.0);
+        assert_eq!(s.shape().rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(Tensor::from_vec([2, 2], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros([2, 3]);
+        t.set(&[1, 2], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 9.0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[4.0, 2.5, 2.0]);
+        let c = Tensor::zeros([2]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let g = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.data(), &[0.0, -1.0]);
+        assert_eq!(a.scale(2.0).data(), &[0.0, -2.0]);
+        a.scale_inplace(3.0);
+        assert_eq!(a.data(), &[0.0, -3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert!((t.l2_norm() - (14.0f64).sqrt()).abs() < 1e-9);
+        assert!(!t.has_non_finite());
+        let bad = Tensor::from_slice(&[1.0, f32::NAN]);
+        assert!(bad.has_non_finite());
+    }
+
+    #[test]
+    fn argmax_rows_works() {
+        let t = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.8]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 2]);
+        assert!(Tensor::from_slice(&[1.0]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn slice_and_concat_axis0_roundtrip() {
+        let t = Tensor::from_vec([4, 2], (0..8).map(|i| i as f32).collect()).unwrap();
+        let a = t.slice_axis0(0, 1).unwrap();
+        let b = t.slice_axis0(1, 3).unwrap();
+        assert_eq!(a.shape(), &Shape::new(&[1, 2]));
+        assert_eq!(b.shape(), &Shape::new(&[3, 2]));
+        let r = Tensor::concat_axis0(&[a, b]).unwrap();
+        assert_eq!(&r, &t);
+        assert!(t.slice_axis0(3, 2).is_err());
+    }
+
+    #[test]
+    fn transpose2d_works() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.shape(), &Shape::new(&[3, 2]));
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(&tt.transpose2d().unwrap(), &t);
+    }
+
+    #[test]
+    fn reshape_and_approx_eq() {
+        let mut t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        t.reshape(&[2, 2]).unwrap();
+        assert_eq!(t.shape(), &Shape::new(&[2, 2]));
+        assert!(t.reshape(&[3]).is_err());
+        let u = t.map(|v| v + 1e-7);
+        assert!(t.approx_eq(&u, 1e-5));
+        assert!(!t.approx_eq(&u, 1e-9));
+    }
+
+    #[test]
+    fn random_tensors_are_deterministic() {
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(1);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(1);
+        let a = Tensor::rand_uniform([10], -1.0, 1.0, &mut r1);
+        let b = Tensor::rand_uniform([10], -1.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+        let n = Tensor::rand_normal([10], 0.0, 1.0, &mut r1);
+        assert!(n.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Tensor::zeros([3, 2]).size_bytes(), 24);
+    }
+}

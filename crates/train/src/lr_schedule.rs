@@ -1,0 +1,59 @@
+//! Learning-rate schedules ("Gradient Descent with learning rate
+//! schedule" is among the paper's provided optimizers).
+
+/// A learning-rate schedule evaluated at step `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// `lr * gamma^(t / step_every)` — staircase exponential decay.
+    StepDecay {
+        lr: f32,
+        gamma: f32,
+        step_every: usize,
+    },
+    /// `lr / (1 + decay * t)` — inverse-time decay.
+    InverseTime { lr: f32, decay: f32 },
+}
+
+impl LrSchedule {
+    /// Learning rate at iteration `t` (0-based).
+    pub fn at(&self, t: usize) -> f32 {
+        match self {
+            LrSchedule::Constant(lr) => *lr,
+            LrSchedule::StepDecay { lr, gamma, step_every } => {
+                lr * gamma.powi((t / step_every.max(&1)) as i32)
+            }
+            LrSchedule::InverseTime { lr, decay } => lr / (1.0 + decay * t as f32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_staircases() {
+        let s = LrSchedule::StepDecay { lr: 1.0, gamma: 0.5, step_every: 10 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn inverse_time_decays_monotonically() {
+        let s = LrSchedule::InverseTime { lr: 1.0, decay: 0.1 };
+        assert_eq!(s.at(0), 1.0);
+        assert!(s.at(10) < s.at(5));
+        assert!((s.at(10) - 0.5).abs() < 1e-6);
+    }
+}

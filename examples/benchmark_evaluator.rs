@@ -1,0 +1,95 @@
+//! The "benchmark evaluator" user role (paper §IV-A): "one might use
+//! Deep500 and the various built-in metrics to choose hardware (or
+//! software) that performs best given a target workload" — and the
+//! "Others" use case: "For a given DL workload, which one of the available
+//! machines will perform best?"
+//!
+//! The workload (LeNet inference at batch 32) runs on every framework
+//! backend; each candidate machine pairs a backend with a device power
+//! envelope; the report ranks by runtime, modeled energy, and
+//! energy-delay product.
+//!
+//! Run with: `cargo run --release --example benchmark_evaluator`
+
+use deep500::metrics::energy::{EnergyMetric, PowerModel};
+use deep500::metrics::event::{Event, Phase};
+use deep500::prelude::*;
+
+struct Candidate {
+    name: &'static str,
+    profile: FrameworkProfile,
+    power: PowerModel,
+}
+
+fn main() {
+    let candidates = vec![
+        Candidate {
+            name: "gpu-node / pytorch",
+            profile: FrameworkProfile::pytorch(),
+            power: PowerModel::p100(),
+        },
+        Candidate {
+            name: "gpu-node / tensorflow",
+            profile: FrameworkProfile::tensorflow(),
+            power: PowerModel::p100(),
+        },
+        Candidate {
+            name: "cpu-server / caffe2",
+            profile: FrameworkProfile::caffe2(),
+            power: PowerModel::xeon(),
+        },
+        Candidate {
+            name: "mobile-soc / pytorch",
+            profile: FrameworkProfile::pytorch(),
+            power: PowerModel::mobile_soc(),
+        },
+    ];
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(500);
+    let x = Tensor::rand_uniform([32, 1, 20, 20], -1.0, 1.0, &mut rng);
+    let labels = Tensor::zeros([32]);
+    let feeds = vec![("x", x), ("labels", labels)];
+
+    println!("workload: LeNet inference, batch 32, 1x20x20 inputs\n");
+    let mut table = Table::new(
+        "candidate machines ranked by the evaluator",
+        &["machine", "median time [ms]", "energy [J]", "avg power [W]", "EDP [mJ*s]"],
+    );
+    let mut scored: Vec<(String, f64, f64)> = Vec::new();
+    for cand in candidates {
+        let net = models::lenet(1, 20, 10, 500).unwrap();
+        let mut ex = FrameworkExecutor::new(&net, cand.profile).unwrap();
+        // Warm up once, then measure with the energy probe attached.
+        ex.inference(&feeds).unwrap();
+        let mut energy = EnergyMetric::new(cand.power);
+        let mut times = Vec::new();
+        for _ in 0..9 {
+            energy.begin(Phase::OperatorForward, 0);
+            let t = Timer::start();
+            ex.inference(&feeds).unwrap();
+            times.push(t.elapsed_s());
+            energy.end(Phase::OperatorForward, 0);
+        }
+        let med = deep500::metrics::stats::median(&times);
+        let joules = energy.energy_j() / times.len() as f64;
+        let edp = joules * med;
+        table.row(&[
+            cand.name.to_string(),
+            format!("{:.2}", med * 1e3),
+            format!("{joules:.3}"),
+            format!("{:.1}", energy.average_power_w()),
+            format!("{:.3}", edp * 1e3),
+        ]);
+        scored.push((cand.name.to_string(), med, edp));
+    }
+    table.print();
+
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("\nfastest machine: {}", scored[0].0);
+    scored.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    println!("best energy-delay product: {}", scored[0].0);
+    println!(
+        "\nthe evaluator role needs no knowledge of the backends' internals:\n\
+         the same d5-level workload and metrics rank arbitrary machines."
+    );
+}

@@ -1,0 +1,127 @@
+//! Custom operators: the paper's median-pooling example (Listings 3–4).
+//!
+//! A user-defined operator is registered under a name (the Rust analogue
+//! of `D500_REGISTER_OP`), validated against the built-in reference with
+//! `test_forward` and numerically gradient-checked with `test_gradient`,
+//! then dropped into a network next to built-in operators — "without
+//! having to implement other operators".
+//!
+//! Run with: `cargo run --release --example custom_operator`
+
+use deep500::ops::grad_check::test_gradient;
+use deep500::ops::pool::Pool2dOp;
+use deep500::ops::validate::test_forward;
+use deep500::prelude::*;
+
+/// The user's hand-written median pooling (2×2, stride 2) — deliberately
+/// implemented independently of the built-in `Pool2dOp` so the validation
+/// has something real to check.
+struct MyMedianPool;
+
+impl Operator for MyMedianPool {
+    fn name(&self) -> &str {
+        "MyMedianPool"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn output_shapes(&self, s: &[&Shape]) -> deep500::tensor::Result<Vec<Shape>> {
+        let d = s[0].dims();
+        Ok(vec![Shape::new(&[d[0], d[1], d[2] / 2, d[3] / 2])])
+    }
+    fn forward(&self, inputs: &[&Tensor]) -> deep500::tensor::Result<Vec<Tensor>> {
+        let x = inputs[0];
+        let d = x.shape().dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (ho, wo) = (h / 2, w / 2);
+        let mut out = Tensor::zeros([n, c, ho, wo]);
+        for plane in 0..n * c {
+            for oh in 0..ho {
+                for ow in 0..wo {
+                    let mut vals = [0.0f32; 4];
+                    for (k, val) in vals.iter_mut().enumerate() {
+                        let (dy, dx) = (k / 2, k % 2);
+                        *val = x.data()[plane * h * w + (oh * 2 + dy) * w + (ow * 2 + dx)];
+                    }
+                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    // Even window: mean of the two middle elements.
+                    out.data_mut()[plane * ho * wo + oh * wo + ow] = 0.5 * (vals[1] + vals[2]);
+                }
+            }
+        }
+        Ok(vec![out])
+    }
+    fn backward(
+        &self,
+        grad_outputs: &[&Tensor],
+        inputs: &[&Tensor],
+        _outputs: &[&Tensor],
+    ) -> deep500::tensor::Result<Vec<Tensor>> {
+        let x = inputs[0];
+        let g = grad_outputs[0];
+        let d = x.shape().dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (ho, wo) = (h / 2, w / 2);
+        let mut dx = Tensor::zeros(x.shape().clone());
+        for plane in 0..n * c {
+            for oh in 0..ho {
+                for ow in 0..wo {
+                    let mut vals: Vec<(f32, usize)> = (0..4)
+                        .map(|k| {
+                            let (dy, dxo) = (k / 2, k % 2);
+                            let off = plane * h * w + (oh * 2 + dy) * w + (ow * 2 + dxo);
+                            (x.data()[off], off)
+                        })
+                        .collect();
+                    vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    let gv = g.data()[plane * ho * wo + oh * wo + ow];
+                    dx.data_mut()[vals[1].1] += 0.5 * gv;
+                    dx.data_mut()[vals[2].1] += 0.5 * gv;
+                }
+            }
+        }
+        Ok(vec![dx])
+    }
+}
+
+fn main() {
+    // Register the custom operator — D500_REGISTER_OP(MedianPooling).
+    register_op("MyMedianPool", |_| Ok(Box::new(MyMedianPool)));
+    println!("registered custom operator 'MyMedianPool'");
+
+    // Level-0 validation vs the built-in reference implementation.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+    let x = Tensor::rand_uniform([2, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let reference = Pool2dOp::median(2, 2).forward(&[&x]).unwrap();
+    let refs: Vec<&Tensor> = reference.iter().collect();
+    let report = test_forward(&MyMedianPool, &[&x], &refs, 30).unwrap();
+    println!(
+        "test_forward vs built-in MedianPool2d: {} | repeatable: {} | {}",
+        report.norms[0],
+        report.max_variance == 0.0,
+        report.time.render(),
+    );
+    assert!(report.passes(1e-6));
+
+    // Numerical gradient checking (central finite differences).
+    let grad = test_gradient(&MyMedianPool, &[&x], 1e-4, 60).unwrap();
+    println!(
+        "test_gradient: max relative error {:.3e} over {} checked elements -> {}",
+        grad.max_rel_error,
+        grad.checked,
+        if grad.passes(5e-3) { "PASS" } else { "FAIL" }
+    );
+
+    // Use it inside a network next to built-in operators.
+    let mut net = Network::new("custom-op-demo");
+    net.add_input("x");
+    net.add_node("act", "Relu", Attributes::new(), &["x"], &["a"]).unwrap();
+    net.add_node("mp", "MyMedianPool", Attributes::new(), &["a"], &["y"]).unwrap();
+    net.add_output("y");
+    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let out = ex.inference(&[("x", x)]).unwrap();
+    println!(
+        "network with custom op produced output of shape {}",
+        out["y"].shape()
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerate the paper's Table I (framework features) and Table II
+//! (benchmark features) from the encoded matrices.
+//!
+//! Run with: `cargo run --release --example feature_matrix`
+
+use deep500::feature_matrix::{
+    benchmark_matrix, framework_matrix, render_matrix, Support, BENCHMARK_FEATURES,
+    FRAMEWORK_FEATURES,
+};
+
+fn main() {
+    let rows: Vec<(String, Vec<Support>)> = framework_matrix()
+        .into_iter()
+        .map(|r| (format!("({}) {}", r.kind, r.name), r.features.to_vec()))
+        .collect();
+    println!(
+        "{}",
+        render_matrix(
+            "Table I — DL frameworks, libraries and frontends",
+            &FRAMEWORK_FEATURES,
+            &rows
+        )
+    );
+    println!("legend: ● full  ◐ partial  ○ none");
+    println!(
+        "columns: Sta=standard operators, Cus=customizable, Def=deferred,\n\
+         Eag=eager, Com=network compilation, Tra=transformable, Dat=dataset\n\
+         integration, Opt=standard optimizers, CusOpt=custom optimizers,\n\
+         PS=parameter server, Dec=decentralized, Asy=async SGD,\n\
+         CusDist=custom distribution\n"
+    );
+
+    let rows: Vec<(String, Vec<Support>)> = benchmark_matrix()
+        .into_iter()
+        .map(|r| (r.name.to_string(), r.features.to_vec()))
+        .collect();
+    println!(
+        "{}",
+        render_matrix("Table II — DL benchmarks", &BENCHMARK_FEATURES, &rows)
+    );
+    println!(
+        "columns: Perf=performance, Conv=convergence, Acc=accuracy,\n\
+         Tput=throughput, Brk=timing breakdown, Sca=strong scaling,\n\
+         Com=communication, TTA=time-to-accuracy, FTA=final test accuracy,\n\
+         Ops=operator benchmarks, Repro=reproducible infrastructure"
+    );
+}

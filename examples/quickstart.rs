@@ -1,0 +1,79 @@
+//! Quickstart: train a LeNet-style CNN on a synthetic MNIST-shaped dataset
+//! and report loss, accuracy and time-to-accuracy — the end-to-end Level-2
+//! workflow of Deep500-rs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deep500::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Reproducibility: everything flows from explicit seeds.
+    const SEED: u64 = 500;
+
+    // A synthetic stand-in for MNIST: same 1x28x28 shape and 10 classes,
+    // deterministic and learnable. The test set is a disjoint holdout of
+    // the same distribution.
+    let train_ds = SyntheticDataset::mnist_like(512, SEED);
+    let test_ds = train_ds.holdout(256);
+    println!(
+        "dataset: {} ({} train / {} test samples, {} classes)",
+        train_ds.name(),
+        train_ds.len(),
+        test_ds.len(),
+        train_ds.num_classes()
+    );
+
+    // Level 1: the LeNet network from the model zoo, on the reference
+    // graph executor (topological interpreter with autodiff).
+    let net = models::lenet(1, 28, 10, SEED).unwrap();
+    println!(
+        "model: {} nodes, {} parameters ({} bytes)",
+        net.num_nodes(),
+        net.get_params().len(),
+        net.parameter_bytes()
+    );
+    let mut executor = ReferenceExecutor::new(net).unwrap();
+
+    // Level 2: shuffle sampler + momentum SGD + the training runner.
+    let mut train_sampler = ShuffleSampler::new(Arc::new(train_ds), 32, SEED);
+    let mut test_sampler = ShuffleSampler::new(Arc::new(test_ds), 64, SEED);
+    let mut optimizer = Momentum::new(0.02, 0.9);
+    let mut runner = TrainingRunner::new(TrainingConfig {
+        epochs: 4,
+        train_accuracy_every: 4,
+        test_accuracy_every: 1,
+        target_accuracy: Some(0.95),
+    });
+
+    let log = runner
+        .run(
+            &mut optimizer,
+            &mut executor,
+            &mut train_sampler,
+            Some(&mut test_sampler),
+        )
+        .unwrap();
+
+    // Report, Deep500-style.
+    let mut table = Table::new("training progress", &["epoch", "test accuracy", "elapsed"]);
+    for (epoch, acc, secs) in &log.test_accuracy {
+        table.row(&[
+            epoch.to_string(),
+            format!("{:.1} %", acc * 100.0),
+            format!("{secs:.2} s"),
+        ]);
+    }
+    table.print();
+
+    let (first, last) = log.loss_endpoints().unwrap();
+    println!("\ntraining loss: {first:.3} -> {last:.3}");
+    match log.time_to_accuracy {
+        Some(t) => println!("time to 95% accuracy: {t:.2} s"),
+        None => println!("95% accuracy not reached in {} epochs", log.epochs_run),
+    }
+    println!(
+        "final test accuracy: {:.1} %",
+        log.final_test_accuracy().unwrap() * 100.0
+    );
+}

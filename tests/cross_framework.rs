@@ -1,0 +1,147 @@
+//! Cross-framework integration: the same portable network executes on the
+//! reference executor and on every simulated framework backend with
+//! matching outputs and gradients — the paper's Level-1 `test_executor`
+//! story, end to end.
+
+use deep500::graph::validate::{test_executor, test_executor_backprop};
+use deep500::prelude::*;
+use deep500::recipes::test_optimizer;
+use deep500::train::TrainingConfig;
+use std::sync::Arc;
+
+fn feeds(seed: u64) -> Vec<(&'static str, Tensor)> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    vec![
+        ("x", Tensor::rand_uniform([4, 1, 16, 16], -1.0, 1.0, &mut rng)),
+        ("labels", Tensor::from_slice(&[0.0, 1.0, 2.0, 3.0])),
+    ]
+}
+
+#[test]
+fn every_backend_matches_the_reference_on_lenet() {
+    for profile in FrameworkProfile::all() {
+        let name = profile.name;
+        let net = models::lenet(1, 16, 4, 31).unwrap();
+        let mut fx = FrameworkExecutor::new(&net, profile).unwrap();
+        let mut rx = ReferenceExecutor::new(net).unwrap();
+        let report = test_executor(&mut fx, &mut rx, &feeds(31), 3).unwrap();
+        assert!(
+            report.passes(1e-3),
+            "{name} inference diverged: {:?}",
+            report.output_norms
+        );
+        let report = test_executor_backprop(&mut fx, &mut rx, &feeds(31), "loss", 2).unwrap();
+        assert!(
+            report.passes(5e-3),
+            "{name} gradients diverged: {:?}",
+            report.gradient_norms
+        );
+    }
+}
+
+#[test]
+fn deep500_wrapped_training_matches_native_trajectory() {
+    // The Level-2 overhead experiment's correctness half: running the
+    // trainer over a framework executor must produce the same parameters
+    // as over the reference executor.
+    let net = models::mlp(12, &[8], 3, 17).unwrap();
+    let mut fx = FrameworkExecutor::new(&net, FrameworkProfile::caffe2()).unwrap();
+    let mut rx = ReferenceExecutor::new(net).unwrap();
+    let ds: Arc<dyn Dataset> = Arc::new(SyntheticDataset::new(
+        "xfw",
+        Shape::new(&[12]),
+        3,
+        96,
+        0.3,
+        17,
+    ));
+    let mut batches = Vec::new();
+    let mut s = SequentialSampler::new(ds, 12);
+    while let Some(b) = s.next_batch().unwrap() {
+        batches.push(b);
+    }
+    let mut cand = GradientDescent::new(0.05);
+    let mut refr = GradientDescent::new(0.05);
+    let report = test_optimizer(&mut cand, &mut fx, &mut refr, &mut rx, &batches).unwrap();
+    assert!(report.passes(1e-4), "{:?}", report.param_norms);
+}
+
+#[test]
+fn fused_and_composed_adam_reach_equal_accuracy() {
+    // The paper's Fig. 9/10 claim: the fused native optimizer is faster
+    // but *not* more accurate — trajectories coincide.
+    use deep500::frameworks::fused_optim::FusedAdam;
+    let run = |fused: bool| -> f64 {
+        let train_ds =
+            SyntheticDataset::new("fvc", Shape::new(&[16]), 4, 256, 0.3, 23);
+        let test_ds = train_ds.holdout(128);
+        let net = models::mlp(16, &[24], 4, 23).unwrap();
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut train = ShuffleSampler::new(Arc::new(train_ds), 32, 5);
+        let mut test = ShuffleSampler::new(Arc::new(test_ds), 64, 5);
+        let mut runner = TrainingRunner::new(TrainingConfig {
+            epochs: 5,
+            ..Default::default()
+        });
+        let log = if fused {
+            let mut opt = FusedAdam::new(0.01);
+            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+        } else {
+            let mut opt = Adam::new(0.01);
+            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+        };
+        log.final_test_accuracy().unwrap()
+    };
+    let fused_acc = run(true);
+    let composed_acc = run(false);
+    assert!(
+        (fused_acc - composed_acc).abs() < 0.05,
+        "fused {fused_acc} vs composed {composed_acc}"
+    );
+}
+
+#[test]
+fn custom_op_participates_in_cross_framework_execution() {
+    // Register a custom op, put it in a network, execute on two backends.
+    struct Clip;
+    impl Operator for Clip {
+        fn name(&self) -> &str {
+            "Clip01"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn output_shapes(&self, s: &[&Shape]) -> deep500::tensor::Result<Vec<Shape>> {
+            Ok(vec![s[0].clone()])
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> deep500::tensor::Result<Vec<Tensor>> {
+            Ok(vec![inputs[0].map(|v| v.clamp(0.0, 1.0))])
+        }
+        fn backward(
+            &self,
+            g: &[&Tensor],
+            i: &[&Tensor],
+            _o: &[&Tensor],
+        ) -> deep500::tensor::Result<Vec<Tensor>> {
+            Ok(vec![g[0].zip(i[0], |gv, xv| {
+                if (0.0..=1.0).contains(&xv) {
+                    gv
+                } else {
+                    0.0
+                }
+            })?])
+        }
+    }
+    register_op("Clip01", |_| Ok(Box::new(Clip)));
+    let mut net = Network::new("clip-net");
+    net.add_input("x");
+    net.add_node("c", "Clip01", Attributes::new(), &["x"], &["y"]).unwrap();
+    net.add_output("y");
+    let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+    let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
+    let mut b = FrameworkExecutor::new(&net, FrameworkProfile::tensorflow()).unwrap();
+    let ya = a.inference(&[("x", x.clone())]).unwrap();
+    let yb = b.inference(&[("x", x)]).unwrap();
+    assert_eq!(ya["y"], yb["y"]);
+    assert_eq!(ya["y"].data(), &[0.0, 0.5, 1.0]);
+}

@@ -1,0 +1,134 @@
+//! Data-pipeline integration: synthetic images → D5J encoding → on-disk
+//! containers → decode pipelines → minibatches → training. The full path
+//! behind the paper's Fig. 8 / Table III experiments.
+
+use deep500::data::codec::{self, RawImage};
+use deep500::data::container::binfile::{write_binfile, BinFileDataset};
+use deep500::data::container::indexed_tar::{write_indexed_tar, Decoder, IndexedTarReader};
+use deep500::data::container::recordfile::{write_recordfile, RecordPipeline, RecordReader};
+use deep500::data::io_model::{StorageClock, StorageModel};
+use deep500::prelude::*;
+use deep500::train::TrainingConfig;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("d5-pipeline-int");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn encoded_samples(n: usize, seed: u64) -> Vec<(RawImage, u32)> {
+    let src = SyntheticDataset::cifar10_like(n, seed);
+    (0..n)
+        .map(|i| {
+            let (pix, label) = src.sample_u8(i);
+            (RawImage::new(3, 32, 32, pix).unwrap(), label)
+        })
+        .collect()
+}
+
+#[test]
+fn record_pipeline_feeds_training() {
+    // Encode a small CIFAR-shaped dataset into a record file, then train
+    // directly from the decode pipeline.
+    let samples = encoded_samples(96, 8);
+    let path = tmp("train.d5rec");
+    write_recordfile(&path, &samples, 85).unwrap();
+
+    let clock = Arc::new(StorageClock::new());
+    let reader = RecordReader::open(&path, StorageModel::local_ssd(), clock.clone()).unwrap();
+    let mut pipeline = RecordPipeline::new(reader, 64, true, 3);
+
+    let net = models::lenet(3, 32, 10, 12).unwrap();
+    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let mut opt = GradientDescent::new(0.02);
+    let mut losses = Vec::new();
+    while let Some(batch) = pipeline.next_batch(16).unwrap() {
+        let mb = Minibatch { x: batch.x, labels: batch.labels };
+        let r = deep500::train::train_step(&mut opt, &mut ex, &mb).unwrap();
+        losses.push(r.loss);
+    }
+    assert!(losses.len() >= 6, "pipeline produced {} batches", losses.len());
+    assert!(losses.iter().all(|l| l.is_finite()));
+    assert!(clock.elapsed() > 0.0, "modeled I/O time charged");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tar_and_record_decode_identical_images() {
+    let samples = encoded_samples(10, 9);
+    let tar_path = tmp("same.tar");
+    let rec_path = tmp("same.d5rec");
+    write_indexed_tar(&tar_path, &samples, 85).unwrap();
+    write_recordfile(&rec_path, &samples, 85).unwrap();
+
+    let clock = Arc::new(StorageClock::new());
+    let mut tar = IndexedTarReader::open(
+        &tar_path,
+        Decoder::Turbo,
+        StorageModel::local_ssd(),
+        clock.clone(),
+    )
+    .unwrap();
+    let mut rec = RecordReader::open(&rec_path, StorageModel::local_ssd(), clock).unwrap();
+    for i in 0..10 {
+        let (tar_img, tar_label) = tar.read_sample(i).unwrap();
+        let record = rec.next_record().unwrap().unwrap();
+        let rec_img = codec::decode_turbo(&record.payload).unwrap();
+        assert_eq!(tar_img, rec_img, "sample {i}");
+        assert_eq!(tar_label, record.label);
+    }
+    std::fs::remove_file(&tar_path).ok();
+    std::fs::remove_file(&rec_path).ok();
+}
+
+#[test]
+fn binfile_dataset_trains_like_synthetic() {
+    // MNIST-style raw binary on disk: write, reload, train one epoch.
+    let src = SyntheticDataset::mnist_like(64, 10);
+    let samples: Vec<(Vec<u8>, u32)> = (0..64).map(|i| src.sample_u8(i)).collect();
+    let path = tmp("mnist.d5bin");
+    write_binfile(&path, 1, 28, 28, &samples).unwrap();
+
+    let clock = Arc::new(StorageClock::new());
+    let ds: Arc<dyn Dataset> = Arc::new(
+        BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap(),
+    );
+    let net = models::lenet(1, 28, 10, 10).unwrap();
+    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let mut sampler = ShuffleSampler::new(ds, 16, 4);
+    let mut opt = GradientDescent::new(0.05);
+    let mut runner = TrainingRunner::new(TrainingConfig {
+        epochs: 1,
+        ..Default::default()
+    });
+    let log = runner.run(&mut opt, &mut ex, &mut sampler, None).unwrap();
+    assert_eq!(log.step_losses.len(), 4);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lossy_codec_preserves_labels_and_learnability() {
+    // Images that went through the lossy codec still carry their class
+    // signal: a model trained on decoded images beats chance.
+    let samples = encoded_samples(128, 11);
+    let path = tmp("learn.d5rec");
+    write_recordfile(&path, &samples, 80).unwrap();
+    let clock = Arc::new(StorageClock::new());
+    let reader = RecordReader::open(&path, StorageModel::local_ssd(), clock).unwrap();
+    let mut pipeline = RecordPipeline::new(reader, 128, true, 7);
+    let batch = pipeline.next_batch(128).unwrap().unwrap();
+
+    let net = models::lenet(3, 32, 10, 13).unwrap();
+    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let mut opt = Momentum::new(0.02, 0.9);
+    let mb = Minibatch { x: batch.x, labels: batch.labels };
+    let mut final_acc = 0.0;
+    for _ in 0..30 {
+        let r = deep500::train::train_step(&mut opt, &mut ex, &mb).unwrap();
+        final_acc = r.accuracy.unwrap();
+    }
+    assert!(final_acc > 0.5, "overfit accuracy {final_acc} on decoded images");
+    std::fs::remove_file(&path).ok();
+}

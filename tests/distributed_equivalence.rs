@@ -1,0 +1,178 @@
+//! Level-3 integration: distributed schemes against sequential ground
+//! truth, across world sizes, with a real model and dataset.
+
+use deep500::dist::comm::ThreadCommunicator;
+use deep500::dist::optimizers::dsgd::ConsistentDecentralized;
+use deep500::dist::optimizers::stale::StaleSynchronous;
+use deep500::dist::optimizers::DistributedOptimizer;
+use deep500::dist::runner::{ranks_consistent, train_data_parallel, SchemeFactory};
+use deep500::dist::NetworkModel;
+use deep500::prelude::*;
+use std::sync::Arc;
+
+fn dataset(len: usize) -> Arc<dyn Dataset> {
+    Arc::new(SyntheticDataset::new(
+        "dist-int",
+        Shape::new(&[12]),
+        3,
+        len,
+        0.3,
+        99,
+    ))
+}
+
+#[test]
+fn dsgd_is_consistent_across_world_sizes() {
+    for world in [2usize, 3, 5, 8] {
+        let scheme: SchemeFactory = Arc::new(|comm: ThreadCommunicator| {
+            Box::new(ConsistentDecentralized::optimized(
+                Box::new(GradientDescent::new(0.05)),
+                Box::new(comm),
+            )) as Box<dyn DistributedOptimizer>
+        });
+        let results = train_data_parallel(
+            &models::mlp(12, &[8], 3, 1).unwrap(),
+            dataset(512),
+            scheme,
+            world,
+            8,
+            4,
+            NetworkModel::aries(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(results.len(), world);
+        assert!(ranks_consistent(&results, 1e-5), "world {world}");
+        // Everyone made progress.
+        for r in &results {
+            assert!(r.losses.iter().all(|l| l.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn horovod_style_matches_per_tensor_dsgd() {
+    // Fused-buffer allreduce must produce the same parameters as
+    // per-tensor allreduce: fusion is a performance choice only.
+    let run = |fused: bool| {
+        let scheme: SchemeFactory = if fused {
+            Arc::new(|comm: ThreadCommunicator| {
+                Box::new(ConsistentDecentralized::horovod(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(comm),
+                )) as Box<dyn DistributedOptimizer>
+            })
+        } else {
+            Arc::new(|comm: ThreadCommunicator| {
+                Box::new(ConsistentDecentralized::optimized(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(comm),
+                )) as Box<dyn DistributedOptimizer>
+            })
+        };
+        train_data_parallel(
+            &models::mlp(12, &[8], 3, 2).unwrap(),
+            dataset(256),
+            scheme,
+            4,
+            8,
+            3,
+            NetworkModel::instant(),
+            13,
+        )
+        .unwrap()
+    };
+    let fused = run(true);
+    let per_tensor = run(false);
+    for ((n1, a), (n2, b)) in fused[0].final_params.iter().zip(&per_tensor[0].final_params) {
+        assert_eq!(n1, n2);
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-5, "{n1}: {x} vs {y}");
+        }
+    }
+    // Horovod sends fewer messages (fusion) but comparable bytes.
+    assert!(fused[0].volume.messages_sent < per_tensor[0].volume.messages_sent);
+}
+
+#[test]
+fn stale_synchronous_interpolates_between_sync_and_local() {
+    // staleness 0: every step synchronizes (ranks consistent).
+    let scheme: SchemeFactory = Arc::new(|comm: ThreadCommunicator| {
+        Box::new(StaleSynchronous::new(
+            Box::new(GradientDescent::new(0.05)),
+            Box::new(comm),
+            0,
+        )) as Box<dyn DistributedOptimizer>
+    });
+    let sync = train_data_parallel(
+        &models::mlp(12, &[8], 3, 3).unwrap(),
+        dataset(256),
+        scheme,
+        4,
+        8,
+        4,
+        NetworkModel::instant(),
+        21,
+    )
+    .unwrap();
+    assert!(ranks_consistent(&sync, 1e-5));
+
+    // staleness 3: ranks drift between synchronizations but sync at step 4.
+    let scheme: SchemeFactory = Arc::new(|comm: ThreadCommunicator| {
+        Box::new(StaleSynchronous::new(
+            Box::new(GradientDescent::new(0.05)),
+            Box::new(comm),
+            3,
+        )) as Box<dyn DistributedOptimizer>
+    });
+    let stale = train_data_parallel(
+        &models::mlp(12, &[8], 3, 3).unwrap(),
+        dataset(256),
+        scheme,
+        4,
+        8,
+        4, // exactly one sync boundary at step 4
+        NetworkModel::instant(),
+        21,
+    )
+    .unwrap();
+    assert!(ranks_consistent(&stale, 1e-5), "consistent at the boundary");
+    // The stale run communicated less: one sync instead of four.
+    assert!(
+        stale[1].volume.bytes_sent < sync[1].volume.bytes_sent,
+        "stale {} vs sync {}",
+        stale[1].volume.bytes_sent,
+        sync[1].volume.bytes_sent
+    );
+}
+
+#[test]
+fn virtual_time_reflects_network_quality() {
+    // The same schedule on a slower network must take more virtual time.
+    let run = |model: NetworkModel| -> f64 {
+        let scheme: SchemeFactory = Arc::new(|comm: ThreadCommunicator| {
+            Box::new(ConsistentDecentralized::optimized(
+                Box::new(GradientDescent::new(0.05)),
+                Box::new(comm),
+            )) as Box<dyn DistributedOptimizer>
+        });
+        let results = train_data_parallel(
+            &models::mlp(12, &[8], 3, 4).unwrap(),
+            dataset(256),
+            scheme,
+            4,
+            8,
+            3,
+            model,
+            5,
+        )
+        .unwrap();
+        results.iter().map(|r| r.virtual_time).fold(0.0, f64::max)
+    };
+    let aries = run(NetworkModel::aries());
+    let ethernet = run(NetworkModel::ethernet_10g());
+    assert!(
+        ethernet > aries * 2.0,
+        "ethernet {ethernet} should dwarf aries {aries}"
+    );
+}

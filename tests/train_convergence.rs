@@ -1,0 +1,112 @@
+//! Cross-crate integration: every provided optimizer trains a CNN on a
+//! learnable synthetic task, loss decreases, and accuracy beats chance —
+//! the end-to-end Level-0→2 path.
+
+use deep500::prelude::*;
+use deep500::train::TrainingConfig;
+use std::sync::Arc;
+
+fn scenario(seed: u64) -> (ReferenceExecutor, ShuffleSampler, ShuffleSampler) {
+    let train_ds = SyntheticDataset::new("conv-task", Shape::new(&[1, 12, 12]), 4, 192, 0.4, seed);
+    let test_ds = train_ds.holdout(96);
+    let net = models::lenet(1, 12, 4, seed).unwrap();
+    (
+        ReferenceExecutor::new(net).unwrap(),
+        ShuffleSampler::new(Arc::new(train_ds), 16, seed),
+        ShuffleSampler::new(Arc::new(test_ds), 32, seed),
+    )
+}
+
+fn train_with(opt: &mut dyn ThreeStepOptimizer, seed: u64) -> (f32, f32, f64) {
+    let (mut ex, mut train, mut test) = scenario(seed);
+    let mut runner = TrainingRunner::new(TrainingConfig {
+        epochs: 3,
+        ..Default::default()
+    });
+    let log = runner
+        .run(opt, &mut ex, &mut train, Some(&mut test))
+        .unwrap();
+    let (first, last) = log.loss_endpoints().unwrap();
+    (first, last, log.final_test_accuracy().unwrap())
+}
+
+#[test]
+fn sgd_converges_on_cnn() {
+    let mut opt = GradientDescent::new(0.05);
+    let (first, last, acc) = train_with(&mut opt, 1);
+    assert!(last < first, "{first} -> {last}");
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn momentum_converges_on_cnn() {
+    let mut opt = Momentum::new(0.02, 0.9);
+    let (first, last, acc) = train_with(&mut opt, 2);
+    assert!(last < first);
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn adam_converges_on_cnn() {
+    let mut opt = Adam::new(0.005);
+    let (first, last, acc) = train_with(&mut opt, 3);
+    assert!(last < first);
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn adagrad_converges_on_cnn() {
+    let mut opt = AdaGrad::new(0.02);
+    let (first, last, acc) = train_with(&mut opt, 4);
+    assert!(last < first);
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn rmsprop_converges_on_cnn() {
+    let mut opt = RmsProp::new(0.002);
+    let (first, last, acc) = train_with(&mut opt, 5);
+    assert!(last < first);
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn accelegrad_converges_on_cnn() {
+    let mut opt = AcceleGrad::new(AcceleGradConfig {
+        d: 2.0,
+        g: 5.0,
+        lr: 0.05,
+        eps: 1e-8,
+    });
+    let (first, last, acc) = train_with(&mut opt, 6);
+    assert!(last < first);
+    assert!(acc > 0.4, "accuracy {acc}");
+}
+
+#[test]
+fn fused_native_optimizers_converge_too() {
+    use deep500::frameworks::fused_optim::{FusedAdam, FusedMomentum};
+    let mut opt = FusedAdam::new(0.005);
+    let (_, _, acc) = train_with(&mut opt, 7);
+    assert!(acc > 0.5, "fused adam accuracy {acc}");
+    let mut opt = FusedMomentum::new(0.02, 0.9);
+    let (_, _, acc) = train_with(&mut opt, 8);
+    assert!(acc > 0.5, "fused momentum accuracy {acc}");
+}
+
+#[test]
+fn resnet_like_model_trains_end_to_end() {
+    use deep500::graph::models::resnet_like;
+    let train_ds = SyntheticDataset::new("res-task", Shape::new(&[1, 8, 8]), 3, 96, 0.3, 9);
+    let net = resnet_like(1, 8, 4, 2, 3, 9).unwrap();
+    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let mut sampler = ShuffleSampler::new(Arc::new(train_ds), 12, 9);
+    let mut opt = GradientDescent::new(0.02);
+    let mut runner = TrainingRunner::new(TrainingConfig {
+        epochs: 2,
+        ..Default::default()
+    });
+    let log = runner.run(&mut opt, &mut ex, &mut sampler, None).unwrap();
+    let (first, last) = log.loss_endpoints().unwrap();
+    assert!(last < first, "resnet loss {first} -> {last}");
+}
