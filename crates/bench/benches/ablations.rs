@@ -36,8 +36,11 @@ fn main() {
         "median forward time [ms] by channel count",
         &["channels in->out", "direct", "im2col", "winograd", "winner"],
     );
-    let channel_grid: &[(usize, usize)] =
-        if full_scale() { &[(1, 4), (4, 16), (16, 64), (64, 128)] } else { &[(1, 4), (4, 16), (16, 32)] };
+    let channel_grid: &[(usize, usize)] = if full_scale() {
+        &[(1, 4), (4, 16), (16, 64), (64, 128)]
+    } else {
+        &[(1, 4), (4, 16), (16, 32)]
+    };
     for &(ci, co) in channel_grid {
         let x = Tensor::rand_uniform([2, ci, 16, 16], -1.0, 1.0, &mut rng);
         let w = Tensor::rand_uniform([co, ci, 3, 3], -0.5, 0.5, &mut rng);

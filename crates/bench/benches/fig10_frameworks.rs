@@ -33,27 +33,40 @@ fn main() {
         fused: bool,
     }
     let configs = vec![
-        Config { label: "Adam TF (native)", profile: FrameworkProfile::tensorflow(), fused: false },
+        Config {
+            label: "Adam TF (native)",
+            profile: FrameworkProfile::tensorflow(),
+            fused: false,
+        },
         // The paper's TF composes Adam from tensor ops — modeled by the
         // composed reference running over the TF executor; Caffe2's fused
         // Adam kernel is the FusedAdam update.
-        Config { label: "Adam CF2 (native, fused)", profile: FrameworkProfile::caffe2(), fused: true },
-        Config { label: "Adam TF Deep500", profile: FrameworkProfile::tensorflow(), fused: false },
-        Config { label: "Adam CF2 Deep500", profile: FrameworkProfile::caffe2(), fused: false },
+        Config {
+            label: "Adam CF2 (native, fused)",
+            profile: FrameworkProfile::caffe2(),
+            fused: true,
+        },
+        Config {
+            label: "Adam TF Deep500",
+            profile: FrameworkProfile::tensorflow(),
+            fused: false,
+        },
+        Config {
+            label: "Adam CF2 Deep500",
+            profile: FrameworkProfile::caffe2(),
+            fused: false,
+        },
     ];
 
-    let mut table = Table::new(
-        "accuracy per epoch (%) and total time",
-        &{
-            let mut h = vec!["configuration"];
-            let labels: Vec<&str> = (0..epochs)
-                .map(|e| Box::leak(format!("e{e}").into_boxed_str()) as &str)
-                .collect();
-            h.extend(labels);
-            h.push("time [s]");
-            h
-        },
-    );
+    let mut table = Table::new("accuracy per epoch (%) and total time", &{
+        let mut h = vec!["configuration"];
+        let labels: Vec<&str> = (0..epochs)
+            .map(|e| Box::leak(format!("e{e}").into_boxed_str()) as &str)
+            .collect();
+        h.extend(labels);
+        h.push("time [s]");
+        h
+    });
     let mut times = Vec::new();
     for cfg in configs {
         let train_ds =
@@ -70,10 +83,14 @@ fn main() {
         });
         let log = if cfg.fused {
             let mut opt = FusedAdam::new(0.002);
-            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+            runner
+                .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+                .unwrap()
         } else {
             let mut opt = Adam::new(0.002);
-            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+            runner
+                .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+                .unwrap()
         };
         let mut cells = vec![cfg.label.to_string()];
         for e in 0..epochs {
@@ -87,7 +104,11 @@ fn main() {
         }
         cells.push(format!("{:.2}", log.total_time));
         table.row(&cells);
-        times.push((cfg.label, log.total_time, log.final_test_accuracy().unwrap()));
+        times.push((
+            cfg.label,
+            log.total_time,
+            log.final_test_accuracy().unwrap(),
+        ));
     }
     table.print();
 

@@ -8,8 +8,8 @@
 //! continuing training increases divergence, where some parameters (e.g.,
 //! fully connected) diverge faster than others (additive bias)".
 
-use deep500::prelude::*;
 use deep500::frameworks::fused_optim::FusedAdam;
+use deep500::prelude::*;
 use deep500::train::trajectory::compare_trajectories;
 use deep500_bench::{banner, full_scale};
 use std::sync::Arc;
@@ -77,7 +77,8 @@ fn main() {
     table.print();
 
     // Panel (b): l-inf.
-    println!("\nl-inf divergence, total: start {:.2e} -> end {:.2e}",
+    println!(
+        "\nl-inf divergence, total: start {:.2e} -> end {:.2e}",
         log.total_linf[0],
         log.total_linf[iterations - 1]
     );

@@ -41,46 +41,80 @@ fn main() {
     println!("--- ground truth: 4 real ranks, real messages, virtual Aries clock ---");
     let steps = if full_scale() { 20 } else { 8 };
     let schemes: Vec<(&str, SchemeFactory)> = vec![
-        ("CDSGD", Arc::new(|c: ThreadCommunicator| {
-            Box::new(ConsistentDecentralized::optimized(
-                Box::new(GradientDescent::new(0.05)), Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("REF-dsgd", Arc::new(|c: ThreadCommunicator| {
-            Box::new(ConsistentDecentralized::reference(
-                Box::new(GradientDescent::new(0.05)), Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("Horovod", Arc::new(|c: ThreadCommunicator| {
-            Box::new(ConsistentDecentralized::horovod(
-                Box::new(GradientDescent::new(0.05)), Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("REF-pssgd", Arc::new(|c: ThreadCommunicator| {
-            Box::new(ConsistentCentralized::new(
-                Box::new(GradientDescent::new(0.05)), Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("REF-asgd", Arc::new(|c: ThreadCommunicator| {
-            Box::new(InconsistentCentralized::new(
-                Box::new(GradientDescent::new(0.05)), Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("REF-dpsgd", Arc::new(|c: ThreadCommunicator| {
-            Box::new(DecentralizedNeighbor::new(
-                Box::new(GradientDescent::new(0.05)), Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("REF-mavg", Arc::new(|c: ThreadCommunicator| {
-            Box::new(ModelAveraging::new(
-                Box::new(GradientDescent::new(0.05)), Box::new(c), 2,
-            )) as Box<dyn DistributedOptimizer>
-        })),
-        ("SparCML", Arc::new(|c: ThreadCommunicator| {
-            Box::new(SparseDecentralized::new(
-                Box::new(GradientDescent::new(0.05)), Box::new(c), 0.1,
-            )) as Box<dyn DistributedOptimizer>
-        })),
+        (
+            "CDSGD",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(ConsistentDecentralized::optimized(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "REF-dsgd",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(ConsistentDecentralized::reference(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "Horovod",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(ConsistentDecentralized::horovod(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "REF-pssgd",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(ConsistentCentralized::new(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "REF-asgd",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(InconsistentCentralized::new(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "REF-dpsgd",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(DecentralizedNeighbor::new(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "REF-mavg",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(ModelAveraging::new(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                    2,
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
+        (
+            "SparCML",
+            Arc::new(|c: ThreadCommunicator| {
+                Box::new(SparseDecentralized::new(
+                    Box::new(GradientDescent::new(0.05)),
+                    Box::new(c),
+                    0.1,
+                )) as Box<dyn DistributedOptimizer>
+            }),
+        ),
     ];
 
     let dataset: Arc<dyn Dataset> = Arc::new(SyntheticDataset::new(
@@ -94,7 +128,13 @@ fn main() {
     let network = models::mlp(32, &[64], 4, 12).unwrap();
     let mut table = Table::new(
         format!("4 ranks x {steps} steps (rank-0 numbers)"),
-        &["scheme", "loss end", "sent/rank", "msgs", "virtual time [ms]"],
+        &[
+            "scheme",
+            "loss end",
+            "sent/rank",
+            "msgs",
+            "virtual time [ms]",
+        ],
     );
     for (name, scheme) in schemes {
         let results = train_data_parallel(
@@ -145,7 +185,11 @@ fn main() {
     println!("\nper-node communicated data per step at 8 nodes (caption analogue):");
     for scheme in Scheme::strong_set() {
         let p = deep500::dist::scaling::simulate_step(scheme, 8, 128, &w, &net);
-        println!("  {:>9}: {}", scheme.label(), fmt_bytes(p.sent_bytes_per_step));
+        println!(
+            "  {:>9}: {}",
+            scheme.label(),
+            fmt_bytes(p.sent_bytes_per_step)
+        );
     }
 
     println!("\n--- weak scaling: 128 images/node, 1-256 nodes ---");

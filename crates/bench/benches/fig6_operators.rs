@@ -78,7 +78,12 @@ fn main() {
     println!("--- GEMM suite ({} sizes) ---", gemm_suite().len());
     let mut table = Table::new(
         "Fig. 6b analogue: per-framework runtime distribution over the suite",
-        &["framework", "median native [ms]", "median Deep500 [ms]", "CIs overlap"],
+        &[
+            "framework",
+            "median native [ms]",
+            "median Deep500 [ms]",
+            "CIs overlap",
+        ],
     );
     for profile in FrameworkProfile::all() {
         let mut native = Vec::new();
@@ -125,7 +130,10 @@ fn main() {
     } else {
         GemmSize::new(1024, 64, 1024)
     };
-    println!("\nhighlighted GEMM {}x{}x{} (paper: M=K=2560, N=64):", g.m, g.n, g.k);
+    println!(
+        "\nhighlighted GEMM {}x{}x{} (paper: M=K=2560, N=64):",
+        g.m, g.n, g.k
+    );
     let (a, b) = gemm_inputs(&g, &mut rng);
     for profile in FrameworkProfile::all() {
         let op = MatMulOp::new(profile.gemm_algo);
@@ -137,7 +145,12 @@ fn main() {
     println!("\n--- convolution suite ({} sizes) ---", conv_suite().len());
     let mut table = Table::new(
         "Fig. 6a analogue: per-framework runtime distribution over the suite",
-        &["framework", "median native [ms]", "median Deep500 [ms]", "CIs overlap"],
+        &[
+            "framework",
+            "median native [ms]",
+            "median Deep500 [ms]",
+            "CIs overlap",
+        ],
     );
     for profile in FrameworkProfile::all() {
         let mut native = Vec::new();
@@ -226,5 +239,8 @@ fn main() {
         let fast = deep500::ops::gemm::matmul(Algorithm::Parallel, &a, &b).unwrap();
         errs.push(linf_diff(fast.data(), reference.data()));
     }
-    println!("  parallel GEMM vs naive: median l-inf = {:.2e}", median(&errs));
+    println!(
+        "  parallel GEMM vs naive: median l-inf = {:.2e}",
+        median(&errs)
+    );
 }

@@ -14,8 +14,8 @@
 
 use deep500::data::container::binfile::{write_binfile, BinFileDataset};
 use deep500::data::container::recordfile::{write_recordfile, RecordPipeline, RecordReader};
-use deep500::data::io_model::{StorageClock, StorageModel};
 use deep500::data::dataset::assemble_minibatch;
+use deep500::data::io_model::{StorageClock, StorageModel};
 use deep500::data::{codec, Dataset};
 use deep500::prelude::*;
 use deep500_bench::{banner, full_scale, measure};
@@ -40,11 +40,19 @@ fn main() {
     // ------------------------------------------------- small datasets
     let mut table = Table::new(
         "small datasets (raw binary, fully memory-resident after open)",
-        &["dataset", "real load [ms/batch]", "synthetic [ms/batch]", "faster"],
+        &[
+            "dataset",
+            "real load [ms/batch]",
+            "synthetic [ms/batch]",
+            "faster",
+        ],
     );
     let small: Vec<(&str, SyntheticDataset)> = vec![
         ("MNIST", SyntheticDataset::mnist_like(small_len, 1)),
-        ("Fashion-MNIST", SyntheticDataset::fashion_mnist_like(small_len, 2)),
+        (
+            "Fashion-MNIST",
+            SyntheticDataset::fashion_mnist_like(small_len, 2),
+        ),
         ("CIFAR-10", SyntheticDataset::cifar10_like(small_len, 3)),
         ("CIFAR-100", SyntheticDataset::cifar100_like(small_len, 4)),
     ];
@@ -56,9 +64,13 @@ fn main() {
         let path = tmp(&format!("{name}.d5bin"));
         write_binfile(&path, d[0], d[1], d[2], &samples).unwrap();
         let clock = Arc::new(StorageClock::new());
-        let real =
-            BinFileDataset::open(&path, synth.num_classes(), &StorageModel::local_ssd(), &clock)
-                .unwrap();
+        let real = BinFileDataset::open(
+            &path,
+            synth.num_classes(),
+            &StorageModel::local_ssd(),
+            &clock,
+        )
+        .unwrap();
         let indices: Vec<usize> = (0..batch).collect();
         let real_s = measure(|| assemble_minibatch(&real, &indices).unwrap());
         let mut seed = 0u64;
@@ -70,7 +82,12 @@ fn main() {
             name.to_string(),
             format!("{:.3}", real_s.median * 1e3),
             format!("{:.3}", synth_s.median * 1e3),
-            if real_s.median < synth_s.median { "real" } else { "synthetic" }.to_string(),
+            if real_s.median < synth_s.median {
+                "real"
+            } else {
+                "synthetic"
+            }
+            .to_string(),
         ]);
         std::fs::remove_file(&path).ok();
     }

@@ -12,7 +12,9 @@
 //! slower, AcceleGrad ≈1.6× slower than native Caffe2 optimizers) while
 //! matching their accuracy.
 
-use deep500::frameworks::fused_optim::{FusedAdaGrad, FusedAdam, FusedMomentum, FusedRmsProp, FusedSgd};
+use deep500::frameworks::fused_optim::{
+    FusedAdaGrad, FusedAdam, FusedMomentum, FusedRmsProp, FusedSgd,
+};
 use deep500::prelude::*;
 use deep500::train::TrainingConfig;
 use deep500_bench::{banner, full_scale};
@@ -23,16 +25,47 @@ struct Entry {
     opt: Box<dyn ThreeStepOptimizer>,
 }
 
+/// (label, fused implementation, composed implementation).
+type UpdateRulePair = (
+    &'static str,
+    Box<dyn ThreeStepOptimizer>,
+    Box<dyn ThreeStepOptimizer>,
+);
+
 fn lineup() -> Vec<Entry> {
     vec![
-        Entry { name: "GradDescent native", opt: Box::new(FusedSgd::new(0.05)) },
-        Entry { name: "Momentum native", opt: Box::new(FusedMomentum::new(0.01, 0.9)) },
-        Entry { name: "Adam native", opt: Box::new(FusedAdam::new(0.002)) },
-        Entry { name: "AdaGrad native", opt: Box::new(FusedAdaGrad::new(0.01)) },
-        Entry { name: "RmsProp native", opt: Box::new(FusedRmsProp::new(0.001)) },
-        Entry { name: "GradDescent Deep500", opt: Box::new(GradientDescent::new(0.05)) },
-        Entry { name: "Momentum Deep500", opt: Box::new(Momentum::new(0.01, 0.9)) },
-        Entry { name: "Adam-Ref Deep500", opt: Box::new(Adam::new(0.002)) },
+        Entry {
+            name: "GradDescent native",
+            opt: Box::new(FusedSgd::new(0.05)),
+        },
+        Entry {
+            name: "Momentum native",
+            opt: Box::new(FusedMomentum::new(0.01, 0.9)),
+        },
+        Entry {
+            name: "Adam native",
+            opt: Box::new(FusedAdam::new(0.002)),
+        },
+        Entry {
+            name: "AdaGrad native",
+            opt: Box::new(FusedAdaGrad::new(0.01)),
+        },
+        Entry {
+            name: "RmsProp native",
+            opt: Box::new(FusedRmsProp::new(0.001)),
+        },
+        Entry {
+            name: "GradDescent Deep500",
+            opt: Box::new(GradientDescent::new(0.05)),
+        },
+        Entry {
+            name: "Momentum Deep500",
+            opt: Box::new(Momentum::new(0.01, 0.9)),
+        },
+        Entry {
+            name: "Adam-Ref Deep500",
+            opt: Box::new(Adam::new(0.002)),
+        },
         Entry {
             name: "AcceleGrad (custom)",
             opt: Box::new(AcceleGrad::new(AcceleGradConfig {
@@ -55,22 +88,21 @@ fn main() {
     } else {
         (16, 384, 5, 32)
     };
-    println!("task: CNN on 3x{hw}x{hw} synthetic CIFAR-like, {train_len} samples, {epochs} epochs\n");
-
-    let mut acc_table = Table::new(
-        "test accuracy (%) vs epoch",
-        &{
-            let mut h = vec!["optimizer"];
-            let epoch_labels: Vec<String> = (0..epochs).map(|e| format!("e{e}")).collect();
-            let leaked: Vec<&str> = epoch_labels
-                .iter()
-                .map(|s| Box::leak(s.clone().into_boxed_str()) as &str)
-                .collect();
-            h.extend(leaked);
-            h.push("total time [s]");
-            h
-        },
+    println!(
+        "task: CNN on 3x{hw}x{hw} synthetic CIFAR-like, {train_len} samples, {epochs} epochs\n"
     );
+
+    let mut acc_table = Table::new("test accuracy (%) vs epoch", &{
+        let mut h = vec!["optimizer"];
+        let epoch_labels: Vec<String> = (0..epochs).map(|e| format!("e{e}")).collect();
+        let leaked: Vec<&str> = epoch_labels
+            .iter()
+            .map(|s| Box::leak(s.clone().into_boxed_str()) as &str)
+            .collect();
+        h.extend(leaked);
+        h.push("total time [s]");
+        h
+    });
     let mut results: Vec<(String, f64, f64)> = Vec::new(); // name, final acc, time
 
     for mut entry in lineup() {
@@ -112,7 +144,13 @@ fn main() {
 
     // Loss-vs-time panel condensed into a slowdown summary.
     println!("\n--- performance: reference (composed) vs native (fused) updates ---");
-    let time_of = |name: &str| results.iter().find(|(n, _, _)| n == name).map(|r| r.2).unwrap();
+    let time_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|r| r.2)
+            .unwrap()
+    };
     let pairs = [
         ("Adam", "Adam native", "Adam-Ref Deep500"),
         ("GradDescent", "GradDescent native", "GradDescent Deep500"),
@@ -143,8 +181,12 @@ fn main() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(50);
     let w = Tensor::rand_uniform([n], -1.0, 1.0, &mut rng);
     let g = Tensor::rand_uniform([n], -1.0, 1.0, &mut rng);
-    let pairs: Vec<(&str, Box<dyn ThreeStepOptimizer>, Box<dyn ThreeStepOptimizer>)> = vec![
-        ("Adam", Box::new(FusedAdam::new(0.01)), Box::new(Adam::new(0.01))),
+    let pairs: Vec<UpdateRulePair> = vec![
+        (
+            "Adam",
+            Box::new(FusedAdam::new(0.01)),
+            Box::new(Adam::new(0.01)),
+        ),
         (
             "Momentum",
             Box::new(FusedMomentum::new(0.01, 0.9)),

@@ -37,7 +37,11 @@ fn bench_conv(c: &mut Criterion) {
     let x = Tensor::rand_uniform([2, 8, 32, 32], -1.0, 1.0, &mut rng);
     let w = Tensor::rand_uniform([16, 8, 3, 3], -0.5, 0.5, &mut rng);
     let bias = Tensor::zeros([16]);
-    for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col, ConvAlgorithm::Winograd] {
+    for algo in [
+        ConvAlgorithm::Direct,
+        ConvAlgorithm::Im2col,
+        ConvAlgorithm::Winograd,
+    ] {
         let op = Conv2dOp::new(1, 1, algo);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{algo:?}")),
@@ -99,5 +103,11 @@ fn bench_collectives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_conv, bench_codec, bench_collectives);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv,
+    bench_codec,
+    bench_collectives
+);
 criterion_main!(benches);

@@ -17,17 +17,25 @@ use deep500_bench::{banner, full_scale, reruns};
 use std::sync::Arc;
 
 fn epoch_times(instrumented: bool, epochs: usize) -> Vec<f64> {
-    let (hw, len, batch) = if full_scale() { (28, 1024, 64) } else { (16, 256, 32) };
+    let (hw, len, batch) = if full_scale() {
+        (28, 1024, 64)
+    } else {
+        (16, 256, 32)
+    };
     let train_ds = SyntheticDataset::new("ovh", Shape::new(&[1, hw, hw]), 10, len, 0.4, 20);
     let net = models::lenet(1, hw, 10, 20).unwrap();
     let mut ex = FrameworkExecutor::new(&net, FrameworkProfile::tensorflow()).unwrap();
     if instrumented {
         // The full metric stack: per-operator wallclock, whole-pass
         // wallclock, and the framework-overhead probe.
-        ex.events_mut().push(Box::new(WallclockTime::new(Phase::OperatorForward)));
-        ex.events_mut().push(Box::new(WallclockTime::new(Phase::OperatorBackward)));
-        ex.events_mut().push(Box::new(WallclockTime::new(Phase::Backprop)));
-        ex.events_mut().push(Box::new(FrameworkOverheadProbe::new()));
+        ex.events_mut()
+            .push(Box::new(WallclockTime::new(Phase::OperatorForward)));
+        ex.events_mut()
+            .push(Box::new(WallclockTime::new(Phase::OperatorBackward)));
+        ex.events_mut()
+            .push(Box::new(WallclockTime::new(Phase::Backprop)));
+        ex.events_mut()
+            .push(Box::new(FrameworkOverheadProbe::new()));
     }
     let mut sampler = ShuffleSampler::new(Arc::new(train_ds), batch, 6);
     let mut opt = GradientDescent::new(0.05);
@@ -60,11 +68,7 @@ fn main() {
         table.row(&[
             name.to_string(),
             format!("{:.2}", s.median * 1e3),
-            format!(
-                "[{:.2}, {:.2}]",
-                s.median_ci.lo * 1e3,
-                s.median_ci.hi * 1e3
-            ),
+            format!("[{:.2}, {:.2}]", s.median_ci.lo * 1e3, s.median_ci.hi * 1e3),
         ]);
     }
     table.print();

@@ -13,10 +13,10 @@
 //! shuffle is buffer-based), whereas tar pays real seeks for every
 //! shuffled access.
 
+use deep500::data::codec;
 use deep500::data::container::indexed_tar::{write_indexed_tar, Decoder, IndexedTarReader};
 use deep500::data::container::recordfile::{write_recordfile, RecordPipeline, RecordReader};
 use deep500::data::io_model::{StorageClock, StorageModel};
-use deep500::data::codec;
 use deep500::prelude::*;
 use deep500_bench::{banner, full_scale, measure};
 use std::path::PathBuf;
@@ -33,7 +33,11 @@ fn main() {
         "Table III — ImageNet decoding latency breakdown",
         "indexed tar (scalar/turbo decoders) vs record pipeline (native)",
     );
-    let (hw, count, batch) = if full_scale() { (224, 256, 128) } else { (64, 160, 32) };
+    let (hw, count, batch) = if full_scale() {
+        (224, 256, 128)
+    } else {
+        (64, 160, 32)
+    };
     println!("images: {count} x 3x{hw}x{hw}, minibatch {batch}\n");
 
     // Build both containers from identical images.
@@ -80,8 +84,7 @@ fn main() {
         let clock = Arc::new(StorageClock::new());
         let clock2 = clock.clone();
         let s = measure(|| {
-            let reader =
-                RecordReader::open(&rec_path, model.clone(), clock2.clone()).unwrap();
+            let reader = RecordReader::open(&rec_path, model.clone(), clock2.clone()).unwrap();
             let mut p = RecordPipeline::new(reader, shuffle_buffer, true, 3);
             p.next_batch(n).unwrap().unwrap()
         });
@@ -98,7 +101,14 @@ fn main() {
             "record pipeline (native)",
         ],
     );
-    let fmt = |(cpu, io): (f64, f64)| format!("{:.2} (cpu {:.2} + io {:.2})", (cpu + io) * 1e3, cpu * 1e3, io * 1e3);
+    let fmt = |(cpu, io): (f64, f64)| {
+        format!(
+            "{:.2} (cpu {:.2} + io {:.2})",
+            (cpu + io) * 1e3,
+            cpu * 1e3,
+            io * 1e3
+        )
+    };
 
     // 1 image, sequential (first image).
     table.row(&[

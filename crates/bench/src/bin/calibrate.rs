@@ -16,7 +16,9 @@ fn main() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(1);
     println!(
         "host calibration ({} logical cores)\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     let g = HIGHLIGHTED_GEMM;
@@ -34,11 +36,18 @@ fn main() {
     }
 
     let c = HIGHLIGHTED_CONV;
-    println!("\nconv N={} C={} H=W={} k={} (Fig. 6a highlight):", c.n, c.c, c.h, c.r);
+    println!(
+        "\nconv N={} C={} H=W={} k={} (Fig. 6a highlight):",
+        c.n, c.c, c.h, c.r
+    );
     let x = Tensor::rand_uniform([c.n, c.c, c.h, c.w], -1.0, 1.0, &mut rng);
     let w = Tensor::rand_uniform([c.k, c.c, c.r, c.r], -0.5, 0.5, &mut rng);
     let bias = Tensor::zeros([c.k]);
-    for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col, ConvAlgorithm::Winograd] {
+    for algo in [
+        ConvAlgorithm::Direct,
+        ConvAlgorithm::Im2col,
+        ConvAlgorithm::Winograd,
+    ] {
         let op = Conv2dOp::new(c.stride, c.pad, algo);
         let t = Timer::start();
         let _ = op.forward(&[&x, &w, &bias]).unwrap();

@@ -12,7 +12,9 @@ use deep500::metrics::Timer;
 /// paper-scale problem sizes, anything else (default) runs reduced sizes
 /// that finish in minutes on one core.
 pub fn full_scale() -> bool {
-    std::env::var("D5_BENCH_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("D5_BENCH_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Repetition count for timed measurements: the paper's 30 at full scale,
@@ -53,7 +55,11 @@ pub fn banner(figure: &str, what: &str) {
     println!("{what}");
     println!(
         "scale: {} | reruns: {}",
-        if full_scale() { "full (paper-size)" } else { "reduced (set D5_BENCH_SCALE=full)" },
+        if full_scale() {
+            "full (paper-size)"
+        } else {
+            "reduced (set D5_BENCH_SCALE=full)"
+        },
         reruns()
     );
     println!("================================================================\n");

@@ -32,8 +32,7 @@ use Support::{Full, None as No, Partial};
 
 /// Table I column keys (framework capabilities).
 pub const FRAMEWORK_FEATURES: [&str; 13] = [
-    "Sta", "Cus", "Def", "Eag", "Com", "Tra", "Dat", "Opt", "CusOpt", "PS", "Dec", "Asy",
-    "CusDist",
+    "Sta", "Cus", "Def", "Eag", "Com", "Tra", "Dat", "Opt", "CusOpt", "PS", "Dec", "Asy", "CusDist",
 ];
 
 /// One Table I row.
@@ -93,8 +92,7 @@ pub fn framework_matrix() -> Vec<FrameworkRow> {
             name: "CNTK",
             kind: 'F',
             features: [
-                Full, Partial, Full, No, No, No, Full, Partial, Full, Full, Partial, Full,
-                Partial,
+                Full, Partial, Full, No, No, No, Full, Partial, Full, Full, Partial, Full, Partial,
             ],
         },
         FrameworkRow {
@@ -155,7 +153,9 @@ pub fn benchmark_matrix() -> Vec<BenchmarkRow> {
         },
         BenchmarkRow {
             name: "MLPerf",
-            features: [Full, Partial, Full, Full, No, Partial, No, Full, Full, No, Partial],
+            features: [
+                Full, Partial, Full, Full, No, Partial, No, Full, Full, No, Partial,
+            ],
         },
         BenchmarkRow {
             name: "Deep500",

@@ -58,7 +58,9 @@ pub mod prelude {
     pub use deep500_data::{Dataset, DatasetSampler, Minibatch};
     pub use deep500_frameworks::{FrameworkExecutor, FrameworkProfile};
     pub use deep500_graph::builder::NetworkBuilder;
-    pub use deep500_graph::{models, GraphExecutor, Network, ReferenceExecutor};
+    pub use deep500_graph::{
+        models, ExecutorKind, GraphExecutor, Network, ReferenceExecutor, WavefrontExecutor,
+    };
     pub use deep500_metrics::{Table, TestMetric, Timer};
     pub use deep500_ops::registry::{create_op, register_op, Attributes};
     pub use deep500_ops::Operator;

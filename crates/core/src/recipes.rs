@@ -11,19 +11,25 @@ pub use deep500_ops::grad_check::test_gradient;
 pub use deep500_ops::validate::test_forward;
 pub use deep500_train::validate::{test_optimizer, test_training};
 
-use deep500_data::synthetic::SyntheticDataset;
 use deep500_data::sampler::ShuffleSampler;
-use deep500_graph::{models, ReferenceExecutor};
+use deep500_data::synthetic::SyntheticDataset;
+use deep500_graph::{models, ExecutorKind, GraphExecutor};
 use deep500_tensor::{Result, Shape};
 use deep500_train::{ThreeStepOptimizer, TrainingConfig, TrainingLog, TrainingRunner};
 use std::sync::Arc;
 
 /// A ready-made Level-2 benchmark scenario: model + train/test samplers.
+///
+/// The executor is built from an [`ExecutorKind`], so any scenario can run
+/// on the serial reference executor (the default) or the wavefront
+/// executor — they are bit-identical, so recipe results do not depend on
+/// the choice.
 pub struct Scenario {
-    pub executor: ReferenceExecutor,
+    pub executor: Box<dyn GraphExecutor>,
     pub train_sampler: ShuffleSampler,
     pub test_sampler: ShuffleSampler,
     pub name: String,
+    kind: ExecutorKind,
 }
 
 impl Scenario {
@@ -31,6 +37,25 @@ impl Scenario {
     /// benchmarks (small enough for Criterion, hard enough to rank
     /// optimizers).
     pub fn mlp_classification(
+        features: usize,
+        classes: usize,
+        train_len: usize,
+        batch: usize,
+        seed: u64,
+    ) -> Result<Scenario> {
+        Self::mlp_classification_with(
+            ExecutorKind::Reference,
+            features,
+            classes,
+            train_len,
+            batch,
+            seed,
+        )
+    }
+
+    /// [`Scenario::mlp_classification`] with an explicit executor choice.
+    pub fn mlp_classification_with(
+        kind: ExecutorKind,
         features: usize,
         classes: usize,
         train_len: usize,
@@ -48,16 +73,29 @@ impl Scenario {
         let test_ds = train_ds.holdout(train_len / 2);
         let net = models::mlp(features, &[features * 2], classes, seed ^ 0x5EED)?;
         Ok(Scenario {
-            executor: ReferenceExecutor::new(net)?,
+            executor: kind.build(net)?,
             train_sampler: ShuffleSampler::new(Arc::new(train_ds), batch, seed),
             test_sampler: ShuffleSampler::new(Arc::new(test_ds), batch * 2, seed),
             name: format!("mlp-{features}f-{classes}c"),
+            kind,
         })
     }
 
     /// CNN on a CIFAR-shaped synthetic task — the convergence-figure
     /// scenario (Figs. 9/10 at laptop scale).
     pub fn cnn_classification(
+        hw: usize,
+        classes: usize,
+        train_len: usize,
+        batch: usize,
+        seed: u64,
+    ) -> Result<Scenario> {
+        Self::cnn_classification_with(ExecutorKind::Reference, hw, classes, train_len, batch, seed)
+    }
+
+    /// [`Scenario::cnn_classification`] with an explicit executor choice.
+    pub fn cnn_classification_with(
+        kind: ExecutorKind,
         hw: usize,
         classes: usize,
         train_len: usize,
@@ -75,10 +113,11 @@ impl Scenario {
         let test_ds = train_ds.holdout(train_len / 2);
         let net = models::lenet(3, hw, classes, seed ^ 0x5EED)?;
         Ok(Scenario {
-            executor: ReferenceExecutor::new(net)?,
+            executor: kind.build(net)?,
             train_sampler: ShuffleSampler::new(Arc::new(train_ds), batch, seed),
             test_sampler: ShuffleSampler::new(Arc::new(test_ds), batch * 2, seed),
             name: format!("cnn-{hw}px-{classes}c"),
+            kind,
         })
     }
 
@@ -91,7 +130,7 @@ impl Scenario {
         let mut runner = TrainingRunner::new(config);
         runner.run(
             optimizer,
-            &mut self.executor,
+            self.executor.as_mut(),
             &mut self.train_sampler,
             Some(&mut self.test_sampler),
         )
@@ -100,7 +139,7 @@ impl Scenario {
     /// Swap in a fresh executor with identically-seeded parameters, so
     /// several optimizers can be compared from the same start.
     pub fn reset_model(&mut self, net: deep500_graph::Network) -> Result<()> {
-        self.executor = ReferenceExecutor::new(net)?;
+        self.executor = self.kind.build(net)?;
         Ok(())
     }
 }
@@ -108,7 +147,6 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deep500_graph::GraphExecutor;
     use deep500_train::sgd::GradientDescent;
 
     #[test]
@@ -116,7 +154,13 @@ mod tests {
         let mut sc = Scenario::mlp_classification(16, 4, 256, 32, 3).unwrap();
         let mut opt = GradientDescent::new(0.1);
         let log = sc
-            .train(&mut opt, TrainingConfig { epochs: 6, ..Default::default() })
+            .train(
+                &mut opt,
+                TrainingConfig {
+                    epochs: 6,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let acc = log.final_test_accuracy().unwrap();
         assert!(acc > 0.5, "accuracy {acc}");
@@ -125,10 +169,18 @@ mod tests {
 
     #[test]
     fn cnn_scenario_runs_an_epoch() {
-        let mut sc = Scenario::cnn_classification(12, 3, 48, 16, 5).unwrap();
+        // Exercise the wavefront switch end-to-end through a recipe.
+        let mut sc =
+            Scenario::cnn_classification_with(ExecutorKind::Wavefront, 12, 3, 48, 16, 5).unwrap();
         let mut opt = GradientDescent::new(0.05);
         let log = sc
-            .train(&mut opt, TrainingConfig { epochs: 1, ..Default::default() })
+            .train(
+                &mut opt,
+                TrainingConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert_eq!(log.epochs_run, 1);
         assert!(log.final_test_accuracy().is_some());
@@ -137,12 +189,7 @@ mod tests {
     #[test]
     fn reset_model_restores_initial_state() {
         let mut sc = Scenario::mlp_classification(8, 3, 64, 16, 9).unwrap();
-        let initial = sc
-            .executor
-            .network()
-            .fetch_tensor("fc1.w")
-            .unwrap()
-            .clone();
+        let initial = sc.executor.network().fetch_tensor("fc1.w").unwrap().clone();
         let mut opt = GradientDescent::new(0.1);
         sc.train(&mut opt, TrainingConfig::default()).unwrap();
         assert_ne!(

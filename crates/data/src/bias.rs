@@ -20,7 +20,9 @@ pub struct DatasetBias {
 impl DatasetBias {
     /// Metric over `classes` labels.
     pub fn new(classes: usize) -> Self {
-        DatasetBias { counts: vec![0; classes] }
+        DatasetBias {
+            counts: vec![0; classes],
+        }
     }
 
     /// Record one sampled label.
@@ -124,7 +126,12 @@ pub fn test_sampler(sampler: &mut dyn DatasetSampler, epochs: usize) -> Result<S
         .map(|&t| t as f64 / truth_total.max(1) as f64 * total)
         .collect();
     let chi_square = bias.chi_square(&expected);
-    Ok(SamplerReport { bias, samples: total as u64, chi_square, dof: classes.saturating_sub(1) })
+    Ok(SamplerReport {
+        bias,
+        samples: total as u64,
+        chi_square,
+        dof: classes.saturating_sub(1),
+    })
 }
 
 #[cfg(test)]
@@ -204,6 +211,11 @@ mod tests {
         let d: Arc<dyn crate::Dataset> = Arc::new(SyntheticDataset::mnist_like(200, 4));
         let mut s = Stuck { d, remaining: 0 };
         let report = test_sampler(&mut s, 1).unwrap();
-        assert!(!report.passes(3.0), "chi2 {} dof {}", report.chi_square, report.dof);
+        assert!(
+            !report.passes(3.0),
+            "chi2 {} dof {}",
+            report.chi_square,
+            report.dof
+        );
     }
 }

@@ -74,8 +74,16 @@ pub fn idct_8x8_scalar(freq: &[f32; 64], block: &mut [f32; 64]) {
             let mut acc = 0.0f64;
             for v in 0..8 {
                 for u in 0..8 {
-                    let cu = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
-                    let cv = if v == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+                    let cu = if u == 0 {
+                        (1.0f64 / 8.0).sqrt()
+                    } else {
+                        (2.0f64 / 8.0).sqrt()
+                    };
+                    let cv = if v == 0 {
+                        (1.0f64 / 8.0).sqrt()
+                    } else {
+                        (2.0f64 / 8.0).sqrt()
+                    };
                     acc += cu
                         * cv
                         * freq[v * 8 + u] as f64

@@ -9,10 +9,9 @@ use deep500_tensor::{Error, Result};
 
 /// Zigzag scan order of an 8×8 block (index into row-major coefficients).
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
-    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
-    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Append an unsigned LEB128 varint.
@@ -190,7 +189,7 @@ mod tests {
         write_u64(&mut bad, zigzag_encode(1));
         assert!(decode_coefficients(&bad, 64).is_err());
         // Trailing garbage.
-        let enc = encode_coefficients(&vec![0i16; 64]);
+        let enc = encode_coefficients(&[0i16; 64]);
         let mut with_garbage = enc.clone();
         with_garbage.push(0);
         assert!(decode_coefficients(&with_garbage, 64).is_err());

@@ -136,7 +136,13 @@ fn parse(bytes: &[u8]) -> Result<Header<'_>> {
         planes.push(&bytes[pos..end]);
         pos = end;
     }
-    Ok(Header { c, h, w, quality, planes })
+    Ok(Header {
+        c,
+        h,
+        w,
+        quality,
+        planes,
+    })
 }
 
 /// Decode with the straightforward scalar IDCT (the "PIL" analogue).
@@ -198,7 +204,9 @@ mod tests {
             .map(|i| {
                 let y = (i / w) % h;
                 let x = i % w;
-                let v = 100.0 + 50.0 * ((x as f32) / 8.0).sin() + 30.0 * ((y as f32) / 5.0).cos()
+                let v = 100.0
+                    + 50.0 * ((x as f32) / 8.0).sin()
+                    + 30.0 * ((y as f32) / 5.0).cos()
                     + rng.uniform(-5.0, 5.0);
                 v.clamp(0.0, 255.0) as u8
             })

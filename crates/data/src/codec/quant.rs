@@ -2,21 +2,20 @@
 
 /// The standard JPEG luminance quantization table (zigzag-free, row-major).
 pub const BASE_TABLE: [u16; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61,
-    12, 12, 14, 19, 26, 58, 60, 55,
-    14, 13, 16, 24, 40, 57, 69, 56,
-    14, 17, 22, 29, 51, 87, 80, 62,
-    18, 22, 37, 56, 68, 109, 103, 77,
-    24, 35, 55, 64, 81, 104, 113, 92,
-    49, 64, 78, 87, 103, 121, 120, 101,
-    72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Scale the base table by `quality` in `[1, 100]` using the IJG mapping:
 /// `q < 50 → 5000/q`, `q >= 50 → 200 - 2q` (percent).
 pub fn scaled_table(quality: u8) -> [f32; 64] {
     let q = quality.clamp(1, 100) as f32;
-    let scale = if q < 50.0 { 5000.0 / q } else { 200.0 - 2.0 * q };
+    let scale = if q < 50.0 {
+        5000.0 / q
+    } else {
+        200.0 - 2.0 * q
+    };
     let mut t = [0.0f32; 64];
     for i in 0..64 {
         let v = (BASE_TABLE[i] as f32 * scale / 100.0).round();

@@ -79,9 +79,8 @@ impl BinFileDataset {
         if bytes.len() < MAGIC.len() + 16 || &bytes[..6] != MAGIC {
             return Err(Error::Format("not a D5BIN file".into()));
         }
-        let rd = |off: usize| -> u32 {
-            u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
-        };
+        let rd =
+            |off: usize| -> u32 { u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) };
         let count = rd(6) as usize;
         let c = rd(10) as usize;
         let h = rd(14) as usize;
@@ -159,8 +158,7 @@ mod tests {
         write_binfile(&path, 1, 28, 28, &samples).unwrap();
 
         let clock = Arc::new(StorageClock::new());
-        let ds =
-            BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap();
+        let ds = BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap();
         assert_eq!(ds.len(), 20);
         assert_eq!(ds.sample_shape(), Shape::new(&[1, 28, 28]));
         assert!(clock.elapsed() > 0.0, "I/O must be charged");
@@ -184,9 +182,7 @@ mod tests {
         let path = tmp("corrupt.d5bin");
         std::fs::write(&path, b"garbage").unwrap();
         let clock = Arc::new(StorageClock::new());
-        assert!(
-            BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).is_err()
-        );
+        assert!(BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -199,9 +195,7 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
         let clock = Arc::new(StorageClock::new());
-        assert!(
-            BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).is_err()
-        );
+        assert!(BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).is_err());
         std::fs::remove_file(&path).ok();
     }
 }

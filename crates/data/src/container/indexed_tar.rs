@@ -256,9 +256,8 @@ mod tests {
             clock.clone(),
         )
         .unwrap();
-        let mut b =
-            IndexedTarReader::open(&path, Decoder::Turbo, StorageModel::local_ssd(), clock)
-                .unwrap();
+        let mut b = IndexedTarReader::open(&path, Decoder::Turbo, StorageModel::local_ssd(), clock)
+            .unwrap();
         for i in 0..4 {
             assert_eq!(a.read_sample(i).unwrap(), b.read_sample(i).unwrap());
         }
@@ -305,7 +304,9 @@ mod tests {
         let h = tar_header("hello.d5j", 1234);
         assert_eq!(&h[257..262], b"ustar");
         let size = u64::from_str_radix(
-            std::str::from_utf8(&h[124..135]).unwrap().trim_end_matches('\0'),
+            std::str::from_utf8(&h[124..135])
+                .unwrap()
+                .trim_end_matches('\0'),
             8,
         )
         .unwrap();
@@ -316,11 +317,7 @@ mod tests {
             *b = b' ';
         }
         let expect: u64 = copy.iter().map(|&b| b as u64).sum();
-        let stored = u64::from_str_radix(
-            std::str::from_utf8(&h[148..154]).unwrap(),
-            8,
-        )
-        .unwrap();
+        let stored = u64::from_str_radix(std::str::from_utf8(&h[148..154]).unwrap(), 8).unwrap();
         assert_eq!(stored, expect);
     }
 
@@ -329,13 +326,10 @@ mod tests {
         let path = make_tar(2, "noidx.tar");
         std::fs::remove_file(index_path(&path)).unwrap();
         let clock = Arc::new(StorageClock::new());
-        assert!(IndexedTarReader::open(
-            &path,
-            Decoder::Turbo,
-            StorageModel::local_ssd(),
-            clock
-        )
-        .is_err());
+        assert!(
+            IndexedTarReader::open(&path, Decoder::Turbo, StorageModel::local_ssd(), clock)
+                .is_err()
+        );
         std::fs::remove_file(&path).ok();
     }
 }

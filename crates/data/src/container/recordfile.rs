@@ -66,7 +66,13 @@ impl RecordReader {
     pub fn open(path: &Path, model: StorageModel, clock: Arc<StorageClock>) -> Result<Self> {
         let bytes = std::fs::read(path)?;
         clock.charge(model.open_latency_s);
-        Ok(RecordReader { bytes, pos: 0, model, clock, charged: 0 })
+        Ok(RecordReader {
+            bytes,
+            pos: 0,
+            model,
+            clock,
+            charged: 0,
+        })
     }
 
     /// Next record, or `None` at end of stream.
@@ -283,8 +289,7 @@ mod tests {
     fn io_clock_charged_for_streaming() {
         let path = make_record_file(5, "clock.d5rec");
         let clock = Arc::new(StorageClock::new());
-        let mut r =
-            RecordReader::open(&path, StorageModel::parallel_fs(), clock.clone()).unwrap();
+        let mut r = RecordReader::open(&path, StorageModel::parallel_fs(), clock.clone()).unwrap();
         while r.next_record().unwrap().is_some() {}
         assert!(clock.elapsed() > 0.0);
         std::fs::remove_file(&path).ok();

@@ -103,7 +103,12 @@ impl InMemoryDataset {
         if samples.iter().any(|s| s.data.shape() != &shape) {
             return Err(Error::ShapeMismatch("inconsistent sample shapes".into()));
         }
-        Ok(InMemoryDataset { name: name.into(), samples, shape, classes })
+        Ok(InMemoryDataset {
+            name: name.into(),
+            samples,
+            shape,
+            classes,
+        })
     }
 }
 
@@ -175,8 +180,14 @@ mod tests {
     #[test]
     fn inconsistent_shapes_rejected() {
         let samples = vec![
-            Sample { data: Tensor::zeros([2]), label: 0 },
-            Sample { data: Tensor::zeros([3]), label: 1 },
+            Sample {
+                data: Tensor::zeros([2]),
+                label: 0,
+            },
+            Sample {
+                data: Tensor::zeros([3]),
+                label: 1,
+            },
         ];
         assert!(InMemoryDataset::new("bad", samples, 2).is_err());
         assert!(InMemoryDataset::new("empty", vec![], 2).is_err());

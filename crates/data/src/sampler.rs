@@ -46,7 +46,11 @@ pub struct SequentialSampler {
 
 impl SequentialSampler {
     pub fn new(dataset: Arc<dyn Dataset>, batch: usize) -> Self {
-        SequentialSampler { dataset, batch: batch.max(1), cursor: 0 }
+        SequentialSampler {
+            dataset,
+            batch: batch.max(1),
+            cursor: 0,
+        }
     }
 }
 

@@ -111,12 +111,26 @@ impl SyntheticDataset {
 
     /// CIFAR-10-shaped dataset: `3x32x32`, 10 classes.
     pub fn cifar10_like(len: usize, seed: u64) -> Self {
-        Self::new("cifar10-synth", Shape::new(&[3, 32, 32]), 10, len, 0.4, seed)
+        Self::new(
+            "cifar10-synth",
+            Shape::new(&[3, 32, 32]),
+            10,
+            len,
+            0.4,
+            seed,
+        )
     }
 
     /// CIFAR-100-shaped dataset: `3x32x32`, 100 classes.
     pub fn cifar100_like(len: usize, seed: u64) -> Self {
-        Self::new("cifar100-synth", Shape::new(&[3, 32, 32]), 100, len, 0.4, seed)
+        Self::new(
+            "cifar100-synth",
+            Shape::new(&[3, 32, 32]),
+            100,
+            len,
+            0.4,
+            seed,
+        )
     }
 
     /// ImageNet-shaped dataset: `3x224x224`, 1000 classes.

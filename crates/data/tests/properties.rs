@@ -135,6 +135,6 @@ proptest! {
         let mb = ds.generate_fast_batch(batch, seed);
         prop_assert_eq!(mb.x.shape().dims(), &[batch, 3, 32, 32]);
         prop_assert_eq!(mb.labels.numel(), batch);
-        prop_assert!(mb.labels.data().iter().all(|&l| l >= 0.0 && l < 10.0));
+        prop_assert!(mb.labels.data().iter().all(|&l| (0.0..10.0).contains(&l)));
     }
 }

@@ -90,8 +90,8 @@ pub fn broadcast_tree(comm: &mut dyn Communicator, buf: &mut [f32], root: usize)
         return Ok(());
     }
     let vrank = (comm.rank() + n - root) % n; // virtual rank, root = 0
-    // Receive phase: the lowest set bit of vrank identifies the parent
-    // (vrank with that bit cleared). The root has no set bits and skips it.
+                                              // Receive phase: the lowest set bit of vrank identifies the parent
+                                              // (vrank with that bit cleared). The root has no set bits and skips it.
     let mut mask = 1usize;
     while mask < n {
         if vrank & mask != 0 {

@@ -90,10 +90,12 @@ impl ThreadTransport {
     pub fn create(world: usize, model: NetworkModel) -> Vec<ThreadCommunicator> {
         assert!(world >= 1);
         // channels[src][dst]
-        let mut txs: Vec<Vec<Option<Sender<Message>>>> =
-            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> =
-            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        let mut txs: Vec<Vec<Option<Sender<Message>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Message>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
         for src in 0..world {
             for dst in 0..world {
                 let (tx, rx) = unbounded();
@@ -200,7 +202,10 @@ mod tests {
 
     #[test]
     fn virtual_time_propagates_through_messages() {
-        let model = NetworkModel { alpha_s: 1.0, bandwidth_bps: 4.0 }; // 1 B/s per f32
+        let model = NetworkModel {
+            alpha_s: 1.0,
+            bandwidth_bps: 4.0,
+        }; // 1 B/s per f32
         let mut comms = ThreadTransport::create(2, model);
         let mut c1 = comms.pop().unwrap();
         let mut c0 = comms.pop().unwrap();
@@ -217,7 +222,10 @@ mod tests {
 
     #[test]
     fn incast_serializes_at_the_receiver() {
-        let model = NetworkModel { alpha_s: 0.0, bandwidth_bps: 4.0 };
+        let model = NetworkModel {
+            alpha_s: 0.0,
+            bandwidth_bps: 4.0,
+        };
         let mut comms = ThreadTransport::create(3, model);
         let c2 = comms.pop().unwrap();
         let c1 = comms.pop().unwrap();

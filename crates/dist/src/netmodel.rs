@@ -19,17 +19,26 @@ impl NetworkModel {
     /// Cray-Aries-like dragonfly parameters (Piz Daint's interconnect):
     /// ~1.5 µs latency, ~10 GB/s injection bandwidth.
     pub fn aries() -> Self {
-        NetworkModel { alpha_s: 1.5e-6, bandwidth_bps: 10.0e9 }
+        NetworkModel {
+            alpha_s: 1.5e-6,
+            bandwidth_bps: 10.0e9,
+        }
     }
 
     /// Commodity 10 GbE cluster: ~25 µs latency, ~1.1 GB/s.
     pub fn ethernet_10g() -> Self {
-        NetworkModel { alpha_s: 25e-6, bandwidth_bps: 1.1e9 }
+        NetworkModel {
+            alpha_s: 25e-6,
+            bandwidth_bps: 1.1e9,
+        }
     }
 
     /// An instantaneous network (for tests that only check data movement).
     pub fn instant() -> Self {
-        NetworkModel { alpha_s: 0.0, bandwidth_bps: f64::INFINITY }
+        NetworkModel {
+            alpha_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+        }
     }
 
     /// Serialization time of `bytes` on the link.
@@ -53,7 +62,10 @@ mod tests {
 
     #[test]
     fn message_cost_decomposes() {
-        let m = NetworkModel { alpha_s: 1e-6, bandwidth_bps: 1e9 };
+        let m = NetworkModel {
+            alpha_s: 1e-6,
+            bandwidth_bps: 1e9,
+        };
         assert!((m.transfer_s(1_000_000) - 1e-3).abs() < 1e-12);
         assert!((m.message_s(0) - 1e-6).abs() < 1e-15);
         assert!((m.message_s(1_000_000) - 1.001e-3).abs() < 1e-9);
@@ -68,8 +80,6 @@ mod tests {
     #[test]
     fn presets_are_ordered() {
         assert!(NetworkModel::aries().alpha_s < NetworkModel::ethernet_10g().alpha_s);
-        assert!(
-            NetworkModel::aries().bandwidth_bps > NetworkModel::ethernet_10g().bandwidth_bps
-        );
+        assert!(NetworkModel::aries().bandwidth_bps > NetworkModel::ethernet_10g().bandwidth_bps);
     }
 }

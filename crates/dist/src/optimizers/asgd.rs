@@ -26,7 +26,10 @@ pub struct InconsistentCentralized {
 
 impl InconsistentCentralized {
     pub fn new(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
-        InconsistentCentralized { core: SchemeCore::new(base, comm), updates_applied: 0 }
+        InconsistentCentralized {
+            core: SchemeCore::new(base, comm),
+            updates_applied: 0,
+        }
     }
 }
 

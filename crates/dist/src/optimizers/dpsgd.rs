@@ -22,7 +22,9 @@ pub struct DecentralizedNeighbor {
 
 impl DecentralizedNeighbor {
     pub fn new(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
-        DecentralizedNeighbor { core: SchemeCore::new(base, comm) }
+        DecentralizedNeighbor {
+            core: SchemeCore::new(base, comm),
+        }
     }
 }
 
@@ -46,10 +48,9 @@ impl DistributedOptimizer for DecentralizedNeighbor {
         for pname in params {
             let current = executor.network().fetch_tensor(&pname)?.clone();
             let averaged = neighbor_exchange(self.core.comm.as_mut(), current.data())?;
-            executor.network_mut().feed_tensor(
-                pname,
-                Tensor::from_vec(current.shape().clone(), averaged)?,
-            );
+            executor
+                .network_mut()
+                .feed_tensor(pname, Tensor::from_vec(current.shape().clone(), averaged)?);
         }
         Ok(result)
     }

@@ -34,10 +34,7 @@ pub struct ConsistentDecentralized {
 
 impl ConsistentDecentralized {
     /// The optimized direct-buffer variant (the paper's CDSGD).
-    pub fn optimized(
-        base: Box<dyn ThreeStepOptimizer>,
-        comm: Box<dyn Communicator>,
-    ) -> Self {
+    pub fn optimized(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
         ConsistentDecentralized {
             core: SchemeCore::new(base, comm),
             name: "CDSGD",
@@ -48,10 +45,7 @@ impl ConsistentDecentralized {
 
     /// The Python-reference variant (REF-dsgd): pays buffer conversions
     /// around every communication.
-    pub fn reference(
-        base: Box<dyn ThreeStepOptimizer>,
-        comm: Box<dyn Communicator>,
-    ) -> Self {
+    pub fn reference(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
         ConsistentDecentralized {
             core: SchemeCore::new(base, comm),
             name: "REF-dsgd",
@@ -61,10 +55,7 @@ impl ConsistentDecentralized {
     }
 
     /// Horovod-style fused-buffer allreduce.
-    pub fn horovod(
-        base: Box<dyn ThreeStepOptimizer>,
-        comm: Box<dyn Communicator>,
-    ) -> Self {
+    pub fn horovod(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
         ConsistentDecentralized {
             core: SchemeCore::new(base, comm),
             name: "Horovod",

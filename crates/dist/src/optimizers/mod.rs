@@ -62,9 +62,7 @@ pub(crate) fn collect_gradients(executor: &dyn GraphExecutor) -> Result<NamedGra
         .network()
         .gradient()
         .into_iter()
-        .map(|(pname, gname)| {
-            Ok((pname, executor.network().fetch_tensor(&gname)?.clone()))
-        })
+        .map(|(pname, gname)| Ok((pname, executor.network().fetch_tensor(&gname)?.clone())))
         .collect()
 }
 
@@ -89,7 +87,10 @@ pub(crate) fn local_backprop(
     let acc = outputs
         .get("logits")
         .and_then(|l| deep500_ops::loss::accuracy(l, &batch.labels).ok());
-    Ok(StepResult { loss, accuracy: acc })
+    Ok(StepResult {
+        loss,
+        accuracy: acc,
+    })
 }
 
 /// Apply the base update rule with an already-communicated gradient.
@@ -101,7 +102,9 @@ pub(crate) fn apply_update(
 ) -> Result<()> {
     let old = executor.network().fetch_tensor(pname)?.clone();
     let updated = base.update_rule(grad, &old, pname)?;
-    executor.network_mut().feed_tensor(pname.to_string(), updated);
+    executor
+        .network_mut()
+        .feed_tensor(pname.to_string(), updated);
     Ok(())
 }
 
@@ -185,7 +188,10 @@ mod tests {
         local_backprop(&mut sgd, &mut ex, &batch).unwrap();
         let before = collect_gradients(&ex).unwrap();
         let (buf, layout) = flatten_gradients(&ex).unwrap();
-        assert_eq!(buf.len(), before.iter().map(|(_, g)| g.numel()).sum::<usize>());
+        assert_eq!(
+            buf.len(),
+            before.iter().map(|(_, g)| g.numel()).sum::<usize>()
+        );
         let after = unflatten_gradients(&mut ex, &buf, &layout).unwrap();
         for ((n1, g1), (n2, g2)) in before.iter().zip(&after) {
             assert_eq!(n1, n2);

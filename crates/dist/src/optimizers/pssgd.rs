@@ -23,7 +23,9 @@ pub struct ConsistentCentralized {
 
 impl ConsistentCentralized {
     pub fn new(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
-        ConsistentCentralized { core: SchemeCore::new(base, comm) }
+        ConsistentCentralized {
+            core: SchemeCore::new(base, comm),
+        }
     }
 }
 

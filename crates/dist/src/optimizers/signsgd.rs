@@ -53,7 +53,9 @@ pub struct SignCompressedSgd {
 
 impl SignCompressedSgd {
     pub fn new(base: Box<dyn ThreeStepOptimizer>, comm: Box<dyn Communicator>) -> Self {
-        SignCompressedSgd { core: SchemeCore::new(base, comm) }
+        SignCompressedSgd {
+            core: SchemeCore::new(base, comm),
+        }
     }
 
     /// Packed wire size in bytes of an `n`-entry sign payload — the

@@ -43,10 +43,7 @@ impl StaleSynchronous {
 
     fn accumulate(&mut self, grads: Vec<(String, Tensor)>) {
         if self.pending.is_empty() {
-            self.pending = grads
-                .into_iter()
-                .map(|(n, g)| (n, g.into_vec()))
-                .collect();
+            self.pending = grads.into_iter().map(|(n, g)| (n, g.into_vec())).collect();
         } else {
             for ((_, acc), (_, g)) in self.pending.iter_mut().zip(grads) {
                 for (a, b) in acc.iter_mut().zip(g.data()) {

@@ -12,7 +12,7 @@ use crate::netmodel::NetworkModel;
 use crate::optimizers::DistributedOptimizer;
 use deep500_data::sampler::{DatasetSampler, ShardedSampler};
 use deep500_data::Dataset;
-use deep500_graph::{GraphExecutor, Network, ReferenceExecutor};
+use deep500_graph::{ExecutorKind, Network};
 use deep500_metrics::CommunicationVolume;
 use deep500_tensor::{Error, Result};
 use std::sync::Arc;
@@ -51,8 +51,7 @@ pub fn run_distributed<T: Send + 'static>(
             Ok(Ok(v)) => results.push(v),
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
             Err(_) => {
-                first_err =
-                    first_err.or(Some(Error::Communication("rank thread panicked".into())))
+                first_err = first_err.or(Some(Error::Communication("rank thread panicked".into())))
             }
         }
     }
@@ -85,8 +84,40 @@ pub type SchemeFactory =
 /// `network`, draws disjoint shards of `dataset`, and steps its scheme for
 /// `steps` iterations with per-rank batch `batch`. The virtual clock on
 /// each rank advances by the *measured* local compute time of each step.
+///
+/// Uses the [`ReferenceExecutor`](deep500_graph::ReferenceExecutor) on
+/// every rank; pick a different executor with
+/// [`train_data_parallel_with`].
 #[allow(clippy::too_many_arguments)] // experiment-configuration surface
 pub fn train_data_parallel(
+    network: &Network,
+    dataset: Arc<dyn Dataset>,
+    scheme: SchemeFactory,
+    world: usize,
+    batch: usize,
+    steps: usize,
+    model: NetworkModel,
+    seed: u64,
+) -> Result<Vec<RankResult>> {
+    train_data_parallel_with(
+        ExecutorKind::Reference,
+        network,
+        dataset,
+        scheme,
+        world,
+        batch,
+        steps,
+        model,
+        seed,
+    )
+}
+
+/// [`train_data_parallel`] with an explicit per-rank executor selection —
+/// e.g. [`ExecutorKind::Wavefront`] to run each rank's graph
+/// level-parallel on the shared rayon pool.
+#[allow(clippy::too_many_arguments)] // experiment-configuration surface
+pub fn train_data_parallel_with(
+    executor_kind: ExecutorKind,
     network: &Network,
     dataset: Arc<dyn Dataset>,
     scheme: SchemeFactory,
@@ -99,9 +130,8 @@ pub fn train_data_parallel(
     let proto = Arc::new(network.clone_structure());
     run_distributed(world, model, move |ctx| {
         let rank = ctx.rank;
-        let mut executor = ReferenceExecutor::new(proto.clone_structure())?;
-        let mut sampler =
-            ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
+        let mut executor = executor_kind.build(proto.clone_structure())?;
+        let mut sampler = ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
         let mut opt = scheme(ctx.comm);
         let mut losses = Vec::with_capacity(steps);
         for _ in 0..steps {
@@ -115,7 +145,7 @@ pub fn train_data_parallel(
                 }
             };
             let t = std::time::Instant::now();
-            let result = opt.train_step(&mut executor, &mb)?;
+            let result = opt.train_step(executor.as_mut(), &mb)?;
             // The measured step time is charged as virtual compute; the
             // communicator already charged the communication.
             let _ = t.elapsed();
@@ -173,7 +203,7 @@ mod tests {
     use crate::optimizers::pssgd::ConsistentCentralized;
     use crate::optimizers::sparcml::SparseDecentralized;
     use deep500_data::synthetic::SyntheticDataset;
-    use deep500_graph::models;
+    use deep500_graph::{models, GraphExecutor, ReferenceExecutor};
     use deep500_train::optimizer::train_step;
     use deep500_train::sgd::GradientDescent;
 
@@ -274,10 +304,7 @@ mod tests {
         for rank_params in &results {
             for (dist, seq) in rank_params.iter().zip(&seq_params) {
                 for (a, b) in dist.iter().zip(seq) {
-                    assert!(
-                        (a - b).abs() < 5e-4,
-                        "distributed {a} vs sequential {b}"
-                    );
+                    assert!((a - b).abs() < 5e-4, "distributed {a} vs sequential {b}");
                 }
             }
         }
@@ -325,10 +352,7 @@ mod tests {
                 1,
             )
             .unwrap();
-            assert!(
-                ranks_consistent(&results, 1e-5),
-                "{name}: ranks diverged"
-            );
+            assert!(ranks_consistent(&results, 1e-5), "{name}: ranks diverged");
             assert!(results.iter().all(|r| r.volume.bytes_sent > 0));
         }
     }
@@ -469,11 +493,7 @@ mod tests {
                 // Noisy minibatch losses: compare head/tail averages.
                 let head: f32 = r.losses[..5].iter().sum::<f32>() / 5.0;
                 let tail: f32 = r.losses[r.losses.len() - 5..].iter().sum::<f32>() / 5.0;
-                assert!(
-                    tail < head,
-                    "{name} rank {}: loss {head} -> {tail}",
-                    r.rank
-                );
+                assert!(tail < head, "{name} rank {}: loss {head} -> {tail}", r.rank);
                 assert!(r.virtual_time > 0.0, "{name}: virtual time tracked");
             }
         }

@@ -91,7 +91,12 @@ impl Scheme {
 
     /// The weak-scaling lineup (Fig. 12 right).
     pub fn weak_set() -> Vec<Scheme> {
-        vec![Scheme::Cdsgd, Scheme::Horovod, Scheme::SparCml, Scheme::TfPs]
+        vec![
+            Scheme::Cdsgd,
+            Scheme::Horovod,
+            Scheme::SparCml,
+            Scheme::TfPs,
+        ]
     }
 }
 
@@ -167,8 +172,8 @@ pub fn simulate_step(
             // conversions of the whole buffer on both sides of the call.
             let (t, v) = ring_time(net, nodes, s);
             let msgs = if nodes > 1 { 2 * (nodes - 1) } else { 0 };
-            let python = msgs as f64 * w.python_message_overhead_s
-                + 2.0 * s as f64 / w.conversion_bps;
+            let python =
+                msgs as f64 * w.python_message_overhead_s + 2.0 * s as f64 / w.conversion_bps;
             (t + python, v)
         }
         Scheme::TfPs => {
@@ -180,8 +185,7 @@ pub fn simulate_step(
         }
         Scheme::RefPssgd => {
             let (t, v) = ps_time(net, nodes, s);
-            let python =
-                2.0 * w.python_message_overhead_s + 2.0 * s as f64 / w.conversion_bps;
+            let python = 2.0 * w.python_message_overhead_s + 2.0 * s as f64 / w.conversion_bps;
             (t + python, v)
         }
         Scheme::RefAsgd => {
@@ -208,8 +212,7 @@ pub fn simulate_step(
             // Parameter allreduce (ring) once per step plus Python glue —
             // fewer per-tensor crossings than REF-dsgd, so cheaper.
             let (t, v) = ring_time(net, nodes, s);
-            let python =
-                2.0 * w.python_message_overhead_s + s as f64 / w.conversion_bps;
+            let python = 2.0 * w.python_message_overhead_s + s as f64 / w.conversion_bps;
             (t + python, v)
         }
         Scheme::SparCml => {

@@ -34,7 +34,11 @@ impl SparseVector {
         let mut indices: Vec<u32> = order[..k].to_vec();
         indices.sort_unstable();
         let values = indices.iter().map(|&i| dense[i as usize]).collect();
-        SparseVector { indices, values, dim: dense.len() }
+        SparseVector {
+            indices,
+            values,
+            dim: dense.len(),
+        }
     }
 
     /// Number of stored entries.
@@ -68,10 +72,10 @@ impl SparseVector {
         let mut values = Vec::with_capacity(self.nnz() + other.nnz());
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.nnz() || j < other.nnz() {
-            let take_self = j >= other.nnz()
-                || (i < self.nnz() && self.indices[i] <= other.indices[j]);
-            let take_other = i >= self.nnz()
-                || (j < other.nnz() && other.indices[j] <= self.indices[i]);
+            let take_self =
+                j >= other.nnz() || (i < self.nnz() && self.indices[i] <= other.indices[j]);
+            let take_other =
+                i >= self.nnz() || (j < other.nnz() && other.indices[j] <= self.indices[i]);
             if take_self && take_other {
                 indices.push(self.indices[i]);
                 values.push(self.values[i] + other.values[j]);
@@ -87,7 +91,11 @@ impl SparseVector {
                 j += 1;
             }
         }
-        Ok(SparseVector { indices, values, dim: self.dim })
+        Ok(SparseVector {
+            indices,
+            values,
+            dim: self.dim,
+        })
     }
 
     /// Expand to a dense vector.
@@ -135,10 +143,7 @@ impl SparseVector {
 /// SparCML-style sparse allreduce via recursive doubling: `log2(n)` rounds
 /// of pairwise exchange+merge (requires a power-of-two world). Returns the
 /// globally merged sparse vector; its density grows with the world size.
-pub fn sparse_allreduce(
-    comm: &mut dyn Communicator,
-    local: SparseVector,
-) -> Result<SparseVector> {
+pub fn sparse_allreduce(comm: &mut dyn Communicator, local: SparseVector) -> Result<SparseVector> {
     let n = comm.world();
     if !n.is_power_of_two() {
         return Err(Error::Unsupported(format!(
@@ -188,8 +193,16 @@ mod tests {
 
     #[test]
     fn merge_unions_and_sums() {
-        let a = SparseVector { indices: vec![0, 2], values: vec![1.0, 2.0], dim: 4 };
-        let b = SparseVector { indices: vec![2, 3], values: vec![10.0, 5.0], dim: 4 };
+        let a = SparseVector {
+            indices: vec![0, 2],
+            values: vec![1.0, 2.0],
+            dim: 4,
+        };
+        let b = SparseVector {
+            indices: vec![2, 3],
+            values: vec![10.0, 5.0],
+            dim: 4,
+        };
         let m = a.merge(&b).unwrap();
         assert_eq!(m.indices, vec![0, 2, 3]);
         assert_eq!(m.values, vec![1.0, 12.0, 5.0]);

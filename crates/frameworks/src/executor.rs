@@ -44,7 +44,8 @@ impl NetworkVisitor for ProfileLowering<'_> {
             self.out.add_output(o.clone());
         }
         for p in net.get_params() {
-            self.out.add_parameter(p.clone(), net.fetch_tensor(p)?.clone());
+            self.out
+                .add_parameter(p.clone(), net.fetch_tensor(p)?.clone());
         }
         Ok(())
     }
@@ -76,7 +77,10 @@ impl NetworkVisitor for ProfileLowering<'_> {
 
 /// Lower a portable network onto a framework profile (visitor pipeline).
 pub fn lower_network(net: &Network, profile: &FrameworkProfile) -> Result<Network> {
-    let mut v = ProfileLowering { profile, out: Network::new("") };
+    let mut v = ProfileLowering {
+        profile,
+        out: Network::new(""),
+    };
     traverse(net, &mut v)?;
     Ok(v.out)
 }
@@ -287,7 +291,10 @@ impl GraphExecutor for FrameworkExecutor {
             .get(loss)
             .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
         let mut grads: HashMap<String, Tensor> = HashMap::new();
-        grads.insert(loss.to_string(), Tensor::full(loss_tensor.shape().clone(), 1.0));
+        grads.insert(
+            loss.to_string(),
+            Tensor::full(loss_tensor.shape().clone(), 1.0),
+        );
 
         for &id in self.order.clone().iter().rev() {
             let node = self.network.node(id).expect("live node").clone();
@@ -394,11 +401,9 @@ mod tests {
 
     #[test]
     fn backprop_gradients_match_reference() {
-        let mut fx =
-            FrameworkExecutor::new(&net(), FrameworkProfile::tensorflow()).unwrap();
+        let mut fx = FrameworkExecutor::new(&net(), FrameworkProfile::tensorflow()).unwrap();
         let mut rx = ReferenceExecutor::new(net()).unwrap();
-        let report =
-            test_executor_backprop(&mut fx, &mut rx, &feeds(), "loss", 2).unwrap();
+        let report = test_executor_backprop(&mut fx, &mut rx, &feeds(), "loss", 2).unwrap();
         assert!(report.passes(1e-3), "{:?}", report.gradient_norms);
         assert!(!report.gradient_norms.is_empty());
     }
@@ -418,13 +423,9 @@ mod tests {
 
     #[test]
     fn memory_limit_causes_oom() {
-        let r = FrameworkExecutor::with_memory_limit(
-            &net(),
-            FrameworkProfile::pytorch(),
-            4 * 1024,
-        )
-        .unwrap()
-        .inference(&feeds());
+        let r = FrameworkExecutor::with_memory_limit(&net(), FrameworkProfile::pytorch(), 4 * 1024)
+            .unwrap()
+            .inference(&feeds());
         assert!(matches!(r, Err(Error::OutOfMemory { .. })));
     }
 

@@ -44,7 +44,11 @@ pub struct FusedMomentum {
 
 impl FusedMomentum {
     pub fn new(lr: f32, mu: f32) -> Self {
-        FusedMomentum { lr, mu, velocity: HashMap::new() }
+        FusedMomentum {
+            lr,
+            mu,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -153,7 +157,11 @@ pub struct FusedAdaGrad {
 
 impl FusedAdaGrad {
     pub fn new(lr: f32) -> Self {
-        FusedAdaGrad { lr, eps: 1e-8, accum: HashMap::new() }
+        FusedAdaGrad {
+            lr,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
     }
 }
 
@@ -189,7 +197,12 @@ pub struct FusedRmsProp {
 
 impl FusedRmsProp {
     pub fn new(lr: f32) -> Self {
-        FusedRmsProp { lr, rho: 0.9, eps: 1e-8, ms: HashMap::new() }
+        FusedRmsProp {
+            lr,
+            rho: 0.9,
+            eps: 1e-8,
+            ms: HashMap::new(),
+        }
     }
 }
 

@@ -169,8 +169,7 @@ impl NetworkBuilder {
                     )));
                     return self;
                 }
-                self.flow =
-                    Flow::Image(c, (h - kernel) / stride + 1, (w - kernel) / stride + 1);
+                self.flow = Flow::Image(c, (h - kernel) / stride + 1, (w - kernel) / stride + 1);
             }
             Flow::Features(_) => {
                 self.fail(Error::Invalid("pool on feature-vector flow".into()));
@@ -240,7 +239,8 @@ impl NetworkBuilder {
         let mut wt = Tensor::zeros([out_features, fin]);
         init::xavier_uniform(&mut self.rng, wt.data_mut(), fin, out_features);
         self.net.add_parameter(&wname, wt);
-        self.net.add_parameter(&bname, Tensor::zeros([out_features]));
+        self.net
+            .add_parameter(&bname, Tensor::zeros([out_features]));
         let r = self.net.add_node(
             &out,
             "Linear",
@@ -342,7 +342,10 @@ mod tests {
             .classifier_loss()
             .build()
             .unwrap();
-        assert_eq!(net.graph_outputs(), &["logits".to_string(), "loss".to_string()]);
+        assert_eq!(
+            net.graph_outputs(),
+            &["logits".to_string(), "loss".to_string()]
+        );
         let mut ex = ReferenceExecutor::new(net).unwrap();
         let x = Tensor::zeros([2, 1, 8, 8]);
         let labels = Tensor::from_slice(&[1.0, 3.0]);
@@ -385,13 +388,22 @@ mod tests {
 
     #[test]
     fn deterministic_initialization() {
-        let a = NetworkBuilder::vector_input("a", 4, 7).dense(3).build().unwrap();
-        let b = NetworkBuilder::vector_input("b", 4, 7).dense(3).build().unwrap();
+        let a = NetworkBuilder::vector_input("a", 4, 7)
+            .dense(3)
+            .build()
+            .unwrap();
+        let b = NetworkBuilder::vector_input("b", 4, 7)
+            .dense(3)
+            .build()
+            .unwrap();
         assert_eq!(
             a.fetch_tensor("fc1.w").unwrap(),
             b.fetch_tensor("fc1.w").unwrap()
         );
-        let c = NetworkBuilder::vector_input("c", 4, 8).dense(3).build().unwrap();
+        let c = NetworkBuilder::vector_input("c", 4, 8)
+            .dense(3)
+            .build()
+            .unwrap();
         assert_ne!(
             a.fetch_tensor("fc1.w").unwrap(),
             c.fetch_tensor("fc1.w").unwrap()

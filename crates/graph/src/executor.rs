@@ -20,19 +20,40 @@ use deep500_metrics::event::{Event, EventList, Phase};
 use deep500_ops::Operator;
 use deep500_tensor::{Error, Result, Shape, Tensor};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tracks live tensor bytes against a capacity, recording the peak.
-#[derive(Debug, Clone)]
+///
+/// All counters are atomics and every method takes `&self`, so one
+/// accountant can be shared across the worker threads of a concurrent
+/// executor (e.g. [`WavefrontExecutor`](crate::WavefrontExecutor)) while
+/// preserving the capacity check: a racing `allocate` either claims its
+/// bytes within capacity or fails with [`Error::OutOfMemory`], never both.
+#[derive(Debug)]
 pub struct MemoryAccountant {
     capacity: usize,
-    current: usize,
-    peak: usize,
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl Clone for MemoryAccountant {
+    fn clone(&self) -> Self {
+        MemoryAccountant {
+            capacity: self.capacity,
+            current: AtomicUsize::new(self.current.load(Ordering::Relaxed)),
+            peak: AtomicUsize::new(self.peak.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl MemoryAccountant {
     /// Accountant with the given capacity in bytes (`usize::MAX` = unbounded).
     pub fn new(capacity: usize) -> Self {
-        MemoryAccountant { capacity, current: 0, peak: 0 }
+        MemoryAccountant {
+            capacity,
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
     }
 
     /// Unbounded accountant (still tracks the peak).
@@ -41,35 +62,65 @@ impl MemoryAccountant {
     }
 
     /// Claim `bytes`; errors with `OutOfMemory` if capacity is exceeded.
-    pub fn allocate(&mut self, bytes: usize) -> Result<()> {
-        let next = self.current.saturating_add(bytes);
-        if next > self.capacity {
-            return Err(Error::OutOfMemory { requested: bytes, capacity: self.capacity });
+    pub fn allocate(&self, bytes: usize) -> Result<()> {
+        // CAS loop: the capacity check and the increment must be one atomic
+        // step or two racing threads could both pass the check and overshoot.
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.capacity {
+                return Err(Error::OutOfMemory {
+                    requested: bytes,
+                    capacity: self.capacity,
+                });
+            }
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
         }
-        self.current = next;
-        self.peak = self.peak.max(self.current);
-        Ok(())
     }
 
     /// Release `bytes`.
-    pub fn release(&mut self, bytes: usize) {
-        self.current = self.current.saturating_sub(bytes);
+    pub fn release(&self, bytes: usize) {
+        // Saturating decrement via CAS (fetch_sub could wrap below zero).
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Peak live bytes observed so far.
     pub fn peak(&self) -> usize {
-        self.peak
+        self.peak.load(Ordering::Relaxed)
     }
 
     /// Currently live bytes.
     pub fn current(&self) -> usize {
-        self.current
+        self.current.load(Ordering::Relaxed)
     }
 
     /// Reset counters (capacity retained).
-    pub fn reset(&mut self) {
-        self.current = 0;
-        self.peak = 0;
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -257,7 +308,10 @@ impl GraphExecutor for ReferenceExecutor {
 
         // Seed: dL/dL = 1.
         let mut grads: HashMap<String, Tensor> = HashMap::new();
-        grads.insert(loss.to_string(), Tensor::full(loss_tensor.shape().clone(), 1.0));
+        grads.insert(
+            loss.to_string(),
+            Tensor::full(loss_tensor.shape().clone(), 1.0),
+        );
 
         for &id in self.order.clone().iter().rev() {
             let node = self.network.node(id).expect("live node").clone();
@@ -309,17 +363,14 @@ impl GraphExecutor for ReferenceExecutor {
 
         // Publish parameter gradients into the network value store.
         for (pname, gname) in self.network.gradient() {
-            let g = grads
-                .get(&pname)
-                .cloned()
-                .unwrap_or_else(|| {
-                    let shape = self
-                        .network
-                        .fetch_tensor(&pname)
-                        .map(|t| t.shape().clone())
-                        .unwrap_or_else(|_| Shape::scalar());
-                    Tensor::zeros(shape)
-                });
+            let g = grads.get(&pname).cloned().unwrap_or_else(|| {
+                let shape = self
+                    .network
+                    .fetch_tensor(&pname)
+                    .map(|t| t.shape().clone())
+                    .unwrap_or_else(|_| Shape::scalar());
+                Tensor::zeros(shape)
+            });
             self.network.feed_tensor(gname, g);
         }
 
@@ -405,6 +456,16 @@ impl Event for FrameworkOverheadProbe {
             _ => {}
         }
     }
+    fn span(&mut self, phase: Phase, _id: usize, seconds: f64) {
+        // Concurrent executors time each operator on its worker thread and
+        // report the finished span; begin/end bracketing on the reporting
+        // thread would measure dispatch latency, not operator time.
+        match phase {
+            Phase::OperatorForward | Phase::OperatorBackward => self.op_time += seconds,
+            Phase::Inference | Phase::Backprop => self.total_time += seconds,
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -416,7 +477,8 @@ mod tests {
     fn relu_scale_net() -> Network {
         let mut net = Network::new("t");
         net.add_input("x");
-        net.add_node("r", "Relu", Attributes::new(), &["x"], &["h"]).unwrap();
+        net.add_node("r", "Relu", Attributes::new(), &["x"], &["h"])
+            .unwrap();
         net.add_node(
             "s",
             "Scale",
@@ -436,8 +498,22 @@ mod tests {
         net.add_input("target");
         net.add_parameter("W", Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap());
         net.add_parameter("b", Tensor::from_slice(&[0.0]));
-        net.add_node("fc", "Linear", Attributes::new(), &["x", "W", "b"], &["pred"]).unwrap();
-        net.add_node("mse", "MseLoss", Attributes::new(), &["pred", "target"], &["loss"]).unwrap();
+        net.add_node(
+            "fc",
+            "Linear",
+            Attributes::new(),
+            &["x", "W", "b"],
+            &["pred"],
+        )
+        .unwrap();
+        net.add_node(
+            "mse",
+            "MseLoss",
+            Attributes::new(),
+            &["pred", "target"],
+            &["loss"],
+        )
+        .unwrap();
         net.add_output("loss");
         net.add_output("pred");
         net
@@ -463,10 +539,7 @@ mod tests {
         assert!((out["loss"].data()[0] - 9.0).abs() < 1e-5);
         let gw = ex.network().fetch_tensor("grad::W").unwrap();
         // dloss/dpred = 2*pred = 6 ; dW = dpred^T x = [6, 12]
-        assert!(gw.approx_eq(
-            &Tensor::from_vec([1, 2], vec![6.0, 12.0]).unwrap(),
-            1e-4
-        ));
+        assert!(gw.approx_eq(&Tensor::from_vec([1, 2], vec![6.0, 12.0]).unwrap(), 1e-4));
         let gb = ex.network().fetch_tensor("grad::b").unwrap();
         assert!((gb.data()[0] - 6.0).abs() < 1e-4);
     }
@@ -479,12 +552,15 @@ mod tests {
 
     #[test]
     fn memory_accountant_enforces_capacity() {
-        let mut acc = MemoryAccountant::new(100);
+        let acc = MemoryAccountant::new(100);
         acc.allocate(60).unwrap();
         assert_eq!(acc.current(), 60);
         assert!(matches!(
             acc.allocate(50),
-            Err(Error::OutOfMemory { requested: 50, capacity: 100 })
+            Err(Error::OutOfMemory {
+                requested: 50,
+                capacity: 100
+            })
         ));
         acc.release(60);
         acc.allocate(100).unwrap();
@@ -513,7 +589,8 @@ mod tests {
     #[test]
     fn overhead_probe_accumulates() {
         let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
-        ex.events_mut().push(Box::new(FrameworkOverheadProbe::new()));
+        ex.events_mut()
+            .push(Box::new(FrameworkOverheadProbe::new()));
         let x = Tensor::from_slice(&[1.0; 1000]);
         for _ in 0..3 {
             ex.inference(&[("x", x.clone())]).unwrap();
@@ -560,7 +637,14 @@ mod tests {
             &["y"],
         )
         .unwrap();
-        net.add_node("l", "MseLoss", Attributes::new(), &["y", "target"], &["loss"]).unwrap();
+        net.add_node(
+            "l",
+            "MseLoss",
+            Attributes::new(),
+            &["y", "target"],
+            &["loss"],
+        )
+        .unwrap();
         net.add_output("loss");
         net.add_parameter("dummy", Tensor::scalar(0.0));
         let mut ex = ReferenceExecutor::new(net).unwrap();

@@ -241,14 +241,21 @@ mod tests {
     fn sample_net() -> Network {
         let mut net = Network::new("sample");
         net.add_input("x");
-        net.add_parameter("W", Tensor::from_vec([2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap());
+        net.add_parameter(
+            "W",
+            Tensor::from_vec([2, 3], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap(),
+        );
         net.add_parameter("b", Tensor::from_slice(&[0.5, -0.5]));
-        net.add_node("fc", "Linear", Attributes::new(), &["x", "W", "b"], &["h"]).unwrap();
-        net.add_node("act", "Relu", Attributes::new(), &["h"], &["y"]).unwrap();
+        net.add_node("fc", "Linear", Attributes::new(), &["x", "W", "b"], &["h"])
+            .unwrap();
+        net.add_node("act", "Relu", Attributes::new(), &["h"], &["y"])
+            .unwrap();
         net.add_node(
             "drop",
             "Dropout",
-            Attributes::new().with_float("ratio", 0.25).with_int("seed", 7),
+            Attributes::new()
+                .with_float("ratio", 0.25)
+                .with_int("seed", 7),
             &["y"],
             &["z"],
         )

@@ -37,10 +37,12 @@ pub mod network;
 pub mod transforms;
 pub mod validate;
 pub mod visitor;
+pub mod wavefront;
 
 pub use executor::{GraphExecutor, MemoryAccountant, ReferenceExecutor};
 pub use network::{Network, Node, NodeId};
 pub use visitor::NetworkVisitor;
+pub use wavefront::{ExecutorKind, WavefrontExecutor};
 
 /// Naming convention for gradient tensors: the gradient of tensor `t` is
 /// stored under `grad::t` in the network's value map.

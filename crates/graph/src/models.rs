@@ -83,12 +83,12 @@ pub fn resnet_like(
     net.add_input("labels");
 
     let add_conv = |net: &mut Network,
-                        name: &str,
-                        cin: usize,
-                        cout: usize,
-                        input: &str,
-                        output: &str,
-                        rng: &mut Xoshiro256StarStar|
+                    name: &str,
+                    cin: usize,
+                    cout: usize,
+                    input: &str,
+                    output: &str,
+                    rng: &mut Xoshiro256StarStar|
      -> Result<()> {
         let wname = format!("{name}.w");
         let bname = format!("{name}.b");
@@ -105,18 +105,19 @@ pub fn resnet_like(
         )?;
         Ok(())
     };
-    let add_bn = |net: &mut Network, name: &str, c: usize, input: &str, output: &str| -> Result<()> {
-        net.add_parameter(format!("{name}.gamma"), Tensor::ones([c]));
-        net.add_parameter(format!("{name}.beta"), Tensor::zeros([c]));
-        net.add_node(
-            name,
-            "BatchNorm",
-            Attributes::new(),
-            &[input, &format!("{name}.gamma"), &format!("{name}.beta")],
-            &[output],
-        )?;
-        Ok(())
-    };
+    let add_bn =
+        |net: &mut Network, name: &str, c: usize, input: &str, output: &str| -> Result<()> {
+            net.add_parameter(format!("{name}.gamma"), Tensor::ones([c]));
+            net.add_parameter(format!("{name}.beta"), Tensor::zeros([c]));
+            net.add_node(
+                name,
+                "BatchNorm",
+                Attributes::new(),
+                &[input, &format!("{name}.gamma"), &format!("{name}.beta")],
+                &[output],
+            )?;
+            Ok(())
+        };
 
     // Stem.
     add_conv(&mut net, "stem", in_c, channels, "x", "t0", &mut rng)?;
@@ -131,11 +132,45 @@ pub fn resnet_like(
         let n2 = format!("b{bidx}n2");
         let sum = format!("b{bidx}sum");
         let out = format!("b{bidx}out");
-        add_conv(&mut net, &c1, channels, channels, &cur, &format!("{c1}.o"), &mut rng)?;
-        add_bn(&mut net, &n1, channels, &format!("{c1}.o"), &format!("{n1}.o"))?;
-        net.add_node(&a1, "Relu", Attributes::new(), &[&format!("{n1}.o")], &[&format!("{a1}.o")])?;
-        add_conv(&mut net, &c2, channels, channels, &format!("{a1}.o"), &format!("{c2}.o"), &mut rng)?;
-        add_bn(&mut net, &n2, channels, &format!("{c2}.o"), &format!("{n2}.o"))?;
+        add_conv(
+            &mut net,
+            &c1,
+            channels,
+            channels,
+            &cur,
+            &format!("{c1}.o"),
+            &mut rng,
+        )?;
+        add_bn(
+            &mut net,
+            &n1,
+            channels,
+            &format!("{c1}.o"),
+            &format!("{n1}.o"),
+        )?;
+        net.add_node(
+            &a1,
+            "Relu",
+            Attributes::new(),
+            &[&format!("{n1}.o")],
+            &[&format!("{a1}.o")],
+        )?;
+        add_conv(
+            &mut net,
+            &c2,
+            channels,
+            channels,
+            &format!("{a1}.o"),
+            &format!("{c2}.o"),
+            &mut rng,
+        )?;
+        add_bn(
+            &mut net,
+            &n2,
+            channels,
+            &format!("{c2}.o"),
+            &format!("{n2}.o"),
+        )?;
         // Residual Add: skip from block input.
         net.add_node(
             &sum,
@@ -144,7 +179,13 @@ pub fn resnet_like(
             &[&format!("{n2}.o"), &cur],
             &[&format!("{sum}.o")],
         )?;
-        net.add_node(&out, "Relu", Attributes::new(), &[&format!("{sum}.o")], &[&format!("{out}.o")])?;
+        net.add_node(
+            &out,
+            "Relu",
+            Attributes::new(),
+            &[&format!("{sum}.o")],
+            &[&format!("{out}.o")],
+        )?;
         cur = format!("{out}.o");
     }
 
@@ -152,11 +193,19 @@ pub fn resnet_like(
     net.add_node(
         "head_pool",
         "MaxPool2d",
-        Attributes::new().with_int("kernel", 2).with_int("stride", 2),
+        Attributes::new()
+            .with_int("kernel", 2)
+            .with_int("stride", 2),
         &[&cur],
         &["pooled"],
     )?;
-    net.add_node("head_flat", "Flatten", Attributes::new(), &["pooled"], &["flat"])?;
+    net.add_node(
+        "head_flat",
+        "Flatten",
+        Attributes::new(),
+        &["pooled"],
+        &["flat"],
+    )?;
     let pooled_hw = hw / 2;
     let fin = channels * pooled_hw * pooled_hw;
     let mut w = Tensor::zeros([classes, fin]);

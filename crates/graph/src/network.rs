@@ -54,7 +54,10 @@ pub struct Network {
 impl Network {
     /// Empty network.
     pub fn new(name: impl Into<String>) -> Network {
-        Network { name: name.into(), ..Default::default() }
+        Network {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     // ----------------------------------------------------------- nodes
@@ -323,7 +326,8 @@ mod tests {
         // x -> Relu -> y -> Scale -> z
         let mut net = Network::new("tiny");
         net.add_input("x");
-        net.add_node("relu", "Relu", Attributes::new(), &["x"], &["y"]).unwrap();
+        net.add_node("relu", "Relu", Attributes::new(), &["x"], &["y"])
+            .unwrap();
         net.add_node(
             "scale",
             "Scale",
@@ -376,8 +380,10 @@ mod tests {
     fn cycle_detected() {
         let mut net = Network::new("cyclic");
         // a consumes t2 and produces t1; b consumes t1 and produces t2.
-        net.add_node("a", "Relu", Attributes::new(), &["t2"], &["t1"]).unwrap();
-        net.add_node("b", "Relu", Attributes::new(), &["t1"], &["t2"]).unwrap();
+        net.add_node("a", "Relu", Attributes::new(), &["t2"], &["t1"])
+            .unwrap();
+        net.add_node("b", "Relu", Attributes::new(), &["t1"], &["t2"])
+            .unwrap();
         assert!(net.topological_order().is_err());
     }
 
@@ -415,7 +421,8 @@ mod tests {
         assert_eq!(net.num_nodes(), 1);
         assert!(net.remove_node(relu).is_err(), "double remove");
         // Name "y" is free again.
-        net.add_node("relu2", "Relu", Attributes::new(), &["x"], &["y"]).unwrap();
+        net.add_node("relu2", "Relu", Attributes::new(), &["x"], &["y"])
+            .unwrap();
         assert_eq!(net.num_nodes(), 2);
     }
 
@@ -424,7 +431,8 @@ mod tests {
         let mut net = Network::new("arity");
         net.add_input("x");
         // Add expects 2 inputs; give it 1.
-        net.add_node("bad", "Add", Attributes::new(), &["x"], &["y"]).unwrap();
+        net.add_node("bad", "Add", Attributes::new(), &["x"], &["y"])
+            .unwrap();
         assert!(net.instantiate_ops().is_err());
     }
 

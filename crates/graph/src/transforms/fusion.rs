@@ -252,11 +252,7 @@ pub fn fuse_elementwise(net: &mut Network) -> Result<usize> {
                 Stage::from_node(&n.op_type, &n.attrs).expect("fusable")
             })
             .collect();
-        let spec = stages
-            .iter()
-            .map(Stage::spec)
-            .collect::<Vec<_>>()
-            .join(";");
+        let spec = stages.iter().map(Stage::spec).collect::<Vec<_>>().join(";");
         let first = net.node(chain[0]).expect("live").clone();
         let last = net.node(*chain.last().unwrap()).expect("live").clone();
         for &id in &chain {
@@ -286,12 +282,15 @@ mod tests {
         net.add_node(
             "s1",
             "Scale",
-            Attributes::new().with_float("alpha", 2.0).with_float("beta", 1.0),
+            Attributes::new()
+                .with_float("alpha", 2.0)
+                .with_float("beta", 1.0),
             &["x"],
             &["t1"],
         )
         .unwrap();
-        net.add_node("r", "Relu", Attributes::new(), &["t1"], &["t2"]).unwrap();
+        net.add_node("r", "Relu", Attributes::new(), &["t1"], &["t2"])
+            .unwrap();
         net.add_node(
             "s2",
             "Scale",
@@ -334,14 +333,8 @@ mod tests {
     fn fusion_respects_fanout() {
         // t1 feeds two consumers: s1 cannot fuse forward.
         let mut net = chain_net();
-        net.add_node(
-            "extra",
-            "Sigmoid",
-            Attributes::new(),
-            &["t1"],
-            &["z"],
-        )
-        .unwrap();
+        net.add_node("extra", "Sigmoid", Attributes::new(), &["t1"], &["z"])
+            .unwrap();
         net.add_output("z");
         let n = fuse_elementwise(&mut net).unwrap();
         assert_eq!(n, 1, "only r->s2 fuses");
@@ -371,7 +364,8 @@ mod tests {
     fn nothing_to_fuse_is_a_noop() {
         let mut net = Network::new("single");
         net.add_input("x");
-        net.add_node("r", "Relu", Attributes::new(), &["x"], &["y"]).unwrap();
+        net.add_node("r", "Relu", Attributes::new(), &["x"], &["y"])
+            .unwrap();
         net.add_output("y");
         assert_eq!(fuse_elementwise(&mut net).unwrap(), 0);
         assert_eq!(net.num_nodes(), 1);

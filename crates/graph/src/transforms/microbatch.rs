@@ -228,7 +228,10 @@ mod tests {
     fn planner_exact_division() {
         let plan = plan_microbatches(64, 1, 16, 5, 1).unwrap();
         assert_eq!(plan.sizes, vec![16, 16, 16, 16]);
-        assert!(plan.algorithms.iter().all(|a| a == "im2col"), "5x5 kernels never winograd");
+        assert!(
+            plan.algorithms.iter().all(|a| a == "im2col"),
+            "5x5 kernels never winograd"
+        );
     }
 
     #[test]
@@ -277,8 +280,7 @@ mod tests {
 
         // Transformed output: force splitting with a tiny workspace cap.
         let mut net = conv_net();
-        let reports =
-            microbatch_convolutions(&mut net, &[("x", x_shape.clone())], 40_000).unwrap();
+        let reports = microbatch_convolutions(&mut net, &[("x", x_shape.clone())], 40_000).unwrap();
         assert_eq!(reports.len(), 1);
         assert!(reports[0].plan.sizes.len() > 1, "must actually split");
         assert!(reports[0].workspace_after <= 40_000);
@@ -317,12 +319,9 @@ mod tests {
     #[test]
     fn no_rewrite_when_workspace_fits() {
         let mut net = conv_net();
-        let reports = microbatch_convolutions(
-            &mut net,
-            &[("x", Shape::new(&[2, 2, 8, 8]))],
-            usize::MAX,
-        )
-        .unwrap();
+        let reports =
+            microbatch_convolutions(&mut net, &[("x", Shape::new(&[2, 2, 8, 8]))], usize::MAX)
+                .unwrap();
         assert!(reports.is_empty());
         assert_eq!(net.num_nodes(), 1);
     }
@@ -333,7 +332,8 @@ mod tests {
         let mut net = conv_net();
         // Reuse conv output in a loss.
         net.add_input("labels");
-        net.add_node("flat", "Flatten", Attributes::new(), &["y"], &["yf"]).unwrap();
+        net.add_node("flat", "Flatten", Attributes::new(), &["y"], &["yf"])
+            .unwrap();
         net.add_node(
             "loss_node",
             "SoftmaxCrossEntropy",
@@ -345,7 +345,10 @@ mod tests {
         net.add_output("loss");
         microbatch_convolutions(
             &mut net,
-            &[("x", Shape::new(&[8, 2, 8, 8])), ("labels", Shape::new(&[8]))],
+            &[
+                ("x", Shape::new(&[8, 2, 8, 8])),
+                ("labels", Shape::new(&[8])),
+            ],
             20_000,
         )
         .unwrap();

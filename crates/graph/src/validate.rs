@@ -100,7 +100,9 @@ pub fn test_executor_backprop(
     reruns: usize,
 ) -> Result<ExecutorReport> {
     if reruns == 0 {
-        return Err(Error::Invalid("test_executor_backprop requires reruns >= 1".into()));
+        return Err(Error::Invalid(
+            "test_executor_backprop requires reruns >= 1".into(),
+        ));
     }
     let mut cand_times = Vec::with_capacity(reruns);
     let mut ref_times = Vec::with_capacity(reruns);
@@ -130,9 +132,10 @@ pub fn test_executor_backprop(
     for p in params {
         let gname = grad_name(&p);
         let rg = reference.network().fetch_tensor(&gname)?;
-        let cg = candidate.network().fetch_tensor(&gname).map_err(|_| {
-            Error::Validation(format!("candidate missing gradient '{gname}'"))
-        })?;
+        let cg = candidate
+            .network()
+            .fetch_tensor(&gname)
+            .map_err(|_| Error::Validation(format!("candidate missing gradient '{gname}'")))?;
         gradient_norms.push((p, DiffNorms::of(cg.data(), rg.data())));
     }
     gradient_norms.sort_by(|a, b| a.0.cmp(&b.0));
@@ -165,14 +168,9 @@ mod tests {
         )
         .unwrap();
         assert!(report.passes(0.0));
-        let report = test_executor_backprop(
-            &mut a,
-            &mut b,
-            &[("x", x), ("labels", labels)],
-            "loss",
-            3,
-        )
-        .unwrap();
+        let report =
+            test_executor_backprop(&mut a, &mut b, &[("x", x), ("labels", labels)], "loss", 3)
+                .unwrap();
         assert!(report.passes(0.0));
         assert!(!report.gradient_norms.is_empty());
         assert!(report.slowdown() > 0.0);
@@ -186,8 +184,7 @@ mod tests {
         let mut b = ReferenceExecutor::new(net_b).unwrap();
         let x = Tensor::ones([1, 4]);
         let labels = Tensor::from_slice(&[0.0]);
-        let report =
-            test_executor(&mut a, &mut b, &[("x", x), ("labels", labels)], 2).unwrap();
+        let report = test_executor(&mut a, &mut b, &[("x", x), ("labels", labels)], 2).unwrap();
         assert!(!report.passes(1e-6));
     }
 

@@ -87,9 +87,7 @@ pub fn traverse(net: &Network, visitor: &mut dyn NetworkVisitor) -> Result<()> {
             }
             "Dropout" => visitor.visit_dropout(id, node, net)?,
             "SoftmaxCrossEntropy" | "MseLoss" => visitor.visit_loss(id, node, net)?,
-            "Reshape" | "Flatten" | "Split" | "Concat" => {
-                visitor.visit_shape_op(id, node, net)?
-            }
+            "Reshape" | "Flatten" | "Split" | "Concat" => visitor.visit_shape_op(id, node, net)?,
             _ => visitor.visit_custom(id, node, net)?,
         }
     }
@@ -157,15 +155,10 @@ mod tests {
             &["h1"],
         )
         .unwrap();
-        net.add_node("a1", "Relu", Attributes::new(), &["h1"], &["h2"]).unwrap();
-        net.add_node(
-            "p1",
-            "MaxPool2d",
-            Attributes::new(),
-            &["h2"],
-            &["y"],
-        )
-        .unwrap();
+        net.add_node("a1", "Relu", Attributes::new(), &["h1"], &["h2"])
+            .unwrap();
+        net.add_node("p1", "MaxPool2d", Attributes::new(), &["h2"], &["y"])
+            .unwrap();
         net.add_output("y");
         let mut t = Tally::default();
         traverse(&net, &mut t).unwrap();
@@ -178,7 +171,8 @@ mod tests {
     fn unhandled_ops_fall_back_to_custom() {
         let mut net = Network::new("v2");
         net.add_input("x");
-        net.add_node("s", "Sqrt", Attributes::new(), &["x"], &["y"]).unwrap();
+        net.add_node("s", "Sqrt", Attributes::new(), &["x"], &["y"])
+            .unwrap();
         net.add_output("y");
         // Tally handles elementwise via default -> custom.
         let mut t = Tally::default();

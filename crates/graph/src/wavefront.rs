@@ -1,0 +1,578 @@
+//! Wavefront-parallel graph execution.
+//!
+//! [`WavefrontExecutor`] partitions the fixed topological order into
+//! dependency *levels* (wavefronts): a node's level is one more than the
+//! deepest level among its input producers, so all nodes of a level are
+//! mutually independent and can run concurrently. Forward and backward
+//! passes dispatch each level onto the rayon pool and join before the next
+//! level starts.
+//!
+//! The executor is a drop-in [`GraphExecutor`]: anything that trains or
+//! benchmarks through the trait (deep500-train, deep500-dist, the bench
+//! harness) can switch executors via [`ExecutorKind`]. Three properties are
+//! preserved relative to [`ReferenceExecutor`]:
+//!
+//! * **Bit-identical results.** Within a level only independent nodes run;
+//!   the one ordering hazard is backward gradient *accumulation*, where
+//!   `f32` addition is commutative but not associative. Contributions are
+//!   therefore buffered per tensor together with the topological position
+//!   of the consumer that produced them and folded in descending-position
+//!   order — exactly the order the reference's reverse-topological sweep
+//!   applies its `axpy`s — before the producer's level needs them.
+//! * **Event attribution.** Each operator is timed on its worker thread and
+//!   reported to the [`EventList`] as a completed [`Event::span`] from the
+//!   coordinating thread, keeping per-op attribution exact where
+//!   interleaved `begin`/`end` pairs would be meaningless.
+//! * **OOM semantics.** The shared [`MemoryAccountant`] is atomic; racing
+//!   allocations either claim their bytes within capacity or fail, so a
+//!   configured memory limit still produces `Error::OutOfMemory`.
+//!
+//! Tensor buffers are drawn from a shared [`BufferPool`]: workers allocate
+//! operator outputs inside a [`with_pool`] scope and the executor recycles
+//! the pass environment at the end of each pass, so steady-state training
+//! reuses activation and gradient storage instead of hitting the allocator.
+
+use crate::executor::{GraphExecutor, MemoryAccountant, ReferenceExecutor};
+use crate::network::{Network, NodeId};
+use deep500_metrics::event::{EventList, Phase};
+use deep500_ops::Operator;
+use deep500_tensor::{with_pool, BufferPool, Error, PoolStats, Result, Shape, Tensor};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a backward worker hands back to the coordinator: the node's
+/// per-input gradients plus the wall-clock seconds its `backward` took, or
+/// `None` when the node had no output gradients to propagate.
+type BackwardProduct = Option<(Vec<Tensor>, f64)>;
+
+/// Executor selection for components that construct executors from
+/// configuration (training recipes, distributed runners, benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// The serial topological-sort interpreter ([`ReferenceExecutor`]).
+    #[default]
+    Reference,
+    /// Level-parallel execution on the rayon pool ([`WavefrontExecutor`]).
+    Wavefront,
+}
+
+impl ExecutorKind {
+    /// Build the selected executor over `network` with unbounded memory.
+    pub fn build(self, network: Network) -> Result<Box<dyn GraphExecutor>> {
+        self.build_with_memory_limit(network, usize::MAX)
+    }
+
+    /// Build the selected executor with a device memory capacity in bytes.
+    pub fn build_with_memory_limit(
+        self,
+        network: Network,
+        capacity: usize,
+    ) -> Result<Box<dyn GraphExecutor>> {
+        Ok(match self {
+            ExecutorKind::Reference => {
+                Box::new(ReferenceExecutor::with_memory_limit(network, capacity)?)
+            }
+            ExecutorKind::Wavefront => {
+                Box::new(WavefrontExecutor::with_memory_limit(network, capacity)?)
+            }
+        })
+    }
+}
+
+/// Group the topological order into dependency levels. Within each level
+/// nodes keep their topological order, so `levels.concat() == order`.
+fn partition_levels(network: &Network, order: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut level_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut levels: Vec<Vec<NodeId>> = Vec::new();
+    for &id in order {
+        let node = network.node(id).expect("live node");
+        let mut level = 0;
+        for input in &node.inputs {
+            if let Some(p) = network.producer_of(input) {
+                if let Some(&pl) = level_of.get(&p) {
+                    level = level.max(pl + 1);
+                }
+            }
+        }
+        level_of.insert(id, level);
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Vec::new);
+        }
+        levels[level].push(id);
+    }
+    levels
+}
+
+/// The level-parallel executor.
+pub struct WavefrontExecutor {
+    network: Network,
+    ops: HashMap<NodeId, Box<dyn Operator>>,
+    order: Vec<NodeId>,
+    levels: Vec<Vec<NodeId>>,
+    /// Topological position of each node; gradient contributions are folded
+    /// in descending-position order to replicate the reference sweep.
+    order_pos: HashMap<NodeId, usize>,
+    events: EventList,
+    memory: MemoryAccountant,
+    pool: Arc<BufferPool>,
+    /// Max nodes of a level dispatched concurrently (0 = rayon pool width).
+    threads: usize,
+    pass_counter: usize,
+}
+
+impl WavefrontExecutor {
+    /// Build an executor for `network` with unbounded memory.
+    pub fn new(network: Network) -> Result<Self> {
+        Self::with_memory_limit(network, usize::MAX)
+    }
+
+    /// Build with a device memory capacity in bytes; execution fails with
+    /// `Error::OutOfMemory` when live activations + workspace exceed it.
+    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        let ops = network.instantiate_ops()?;
+        let order = network.topological_order()?;
+        let levels = partition_levels(&network, &order);
+        let order_pos = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        Ok(WavefrontExecutor {
+            network,
+            ops,
+            order,
+            levels,
+            order_pos,
+            events: EventList::new(),
+            memory: MemoryAccountant::new(capacity),
+            pool: Arc::new(BufferPool::new()),
+            threads: 0,
+            pass_counter: 0,
+        })
+    }
+
+    /// Cap the number of nodes of a level dispatched concurrently
+    /// (`0` = use the full rayon pool). Mainly for scaling measurements.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The dependency levels (each inner vec is one wavefront, topological
+    /// order preserved).
+    pub fn levels(&self) -> &[Vec<NodeId>] {
+        &self.levels
+    }
+
+    /// Buffer-pool effectiveness counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Re-derive operators, order, and levels after a graph transformation
+    /// mutated the network.
+    pub fn refresh(&mut self) -> Result<()> {
+        self.ops = self.network.instantiate_ops()?;
+        self.order = self.network.topological_order()?;
+        self.levels = partition_levels(&self.network, &self.order);
+        self.order_pos = self
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        Ok(())
+    }
+
+    /// Consume the executor, returning its network.
+    pub fn into_network(self) -> Network {
+        self.network
+    }
+
+    fn group_width(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Forward pass producing the full tensor environment. Accounting
+    /// follows the reference executor; outputs are accounted by the worker
+    /// that produced them so a capacity breach fails the violating node.
+    fn forward_env(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.memory.reset();
+        let mut env: HashMap<String, Tensor> = HashMap::new();
+        for (name, t) in feeds {
+            self.memory.allocate(t.size_bytes())?;
+            env.insert(name.to_string(), t.clone());
+        }
+        let mut remaining: HashMap<String, usize> = HashMap::new();
+        for (_, node) in self.network.nodes() {
+            for i in &node.inputs {
+                *remaining.entry(i.clone()).or_insert(0) += 1;
+            }
+        }
+        for out in self.network.graph_outputs() {
+            *remaining.entry(out.clone()).or_insert(0) += usize::MAX / 2;
+        }
+
+        let width = self.group_width();
+        let network = &self.network;
+        let ops = &self.ops;
+        let memory = &self.memory;
+        let pool = &self.pool;
+        for level in &self.levels {
+            for group in level.chunks(width) {
+                let run = |id: NodeId| -> Result<(Vec<Tensor>, f64)> {
+                    let node = network.node(id).expect("live node");
+                    let op = ops.get(&id).expect("instantiated op");
+                    let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+                    for name in &node.inputs {
+                        let t = env
+                            .get(name)
+                            .map(Ok)
+                            .unwrap_or_else(|| network.fetch_tensor(name))?;
+                        input_refs.push(t);
+                    }
+                    let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
+                    let workspace = op.workspace_bytes(&shapes);
+                    memory.allocate(workspace)?;
+                    let start = std::time::Instant::now();
+                    let outputs = with_pool(pool, || op.forward(&input_refs));
+                    let seconds = start.elapsed().as_secs_f64();
+                    memory.release(workspace);
+                    let outputs = outputs?;
+                    for t in &outputs {
+                        memory.allocate(t.size_bytes())?;
+                    }
+                    Ok((outputs, seconds))
+                };
+                let results: Vec<Result<(Vec<Tensor>, f64)>> = if group.len() == 1 {
+                    vec![run(group[0])]
+                } else {
+                    group.par_iter().map(|&id| run(id)).collect()
+                };
+                for (&id, result) in group.iter().zip(results) {
+                    let (outputs, seconds) = result?;
+                    self.events.span(Phase::OperatorForward, id.0, seconds);
+                    let node = self.network.node(id).expect("live node");
+                    for (tensor, name) in outputs.into_iter().zip(node.outputs.clone()) {
+                        env.insert(name, tensor);
+                    }
+                    // Free inputs whose consumers are exhausted (accounting
+                    // only; values stay available for backprop).
+                    for name in node.inputs.clone() {
+                        if let Some(count) = remaining.get_mut(&name) {
+                            *count = count.saturating_sub(1);
+                            if *count == 0 && !self.network.is_parameter(&name) {
+                                if let Some(t) = env.get(&name) {
+                                    self.memory.release(t.size_bytes());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(env)
+    }
+
+    /// Fold a tensor's buffered gradient contributions in descending
+    /// topological position of the contributing consumer — the order the
+    /// reference's reverse sweep accumulates — and store the result.
+    fn materialize(
+        pending: &mut HashMap<String, Vec<(usize, Tensor)>>,
+        grads: &mut HashMap<String, Tensor>,
+        pool: &BufferPool,
+        name: &str,
+    ) -> Result<()> {
+        if let Some(mut contribs) = pending.remove(name) {
+            // Stable sort: a node consuming the same tensor twice pushes in
+            // input order under one position, which must be preserved.
+            contribs.sort_by_key(|c| std::cmp::Reverse(c.0));
+            let mut it = contribs.into_iter();
+            let (_, mut acc) = it.next().expect("contribution lists are non-empty");
+            for (_, t) in it {
+                acc.axpy(1.0, &t)?;
+                pool.recycle(t.into_vec());
+            }
+            grads.insert(name.to_string(), acc);
+        }
+        Ok(())
+    }
+
+    /// Backward sweep over the levels in reverse; publishes parameter
+    /// gradients into the network value store like the reference.
+    fn backward_env(&mut self, env: &HashMap<String, Tensor>, loss: &str) -> Result<()> {
+        let loss_tensor = env
+            .get(loss)
+            .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
+        // Seed dL/dL = 1, positioned after every node so it folds first.
+        let mut pending: HashMap<String, Vec<(usize, Tensor)>> = HashMap::new();
+        pending
+            .entry(loss.to_string())
+            .or_default()
+            .push((usize::MAX, Tensor::full(loss_tensor.shape().clone(), 1.0)));
+        let mut grads: HashMap<String, Tensor> = HashMap::new();
+
+        let width = self.group_width();
+        let network = &self.network;
+        let ops = &self.ops;
+        let order_pos = &self.order_pos;
+        let pool = &self.pool;
+        for level in self.levels.iter().rev() {
+            // All consumers of this level's outputs live in higher levels
+            // and have already contributed; gradients can be finalized.
+            for &id in level {
+                let node = network.node(id).expect("live node");
+                for o in &node.outputs {
+                    Self::materialize(&mut pending, &mut grads, pool, o)?;
+                }
+            }
+            // Reverse within the level to mirror the reference sweep.
+            let rev: Vec<NodeId> = level.iter().rev().copied().collect();
+            for group in rev.chunks(width) {
+                let run = |id: NodeId| -> Result<Option<(Vec<Tensor>, f64)>> {
+                    let node = network.node(id).expect("live node");
+                    // Skip nodes that contribute no gradient.
+                    if !node.outputs.iter().any(|o| grads.contains_key(o)) {
+                        return Ok(None);
+                    }
+                    let op = ops.get(&id).expect("instantiated op");
+                    let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
+                    for name in &node.inputs {
+                        let t = env
+                            .get(name)
+                            .map(Ok)
+                            .unwrap_or_else(|| network.fetch_tensor(name))?;
+                        input_refs.push(t);
+                    }
+                    let output_tensors: Vec<&Tensor> = node
+                        .outputs
+                        .iter()
+                        .map(|o| env.get(o).ok_or_else(|| Error::NotFound(o.clone())))
+                        .collect::<Result<_>>()?;
+                    // Missing output grads are zeros.
+                    let grad_outputs: Vec<Tensor> = with_pool(pool, || {
+                        node.outputs
+                            .iter()
+                            .zip(&output_tensors)
+                            .map(|(name, t)| {
+                                grads
+                                    .get(name)
+                                    .cloned()
+                                    .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+                            })
+                            .collect()
+                    });
+                    let grad_refs: Vec<&Tensor> = grad_outputs.iter().collect();
+                    let start = std::time::Instant::now();
+                    let input_grads = with_pool(pool, || {
+                        op.backward(&grad_refs, &input_refs, &output_tensors)
+                    });
+                    let seconds = start.elapsed().as_secs_f64();
+                    for t in grad_outputs {
+                        pool.recycle(t.into_vec());
+                    }
+                    Ok(Some((input_grads?, seconds)))
+                };
+                let results: Vec<Result<BackwardProduct>> = if group.len() == 1 {
+                    vec![run(group[0])]
+                } else {
+                    group.par_iter().map(|&id| run(id)).collect()
+                };
+                for (&id, result) in group.iter().zip(results) {
+                    let Some((input_grads, seconds)) = result? else {
+                        continue;
+                    };
+                    self.events.span(Phase::OperatorBackward, id.0, seconds);
+                    let node = network.node(id).expect("live node");
+                    let pos = order_pos[&id];
+                    for (gname, gtensor) in node.inputs.iter().zip(input_grads) {
+                        pending
+                            .entry(gname.clone())
+                            .or_default()
+                            .push((pos, gtensor));
+                    }
+                }
+            }
+        }
+
+        // Contributions to producer-less tensors (feeds, parameters).
+        let unresolved: Vec<String> = pending.keys().cloned().collect();
+        for name in unresolved {
+            Self::materialize(&mut pending, &mut grads, pool, &name)?;
+        }
+
+        // Publish parameter gradients into the network value store.
+        for (pname, gname) in self.network.gradient() {
+            let g = grads.get(&pname).cloned().unwrap_or_else(|| {
+                let shape = self
+                    .network
+                    .fetch_tensor(&pname)
+                    .map(|t| t.shape().clone())
+                    .unwrap_or_else(|_| Shape::scalar());
+                Tensor::zeros(shape)
+            });
+            self.network.feed_tensor(gname, g);
+        }
+        for (_, t) in grads.drain() {
+            self.pool.recycle(t.into_vec());
+        }
+        Ok(())
+    }
+
+    /// Collect declared graph outputs from an environment.
+    fn collect_outputs(&self, env: &HashMap<String, Tensor>) -> Result<HashMap<String, Tensor>> {
+        let mut out = HashMap::new();
+        for name in self.network.graph_outputs() {
+            let t = env
+                .get(name)
+                .ok_or_else(|| Error::NotFound(format!("graph output '{name}'")))?;
+            out.insert(name.clone(), t.clone());
+        }
+        Ok(out)
+    }
+
+    /// Return a pass environment's buffers to the pool for the next pass.
+    fn recycle_env(&self, env: HashMap<String, Tensor>) {
+        for (_, t) in env {
+            self.pool.recycle(t.into_vec());
+        }
+    }
+}
+
+impl GraphExecutor for WavefrontExecutor {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Inference, pass);
+        let env = self.forward_env(feeds)?;
+        let outputs = self.collect_outputs(&env);
+        self.events.end(Phase::Inference, pass);
+        self.recycle_env(env);
+        outputs
+    }
+
+    fn inference_and_backprop(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        loss: &str,
+    ) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Backprop, pass);
+        let env = self.forward_env(feeds)?;
+        self.backward_env(&env, loss)?;
+        let outputs = self.collect_outputs(&env);
+        self.events.end(Phase::Backprop, pass);
+        self.recycle_env(env);
+        outputs
+    }
+
+    fn events_mut(&mut self) -> &mut EventList {
+        &mut self.events
+    }
+
+    fn peak_memory(&self) -> usize {
+        self.memory.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep500_ops::registry::Attributes;
+
+    /// Diamond: x feeds two independent Scale nodes whose outputs are
+    /// concatenated — levels must be {split sources} then {join}.
+    fn diamond_net() -> Network {
+        let mut net = Network::new("diamond");
+        net.add_input("x");
+        net.add_node(
+            "s2",
+            "Scale",
+            Attributes::new().with_float("alpha", 2.0),
+            &["x"],
+            &["a"],
+        )
+        .unwrap();
+        net.add_node(
+            "s3",
+            "Scale",
+            Attributes::new().with_float("alpha", 3.0),
+            &["x"],
+            &["b"],
+        )
+        .unwrap();
+        net.add_node(
+            "cc",
+            "Concat",
+            Attributes::new().with_int("num_inputs", 2),
+            &["a", "b"],
+            &["y"],
+        )
+        .unwrap();
+        net.add_output("y");
+        net
+    }
+
+    #[test]
+    fn levels_partition_the_order() {
+        let ex = WavefrontExecutor::new(diamond_net()).unwrap();
+        let levels = ex.levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2, "independent scales share a level");
+        assert_eq!(levels[1].len(), 1);
+        let flattened: Vec<NodeId> = levels.concat();
+        assert_eq!(flattened, ex.order);
+    }
+
+    #[test]
+    fn diamond_inference_matches_reference() {
+        let x = Tensor::from_vec([2, 1], vec![1.5, -0.5]).unwrap();
+        let mut wf = WavefrontExecutor::new(diamond_net()).unwrap();
+        let mut rf = ReferenceExecutor::new(diamond_net()).unwrap();
+        let w = wf.inference(&[("x", x.clone())]).unwrap();
+        let r = rf.inference(&[("x", x)]).unwrap();
+        assert_eq!(w["y"].data(), r["y"].data());
+    }
+
+    #[test]
+    fn executor_kind_builds_both() {
+        for kind in [ExecutorKind::Reference, ExecutorKind::Wavefront] {
+            let mut ex = kind.build(diamond_net()).unwrap();
+            let out = ex
+                .inference(&[("x", Tensor::from_vec([1, 1], vec![1.0]).unwrap())])
+                .unwrap();
+            assert_eq!(out["y"].data(), &[2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn wavefront_ooms_on_tiny_capacity() {
+        let mut ex = WavefrontExecutor::with_memory_limit(diamond_net(), 8).unwrap();
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]); // 16 bytes
+        let err = ex.inference(&[("x", x)]).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn pool_recycles_across_passes() {
+        let mut ex = WavefrontExecutor::new(diamond_net()).unwrap();
+        let x = Tensor::from_slice(&[1.0; 256]);
+        ex.inference(&[("x", x.clone())]).unwrap();
+        let after_first = ex.pool_stats();
+        ex.inference(&[("x", x)]).unwrap();
+        let after_second = ex.pool_stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "second pass should reuse first-pass buffers: {after_second:?}"
+        );
+    }
+}

@@ -40,8 +40,14 @@ fn random_chain(ops: &[u8], features: usize, seed: u64) -> Network {
                 .unwrap();
             }
             3 => {
-                net.add_node(format!("n{i}"), "Sigmoid", Attributes::new(), &[&cur], &[&out])
-                    .unwrap();
+                net.add_node(
+                    format!("n{i}"),
+                    "Sigmoid",
+                    Attributes::new(),
+                    &[&cur],
+                    &[&out],
+                )
+                .unwrap();
             }
             _ => {
                 // Dense layer keeps feature count.

@@ -23,17 +23,26 @@ pub struct PowerModel {
 impl PowerModel {
     /// A P100-class accelerator (Piz Daint's GPU: 300 W TDP, ~30 W idle).
     pub fn p100() -> Self {
-        PowerModel { active_w: 300.0, idle_w: 30.0 }
+        PowerModel {
+            active_w: 300.0,
+            idle_w: 30.0,
+        }
     }
 
     /// A server-CPU socket (Xeon-class).
     pub fn xeon() -> Self {
-        PowerModel { active_w: 135.0, idle_w: 45.0 }
+        PowerModel {
+            active_w: 135.0,
+            idle_w: 45.0,
+        }
     }
 
     /// A mobile-class SoC.
     pub fn mobile_soc() -> Self {
-        PowerModel { active_w: 8.0, idle_w: 1.0 }
+        PowerModel {
+            active_w: 8.0,
+            idle_w: 1.0,
+        }
     }
 
     /// Energy in joules for the given busy/total seconds.
@@ -131,7 +140,10 @@ mod tests {
 
     #[test]
     fn power_model_energy() {
-        let m = PowerModel { active_w: 100.0, idle_w: 10.0 };
+        let m = PowerModel {
+            active_w: 100.0,
+            idle_w: 10.0,
+        };
         assert_eq!(m.energy_j(1.0, 2.0), 110.0);
         assert_eq!(m.energy_j(2.0, 2.0), 200.0);
         // busy > total clamps idle at 0

@@ -47,6 +47,19 @@ pub trait Event: Send {
         let _ = (phase, id);
     }
 
+    /// Called for a phase instance that was timed *off-thread*: concurrent
+    /// executors measure each operator's duration on its worker and report
+    /// the completed span from the coordinating thread, preserving per-op
+    /// attribution when `begin`/`end` bracketing on one thread would
+    /// interleave. The default forwards to `begin` + `end` so hooks that
+    /// only count occurrences keep working; time-accumulating hooks should
+    /// override and add `seconds` directly.
+    fn span(&mut self, phase: Phase, id: usize, seconds: f64) {
+        let _ = seconds;
+        self.begin(phase, id);
+        self.end(phase, id);
+    }
+
     /// Polled by runners after each iteration/epoch; returning `true`
     /// requests an early exit (the paper's early-stopping condition hook).
     fn should_stop(&self) -> bool {
@@ -95,6 +108,13 @@ impl EventList {
         }
     }
 
+    /// Broadcast a completed, off-thread-timed span to all hooks.
+    pub fn span(&mut self, phase: Phase, id: usize, seconds: f64) {
+        for h in &mut self.hooks {
+            h.span(phase, id, seconds);
+        }
+    }
+
     /// `true` if any hook requests a stop.
     pub fn should_stop(&self) -> bool {
         self.hooks.iter().any(|h| h.should_stop())
@@ -107,6 +127,9 @@ impl Event for EventList {
     }
     fn end(&mut self, phase: Phase, id: usize) {
         EventList::end(self, phase, id)
+    }
+    fn span(&mut self, phase: Phase, id: usize, seconds: f64) {
+        EventList::span(self, phase, id, seconds)
     }
     fn should_stop(&self) -> bool {
         EventList::should_stop(self)
@@ -188,7 +211,10 @@ mod tests {
     #[test]
     fn recorder_sees_ids() {
         let mut list = EventList::new();
-        list.push(Box::new(Recorder { begun: vec![], ended: vec![] }));
+        list.push(Box::new(Recorder {
+            begun: vec![],
+            ended: vec![],
+        }));
         list.begin(Phase::OperatorForward, 7);
         list.end(Phase::OperatorForward, 7);
         // (internal state not observable through the trait object; this test

@@ -74,7 +74,12 @@ pub mod counts {
         kh: usize,
         kw: usize,
     ) -> f64 {
-        2.0 * n as f64 * c_out as f64 * h_out as f64 * w_out as f64 * c_in as f64 * kh as f64
+        2.0 * n as f64
+            * c_out as f64
+            * h_out as f64
+            * w_out as f64
+            * c_in as f64
+            * kh as f64
             * kw as f64
     }
 

@@ -136,7 +136,11 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        let d = DiffNorms { l1: 1.0, l2: 2.0, linf: 3.0 };
+        let d = DiffNorms {
+            l1: 1.0,
+            l2: 2.0,
+            linf: 3.0,
+        };
         let s = format!("{d}");
         assert!(s.contains("linf=3.000e0"));
     }

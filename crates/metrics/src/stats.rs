@@ -130,7 +130,7 @@ pub fn median_ci_sorted(sorted: &[f64], level: f64) -> ConfidenceInterval {
     let alpha = (1.0 - level) / 2.0;
     let mut k = 0usize;
     let mut cdf = binom_pmf(n, 0); // P(X = 0)
-    // k counts how many order statistics we may discard from each side.
+                                   // k counts how many order statistics we may discard from each side.
     while k + 1 < n / 2 {
         let next = cdf + binom_pmf(n, k + 1);
         if next > alpha {
@@ -227,9 +227,21 @@ mod tests {
 
     #[test]
     fn ci_overlap() {
-        let a = ConfidenceInterval { lo: 1.0, hi: 2.0, level: 0.95 };
-        let b = ConfidenceInterval { lo: 1.5, hi: 3.0, level: 0.95 };
-        let c = ConfidenceInterval { lo: 2.5, hi: 3.0, level: 0.95 };
+        let a = ConfidenceInterval {
+            lo: 1.0,
+            hi: 2.0,
+            level: 0.95,
+        };
+        let b = ConfidenceInterval {
+            lo: 1.5,
+            hi: 3.0,
+            level: 0.95,
+        };
+        let c = ConfidenceInterval {
+            lo: 2.5,
+            hi: 3.0,
+            level: 0.95,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

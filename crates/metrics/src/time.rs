@@ -14,7 +14,9 @@ pub struct Timer {
 impl Timer {
     /// Start timing now.
     pub fn start() -> Timer {
-        Timer { start: Instant::now() }
+        Timer {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed seconds since `start`.

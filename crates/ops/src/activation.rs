@@ -19,13 +19,19 @@ pub struct ActivationOp {
 
 impl ActivationOp {
     pub fn relu() -> Self {
-        ActivationOp { kind: Activation::Relu }
+        ActivationOp {
+            kind: Activation::Relu,
+        }
     }
     pub fn sigmoid() -> Self {
-        ActivationOp { kind: Activation::Sigmoid }
+        ActivationOp {
+            kind: Activation::Sigmoid,
+        }
     }
     pub fn tanh() -> Self {
-        ActivationOp { kind: Activation::Tanh }
+        ActivationOp {
+            kind: Activation::Tanh,
+        }
     }
 
     #[inline]

@@ -36,7 +36,17 @@ pub enum ConvAlgorithm {
 
 /// Resolved convolution dimensions:
 /// `(n, c, h, w, c_out, kh, kw, h_out, w_out)`.
-pub type ConvDims = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+pub type ConvDims = (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
 
 /// Geometry of a convolution: stride and symmetric zero padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,7 +175,16 @@ impl Operator for Conv2dOp {
 /// Padded fetch: `x[n, c, h, w]` with zero padding outside bounds.
 #[inline]
 #[allow(clippy::too_many_arguments)] // inner-kernel plumbing: all scalars
-fn fetch(x: &[f32], c: usize, hd: usize, wd: usize, n: usize, ci: usize, h: isize, w: isize) -> f32 {
+fn fetch(
+    x: &[f32],
+    c: usize,
+    hd: usize,
+    wd: usize,
+    n: usize,
+    ci: usize,
+    h: isize,
+    w: isize,
+) -> f32 {
     if h < 0 || w < 0 || h as usize >= hd || w as usize >= wd {
         0.0
     } else {

@@ -177,8 +177,7 @@ mod tests {
         let w = Tensor::rand_uniform([4, 3, 3, 3], -0.5, 0.5, &mut rng);
         let b = Tensor::rand_uniform([4], -0.1, 0.1, &mut rng);
         for pad in [0usize, 1] {
-            let direct =
-                forward_direct(&x, &w, &b, ConvGeometry { stride: 1, pad }).unwrap();
+            let direct = forward_direct(&x, &w, &b, ConvGeometry { stride: 1, pad }).unwrap();
             let wino = forward_winograd_3x3(&x, &w, &b, pad).unwrap();
             assert_eq!(direct.shape(), wino.shape());
             let err = linf_diff(direct.data(), wino.data());

@@ -54,7 +54,16 @@ impl ConvSize {
         stride: usize,
         pad: usize,
     ) -> Self {
-        ConvSize { n, c, h, w, k, r, stride, pad }
+        ConvSize {
+            n,
+            c,
+            h,
+            w,
+            k,
+            r,
+            stride,
+            pad,
+        }
     }
 
     /// Output spatial extent.
@@ -157,9 +166,17 @@ mod tests {
 
     #[test]
     fn highlighted_sizes_match_paper() {
-        assert_eq!((HIGHLIGHTED_GEMM.m, HIGHLIGHTED_GEMM.n, HIGHLIGHTED_GEMM.k), (2560, 64, 2560));
         assert_eq!(
-            (HIGHLIGHTED_CONV.n, HIGHLIGHTED_CONV.c, HIGHLIGHTED_CONV.h, HIGHLIGHTED_CONV.r),
+            (HIGHLIGHTED_GEMM.m, HIGHLIGHTED_GEMM.n, HIGHLIGHTED_GEMM.k),
+            (2560, 64, 2560)
+        );
+        assert_eq!(
+            (
+                HIGHLIGHTED_CONV.n,
+                HIGHLIGHTED_CONV.c,
+                HIGHLIGHTED_CONV.h,
+                HIGHLIGHTED_CONV.r
+            ),
             (16, 3, 224, 3)
         );
     }

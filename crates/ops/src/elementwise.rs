@@ -25,16 +25,24 @@ pub struct BinaryOp {
 
 impl BinaryOp {
     pub fn add() -> Self {
-        BinaryOp { kind: BinaryKind::Add }
+        BinaryOp {
+            kind: BinaryKind::Add,
+        }
     }
     pub fn sub() -> Self {
-        BinaryOp { kind: BinaryKind::Sub }
+        BinaryOp {
+            kind: BinaryKind::Sub,
+        }
     }
     pub fn mul() -> Self {
-        BinaryOp { kind: BinaryKind::Mul }
+        BinaryOp {
+            kind: BinaryKind::Mul,
+        }
     }
     pub fn div() -> Self {
-        BinaryOp { kind: BinaryKind::Div }
+        BinaryOp {
+            kind: BinaryKind::Div,
+        }
     }
 }
 
@@ -171,10 +179,22 @@ mod tests {
     fn binary_forward_values() {
         let a = Tensor::from_slice(&[4.0, 9.0]);
         let b = Tensor::from_slice(&[2.0, 3.0]);
-        assert_eq!(BinaryOp::add().forward(&[&a, &b]).unwrap()[0].data(), &[6.0, 12.0]);
-        assert_eq!(BinaryOp::sub().forward(&[&a, &b]).unwrap()[0].data(), &[2.0, 6.0]);
-        assert_eq!(BinaryOp::mul().forward(&[&a, &b]).unwrap()[0].data(), &[8.0, 27.0]);
-        assert_eq!(BinaryOp::div().forward(&[&a, &b]).unwrap()[0].data(), &[2.0, 3.0]);
+        assert_eq!(
+            BinaryOp::add().forward(&[&a, &b]).unwrap()[0].data(),
+            &[6.0, 12.0]
+        );
+        assert_eq!(
+            BinaryOp::sub().forward(&[&a, &b]).unwrap()[0].data(),
+            &[2.0, 6.0]
+        );
+        assert_eq!(
+            BinaryOp::mul().forward(&[&a, &b]).unwrap()[0].data(),
+            &[8.0, 27.0]
+        );
+        assert_eq!(
+            BinaryOp::div().forward(&[&a, &b]).unwrap()[0].data(),
+            &[2.0, 3.0]
+        );
     }
 
     #[test]
@@ -183,15 +203,21 @@ mod tests {
         let b = Tensor::from_slice(&[2.0]);
         let g = Tensor::from_slice(&[1.0]);
         let y = BinaryOp::div().forward(&[&a, &b]).unwrap();
-        let grads = BinaryOp::div().backward(&[&g], &[&a, &b], &[&y[0]]).unwrap();
+        let grads = BinaryOp::div()
+            .backward(&[&g], &[&a, &b], &[&y[0]])
+            .unwrap();
         assert_eq!(grads[0].data(), &[0.5]); // 1/b
         assert_eq!(grads[1].data(), &[-1.0]); // -a/b^2
 
-        let grads = BinaryOp::mul().backward(&[&g], &[&a, &b], &[&y[0]]).unwrap();
+        let grads = BinaryOp::mul()
+            .backward(&[&g], &[&a, &b], &[&y[0]])
+            .unwrap();
         assert_eq!(grads[0].data(), &[2.0]);
         assert_eq!(grads[1].data(), &[4.0]);
 
-        let grads = BinaryOp::sub().backward(&[&g], &[&a, &b], &[&y[0]]).unwrap();
+        let grads = BinaryOp::sub()
+            .backward(&[&g], &[&a, &b], &[&y[0]])
+            .unwrap();
         assert_eq!(grads[1].data(), &[-1.0]);
     }
 
@@ -208,7 +234,10 @@ mod tests {
         let op = ScaleOp::new(3.0, 1.0);
         assert_eq!(op.forward(&[&x]).unwrap()[0].data(), &[4.0, 7.0]);
         let g = Tensor::from_slice(&[1.0, 1.0]);
-        assert_eq!(op.backward(&[&g], &[&x], &[]).unwrap()[0].data(), &[3.0, 3.0]);
+        assert_eq!(
+            op.backward(&[&g], &[&x], &[]).unwrap()[0].data(),
+            &[3.0, 3.0]
+        );
     }
 
     #[test]

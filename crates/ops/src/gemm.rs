@@ -31,16 +31,14 @@ pub enum Algorithm {
 /// Cache-block edge for the blocked kernels (elements).
 const BLOCK: usize = 64;
 
+/// Below this many multiply-accumulates (`m * n * k`), parallel dispatch
+/// costs more than it saves and the parallel entry points run serially.
+/// Shared by [`gemm`]'s `Parallel` algorithm and the transposed backward
+/// kernels [`matmul_at_b`] / [`matmul_a_bt`].
+pub const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
 /// `C = A * B` with the selected algorithm; buffers are row-major slices.
-pub fn gemm(
-    algo: Algorithm,
-    m: usize,
-    n: usize,
-    k: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
+pub fn gemm(algo: Algorithm, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -91,8 +89,7 @@ fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
 
 /// The blocked kernel parallelized over `C`'s row panels.
 fn gemm_parallel(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    // Small problems: parallel dispatch costs more than it saves.
-    if m * n * k < 64 * 64 * 64 {
+    if m * n * k < PAR_THRESHOLD {
         return gemm_blocked(m, n, k, a, b, c);
     }
     c.par_chunks_mut(BLOCK * n)
@@ -127,47 +124,81 @@ pub fn matmul(algo: Algorithm, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(c)
 }
 
-/// `A^T * B` without materializing the transpose: `A [K x M]`, `B [K x N]`,
-/// result `[M x N]`. Used by FC/conv backward passes.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
-    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
-    if k != kb {
-        return Err(Error::ShapeMismatch(format!("A^T*B inner dims: {k} vs {kb}")));
-    }
-    let mut c = Tensor::zeros([m, n]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
-    for p in 0..k {
-        for i in 0..m {
+/// `A^T * B` for rows `ib..ib+rows` of the result; `cpanel` holds exactly
+/// those rows. Per output element the `p` reduction ascends, matching the
+/// historical serial kernel bit for bit regardless of panelling.
+fn at_b_panel(ib: usize, m: usize, n: usize, k: usize, ad: &[f32], bd: &[f32], cpanel: &mut [f32]) {
+    let rows = cpanel.len() / n;
+    for (ri, crow) in cpanel.chunks_mut(n).enumerate() {
+        let i = ib + ri;
+        debug_assert!(i < ib + rows);
+        for p in 0..k {
             let av = ad[p * m + i];
             if av == 0.0 {
                 continue;
             }
             let brow = &bd[p * n..(p + 1) * n];
-            let crow = &mut cd[i * n..(i + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += av * bv;
             }
         }
     }
+}
+
+/// `A^T * B` without materializing the transpose: `A [K x M]`, `B [K x N]`,
+/// result `[M x N]`. Used by FC/conv backward passes. Parallelized over row
+/// panels of the result above [`PAR_THRESHOLD`].
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != kb {
+        return Err(Error::ShapeMismatch(format!(
+            "A^T*B inner dims: {k} vs {kb}"
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    if m * n * k < PAR_THRESHOLD {
+        at_b_panel(0, m, n, k, ad, bd, cd);
+    } else {
+        cd.par_chunks_mut(BLOCK * n)
+            .enumerate()
+            .for_each(|(chunk, cpanel)| at_b_panel(chunk * BLOCK, m, n, k, ad, bd, cpanel));
+    }
     Ok(c)
 }
 
-/// `A * B^T`: `A [M x K]`, `B [N x K]`, result `[M x N]`.
+/// `A * B^T` for rows `ib..` of the result (each row is an independent set
+/// of dot products, so panelling cannot change the accumulation order).
+fn a_bt_panel(ib: usize, n: usize, k: usize, ad: &[f32], bd: &[f32], cpanel: &mut [f32]) {
+    for (ri, crow) in cpanel.chunks_mut(n).enumerate() {
+        let i = ib + ri;
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            *cv = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+}
+
+/// `A * B^T`: `A [M x K]`, `B [N x K]`, result `[M x N]`. Parallelized over
+/// row panels of the result above [`PAR_THRESHOLD`].
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = (a.shape().dim(0), a.shape().dim(1));
     let (n, kb) = (b.shape().dim(0), b.shape().dim(1));
     if k != kb {
-        return Err(Error::ShapeMismatch(format!("A*B^T inner dims: {k} vs {kb}")));
+        return Err(Error::ShapeMismatch(format!(
+            "A*B^T inner dims: {k} vs {kb}"
+        )));
     }
     let mut c = Tensor::zeros([m, n]);
     let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            cd[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-        }
+    if m * n * k < PAR_THRESHOLD {
+        a_bt_panel(0, n, k, ad, bd, cd);
+    } else {
+        cd.par_chunks_mut(BLOCK * n)
+            .enumerate()
+            .for_each(|(chunk, cpanel)| a_bt_panel(chunk * BLOCK, n, k, ad, bd, cpanel));
     }
     Ok(c)
 }
@@ -191,17 +222,14 @@ impl crate::operator::Operator for MatMulOp {
     fn num_inputs(&self) -> usize {
         2
     }
-    fn output_shapes(
-        &self,
-        s: &[&deep500_tensor::Shape],
-    ) -> Result<Vec<deep500_tensor::Shape>> {
+    fn output_shapes(&self, s: &[&deep500_tensor::Shape]) -> Result<Vec<deep500_tensor::Shape>> {
         if s[0].rank() != 2 || s[1].rank() != 2 || s[0].dim(1) != s[1].dim(0) {
-            return Err(Error::ShapeMismatch(format!(
-                "MatMul: {} x {}",
-                s[0], s[1]
-            )));
+            return Err(Error::ShapeMismatch(format!("MatMul: {} x {}", s[0], s[1])));
         }
-        Ok(vec![deep500_tensor::Shape::new(&[s[0].dim(0), s[1].dim(1)])])
+        Ok(vec![deep500_tensor::Shape::new(&[
+            s[0].dim(0),
+            s[1].dim(1),
+        ])])
     }
     fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
         Ok(vec![matmul(self.algo, inputs[0], inputs[1])?])
@@ -299,6 +327,30 @@ mod tests {
         // dA = G * B^T with G = ones => row sums of B^T = col sums broadcast
         let expected_da = matmul(Algorithm::Naive, &g, &b.transpose2d().unwrap()).unwrap();
         assert!(grads[0].approx_eq(&expected_da, 1e-5));
+    }
+
+    #[test]
+    fn transposed_kernels_parallel_path_is_bit_identical() {
+        // Sizes straddling PAR_THRESHOLD: the parallel row-panel path must
+        // reproduce the serial panel bit for bit (same per-element
+        // reduction order, only the rows are distributed).
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let (m, n, k) = (130, 70, 64); // m*n*k > PAR_THRESHOLD
+        assert!(m * n * k >= PAR_THRESHOLD);
+
+        let a = Tensor::rand_uniform([k, m], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let par = matmul_at_b(&a, &b).unwrap();
+        let mut serial = Tensor::zeros([m, n]);
+        at_b_panel(0, m, n, k, a.data(), b.data(), serial.data_mut());
+        assert_eq!(par.data(), serial.data());
+
+        let c = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let d = Tensor::rand_uniform([n, k], -1.0, 1.0, &mut rng);
+        let par = matmul_a_bt(&c, &d).unwrap();
+        let mut serial = Tensor::zeros([m, n]);
+        a_bt_panel(0, n, k, c.data(), d.data(), serial.data_mut());
+        assert_eq!(par.data(), serial.data());
     }
 
     #[test]

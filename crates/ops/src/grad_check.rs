@@ -103,7 +103,11 @@ pub fn test_gradient(
             checked += 1;
         }
     }
-    Ok(GradCheckReport { max_rel_error: max_rel, worst, checked })
+    Ok(GradCheckReport {
+        max_rel_error: max_rel,
+        worst,
+        checked,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +155,11 @@ mod tests {
         let x = Tensor::rand_uniform([1, 2, 5, 5], -1.0, 1.0, &mut r);
         let w = Tensor::rand_uniform([3, 2, 3, 3], -0.5, 0.5, &mut r);
         let b = Tensor::rand_uniform([3], -0.1, 0.1, &mut r);
-        for algo in [ConvAlgorithm::Direct, ConvAlgorithm::Im2col, ConvAlgorithm::Winograd] {
+        for algo in [
+            ConvAlgorithm::Direct,
+            ConvAlgorithm::Im2col,
+            ConvAlgorithm::Winograd,
+        ] {
             let op = Conv2dOp::new(1, 1, algo);
             let report = test_gradient(&op, &[&x, &w, &b], EPS, 60).unwrap();
             assert!(
@@ -168,9 +176,18 @@ mod tests {
         let mut r = rng();
         // Keep away from ReLU's kink at 0 by shifting.
         let x = Tensor::rand_uniform([20], 0.1, 1.0, &mut r);
-        for op in [ActivationOp::relu(), ActivationOp::sigmoid(), ActivationOp::tanh()] {
+        for op in [
+            ActivationOp::relu(),
+            ActivationOp::sigmoid(),
+            ActivationOp::tanh(),
+        ] {
             let report = test_gradient(&op, &[&x], EPS, 50).unwrap();
-            assert!(report.passes(TOL), "{}: {}", op.name(), report.max_rel_error);
+            assert!(
+                report.passes(TOL),
+                "{}: {}",
+                op.name(),
+                report.max_rel_error
+            );
         }
     }
 
@@ -186,9 +203,18 @@ mod tests {
     fn pooling_gradients() {
         let mut r = rng();
         let x = Tensor::rand_uniform([1, 2, 6, 6], -1.0, 1.0, &mut r);
-        for op in [Pool2dOp::max(2, 2), Pool2dOp::average(2, 2), Pool2dOp::median(3, 3)] {
+        for op in [
+            Pool2dOp::max(2, 2),
+            Pool2dOp::average(2, 2),
+            Pool2dOp::median(3, 3),
+        ] {
             let report = test_gradient(&op, &[&x], 1e-4, 80).unwrap();
-            assert!(report.passes(TOL), "{}: {}", op.name(), report.max_rel_error);
+            assert!(
+                report.passes(TOL),
+                "{}: {}",
+                op.name(),
+                report.max_rel_error
+            );
         }
     }
 
@@ -198,8 +224,7 @@ mod tests {
         let x = Tensor::rand_uniform([3, 2, 3, 3], -1.0, 1.0, &mut r);
         let gamma = Tensor::rand_uniform([2], 0.5, 1.5, &mut r);
         let beta = Tensor::rand_uniform([2], -0.5, 0.5, &mut r);
-        let report =
-            test_gradient(&BatchNormOp::default(), &[&x, &gamma, &beta], EPS, 60).unwrap();
+        let report = test_gradient(&BatchNormOp::default(), &[&x, &gamma, &beta], EPS, 60).unwrap();
         assert!(report.passes(1e-2), "max rel {}", report.max_rel_error);
     }
 
@@ -208,8 +233,7 @@ mod tests {
         let mut r = rng();
         let logits = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut r);
         let labels = Tensor::from_slice(&[0.0, 2.0, 1.0, 1.0]);
-        let report =
-            test_gradient(&SoftmaxCrossEntropyOp, &[&logits, &labels], EPS, 50).unwrap();
+        let report = test_gradient(&SoftmaxCrossEntropyOp, &[&logits, &labels], EPS, 50).unwrap();
         assert!(report.passes(TOL), "xent: {}", report.max_rel_error);
 
         let a = Tensor::rand_uniform([10], -1.0, 1.0, &mut r);
@@ -223,9 +247,19 @@ mod tests {
         let mut r = rng();
         let a = Tensor::rand_uniform([12], 0.5, 2.0, &mut r);
         let b = Tensor::rand_uniform([12], 0.5, 2.0, &mut r);
-        for op in [BinaryOp::add(), BinaryOp::sub(), BinaryOp::mul(), BinaryOp::div()] {
+        for op in [
+            BinaryOp::add(),
+            BinaryOp::sub(),
+            BinaryOp::mul(),
+            BinaryOp::div(),
+        ] {
             let report = test_gradient(&op, &[&a, &b], EPS, 30).unwrap();
-            assert!(report.passes(TOL), "{}: {}", op.name(), report.max_rel_error);
+            assert!(
+                report.passes(TOL),
+                "{}: {}",
+                op.name(),
+                report.max_rel_error
+            );
         }
     }
 

@@ -20,9 +20,7 @@ impl LinearOp {
 
     fn dims(&self, x: &Shape, w: &Shape, b: &Shape) -> Result<(usize, usize, usize)> {
         if x.rank() != 2 || w.rank() != 2 || b.rank() != 1 {
-            return Err(Error::ShapeMismatch(format!(
-                "Linear: X {x}, W {w}, b {b}"
-            )));
+            return Err(Error::ShapeMismatch(format!("Linear: X {x}, W {w}, b {b}")));
         }
         let (n, fin) = (x.dim(0), x.dim(1));
         let (fout, fin2) = (w.dim(0), w.dim(1));

@@ -100,14 +100,17 @@ impl Operator for MseLossOp {
     }
     fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
         if s[0] != s[1] {
-            return Err(Error::ShapeMismatch(format!("MseLoss: {} vs {}", s[0], s[1])));
+            return Err(Error::ShapeMismatch(format!(
+                "MseLoss: {} vs {}",
+                s[0], s[1]
+            )));
         }
         Ok(vec![Shape::scalar()])
     }
     fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
         let d = inputs[0].sub(inputs[1])?;
-        let mse = d.data().iter().map(|&v| v as f64 * v as f64).sum::<f64>()
-            / d.numel().max(1) as f64;
+        let mse =
+            d.data().iter().map(|&v| v as f64 * v as f64).sum::<f64>() / d.numel().max(1) as f64;
         Ok(vec![Tensor::scalar(mse as f32)])
     }
     fn backward(
@@ -205,8 +208,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct() {
-        let logits =
-            Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let logits = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
         let labels = Tensor::from_slice(&[0.0, 1.0, 1.0]);
         let acc = accuracy(&logits, &labels).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);

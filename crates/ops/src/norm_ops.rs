@@ -176,7 +176,9 @@ mod tests {
         let x = Tensor::rand_normal([4, 2, 3, 3], 5.0, 2.0, &mut rng);
         let gamma = Tensor::ones([2]);
         let beta = Tensor::zeros([2]);
-        let y = BatchNormOp::default().forward(&[&x, &gamma, &beta]).unwrap();
+        let y = BatchNormOp::default()
+            .forward(&[&x, &gamma, &beta])
+            .unwrap();
         // Per-channel mean ~0, variance ~1.
         let (mean, var, _) = channel_stats(&y[0]);
         for ch in 0..2 {
@@ -191,7 +193,9 @@ mod tests {
         let x = Tensor::rand_normal([2, 1, 4, 4], 0.0, 1.0, &mut rng);
         let gamma = Tensor::from_slice(&[3.0]);
         let beta = Tensor::from_slice(&[-1.0]);
-        let y = BatchNormOp::default().forward(&[&x, &gamma, &beta]).unwrap();
+        let y = BatchNormOp::default()
+            .forward(&[&x, &gamma, &beta])
+            .unwrap();
         let (mean, var, _) = channel_stats(&y[0]);
         assert!((mean[0] + 1.0).abs() < 1e-5);
         assert!((var[0] - 9.0).abs() < 1e-2);

@@ -147,9 +147,7 @@ mod tests {
         let x = Tensor::from_slice(&[1.0]);
         let y = op.forward(&[&x]).unwrap();
         let g = Tensor::from_slice(&[1.0]);
-        let gi = op
-            .backward(&[&g], &[&x], &[&y[0]])
-            .unwrap();
+        let gi = op.backward(&[&g], &[&x], &[&y[0]]).unwrap();
         assert_eq!(gi[0].data(), &[2.0]);
     }
 

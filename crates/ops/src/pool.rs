@@ -30,7 +30,11 @@ pub struct Pool2dOp {
 
 impl Pool2dOp {
     pub fn new(kind: PoolKind, kernel: usize, stride: usize) -> Self {
-        Pool2dOp { kind, kernel, stride }
+        Pool2dOp {
+            kind,
+            kernel,
+            stride,
+        }
     }
 
     /// Max pooling, the common DNN downsampler.
@@ -49,7 +53,10 @@ impl Pool2dOp {
     }
 
     fn geometry(&self) -> ConvGeometry {
-        ConvGeometry { stride: self.stride, pad: 0 }
+        ConvGeometry {
+            stride: self.stride,
+            pad: 0,
+        }
     }
 
     fn out_dims(&self, x: &Shape) -> Result<(usize, usize, usize, usize, usize, usize)> {
@@ -164,16 +171,16 @@ impl Operator for Pool2dOp {
                         PoolKind::Max => {
                             // Route to the first maximal element (ties: cuDNN-style
                             // deterministic choice).
-                            let (_, off) = vals
-                                .iter()
-                                .copied()
-                                .fold((f32::NEG_INFINITY, 0usize), |acc, (v, o)| {
+                            let (_, off) = vals.iter().copied().fold(
+                                (f32::NEG_INFINITY, 0usize),
+                                |acc, (v, o)| {
                                     if v > acc.0 {
                                         (v, o)
                                     } else {
                                         acc
                                     }
-                                });
+                                },
+                            );
                             dxd[off] += g;
                         }
                         PoolKind::Average => {
@@ -211,7 +218,9 @@ mod tests {
 
     #[test]
     fn max_pool_known_values() {
-        let x = plane(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+        let x = plane(&[
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0,
+        ]);
         let op = Pool2dOp::max(2, 2);
         let y = op.forward(&[&x]).unwrap();
         assert_eq!(y[0].shape(), &Shape::new(&[1, 1, 2, 2]));

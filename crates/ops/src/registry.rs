@@ -248,9 +248,18 @@ fn register_builtins(r: &Registry) {
             )) as Box<dyn Operator>)
         }),
     );
-    reg("Relu", Arc::new(|_| Ok(Box::new(ActivationOp::relu()) as _)));
-    reg("Sigmoid", Arc::new(|_| Ok(Box::new(ActivationOp::sigmoid()) as _)));
-    reg("Tanh", Arc::new(|_| Ok(Box::new(ActivationOp::tanh()) as _)));
+    reg(
+        "Relu",
+        Arc::new(|_| Ok(Box::new(ActivationOp::relu()) as _)),
+    );
+    reg(
+        "Sigmoid",
+        Arc::new(|_| Ok(Box::new(ActivationOp::sigmoid()) as _)),
+    );
+    reg(
+        "Tanh",
+        Arc::new(|_| Ok(Box::new(ActivationOp::tanh()) as _)),
+    );
     reg("Softmax", Arc::new(|_| Ok(Box::new(SoftmaxOp) as _)));
     reg("Add", Arc::new(|_| Ok(Box::new(BinaryOp::add()) as _)));
     reg("Sub", Arc::new(|_| Ok(Box::new(BinaryOp::sub()) as _)));
@@ -266,16 +275,24 @@ fn register_builtins(r: &Registry) {
             )) as _)
         }),
     );
-    reg("BatchNorm", Arc::new(|a: &Attributes| {
-        Ok(Box::new(BatchNormOp { eps: a.float_or("eps", 1e-5) as f32 }) as _)
-    }));
+    reg(
+        "BatchNorm",
+        Arc::new(|a: &Attributes| {
+            Ok(Box::new(BatchNormOp {
+                eps: a.float_or("eps", 1e-5) as f32,
+            }) as _)
+        }),
+    );
     reg(
         "SoftmaxCrossEntropy",
         Arc::new(|_| Ok(Box::new(SoftmaxCrossEntropyOp) as _)),
     );
     reg("MseLoss", Arc::new(|_| Ok(Box::new(MseLossOp) as _)));
     reg("Flatten", Arc::new(|_| Ok(Box::new(FlattenOp) as _)));
-    reg("GlobalAvgPool", Arc::new(|_| Ok(Box::new(GlobalAvgPoolOp) as _)));
+    reg(
+        "GlobalAvgPool",
+        Arc::new(|_| Ok(Box::new(GlobalAvgPoolOp) as _)),
+    );
     reg(
         "Reshape",
         Arc::new(|a: &Attributes| {
@@ -321,8 +338,19 @@ mod tests {
     #[test]
     fn builtins_are_registered() {
         for name in [
-            "MatMul", "Conv2d", "Linear", "MaxPool2d", "MedianPool2d", "Relu", "Softmax",
-            "Add", "SoftmaxCrossEntropy", "Split", "Concat", "BatchNorm", "Dropout",
+            "MatMul",
+            "Conv2d",
+            "Linear",
+            "MaxPool2d",
+            "MedianPool2d",
+            "Relu",
+            "Softmax",
+            "Add",
+            "SoftmaxCrossEntropy",
+            "Split",
+            "Concat",
+            "BatchNorm",
+            "Dropout",
         ] {
             assert!(is_registered(name), "{name} missing");
         }

@@ -16,7 +16,9 @@ pub struct ReshapeOp {
 
 impl ReshapeOp {
     pub fn new(target: &[usize]) -> Self {
-        ReshapeOp { target: target.to_vec() }
+        ReshapeOp {
+            target: target.to_vec(),
+        }
     }
 
     /// Flatten to `[N, rest]` keeping axis 0 — handled specially because the
@@ -45,8 +47,7 @@ impl Operator for ReshapeOp {
         inputs: &[&Tensor],
         _outputs: &[&Tensor],
     ) -> Result<Vec<Tensor>> {
-        Ok(vec![grad_outputs[0]
-            .reshaped(inputs[0].shape().dims())?])
+        Ok(vec![grad_outputs[0].reshaped(inputs[0].shape().dims())?])
     }
 }
 
@@ -90,7 +91,9 @@ pub struct SplitOp {
 
 impl SplitOp {
     pub fn new(sizes: &[usize]) -> Self {
-        SplitOp { sizes: sizes.to_vec() }
+        SplitOp {
+            sizes: sizes.to_vec(),
+        }
     }
 }
 
@@ -193,7 +196,10 @@ pub struct DropoutOp {
 
 impl DropoutOp {
     pub fn new(ratio: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&ratio), "dropout ratio must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&ratio),
+            "dropout ratio must be in [0,1)"
+        );
         DropoutOp { ratio, seed }
     }
 

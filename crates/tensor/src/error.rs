@@ -32,7 +32,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
-            Error::OutOfMemory { requested, capacity } => write!(
+            Error::OutOfMemory {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "out of memory: requested {requested} B, capacity {capacity} B"
             ),
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::OutOfMemory { requested: 10, capacity: 5 };
+        let e = Error::OutOfMemory {
+            requested: 10,
+            capacity: 5,
+        };
         assert_eq!(e.to_string(), "out of memory: requested 10 B, capacity 5 B");
         assert!(Error::ShapeMismatch("a vs b".into())
             .to_string()

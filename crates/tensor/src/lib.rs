@@ -10,6 +10,9 @@
 //! * [`descriptor::TensorDesc`] / [`descriptor::DeviceDesc`]
 //!   — the paper's ABI-style tensor and device descriptors used for
 //!   framework interoperability,
+//! * [`pool::BufferPool`] — size-class recycling of tensor buffers, scoped
+//!   per thread via [`pool::with_pool`] so executors can reuse activation
+//!   and gradient storage across passes without touching operator code,
 //! * [`rng`] — a deterministic, seedable xoshiro256\*\* generator plus
 //!   normal/uniform sampling and the standard DNN weight initializers
 //!   (reproducibility, pillar 5: every random bit in Deep500-rs flows from
@@ -21,6 +24,7 @@
 pub mod descriptor;
 pub mod error;
 pub mod layout;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
@@ -28,6 +32,7 @@ pub mod tensor;
 pub use descriptor::{DataType, DeviceDesc, TensorDesc};
 pub use error::{Error, Result};
 pub use layout::DataLayout;
+pub use pool::{with_pool, BufferPool, PoolStats};
 pub use rng::Xoshiro256StarStar;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -33,15 +33,15 @@ impl Xoshiro256StarStar {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Xoshiro256StarStar { s, gauss_cache: None }
+        Xoshiro256StarStar {
+            s,
+            gauss_cache: None,
+        }
     }
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -251,8 +251,7 @@ mod tests {
         let mut r = Xoshiro256StarStar::seed_from_u64(17);
         let mut buf = vec![0.0f32; 10_000];
         init::he_normal(&mut r, &mut buf, 50);
-        let var: f64 =
-            buf.iter().map(|&v| v as f64 * v as f64).sum::<f64>() / buf.len() as f64;
+        let var: f64 = buf.iter().map(|&v| v as f64 * v as f64).sum::<f64>() / buf.len() as f64;
         assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
     }
 }

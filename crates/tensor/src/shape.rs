@@ -14,7 +14,9 @@ pub struct Shape {
 impl Shape {
     /// Shape from dimension extents. A zero-rank shape denotes a scalar.
     pub fn new(dims: &[usize]) -> Shape {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Scalar shape (rank 0, one element).
@@ -107,8 +109,16 @@ impl Shape {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0usize; rank];
         for (i, dim) in dims.iter_mut().enumerate() {
-            let a = if i < rank - self.rank() { 1 } else { self.dims[i - (rank - self.rank())] };
-            let b = if i < rank - other.rank() { 1 } else { other.dims[i - (rank - other.rank())] };
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.dims[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.dims[i - (rank - other.rank())]
+            };
             *dim = if a == b {
                 a
             } else if a == 1 {

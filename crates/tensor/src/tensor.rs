@@ -11,18 +11,34 @@ use crate::rng::Xoshiro256StarStar;
 use crate::shape::Shape;
 
 /// An owned, contiguous, row-major tensor of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Tensor {
+        // Pool-aware: inside a `with_pool` scope the copy reuses a retired
+        // buffer instead of allocating (executors clone activations and
+        // gradients on every pass).
+        Tensor {
+            shape: self.shape.clone(),
+            data: crate::pool::alloc_copy(&self.data),
+        }
+    }
+}
+
 impl Tensor {
-    /// Tensor of zeros.
+    /// Tensor of zeros. Inside a [`crate::pool::with_pool`] scope the
+    /// buffer is recycled from the active pool.
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: crate::pool::alloc_zeroed(n),
+        }
     }
 
     /// Tensor of ones.
@@ -30,11 +46,15 @@ impl Tensor {
         Tensor::full(shape, 1.0)
     }
 
-    /// Tensor filled with `value`.
+    /// Tensor filled with `value`. Pool-aware like [`Tensor::zeros`].
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        let mut data = crate::pool::alloc_zeroed(n);
+        if value != 0.0 {
+            data.fill(value);
+        }
+        Tensor { shape, data }
     }
 
     /// Tensor from an existing buffer; length must match the shape.
@@ -61,7 +81,10 @@ impl Tensor {
 
     /// Scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Tensor {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Uniform random tensor in `[lo, hi)`.
@@ -175,13 +198,14 @@ impl Tensor {
                 self.shape, other.shape
             )));
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let mut data = crate::pool::alloc_copy(&self.data);
+        for (a, &b) in data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise in-place accumulate: `self += alpha * other` (axpy).
@@ -212,10 +236,9 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
     }
 
     /// Elementwise map in place.
@@ -304,7 +327,7 @@ impl Tensor {
             )));
         }
         let row = self.numel() / n.max(1);
-        let data = self.data[start * row..(start + len) * row].to_vec();
+        let data = crate::pool::alloc_copy(&self.data[start * row..(start + len) * row]);
         Ok(Tensor {
             shape: self.shape.with_dim(0, len),
             data,
@@ -315,9 +338,11 @@ impl Tensor {
     pub fn concat_axis0(parts: &[Tensor]) -> Result<Tensor> {
         let shapes: Vec<&Shape> = parts.iter().map(|t| t.shape()).collect();
         let shape = Shape::concat(&shapes, 0)?;
-        let mut data = Vec::with_capacity(shape.numel());
+        let mut data = crate::pool::alloc_zeroed(shape.numel());
+        let mut off = 0;
         for p in parts {
-            data.extend_from_slice(&p.data);
+            data[off..off + p.data.len()].copy_from_slice(&p.data);
+            off += p.data.len();
         }
         Ok(Tensor { shape, data })
     }
@@ -331,13 +356,16 @@ impl Tensor {
             )));
         }
         let (r, c) = (self.shape.dim(0), self.shape.dim(1));
-        let mut data = vec![0.0f32; r * c];
+        let mut data = crate::pool::alloc_zeroed(r * c);
         for i in 0..r {
             for j in 0..c {
                 data[j * r + i] = self.data[i * c + j];
             }
         }
-        Ok(Tensor { shape: Shape::new(&[c, r]), data })
+        Ok(Tensor {
+            shape: Shape::new(&[c, r]),
+            data,
+        })
     }
 
     /// Approximate elementwise equality within `tol` (test helper).

@@ -29,7 +29,12 @@ pub struct AcceleGradConfig {
 
 impl Default for AcceleGradConfig {
     fn default() -> Self {
-        AcceleGradConfig { d: 1.0, g: 1.0, lr: 0.01, eps: 1e-8 }
+        AcceleGradConfig {
+            d: 1.0,
+            g: 1.0,
+            lr: 0.01,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -153,7 +158,10 @@ mod tests {
 
     #[test]
     fn step_moves_against_gradient() {
-        let mut a = AcceleGrad::new(AcceleGradConfig { lr: 0.1, ..Default::default() });
+        let mut a = AcceleGrad::new(AcceleGradConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
         a.new_input();
         let w = Tensor::from_slice(&[1.0]);
         a.prepare_param("w", &w);
@@ -164,7 +172,12 @@ mod tests {
 
     #[test]
     fn converges_on_quadratic() {
-        let cfg = AcceleGradConfig { d: 5.0, g: 10.0, lr: 0.5, eps: 1e-8 };
+        let cfg = AcceleGradConfig {
+            d: 5.0,
+            g: 10.0,
+            lr: 0.5,
+            eps: 1e-8,
+        };
         let mut a = AcceleGrad::new(cfg);
         let mut w = Tensor::from_slice(&[3.0, -2.0]);
         for _ in 0..300 {

@@ -14,7 +14,11 @@ pub struct AdaGrad {
 
 impl AdaGrad {
     pub fn new(lr: f32) -> Self {
-        AdaGrad { lr, eps: 1e-8, accum: HashMap::new() }
+        AdaGrad {
+            lr,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
     }
 }
 

@@ -17,7 +17,12 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -32,12 +37,20 @@ pub struct Adam {
 impl Adam {
     /// Adam with the given learning rate and default betas.
     pub fn new(lr: f32) -> Self {
-        Self::with_config(AdamConfig { lr, ..Default::default() })
+        Self::with_config(AdamConfig {
+            lr,
+            ..Default::default()
+        })
     }
 
     /// Fully specified Adam.
     pub fn with_config(cfg: AdamConfig) -> Self {
-        Adam { cfg, m: HashMap::new(), v: HashMap::new(), t: HashMap::new() }
+        Adam {
+            cfg,
+            m: HashMap::new(),
+            v: HashMap::new(),
+            t: HashMap::new(),
+        }
     }
 }
 

@@ -73,7 +73,11 @@ impl StochasticLbfgs {
         for i in (0..k).rev() {
             let sy = dot(&hist.s[i], &hist.y[i]);
             rhos[i] = 1.0 / sy;
-            let sq: f64 = hist.s[i].iter().zip(&q).map(|(&s, &qv)| s as f64 * qv).sum();
+            let sq: f64 = hist.s[i]
+                .iter()
+                .zip(&q)
+                .map(|(&s, &qv)| s as f64 * qv)
+                .sum();
             alphas[i] = rhos[i] * sq;
             for (qv, &yv) in q.iter_mut().zip(&hist.y[i]) {
                 *qv -= alphas[i] * yv as f64;
@@ -87,7 +91,11 @@ impl StochasticLbfgs {
             *qv *= gamma;
         }
         for i in 0..k {
-            let yq: f64 = hist.y[i].iter().zip(&q).map(|(&y, &qv)| y as f64 * qv).sum();
+            let yq: f64 = hist.y[i]
+                .iter()
+                .zip(&q)
+                .map(|(&y, &qv)| y as f64 * qv)
+                .sum();
             let beta = rhos[i] * yq;
             for (qv, &sv) in q.iter_mut().zip(&hist.s[i]) {
                 *qv += (alphas[i] - beta) * sv as f64;
@@ -112,7 +120,12 @@ impl ThreeStepOptimizer for StochasticLbfgs {
         // Update the curvature history from (w, g) deltas.
         let hist = self.hist.entry(name.to_string()).or_default();
         if let (Some(pw), Some(pg)) = (&hist.prev_w, &hist.prev_g) {
-            let s: Vec<f32> = old_param.data().iter().zip(pw).map(|(&a, &b)| a - b).collect();
+            let s: Vec<f32> = old_param
+                .data()
+                .iter()
+                .zip(pw)
+                .map(|(&a, &b)| a - b)
+                .collect();
             let y: Vec<f32> = grad.data().iter().zip(pg).map(|(&a, &b)| a - b).collect();
             let sy: f64 = s.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
             let sn: f64 = s.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
@@ -221,9 +234,9 @@ mod tests {
 
     #[test]
     fn trains_a_network_end_to_end() {
-        use deep500_graph::{models, ReferenceExecutor};
         use crate::optimizer::train_step;
         use deep500_data::Minibatch;
+        use deep500_graph::{models, ReferenceExecutor};
         let net = models::mlp(8, &[16], 3, 21).unwrap();
         let mut ex = ReferenceExecutor::new(net).unwrap();
         let mut o = StochasticLbfgs::new(0.05, 8);

@@ -21,9 +21,11 @@ impl LrSchedule {
     pub fn at(&self, t: usize) -> f32 {
         match self {
             LrSchedule::Constant(lr) => *lr,
-            LrSchedule::StepDecay { lr, gamma, step_every } => {
-                lr * gamma.powi((t / step_every.max(&1)) as i32)
-            }
+            LrSchedule::StepDecay {
+                lr,
+                gamma,
+                step_every,
+            } => lr * gamma.powi((t / step_every.max(&1)) as i32),
             LrSchedule::InverseTime { lr, decay } => lr / (1.0 + decay * t as f32),
         }
     }
@@ -42,7 +44,11 @@ mod tests {
 
     #[test]
     fn step_decay_staircases() {
-        let s = LrSchedule::StepDecay { lr: 1.0, gamma: 0.5, step_every: 10 };
+        let s = LrSchedule::StepDecay {
+            lr: 1.0,
+            gamma: 0.5,
+            step_every: 10,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(9), 1.0);
         assert_eq!(s.at(10), 0.5);
@@ -51,7 +57,10 @@ mod tests {
 
     #[test]
     fn inverse_time_decays_monotonically() {
-        let s = LrSchedule::InverseTime { lr: 1.0, decay: 0.1 };
+        let s = LrSchedule::InverseTime {
+            lr: 1.0,
+            decay: 0.1,
+        };
         assert_eq!(s.at(0), 1.0);
         assert!(s.at(10) < s.at(5));
         assert!((s.at(10) - 0.5).abs() < 1e-6);

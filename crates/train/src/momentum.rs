@@ -16,12 +16,22 @@ pub struct Momentum {
 impl Momentum {
     /// Classical momentum.
     pub fn new(lr: f32, mu: f32) -> Self {
-        Momentum { lr, mu, nesterov: false, velocity: HashMap::new() }
+        Momentum {
+            lr,
+            mu,
+            nesterov: false,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Nesterov accelerated gradient.
     pub fn nesterov(lr: f32, mu: f32) -> Self {
-        Momentum { lr, mu, nesterov: true, velocity: HashMap::new() }
+        Momentum {
+            lr,
+            mu,
+            nesterov: true,
+            velocity: HashMap::new(),
+        }
     }
 }
 

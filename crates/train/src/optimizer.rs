@@ -96,7 +96,10 @@ pub fn train_step(
         }
         executor.network_mut().feed_tensor(pname.clone(), updated);
     }
-    Ok(StepResult { loss, accuracy: acc })
+    Ok(StepResult {
+        loss,
+        accuracy: acc,
+    })
 }
 
 #[cfg(test)]

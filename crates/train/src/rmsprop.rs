@@ -15,7 +15,12 @@ pub struct RmsProp {
 
 impl RmsProp {
     pub fn new(lr: f32) -> Self {
-        RmsProp { lr, rho: 0.9, eps: 1e-8, mean_square: HashMap::new() }
+        RmsProp {
+            lr,
+            rho: 0.9,
+            eps: 1e-8,
+            mean_square: HashMap::new(),
+        }
     }
 }
 
@@ -28,7 +33,9 @@ impl ThreeStepOptimizer for RmsProp {
             .mean_square
             .entry(name.to_string())
             .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
-        let new_s = s.scale(self.rho).add(&grad.mul(grad)?.scale(1.0 - self.rho))?;
+        let new_s = s
+            .scale(self.rho)
+            .add(&grad.mul(grad)?.scale(1.0 - self.rho))?;
         *s = new_s.clone();
         let eps = self.eps;
         let denom = new_s.map(|x| x.sqrt() + eps);

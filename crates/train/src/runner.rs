@@ -105,7 +105,10 @@ pub struct TrainingRunner {
 
 impl TrainingRunner {
     pub fn new(config: TrainingConfig) -> Self {
-        TrainingRunner { config, events: EventList::new() }
+        TrainingRunner {
+            config,
+            events: EventList::new(),
+        }
     }
 
     /// Attach an event hook (metrics, early stopping).
@@ -145,7 +148,8 @@ impl TrainingRunner {
                         result.loss
                     )));
                 }
-                log.step_losses.push((start.elapsed().as_secs_f64(), result.loss));
+                log.step_losses
+                    .push((start.elapsed().as_secs_f64(), result.loss));
                 if step.is_multiple_of(self.config.train_accuracy_every.max(1)) {
                     if let Some(acc) = result.accuracy {
                         log.train_accuracy.push((step, acc));
@@ -197,14 +201,8 @@ mod tests {
     fn setup(seed: u64) -> (ReferenceExecutor, ShuffleSampler, ShuffleSampler) {
         // A small MLP on a learnable synthetic task; the test set is a
         // disjoint holdout of the same distribution.
-        let train_ds = SyntheticDataset::new(
-            "toy",
-            deep500_tensor::Shape::new(&[16]),
-            4,
-            128,
-            0.2,
-            seed,
-        );
+        let train_ds =
+            SyntheticDataset::new("toy", deep500_tensor::Shape::new(&[16]), 4, 128, 0.2, seed);
         let test: Arc<dyn deep500_data::Dataset> = Arc::new(train_ds.holdout(64));
         let ds: Arc<dyn deep500_data::Dataset> = Arc::new(train_ds);
         let net = models::mlp(16, &[32], 4, seed).unwrap();

@@ -59,7 +59,11 @@ pub fn compare_trajectories(
     let params: Vec<String> = exec_a.network().get_params().to_vec();
     let mut per_param: Vec<ParamDivergence> = params
         .iter()
-        .map(|p| ParamDivergence { name: p.clone(), l2: Vec::new(), linf: Vec::new() })
+        .map(|p| ParamDivergence {
+            name: p.clone(),
+            l2: Vec::new(),
+            linf: Vec::new(),
+        })
         .collect();
     let mut total_l2 = Vec::with_capacity(batches.len());
     let mut total_linf = Vec::with_capacity(batches.len());
@@ -82,7 +86,11 @@ pub fn compare_trajectories(
         total_l2.push(sum_l2);
         total_linf.push(max_linf);
     }
-    Ok(DivergenceLog { per_param, total_l2, total_linf })
+    Ok(DivergenceLog {
+        per_param,
+        total_l2,
+        total_linf,
+    })
 }
 
 #[cfg(test)]
@@ -96,15 +104,14 @@ mod tests {
     use std::sync::Arc;
 
     fn batches(n: usize, seed: u64) -> Vec<Minibatch> {
-        let ds: Arc<dyn deep500_data::Dataset> =
-            Arc::new(SyntheticDataset::new(
-                "t",
-                deep500_tensor::Shape::new(&[8]),
-                3,
-                64,
-                0.3,
-                seed,
-            ));
+        let ds: Arc<dyn deep500_data::Dataset> = Arc::new(SyntheticDataset::new(
+            "t",
+            deep500_tensor::Shape::new(&[8]),
+            3,
+            64,
+            0.3,
+            seed,
+        ));
         let mut s = ShuffleSampler::new(ds, 8, seed);
         let mut out = Vec::new();
         while out.len() < n {
@@ -158,6 +165,9 @@ mod tests {
         let mut ob = GradientDescent::new(0.0501);
         let log = compare_trajectories(&mut ea, &mut oa, &mut eb, &mut ob, &batches(5, 3)).unwrap();
         assert!(log.final_total_l2() > 0.0);
-        assert!(log.final_total_l2() < 1.0, "small perturbation, small drift");
+        assert!(
+            log.final_total_l2() < 1.0,
+            "small perturbation, small drift"
+        );
     }
 }

@@ -113,7 +113,11 @@ pub fn test_training(
         .final_test_accuracy()
         .map(|a| a >= accuracy_threshold)
         .unwrap_or(false);
-    Ok(TrainingReport { log, loss_decreased, reached_threshold })
+    Ok(TrainingReport {
+        log,
+        loss_decreased,
+        reached_threshold,
+    })
 }
 
 #[cfg(test)]
@@ -169,14 +173,8 @@ mod tests {
 
     #[test]
     fn test_training_converges_on_easy_task() {
-        let train_src = SyntheticDataset::new(
-            "easy",
-            deep500_tensor::Shape::new(&[16]),
-            4,
-            128,
-            0.2,
-            11,
-        );
+        let train_src =
+            SyntheticDataset::new("easy", deep500_tensor::Shape::new(&[16]), 4, 128, 0.2, 11);
         let test_ds: Arc<dyn deep500_data::Dataset> = Arc::new(train_src.holdout(64));
         let ds: Arc<dyn deep500_data::Dataset> = Arc::new(train_src);
         let net = models::mlp(16, &[32], 4, 13).unwrap();
@@ -189,11 +187,19 @@ mod tests {
             &mut ex,
             &mut train,
             &mut test,
-            TrainingConfig { epochs: 10, ..Default::default() },
+            TrainingConfig {
+                epochs: 10,
+                ..Default::default()
+            },
             0.7,
         )
         .unwrap();
-        assert!(report.passes(), "loss_dec={} acc={:?}", report.loss_decreased, report.log.final_test_accuracy());
+        assert!(
+            report.passes(),
+            "loss_dec={} acc={:?}",
+            report.loss_decreased,
+            report.log.final_test_accuracy()
+        );
     }
 
     #[test]
@@ -216,7 +222,10 @@ mod tests {
             &mut ex,
             &mut train,
             &mut test,
-            TrainingConfig { epochs: 1, ..Default::default() },
+            TrainingConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             0.999,
         )
         .unwrap();

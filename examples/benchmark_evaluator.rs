@@ -53,7 +53,13 @@ fn main() {
     println!("workload: LeNet inference, batch 32, 1x20x20 inputs\n");
     let mut table = Table::new(
         "candidate machines ranked by the evaluator",
-        &["machine", "median time [ms]", "energy [J]", "avg power [W]", "EDP [mJ*s]"],
+        &[
+            "machine",
+            "median time [ms]",
+            "energy [J]",
+            "avg power [W]",
+            "EDP [mJ*s]",
+        ],
     );
     let mut scored: Vec<(String, f64, f64)> = Vec::new();
     for cand in candidates {

@@ -115,8 +115,10 @@ fn main() {
     // Use it inside a network next to built-in operators.
     let mut net = Network::new("custom-op-demo");
     net.add_input("x");
-    net.add_node("act", "Relu", Attributes::new(), &["x"], &["a"]).unwrap();
-    net.add_node("mp", "MyMedianPool", Attributes::new(), &["a"], &["y"]).unwrap();
+    net.add_node("act", "Relu", Attributes::new(), &["x"], &["a"])
+        .unwrap();
+    net.add_node("mp", "MyMedianPool", Attributes::new(), &["a"], &["y"])
+        .unwrap();
     net.add_output("y");
     let mut ex = ReferenceExecutor::new(net).unwrap();
     let out = ex.inference(&[("x", x)]).unwrap();

@@ -57,7 +57,11 @@ fn main() {
         table.row(&[
             name.to_string(),
             format!("{err:.2e}"),
-            if err < 1e-3 { "OK".into() } else { "DIVERGED".to_string() },
+            if err < 1e-3 {
+                "OK".into()
+            } else {
+                "DIVERGED".to_string()
+            },
         ]);
         assert!(err < 1e-3, "{name} diverged: {err}");
     }

@@ -66,12 +66,15 @@ fn main() {
     net.add_node(
         "s1",
         "Scale",
-        Attributes::new().with_float("alpha", 2.0).with_float("beta", -0.5),
+        Attributes::new()
+            .with_float("alpha", 2.0)
+            .with_float("beta", -0.5),
         &["x"],
         &["t1"],
     )
     .unwrap();
-    net.add_node("a1", "Tanh", Attributes::new(), &["t1"], &["t2"]).unwrap();
+    net.add_node("a1", "Tanh", Attributes::new(), &["t1"], &["t2"])
+        .unwrap();
     net.add_node(
         "s2",
         "Scale",
@@ -80,7 +83,8 @@ fn main() {
         &["t3"],
     )
     .unwrap();
-    net.add_node("a2", "Relu", Attributes::new(), &["t3"], &["y"]).unwrap();
+    net.add_node("a2", "Relu", Attributes::new(), &["t3"], &["y"])
+        .unwrap();
     net.add_output("y");
     let nodes_before = net.num_nodes();
     let x = Tensor::rand_uniform([4096], -2.0, 2.0, &mut rng);

@@ -1,0 +1,74 @@
+//! Offline drop-in subset of [crossbeam](https://docs.rs/crossbeam):
+//! the unbounded MPSC channel surface used by the thread transport, backed
+//! by `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(5).unwrap();
+            tx.clone().send(6).unwrap();
+            assert_eq!(rx.recv(), Ok(5));
+            assert_eq!(rx.recv(), Ok(6));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_after_hangup_errors() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+    }
+}

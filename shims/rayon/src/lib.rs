@@ -1,0 +1,25 @@
+//! Offline drop-in subset of [rayon](https://docs.rs/rayon).
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the slice/iterator combinators the workspace actually uses
+//! (`par_chunks_mut`, `par_iter().map().collect()`, `into_par_iter`)
+//! on top of a persistent work-sharing thread pool. Semantics match rayon
+//! where it matters here:
+//!
+//! * chunk/item order is preserved by `collect`/`enumerate`,
+//! * the calling thread participates in its own task set, so nested
+//!   parallelism (an operator kernel calling `par_chunks_mut` from inside a
+//!   pool task) cannot deadlock: a caller always drains its own queue and
+//!   only waits for tasks already stolen by other workers,
+//! * panics in tasks are propagated to the caller after the set completes.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` or `available_parallelism`.
+
+pub mod pool;
+pub mod prelude;
+
+pub use pool::current_num_threads;
+
+pub mod iter {
+    pub use crate::prelude::*;
+}

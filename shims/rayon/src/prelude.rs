@@ -1,0 +1,241 @@
+//! The rayon-compatible combinator surface used by this workspace:
+//! `par_chunks_mut`, `par_iter`, `into_par_iter`, with `enumerate`, `map`,
+//! `for_each`, `sum`, and order-preserving `collect`.
+
+use crate::pool;
+
+// ------------------------------------------------------------ mutable chunks
+
+/// Extension trait adding `par_chunks_mut` to slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParEnumerate<ParChunksMut<'a, T>> {
+        ParEnumerate { inner: self }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        pool::par_map_indexed(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// `enumerate()` adapter over a chunked parallel iterator.
+pub struct ParEnumerate<I> {
+    inner: I,
+}
+
+impl<'a, T: Send> ParEnumerate<ParChunksMut<'a, T>> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        pool::par_map_indexed(self.inner.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+// ---------------------------------------------------------- shared iteration
+
+/// Extension trait adding `par_iter` to collections of `Sync` items.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub struct ParIter<'a, T: Sync> {
+    items: Vec<&'a T>,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        pool::par_map_indexed(self.items, |_, item| f(item));
+    }
+}
+
+pub struct ParMap<'a, T: Sync, R, F> {
+    items: Vec<&'a T>,
+    f: F,
+    _r: std::marker::PhantomData<R>,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, R, F> {
+    /// Order-preserving collect (runs the maps in parallel, then builds the
+    /// collection from results in input order — matching rayon's indexed
+    /// collect semantics for `Vec` and short-circuiting `Result`).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        pool::par_map_indexed(self.items, |_, item| f(item))
+            .into_iter()
+            .collect()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        let f = self.f;
+        pool::par_map_indexed(self.items, |_, item| f(item))
+            .into_iter()
+            .sum()
+    }
+}
+
+// ------------------------------------------------------------ owned iteration
+
+/// Extension trait adding `into_par_iter` to owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub struct IntoParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        pool::par_map_indexed(self.items, |_, item| f(item));
+    }
+}
+
+pub struct IntoParMap<T: Send, R, F> {
+    items: Vec<T>,
+    f: F,
+    _r: std::marker::PhantomData<R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> IntoParMap<T, R, F> {
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        pool::par_map_indexed(self.items, |_, item| f(item))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_mut_enumerated() {
+        let mut data = vec![0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_iter_collect_result() {
+        let items: Vec<i32> = (0..50).collect();
+        let ok: Result<Vec<i32>, String> = items.par_iter().map(|&v| Ok(v * 3)).collect();
+        assert_eq!(ok.unwrap()[49], 147);
+        let err: Result<Vec<i32>, String> = items
+            .par_iter()
+            .map(|&v| {
+                if v == 25 {
+                    Err("bad".to_string())
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn into_par_iter_range() {
+        let squares: Vec<usize> = (0usize..20).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+    }
+}

@@ -12,7 +12,10 @@ use std::sync::Arc;
 fn feeds(seed: u64) -> Vec<(&'static str, Tensor)> {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     vec![
-        ("x", Tensor::rand_uniform([4, 1, 16, 16], -1.0, 1.0, &mut rng)),
+        (
+            "x",
+            Tensor::rand_uniform([4, 1, 16, 16], -1.0, 1.0, &mut rng),
+        ),
         ("labels", Tensor::from_slice(&[0.0, 1.0, 2.0, 3.0])),
     ]
 }
@@ -72,8 +75,7 @@ fn fused_and_composed_adam_reach_equal_accuracy() {
     // but *not* more accurate — trajectories coincide.
     use deep500::frameworks::fused_optim::FusedAdam;
     let run = |fused: bool| -> f64 {
-        let train_ds =
-            SyntheticDataset::new("fvc", Shape::new(&[16]), 4, 256, 0.3, 23);
+        let train_ds = SyntheticDataset::new("fvc", Shape::new(&[16]), 4, 256, 0.3, 23);
         let test_ds = train_ds.holdout(128);
         let net = models::mlp(16, &[24], 4, 23).unwrap();
         let mut ex = ReferenceExecutor::new(net).unwrap();
@@ -85,10 +87,14 @@ fn fused_and_composed_adam_reach_equal_accuracy() {
         });
         let log = if fused {
             let mut opt = FusedAdam::new(0.01);
-            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+            runner
+                .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+                .unwrap()
         } else {
             let mut opt = Adam::new(0.01);
-            runner.run(&mut opt, &mut ex, &mut train, Some(&mut test)).unwrap()
+            runner
+                .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+                .unwrap()
         };
         log.final_test_accuracy().unwrap()
     };
@@ -135,7 +141,8 @@ fn custom_op_participates_in_cross_framework_execution() {
     register_op("Clip01", |_| Ok(Box::new(Clip)));
     let mut net = Network::new("clip-net");
     net.add_input("x");
-    net.add_node("c", "Clip01", Attributes::new(), &["x"], &["y"]).unwrap();
+    net.add_node("c", "Clip01", Attributes::new(), &["x"], &["y"])
+        .unwrap();
     net.add_output("y");
     let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
     let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();

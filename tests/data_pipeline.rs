@@ -45,11 +45,18 @@ fn record_pipeline_feeds_training() {
     let mut opt = GradientDescent::new(0.02);
     let mut losses = Vec::new();
     while let Some(batch) = pipeline.next_batch(16).unwrap() {
-        let mb = Minibatch { x: batch.x, labels: batch.labels };
+        let mb = Minibatch {
+            x: batch.x,
+            labels: batch.labels,
+        };
         let r = deep500::train::train_step(&mut opt, &mut ex, &mb).unwrap();
         losses.push(r.loss);
     }
-    assert!(losses.len() >= 6, "pipeline produced {} batches", losses.len());
+    assert!(
+        losses.len() >= 6,
+        "pipeline produced {} batches",
+        losses.len()
+    );
     assert!(losses.iter().all(|l| l.is_finite()));
     assert!(clock.elapsed() > 0.0, "modeled I/O time charged");
     std::fs::remove_file(&path).ok();
@@ -92,9 +99,8 @@ fn binfile_dataset_trains_like_synthetic() {
     write_binfile(&path, 1, 28, 28, &samples).unwrap();
 
     let clock = Arc::new(StorageClock::new());
-    let ds: Arc<dyn Dataset> = Arc::new(
-        BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap(),
-    );
+    let ds: Arc<dyn Dataset> =
+        Arc::new(BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap());
     let net = models::lenet(1, 28, 10, 10).unwrap();
     let mut ex = ReferenceExecutor::new(net).unwrap();
     let mut sampler = ShuffleSampler::new(ds, 16, 4);
@@ -123,12 +129,18 @@ fn lossy_codec_preserves_labels_and_learnability() {
     let net = models::lenet(3, 32, 10, 13).unwrap();
     let mut ex = ReferenceExecutor::new(net).unwrap();
     let mut opt = Momentum::new(0.02, 0.9);
-    let mb = Minibatch { x: batch.x, labels: batch.labels };
+    let mb = Minibatch {
+        x: batch.x,
+        labels: batch.labels,
+    };
     let mut final_acc = 0.0;
     for _ in 0..30 {
         let r = deep500::train::train_step(&mut opt, &mut ex, &mb).unwrap();
         final_acc = r.accuracy.unwrap();
     }
-    assert!(final_acc > 0.5, "overfit accuracy {final_acc} on decoded images");
+    assert!(
+        final_acc > 0.5,
+        "overfit accuracy {final_acc} on decoded images"
+    );
     std::fs::remove_file(&path).ok();
 }

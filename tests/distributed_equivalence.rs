@@ -84,7 +84,11 @@ fn horovod_style_matches_per_tensor_dsgd() {
     };
     let fused = run(true);
     let per_tensor = run(false);
-    for ((n1, a), (n2, b)) in fused[0].final_params.iter().zip(&per_tensor[0].final_params) {
+    for ((n1, a), (n2, b)) in fused[0]
+        .final_params
+        .iter()
+        .zip(&per_tensor[0].final_params)
+    {
         assert_eq!(n1, n2);
         for (x, y) in a.iter().zip(b) {
             assert!((x - y).abs() < 1e-5, "{n1}: {x} vs {y}");

@@ -25,16 +25,14 @@ fn trained_model_survives_a_roundtrip() {
 
     // Evaluate, save, reload, evaluate again: identical accuracy.
     let mut test_sampler = ShuffleSampler::new(test_arc.clone(), 32, 2);
-    let acc_before =
-        deep500::train::runner::evaluate(&mut ex, &mut test_sampler).unwrap();
+    let acc_before = deep500::train::runner::evaluate(&mut ex, &mut test_sampler).unwrap();
 
     let path = std::env::temp_dir().join("d5-roundtrip-integration.d5nx");
     format::save(ex.network(), &path).unwrap();
     let reloaded = format::load(&path).unwrap();
     let mut ex2 = ReferenceExecutor::new(reloaded).unwrap();
     let mut test_sampler = ShuffleSampler::new(test_arc, 32, 2);
-    let acc_after =
-        deep500::train::runner::evaluate(&mut ex2, &mut test_sampler).unwrap();
+    let acc_after = deep500::train::runner::evaluate(&mut ex2, &mut test_sampler).unwrap();
     assert_eq!(acc_before, acc_after, "bitwise identical evaluation");
     std::fs::remove_file(&path).ok();
 }
@@ -78,7 +76,8 @@ fn custom_ops_roundtrip_when_registered() {
     register_op("Half", |_| Ok(Box::new(Half)));
     let mut net = Network::new("with-custom");
     net.add_input("x");
-    net.add_node("h", "Half", Attributes::new(), &["x"], &["y"]).unwrap();
+    net.add_node("h", "Half", Attributes::new(), &["x"], &["y"])
+        .unwrap();
     net.add_output("y");
     let bytes = format::encode(&net);
     let back = format::decode(&bytes).unwrap();
