@@ -15,15 +15,7 @@
 //! count; DPSGD volume constant; SparCML volume < dense at small scale,
 //! densifying with nodes; TF-PS crashes and Horovod diverges at 256 nodes.
 
-use deep500::dist::comm::ThreadCommunicator;
-use deep500::dist::optimizers::asgd::InconsistentCentralized;
-use deep500::dist::optimizers::dpsgd::DecentralizedNeighbor;
-use deep500::dist::optimizers::dsgd::ConsistentDecentralized;
-use deep500::dist::optimizers::mavg::ModelAveraging;
-use deep500::dist::optimizers::pssgd::ConsistentCentralized;
-use deep500::dist::optimizers::sparcml::SparseDecentralized;
-use deep500::dist::optimizers::DistributedOptimizer;
-use deep500::dist::runner::{train_data_parallel, SchemeFactory};
+use deep500::dist::runner::{DistributedRunner, Variant};
 use deep500::dist::scaling::{strong_scaling, weak_scaling, Scheme, WorkloadModel};
 use deep500::dist::NetworkModel;
 use deep500::metrics::report::fmt_bytes;
@@ -40,81 +32,15 @@ fn main() {
     // ------------------------------------------- part 1: real threads
     println!("--- ground truth: 4 real ranks, real messages, virtual Aries clock ---");
     let steps = if full_scale() { 20 } else { 8 };
-    let schemes: Vec<(&str, SchemeFactory)> = vec![
-        (
-            "CDSGD",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(ConsistentDecentralized::optimized(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "REF-dsgd",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(ConsistentDecentralized::reference(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "Horovod",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(ConsistentDecentralized::horovod(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "REF-pssgd",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(ConsistentCentralized::new(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "REF-asgd",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(InconsistentCentralized::new(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "REF-dpsgd",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(DecentralizedNeighbor::new(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "REF-mavg",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(ModelAveraging::new(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                    2,
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
-        (
-            "SparCML",
-            Arc::new(|c: ThreadCommunicator| {
-                Box::new(SparseDecentralized::new(
-                    Box::new(GradientDescent::new(0.05)),
-                    Box::new(c),
-                    0.1,
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
+    let schemes: Vec<(&str, Variant)> = vec![
+        ("CDSGD", Variant::Cdsgd),
+        ("REF-dsgd", Variant::RefDsgd),
+        ("Horovod", Variant::Horovod),
+        ("REF-pssgd", Variant::Pssgd),
+        ("REF-asgd", Variant::Asgd),
+        ("REF-dpsgd", Variant::Dpsgd),
+        ("REF-mavg", Variant::Mavg { period: 2 }),
+        ("SparCML", Variant::SparCml { density: 0.1 }),
     ];
 
     let dataset: Arc<dyn Dataset> = Arc::new(SyntheticDataset::new(
@@ -136,19 +62,18 @@ fn main() {
             "virtual time [ms]",
         ],
     );
-    for (name, scheme) in schemes {
-        let results = train_data_parallel(
-            &network,
-            dataset.clone(),
-            scheme,
-            4,
-            16,
-            steps,
-            NetworkModel::aries(),
-            3,
-        )
-        .unwrap();
-        let r = &results[0];
+    for (name, variant) in schemes {
+        let report = DistributedRunner::new(&network, dataset.clone())
+            .world(4)
+            .batch(16)
+            .steps(steps)
+            .seed(3)
+            .learning_rate(0.05)
+            .variant(variant)
+            .network(NetworkModel::aries())
+            .run()
+            .unwrap();
+        let r = &report.ranks[0];
         table.row(&[
             name.to_string(),
             format!("{:.3}", r.losses.last().unwrap()),

@@ -11,14 +11,24 @@
 //! * [`broadcast_tree`] / [`gather_to_root`] — binomial-tree broadcast and
 //!   flat gather,
 //! * [`neighbor_exchange`] — the DPSGD gossip step on a ring topology.
+//!
+//! Each collective has an `_among` variant running over an explicit,
+//! sorted member list — the group-re-formation primitive of the
+//! fault-tolerance layer: when ranks crash, survivors call the `_among`
+//! form with `comm.live_ranks()` and the schedule shrinks to the live
+//! group. With the full membership the `_among` schedule is *identical*
+//! (message for message) to the plain form, which is what makes a
+//! zero-fault run bit-identical to the fault-free path.
+//!
+//! All collectives return [`CommResult`]; errors carry typed causes
+//! ([`CommError`]) instead of panicking.
 
-use crate::comm::Communicator;
-use deep500_tensor::{Error, Result};
+use crate::comm::{CommError, CommResult, Communicator};
 
 /// Elementwise in-place sum: `acc += other`.
-fn add_into(acc: &mut [f32], other: &[f32]) -> Result<()> {
+fn add_into(acc: &mut [f32], other: &[f32]) -> CommResult<()> {
     if acc.len() != other.len() {
-        return Err(Error::Communication(format!(
+        return Err(CommError::Mismatch(format!(
             "collective buffer mismatch: {} vs {}",
             acc.len(),
             other.len()
@@ -30,35 +40,57 @@ fn add_into(acc: &mut [f32], other: &[f32]) -> Result<()> {
     Ok(())
 }
 
+/// Position of `rank` within the sorted member list, or a typed error when
+/// the caller is not a member.
+fn position(members: &[usize], rank: usize) -> CommResult<usize> {
+    members
+        .iter()
+        .position(|&r| r == rank)
+        .ok_or_else(|| CommError::Mismatch(format!("rank {rank} not in group {members:?}")))
+}
+
 /// Ring allreduce (sum): reduce-scatter then allgather. `buf` holds each
 /// rank's contribution on entry and the global sum on exit.
-pub fn allreduce_ring(comm: &mut dyn Communicator, buf: &mut [f32]) -> Result<()> {
-    let n = comm.world();
+pub fn allreduce_ring(comm: &mut dyn Communicator, buf: &mut [f32]) -> CommResult<()> {
+    let members: Vec<usize> = (0..comm.world()).collect();
+    allreduce_ring_among(comm, buf, &members)
+}
+
+/// Ring allreduce (sum) over an explicit member group (sorted ranks; the
+/// caller must be a member). With the full membership this executes the
+/// exact schedule of [`allreduce_ring`]; with a shrunken live group it is
+/// the recovery path of the decentralized schemes.
+pub fn allreduce_ring_among(
+    comm: &mut dyn Communicator,
+    buf: &mut [f32],
+    members: &[usize],
+) -> CommResult<()> {
+    let n = members.len();
+    let pos = position(members, comm.rank())?;
     if n == 1 {
         return Ok(());
     }
-    let rank = comm.rank();
-    let right = (rank + 1) % n;
-    let left = (rank + n - 1) % n;
+    let right = members[(pos + 1) % n];
+    let left = members[(pos + n - 1) % n];
     // Chunk boundaries (chunk c = [starts[c], starts[c+1])).
     let starts: Vec<usize> = (0..=n).map(|c| c * buf.len() / n).collect();
     let chunk = |c: usize| (starts[c % n], starts[c % n + 1]);
 
-    // Reduce-scatter: after step s, rank r holds the partial sum of chunk
-    // (r - s) from s+1 contributors.
+    // Reduce-scatter: after step s, position p holds the partial sum of
+    // chunk (p - s) from s+1 contributors.
     for s in 0..n - 1 {
-        let (tx_lo, tx_hi) = chunk((rank + n - s) % n);
+        let (tx_lo, tx_hi) = chunk((pos + n - s) % n);
         comm.send(right, &buf[tx_lo..tx_hi])?;
         let incoming = comm.recv(left)?;
-        let (rx_lo, rx_hi) = chunk((rank + n - s - 1) % n);
+        let (rx_lo, rx_hi) = chunk((pos + n - s - 1) % n);
         add_into(&mut buf[rx_lo..rx_hi], &incoming)?;
     }
     // Allgather: circulate the finished chunks.
     for s in 0..n - 1 {
-        let (tx_lo, tx_hi) = chunk((rank + 1 + n - s) % n);
+        let (tx_lo, tx_hi) = chunk((pos + 1 + n - s) % n);
         comm.send(right, &buf[tx_lo..tx_hi])?;
         let incoming = comm.recv(left)?;
-        let (rx_lo, rx_hi) = chunk((rank + n - s) % n);
+        let (rx_lo, rx_hi) = chunk((pos + n - s) % n);
         buf[rx_lo..rx_hi].copy_from_slice(&incoming);
     }
     Ok(())
@@ -66,7 +98,7 @@ pub fn allreduce_ring(comm: &mut dyn Communicator, buf: &mut [f32]) -> Result<()
 
 /// Flat allreduce: everyone sends to rank 0, which sums and broadcasts the
 /// result (via a binomial tree). The PS-style schedule.
-pub fn allreduce_flat(comm: &mut dyn Communicator, buf: &mut [f32]) -> Result<()> {
+pub fn allreduce_flat(comm: &mut dyn Communicator, buf: &mut [f32]) -> CommResult<()> {
     let n = comm.world();
     if n == 1 {
         return Ok(());
@@ -84,21 +116,37 @@ pub fn allreduce_flat(comm: &mut dyn Communicator, buf: &mut [f32]) -> Result<()
 
 /// Binomial-tree broadcast from `root` (relabeled so the tree works for
 /// any root).
-pub fn broadcast_tree(comm: &mut dyn Communicator, buf: &mut [f32], root: usize) -> Result<()> {
-    let n = comm.world();
-    if n == 1 {
+pub fn broadcast_tree(comm: &mut dyn Communicator, buf: &mut [f32], root: usize) -> CommResult<()> {
+    let members: Vec<usize> = (0..comm.world()).collect();
+    broadcast_among(comm, buf, root, &members)
+}
+
+/// Binomial-tree broadcast from `root` over an explicit member group
+/// (sorted ranks; `root` and the caller must be members). Full membership
+/// reproduces the [`broadcast_tree`] schedule exactly.
+pub fn broadcast_among(
+    comm: &mut dyn Communicator,
+    buf: &mut [f32],
+    root: usize,
+    members: &[usize],
+) -> CommResult<()> {
+    let n = members.len();
+    if n <= 1 {
         return Ok(());
     }
-    let vrank = (comm.rank() + n - root) % n; // virtual rank, root = 0
-                                              // Receive phase: the lowest set bit of vrank identifies the parent
-                                              // (vrank with that bit cleared). The root has no set bits and skips it.
+    let pos = position(members, comm.rank())?;
+    let root_pos = position(members, root)?;
+    let vrank = (pos + n - root_pos) % n; // virtual position, root = 0
+    let to_rank = |v: usize| members[(v + root_pos) % n];
+    // Receive phase: the lowest set bit of vrank identifies the parent
+    // (vrank with that bit cleared). The root has no set bits and skips it.
     let mut mask = 1usize;
     while mask < n {
         if vrank & mask != 0 {
-            let parent = ((vrank & !mask) + root) % n;
+            let parent = to_rank(vrank & !mask);
             let data = comm.recv(parent)?;
             if data.len() != buf.len() {
-                return Err(Error::Communication("broadcast size mismatch".into()));
+                return Err(CommError::Mismatch("broadcast size mismatch".into()));
             }
             buf.copy_from_slice(&data);
             break;
@@ -111,7 +159,7 @@ pub fn broadcast_tree(comm: &mut dyn Communicator, buf: &mut [f32], root: usize)
     while mask > 0 {
         let child_v = vrank | mask;
         if child_v != vrank && child_v < n {
-            comm.send((child_v + root) % n, buf)?;
+            comm.send(to_rank(child_v), buf)?;
         }
         mask >>= 1;
     }
@@ -124,7 +172,7 @@ pub fn gather_to_root(
     comm: &mut dyn Communicator,
     buf: &[f32],
     root: usize,
-) -> Result<Option<Vec<Vec<f32>>>> {
+) -> CommResult<Option<Vec<Vec<f32>>>> {
     if comm.rank() == root {
         let mut parts = vec![Vec::new(); comm.world()];
         parts[root] = buf.to_vec();
@@ -143,25 +191,38 @@ pub fn gather_to_root(
 /// DPSGD-style neighbor exchange on a ring: send `buf` to both neighbors,
 /// receive theirs, return the three-way average (self + left + right) / 3.
 /// Communication volume per rank is constant in the world size.
-pub fn neighbor_exchange(comm: &mut dyn Communicator, buf: &[f32]) -> Result<Vec<f32>> {
-    let n = comm.world();
-    if n == 1 {
+pub fn neighbor_exchange(comm: &mut dyn Communicator, buf: &[f32]) -> CommResult<Vec<f32>> {
+    let members: Vec<usize> = (0..comm.world()).collect();
+    neighbor_exchange_among(comm, buf, &members)
+}
+
+/// Neighbor exchange on the ring formed by an explicit member group
+/// (sorted ranks; the caller must be a member). Full membership reproduces
+/// the [`neighbor_exchange`] schedule exactly; after crashes the gossip
+/// ring re-forms over the survivors.
+pub fn neighbor_exchange_among(
+    comm: &mut dyn Communicator,
+    buf: &[f32],
+    members: &[usize],
+) -> CommResult<Vec<f32>> {
+    let n = members.len();
+    if n <= 1 {
         return Ok(buf.to_vec());
     }
-    let rank = comm.rank();
-    let right = (rank + 1) % n;
-    let left = (rank + n - 1) % n;
+    let pos = position(members, comm.rank())?;
+    let right = members[(pos + 1) % n];
+    let left = members[(pos + n - 1) % n];
     comm.send(right, buf)?;
     comm.send(left, buf)?;
     let from_left = comm.recv(left)?;
     let from_right = if n == 2 {
-        // With two ranks, left == right; the second message is distinct.
+        // With two members, left == right; the second message is distinct.
         comm.recv(left)?
     } else {
         comm.recv(right)?
     };
     if from_left.len() != buf.len() || from_right.len() != buf.len() {
-        return Err(Error::Communication("neighbor buffer mismatch".into()));
+        return Err(CommError::Mismatch("neighbor buffer mismatch".into()));
     }
     Ok(buf
         .iter()
@@ -174,7 +235,17 @@ pub fn neighbor_exchange(comm: &mut dyn Communicator, buf: &[f32]) -> Result<Vec
 /// Scale a buffer in place by `1/world` — the averaging step after a sum
 /// allreduce.
 pub fn average_in_place(comm: &dyn Communicator, buf: &mut [f32]) {
-    let inv = 1.0 / comm.world() as f32;
+    average_among(buf, comm.world());
+}
+
+/// Scale a buffer in place by `1/group_size` — the surviving-rank
+/// renormalization after an allreduce over a (possibly shrunken) group.
+/// With the full world this is exactly [`average_in_place`].
+pub fn average_among(buf: &mut [f32], group_size: usize) {
+    if group_size == 0 {
+        return;
+    }
+    let inv = 1.0 / group_size as f32;
     for v in buf {
         *v *= inv;
     }
@@ -235,6 +306,43 @@ mod tests {
     }
 
     #[test]
+    fn ring_allreduce_among_subgroup_sums_members_only() {
+        // World of 4; ranks {0, 2, 3} form the group, rank 1 sits out.
+        let members = vec![0usize, 2, 3];
+        let results = on_world(4, move |c| {
+            if c.rank() == 1 {
+                return None;
+            }
+            let mut buf = contribution(c.rank(), 7);
+            allreduce_ring_among(c, &mut buf, &members).unwrap();
+            Some(buf)
+        });
+        let mut expect = vec![0.0f32; 7];
+        for r in [0usize, 2, 3] {
+            for (a, b) in expect.iter_mut().zip(contribution(r, 7)) {
+                *a += b;
+            }
+        }
+        for r in [0usize, 2, 3] {
+            assert_eq!(results[r].as_ref().unwrap(), &expect, "rank {r}");
+        }
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn among_rejects_non_members_with_typed_error() {
+        let results = on_world(2, |c| {
+            if c.rank() == 0 {
+                let mut buf = vec![1.0f32];
+                allreduce_ring_among(c, &mut buf, &[1]).unwrap_err()
+            } else {
+                CommError::Mismatch("unused".into())
+            }
+        });
+        assert!(matches!(results[0], CommError::Mismatch(_)));
+    }
+
+    #[test]
     fn flat_allreduce_matches_ring() {
         for world in [2usize, 3, 4, 6] {
             let len = 10;
@@ -268,6 +376,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn broadcast_among_subgroup() {
+        // Group {1, 3} of a 4-world; root 3 broadcasts to 1.
+        let results = on_world(4, |c| {
+            if c.rank() == 1 || c.rank() == 3 {
+                let mut buf = if c.rank() == 3 {
+                    vec![5.0, 6.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
+                broadcast_among(c, &mut buf, 3, &[1, 3]).unwrap();
+                Some(buf)
+            } else {
+                None
+            }
+        });
+        assert_eq!(results[1].as_ref().unwrap(), &vec![5.0, 6.0]);
+        assert_eq!(results[3].as_ref().unwrap(), &vec![5.0, 6.0]);
     }
 
     #[test]
@@ -305,6 +433,15 @@ mod tests {
         // Each rank averages self + the peer's value twice.
         assert_eq!(results[0], vec![7.0]); // (3 + 9 + 9)/3
         assert_eq!(results[1], vec![5.0]); // (9 + 3 + 3)/3
+    }
+
+    #[test]
+    fn average_among_renormalizes_by_group_size() {
+        let mut buf = vec![6.0f32, 9.0];
+        average_among(&mut buf, 3);
+        assert_eq!(buf, vec![2.0, 3.0]);
+        average_among(&mut buf, 0); // degenerate group: untouched
+        assert_eq!(buf, vec![2.0, 3.0]);
     }
 
     #[test]

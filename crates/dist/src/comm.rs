@@ -7,17 +7,95 @@
 //! [`NetworkModel`] — a conservative virtual-time simulation that prices
 //! the real message schedule while the data itself moves for real. Compute
 //! time enters via [`Communicator::advance`].
+//!
+//! Communication is **fallible by design**: every operation returns a
+//! typed [`CommError`] instead of panicking, so the fault-injection layer
+//! ([`crate::fault`]) can surface drops, timeouts, and rank deaths through
+//! the same API the fault-free path uses, and schemes can make typed
+//! recovery decisions (retry, renormalize, fail over, or abort cleanly).
 
 use crate::netmodel::NetworkModel;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use deep500_metrics::CommunicationVolume;
-use deep500_tensor::{Error, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use deep500_metrics::{CommunicationVolume, FaultCounters};
+use std::fmt;
+
+/// A typed communication failure.
+///
+/// The variants map one-to-one onto recovery decisions: `Timeout` and
+/// `Dropped` are retryable, `RankDead` triggers group re-formation or
+/// failover, `Closed` and `Mismatch` are protocol-fatal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// No message arrived from `peer` within the patience budget.
+    Timeout { peer: usize, waited_s: f64 },
+    /// The named rank has crashed (per the fault plan, or detected via a
+    /// disconnected channel). On the crashing rank itself, `RankDead`
+    /// carries its own rank.
+    RankDead(usize),
+    /// A message to `to` was dropped and the retry budget (`attempts`
+    /// transmissions) is exhausted.
+    Dropped { to: usize, attempts: u32 },
+    /// The endpoint or channel is closed (peer hung up outside the fault
+    /// plan, or an invalid peer was addressed).
+    Closed(String),
+    /// A protocol-level payload mismatch (wrong buffer size for a
+    /// collective).
+    Mismatch(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { peer, waited_s } => {
+                write!(f, "timeout waiting on rank {peer} after {waited_s:.3}s")
+            }
+            CommError::RankDead(r) => write!(f, "rank {r} is dead"),
+            CommError::Dropped { to, attempts } => {
+                write!(f, "message to rank {to} dropped after {attempts} attempts")
+            }
+            CommError::Closed(m) => write!(f, "communicator closed: {m}"),
+            CommError::Mismatch(m) => write!(f, "protocol mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<CommError> for deep500_tensor::Error {
+    fn from(e: CommError) -> Self {
+        deep500_tensor::Error::Communication(e.to_string())
+    }
+}
+
+/// Result alias for fallible communication.
+pub type CommResult<T> = std::result::Result<T, CommError>;
+
+/// Options for [`Communicator::send_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct SendOptions {
+    /// Logical payload size in bytes for timing/volume accounting.
+    pub logical_bytes: usize,
+    /// Extra in-network delay (queuing, injected faults) added to the
+    /// message's arrival time, in virtual seconds. Does not occupy the
+    /// sender's NIC.
+    pub extra_delay_s: f64,
+}
+
+impl SendOptions {
+    /// Plain options pricing `data.len() * 4` bytes with no extra delay.
+    pub fn sized(logical_bytes: usize) -> Self {
+        SendOptions {
+            logical_bytes,
+            extra_delay_s: 0.0,
+        }
+    }
+}
 
 /// One in-flight message.
 #[derive(Debug, Clone)]
 pub struct Message {
     pub data: Vec<f32>,
-    /// Sender's virtual clock at send time.
+    /// Sender's virtual clock at send time (plus any in-network delay).
     pub send_ts: f64,
     /// Logical payload size in bytes (defaults to `4 * data.len()`; the
     /// scaling harness prices full-size tensors while moving small ones).
@@ -25,6 +103,13 @@ pub struct Message {
 }
 
 /// An MPI-style communicator endpoint.
+///
+/// All data-moving operations return [`CommResult`]; nothing in this trait
+/// panics on communication failure. Fault-aware implementations
+/// ([`crate::fault::FaultyCommunicator`]) additionally report which ranks
+/// are alive ([`live_ranks`](Communicator::live_ranks)) and account their
+/// injected faults ([`fault_stats`](Communicator::fault_stats)); the
+/// defaults describe a perfect network.
 pub trait Communicator: Send {
     /// This endpoint's rank.
     fn rank(&self) -> usize;
@@ -33,13 +118,30 @@ pub trait Communicator: Send {
     fn world(&self) -> usize;
 
     /// Send `data` to rank `to` (non-blocking; unbounded buffering).
-    fn send(&mut self, to: usize, data: &[f32]) -> Result<()>;
+    fn send(&mut self, to: usize, data: &[f32]) -> CommResult<()> {
+        self.send_opts(to, data, SendOptions::sized(data.len() * 4))
+    }
 
     /// Send with an explicit logical payload size for timing/volume.
-    fn send_sized(&mut self, to: usize, data: &[f32], logical_bytes: usize) -> Result<()>;
+    fn send_sized(&mut self, to: usize, data: &[f32], logical_bytes: usize) -> CommResult<()> {
+        self.send_opts(to, data, SendOptions::sized(logical_bytes))
+    }
+
+    /// Send with full options (logical size, injected delay).
+    fn send_opts(&mut self, to: usize, data: &[f32], opts: SendOptions) -> CommResult<()>;
 
     /// Blocking receive of the next message from rank `from`.
-    fn recv(&mut self, from: usize) -> Result<Vec<f32>>;
+    fn recv(&mut self, from: usize) -> CommResult<Vec<f32>>;
+
+    /// Non-blocking receive: `Ok(None)` when no message is waiting.
+    fn try_recv(&mut self, from: usize) -> CommResult<Option<Vec<f32>>>;
+
+    /// Receive with a (real-time) patience budget. The default ignores the
+    /// budget and blocks — on a perfect network nothing is ever lost, so a
+    /// bounded wait is only meaningful under fault injection.
+    fn recv_timeout(&mut self, from: usize, _patience_s: f64) -> CommResult<Vec<f32>> {
+        self.recv(from)
+    }
 
     /// Advance this rank's virtual clock by `seconds` of local compute.
     fn advance(&mut self, seconds: f64);
@@ -50,9 +152,39 @@ pub trait Communicator: Send {
     /// Communication counters of this endpoint.
     fn stats(&self) -> CommunicationVolume;
 
+    /// Mark the beginning of training step `step` on this rank. The fault
+    /// layer uses this to execute planned crashes (`Err(RankDead(self))`
+    /// on the crashing rank) and to detect peer-group changes; the default
+    /// perfect network always succeeds.
+    fn begin_step(&mut self, _step: u64) -> CommResult<()> {
+        Ok(())
+    }
+
+    /// Ranks still alive at the current step, ascending. Synchronous
+    /// schemes run their collectives over this group and renormalize by
+    /// its size.
+    fn live_ranks(&self) -> Vec<usize> {
+        (0..self.world()).collect()
+    }
+
+    /// Fault-injection and recovery counters of this endpoint (all zero on
+    /// a perfect network).
+    fn fault_stats(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+
+    /// Record a scheme-level recovery action (e.g. a stale-synchronous
+    /// sync skipping a lost contribution) in the fault counters; no-op on
+    /// a perfect network.
+    fn record_recovery(&mut self, _virtual_s: f64) {}
+
+    /// Record `n` lost steps/contributions in the fault counters; no-op on
+    /// a perfect network.
+    fn record_lost(&mut self, _n: u64) {}
+
     /// Barrier across all ranks (implemented with messages so virtual time
     /// propagates: everyone syncs to the global maximum clock).
-    fn barrier(&mut self) -> Result<()> {
+    fn barrier(&mut self) -> CommResult<()> {
         // Centralized: ranks report to 0, 0 answers with the max clock.
         if self.rank() == 0 {
             for peer in 1..self.world() {
@@ -82,6 +214,32 @@ pub struct ThreadCommunicator {
     volume: CommunicationVolume,
 }
 
+impl ThreadCommunicator {
+    /// The network model pricing this endpoint's messages.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    fn check_peer(&self, peer: usize, what: &str) -> CommResult<()> {
+        if peer >= self.world {
+            return Err(CommError::Closed(format!(
+                "{what} rank {peer} of world {}",
+                self.world
+            )));
+        }
+        Ok(())
+    }
+
+    /// Price an arrived message on the receiving endpoint's clock.
+    fn account_arrival(&mut self, msg: &Message) {
+        // Arrival: latency after the sender's timestamp, then delivery
+        // serializes on this endpoint.
+        let arrival = msg.send_ts + self.model.alpha_s;
+        self.vclock = self.vclock.max(arrival) + self.model.transfer_s(msg.logical_bytes);
+        self.volume.record_recv(msg.logical_bytes);
+    }
+}
+
 /// Factory for wired-up thread communicators.
 pub struct ThreadTransport;
 
@@ -105,8 +263,14 @@ impl ThreadTransport {
         }
         let mut comms = Vec::with_capacity(world);
         for rank in 0..world {
-            let senders = txs[rank].iter_mut().map(|t| t.take().unwrap()).collect();
-            let receivers = rxs[rank].iter_mut().map(|r| r.take().unwrap()).collect();
+            let senders = txs[rank]
+                .iter_mut()
+                .map(|t| t.take().expect("channel wired exactly once"))
+                .collect();
+            let receivers = rxs[rank]
+                .iter_mut()
+                .map(|r| r.take().expect("channel wired exactly once"))
+                .collect();
             comms.push(ThreadCommunicator {
                 rank,
                 world,
@@ -128,44 +292,41 @@ impl Communicator for ThreadCommunicator {
     fn world(&self) -> usize {
         self.world
     }
-    fn send(&mut self, to: usize, data: &[f32]) -> Result<()> {
-        self.send_sized(to, data, data.len() * 4)
-    }
-    fn send_sized(&mut self, to: usize, data: &[f32], logical_bytes: usize) -> Result<()> {
-        if to >= self.world {
-            return Err(Error::Communication(format!(
-                "send to rank {to} of world {}",
-                self.world
-            )));
-        }
-        // Sender-side injection occupies the NIC.
-        self.vclock += self.model.transfer_s(logical_bytes);
-        self.volume.record_send(logical_bytes);
+    fn send_opts(&mut self, to: usize, data: &[f32], opts: SendOptions) -> CommResult<()> {
+        self.check_peer(to, "send to")?;
+        // Sender-side injection occupies the NIC; injected delay rides in
+        // the network (it postpones arrival, not the sender).
+        self.vclock += self.model.transfer_s(opts.logical_bytes);
+        self.volume.record_send(opts.logical_bytes);
         self.senders[to]
             .send(Message {
                 data: data.to_vec(),
-                send_ts: self.vclock,
-                logical_bytes,
+                send_ts: self.vclock + opts.extra_delay_s,
+                logical_bytes: opts.logical_bytes,
             })
-            .map_err(|_| Error::Communication(format!("rank {to} is gone")))?;
+            .map_err(|_| CommError::Closed(format!("rank {to} is gone")))?;
         Ok(())
     }
-    fn recv(&mut self, from: usize) -> Result<Vec<f32>> {
-        if from >= self.world {
-            return Err(Error::Communication(format!(
-                "recv from rank {from} of world {}",
-                self.world
-            )));
-        }
+    fn recv(&mut self, from: usize) -> CommResult<Vec<f32>> {
+        self.check_peer(from, "recv from")?;
         let msg = self.receivers[from]
             .recv()
-            .map_err(|_| Error::Communication(format!("rank {from} hung up")))?;
-        // Arrival: latency after the sender's timestamp, then delivery
-        // serializes on this endpoint.
-        let arrival = msg.send_ts + self.model.alpha_s;
-        self.vclock = self.vclock.max(arrival) + self.model.transfer_s(msg.logical_bytes);
-        self.volume.record_recv(msg.logical_bytes);
+            .map_err(|_| CommError::Closed(format!("rank {from} hung up")))?;
+        self.account_arrival(&msg);
         Ok(msg.data)
+    }
+    fn try_recv(&mut self, from: usize) -> CommResult<Option<Vec<f32>>> {
+        self.check_peer(from, "recv from")?;
+        match self.receivers[from].try_recv() {
+            Ok(msg) => {
+                self.account_arrival(&msg);
+                Ok(Some(msg.data))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(CommError::Closed(format!("rank {from} hung up")))
+            }
+        }
     }
     fn advance(&mut self, seconds: f64) {
         self.vclock += seconds;
@@ -221,6 +382,35 @@ mod tests {
     }
 
     #[test]
+    fn extra_delay_postpones_arrival_not_the_sender() {
+        let model = NetworkModel {
+            alpha_s: 1.0,
+            bandwidth_bps: 4.0,
+        };
+        let mut comms = ThreadTransport::create(2, model);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let h = thread::spawn(move || {
+            c1.send_opts(
+                0,
+                &[0.0; 4],
+                SendOptions {
+                    logical_bytes: 16,
+                    extra_delay_s: 5.0,
+                },
+            )
+            .unwrap();
+            c1.elapsed()
+        });
+        let _ = c0.recv(1).unwrap();
+        // Sender pays only the 4 s injection; the receiver sees the
+        // timestamp shifted by the 5 s in-network delay:
+        // arrival (4 + 5) + 1 = 10, delivery + 4 = 14.
+        assert!((h.join().unwrap() - 4.0).abs() < 1e-9);
+        assert!((c0.elapsed() - 14.0).abs() < 1e-9, "{}", c0.elapsed());
+    }
+
+    #[test]
     fn incast_serializes_at_the_receiver() {
         let model = NetworkModel {
             alpha_s: 0.0,
@@ -267,11 +457,35 @@ mod tests {
     }
 
     #[test]
-    fn invalid_peers_rejected() {
+    fn invalid_peers_rejected_with_typed_errors() {
         let mut comms = ThreadTransport::create(1, NetworkModel::instant());
         let mut c = comms.pop().unwrap();
-        assert!(c.send(5, &[1.0]).is_err());
-        assert!(c.recv(5).is_err());
+        assert!(matches!(c.send(5, &[1.0]), Err(CommError::Closed(_))));
+        assert!(matches!(c.recv(5), Err(CommError::Closed(_))));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_disconnected() {
+        let mut comms = ThreadTransport::create(2, NetworkModel::instant());
+        let c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        assert_eq!(c0.try_recv(1).unwrap(), None);
+        drop(c1);
+        assert!(matches!(c0.try_recv(1), Err(CommError::Closed(_))));
+    }
+
+    #[test]
+    fn comm_errors_display_and_convert() {
+        let e = CommError::Timeout {
+            peer: 3,
+            waited_s: 0.5,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        let t: deep500_tensor::Error = CommError::RankDead(1).into();
+        assert!(matches!(t, deep500_tensor::Error::Communication(_)));
+        assert!(CommError::Dropped { to: 2, attempts: 4 }
+            .to_string()
+            .contains("4 attempts"));
     }
 
     #[test]

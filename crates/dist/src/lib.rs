@@ -25,14 +25,36 @@
 //! "Python-reference" flavour with conversion overhead and the optimized
 //! CDSGD), neighbor-based decentralized (DPSGD), model averaging (MAVG),
 //! Horovod-style fused-buffer allreduce, and SparCML sparse allreduce.
+//!
+//! ## Fault injection and recovery
+//!
+//! Communication is fallible by design: every [`Communicator`] operation
+//! returns a typed [`comm::CommError`] instead of panicking. A seeded,
+//! fully deterministic [`fault::FaultPlan`] wraps any communicator in a
+//! [`fault::FaultyCommunicator`] that injects message drops (with
+//! retry/backoff priced through the network model), bounded delays,
+//! reorderings, straggler slowdowns, and rank crashes at chosen steps.
+//! Decentralized schemes degrade gracefully — surviving ranks re-form the
+//! group and renormalize their allreduce — while centralized schemes fail
+//! over (lowest live rank becomes the server) or abort with a typed
+//! error. [`runner::DistributedRunner`] is the builder entry point.
+
+// Communication paths must surface typed errors, not panic (tests may
+// still unwrap for brevity).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod netmodel;
 pub mod optimizers;
 pub mod runner;
 pub mod scaling;
 pub mod sparse;
 
-pub use comm::{Communicator, ThreadTransport};
+pub use comm::{CommError, CommResult, Communicator, SendOptions, ThreadTransport};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyCommunicator};
 pub use netmodel::NetworkModel;
+pub use runner::{
+    ConsistencyReport, DistributedRunner, RankReport, RankStatus, RunReport, Variant,
+};

@@ -54,6 +54,14 @@ impl NetworkModel {
     pub fn message_s(&self, bytes: usize) -> f64 {
         self.alpha_s + self.transfer_s(bytes)
     }
+
+    /// Exponential retransmit backoff before retry number `attempt`
+    /// (0-based): one message time of the payload, doubled per attempt.
+    /// Used by the fault-injection layer to price recovery in virtual
+    /// seconds.
+    pub fn backoff_s(&self, bytes: usize, attempt: u32) -> f64 {
+        self.message_s(bytes) * 2f64.powi(attempt.min(16) as i32)
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +83,15 @@ mod tests {
     fn instant_network_is_free() {
         let m = NetworkModel::instant();
         assert_eq!(m.message_s(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let m = NetworkModel::ethernet_10g();
+        let b0 = m.backoff_s(1024, 0);
+        assert!((m.backoff_s(1024, 1) - 2.0 * b0).abs() < 1e-12);
+        assert!((m.backoff_s(1024, 3) - 8.0 * b0).abs() < 1e-12);
+        assert_eq!(NetworkModel::instant().backoff_s(1 << 20, 5), 0.0);
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! less accurate result" (§V-E).
 
 use super::{apply_update, collect_gradients, local_backprop, DistributedOptimizer, SchemeCore};
-use crate::collectives::neighbor_exchange;
-use crate::comm::Communicator;
+use crate::collectives::neighbor_exchange_among;
+use crate::comm::{CommResult, Communicator};
 use deep500_data::Minibatch;
 use deep500_graph::GraphExecutor;
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Result, Tensor};
 use deep500_train::optimizer::StepResult;
 use deep500_train::ThreeStepOptimizer;
@@ -43,11 +43,14 @@ impl DistributedOptimizer for DecentralizedNeighbor {
         for (pname, grad) in collect_gradients(executor)? {
             apply_update(self.core.base.as_mut(), executor, &pname, &grad)?;
         }
-        // Gossip: average each parameter with ring neighbors.
+        // Gossip: average each parameter with ring neighbors. The ring
+        // re-forms over the live group when ranks crash (full group =
+        // identical schedule).
+        let live = self.core.comm.live_ranks();
         let params: Vec<String> = executor.network().get_params().to_vec();
         for pname in params {
             let current = executor.network().fetch_tensor(&pname)?.clone();
-            let averaged = neighbor_exchange(self.core.comm.as_mut(), current.data())?;
+            let averaged = neighbor_exchange_among(self.core.comm.as_mut(), current.data(), &live)?;
             executor
                 .network_mut()
                 .feed_tensor(pname, Tensor::from_vec(current.shape().clone(), averaged)?);
@@ -61,5 +64,17 @@ impl DistributedOptimizer for DecentralizedNeighbor {
 
     fn virtual_time(&self) -> f64 {
         self.core.comm.elapsed()
+    }
+
+    fn begin_step(&mut self, step: u64) -> CommResult<()> {
+        self.core.comm.begin_step(step)
+    }
+
+    fn advance_virtual(&mut self, seconds: f64) {
+        self.core.comm.advance(seconds);
+    }
+
+    fn fault_stats(&self) -> FaultCounters {
+        self.core.comm.fault_stats()
     }
 }

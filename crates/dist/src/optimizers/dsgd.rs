@@ -15,11 +15,11 @@ use super::{
     apply_update, collect_gradients, conversion_roundtrip, flatten_gradients, local_backprop,
     unflatten_gradients, DistributedOptimizer, SchemeCore,
 };
-use crate::collectives::{allreduce_ring, average_in_place};
-use crate::comm::Communicator;
+use crate::collectives::{allreduce_ring_among, average_among};
+use crate::comm::{CommResult, Communicator};
 use deep500_data::Minibatch;
 use deep500_graph::GraphExecutor;
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Result, Tensor};
 use deep500_train::optimizer::StepResult;
 use deep500_train::ThreeStepOptimizer;
@@ -76,11 +76,15 @@ impl DistributedOptimizer for ConsistentDecentralized {
         batch: &Minibatch,
     ) -> Result<StepResult> {
         let result = local_backprop(self.core.base.as_mut(), executor, batch)?;
+        // Graceful degradation: the ring forms over the live group and the
+        // average renormalizes by its size. Without faults the live group
+        // is the full world and the schedule is bit-identical.
+        let live = self.core.comm.live_ranks();
         if self.fused_buffers {
             // One fused allreduce over all gradients.
             let (mut buf, layout) = flatten_gradients(executor)?;
-            allreduce_ring(self.core.comm.as_mut(), &mut buf)?;
-            average_in_place(self.core.comm.as_ref(), &mut buf);
+            allreduce_ring_among(self.core.comm.as_mut(), &mut buf, &live)?;
+            average_among(&mut buf, live.len());
             let grads = unflatten_gradients(executor, &buf, &layout)?;
             for (pname, grad) in grads {
                 apply_update(self.core.base.as_mut(), executor, &pname, &grad)?;
@@ -92,8 +96,8 @@ impl DistributedOptimizer for ConsistentDecentralized {
                 if self.conversion_overhead {
                     conversion_roundtrip(&mut buf);
                 }
-                allreduce_ring(self.core.comm.as_mut(), &mut buf)?;
-                average_in_place(self.core.comm.as_ref(), &mut buf);
+                allreduce_ring_among(self.core.comm.as_mut(), &mut buf, &live)?;
+                average_among(&mut buf, live.len());
                 if self.conversion_overhead {
                     conversion_roundtrip(&mut buf);
                 }
@@ -111,5 +115,17 @@ impl DistributedOptimizer for ConsistentDecentralized {
 
     fn virtual_time(&self) -> f64 {
         self.core.comm.elapsed()
+    }
+
+    fn begin_step(&mut self, step: u64) -> CommResult<()> {
+        self.core.comm.begin_step(step)
+    }
+
+    fn advance_virtual(&mut self, seconds: f64) {
+        self.core.comm.advance(seconds);
+    }
+
+    fn fault_stats(&self) -> FaultCounters {
+        self.core.comm.fault_stats()
     }
 }

@@ -6,11 +6,11 @@
 //! efficiency cost.
 
 use super::{apply_update, collect_gradients, local_backprop, DistributedOptimizer, SchemeCore};
-use crate::collectives::{allreduce_ring, average_in_place};
-use crate::comm::Communicator;
+use crate::collectives::{allreduce_ring_among, average_among};
+use crate::comm::{CommResult, Communicator};
 use deep500_data::Minibatch;
 use deep500_graph::GraphExecutor;
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Result, Tensor};
 use deep500_train::optimizer::StepResult;
 use deep500_train::ThreeStepOptimizer;
@@ -53,12 +53,15 @@ impl DistributedOptimizer for ModelAveraging {
         }
         self.step += 1;
         if self.step.is_multiple_of(self.period) {
+            // Parameter averaging over the live group: survivors
+            // renormalize by the shrunken group size and continue.
+            let live = self.core.comm.live_ranks();
             let params: Vec<String> = executor.network().get_params().to_vec();
             for pname in params {
                 let current = executor.network().fetch_tensor(&pname)?.clone();
                 let mut buf = current.data().to_vec();
-                allreduce_ring(self.core.comm.as_mut(), &mut buf)?;
-                average_in_place(self.core.comm.as_ref(), &mut buf);
+                allreduce_ring_among(self.core.comm.as_mut(), &mut buf, &live)?;
+                average_among(&mut buf, live.len());
                 executor
                     .network_mut()
                     .feed_tensor(pname, Tensor::from_vec(current.shape().clone(), buf)?);
@@ -73,5 +76,17 @@ impl DistributedOptimizer for ModelAveraging {
 
     fn virtual_time(&self) -> f64 {
         self.core.comm.elapsed()
+    }
+
+    fn begin_step(&mut self, step: u64) -> CommResult<()> {
+        self.core.comm.begin_step(step)
+    }
+
+    fn advance_virtual(&mut self, seconds: f64) {
+        self.core.comm.advance(seconds);
+    }
+
+    fn fault_stats(&self) -> FaultCounters {
+        self.core.comm.fault_stats()
     }
 }

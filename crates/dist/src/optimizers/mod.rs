@@ -27,10 +27,10 @@ pub mod signsgd;
 pub mod sparcml;
 pub mod stale;
 
-use crate::comm::Communicator;
+use crate::comm::{CommResult, Communicator};
 use deep500_data::Minibatch;
 use deep500_graph::{grad_name, GraphExecutor};
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Result, Tensor};
 use deep500_train::optimizer::StepResult;
 
@@ -51,6 +51,24 @@ pub trait DistributedOptimizer: Send {
 
     /// This rank's virtual time (compute + modeled communication).
     fn virtual_time(&self) -> f64;
+
+    /// Announce the beginning of training step `step` to the communication
+    /// layer. Under a fault plan this is where planned rank crashes fire
+    /// (`Err(RankDead)` on the crashing rank) and where survivors observe
+    /// group shrinkage; without faults it is a no-op.
+    fn begin_step(&mut self, _step: u64) -> CommResult<()> {
+        Ok(())
+    }
+
+    /// Charge measured local compute seconds to this rank's virtual clock
+    /// (straggler plans stretch them).
+    fn advance_virtual(&mut self, _seconds: f64) {}
+
+    /// Fault-injection and recovery counters of this rank's communicator
+    /// (all zero without a fault plan).
+    fn fault_stats(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
 }
 
 /// `(parameter name, gradient tensor)` pairs.

@@ -8,10 +8,10 @@
 //! Fig. 12.
 
 use super::{apply_update, collect_gradients, local_backprop, DistributedOptimizer, SchemeCore};
-use crate::comm::Communicator;
+use crate::comm::{CommError, CommResult, Communicator};
 use deep500_data::Minibatch;
 use deep500_graph::GraphExecutor;
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Error, Result, Tensor};
 use deep500_train::optimizer::StepResult;
 use deep500_train::ThreeStepOptimizer;
@@ -40,15 +40,22 @@ impl DistributedOptimizer for ConsistentCentralized {
         batch: &Minibatch,
     ) -> Result<StepResult> {
         let result = local_backprop(self.core.base.as_mut(), executor, batch)?;
-        let world = self.core.comm.world();
         let rank = self.core.comm.rank();
+        // Failover: the server is the lowest live rank. Synchronous PS
+        // keeps all ranks' parameters identical after every step, so any
+        // survivor can take over the server role deterministically. With
+        // no faults the server is rank 0 and the schedule is unchanged.
+        let live = self.core.comm.live_ranks();
+        let server = *live
+            .first()
+            .ok_or_else(|| CommError::Closed("no live ranks left".into()))?;
         let grads = collect_gradients(executor)?;
-        if rank == 0 {
-            // Server: receive every worker's gradient per parameter,
+        if rank == server {
+            // Server: receive every live worker's gradient per parameter,
             // average with our own, update, then push parameters back.
             for (pname, grad) in grads {
                 let mut acc = grad.into_vec();
-                for peer in 1..world {
+                for &peer in live.iter().filter(|&&p| p != server) {
                     let incoming = self.core.comm.recv(peer)?;
                     if incoming.len() != acc.len() {
                         return Err(Error::Communication(format!(
@@ -59,21 +66,21 @@ impl DistributedOptimizer for ConsistentCentralized {
                         *a += b;
                     }
                 }
-                let inv = 1.0 / world as f32;
+                let inv = 1.0 / live.len() as f32;
                 acc.iter_mut().for_each(|v| *v *= inv);
                 let shape = executor.network().fetch_tensor(&pname)?.shape().clone();
                 let grad = Tensor::from_vec(shape, acc)?;
                 apply_update(self.core.base.as_mut(), executor, &pname, &grad)?;
                 // Broadcast fresh parameters (PS pushes to each worker).
                 let fresh = executor.network().fetch_tensor(&pname)?.data().to_vec();
-                for peer in 1..world {
+                for &peer in live.iter().filter(|&&p| p != server) {
                     self.core.comm.send(peer, &fresh)?;
                 }
             }
         } else {
             for (pname, grad) in grads {
-                self.core.comm.send(0, grad.data())?;
-                let fresh = self.core.comm.recv(0)?;
+                self.core.comm.send(server, grad.data())?;
+                let fresh = self.core.comm.recv(server)?;
                 let shape = executor.network().fetch_tensor(&pname)?.shape().clone();
                 executor
                     .network_mut()
@@ -89,5 +96,17 @@ impl DistributedOptimizer for ConsistentCentralized {
 
     fn virtual_time(&self) -> f64 {
         self.core.comm.elapsed()
+    }
+
+    fn begin_step(&mut self, step: u64) -> CommResult<()> {
+        self.core.comm.begin_step(step)
+    }
+
+    fn advance_virtual(&mut self, seconds: f64) {
+        self.core.comm.advance(seconds);
+    }
+
+    fn fault_stats(&self) -> FaultCounters {
+        self.core.comm.fault_stats()
     }
 }

@@ -11,10 +11,10 @@
 //! `DataType::Bitset` description of the tensor-descriptor system).
 
 use super::{apply_update, collect_gradients, local_backprop, DistributedOptimizer, SchemeCore};
-use crate::comm::Communicator;
+use crate::comm::{CommResult, Communicator};
 use deep500_data::Minibatch;
 use deep500_graph::GraphExecutor;
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{DataType, Result, Tensor};
 use deep500_train::optimizer::StepResult;
 use deep500_train::ThreeStepOptimizer;
@@ -137,17 +137,27 @@ impl DistributedOptimizer for SignCompressedSgd {
     fn virtual_time(&self) -> f64 {
         self.core.comm.elapsed()
     }
+
+    fn begin_step(&mut self, step: u64) -> CommResult<()> {
+        self.core.comm.begin_step(step)
+    }
+
+    fn advance_virtual(&mut self, seconds: f64) {
+        self.core.comm.advance(seconds);
+    }
+
+    fn fault_stats(&self) -> FaultCounters {
+        self.core.comm.fault_stats()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizers::dsgd::ConsistentDecentralized;
-    use crate::runner::{ranks_consistent, train_data_parallel, SchemeFactory};
+    use crate::runner::{DistributedRunner, Variant};
     use deep500_data::synthetic::SyntheticDataset;
     use deep500_graph::models;
     use deep500_tensor::Shape;
-    use deep500_train::sgd::GradientDescent;
     use std::sync::Arc;
 
     #[test]
@@ -186,51 +196,31 @@ mod tests {
             8,
         ));
         let net = models::mlp(16, &[16], 3, 8).unwrap();
-        let sign: SchemeFactory = Arc::new(|c| {
-            Box::new(SignCompressedSgd::new(
-                Box::new(GradientDescent::new(0.02)),
-                Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        });
-        let dense: SchemeFactory = Arc::new(|c| {
-            Box::new(ConsistentDecentralized::optimized(
-                Box::new(GradientDescent::new(0.02)),
-                Box::new(c),
-            )) as Box<dyn DistributedOptimizer>
-        });
         let steps = 25;
-        let s = train_data_parallel(
-            &net,
-            ds.clone(),
-            sign,
-            4,
-            16,
-            steps,
-            crate::NetworkModel::instant(),
-            1,
-        )
-        .unwrap();
-        let d = train_data_parallel(
-            &net,
-            ds,
-            dense,
-            4,
-            16,
-            steps,
-            crate::NetworkModel::instant(),
-            1,
-        )
-        .unwrap();
+        let run = |variant: Variant| {
+            DistributedRunner::new(&net, ds.clone())
+                .world(4)
+                .batch(16)
+                .steps(steps)
+                .seed(1)
+                .learning_rate(0.02)
+                .variant(variant)
+                .run()
+                .unwrap()
+        };
+        let s = run(Variant::SignSgd);
+        let d = run(Variant::Cdsgd);
         // Majority-vote keeps ranks consistent.
-        assert!(ranks_consistent(&s, 1e-6));
+        let consistency = s.consistency(1e-6);
+        assert!(consistency.is_consistent(), "{consistency}");
         // Loss decreases.
-        let head: f32 = s[0].losses[..5].iter().sum::<f32>() / 5.0;
-        let tail: f32 = s[0].losses[steps - 5..].iter().sum::<f32>() / 5.0;
+        let head: f32 = s.ranks[0].losses[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = s.ranks[0].losses[steps - 5..].iter().sum::<f32>() / 5.0;
         assert!(tail < head, "signSGD must learn: {head} -> {tail}");
         // The headline: an order-of-magnitude volume reduction vs dense
         // allreduce (1 bit vs 32 bits, minus the scale and PS-shape costs).
-        let sv = s[1].volume.bytes_sent as f64; // worker rank
-        let dv = d[1].volume.bytes_sent as f64;
+        let sv = s.ranks[1].volume.bytes_sent as f64; // worker rank
+        let dv = d.ranks[1].volume.bytes_sent as f64;
         assert!(
             sv < dv / 8.0,
             "compressed {sv} should be well under dense {dv}"

@@ -8,11 +8,11 @@
 //! count — both effects emerge from the real [`sparse_allreduce`] here.
 
 use super::{apply_update, local_backprop, DistributedOptimizer, SchemeCore};
-use crate::comm::Communicator;
+use crate::comm::{CommResult, Communicator};
 use crate::sparse::{sparse_allreduce, SparseVector};
 use deep500_data::Minibatch;
 use deep500_graph::GraphExecutor;
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Result, Tensor};
 use deep500_train::optimizer::StepResult;
 use deep500_train::ThreeStepOptimizer;
@@ -82,5 +82,17 @@ impl DistributedOptimizer for SparseDecentralized {
 
     fn virtual_time(&self) -> f64 {
         self.core.comm.elapsed()
+    }
+
+    fn begin_step(&mut self, step: u64) -> CommResult<()> {
+        self.core.comm.begin_step(step)
+    }
+
+    fn advance_virtual(&mut self, seconds: f64) {
+        self.core.comm.advance(seconds);
+    }
+
+    fn fault_stats(&self) -> FaultCounters {
+        self.core.comm.fault_stats()
     }
 }

@@ -1,20 +1,47 @@
 //! Distributed training orchestration over the thread transport.
 //!
-//! [`run_distributed`] spawns one OS thread per rank, hands each a wired
-//! communicator, and joins the results — the reproduction's analogue of
-//! the paper's "OS forking to turn an existing Python application into an
-//! MPI-capable one". [`train_data_parallel`] is the high-level recipe of
-//! Listing 8: pick a distributed scheme, a base optimizer, and a sharded
-//! sampler, and train.
+//! [`DistributedRunner`] is the single entry point for Level-3 training
+//! runs: a builder that picks the world size, scheme [`Variant`], network
+//! model, executor, and (optionally) a seeded [`FaultPlan`], then spawns
+//! one OS thread per rank — the reproduction's analogue of the paper's
+//! "OS forking to turn an existing Python application into an MPI-capable
+//! one":
+//!
+//! ```ignore
+//! let report = DistributedRunner::new(&network, dataset)
+//!     .world(4)
+//!     .variant(Variant::Cdsgd)
+//!     .network(NetworkModel::aries())
+//!     .faults(FaultPlan::seeded(7).with_drops(0.1, 3))
+//!     .run()?;
+//! assert!(report.consistency(1e-5).is_consistent());
+//! ```
+//!
+//! The result is a [`RunReport`]: per-rank losses, parameters, volumes,
+//! virtual times, fault counters, and a [`RankStatus`] that distinguishes
+//! planned crashes from failures. [`ranks_consistent`] produces a
+//! [`ConsistencyReport`] that *names* the diverging ranks and parameters
+//! instead of a bare boolean.
+//!
+//! The pre-builder entry points ([`run_distributed`],
+//! [`train_data_parallel`], [`train_data_parallel_with`]) remain as thin
+//! deprecated wrappers.
 
-use crate::comm::{ThreadCommunicator, ThreadTransport};
+use crate::comm::{CommError, Communicator, ThreadCommunicator, ThreadTransport};
+use crate::fault::{FaultPlan, FaultyCommunicator};
 use crate::netmodel::NetworkModel;
-use crate::optimizers::DistributedOptimizer;
+use crate::optimizers::{
+    asgd::InconsistentCentralized, dpsgd::DecentralizedNeighbor, dsgd::ConsistentDecentralized,
+    mavg::ModelAveraging, pssgd::ConsistentCentralized, signsgd::SignCompressedSgd,
+    sparcml::SparseDecentralized, stale::StaleSynchronous, DistributedOptimizer,
+};
 use deep500_data::sampler::{DatasetSampler, ShardedSampler};
 use deep500_data::Dataset;
 use deep500_graph::{ExecutorKind, Network};
-use deep500_metrics::CommunicationVolume;
+use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Error, Result};
+use deep500_train::sgd::GradientDescent;
+use std::fmt;
 use std::sync::Arc;
 use std::thread;
 
@@ -25,9 +52,9 @@ pub struct RankContext {
     pub comm: ThreadCommunicator,
 }
 
-/// Spawn `world` rank threads running `f`; returns per-rank results (index
-/// = rank). Any rank error aborts the whole run.
-pub fn run_distributed<T: Send + 'static>(
+/// Spawn `world` rank threads running `f`; returns per-rank results in
+/// join order. Any rank error aborts the whole run.
+fn spawn_ranks<T: Send + 'static>(
     world: usize,
     model: NetworkModel,
     f: impl Fn(RankContext) -> Result<T> + Send + Sync + Clone + 'static,
@@ -61,7 +88,19 @@ pub fn run_distributed<T: Send + 'static>(
     }
 }
 
-/// Per-rank outcome of a distributed training run.
+/// Spawn `world` rank threads running `f`; returns per-rank results (index
+/// = rank). Any rank error aborts the whole run.
+#[deprecated(note = "use DistributedRunner (or Variant::Custom) instead")]
+pub fn run_distributed<T: Send + 'static>(
+    world: usize,
+    model: NetworkModel,
+    f: impl Fn(RankContext) -> Result<T> + Send + Sync + Clone + 'static,
+) -> Result<Vec<T>> {
+    spawn_ranks(world, model, f)
+}
+
+/// Per-rank outcome of a distributed training run (legacy shape kept for
+/// the deprecated wrappers and consistency checks).
 #[derive(Debug, Clone)]
 pub struct RankResult {
     pub rank: usize,
@@ -76,19 +115,555 @@ pub struct RankResult {
 }
 
 /// Scheme factory: builds the per-rank distributed optimizer from its
-/// communicator.
+/// communicator (legacy signature over the concrete [`ThreadCommunicator`];
+/// the builder's [`Variant::Custom`] takes a boxed [`Communicator`] so it
+/// composes with fault injection).
 pub type SchemeFactory =
     Arc<dyn Fn(ThreadCommunicator) -> Box<dyn DistributedOptimizer> + Send + Sync>;
 
+/// Factory signature of [`Variant::Custom`].
+pub type CustomFactory =
+    Arc<dyn Fn(Box<dyn Communicator>) -> Box<dyn DistributedOptimizer> + Send + Sync>;
+
+/// The distributed SGD variant a [`DistributedRunner`] trains with
+/// (paper §IV-F/§V-E lineup).
+#[derive(Clone)]
+pub enum Variant {
+    /// Consistent decentralized SGD, optimized direct-buffer flavour.
+    Cdsgd,
+    /// Consistent decentralized SGD with the Python-reference conversion
+    /// penalty.
+    RefDsgd,
+    /// Fused-buffer (Horovod-style) allreduce.
+    Horovod,
+    /// Synchronous parameter server.
+    Pssgd,
+    /// Asynchronous parameter server.
+    Asgd,
+    /// Stale-synchronous parameter server.
+    StaleSynchronous {
+        /// Maximum parameter staleness (0 = fully synchronous).
+        max_staleness: u64,
+    },
+    /// Decentralized neighbor gossip.
+    Dpsgd,
+    /// Periodic model averaging.
+    Mavg {
+        /// Average parameters every this many steps.
+        period: u64,
+    },
+    /// SparCML top-k sparse allreduce.
+    SparCml {
+        /// Fraction of gradient entries kept.
+        density: f64,
+    },
+    /// signSGD with majority vote.
+    SignSgd,
+    /// A user-provided scheme factory.
+    Custom(&'static str, CustomFactory),
+}
+
+impl Variant {
+    /// Scheme name (matches the per-scheme `DistributedOptimizer::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Cdsgd => "CDSGD",
+            Variant::RefDsgd => "REF-dsgd",
+            Variant::Horovod => "Horovod",
+            Variant::Pssgd => "PSSGD",
+            Variant::Asgd => "ASGD",
+            Variant::StaleSynchronous { .. } => "StaleSyncSGD",
+            Variant::Dpsgd => "DPSGD",
+            Variant::Mavg { .. } => "MAVG",
+            Variant::SparCml { .. } => "SparCML",
+            Variant::SignSgd => "SignSGD",
+            Variant::Custom(name, _) => name,
+        }
+    }
+
+    /// Whether the variant degrades gracefully when ranks crash
+    /// (decentralized group re-formation or staleness tolerance) rather
+    /// than failing over/aborting.
+    pub fn survives_crashes(&self) -> bool {
+        matches!(
+            self,
+            Variant::Cdsgd
+                | Variant::RefDsgd
+                | Variant::Horovod
+                | Variant::Dpsgd
+                | Variant::Mavg { .. }
+                | Variant::StaleSynchronous { .. }
+        )
+    }
+
+    /// Build the per-rank scheme over `comm` with a gradient-descent base
+    /// optimizer at learning rate `lr`.
+    fn build(&self, lr: f32, comm: Box<dyn Communicator>) -> Box<dyn DistributedOptimizer> {
+        let base = Box::new(GradientDescent::new(lr));
+        match self {
+            Variant::Cdsgd => Box::new(ConsistentDecentralized::optimized(base, comm)),
+            Variant::RefDsgd => Box::new(ConsistentDecentralized::reference(base, comm)),
+            Variant::Horovod => Box::new(ConsistentDecentralized::horovod(base, comm)),
+            Variant::Pssgd => Box::new(ConsistentCentralized::new(base, comm)),
+            Variant::Asgd => Box::new(InconsistentCentralized::new(base, comm)),
+            Variant::StaleSynchronous { max_staleness } => {
+                Box::new(StaleSynchronous::new(base, comm, *max_staleness))
+            }
+            Variant::Dpsgd => Box::new(DecentralizedNeighbor::new(base, comm)),
+            Variant::Mavg { period } => Box::new(ModelAveraging::new(base, comm, *period)),
+            Variant::SparCml { density } => {
+                Box::new(SparseDecentralized::new(base, comm, *density))
+            }
+            Variant::SignSgd => Box::new(SignCompressedSgd::new(base, comm)),
+            Variant::Custom(_, factory) => factory(comm),
+        }
+    }
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Variant({})", self.name())
+    }
+}
+
+/// How a rank's run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankStatus {
+    /// All steps executed.
+    Completed,
+    /// The fault plan crashed this rank at the given step; partial results
+    /// up to the crash are reported.
+    Crashed { at_step: usize },
+    /// The rank aborted on an error (typed communication failures
+    /// included); the message carries the cause.
+    Failed(String),
+}
+
+/// Per-rank outcome of a [`DistributedRunner`] run.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    pub rank: usize,
+    pub status: RankStatus,
+    /// Loss after each completed step.
+    pub losses: Vec<f32>,
+    /// Final parameters (name → flat values) for cross-rank checks.
+    pub final_params: Vec<(String, Vec<f32>)>,
+    /// Communication counters.
+    pub volume: CommunicationVolume,
+    /// Virtual time (compute + modeled communication).
+    pub virtual_time: f64,
+    /// Fault-injection and recovery counters (zero without a plan).
+    pub faults: FaultCounters,
+}
+
+/// The outcome of a distributed training run: one report per rank, sorted
+/// by rank, plus aggregation helpers.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub ranks: Vec<RankReport>,
+}
+
+impl RunReport {
+    /// Ranks that ran to completion.
+    pub fn completed(&self) -> Vec<&RankReport> {
+        self.ranks
+            .iter()
+            .filter(|r| r.status == RankStatus::Completed)
+            .collect()
+    }
+
+    /// True when every rank completed every step.
+    pub fn all_completed(&self) -> bool {
+        self.ranks.iter().all(|r| r.status == RankStatus::Completed)
+    }
+
+    /// Ranks that aborted on an error (planned crashes excluded).
+    pub fn failed(&self) -> Vec<&RankReport> {
+        self.ranks
+            .iter()
+            .filter(|r| matches!(r.status, RankStatus::Failed(_)))
+            .collect()
+    }
+
+    /// Fault counters merged across all ranks.
+    pub fn faults(&self) -> FaultCounters {
+        let mut total = FaultCounters::new();
+        for r in &self.ranks {
+            total.merge(&r.faults);
+        }
+        total
+    }
+
+    /// Slowest completed rank's virtual time (the run's makespan).
+    pub fn makespan(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| r.virtual_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Parameter consistency across the *completed* ranks.
+    pub fn consistency(&self, tol: f32) -> ConsistencyReport {
+        consistency_over(
+            self.completed()
+                .into_iter()
+                .map(|r| (r.rank, r.final_params.as_slice())),
+            tol,
+        )
+    }
+
+    /// Collapse into the legacy per-rank results, erroring (like the old
+    /// runner) if any rank crashed or failed.
+    pub fn into_rank_results(self) -> Result<Vec<RankResult>> {
+        self.ranks
+            .into_iter()
+            .map(|r| match r.status {
+                RankStatus::Completed => Ok(RankResult {
+                    rank: r.rank,
+                    losses: r.losses,
+                    final_params: r.final_params,
+                    volume: r.volume,
+                    virtual_time: r.virtual_time,
+                }),
+                RankStatus::Crashed { at_step } => Err(Error::Communication(format!(
+                    "rank {} crashed at step {at_step}",
+                    r.rank
+                ))),
+                RankStatus::Failed(msg) => Err(Error::Communication(format!(
+                    "rank {} failed: {msg}",
+                    r.rank
+                ))),
+            })
+            .collect()
+    }
+}
+
+/// One elementwise parameter divergence between two ranks.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The diverging rank.
+    pub rank: usize,
+    /// The rank compared against (lowest checked rank).
+    pub reference_rank: usize,
+    /// Parameter name.
+    pub param: String,
+    /// Flat element index within the parameter.
+    pub index: usize,
+    /// Value on `rank`.
+    pub got: f32,
+    /// Value on `reference_rank`.
+    pub reference: f32,
+}
+
+/// Diagnostic result of a cross-rank parameter consistency check: instead
+/// of a bare boolean it names which ranks and parameters diverged, so test
+/// failures point at the culprit directly.
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    /// Tolerance the check ran with.
+    pub tol: f32,
+    /// Number of ranks compared.
+    pub ranks_checked: usize,
+    /// Largest elementwise |difference| seen.
+    pub max_abs_diff: f32,
+    /// Out-of-tolerance elements (capped at [`ConsistencyReport::MAX_RECORDED`]).
+    pub divergences: Vec<Divergence>,
+    /// Structural mismatches (parameter name/shape disagreements).
+    pub structural: Vec<String>,
+}
+
+impl ConsistencyReport {
+    /// Cap on recorded divergences (counts keep accumulating in
+    /// `max_abs_diff`).
+    pub const MAX_RECORDED: usize = 8;
+
+    /// True when every rank's parameters agree within the tolerance.
+    pub fn is_consistent(&self) -> bool {
+        self.divergences.is_empty() && self.structural.is_empty()
+    }
+}
+
+impl fmt::Display for ConsistencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_consistent() {
+            return write!(
+                f,
+                "consistent: {} ranks agree within {:e} (max |Δ| {:e})",
+                self.ranks_checked, self.tol, self.max_abs_diff
+            );
+        }
+        write!(
+            f,
+            "INCONSISTENT across {} ranks (tol {:e}, max |Δ| {:e})",
+            self.ranks_checked, self.tol, self.max_abs_diff
+        )?;
+        for s in &self.structural {
+            write!(f, "; {s}")?;
+        }
+        for d in &self.divergences {
+            write!(
+                f,
+                "; rank {} vs {}: '{}'[{}] = {} vs {}",
+                d.rank, d.reference_rank, d.param, d.index, d.got, d.reference
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Core consistency check over `(rank, params)` pairs; the first entry is
+/// the reference.
+fn consistency_over<'a>(
+    mut entries: impl Iterator<Item = (usize, &'a [(String, Vec<f32>)])>,
+    tol: f32,
+) -> ConsistencyReport {
+    let mut report = ConsistencyReport {
+        tol,
+        ranks_checked: 0,
+        max_abs_diff: 0.0,
+        divergences: Vec::new(),
+        structural: Vec::new(),
+    };
+    let Some((ref_rank, ref_params)) = entries.next() else {
+        return report;
+    };
+    report.ranks_checked = 1;
+    for (rank, params) in entries {
+        report.ranks_checked += 1;
+        if params.len() != ref_params.len() {
+            report.structural.push(format!(
+                "rank {rank} has {} params, rank {ref_rank} has {}",
+                params.len(),
+                ref_params.len()
+            ));
+            continue;
+        }
+        for ((n1, v1), (n2, v2)) in params.iter().zip(ref_params) {
+            if n1 != n2 || v1.len() != v2.len() {
+                report.structural.push(format!(
+                    "rank {rank} param '{n1}' ({} elems) vs rank {ref_rank} '{n2}' ({} elems)",
+                    v1.len(),
+                    v2.len()
+                ));
+                continue;
+            }
+            for (i, (a, b)) in v1.iter().zip(v2).enumerate() {
+                let diff = (a - b).abs();
+                report.max_abs_diff = report.max_abs_diff.max(diff);
+                if diff > tol && report.divergences.len() < ConsistencyReport::MAX_RECORDED {
+                    report.divergences.push(Divergence {
+                        rank,
+                        reference_rank: ref_rank,
+                        param: n1.clone(),
+                        index: i,
+                        got: *a,
+                        reference: *b,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Check that all ranks hold identical parameters within `tol` — the
+/// consistency property of synchronous schemes. Returns a diagnostic
+/// [`ConsistencyReport`] naming any diverging ranks/parameters; use
+/// `is_consistent()` for the boolean and `{}` formatting in assertion
+/// messages.
+pub fn ranks_consistent(results: &[RankResult], tol: f32) -> ConsistencyReport {
+    consistency_over(
+        results.iter().map(|r| (r.rank, r.final_params.as_slice())),
+        tol,
+    )
+}
+
+/// Builder for Level-3 distributed training runs (collapses the old
+/// `run_distributed` / `train_data_parallel` / `train_data_parallel_with`
+/// surface into one API).
+pub struct DistributedRunner {
+    network: Network,
+    dataset: Arc<dyn Dataset>,
+    world: usize,
+    batch: usize,
+    steps: usize,
+    seed: u64,
+    lr: f32,
+    model: NetworkModel,
+    executor: ExecutorKind,
+    variant: Variant,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl DistributedRunner {
+    /// A runner over `network` and `dataset` with defaults: 2 ranks,
+    /// per-rank batch 8, 10 steps, seed 0, lr 0.1, instant network,
+    /// reference executor, [`Variant::Cdsgd`], no faults.
+    pub fn new(network: &Network, dataset: Arc<dyn Dataset>) -> Self {
+        DistributedRunner {
+            network: network.clone_structure(),
+            dataset,
+            world: 2,
+            batch: 8,
+            steps: 10,
+            seed: 0,
+            lr: 0.1,
+            model: NetworkModel::instant(),
+            executor: ExecutorKind::Reference,
+            variant: Variant::Cdsgd,
+            faults: None,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn world(mut self, world: usize) -> Self {
+        self.world = world.max(1);
+        self
+    }
+
+    /// Per-rank minibatch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Training steps per rank.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Sampler shard seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Learning rate of the gradient-descent base optimizer.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Distributed SGD variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// α-β network model pricing every message.
+    pub fn network(mut self, model: NetworkModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Per-rank graph executor.
+    pub fn executor(mut self, kind: ExecutorKind) -> Self {
+        self.executor = kind;
+        self
+    }
+
+    /// Inject a (possibly zero-fault) [`FaultPlan`]: every rank's
+    /// communicator is wrapped in a
+    /// [`FaultyCommunicator`](crate::fault::FaultyCommunicator).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Spawn the rank threads, train, and join into a [`RunReport`].
+    ///
+    /// Planned rank crashes and per-rank communication failures are
+    /// reported in each rank's [`RankStatus`] — they do *not* abort the
+    /// run. Infrastructure errors (graph construction, sampling) do.
+    pub fn run(self) -> Result<RunReport> {
+        let DistributedRunner {
+            network,
+            dataset,
+            world,
+            batch,
+            steps,
+            seed,
+            lr,
+            model,
+            executor,
+            variant,
+            faults,
+        } = self;
+        let proto = Arc::new(network);
+        let mut ranks = spawn_ranks(world, model, move |ctx| -> Result<RankReport> {
+            let rank = ctx.rank;
+            let mut exec = executor.build(proto.clone_structure())?;
+            let mut sampler = ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
+            let comm: Box<dyn Communicator> = match &faults {
+                Some(plan) => Box::new(FaultyCommunicator::new(ctx.comm, plan.clone(), model)),
+                None => Box::new(ctx.comm),
+            };
+            let mut opt = variant.build(lr, comm);
+            let mut losses = Vec::with_capacity(steps);
+            let mut status = RankStatus::Completed;
+            for step in 0..steps {
+                match opt.begin_step(step as u64) {
+                    Ok(()) => {}
+                    Err(CommError::RankDead(r)) if r == rank => {
+                        status = RankStatus::Crashed { at_step: step };
+                        break;
+                    }
+                    Err(e) => {
+                        status = RankStatus::Failed(e.to_string());
+                        break;
+                    }
+                }
+                let mb = match sampler.next_batch()? {
+                    Some(mb) => mb,
+                    None => {
+                        sampler.reset_epoch();
+                        sampler.next_batch()?.ok_or_else(|| {
+                            Error::Invalid("empty shard: world too large for dataset".into())
+                        })?
+                    }
+                };
+                let t = std::time::Instant::now();
+                match opt.train_step(exec.as_mut(), &mb) {
+                    Ok(result) => {
+                        // Charge the measured local compute to the virtual
+                        // clock (straggler plans stretch it); the
+                        // communicator already charged the communication.
+                        opt.advance_virtual(t.elapsed().as_secs_f64());
+                        losses.push(result.loss);
+                    }
+                    Err(e) => {
+                        status = RankStatus::Failed(e.to_string());
+                        break;
+                    }
+                }
+            }
+            let final_params = exec
+                .network()
+                .get_params()
+                .iter()
+                .map(|p| Ok((p.clone(), exec.network().fetch_tensor(p)?.data().to_vec())))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(RankReport {
+                rank,
+                status,
+                losses,
+                final_params,
+                volume: opt.comm_stats(),
+                virtual_time: opt.virtual_time(),
+                faults: opt.fault_stats(),
+            })
+        })?;
+        ranks.sort_by_key(|r| r.rank);
+        Ok(RunReport { ranks })
+    }
+}
+
 /// Data-parallel distributed training (Listing 8): every rank replicates
 /// `network`, draws disjoint shards of `dataset`, and steps its scheme for
-/// `steps` iterations with per-rank batch `batch`. The virtual clock on
-/// each rank advances by the *measured* local compute time of each step.
-///
-/// Uses the [`ReferenceExecutor`](deep500_graph::ReferenceExecutor) on
-/// every rank; pick a different executor with
-/// [`train_data_parallel_with`].
-#[allow(clippy::too_many_arguments)] // experiment-configuration surface
+/// `steps` iterations with per-rank batch `batch`.
+#[deprecated(note = "use DistributedRunner::new(network, dataset).world(n)…run()")]
+#[allow(clippy::too_many_arguments)] // legacy experiment-configuration surface
 pub fn train_data_parallel(
     network: &Network,
     dataset: Arc<dyn Dataset>,
@@ -99,7 +674,8 @@ pub fn train_data_parallel(
     model: NetworkModel,
     seed: u64,
 ) -> Result<Vec<RankResult>> {
-    train_data_parallel_with(
+    #[allow(deprecated)]
+    let wrapped = train_data_parallel_with(
         ExecutorKind::Reference,
         network,
         dataset,
@@ -109,13 +685,13 @@ pub fn train_data_parallel(
         steps,
         model,
         seed,
-    )
+    );
+    wrapped
 }
 
-/// [`train_data_parallel`] with an explicit per-rank executor selection —
-/// e.g. [`ExecutorKind::Wavefront`] to run each rank's graph
-/// level-parallel on the shared rayon pool.
-#[allow(clippy::too_many_arguments)] // experiment-configuration surface
+/// [`train_data_parallel`] with an explicit per-rank executor selection.
+#[deprecated(note = "use DistributedRunner::new(network, dataset).executor(kind)…run()")]
+#[allow(clippy::too_many_arguments)] // legacy experiment-configuration surface
 pub fn train_data_parallel_with(
     executor_kind: ExecutorKind,
     network: &Network,
@@ -128,13 +704,15 @@ pub fn train_data_parallel_with(
     seed: u64,
 ) -> Result<Vec<RankResult>> {
     let proto = Arc::new(network.clone_structure());
-    run_distributed(world, model, move |ctx| {
+    let mut results = spawn_ranks(world, model, move |ctx| -> Result<RankResult> {
         let rank = ctx.rank;
-        let mut executor = executor_kind.build(proto.clone_structure())?;
+        let mut exec = executor_kind.build(proto.clone_structure())?;
         let mut sampler = ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
+        // The legacy factory takes the concrete transport endpoint.
         let mut opt = scheme(ctx.comm);
         let mut losses = Vec::with_capacity(steps);
-        for _ in 0..steps {
+        for step in 0..steps {
+            opt.begin_step(step as u64)?;
             let mb = match sampler.next_batch()? {
                 Some(mb) => mb,
                 None => {
@@ -145,22 +723,15 @@ pub fn train_data_parallel_with(
                 }
             };
             let t = std::time::Instant::now();
-            let result = opt.train_step(executor.as_mut(), &mb)?;
-            // The measured step time is charged as virtual compute; the
-            // communicator already charged the communication.
-            let _ = t.elapsed();
+            let result = opt.train_step(exec.as_mut(), &mb)?;
+            opt.advance_virtual(t.elapsed().as_secs_f64());
             losses.push(result.loss);
         }
-        let final_params = executor
+        let final_params = exec
             .network()
             .get_params()
             .iter()
-            .map(|p| {
-                Ok((
-                    p.clone(),
-                    executor.network().fetch_tensor(p)?.data().to_vec(),
-                ))
-            })
+            .map(|p| Ok((p.clone(), exec.network().fetch_tensor(p)?.data().to_vec())))
             .collect::<Result<Vec<_>>>()?;
         Ok(RankResult {
             rank,
@@ -169,43 +740,18 @@ pub fn train_data_parallel_with(
             volume: opt.comm_stats(),
             virtual_time: opt.virtual_time(),
         })
-    })
-    .map(|mut rs| {
-        rs.sort_by_key(|r| r.rank);
-        rs
-    })
-}
-
-/// Check that all ranks hold identical parameters within `tol` — the
-/// consistency property of synchronous schemes.
-pub fn ranks_consistent(results: &[RankResult], tol: f32) -> bool {
-    let Some(first) = results.first() else {
-        return true;
-    };
-    results.iter().all(|r| {
-        r.final_params
-            .iter()
-            .zip(&first.final_params)
-            .all(|((n1, v1), (n2, v2))| {
-                n1 == n2
-                    && v1.len() == v2.len()
-                    && v1.iter().zip(v2).all(|(a, b)| (a - b).abs() <= tol)
-            })
-    })
+    })?;
+    results.sort_by_key(|r| r.rank);
+    Ok(results)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizers::dpsgd::DecentralizedNeighbor;
     use crate::optimizers::dsgd::ConsistentDecentralized;
-    use crate::optimizers::mavg::ModelAveraging;
-    use crate::optimizers::pssgd::ConsistentCentralized;
-    use crate::optimizers::sparcml::SparseDecentralized;
     use deep500_data::synthetic::SyntheticDataset;
     use deep500_graph::{models, GraphExecutor, ReferenceExecutor};
     use deep500_train::optimizer::train_step;
-    use deep500_train::sgd::GradientDescent;
 
     fn dataset(n: usize) -> Arc<dyn Dataset> {
         Arc::new(SyntheticDataset::new(
@@ -223,8 +769,8 @@ mod tests {
     }
 
     #[test]
-    fn run_distributed_propagates_errors() {
-        let r: Result<Vec<()>> = run_distributed(2, NetworkModel::instant(), |ctx| {
+    fn spawn_ranks_propagates_errors() {
+        let r: Result<Vec<()>> = spawn_ranks(2, NetworkModel::instant(), |ctx| {
             if ctx.rank == 1 {
                 Err(Error::Invalid("boom".into()))
             } else {
@@ -246,15 +792,9 @@ mod tests {
 
         // Distributed run (unshuffled shards for a reproducible union).
         let proto = net();
-        let scheme: SchemeFactory = Arc::new(|comm| {
-            Box::new(ConsistentDecentralized::optimized(
-                Box::new(GradientDescent::new(0.1)),
-                Box::new(comm),
-            ))
-        });
         let proto2 = Arc::new(proto.clone_structure());
         let ds2 = ds.clone();
-        let results = run_distributed(world, NetworkModel::instant(), move |ctx| {
+        let results = spawn_ranks(world, NetworkModel::instant(), move |ctx| {
             let mut executor = ReferenceExecutor::new(proto2.clone_structure())?;
             let mut sampler = ShardedSampler::new(
                 ds2.clone(),
@@ -264,7 +804,10 @@ mod tests {
                 false, // no shuffle: shard k-th batch = strided indices
                 0,
             );
-            let mut opt = scheme(ctx.comm);
+            let mut opt = ConsistentDecentralized::optimized(
+                Box::new(GradientDescent::new(0.1)),
+                Box::new(ctx.comm),
+            );
             for _ in 0..steps {
                 let mb = sampler.next_batch()?.expect("enough data");
                 opt.train_step(&mut executor, &mb)?;
@@ -311,86 +854,47 @@ mod tests {
     }
 
     #[test]
-    fn synchronous_schemes_keep_ranks_consistent() {
-        for (name, scheme) in [
-            (
-                "dsgd",
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(ConsistentDecentralized::reference(
-                        Box::new(GradientDescent::new(0.05)),
-                        Box::new(comm),
-                    )) as Box<dyn DistributedOptimizer>
-                }) as SchemeFactory,
-            ),
-            (
-                "horovod",
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(ConsistentDecentralized::horovod(
-                        Box::new(GradientDescent::new(0.05)),
-                        Box::new(comm),
-                    )) as Box<dyn DistributedOptimizer>
-                }) as SchemeFactory,
-            ),
-            (
-                "pssgd",
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(ConsistentCentralized::new(
-                        Box::new(GradientDescent::new(0.05)),
-                        Box::new(comm),
-                    )) as Box<dyn DistributedOptimizer>
-                }) as SchemeFactory,
-            ),
-        ] {
-            let results = train_data_parallel(
-                &net(),
-                dataset(128),
-                scheme,
-                4,
-                4,
-                3,
-                NetworkModel::instant(),
-                1,
-            )
-            .unwrap();
-            assert!(ranks_consistent(&results, 1e-5), "{name}: ranks diverged");
-            assert!(results.iter().all(|r| r.volume.bytes_sent > 0));
+    fn synchronous_variants_keep_ranks_consistent() {
+        for variant in [Variant::RefDsgd, Variant::Horovod, Variant::Pssgd] {
+            let name = variant.name();
+            let report = DistributedRunner::new(&net(), dataset(128))
+                .world(4)
+                .batch(4)
+                .steps(3)
+                .seed(1)
+                .learning_rate(0.05)
+                .variant(variant)
+                .run()
+                .unwrap();
+            assert!(report.all_completed(), "{name}: all ranks complete");
+            let consistency = report.consistency(1e-5);
+            assert!(consistency.is_consistent(), "{name}: {consistency}");
+            assert!(report.ranks.iter().all(|r| r.volume.bytes_sent > 0));
+            assert_eq!(report.faults(), FaultCounters::default());
         }
     }
 
     #[test]
     fn pssgd_matches_dsgd_trajectory() {
         // Both are synchronous averaging schemes: same math, same params.
-        let mk = |centralized: bool| {
-            let scheme: SchemeFactory = if centralized {
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(ConsistentCentralized::new(
-                        Box::new(GradientDescent::new(0.1)),
-                        Box::new(comm),
-                    )) as Box<dyn DistributedOptimizer>
-                })
-            } else {
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(ConsistentDecentralized::optimized(
-                        Box::new(GradientDescent::new(0.1)),
-                        Box::new(comm),
-                    )) as Box<dyn DistributedOptimizer>
-                })
-            };
-            train_data_parallel(
-                &net(),
-                dataset(128),
-                scheme,
-                4,
-                4,
-                3,
-                NetworkModel::instant(),
-                9,
-            )
-            .unwrap()
+        let mk = |variant: Variant| {
+            DistributedRunner::new(&net(), dataset(128))
+                .world(4)
+                .batch(4)
+                .steps(3)
+                .seed(9)
+                .learning_rate(0.1)
+                .variant(variant)
+                .run()
+                .unwrap()
         };
-        let ps = mk(true);
-        let ds = mk(false);
-        for ((n1, a), (n2, b)) in ps[0].final_params.iter().zip(&ds[0].final_params) {
+        let ps = mk(Variant::Pssgd);
+        let ds = mk(Variant::Cdsgd);
+        for ((n1, a), (n2, b)) in ps.ranks[0]
+            .final_params
+            .iter()
+            .zip(&ds.ranks[0].final_params)
+        {
             assert_eq!(n1, n2);
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-4, "{n1}: {x} vs {y}");
@@ -400,43 +904,24 @@ mod tests {
 
     #[test]
     fn ps_volume_scales_with_world_but_dsgd_does_not() {
-        let vol = |scheme: SchemeFactory, world: usize| -> u64 {
-            let results = train_data_parallel(
-                &net(),
-                dataset(256),
-                scheme,
-                world,
-                2,
-                2,
-                NetworkModel::instant(),
-                3,
-            )
-            .unwrap();
-            results[0].volume.bytes_sent + results[0].volume.bytes_received
-        };
-        let ps = |_: ()| -> SchemeFactory {
-            Arc::new(|comm: ThreadCommunicator| {
-                Box::new(ConsistentCentralized::new(
-                    Box::new(GradientDescent::new(0.1)),
-                    Box::new(comm),
-                )) as Box<dyn DistributedOptimizer>
-            })
-        };
-        let dsgd = |_: ()| -> SchemeFactory {
-            Arc::new(|comm: ThreadCommunicator| {
-                Box::new(ConsistentDecentralized::optimized(
-                    Box::new(GradientDescent::new(0.1)),
-                    Box::new(comm),
-                )) as Box<dyn DistributedOptimizer>
-            })
+        let vol = |variant: Variant, world: usize| -> u64 {
+            let report = DistributedRunner::new(&net(), dataset(256))
+                .world(world)
+                .batch(2)
+                .steps(2)
+                .seed(3)
+                .variant(variant)
+                .run()
+                .unwrap();
+            report.ranks[0].volume.bytes_sent + report.ranks[0].volume.bytes_received
         };
         // PS rank-0 traffic roughly doubles from 3 to 6 workers.
-        let ps3 = vol(ps(()), 3);
-        let ps6 = vol(ps(()), 6);
+        let ps3 = vol(Variant::Pssgd, 3);
+        let ps6 = vol(Variant::Pssgd, 6);
         assert!(ps6 as f64 > ps3 as f64 * 1.8, "ps {ps3} -> {ps6}");
         // Ring allreduce per-rank traffic is ~constant (2(n-1)/n·S).
-        let d3 = vol(dsgd(()), 3);
-        let d6 = vol(dsgd(()), 6);
+        let d3 = vol(Variant::Cdsgd, 3);
+        let d6 = vol(Variant::Cdsgd, 6);
         assert!(
             (d6 as f64) < (d3 as f64) * 1.4,
             "dsgd {d3} -> {d6} should stay flat"
@@ -446,55 +931,113 @@ mod tests {
     #[test]
     fn gossip_and_mavg_and_sparse_run_and_learn() {
         // Smoke + loss-decrease check for the remaining schemes.
-        let schemes: Vec<(&str, SchemeFactory)> = vec![
-            (
-                "dpsgd",
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(DecentralizedNeighbor::new(
-                        Box::new(GradientDescent::new(0.1)),
-                        Box::new(comm),
-                    )) as Box<dyn DistributedOptimizer>
-                }),
-            ),
-            (
-                "mavg",
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(ModelAveraging::new(
-                        Box::new(GradientDescent::new(0.1)),
-                        Box::new(comm),
-                        2,
-                    )) as Box<dyn DistributedOptimizer>
-                }),
-            ),
-            (
-                "sparcml",
-                Arc::new(|comm: ThreadCommunicator| {
-                    Box::new(SparseDecentralized::new(
-                        Box::new(GradientDescent::new(0.1)),
-                        Box::new(comm),
-                        0.25,
-                    )) as Box<dyn DistributedOptimizer>
-                }),
-            ),
-        ];
-        for (name, scheme) in schemes {
-            let results = train_data_parallel(
-                &net(),
-                dataset(512),
-                scheme,
-                4,
-                8,
-                40,
-                NetworkModel::aries(),
-                5,
-            )
-            .unwrap();
-            for r in &results {
+        for variant in [
+            Variant::Dpsgd,
+            Variant::Mavg { period: 2 },
+            Variant::SparCml { density: 0.25 },
+        ] {
+            let name = variant.name();
+            let report = DistributedRunner::new(&net(), dataset(512))
+                .world(4)
+                .batch(8)
+                .steps(40)
+                .seed(5)
+                .variant(variant)
+                .network(NetworkModel::aries())
+                .run()
+                .unwrap();
+            assert!(report.all_completed(), "{name}");
+            for r in &report.ranks {
                 // Noisy minibatch losses: compare head/tail averages.
                 let head: f32 = r.losses[..5].iter().sum::<f32>() / 5.0;
                 let tail: f32 = r.losses[r.losses.len() - 5..].iter().sum::<f32>() / 5.0;
                 assert!(tail < head, "{name} rank {}: loss {head} -> {tail}", r.rank);
                 assert!(r.virtual_time > 0.0, "{name}: virtual time tracked");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_wrappers_still_work() {
+        #![allow(deprecated)]
+        let scheme: SchemeFactory = Arc::new(|comm: ThreadCommunicator| {
+            Box::new(ConsistentDecentralized::optimized(
+                Box::new(GradientDescent::new(0.05)),
+                Box::new(comm),
+            )) as Box<dyn DistributedOptimizer>
+        });
+        let results = train_data_parallel(
+            &net(),
+            dataset(128),
+            scheme,
+            3,
+            4,
+            2,
+            NetworkModel::instant(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 3);
+        let consistency = ranks_consistent(&results, 1e-5);
+        assert!(consistency.is_consistent(), "{consistency}");
+    }
+
+    #[test]
+    fn consistency_report_names_the_divergence() {
+        let mk = |rank: usize, v: f32| RankResult {
+            rank,
+            losses: vec![],
+            final_params: vec![("w".into(), vec![1.0, v])],
+            volume: CommunicationVolume::default(),
+            virtual_time: 0.0,
+        };
+        let good = ranks_consistent(&[mk(0, 2.0), mk(1, 2.0)], 1e-6);
+        assert!(good.is_consistent());
+        let bad = ranks_consistent(&[mk(0, 2.0), mk(1, 2.5)], 1e-6);
+        assert!(!bad.is_consistent());
+        assert_eq!(bad.divergences.len(), 1);
+        let d = &bad.divergences[0];
+        assert_eq!((d.rank, d.reference_rank, d.index), (1, 0, 1));
+        assert_eq!(d.param, "w");
+        let msg = format!("{bad}");
+        assert!(msg.contains("'w'[1]"), "{msg}");
+        assert!(msg.contains("INCONSISTENT"), "{msg}");
+        // Structural mismatches are diagnosed, not panicked on.
+        let odd = RankResult {
+            rank: 2,
+            losses: vec![],
+            final_params: vec![("b".into(), vec![0.0])],
+            volume: CommunicationVolume::default(),
+            virtual_time: 0.0,
+        };
+        let mixed = ranks_consistent(&[mk(0, 2.0), odd], 1e-6);
+        assert!(!mixed.is_consistent());
+        assert!(!mixed.structural.is_empty());
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut runner = DistributedRunner::new(&net(), dataset(128))
+                .world(4)
+                .batch(4)
+                .steps(3)
+                .seed(7)
+                .variant(Variant::Cdsgd);
+            if let Some(p) = plan {
+                runner = runner.faults(p);
+            }
+            runner.run().unwrap()
+        };
+        let plain = run(None);
+        let wrapped = run(Some(FaultPlan::seeded(123)));
+        assert!(wrapped.all_completed());
+        assert_eq!(wrapped.faults(), FaultCounters::default());
+        for (a, b) in plain.ranks.iter().zip(&wrapped.ranks) {
+            assert_eq!(a.losses, b.losses, "losses must be bit-identical");
+            for ((n1, v1), (n2, v2)) in a.final_params.iter().zip(&b.final_params) {
+                assert_eq!(n1, n2);
+                assert_eq!(v1, v2, "params must be bit-identical ({n1})");
             }
         }
     }

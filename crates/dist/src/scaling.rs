@@ -263,6 +263,66 @@ pub fn strong_scaling(
     out
 }
 
+/// Expected transmissions per delivered message under i.i.d. drop
+/// probability `p` with up to `k` retransmissions — the truncated
+/// geometric series `E = (1 − p^{k+1}) / (1 − p)`.
+pub fn expected_attempts(p: f64, k: u32) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return (k + 1) as f64;
+    }
+    (1.0 - p.powi(k as i32 + 1)) / (1.0 - p)
+}
+
+/// [`simulate_step`] under a lossy network: every message drops with
+/// probability `drop_rate` and is retransmitted up to `max_retries` times,
+/// so communication time and volume scale by [`expected_attempts`]. A
+/// message that exhausts its budget is permanently lost (probability
+/// `p^{k+1}`); the synchronous centralized schedules (TF-PS, PSSGD, ASGD)
+/// cannot complete a step without every message, so they abort once the
+/// expected permanent losses per step (≈ `2n` messages) become
+/// non-negligible. Loss-tolerant schedules degrade in time only.
+pub fn simulate_step_faulty(
+    scheme: Scheme,
+    nodes: usize,
+    per_node_batch: usize,
+    w: &WorkloadModel,
+    net: &NetworkModel,
+    drop_rate: f64,
+    max_retries: u32,
+) -> ScalingPoint {
+    let base = simulate_step(scheme, nodes, per_node_batch, w, net);
+    if base.throughput.is_none() || drop_rate <= 0.0 {
+        return base;
+    }
+    let attempts = expected_attempts(drop_rate, max_retries);
+    let loss_p = drop_rate.powi(max_retries as i32 + 1);
+    let centralized = matches!(scheme, Scheme::TfPs | Scheme::RefPssgd | Scheme::RefAsgd);
+    if centralized && 2.0 * nodes as f64 * loss_p > 0.1 {
+        return ScalingPoint {
+            scheme,
+            nodes,
+            throughput: None,
+            sent_bytes_per_step: 0,
+            step_time_s: f64::INFINITY,
+            note: Some("retry budget exhausted (dropped synchronous message)"),
+        };
+    }
+    let compute = per_node_batch as f64 * w.compute_s_per_image;
+    let comm = (base.step_time_s - compute).max(0.0);
+    let step_time = compute + comm * attempts;
+    ScalingPoint {
+        scheme,
+        nodes,
+        throughput: Some(nodes as f64 * per_node_batch as f64 / step_time),
+        sent_bytes_per_step: (base.sent_bytes_per_step as f64 * attempts) as u64,
+        step_time_s: step_time,
+        note: None,
+    }
+}
+
 /// Weak scaling: a fixed per-node minibatch (1–256 nodes in the paper).
 pub fn weak_scaling(
     schemes: &[Scheme],
@@ -398,5 +458,41 @@ mod tests {
         assert_eq!(Scheme::Cdsgd.label(), "CDSGD");
         assert!(Scheme::strong_set().len() >= 8);
         assert_eq!(Scheme::weak_set().len(), 4);
+    }
+
+    #[test]
+    fn expected_attempts_is_the_truncated_geometric_series() {
+        assert_eq!(expected_attempts(0.0, 5), 1.0);
+        assert_eq!(expected_attempts(0.5, 0), 1.0); // no retries: one shot
+        assert!((expected_attempts(0.5, 1) - 1.5).abs() < 1e-12);
+        assert!((expected_attempts(0.5, 2) - 1.75).abs() < 1e-12);
+        // Monotone in both the drop rate and the retry budget.
+        assert!(expected_attempts(0.3, 3) > expected_attempts(0.1, 3));
+        assert!(expected_attempts(0.3, 5) > expected_attempts(0.3, 1));
+        // k → ∞ limit is 1/(1−p).
+        assert!((expected_attempts(0.25, 60) - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulty_step_degrades_gracefully_or_aborts() {
+        let w = WorkloadModel::default();
+        let net = NetworkModel::aries();
+        let clean = simulate_step(Scheme::Cdsgd, 16, 128, &w, &net);
+        // Zero drop rate is exactly the fault-free model.
+        let zero = simulate_step_faulty(Scheme::Cdsgd, 16, 128, &w, &net, 0.0, 3);
+        assert_eq!(zero.step_time_s, clean.step_time_s);
+        // Drops cost time and retransmitted bytes, but the ring completes.
+        let lossy = simulate_step_faulty(Scheme::Cdsgd, 16, 128, &w, &net, 0.3, 3);
+        assert!(lossy.throughput.unwrap() < clean.throughput.unwrap());
+        assert!(lossy.sent_bytes_per_step > clean.sent_bytes_per_step);
+        // A synchronous PS without a retry budget loses messages for good
+        // and aborts with a note instead of fabricating a throughput.
+        let ps = simulate_step_faulty(Scheme::RefPssgd, 16, 128, &w, &net, 0.3, 0);
+        assert!(ps.throughput.is_none());
+        assert!(ps.note.unwrap().contains("retry budget"));
+        // With a deep retry budget the same scheme survives, slower.
+        let ps_retry = simulate_step_faulty(Scheme::RefPssgd, 16, 128, &w, &net, 0.3, 8);
+        let ps_clean = simulate_step(Scheme::RefPssgd, 16, 128, &w, &net);
+        assert!(ps_retry.throughput.unwrap() < ps_clean.throughput.unwrap());
     }
 }

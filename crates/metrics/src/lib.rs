@@ -25,6 +25,7 @@
 pub mod comm;
 pub mod energy;
 pub mod event;
+pub mod fault;
 pub mod flops;
 pub mod heatmap;
 pub mod norms;
@@ -36,6 +37,7 @@ pub mod variance;
 pub use comm::CommunicationVolume;
 pub use energy::{EnergyMetric, PowerModel};
 pub use event::{Event, EventList, Phase};
+pub use fault::FaultCounters;
 pub use flops::FlopsMetric;
 pub use heatmap::Heatmap;
 pub use report::Table;

@@ -4,18 +4,14 @@
 //! with the right distributed scheme."
 //!
 //! Four simulated nodes (real threads, real messages, virtual-time network
-//! model) train the same model with four different schemes.
+//! model) train the same model with four different schemes, then the same
+//! run is repeated under a seeded fault plan (10% message drops) to show
+//! the recovery machinery.
 //!
 //! Run with: `cargo run --release --example distributed_training`
 
-use deep500::dist::comm::ThreadCommunicator;
-use deep500::dist::optimizers::dpsgd::DecentralizedNeighbor;
-use deep500::dist::optimizers::dsgd::ConsistentDecentralized;
-use deep500::dist::optimizers::pssgd::ConsistentCentralized;
-use deep500::dist::optimizers::sparcml::SparseDecentralized;
-use deep500::dist::optimizers::DistributedOptimizer;
-use deep500::dist::runner::{ranks_consistent, train_data_parallel, SchemeFactory};
-use deep500::dist::NetworkModel;
+use deep500::dist::runner::{DistributedRunner, Variant};
+use deep500::dist::{FaultPlan, NetworkModel};
 use deep500::prelude::*;
 use std::sync::Arc;
 
@@ -37,43 +33,19 @@ fn main() {
     // The paper's Listing 8, scheme by scheme. Every scheme wraps the same
     // base optimizer (plain SGD) — distribution is orthogonal to the
     // update rule.
-    let schemes: Vec<(&str, SchemeFactory)> = vec![
+    let schemes: Vec<(&str, Variant)> = vec![
         (
             "ConsistentDecentralized (DSGD, ring allreduce)",
-            Arc::new(|comm: ThreadCommunicator| {
-                Box::new(ConsistentDecentralized::optimized(
-                    Box::new(GradientDescent::new(0.1)),
-                    Box::new(comm),
-                )) as Box<dyn DistributedOptimizer>
-            }),
+            Variant::Cdsgd,
         ),
         (
             "ConsistentCentralized (PSSGD, parameter server)",
-            Arc::new(|comm: ThreadCommunicator| {
-                Box::new(ConsistentCentralized::new(
-                    Box::new(GradientDescent::new(0.1)),
-                    Box::new(comm),
-                )) as Box<dyn DistributedOptimizer>
-            }),
+            Variant::Pssgd,
         ),
-        (
-            "DecentralizedNeighbor (DPSGD, ring gossip)",
-            Arc::new(|comm: ThreadCommunicator| {
-                Box::new(DecentralizedNeighbor::new(
-                    Box::new(GradientDescent::new(0.1)),
-                    Box::new(comm),
-                )) as Box<dyn DistributedOptimizer>
-            }),
-        ),
+        ("DecentralizedNeighbor (DPSGD, ring gossip)", Variant::Dpsgd),
         (
             "SparseDecentralized (SparCML, top-10% gradients)",
-            Arc::new(|comm: ThreadCommunicator| {
-                Box::new(SparseDecentralized::new(
-                    Box::new(GradientDescent::new(0.1)),
-                    Box::new(comm),
-                    0.10,
-                )) as Box<dyn DistributedOptimizer>
-            }),
+            Variant::SparCml { density: 0.10 },
         ),
     ];
 
@@ -88,29 +60,56 @@ fn main() {
             "consistent",
         ],
     );
-    for (name, scheme) in schemes {
-        let results = train_data_parallel(
-            &network,
-            dataset.clone(),
-            scheme,
-            WORLD,
-            BATCH,
-            STEPS,
-            NetworkModel::aries(),
-            3,
-        )
-        .unwrap();
-        let r0 = &results[0];
+    for (name, variant) in &schemes {
+        let report = DistributedRunner::new(&network, dataset.clone())
+            .world(WORLD)
+            .batch(BATCH)
+            .steps(STEPS)
+            .seed(3)
+            .learning_rate(0.1)
+            .variant(variant.clone())
+            .network(NetworkModel::aries())
+            .run()
+            .unwrap();
+        let r0 = &report.ranks[0];
         table.row(&[
             name.to_string(),
             format!("{:.3}", r0.losses.first().unwrap()),
             format!("{:.3}", r0.losses.last().unwrap()),
             deep500::metrics::report::fmt_bytes(r0.volume.bytes_sent),
             format!("{:.1} ms", r0.virtual_time * 1e3),
-            format!("{}", ranks_consistent(&results, 1e-5)),
+            format!("{}", report.consistency(1e-5).is_consistent()),
         ]);
     }
     table.print();
+
+    // The same decentralized run under a seeded fault plan: 10% of
+    // messages drop (with up to 3 retries priced through the network
+    // model) and rank 3 crashes at step 10 — survivors re-form the ring
+    // and keep training.
+    let report = DistributedRunner::new(&network, dataset.clone())
+        .world(WORLD)
+        .batch(BATCH)
+        .steps(STEPS)
+        .seed(3)
+        .learning_rate(0.1)
+        .variant(Variant::Cdsgd)
+        .network(NetworkModel::aries())
+        .faults(FaultPlan::seeded(42).with_drops(0.10, 3).with_crash(3, 10))
+        .run()
+        .unwrap();
+    let f = report.faults();
+    println!(
+        "\nCDSGD under faults (drop 10%, rank 3 crashes at step 10):\n  \
+         completed ranks: {}/{WORLD}, drops {}, retries {}, recoveries {},\n  \
+         recovery virtual time {:.2} ms, survivor consistency: {}",
+        report.completed().len(),
+        f.drops_injected,
+        f.retries,
+        f.recoveries,
+        f.recovery_virtual_s * 1e3,
+        report.consistency(1e-5).is_consistent(),
+    );
     println!(
         "\nNote: DSGD/PSSGD keep all ranks bit-consistent; DPSGD gossip and\n\
          SparCML sparsification trade consistency/volume for speed, as in\n\

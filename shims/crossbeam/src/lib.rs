@@ -13,6 +13,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`]: the channel is merely
+    /// empty, or every sender has hung up (matches crossbeam's shape —
+    /// fault-tolerant callers need to tell the two apart).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
     /// Sending half of an unbounded channel.
     pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -38,8 +47,11 @@ pub mod channel {
             self.0.recv().map_err(|_| RecvError)
         }
 
-        pub fn try_recv(&self) -> Option<T> {
-            self.0.try_recv().ok()
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
     }
 
@@ -62,6 +74,16 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(6));
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
 
         #[test]
