@@ -70,7 +70,12 @@ fn main() {
     let a = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
     let mut base = 0.0;
-    for algo in [Algorithm::Naive, Algorithm::Blocked, Algorithm::Parallel] {
+    for algo in [
+        Algorithm::Naive,
+        Algorithm::Blocked,
+        Algorithm::Parallel,
+        Algorithm::Packed,
+    ] {
         let s = measure(|| matmul(algo, &a, &b).unwrap());
         if base == 0.0 {
             base = s.median;

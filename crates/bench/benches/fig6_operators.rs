@@ -231,16 +231,25 @@ fn main() {
         );
     }
 
-    // GEMM algorithm correctness.
-    let mut errs = Vec::new();
-    for g in gemm_suite() {
-        let (a, b) = gemm_inputs(&g, &mut rng);
-        let reference = deep500::ops::gemm::matmul(Algorithm::Naive, &a, &b).unwrap();
-        let fast = deep500::ops::gemm::matmul(Algorithm::Parallel, &a, &b).unwrap();
-        errs.push(linf_diff(fast.data(), reference.data()));
+    // GEMM algorithm correctness: every fast tier against the naive
+    // reference. The packed tier's register-tiled accumulation gives it a
+    // genuinely different rounding profile than the blocked tiers.
+    for (name, algo) in [
+        ("blocked", Algorithm::Blocked),
+        ("parallel", Algorithm::Parallel),
+        ("packed", Algorithm::Packed),
+    ] {
+        let mut errs = Vec::new();
+        for g in gemm_suite() {
+            let (a, b) = gemm_inputs(&g, &mut rng);
+            let reference = deep500::ops::gemm::matmul(Algorithm::Naive, &a, &b).unwrap();
+            let fast = deep500::ops::gemm::matmul(algo, &a, &b).unwrap();
+            errs.push(linf_diff(fast.data(), reference.data()));
+        }
+        println!(
+            "  {:>9} GEMM vs naive: median l-inf = {:.2e}",
+            name,
+            median(&errs)
+        );
     }
-    println!(
-        "  parallel GEMM vs naive: median l-inf = {:.2e}",
-        median(&errs)
-    );
 }

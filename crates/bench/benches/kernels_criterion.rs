@@ -9,10 +9,19 @@ use deep500::dist::collectives::{allreduce_flat, allreduce_ring};
 use deep500::dist::comm::{Communicator, ThreadTransport};
 use deep500::dist::NetworkModel;
 use deep500::ops::conv::{Conv2dOp, ConvAlgorithm};
-use deep500::ops::gemm::{matmul, Algorithm};
+use deep500::ops::deepbench::GemmSize;
+use deep500::ops::gemm::{gemm_into, matmul, Algorithm};
 use deep500::ops::Operator;
 use deep500::prelude::*;
 use std::hint::black_box;
+use std::time::Instant;
+
+const TIERS: [Algorithm; 4] = [
+    Algorithm::Naive,
+    Algorithm::Blocked,
+    Algorithm::Parallel,
+    Algorithm::Packed,
+];
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_256");
@@ -20,7 +29,7 @@ fn bench_gemm(c: &mut Criterion) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(1);
     let a = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
-    for algo in [Algorithm::Naive, Algorithm::Blocked, Algorithm::Parallel] {
+    for algo in TIERS {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{algo:?}")),
             &algo,
@@ -28,6 +37,81 @@ fn bench_gemm(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// DeepBench-shape GEMM sweep across all four algorithm tiers, recording
+/// GFLOP/s per (shape, tier) into `BENCH_gemm.json` at the repo root — the
+/// perf anchor for the packed-microkernel work (EXPERIMENTS.md §E16).
+/// Timed manually (criterion's per-sample statistics are overkill at these
+/// problem sizes); set `D5_GEMM_SWEEP=0` to skip, as the CI smoke job does.
+fn bench_gemm_sweep(_c: &mut Criterion) {
+    if std::env::var("D5_GEMM_SWEEP")
+        .map(|v| v == "0")
+        .unwrap_or(false)
+    {
+        println!("gemm_sweep: skipped (D5_GEMM_SWEEP=0)");
+        return;
+    }
+    // Shape diversity from the DeepBench training suite (tall-skinny, wide,
+    // square) plus the 1024^3 acceptance shape for the packed tier.
+    let shapes = [
+        GemmSize::new(2560, 64, 2560), // paper's highlighted Fig. 6b shape
+        GemmSize::new(4096, 16, 512),
+        GemmSize::new(128, 1024, 128),
+        GemmSize::new(512, 512, 512),
+        GemmSize::new(1024, 1024, 64),
+        GemmSize::new(1024, 1024, 1024),
+    ];
+    let mut rng = Xoshiro256StarStar::seed_from_u64(16);
+    let mut rows = Vec::new();
+    println!("gemm_sweep: GFLOP/s per tier");
+    println!(
+        "{:>24} {:>9} {:>9} {:>9} {:>9}",
+        "M x N x K", "Naive", "Blocked", "Parallel", "Packed"
+    );
+    for g in shapes {
+        let a = Tensor::rand_uniform([g.m, g.k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([g.k, g.n], -1.0, 1.0, &mut rng);
+        let mut c = vec![0.0f32; g.m * g.n];
+        let mut rates = Vec::new();
+        for algo in TIERS {
+            // One warmup, then repeat until >= 0.4 s of measured work
+            // (capped) so fast tiers get stable averages without naive
+            // tiers taking minutes.
+            gemm_into(algo, g.m, g.n, g.k, a.data(), b.data(), &mut c);
+            let (mut reps, mut total) = (0u32, 0.0f64);
+            while total < 0.4 && reps < 20 {
+                c.iter_mut().for_each(|v| *v = 0.0);
+                let t0 = Instant::now();
+                gemm_into(algo, g.m, g.n, g.k, a.data(), b.data(), &mut c);
+                total += t0.elapsed().as_secs_f64();
+                reps += 1;
+            }
+            black_box(&c);
+            rates.push(g.flops() / (total / reps as f64) / 1e9);
+        }
+        println!(
+            "{:>24} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            format!("{} x {} x {}", g.m, g.n, g.k),
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[3]
+        );
+        rows.push(format!(
+            "    {{\"m\": {}, \"n\": {}, \"k\": {}, \"naive\": {:.3}, \"blocked\": {:.3}, \"parallel\": {:.3}, \"packed\": {:.3}}}",
+            g.m, g.n, g.k, rates[0], rates[1], rates[2], rates[3]
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"gemm_sweep\",\n  \"unit\": \"GFLOP/s\",\n  \"tiers\": [\"naive\", \"blocked\", \"parallel\", \"packed\"],\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("gemm_sweep: wrote {path}"),
+        Err(e) => eprintln!("gemm_sweep: could not write {path}: {e}"),
+    }
 }
 
 fn bench_conv(c: &mut Criterion) {
@@ -106,6 +190,7 @@ fn bench_collectives(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemm,
+    bench_gemm_sweep,
     bench_conv,
     bench_codec,
     bench_collectives

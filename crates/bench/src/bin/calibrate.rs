@@ -25,7 +25,7 @@ fn main() {
     println!("GEMM {}x{}x{} (Fig. 6b highlight):", g.m, g.n, g.k);
     let a = Tensor::rand_uniform([g.m, g.k], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform([g.k, g.n], -1.0, 1.0, &mut rng);
-    for algo in [Algorithm::Blocked, Algorithm::Parallel] {
+    for algo in [Algorithm::Blocked, Algorithm::Parallel, Algorithm::Packed] {
         let t = Timer::start();
         let _ = matmul(algo, &a, &b).unwrap();
         println!(

@@ -47,7 +47,7 @@ impl FrameworkProfile {
             dispatch_work: 0,
             input_copies: false,
             split_concat_copy_passes: 0,
-            gemm_algo: Algorithm::Parallel,
+            gemm_algo: Algorithm::Packed,
             conv_algo: ConvAlgorithm::Im2col,
             fused_optimizers: true,
         }
@@ -61,7 +61,7 @@ impl FrameworkProfile {
             dispatch_work: 4_000,
             input_copies: false,
             split_concat_copy_passes: 0,
-            gemm_algo: Algorithm::Parallel,
+            gemm_algo: Algorithm::Packed,
             conv_algo: ConvAlgorithm::Im2col,
             fused_optimizers: true,
         }
@@ -75,7 +75,7 @@ impl FrameworkProfile {
             dispatch_work: 12_000,
             input_copies: false,
             split_concat_copy_passes: 0,
-            gemm_algo: Algorithm::Parallel,
+            gemm_algo: Algorithm::Packed,
             conv_algo: ConvAlgorithm::Im2col,
             fused_optimizers: true,
         }
@@ -83,7 +83,10 @@ impl FrameworkProfile {
 
     /// TensorFlow-like: heaviest runtime — general tensor operators with
     /// input copies, expensive split/concat, composed (non-fused)
-    /// optimizer updates.
+    /// optimizer updates. Keeps the row-panel `Parallel` GEMM (not the
+    /// packed microkernel), modelling a backend with a different BLAS — so
+    /// the cross-framework l-inf comparison sees a genuinely different
+    /// accumulation order.
     pub fn tensorflow() -> Self {
         FrameworkProfile {
             name: "tensorflow",
@@ -131,6 +134,7 @@ impl FrameworkProfile {
             Algorithm::Naive => "naive",
             Algorithm::Blocked => "blocked",
             Algorithm::Parallel => "parallel",
+            Algorithm::Packed => "packed",
         }
     }
 }
@@ -174,7 +178,8 @@ mod tests {
     #[test]
     fn attr_names_roundtrip_through_registry_conventions() {
         assert_eq!(FrameworkProfile::deepbench().conv_algo_attr(), "im2col");
-        assert_eq!(FrameworkProfile::deepbench().gemm_algo_attr(), "parallel");
+        assert_eq!(FrameworkProfile::deepbench().gemm_algo_attr(), "packed");
+        assert_eq!(FrameworkProfile::tensorflow().gemm_algo_attr(), "parallel");
         assert_eq!(FrameworkProfile::all().len(), 4);
     }
 }

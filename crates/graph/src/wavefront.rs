@@ -31,6 +31,13 @@
 //! operator outputs inside a [`with_pool`] scope and the executor recycles
 //! the pass environment at the end of each pass, so steady-state training
 //! reuses activation and gradient storage instead of hitting the allocator.
+//!
+//! Operators are instantiated through the registry, so GEMM-backed nodes
+//! (MatMul/Linear/im2col conv) default to the packed SIMD microkernel
+//! (`deep500_ops::gemm::Algorithm::Packed`) unless a node's `algorithm`
+//! attribute overrides it. Forward-pass throughput per node is tracked and
+//! exposed via [`WavefrontExecutor::op_gflops`] for Level-0-style per-op
+//! roofline comparisons.
 
 use crate::executor::{GraphExecutor, MemoryAccountant, ReferenceExecutor};
 use crate::network::{Network, NodeId};
@@ -119,6 +126,9 @@ pub struct WavefrontExecutor {
     /// Max nodes of a level dispatched concurrently (0 = rayon pool width).
     threads: usize,
     pass_counter: usize,
+    /// Per-node forward totals: node id -> (declared FLOPs, seconds),
+    /// accumulated across passes for [`Self::op_gflops`].
+    op_totals: HashMap<NodeId, (f64, f64)>,
 }
 
 impl WavefrontExecutor {
@@ -145,6 +155,7 @@ impl WavefrontExecutor {
             pool: Arc::new(BufferPool::new()),
             threads: 0,
             pass_counter: 0,
+            op_totals: HashMap::new(),
         })
     }
 
@@ -164,6 +175,29 @@ impl WavefrontExecutor {
     /// Buffer-pool effectiveness counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Achieved forward throughput per node, `(node name, GFLOP/s)`,
+    /// aggregated over all forward passes so far. Nodes whose operators
+    /// declare no FLOPs (reshapes, losses) report 0. This is the per-op
+    /// half of the paper's Level-0 measurements, surfaced from the
+    /// executor so framework-level runs can attribute time to kernels.
+    pub fn op_gflops(&self) -> Vec<(String, f64)> {
+        let mut rates: Vec<(String, f64)> = self
+            .op_totals
+            .iter()
+            .filter_map(|(id, &(flops, seconds))| {
+                let node = self.network.node(*id)?;
+                let rate = if seconds > 0.0 {
+                    flops / seconds / 1e9
+                } else {
+                    0.0
+                };
+                Some((node.name.clone(), rate))
+            })
+            .collect();
+        rates.sort_by(|a, b| a.0.cmp(&b.0));
+        rates
     }
 
     /// Re-derive operators, order, and levels after a graph transformation
@@ -221,7 +255,7 @@ impl WavefrontExecutor {
         let pool = &self.pool;
         for level in &self.levels {
             for group in level.chunks(width) {
-                let run = |id: NodeId| -> Result<(Vec<Tensor>, f64)> {
+                let run = |id: NodeId| -> Result<(Vec<Tensor>, f64, f64)> {
                     let node = network.node(id).expect("live node");
                     let op = ops.get(&id).expect("instantiated op");
                     let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
@@ -234,6 +268,7 @@ impl WavefrontExecutor {
                     }
                     let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
                     let workspace = op.workspace_bytes(&shapes);
+                    let flops = op.flops(&shapes);
                     memory.allocate(workspace)?;
                     let start = std::time::Instant::now();
                     let outputs = with_pool(pool, || op.forward(&input_refs));
@@ -243,16 +278,19 @@ impl WavefrontExecutor {
                     for t in &outputs {
                         memory.allocate(t.size_bytes())?;
                     }
-                    Ok((outputs, seconds))
+                    Ok((outputs, seconds, flops))
                 };
-                let results: Vec<Result<(Vec<Tensor>, f64)>> = if group.len() == 1 {
+                let results: Vec<Result<(Vec<Tensor>, f64, f64)>> = if group.len() == 1 {
                     vec![run(group[0])]
                 } else {
                     group.par_iter().map(|&id| run(id)).collect()
                 };
                 for (&id, result) in group.iter().zip(results) {
-                    let (outputs, seconds) = result?;
+                    let (outputs, seconds, flops) = result?;
                     self.events.span(Phase::OperatorForward, id.0, seconds);
+                    let totals = self.op_totals.entry(id).or_insert((0.0, 0.0));
+                    totals.0 += flops;
+                    totals.1 += seconds;
                     let node = self.network.node(id).expect("live node");
                     for (tensor, name) in outputs.into_iter().zip(node.outputs.clone()) {
                         env.insert(name, tensor);
@@ -560,6 +598,28 @@ mod tests {
         let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]); // 16 bytes
         let err = ex.inference(&[("x", x)]).unwrap_err();
         assert!(matches!(err, Error::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn op_gflops_reports_matmul_throughput() {
+        let mut net = Network::new("mm");
+        net.add_input("a");
+        net.add_input("b");
+        net.add_node("mm", "MatMul", Attributes::new(), &["a", "b"], &["y"])
+            .unwrap();
+        net.add_output("y");
+        let mut ex = WavefrontExecutor::new(net).unwrap();
+        let a = Tensor::ones([64, 64]);
+        let b = Tensor::ones([64, 64]);
+        ex.inference(&[("a", a), ("b", b)]).unwrap();
+        let rates = ex.op_gflops();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "mm");
+        assert!(
+            rates[0].1 > 0.0 && rates[0].1.is_finite(),
+            "rate {}",
+            rates[0].1
+        );
     }
 
     #[test]

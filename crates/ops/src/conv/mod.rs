@@ -157,15 +157,17 @@ impl Operator for Conv2dOp {
     }
     fn workspace_bytes(&self, s: &[&Shape]) -> usize {
         // Models a framework-style whole-batch lowering buffer: im2col
-        // materializes [N * C*kh*kw * Ho*Wo] floats; Winograd keeps
-        // transformed tiles (16/4 floats per output element per channel).
-        // This batch-proportional workspace is exactly what the micro-batch
-        // transformation (Fig. 7) reduces. Direct convolution needs none.
+        // materializes [N * C*kh*kw * Ho*Wo] floats; Winograd keeps the
+        // transformed input tiles V[16][C x T] plus the GEMM products
+        // M[16][Co x T] (4 floats per output element per channel on each
+        // side). This batch-proportional workspace is exactly what the
+        // micro-batch transformation (Fig. 7) reduces. Direct convolution
+        // needs none.
         match self.dims(s[0], s[1]) {
-            Ok((n, c, _, _, _co, kh, kw, ho, wo)) => match self.algo {
+            Ok((n, c, _, _, co, kh, kw, ho, wo)) => match self.algo {
                 ConvAlgorithm::Direct => 0,
                 ConvAlgorithm::Im2col => n * c * kh * kw * ho * wo * 4,
-                ConvAlgorithm::Winograd => n * c * ho * wo * 4 * 4,
+                ConvAlgorithm::Winograd => n * (c + co) * ho * wo * 4 * 4,
             },
             Err(_) => 0,
         }
@@ -284,10 +286,20 @@ pub fn forward_im2col(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Re
         .par_chunks_mut(co * cols)
         .enumerate()
         .for_each(|(img, optr)| {
-            let mut col = vec![0.0f32; k * cols];
+            let mut col = deep500_tensor::scratch_zeroed(k * cols);
             im2col_image(xd, img, c, h, wd, kh, kw, ho, wo, g, &mut col);
-            // W [co x k] * col [k x cols] -> out [co x cols]
-            gemm::gemm(gemm::Algorithm::Blocked, co, cols, k, wdat, &col, optr);
+            // W [co x k] * col [k x cols] -> out [co x cols]; `optr` comes
+            // from Tensor::zeros, so the zeroed-C gemm_into contract holds.
+            gemm::gemm_into(
+                gemm::Algorithm::default(),
+                co,
+                cols,
+                k,
+                wdat,
+                &col[..k * cols],
+                optr,
+            );
+            deep500_tensor::recycle_scratch(col);
             for oc in 0..co {
                 let bias = bd[oc];
                 for v in &mut optr[oc * cols..(oc + 1) * cols] {

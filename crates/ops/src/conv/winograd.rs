@@ -14,7 +14,8 @@
 //! ℓ∞ norm instead of bit equality.
 
 use super::ConvGeometry;
-use deep500_tensor::{Result, Tensor};
+use crate::gemm;
+use deep500_tensor::{recycle_scratch, scratch_zeroed, Result, Tensor};
 use rayon::prelude::*;
 
 /// `Bᵀ d B` for a 4×4 tile `d` (input transform).
@@ -81,6 +82,18 @@ fn output_transform(m: &[f32; 16]) -> [f32; 4] {
 
 /// Winograd F(2×2,3×3) forward convolution for stride-1 3×3 kernels,
 /// arbitrary symmetric padding. Parallel over images.
+///
+/// Formulated as 16 batched tile GEMMs (Lavin & Gray §4): with `T` tiles
+/// per image and `e` ranging over the 16 Winograd-domain elements,
+///
+/// ```text
+/// U[e] : [co x c]   scattered filter transforms  (precomputed once)
+/// V[e] : [c  x T]   scattered input transforms   (per image)
+/// M[e] = U[e] * V[e] : [co x T]                  (Level-0 packed GEMM)
+/// ```
+///
+/// so the elementwise channel reduction becomes a dense GEMM per domain
+/// element and rides the [`gemm::Algorithm::Packed`] microkernel.
 pub fn forward_winograd_3x3(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Result<Tensor> {
     let s = x.shape();
     let (n, c, h, wd) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
@@ -89,53 +102,77 @@ pub fn forward_winograd_3x3(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> R
     let ho = g.out_extent(h, 3)?;
     let wo = g.out_extent(wd, 3)?;
 
-    // Pre-transform all filters: [co][c] -> 4x4.
+    // Pre-transform all filters and scatter into U[e] = [co x c].
     let wdat = w.data();
-    let filters: Vec<[f32; 16]> = (0..co * c)
-        .map(|i| filter_transform(&wdat[i * 9..i * 9 + 9]))
-        .collect();
+    let mut u = vec![0.0f32; 16 * co * c];
+    for i in 0..co * c {
+        let f = filter_transform(&wdat[i * 9..i * 9 + 9]);
+        for (e, &fe) in f.iter().enumerate() {
+            u[e * co * c + i] = fe;
+        }
+    }
 
     let tiles_h = ho.div_ceil(2);
     let tiles_w = wo.div_ceil(2);
+    let t = tiles_h * tiles_w;
     let mut out = Tensor::zeros([n, co, ho, wo]);
     let (xd, bd) = (x.data(), b.data());
     out.data_mut()
         .par_chunks_mut(co * ho * wo)
         .enumerate()
         .for_each(|(img, optr)| {
+            // Gather + transform all input tiles into V[e] = [c x T].
+            let mut v = scratch_zeroed(16 * c * t);
             let mut dtile = [0.0f32; 16];
             let mut dtrans = [0.0f32; 16];
-            let mut macc = [0.0f32; 16];
-            for th in 0..tiles_h {
-                for tw in 0..tiles_w {
-                    // Transform this tile once per input channel, accumulate
-                    // per output channel in the Winograd domain.
-                    for oc in 0..co {
-                        macc.iter_mut().for_each(|v| *v = 0.0);
-                        for ic in 0..c {
-                            // Gather the 4x4 input tile (with padding).
-                            for r in 0..4 {
-                                for cc in 0..4 {
-                                    let ih = (th * 2 + r) as isize - pad as isize;
-                                    let iw = (tw * 2 + cc) as isize - pad as isize;
-                                    dtile[r * 4 + cc] = if ih < 0
-                                        || iw < 0
-                                        || ih as usize >= h
-                                        || iw as usize >= wd
-                                    {
+            for ic in 0..c {
+                for th in 0..tiles_h {
+                    for tw in 0..tiles_w {
+                        for r in 0..4 {
+                            for cc in 0..4 {
+                                let ih = (th * 2 + r) as isize - pad as isize;
+                                let iw = (tw * 2 + cc) as isize - pad as isize;
+                                dtile[r * 4 + cc] =
+                                    if ih < 0 || iw < 0 || ih as usize >= h || iw as usize >= wd {
                                         0.0
                                     } else {
                                         xd[((img * c + ic) * h + ih as usize) * wd + iw as usize]
                                     };
-                                }
-                            }
-                            input_transform(&dtile, &mut dtrans);
-                            let f = &filters[oc * c + ic];
-                            for i in 0..16 {
-                                macc[i] += dtrans[i] * f[i];
                             }
                         }
-                        let y = output_transform(&macc);
+                        input_transform(&dtile, &mut dtrans);
+                        let ti = th * tiles_w + tw;
+                        for (e, &de) in dtrans.iter().enumerate() {
+                            v[(e * c + ic) * t + ti] = de;
+                        }
+                    }
+                }
+            }
+            // M[e] = U[e] * V[e]; scratch is zeroed on acquisition, so the
+            // zeroed-C gemm_into contract holds.
+            let mut mbuf = scratch_zeroed(16 * co * t);
+            for e in 0..16 {
+                gemm::gemm_into(
+                    gemm::Algorithm::default(),
+                    co,
+                    t,
+                    c,
+                    &u[e * co * c..(e + 1) * co * c],
+                    &v[e * c * t..(e + 1) * c * t],
+                    &mut mbuf[e * co * t..(e + 1) * co * t],
+                );
+            }
+            // Inverse transform each tile and scatter (partial edge tiles
+            // clamp to the true output extent).
+            let mut m = [0.0f32; 16];
+            for oc in 0..co {
+                for th in 0..tiles_h {
+                    for tw in 0..tiles_w {
+                        let ti = th * tiles_w + tw;
+                        for (e, me) in m.iter_mut().enumerate() {
+                            *me = mbuf[(e * co + oc) * t + ti];
+                        }
+                        let y = output_transform(&m);
                         for r in 0..2 {
                             for cc in 0..2 {
                                 let oh = th * 2 + r;
@@ -148,6 +185,8 @@ pub fn forward_winograd_3x3(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> R
                     }
                 }
             }
+            recycle_scratch(v);
+            recycle_scratch(mbuf);
         });
     Ok(out)
 }

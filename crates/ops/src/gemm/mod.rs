@@ -2,30 +2,42 @@
 //!
 //! DeepBench's two operator families are GEMM and convolution; GEMM also
 //! backs the fully-connected layer and the im2col convolution algorithm.
-//! Three kernels of increasing quality are provided:
+//! Four kernels of increasing quality are provided:
 //!
 //! * [`Algorithm::Naive`] — triple loop in `ijk` order (poor locality);
 //!   stands in for an unoptimized reference,
 //! * [`Algorithm::Blocked`] — cache-blocked `ikj` micro-kernels,
 //! * [`Algorithm::Parallel`] — the blocked kernel parallelized across row
-//!   panels with rayon; this is the "cuDNN-class" kernel that the simulated
-//!   frameworks and the DeepBench baseline all call.
+//!   panels with rayon,
+//! * [`Algorithm::Packed`] — the default: a BLIS-style register-tiled
+//!   microkernel over packed panels with cache-aware `MC/KC/NC` dispatch
+//!   and rayon row-panel parallelism (see [`packed`]); this is the
+//!   "cuDNN-class" kernel that the simulated frameworks, the DeepBench
+//!   baseline, and both graph executors call by default.
 //!
 //! All kernels compute `C = A * B` for row-major `A (M x K)`, `B (K x N)`,
-//! `C (M x N)` and are bit-identical for the same blocking, enabling the
-//! paper's cross-framework `ℓ∞` comparisons to reflect genuine algorithmic
-//! reordering differences (naive vs blocked accumulate in different orders).
+//! `C (M x N)`. The first three accumulate each output element in plain
+//! ascending-`p` order and serve as the bit-exact reference tiers; the
+//! packed tier sums the same products with a different grouping (per-`KC`
+//! register partials, FMA where the host supports it), giving the paper's
+//! cross-framework `ℓ∞` comparisons a genuinely distinct accumulation
+//! order to measure.
+
+pub mod packed;
 
 use deep500_tensor::{Error, Result, Tensor};
 use rayon::prelude::*;
+
+pub use packed::{Blocking, MR, NR};
 
 /// GEMM kernel selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Algorithm {
     Naive,
     Blocked,
-    #[default]
     Parallel,
+    #[default]
+    Packed,
 }
 
 /// Cache-block edge for the blocked kernels (elements).
@@ -33,19 +45,50 @@ const BLOCK: usize = 64;
 
 /// Below this many multiply-accumulates (`m * n * k`), parallel dispatch
 /// costs more than it saves and the parallel entry points run serially.
-/// Shared by [`gemm`]'s `Parallel` algorithm and the transposed backward
-/// kernels [`matmul_at_b`] / [`matmul_a_bt`].
+/// Shared by [`gemm`]'s `Parallel`/`Packed` algorithms and the transposed
+/// backward kernels [`matmul_at_b`] / [`matmul_a_bt`].
 pub const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
 /// `C = A * B` with the selected algorithm; buffers are row-major slices.
+/// `C`'s prior contents are ignored (the accumulate-style kernels clear it
+/// first). Callers holding a freshly zeroed `C` should use [`gemm_into`].
 pub fn gemm(algo: Algorithm, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match algo {
+        Algorithm::Naive => {
+            debug_assert_eq!(a.len(), m * k);
+            debug_assert_eq!(b.len(), k * n);
+            debug_assert_eq!(c.len(), m * n);
+            gemm_naive(m, n, k, a, b, c);
+        }
+        _ => {
+            c.iter_mut().for_each(|v| *v = 0.0);
+            gemm_into(algo, m, n, k, a, b, c);
+        }
+    }
+}
+
+/// `C += A * B` under the explicit **zeroed-`C` contract**: `c` must hold
+/// zeros on entry (the accumulate-style kernels add into it), so callers
+/// with freshly zeroed buffers — [`Tensor::zeros`], pool acquisitions,
+/// `vec![0.0; ..]` — touch the `M x N` output exactly once instead of
+/// paying [`gemm`]'s redundant clearing pass.
+pub fn gemm_into(
+    algo: Algorithm,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     match algo {
         Algorithm::Naive => gemm_naive(m, n, k, a, b, c),
-        Algorithm::Blocked => gemm_blocked(m, n, k, a, b, c),
-        Algorithm::Parallel => gemm_parallel(m, n, k, a, b, c),
+        Algorithm::Blocked => gemm_blocked_acc(m, n, k, a, b, c),
+        Algorithm::Parallel => gemm_parallel_acc(m, n, k, a, b, c),
+        Algorithm::Packed => packed::gemm_packed_into(m, n, k, a, false, b, false, c),
     }
 }
 
@@ -63,9 +106,8 @@ fn gemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32])
 
 /// Serial cache-blocked kernel: `ikj` inner order so the innermost loop
 /// streams both `B` and `C` rows (unit stride), blocked to keep panels in
-/// cache.
-fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    c.iter_mut().for_each(|v| *v = 0.0);
+/// cache. **Accumulates** into `c` (zeroed-`C` contract of [`gemm_into`]).
+fn gemm_blocked_acc(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for ib in (0..m).step_by(BLOCK) {
         let ie = (ib + BLOCK).min(m);
         for pb in (0..k).step_by(BLOCK) {
@@ -87,10 +129,11 @@ fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     }
 }
 
-/// The blocked kernel parallelized over `C`'s row panels.
-fn gemm_parallel(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// The blocked kernel parallelized over `C`'s row panels (zeroed-`C`
+/// contract).
+fn gemm_parallel_acc(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     if m * n * k < PAR_THRESHOLD {
-        return gemm_blocked(m, n, k, a, b, c);
+        return gemm_blocked_acc(m, n, k, a, b, c);
     }
     c.par_chunks_mut(BLOCK * n)
         .enumerate()
@@ -98,7 +141,7 @@ fn gemm_parallel(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f3
             let ib = chunk * BLOCK;
             let rows = cpanel.len() / n;
             let apanel = &a[ib * k..(ib + rows) * k];
-            gemm_blocked(rows, n, k, apanel, b, cpanel);
+            gemm_blocked_acc(rows, n, k, apanel, b, cpanel);
         });
 }
 
@@ -120,13 +163,15 @@ pub fn matmul(algo: Algorithm, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         )));
     }
     let mut c = Tensor::zeros([m, n]);
-    gemm(algo, m, n, ka, a.data(), b.data(), c.data_mut());
+    gemm_into(algo, m, n, ka, a.data(), b.data(), c.data_mut());
     Ok(c)
 }
 
 /// `A^T * B` for rows `ib..ib+rows` of the result; `cpanel` holds exactly
 /// those rows. Per output element the `p` reduction ascends, matching the
-/// historical serial kernel bit for bit regardless of panelling.
+/// historical serial kernel bit for bit regardless of panelling. Every
+/// product participates — no zero-skip shortcut, so `0 * NaN` / `0 * inf`
+/// propagate as IEEE 754 demands and the hot loop stays branch-free.
 fn at_b_panel(ib: usize, m: usize, n: usize, k: usize, ad: &[f32], bd: &[f32], cpanel: &mut [f32]) {
     let rows = cpanel.len() / n;
     for (ri, crow) in cpanel.chunks_mut(n).enumerate() {
@@ -134,9 +179,6 @@ fn at_b_panel(ib: usize, m: usize, n: usize, k: usize, ad: &[f32], bd: &[f32], c
         debug_assert!(i < ib + rows);
         for p in 0..k {
             let av = ad[p * m + i];
-            if av == 0.0 {
-                continue;
-            }
             let brow = &bd[p * n..(p + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += av * bv;
@@ -146,9 +188,14 @@ fn at_b_panel(ib: usize, m: usize, n: usize, k: usize, ad: &[f32], bd: &[f32], c
 }
 
 /// `A^T * B` without materializing the transpose: `A [K x M]`, `B [K x N]`,
-/// result `[M x N]`. Used by FC/conv backward passes. Parallelized over row
-/// panels of the result above [`PAR_THRESHOLD`].
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+/// result `[M x N]`. Used by FC/conv backward passes.
+///
+/// `Naive`/`Blocked` run the serial panel kernel (bit-exact reference),
+/// `Parallel` distributes the same panel kernel over rayon row panels above
+/// [`PAR_THRESHOLD`] (bit-identical to serial), and `Packed` absorbs the
+/// transposition into the A-panel pack gather so the backward product runs
+/// the same register-tiled microkernel as the forward GEMM.
+pub fn matmul_at_b_with(algo: Algorithm, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (k, m) = (a.shape().dim(0), a.shape().dim(1));
     let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
     if k != kb {
@@ -158,14 +205,21 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut c = Tensor::zeros([m, n]);
     let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
-    if m * n * k < PAR_THRESHOLD {
-        at_b_panel(0, m, n, k, ad, bd, cd);
-    } else {
-        cd.par_chunks_mut(BLOCK * n)
-            .enumerate()
-            .for_each(|(chunk, cpanel)| at_b_panel(chunk * BLOCK, m, n, k, ad, bd, cpanel));
+    match algo {
+        Algorithm::Packed => packed::gemm_packed_into(m, n, k, ad, true, bd, false, cd),
+        Algorithm::Parallel if m * n * k >= PAR_THRESHOLD => {
+            cd.par_chunks_mut(BLOCK * n)
+                .enumerate()
+                .for_each(|(chunk, cpanel)| at_b_panel(chunk * BLOCK, m, n, k, ad, bd, cpanel));
+        }
+        _ => at_b_panel(0, m, n, k, ad, bd, cd),
     }
     Ok(c)
+}
+
+/// `A^T * B` with the default algorithm ([`Algorithm::Packed`]).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_at_b_with(Algorithm::default(), a, b)
 }
 
 /// `A * B^T` for rows `ib..` of the result (each row is an independent set
@@ -181,9 +235,10 @@ fn a_bt_panel(ib: usize, n: usize, k: usize, ad: &[f32], bd: &[f32], cpanel: &mu
     }
 }
 
-/// `A * B^T`: `A [M x K]`, `B [N x K]`, result `[M x N]`. Parallelized over
-/// row panels of the result above [`PAR_THRESHOLD`].
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+/// `A * B^T`: `A [M x K]`, `B [N x K]`, result `[M x N]`. Tier selection
+/// mirrors [`matmul_at_b_with`]; under `Packed` the transposition is
+/// absorbed into the B-panel pack gather.
+pub fn matmul_a_bt_with(algo: Algorithm, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = (a.shape().dim(0), a.shape().dim(1));
     let (n, kb) = (b.shape().dim(0), b.shape().dim(1));
     if k != kb {
@@ -193,14 +248,21 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut c = Tensor::zeros([m, n]);
     let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
-    if m * n * k < PAR_THRESHOLD {
-        a_bt_panel(0, n, k, ad, bd, cd);
-    } else {
-        cd.par_chunks_mut(BLOCK * n)
-            .enumerate()
-            .for_each(|(chunk, cpanel)| a_bt_panel(chunk * BLOCK, n, k, ad, bd, cpanel));
+    match algo {
+        Algorithm::Packed => packed::gemm_packed_into(m, n, k, ad, false, bd, true, cd),
+        Algorithm::Parallel if m * n * k >= PAR_THRESHOLD => {
+            cd.par_chunks_mut(BLOCK * n)
+                .enumerate()
+                .for_each(|(chunk, cpanel)| a_bt_panel(chunk * BLOCK, n, k, ad, bd, cpanel));
+        }
+        _ => a_bt_panel(0, n, k, ad, bd, cd),
     }
     Ok(c)
+}
+
+/// `A * B^T` with the default algorithm ([`Algorithm::Packed`]).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_a_bt_with(Algorithm::default(), a, b)
 }
 
 /// The `MatMul` operator: `C = A * B`.
@@ -242,8 +304,8 @@ impl crate::operator::Operator for MatMulOp {
     ) -> Result<Vec<Tensor>> {
         let g = grad_outputs[0];
         // dA = dC * B^T ; dB = A^T * dC
-        let da = matmul_a_bt(g, inputs[1])?;
-        let db = matmul_at_b(inputs[0], g)?;
+        let da = matmul_a_bt_with(self.algo, g, inputs[1])?;
+        let db = matmul_at_b_with(self.algo, inputs[0], g)?;
         Ok(vec![da, db])
     }
     fn flops(&self, s: &[&deep500_tensor::Shape]) -> f64 {
@@ -258,6 +320,13 @@ mod tests {
     use deep500_metrics::norms::linf_diff;
     use deep500_tensor::rng::Xoshiro256StarStar;
 
+    const ALL: [Algorithm; 4] = [
+        Algorithm::Naive,
+        Algorithm::Blocked,
+        Algorithm::Parallel,
+        Algorithm::Packed,
+    ];
+
     fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
         let mut c = vec![0.0f32; m * n];
         gemm_naive(m, n, k, a, b, &mut c);
@@ -268,7 +337,7 @@ mod tests {
     fn identity_multiplication() {
         let a = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let b = Tensor::from_vec([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
-        for algo in [Algorithm::Naive, Algorithm::Blocked, Algorithm::Parallel] {
+        for algo in ALL {
             assert_eq!(matmul(algo, &a, &b).unwrap(), b);
         }
     }
@@ -280,11 +349,46 @@ mod tests {
             let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
             let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
             let reference = reference(m, n, k, a.data(), b.data());
-            for algo in [Algorithm::Blocked, Algorithm::Parallel] {
+            for algo in [Algorithm::Blocked, Algorithm::Parallel, Algorithm::Packed] {
                 let c = matmul(algo, &a, &b).unwrap();
                 let err = linf_diff(c.data(), &reference);
                 assert!(err < 1e-3, "{algo:?} {m}x{n}x{k}: linf {err}");
             }
+        }
+    }
+
+    #[test]
+    fn packed_agrees_on_block_and_tile_edges() {
+        // Shapes straddling the cache-block edge (64) and the microkernel
+        // tile edges (MR/NR = 8): 1, BLOCK-1, BLOCK, BLOCK+1 in every role.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let edges = [1usize, 7, 8, 9, BLOCK - 1, BLOCK, BLOCK + 1];
+        for &m in &edges {
+            for &n in &edges {
+                for &k in &[1usize, BLOCK - 1, BLOCK, BLOCK + 1] {
+                    let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+                    let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+                    let naive = matmul(Algorithm::Naive, &a, &b).unwrap();
+                    let packed = matmul(Algorithm::Packed, &a, &b).unwrap();
+                    let err = linf_diff(packed.data(), naive.data());
+                    assert!(err < 1e-3, "{m}x{n}x{k}: linf {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_into_skips_the_clear_but_matches_gemm() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let (m, n, k) = (33, 17, 65);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        for algo in ALL {
+            let mut dirty = vec![f32::NAN; m * n];
+            gemm(algo, m, n, k, a.data(), b.data(), &mut dirty);
+            let mut zeroed = vec![0.0f32; m * n];
+            gemm_into(algo, m, n, k, a.data(), b.data(), &mut zeroed);
+            assert_eq!(dirty, zeroed, "{algo:?}: zeroed-C contract diverged");
         }
     }
 
@@ -302,15 +406,48 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let a = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([4, 5], -1.0, 1.0, &mut rng);
-        let atb = matmul_at_b(&a, &b).unwrap();
         let explicit = matmul(Algorithm::Naive, &a.transpose2d().unwrap(), &b).unwrap();
-        assert!(atb.approx_eq(&explicit, 1e-5));
+        for algo in ALL {
+            let atb = matmul_at_b_with(algo, &a, &b).unwrap();
+            assert!(atb.approx_eq(&explicit, 1e-5), "{algo:?}");
+        }
 
         let c = Tensor::rand_uniform([5, 3], -1.0, 1.0, &mut rng);
         let d = Tensor::rand_uniform([6, 3], -1.0, 1.0, &mut rng);
-        let abt = matmul_a_bt(&c, &d).unwrap();
         let explicit = matmul(Algorithm::Naive, &c, &d.transpose2d().unwrap()).unwrap();
-        assert!(abt.approx_eq(&explicit, 1e-5));
+        for algo in ALL {
+            let abt = matmul_a_bt_with(algo, &c, &d).unwrap();
+            assert!(abt.approx_eq(&explicit, 1e-5), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn transposed_kernels_propagate_nan_and_inf() {
+        // A zero in A must not short-circuit past a NaN/inf in B:
+        // IEEE 754 says 0 * NaN = NaN and 0 * inf = NaN, so the affected
+        // outputs are poisoned. (A skip-on-zero shortcut here once
+        // silently produced finite results.)
+        let a = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 1.0]).unwrap(); // A [K x M]
+        let mut bvals = vec![1.0f32; 6];
+        bvals[0] = f32::NAN; // B[0, 0]
+        bvals[1] = f32::INFINITY; // B[0, 1]
+        let b = Tensor::from_vec([2, 3], bvals).unwrap(); // B [K x N]
+        for algo in ALL {
+            let c = matmul_at_b_with(algo, &a, &b).unwrap();
+            // Row 0 of C = 0 * B[0, :] + 1 * B[1, :]: both 0 * NaN and
+            // 0 * inf must collapse to NaN.
+            assert!(c.data()[0].is_nan(), "{algo:?}: 0 * NaN was dropped");
+            assert!(c.data()[1].is_nan(), "{algo:?}: 0 * inf was dropped");
+            assert_eq!(c.data()[2], 1.0, "{algo:?}");
+        }
+
+        // Same property through A * B^T with the NaN on the other side.
+        let e = Tensor::from_vec([1, 2], vec![0.0, 1.0]).unwrap();
+        let f = Tensor::from_vec([1, 2], vec![f32::NAN, 1.0]).unwrap();
+        for algo in ALL {
+            let c = matmul_a_bt_with(algo, &e, &f).unwrap();
+            assert!(c.data()[0].is_nan(), "{algo:?}: 0 * NaN was dropped");
+        }
     }
 
     #[test]
@@ -340,14 +477,14 @@ mod tests {
 
         let a = Tensor::rand_uniform([k, m], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
-        let par = matmul_at_b(&a, &b).unwrap();
+        let par = matmul_at_b_with(Algorithm::Parallel, &a, &b).unwrap();
         let mut serial = Tensor::zeros([m, n]);
         at_b_panel(0, m, n, k, a.data(), b.data(), serial.data_mut());
         assert_eq!(par.data(), serial.data());
 
         let c = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
         let d = Tensor::rand_uniform([n, k], -1.0, 1.0, &mut rng);
-        let par = matmul_a_bt(&c, &d).unwrap();
+        let par = matmul_a_bt_with(Algorithm::Parallel, &c, &d).unwrap();
         let mut serial = Tensor::zeros([m, n]);
         a_bt_panel(0, n, k, c.data(), d.data(), serial.data_mut());
         assert_eq!(par.data(), serial.data());

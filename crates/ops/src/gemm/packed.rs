@@ -1,0 +1,384 @@
+//! The `Algorithm::Packed` tier: register-tiled microkernel over packed
+//! panels with cache-aware dispatch.
+//!
+//! Structure follows the BLIS/GotoBLAS decomposition. The problem is
+//! blocked three ways by a [`Blocking`] plan chosen from the shape:
+//!
+//! ```text
+//! for jc in 0..N step NC          // B macro-panel   (~L3)
+//!   for pc in 0..K step KC        // pack B[pc.., jc..] once   (shared)
+//!     parfor ic in 0..M step MC   // pack A[ic.., pc..] per worker (~L2)
+//!       for jr in 0..NC step NR   // B sliver resident in L1
+//!         for ir in 0..MC step MR //   MR x NR microkernel
+//! ```
+//!
+//! Panels are copied into contiguous scratch drawn from the tensor
+//! [`BufferPool`](deep500_tensor::BufferPool) (`scratch_zeroed` /
+//! `recycle_scratch`, rounded to whole cache lines): `A` slivers are laid
+//! out `[p][i]` (`MR` consecutive rows per `K` step) and `B` slivers
+//! `[p][j]`, so the microkernel streams both with unit stride regardless
+//! of the source operand's layout. That makes the *transposed* backward
+//! products (`AᵀB`, `ABᵀ`) free: transposition is absorbed into the pack
+//! gather and the same microkernel runs unchanged.
+//!
+//! The microkernel keeps an `MR x NR` accumulator block in registers
+//! across the whole `KC` reduction — the portable version is written so
+//! LLVM autovectorizes it at whatever SIMD width the target offers, and on
+//! `x86_64` an explicit 8-wide AVX2+FMA variant is selected at runtime
+//! when the CPU supports it (`#[target_feature]`-gated, so the default
+//! baseline build still carries it).
+//!
+//! Determinism: parallelism is only over disjoint `C` row panels and each
+//! output element's `K` reduction ascends in `p` (register-summed per `KC`
+//! block, block partials added to `C` in ascending `pc` order), so results
+//! are bit-identical across thread counts — but the *grouping* of that sum
+//! differs from the `Naive`/`Blocked` tiers, which is exactly the distinct
+//! accumulation order the paper's cross-kernel ℓ∞ comparisons measure.
+
+use super::PAR_THRESHOLD;
+use deep500_tensor::{recycle_scratch, scratch_zeroed};
+use rayon::prelude::*;
+
+/// Microkernel tile rows (`C` rows kept in registers).
+pub const MR: usize = 8;
+/// Microkernel tile columns (one 8-wide SIMD vector per row).
+pub const NR: usize = 8;
+
+/// Cache-aware blocking parameters, in elements. `mc`/`nc` are rounded to
+/// microkernel tile multiples; all three are clamped to the problem shape
+/// so degenerate sizes (`M = 1`, `K = 0`) stay valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// Rows of `A` packed per panel (L2-resident: `mc * kc` floats).
+    pub mc: usize,
+    /// Reduction depth per pack (L1-resident slivers: `kc * MR|NR` floats).
+    pub kc: usize,
+    /// Columns of `B` packed per macro-panel (L3-resident: `kc * nc`).
+    pub nc: usize,
+}
+
+impl Blocking {
+    /// Pick blocking from the problem shape. Targets are conservative
+    /// laptop/server-class caches: `MR x KC` and `KC x NR` slivers well
+    /// inside a 32 KiB L1, the packed A panel in half of a 256 KiB L2,
+    /// and the packed B macro-panel in a ~1 MiB L3 share.
+    pub fn for_shape(m: usize, n: usize, k: usize) -> Blocking {
+        let kc = k.clamp(1, 256);
+        let mc_cap = ((128 * 1024 / 4) / kc).max(MR);
+        let mc = round_up(m.clamp(1, mc_cap), MR);
+        let nc_cap = ((1024 * 1024 / 4) / kc).max(NR);
+        let nc = round_up(n.clamp(1, nc_cap), NR);
+        Blocking { mc, kc, nc }
+    }
+}
+
+fn round_up(v: usize, to: usize) -> usize {
+    v.div_ceil(to) * to
+}
+
+/// Pack the `mc x kc` block of logical `A` starting at `(ic, pc)` into
+/// `dst` as a sequence of `MR`-row slivers, each laid out `[p][i]`. Rows
+/// beyond `mc` are written as zero so edge tiles run the full microkernel.
+/// `A` is stored row-major `[M x K]` (`trans = false`, `lda = K`) or
+/// `[K x M]` (`trans = true`, `lda = M`).
+#[allow(clippy::too_many_arguments)] // pack-kernel plumbing: all scalars
+fn pack_a(
+    dst: &mut [f32],
+    a: &[f32],
+    trans: bool,
+    lda: usize,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+) {
+    for (tile, chunk) in dst[..mc.div_ceil(MR) * MR * kc]
+        .chunks_mut(MR * kc)
+        .enumerate()
+    {
+        let i0 = tile * MR;
+        let rows = MR.min(mc - i0);
+        for p in 0..kc {
+            let lane = &mut chunk[p * MR..p * MR + MR];
+            if trans {
+                // A[K x M]: row pc+p is contiguous in i.
+                let src = &a[(pc + p) * lda + ic + i0..];
+                lane[..rows].copy_from_slice(&src[..rows]);
+            } else {
+                for (i, v) in lane.iter_mut().enumerate().take(rows) {
+                    *v = a[(ic + i0 + i) * lda + pc + p];
+                }
+            }
+            lane[rows..].iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+}
+
+/// Pack the `kc x nc` block of logical `B` starting at `(pc, jc)` into
+/// `dst` as `NR`-column slivers laid out `[p][j]`, zero-padding columns
+/// beyond `nc`. `B` is stored row-major `[K x N]` (`trans = false`,
+/// `ldb = N`) or `[N x K]` (`trans = true`, `ldb = K`).
+#[allow(clippy::too_many_arguments)] // pack-kernel plumbing: all scalars
+fn pack_b(
+    dst: &mut [f32],
+    b: &[f32],
+    trans: bool,
+    ldb: usize,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+) {
+    for (tile, chunk) in dst[..nc.div_ceil(NR) * NR * kc]
+        .chunks_mut(NR * kc)
+        .enumerate()
+    {
+        let j0 = tile * NR;
+        let cols = NR.min(nc - j0);
+        for p in 0..kc {
+            let lane = &mut chunk[p * NR..p * NR + NR];
+            if trans {
+                for (j, v) in lane.iter_mut().enumerate().take(cols) {
+                    *v = b[(jc + j0 + j) * ldb + pc + p];
+                }
+            } else {
+                // B[K x N]: row pc+p is contiguous in j.
+                let src = &b[(pc + p) * ldb + jc + j0..];
+                lane[..cols].copy_from_slice(&src[..cols]);
+            }
+            lane[cols..].iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+}
+
+/// Portable microkernel: `acc += Asliver * Bsliver` with the full `MR x NR`
+/// accumulator in locals. Written lane-wise so LLVM autovectorizes the `j`
+/// loop at the target's native SIMD width.
+#[inline(always)]
+fn microkernel_portable(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let ar = &asliver[p * MR..p * MR + MR];
+        let br = &bsliver[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = ar[i];
+            for j in 0..NR {
+                acc[i][j] += ai * br[j];
+            }
+        }
+    }
+}
+
+/// Explicit 8-wide AVX2+FMA microkernel: one `__m256` accumulator per `C`
+/// row (MR + 2 live vectors — comfortably inside the 16 ymm registers).
+/// Compiled for every x86_64 build via `#[target_feature]`; only *run*
+/// when [`microkernel`] detects avx2+fma at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use core::arch::x86_64::*;
+    let mut vacc = [_mm256_setzero_ps(); MR];
+    for p in 0..kc {
+        let bv = _mm256_loadu_ps(bsliver.as_ptr().add(p * NR));
+        let ar = asliver.as_ptr().add(p * MR);
+        for (i, v) in vacc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ar.add(i));
+            *v = _mm256_fmadd_ps(av, bv, *v);
+        }
+    }
+    for (i, v) in vacc.into_iter().enumerate() {
+        _mm256_storeu_ps(acc[i].as_mut_ptr(), v);
+    }
+}
+
+/// Run the best microkernel the host supports. The AVX2+FMA variant fuses
+/// each multiply-add (different rounding than the portable mul+add), which
+/// keeps the `Packed` tier a genuinely distinct accumulation for the ℓ∞
+/// comparisons while staying within the 1e-3 parity bound.
+#[inline]
+fn microkernel(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: gated on runtime detection of the exact features the
+        // kernel is compiled for; slices are sized by the callers to
+        // kc * MR / kc * NR.
+        unsafe { microkernel_avx2(kc, asliver, bsliver, acc) };
+        return;
+    }
+    microkernel_portable(kc, asliver, bsliver, acc)
+}
+
+/// Process one packed `A` panel against one packed `B` macro-panel,
+/// accumulating into the `C` row panel `cpanel` (rows `ic..ic+mc` of the
+/// full `M x N` output, `ldc = N`).
+#[allow(clippy::too_many_arguments)] // hot-path plumbing: all scalars
+fn run_panel(
+    apack: &[f32],
+    bpack: &[f32],
+    cpanel: &mut [f32],
+    ldc: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (jt, bsliver) in bpack[..nc.div_ceil(NR) * NR * kc]
+        .chunks(NR * kc)
+        .enumerate()
+    {
+        let j0 = jc + jt * NR;
+        let cols = NR.min(jc + nc - j0);
+        for (it, asliver) in apack[..mc.div_ceil(MR) * MR * kc]
+            .chunks(MR * kc)
+            .enumerate()
+        {
+            let i0 = it * MR;
+            let rows = MR.min(mc - i0);
+            acc.iter_mut().for_each(|row| row.fill(0.0));
+            microkernel(kc, asliver, bsliver, &mut acc);
+            for (i, arow) in acc.iter().enumerate().take(rows) {
+                let crow = &mut cpanel[(i0 + i) * ldc + j0..(i0 + i) * ldc + j0 + cols];
+                for (cv, &av) in crow.iter_mut().zip(arow) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+/// Packed GEMM core: `C += op(A) * op(B)` for row-major storage, where
+/// `op` is transpose when the corresponding flag is set (`A` stored
+/// `[K x M]`, `B` stored `[N x K]`). **Contract:** callers hand in a `C`
+/// that already holds the addend — `matmul`-style entry points pass a
+/// freshly zeroed buffer (see [`super::gemm_into`]).
+///
+/// Parallelizes over `MC` row panels of `C` above [`PAR_THRESHOLD`]
+/// multiply-accumulates; the packed `B` macro-panel is shared read-only
+/// across workers, each worker packs its own `A` panel.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn gemm_packed_into(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return; // C already holds the correct (zero-product) result.
+    }
+    let bl = Blocking::for_shape(m, n, k);
+    let lda = if a_trans { m } else { k };
+    let ldb = if b_trans { k } else { n };
+    let parallel = m * n * k >= PAR_THRESHOLD && m > bl.mc;
+    let mut bpack = scratch_zeroed(bl.nc.min(round_up(n, NR)) * bl.kc);
+    for jc in (0..n).step_by(bl.nc) {
+        let nc = bl.nc.min(n - jc);
+        for pc in (0..k).step_by(bl.kc) {
+            let kc = bl.kc.min(k - pc);
+            pack_b(&mut bpack, b, b_trans, ldb, pc, jc, kc, nc);
+            let bshared = &bpack;
+            let do_panel = |ic: usize, cpanel: &mut [f32]| {
+                let mc = cpanel.len() / n;
+                let mut apack = scratch_zeroed(round_up(mc, MR) * kc);
+                pack_a(&mut apack, a, a_trans, lda, ic, pc, mc, kc);
+                run_panel(&apack, bshared, cpanel, n, jc, mc, nc, kc);
+                recycle_scratch(apack);
+            };
+            if parallel {
+                c.par_chunks_mut(bl.mc * n)
+                    .enumerate()
+                    .for_each(|(chunk, cpanel)| do_panel(chunk * bl.mc, cpanel));
+            } else {
+                for (chunk, cpanel) in c.chunks_mut(bl.mc * n).enumerate() {
+                    do_panel(chunk * bl.mc, cpanel);
+                }
+            }
+        }
+    }
+    recycle_scratch(bpack);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_is_total_on_degenerate_shapes() {
+        for (m, n, k) in [(0, 0, 0), (1, 1, 0), (0, 5, 3), (1, 1, 1), (7, 3, 1)] {
+            let bl = Blocking::for_shape(m, n, k);
+            assert!(
+                bl.kc >= 1 && bl.mc >= MR && bl.nc >= NR,
+                "{m}x{n}x{k}: {bl:?}"
+            );
+            assert_eq!(bl.mc % MR, 0);
+            assert_eq!(bl.nc % NR, 0);
+        }
+    }
+
+    #[test]
+    fn blocking_respects_cache_budgets() {
+        let bl = Blocking::for_shape(4096, 4096, 4096);
+        assert!(bl.kc <= 256);
+        assert!(
+            bl.mc * bl.kc * 4 <= 160 * 1024,
+            "A panel beyond L2 half: {bl:?}"
+        );
+        assert!(
+            bl.nc * bl.kc * 4 <= 1536 * 1024,
+            "B panel beyond L3 share: {bl:?}"
+        );
+    }
+
+    #[test]
+    fn empty_k_leaves_c_untouched() {
+        let mut c = vec![0.0f32; 6];
+        gemm_packed_into(2, 3, 0, &[], false, &[], false, &mut c);
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn packing_pads_edge_tiles_with_zeros() {
+        // 3x2 A block packed into one MR-sliver: rows 3..MR must be zero.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2 row-major
+        let mut dst = vec![f32::NAN; MR * 2];
+        pack_a(&mut dst, &a, false, 2, 0, 0, 3, 2);
+        // p = 0 lane: column 0 of A then zeros.
+        assert_eq!(&dst[..MR], &[1.0, 3.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&dst[MR..2 * MR], &[2.0, 4.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_and_serial_packed_paths_are_bit_identical() {
+        use deep500_tensor::rng::Xoshiro256StarStar;
+        use deep500_tensor::Tensor;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        // Above PAR_THRESHOLD and spanning several MC panels.
+        let (m, n, k) = (300, 96, 64);
+        assert!(m * n * k >= PAR_THRESHOLD);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let mut par = vec![0.0f32; m * n];
+        gemm_packed_into(m, n, k, a.data(), false, b.data(), false, &mut par);
+        // Serial: run panel-by-panel through the same code path.
+        let mut serial = vec![0.0f32; m * n];
+        let bl = Blocking::for_shape(m, n, k);
+        for jc in (0..n).step_by(bl.nc) {
+            let nc = bl.nc.min(n - jc);
+            for pc in (0..k).step_by(bl.kc) {
+                let kc = bl.kc.min(k - pc);
+                let mut bpack = vec![0.0f32; nc.div_ceil(NR) * NR * kc];
+                pack_b(&mut bpack, b.data(), false, n, pc, jc, kc, nc);
+                for (chunk, cpanel) in serial.chunks_mut(bl.mc * n).enumerate() {
+                    let mc = cpanel.len() / n;
+                    let mut apack = vec![0.0f32; mc.div_ceil(MR) * MR * kc];
+                    pack_a(&mut apack, a.data(), false, k, chunk * bl.mc, pc, mc, kc);
+                    run_panel(&apack, &bpack, cpanel, n, jc, mc, nc, kc);
+                }
+            }
+        }
+        assert_eq!(par, serial);
+    }
+}

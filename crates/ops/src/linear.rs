@@ -48,7 +48,7 @@ impl Operator for LinearOp {
         let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
         let (n, _fin, fout) = self.dims(x.shape(), w.shape(), b.shape())?;
         // Y = X * Wᵀ
-        let mut y = gemm::matmul_a_bt(x, w)?;
+        let mut y = gemm::matmul_a_bt_with(self.algo, x, w)?;
         let yd = y.data_mut();
         let bd = b.data();
         for r in 0..n {
@@ -69,7 +69,7 @@ impl Operator for LinearOp {
         // dX = g * W          [N, in]
         let dx = gemm::matmul(self.algo, g, w)?;
         // dW = gᵀ * X         [out, in]
-        let dw = gemm::matmul_at_b(g, x)?;
+        let dw = gemm::matmul_at_b_with(self.algo, g, x)?;
         // db = column sums of g
         let (n, fout) = (g.shape().dim(0), g.shape().dim(1));
         let mut db = Tensor::zeros(b.shape().clone());

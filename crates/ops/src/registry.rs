@@ -179,10 +179,11 @@ pub fn registered_ops() -> Vec<String> {
 }
 
 fn parse_gemm_algo(attrs: &Attributes) -> Algorithm {
-    match attrs.str_or("algorithm", "parallel") {
+    match attrs.str_or("algorithm", "packed") {
         "naive" => Algorithm::Naive,
         "blocked" => Algorithm::Blocked,
-        _ => Algorithm::Parallel,
+        "parallel" => Algorithm::Parallel,
+        _ => Algorithm::Packed,
     }
 }
 

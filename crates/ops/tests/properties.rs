@@ -3,7 +3,9 @@
 
 use deep500_ops::activation::{ActivationOp, SoftmaxOp};
 use deep500_ops::conv::{forward_direct, forward_im2col, ConvGeometry};
-use deep500_ops::gemm::{matmul, Algorithm};
+use deep500_ops::gemm::{
+    gemm_into, matmul, matmul_a_bt_with, matmul_at_b_with, Algorithm, Blocking,
+};
 use deep500_ops::grad_check::test_gradient;
 use deep500_ops::pool::Pool2dOp;
 use deep500_ops::shape_ops::{ConcatOp, SplitOp};
@@ -16,6 +18,12 @@ fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
     Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
 }
 
+/// Dimensions that straddle the microkernel tile edge (8), the cache-block
+/// edge (64 = BLOCK), and the degenerate extreme: 1, BLOCK-1, BLOCK,
+/// BLOCK+1 plus a couple of "ordinary" sizes. Indexed by a proptest range
+/// strategy since the shim has no `prop_oneof`.
+const EDGE_DIMS: [usize; 8] = [1, 7, 8, 9, 63, 64, 65, 37];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -25,9 +33,60 @@ proptest! {
         let a = rand_tensor(&[m, k], seed);
         let b = rand_tensor(&[k, n], seed ^ 1);
         let reference = matmul(Algorithm::Naive, &a, &b).unwrap();
-        for algo in [Algorithm::Blocked, Algorithm::Parallel] {
+        for algo in [Algorithm::Blocked, Algorithm::Parallel, Algorithm::Packed] {
             let c = matmul(algo, &a, &b).unwrap();
             prop_assert!(c.approx_eq(&reference, 1e-3), "{algo:?} diverged");
+        }
+    }
+
+    /// The packed tier agrees with the naive reference within l-inf 1e-3 on
+    /// shapes straddling the tile/block edges, for plain GEMM and both
+    /// transposed variants (whose transposition is absorbed into packing).
+    #[test]
+    fn packed_parity_on_edge_shapes(mi in 0usize..8, ni in 0usize..8, ki in 0usize..8,
+                                    seed in 0u64..1000) {
+        let (m, n, k) = (EDGE_DIMS[mi], EDGE_DIMS[ni], EDGE_DIMS[ki]);
+
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed ^ 1);
+        let reference = matmul(Algorithm::Naive, &a, &b).unwrap();
+        let c = matmul(Algorithm::Packed, &a, &b).unwrap();
+        prop_assert!(c.approx_eq(&reference, 1e-3), "gemm {m}x{n}x{k}");
+
+        // A^T * B: A stored [K x M].
+        let at = rand_tensor(&[k, m], seed ^ 2);
+        let reference = matmul_at_b_with(Algorithm::Naive, &at, &b).unwrap();
+        let c = matmul_at_b_with(Algorithm::Packed, &at, &b).unwrap();
+        prop_assert!(c.approx_eq(&reference, 1e-3), "at_b {m}x{n}x{k}");
+
+        // A * B^T: B stored [N x K].
+        let bt = rand_tensor(&[n, k], seed ^ 3);
+        let reference = matmul_a_bt_with(Algorithm::Naive, &a, &bt).unwrap();
+        let c = matmul_a_bt_with(Algorithm::Packed, &a, &bt).unwrap();
+        prop_assert!(c.approx_eq(&reference, 1e-3), "a_bt {m}x{n}x{k}");
+    }
+
+    /// The cache-aware dispatcher produces usable (nonzero, tile-aligned)
+    /// blocking parameters and the packed kernel never panics on degenerate
+    /// shapes, including K=0 and M=1.
+    #[test]
+    fn packed_dispatch_total_on_degenerate_shapes(m in 0usize..70, n in 0usize..70,
+                                                  k in 0usize..70) {
+        let bl = Blocking::for_shape(m, n, k);
+        prop_assert!(bl.mc >= 1 && bl.kc >= 1 && bl.nc >= 1);
+        prop_assert_eq!(bl.mc % deep500_ops::gemm::MR, 0);
+        prop_assert_eq!(bl.nc % deep500_ops::gemm::NR, 0);
+
+        // The kernel itself must be total too: K=0 (or empty M/N) leaves C
+        // as zeros without touching A/B.
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        gemm_into(Algorithm::Packed, m, n, k, &a, &b, &mut c);
+        if k == 0 {
+            prop_assert!(c.iter().all(|&v| v == 0.0));
+        } else {
+            prop_assert!(c.iter().all(|&v| v == k as f32));
         }
     }
 

@@ -32,7 +32,7 @@ pub mod tensor;
 pub use descriptor::{DataType, DeviceDesc, TensorDesc};
 pub use error::{Error, Result};
 pub use layout::DataLayout;
-pub use pool::{with_pool, BufferPool, PoolStats};
+pub use pool::{recycle_scratch, scratch_zeroed, with_pool, BufferPool, PoolStats, LINE_F32};
 pub use rng::Xoshiro256StarStar;
 pub use shape::Shape;
 pub use tensor::Tensor;

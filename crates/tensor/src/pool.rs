@@ -20,11 +20,16 @@ use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Buffers smaller than this (elements) are not worth pooling: the free
 /// list bookkeeping costs as much as the allocation.
 const MIN_CLASS: usize = 64;
+
+/// `f32` elements per 64-byte cache line. Kernel scratch requests are
+/// rounded up to whole lines (see [`scratch_zeroed`]) so packed GEMM
+/// panels never straddle a line boundary mid-row.
+pub const LINE_F32: usize = 16;
 
 /// Counters describing pool effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -207,6 +212,38 @@ pub(crate) fn alloc_copy(src: &[f32]) -> Vec<f32> {
     })
 }
 
+/// Process-wide fallback pool for kernel scratch (packed GEMM panels,
+/// Winograd tile matrices) acquired outside any [`with_pool`] scope —
+/// notably on rayon workers, which do not inherit the caller's
+/// thread-local scope. Capped well below the default tensor pool: scratch
+/// working sets are bounded by cache-blocking parameters, not model size.
+fn scratch_pool() -> &'static Arc<BufferPool> {
+    static SCRATCH: OnceLock<Arc<BufferPool>> = OnceLock::new();
+    SCRATCH.get_or_init(|| Arc::new(BufferPool::with_max_held_bytes(256 << 20)))
+}
+
+/// A zeroed kernel-scratch buffer of `numel` elements rounded up to a
+/// whole 64-byte cache line ([`LINE_F32`]), drawn from the thread's active
+/// pool when inside a [`with_pool`] scope and from the process-wide
+/// scratch pool otherwise. Callers index only the first `numel` elements;
+/// the line padding exists so recycled panels land in stable size classes
+/// and rows packed to line multiples stay line-contiguous.
+pub fn scratch_zeroed(numel: usize) -> Vec<f32> {
+    let padded = numel.div_ceil(LINE_F32) * LINE_F32;
+    ACTIVE_POOL.with(|p| match p.borrow().as_ref() {
+        Some(pool) => pool.acquire(padded),
+        None => scratch_pool().acquire(padded),
+    })
+}
+
+/// Return a buffer obtained from [`scratch_zeroed`] for reuse.
+pub fn recycle_scratch(buf: Vec<f32>) {
+    ACTIVE_POOL.with(|p| match p.borrow().as_ref() {
+        Some(pool) => pool.recycle(buf),
+        None => scratch_pool().recycle(buf),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +309,33 @@ mod tests {
         pool.recycle(t2.into_vec());
         let _plain = Tensor::zeros([10, 10]);
         assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn scratch_rounds_to_cache_lines_and_recycles() {
+        let buf = scratch_zeroed(100);
+        assert_eq!(buf.len(), 112); // 7 lines of 16 f32
+        assert!(buf.iter().all(|&v| v == 0.0));
+        recycle_scratch(buf);
+        // Outside a with_pool scope the process-wide scratch pool serves
+        // the next same-class request zeroed again.
+        let again = scratch_zeroed(110);
+        assert_eq!(again.len(), 112);
+        assert!(again.iter().all(|&v| v == 0.0));
+        recycle_scratch(again);
+    }
+
+    #[test]
+    fn scratch_prefers_active_pool_scope() {
+        let pool = Arc::new(BufferPool::new());
+        let before = pool.stats();
+        with_pool(&pool, || {
+            let buf = scratch_zeroed(500);
+            recycle_scratch(buf);
+        });
+        let after = pool.stats();
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(after.recycled, before.recycled + 1);
     }
 
     #[test]
