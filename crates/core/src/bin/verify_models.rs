@@ -1,0 +1,90 @@
+//! `deep500-verify` — verify the bundled model zoo (or report why not).
+//!
+//! CI runs this binary and fails the build on any Deny lint. Usage:
+//!
+//! ```text
+//! deep500-verify [--explain]
+//! ```
+//!
+//! For every bundled model the full pipeline runs: dataflow/liveness,
+//! static shape & dtype inference at a concrete batch, symbolic-batch
+//! propagation, and wavefront buffer-aliasing analysis with the pool
+//! lower bound. Exit status 1 if any model produces a Deny lint.
+
+use deep500::graph::models;
+use deep500::graph::network::Network;
+use deep500::tensor::Shape;
+use deep500::verify::{SymShape, Verifier};
+
+struct Case {
+    name: &'static str,
+    net: Network,
+    x: Shape,
+}
+
+fn zoo() -> Vec<Case> {
+    vec![
+        Case {
+            name: "mlp",
+            net: models::mlp(12, &[10, 8], 4, 3).expect("bundled model"),
+            x: Shape::new(&[3, 12]),
+        },
+        Case {
+            name: "lenet",
+            net: models::lenet(1, 14, 4, 5).expect("bundled model"),
+            x: Shape::new(&[2, 1, 14, 14]),
+        },
+        Case {
+            name: "alexnet",
+            net: models::alexnet_like(1, 16, 5, 6).expect("bundled model"),
+            x: Shape::new(&[2, 1, 16, 16]),
+        },
+        Case {
+            name: "resnet",
+            net: models::resnet_like(1, 8, 4, 2, 3, 7).expect("bundled model"),
+            x: Shape::new(&[2, 1, 8, 8]),
+        },
+    ]
+}
+
+fn main() {
+    let explain = std::env::args().any(|a| a == "--explain");
+    let mut denies = 0usize;
+    for case in zoo() {
+        let ir = case.net.to_ir();
+        let batch = case.x.dim(0);
+        let labels = Shape::new(&[batch]);
+        let report =
+            Verifier::new().check_with_inputs(&ir, &[("x", case.x.clone()), ("labels", labels)]);
+        // Symbolic pass rides along so batch-pinned constructs surface
+        // as warnings in the same run.
+        let (sym_report, _) = Verifier::new().check_symbolic(
+            &ir,
+            &[
+                ("x", SymShape::batched(&case.x.dims()[1..])),
+                ("labels", SymShape::batched(&[])),
+            ],
+        );
+        let mut merged = report;
+        merged.merge(sym_report);
+        println!(
+            "model '{}': {} deny, {} warn{}",
+            case.name,
+            merged.deny_count(),
+            merged.warn_count(),
+            merged
+                .pool_lower_bound
+                .map(|b| format!(", pool lower bound {b} B"))
+                .unwrap_or_default(),
+        );
+        if !merged.lints.is_empty() {
+            println!("{}", merged.render(explain));
+        }
+        denies += merged.deny_count();
+    }
+    if denies > 0 {
+        eprintln!("deep500-verify: {denies} deny lint(s) across the model zoo");
+        std::process::exit(1);
+    }
+    println!("deep500-verify: model zoo verifies clean");
+}

@@ -15,8 +15,11 @@
 //!
 //! plus the substrates: [`tensor`] (dense tensors + deterministic RNG),
 //! [`metrics`] (the `TestMetric` infrastructure), [`data`] (datasets,
-//! the D5J codec, storage containers, samplers), and [`frameworks`]
-//! (simulated TensorFlow/Caffe2/PyTorch/DeepBench backends).
+//! the D5J codec, storage containers, samplers), [`frameworks`]
+//! (simulated TensorFlow/Caffe2/PyTorch/DeepBench backends), and
+//! [`verify`] — the static graph verifier that gates every executor
+//! construction and graph transform (shape/dtype inference, dataflow and
+//! aliasing analysis, typed lints; see `DESIGN.md` §11).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use deep500_metrics as metrics;
 pub use deep500_ops as ops;
 pub use deep500_tensor as tensor;
 pub use deep500_train as train;
+pub use deep500_verify as verify;
 
 pub mod feature_matrix;
 pub mod recipes;

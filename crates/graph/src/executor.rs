@@ -173,7 +173,12 @@ impl ReferenceExecutor {
 
     /// Build with a device memory capacity in bytes; execution fails with
     /// `Error::OutOfMemory` when live activations + workspace exceed it.
+    ///
+    /// Construction is gated on the static verifier: a graph with a `Deny`
+    /// lint (use-before-def, cycle, duplicate writer, dangling fetch, ...)
+    /// is rejected with `Error::Validation` before any operator is built.
     pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        deep500_verify::gate(&network.to_ir())?;
         let ops = network.instantiate_ops()?;
         let order = network.topological_order()?;
         Ok(ReferenceExecutor {
@@ -187,8 +192,10 @@ impl ReferenceExecutor {
     }
 
     /// Re-derive operator instances and topological order after a graph
-    /// transformation mutated the network.
+    /// transformation mutated the network. Re-runs the static verifier: a
+    /// transform that broke the graph is caught here, not mid-pass.
     pub fn refresh(&mut self) -> Result<()> {
+        deep500_verify::gate(&self.network.to_ir())?;
         self.ops = self.network.instantiate_ops()?;
         self.order = self.network.topological_order()?;
         Ok(())

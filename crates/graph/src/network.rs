@@ -303,6 +303,34 @@ impl Network {
         Ok(ops)
     }
 
+    /// Lower the network to the plain-data IR `deep500-verify` analyzes.
+    /// The IR's `prefed` set carries the names currently in the value store
+    /// so the verifier's use-before-def semantics match
+    /// [`Self::topological_order`]'s notion of "available" exactly.
+    pub fn to_ir(&self) -> deep500_verify::GraphIr {
+        deep500_verify::GraphIr {
+            name: self.name.clone(),
+            nodes: self
+                .nodes()
+                .map(|(_, n)| deep500_verify::NodeIr {
+                    name: n.name.clone(),
+                    op_type: n.op_type.clone(),
+                    attrs: n.attrs.clone(),
+                    inputs: n.inputs.clone(),
+                    outputs: n.outputs.clone(),
+                })
+                .collect(),
+            params: self
+                .initializers
+                .iter()
+                .map(|(name, t)| (name.clone(), t.shape().clone()))
+                .collect(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            prefed: self.values.keys().cloned().collect(),
+        }
+    }
+
     /// Deep copy of the structural parts plus parameters (used by
     /// transformation passes and by per-rank replication in Level 3).
     pub fn clone_structure(&self) -> Network {

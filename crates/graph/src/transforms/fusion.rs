@@ -193,7 +193,20 @@ pub fn ensure_registered() {
 /// chain if its single output tensor has exactly one consumer, is not a
 /// declared graph output, and the consumer is also fusable. Returns the
 /// number of chains fused.
+///
+/// The rewritten graph is re-verified through `deep500-verify` before the
+/// function returns: a fusion that broke dataflow (dangling edge, duplicate
+/// writer) surfaces as `Error::Validation` here instead of at the next
+/// executor rebuild.
 pub fn fuse_elementwise(net: &mut Network) -> Result<usize> {
+    let fused = fuse_elementwise_inner(net)?;
+    if fused > 0 {
+        deep500_verify::gate(&net.to_ir())?;
+    }
+    Ok(fused)
+}
+
+fn fuse_elementwise_inner(net: &mut Network) -> Result<usize> {
     ensure_registered();
     let mut fused = 0usize;
     loop {

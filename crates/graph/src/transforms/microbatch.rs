@@ -115,6 +115,7 @@ pub fn microbatch_convolutions(
     input_shapes: &[(&str, Shape)],
     capacity: usize,
 ) -> Result<Vec<MicrobatchReport>> {
+    let before_ir = net.to_ir();
     let shapes = infer_shapes(net, input_shapes)?;
     let ops = net.instantiate_ops()?;
     let mut todo: Vec<(NodeId, usize, usize)> = Vec::new(); // id, workspace, batch
@@ -201,6 +202,21 @@ pub fn microbatch_convolutions(
             workspace_before: ws,
             workspace_after,
         });
+    }
+
+    // Transform-safety harness: re-verify the rewritten graph and diff its
+    // inferred shapes against the pre-transform graph. Every surviving
+    // tensor (in particular each rewritten conv's output) must keep its
+    // shape, and the declared interface and parameters must be intact.
+    if !reports.is_empty() {
+        let diff = deep500_verify::transform_safety::diff(&before_ir, &net.to_ir(), input_shapes);
+        if !diff.passes() {
+            return Err(Error::Validation(format!(
+                "microbatch transform on '{}' failed re-verification:\n{}",
+                net.name,
+                diff.report.render(false)
+            )));
+        }
     }
     Ok(reports)
 }

@@ -25,6 +25,24 @@ pub struct ExecutorReport {
     pub reference_time: Summary,
 }
 
+/// Candidate/reference runtime ratio with an explicit degeneracy marker.
+///
+/// On sub-microsecond graphs the reference median can quantize to `0.0`;
+/// the old behavior silently reported a ratio of `1.0`, hiding real
+/// slowdowns. The ratio here is always NaN-free: `candidate/reference` when
+/// the reference is measurable, `+inf` when only the candidate took
+/// measurable time, and `1.0` when *neither* side was measurable — with
+/// `degenerate` set so callers can tell a real 1.0 from an unmeasurable one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// Candidate/reference median-runtime ratio (>1 = candidate slower).
+    /// Never NaN.
+    pub ratio: f64,
+    /// True when `reference_time.median == 0.0`, i.e. the ratio is a guard
+    /// value rather than a measurement.
+    pub degenerate: bool,
+}
+
 impl ExecutorReport {
     /// Pass criterion: every compared tensor within `tol` in ℓ∞.
     pub fn passes(&self, tol: f64) -> bool {
@@ -33,11 +51,36 @@ impl ExecutorReport {
     }
 
     /// Candidate/reference median-runtime ratio (>1 = candidate slower).
+    /// Shorthand for [`Self::slowdown_detail`]`.ratio`; check the detail's
+    /// `degenerate` flag before trusting a ratio from sub-microsecond runs.
     pub fn slowdown(&self) -> f64 {
-        if self.reference_time.median > 0.0 {
-            self.candidate_time.median / self.reference_time.median
-        } else {
-            1.0
+        self.slowdown_detail().ratio
+    }
+
+    /// The full, NaN-free ratio + degeneracy marker.
+    pub fn slowdown_detail(&self) -> Slowdown {
+        slowdown_of(self.candidate_time.median, self.reference_time.median)
+    }
+}
+
+/// Shared NaN-free ratio guard (also used by `deep500-train`'s optimizer
+/// reports): `cand/ref` when the reference is measurable, `+inf` when only
+/// the candidate measured, `1.0` (degenerate) when neither did.
+pub fn slowdown_of(candidate: f64, reference: f64) -> Slowdown {
+    if reference > 0.0 {
+        Slowdown {
+            ratio: candidate / reference,
+            degenerate: false,
+        }
+    } else if candidate > 0.0 {
+        Slowdown {
+            ratio: f64::INFINITY,
+            degenerate: true,
+        }
+    } else {
+        Slowdown {
+            ratio: 1.0,
+            degenerate: true,
         }
     }
 }
@@ -194,5 +237,114 @@ mod tests {
         let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
         let mut b = ReferenceExecutor::new(net).unwrap();
         assert!(test_executor(&mut a, &mut b, &[], 0).is_err());
+    }
+
+    #[test]
+    fn slowdown_of_is_nan_free_on_degenerate_timings() {
+        // Measurable reference: plain ratio, not degenerate.
+        let s = slowdown_of(2.0, 4.0);
+        assert_eq!(
+            s,
+            Slowdown {
+                ratio: 0.5,
+                degenerate: false
+            }
+        );
+        // Reference quantized to zero but candidate measured: +inf, flagged.
+        let s = slowdown_of(1e-6, 0.0);
+        assert!(s.ratio.is_infinite() && s.ratio > 0.0);
+        assert!(s.degenerate);
+        // Neither side measured: the 1.0 guard value, flagged.
+        let s = slowdown_of(0.0, 0.0);
+        assert_eq!(s.ratio, 1.0);
+        assert!(s.degenerate);
+        // Never NaN, in every branch.
+        for (c, r) in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (3.0, 2.0)] {
+            assert!(!slowdown_of(c, r).ratio.is_nan());
+        }
+    }
+
+    #[test]
+    fn report_slowdown_detail_flags_zero_reference_median() {
+        let mk = |cand: f64, reference: f64| ExecutorReport {
+            output_norms: Vec::new(),
+            gradient_norms: Vec::new(),
+            candidate_time: deep500_metrics::stats::Summary::of(&[cand]),
+            reference_time: deep500_metrics::stats::Summary::of(&[reference]),
+        };
+        let r = mk(3.0, 0.0);
+        assert!(r.slowdown_detail().degenerate);
+        assert!(r.slowdown() > 0.0, "guard keeps legacy positivity contract");
+        let r = mk(3.0, 1.5);
+        assert!(!r.slowdown_detail().degenerate);
+        assert_eq!(r.slowdown(), 2.0);
+    }
+
+    #[test]
+    fn passes_tolerance_boundary_is_inclusive() {
+        let norms = DiffNorms::of(&[1.0, 2.0], &[1.0, 2.5]);
+        let report = ExecutorReport {
+            output_norms: vec![("y".into(), norms)],
+            gradient_norms: Vec::new(),
+            candidate_time: deep500_metrics::stats::Summary::of(&[1.0]),
+            reference_time: deep500_metrics::stats::Summary::of(&[1.0]),
+        };
+        assert!(report.passes(0.5), "linf == tol must pass");
+        assert!(!report.passes(0.49));
+        // An empty report vacuously passes at any tolerance.
+        let empty = ExecutorReport {
+            output_norms: Vec::new(),
+            gradient_norms: Vec::new(),
+            candidate_time: deep500_metrics::stats::Summary::of(&[1.0]),
+            reference_time: deep500_metrics::stats::Summary::of(&[1.0]),
+        };
+        assert!(empty.passes(0.0));
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use crate::executor::ReferenceExecutor;
+    use crate::models;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Swapping candidate and reference must leave every difference
+        /// norm unchanged: `DiffNorms::of` is symmetric, and the report
+        /// construction must not privilege either side.
+        #[test]
+        fn executor_report_norms_symmetric_under_swap(
+            seed_a in 1u64..200,
+            seed_b in 200u64..400,
+            batch in 1usize..4,
+        ) {
+            let net_a = models::mlp(6, &[5], 3, seed_a).unwrap();
+            let net_b = models::mlp(6, &[5], 3, seed_b).unwrap();
+            let mut ea = ReferenceExecutor::new(net_a.clone_structure()).unwrap();
+            let mut eb = ReferenceExecutor::new(net_b.clone_structure()).unwrap();
+            let x = Tensor::ones([batch, 6]);
+            let labels = Tensor::from_slice(&vec![0.0; batch]);
+            let feeds = [("x", x), ("labels", labels)];
+            let fwd = test_executor(&mut ea, &mut eb, &feeds, 1).unwrap();
+            let rev = test_executor(&mut eb, &mut ea, &feeds, 1).unwrap();
+            prop_assert_eq!(fwd.output_norms.len(), rev.output_norms.len());
+            for ((nf, f), (nr, r)) in fwd.output_norms.iter().zip(&rev.output_norms) {
+                prop_assert_eq!(nf, nr);
+                prop_assert_eq!(f, r);
+            }
+            // Same symmetry for gradient norms under backprop comparison.
+            let fwd =
+                test_executor_backprop(&mut ea, &mut eb, &feeds, "loss", 1).unwrap();
+            let rev =
+                test_executor_backprop(&mut eb, &mut ea, &feeds, "loss", 1).unwrap();
+            prop_assert_eq!(fwd.gradient_norms.len(), rev.gradient_norms.len());
+            for ((nf, f), (nr, r)) in fwd.gradient_norms.iter().zip(&rev.gradient_norms) {
+                prop_assert_eq!(nf, nr);
+                prop_assert_eq!(f, r);
+            }
+        }
     }
 }

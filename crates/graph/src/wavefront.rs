@@ -139,7 +139,13 @@ impl WavefrontExecutor {
 
     /// Build with a device memory capacity in bytes; execution fails with
     /// `Error::OutOfMemory` when live activations + workspace exceed it.
+    ///
+    /// Construction is gated on the static verifier (`Error::Validation` on
+    /// any `Deny` lint) — level-parallel execution over pooled buffers makes
+    /// dataflow defects like duplicate writers actively dangerous, not just
+    /// wrong.
     pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        deep500_verify::gate(&network.to_ir())?;
         let ops = network.instantiate_ops()?;
         let order = network.topological_order()?;
         let levels = partition_levels(&network, &order);
@@ -200,9 +206,49 @@ impl WavefrontExecutor {
         rates
     }
 
+    /// Prove pool-safety of this executor's *actual* level partition: no
+    /// tensor is live in two concurrent wavefront levels. Returns the
+    /// aliasing report (interference graph size + pool lower bound) on
+    /// success; `Error::Validation` naming the hazardous node/edge if the
+    /// partition were ever unsound.
+    pub fn verify_aliasing(
+        &self,
+        input_shapes: &[(&str, Shape)],
+    ) -> Result<deep500_verify::AliasReport> {
+        let ir = self.network.to_ir();
+        let mut lints = Vec::new();
+        let shapes = deep500_verify::shape_pass::infer(&ir, input_shapes, &[], &mut lints);
+        let levels: Vec<Vec<String>> = self
+            .levels
+            .iter()
+            .map(|level| {
+                level
+                    .iter()
+                    .map(|id| self.network.node(*id).expect("live node").name.clone())
+                    .collect()
+            })
+            .collect();
+        let report = deep500_verify::aliasing::analyze(&ir, &levels, &shapes, &mut lints);
+        let denied = lints
+            .iter()
+            .filter(|l| l.severity == deep500_verify::Severity::Deny)
+            .count();
+        if denied > 0 {
+            let rendered: Vec<String> = lints.iter().map(|l| l.to_string()).collect();
+            return Err(Error::Validation(format!(
+                "wavefront level partition of '{}' is not pool-safe ({denied} deny \
+                 lints):\n{}",
+                self.network.name,
+                rendered.join("\n")
+            )));
+        }
+        Ok(report)
+    }
+
     /// Re-derive operators, order, and levels after a graph transformation
-    /// mutated the network.
+    /// mutated the network. Re-runs the static verifier first.
     pub fn refresh(&mut self) -> Result<()> {
+        deep500_verify::gate(&self.network.to_ir())?;
         self.ops = self.network.instantiate_ops()?;
         self.order = self.network.topological_order()?;
         self.levels = partition_levels(&self.network, &self.order);

@@ -1,0 +1,90 @@
+//! Loom-style model checks for [`MemoryAccountant`]'s CAS-based
+//! capacity accounting.
+//!
+//! Compiled only with `RUSTFLAGS="--cfg loom"` (CI's `verify` job). The
+//! shim replays each body under many perturbed schedules, exercising the
+//! allocate/release interleavings that a single run would miss.
+//!
+//! Invariants checked:
+//! * two allocations that together exceed capacity are never both
+//!   admitted (the OOM check and the increment are one atomic step),
+//! * `current` never exceeds `capacity` and ends at zero once every
+//!   successful allocation has been released,
+//! * `peak` is monotone and bounds every observed `current`.
+#![cfg(loom)]
+
+use deep500_graph::MemoryAccountant;
+use std::sync::Arc;
+
+#[test]
+fn overcommitting_allocations_never_both_succeed() {
+    loom::model(|| {
+        let acct = Arc::new(MemoryAccountant::new(100));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let acct = Arc::clone(&acct);
+                loom::thread::spawn(move || {
+                    // Hold the claim until after join so the two requests
+                    // genuinely contend for the same capacity window.
+                    let admitted = acct.allocate(60).is_ok();
+                    assert!(acct.current() <= 100, "capacity breached");
+                    admitted
+                })
+            })
+            .collect();
+        let admitted: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // 60 + 60 > 100: under every schedule exactly one thread fits —
+        // never both (atomicity) and never zero (60 <= 100 for whichever
+        // CAS wins first).
+        assert_eq!(admitted.iter().filter(|&&a| a).count(), 1);
+        acct.release(60);
+        assert_eq!(acct.current(), 0, "the single admission was released");
+        assert!(acct.peak() >= 60 && acct.peak() <= 100);
+    });
+}
+
+#[test]
+fn disjoint_allocations_all_fit_and_release_to_zero() {
+    loom::model(|| {
+        let acct = Arc::new(MemoryAccountant::new(100));
+        let handles: Vec<_> = [40usize, 30, 20]
+            .into_iter()
+            .map(|bytes| {
+                let acct = Arc::clone(&acct);
+                loom::thread::spawn(move || {
+                    acct.allocate(bytes).expect("90 <= 100 always fits");
+                    assert!(acct.current() <= 100);
+                    assert!(acct.peak() >= acct.current());
+                    acct.release(bytes);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acct.current(), 0);
+        // Peak saw at least the largest single allocation.
+        assert!(acct.peak() >= 40 && acct.peak() <= 90);
+    });
+}
+
+#[test]
+fn release_saturates_instead_of_wrapping() {
+    loom::model(|| {
+        let acct = Arc::new(MemoryAccountant::new(100));
+        acct.allocate(10).unwrap();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let acct = Arc::clone(&acct);
+                // Both threads release more than is live: current must
+                // saturate at 0, never wrap to usize::MAX.
+                loom::thread::spawn(move || acct.release(50))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acct.current(), 0);
+        assert!(acct.peak() <= 100, "wrapped current would poison peak");
+    });
+}

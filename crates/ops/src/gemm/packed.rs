@@ -28,6 +28,16 @@
 //! when the CPU supports it (`#[target_feature]`-gated, so the default
 //! baseline build still carries it).
 //!
+//! Unsafe-code policy: this module is the workspace's only vendor-SIMD
+//! site. Every `unsafe` block carries a `// SAFETY:` comment (enforced by
+//! the workspace `clippy::undocumented_unsafe_blocks` deny), and the AVX2
+//! kernel is reachable *only* through [`microkernel`]'s runtime CPUID
+//! check — see its docs for the dispatch invariant. Under miri the AVX2
+//! path is compiled out entirely (`cfg(not(miri))`), so
+//! `cargo miri test -p deep500-ops gemm` checks the packing and the
+//! portable kernel, which share all slice-bounds reasoning with the SIMD
+//! variant.
+//!
 //! Determinism: parallelism is only over disjoint `C` row panels and each
 //! output element's `K` reduction ascends in `p` (register-summed per `KC`
 //! block, block partials added to `C` in ascending `pc` order), so results
@@ -171,22 +181,46 @@ fn microkernel_portable(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [
 /// Explicit 8-wide AVX2+FMA microkernel: one `__m256` accumulator per `C`
 /// row (MR + 2 live vectors — comfortably inside the 16 ymm registers).
 /// Compiled for every x86_64 build via `#[target_feature]`; only *run*
-/// when [`microkernel`] detects avx2+fma at runtime.
-#[cfg(target_arch = "x86_64")]
+/// when [`microkernel`] detects avx2+fma at runtime. Compiled out under
+/// miri, which cannot interpret vendor intrinsics — miri runs exercise the
+/// portable kernel (same packing, same slice bounds) instead.
+///
+/// # Safety
+///
+/// * The caller must have proven, at runtime, that the executing CPU
+///   supports AVX2 and FMA — calling this on a CPU without them is
+///   immediate UB (illegal instruction), regardless of what the slices
+///   contain. [`microkernel`] is the only caller and establishes this
+///   with `is_x86_feature_detected!`.
+/// * `asliver.len() >= kc * MR` and `bsliver.len() >= kc * NR`: the
+///   unaligned vector loads below read `MR`/`NR` lanes at each `p`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn microkernel_avx2(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]; MR]) {
     use core::arch::x86_64::*;
-    let mut vacc = [_mm256_setzero_ps(); MR];
-    for p in 0..kc {
-        let bv = _mm256_loadu_ps(bsliver.as_ptr().add(p * NR));
-        let ar = asliver.as_ptr().add(p * MR);
-        for (i, v) in vacc.iter_mut().enumerate() {
-            let av = _mm256_set1_ps(*ar.add(i));
-            *v = _mm256_fmadd_ps(av, bv, *v);
+    debug_assert!(asliver.len() >= kc * MR && bsliver.len() >= kc * NR);
+    // SAFETY: pointer arithmetic stays inside the slices — the packers
+    // always produce whole slivers (`asliver.len() >= kc * MR`,
+    // `bsliver.len() >= kc * NR`, zero-padded at the edges), so
+    // `p * NR + 7` and `p * MR + i` (i < MR) index in-bounds for every
+    // `p < kc`. `_mm256_loadu_ps`/`_mm256_storeu_ps` tolerate any
+    // alignment, and `acc[i]` is exactly `NR == 8` floats, matching one
+    // `__m256` store. The intrinsics themselves are safe to execute
+    // because this fn's `#[target_feature]` contract (CPU has avx2+fma)
+    // is upheld by the caller per the function-level Safety section.
+    unsafe {
+        let mut vacc = [_mm256_setzero_ps(); MR];
+        for p in 0..kc {
+            let bv = _mm256_loadu_ps(bsliver.as_ptr().add(p * NR));
+            let ar = asliver.as_ptr().add(p * MR);
+            for (i, v) in vacc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ar.add(i));
+                *v = _mm256_fmadd_ps(av, bv, *v);
+            }
         }
-    }
-    for (i, v) in vacc.into_iter().enumerate() {
-        _mm256_storeu_ps(acc[i].as_mut_ptr(), v);
+        for (i, v) in vacc.into_iter().enumerate() {
+            _mm256_storeu_ps(acc[i].as_mut_ptr(), v);
+        }
     }
 }
 
@@ -194,13 +228,22 @@ unsafe fn microkernel_avx2(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mu
 /// each multiply-add (different rounding than the portable mul+add), which
 /// keeps the `Packed` tier a genuinely distinct accumulation for the ℓ∞
 /// comparisons while staying within the 1e-3 parity bound.
+///
+/// Runtime-dispatch invariant: this function is the *only* caller of
+/// [`microkernel_avx2`], and it calls it exclusively behind a successful
+/// `is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")`
+/// check on the executing thread. The detection macro reads CPUID (cached
+/// by std), so a binary compiled for baseline x86_64 stays correct on
+/// pre-AVX2 hardware: the unsafe kernel is compiled in but never reached.
 #[inline]
 fn microkernel(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]; MR]) {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: gated on runtime detection of the exact features the
-        // kernel is compiled for; slices are sized by the callers to
-        // kc * MR / kc * NR.
+        // SAFETY: the `#[target_feature(enable = "avx2", enable = "fma")]`
+        // contract is established by the runtime detection on this exact
+        // execution path, and the slice-length preconditions hold because
+        // every caller passes whole packed slivers of `kc * MR` /
+        // `kc * NR` elements (see `pack_a`/`pack_b`).
         unsafe { microkernel_avx2(kc, asliver, bsliver, acc) };
         return;
     }

@@ -148,10 +148,25 @@ impl BufferPool {
             usize::pow(2, cap.ilog2())
         };
         let bytes = class * std::mem::size_of::<f32>();
-        if self.held_bytes.load(Ordering::Relaxed) + bytes > self.max_held_bytes {
-            return;
+        // CAS loop: the cap check and the reservation must be one atomic
+        // step, or two racing recyclers could both pass the check and park
+        // more than `max_held_bytes` (caught by the loom model tests).
+        let mut held = self.held_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = held + bytes;
+            if next > self.max_held_bytes {
+                return;
+            }
+            match self.held_bytes.compare_exchange_weak(
+                held,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => held = actual,
+            }
         }
-        self.held_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.recycled.fetch_add(1, Ordering::Relaxed);
         self.classes.lock().entry(class).or_default().push(buf);
     }

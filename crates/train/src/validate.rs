@@ -31,13 +31,18 @@ impl OptimizerReport {
         self.param_norms.iter().all(|(_, n)| n.within(tol))
     }
 
-    /// Candidate/reference time ratio.
+    /// Candidate/reference time ratio. Shorthand for
+    /// [`Self::slowdown_detail`]`.ratio`; sub-microsecond steps can
+    /// quantize `reference_time` to zero, in which case the ratio is a
+    /// guard value — check the detail's `degenerate` flag.
     pub fn slowdown(&self) -> f64 {
-        if self.reference_time > 0.0 {
-            self.candidate_time / self.reference_time
-        } else {
-            1.0
-        }
+        self.slowdown_detail().ratio
+    }
+
+    /// NaN-free ratio + degeneracy marker, shared with the Level-1
+    /// executor reports.
+    pub fn slowdown_detail(&self) -> deep500_graph::validate::Slowdown {
+        deep500_graph::validate::slowdown_of(self.candidate_time, self.reference_time)
     }
 }
 

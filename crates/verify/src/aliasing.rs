@@ -1,0 +1,199 @@
+//! Buffer-aliasing analysis for wavefront (level-parallel) execution.
+//!
+//! The wavefront executor runs all nodes of a level concurrently over
+//! buffers drawn from a shared [`BufferPool`]. That is only sound if no
+//! tensor is *written* in the same level where it is *read* (or written
+//! again): a same-level def/use pair would race on the buffer. This pass
+//! proves the property for a given level partition — by default the one the
+//! executor itself derives, handed in by node name — and reports a
+//! [`LintCode::SameLevelHazard`] for every violation.
+//!
+//! The same liveness information builds an interference graph over produced
+//! tensors (edges between tensors whose live ranges overlap), whose maximum
+//! weighted clique-by-level is a *lower bound on the pool bytes* any
+//! level-parallel schedule needs: at the end of each level, every tensor
+//! defined at or before it and consumed strictly after it is simultaneously
+//! live. The bound is reported as a metric and checked against the
+//! executor's observed high-water mark in the graph crate's tests.
+//!
+//! [`BufferPool`]: deep500_tensor::BufferPool
+
+use crate::ir::GraphIr;
+use crate::lint::{Lint, LintCode};
+use deep500_tensor::Shape;
+use std::collections::HashMap;
+
+/// Result of the aliasing analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AliasReport {
+    /// Number of wavefront levels analyzed.
+    pub num_levels: usize,
+    /// Edges in the tensor interference graph (live-range overlaps).
+    pub interference_edges: usize,
+    /// Lower bound, in bytes, on simultaneously-live produced-tensor
+    /// storage for this level partition — a floor for any buffer pool
+    /// serving the forward pass.
+    pub pool_lower_bound: usize,
+    /// Live bytes at the end of each level (the per-level terms whose max
+    /// is `pool_lower_bound`).
+    pub level_bytes: Vec<usize>,
+}
+
+/// Derive a level partition from the IR exactly like the wavefront
+/// executor: a node's level is one more than the deepest level among its
+/// input producers. Returns levels of node indices. Nodes stuck in cycles
+/// are omitted (the dataflow pass denies the graph separately).
+pub fn compute_levels(ir: &GraphIr) -> Vec<Vec<usize>> {
+    let (order, _) = ir.topo_order_lenient();
+    let mut level_of: HashMap<usize, usize> = HashMap::new();
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for idx in order {
+        let node = &ir.nodes[idx];
+        let mut level = 0;
+        for input in &node.inputs {
+            if let Some(p) = ir.producer_of(input) {
+                if let Some(&pl) = level_of.get(&p) {
+                    level = level.max(pl + 1);
+                }
+            }
+        }
+        level_of.insert(idx, level);
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Vec::new);
+        }
+        levels[level].push(idx);
+    }
+    levels
+}
+
+/// Analyze a level partition given by *node name* (the executor's own
+/// partition, or [`compute_levels`] mapped to names). `shapes` supplies
+/// concrete tensor shapes from the shape pass; tensors without an inferred
+/// shape contribute 0 bytes to the bound (conservative for a lower bound).
+pub fn analyze(
+    ir: &GraphIr,
+    levels: &[Vec<String>],
+    shapes: &HashMap<String, Shape>,
+    lints: &mut Vec<Lint>,
+) -> AliasReport {
+    let num_levels = levels.len();
+    let mut level_of_node: HashMap<&str, usize> = HashMap::new();
+    for (l, names) in levels.iter().enumerate() {
+        for n in names {
+            level_of_node.insert(n.as_str(), l);
+        }
+    }
+
+    // Def level of each produced tensor, and the writer node's name.
+    let mut def_of: HashMap<&str, (usize, &str)> = HashMap::new();
+    for n in &ir.nodes {
+        let Some(&l) = level_of_node.get(n.name.as_str()) else {
+            continue; // stuck in a cycle; dataflow pass already denied it
+        };
+        for o in &n.outputs {
+            if let Some(&(dl, dn)) = def_of.get(o.as_str()) {
+                if dl == l {
+                    lints.push(
+                        Lint::new(
+                            LintCode::SameLevelHazard,
+                            format!(
+                                "tensor '{o}' is written by '{dn}' and '{}' in the same \
+                                 wavefront level {l}; concurrent writers race on the \
+                                 pooled buffer",
+                                n.name
+                            ),
+                        )
+                        .with_node(n.name.as_str())
+                        .with_tensor(o.as_str()),
+                    );
+                }
+            } else {
+                def_of.insert(o.as_str(), (l, n.name.as_str()));
+            }
+        }
+    }
+
+    // Same-level (or earlier) read of a written tensor: every consumer must
+    // sit in a strictly later level than the producer.
+    for n in &ir.nodes {
+        let Some(&l) = level_of_node.get(n.name.as_str()) else {
+            continue;
+        };
+        for i in &n.inputs {
+            if let Some(&(dl, dn)) = def_of.get(i.as_str()) {
+                if dl >= l && dn != n.name.as_str() {
+                    lints.push(
+                        Lint::new(
+                            LintCode::SameLevelHazard,
+                            format!(
+                                "node '{}' (level {l}) reads '{i}' written by '{dn}' \
+                                 (level {dl}); a producer must finish strictly before \
+                                 its consumers' level",
+                                n.name
+                            ),
+                        )
+                        .with_node(n.name.as_str())
+                        .with_tensor(i.as_str()),
+                    );
+                }
+            }
+        }
+    }
+
+    // Live ranges of produced tensors: [def, last_use) in level numbers,
+    // where graph outputs and never-consumed tensors stay live to the end
+    // (the executor pins fetched outputs and never releases unconsumed
+    // buffers mid-pass).
+    let fetched: std::collections::HashSet<&str> = ir.outputs.iter().map(|s| s.as_str()).collect();
+    struct Range {
+        def: usize,
+        end: usize, // exclusive: live at the end of levels def..end
+        bytes: usize,
+    }
+    let mut ranges: Vec<(String, Range)> = Vec::new();
+    for (tensor, &(def, _)) in &def_of {
+        let consumers = ir.consumers_of(tensor);
+        let mut end = def; // live at least through its def level
+        if fetched.contains(tensor) || consumers.is_empty() {
+            end = num_levels.saturating_sub(1);
+        } else {
+            for c in consumers {
+                if let Some(&cl) = level_of_node.get(ir.nodes[c].name.as_str()) {
+                    // Consumed at level cl => still accounted at the end of
+                    // every level strictly before cl.
+                    end = end.max(cl.saturating_sub(1));
+                }
+            }
+        }
+        let bytes = shapes
+            .get(*tensor)
+            .map(|s| s.numel() * std::mem::size_of::<f32>())
+            .unwrap_or(0);
+        ranges.push((tensor.to_string(), Range { def, end, bytes }));
+    }
+    ranges.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Interference edges + per-level live bytes.
+    let mut interference_edges = 0;
+    for (i, (_, a)) in ranges.iter().enumerate() {
+        for (_, b) in ranges.iter().skip(i + 1) {
+            if a.def <= b.end && b.def <= a.end {
+                interference_edges += 1;
+            }
+        }
+    }
+    let mut level_bytes = vec![0usize; num_levels];
+    for (_, r) in &ranges {
+        for lb in level_bytes.iter_mut().take(r.end + 1).skip(r.def) {
+            *lb += r.bytes;
+        }
+    }
+    let pool_lower_bound = level_bytes.iter().copied().max().unwrap_or(0);
+
+    AliasReport {
+        num_levels,
+        interference_edges,
+        pool_lower_bound,
+        level_bytes,
+    }
+}

@@ -1,0 +1,140 @@
+//! Dataflow & liveness pass: use-before-def, duplicate writers, cycles,
+//! dangling feeds/fetches, dead nodes.
+//!
+//! This pass is purely structural — it needs no input shapes and no operator
+//! instantiation — so it is cheap enough to run at every executor
+//! construction and after every graph transform.
+
+use crate::ir::GraphIr;
+use crate::lint::{Lint, LintCode};
+use std::collections::{HashMap, HashSet};
+
+/// Run the dataflow checks over `ir`, appending findings to `lints`.
+pub fn run(ir: &GraphIr, lints: &mut Vec<Lint>) {
+    let sources = ir.source_names();
+
+    // Duplicate writers: every tensor name must have exactly one producer
+    // (and sources must not be shadowed by a producer — a parameter that a
+    // node also writes is equally ambiguous).
+    let mut writers: HashMap<&str, Vec<&str>> = HashMap::new();
+    for n in &ir.nodes {
+        for o in &n.outputs {
+            writers.entry(o.as_str()).or_default().push(n.name.as_str());
+        }
+    }
+    let mut dup_names: Vec<&str> = writers
+        .iter()
+        .filter(|(_, ws)| ws.len() > 1)
+        .map(|(t, _)| *t)
+        .collect();
+    dup_names.sort_unstable();
+    for t in dup_names {
+        let ws = &writers[t];
+        lints.push(
+            Lint::new(
+                LintCode::DuplicateWriter,
+                format!("tensor '{}' is written by {} nodes: {:?}", t, ws.len(), ws),
+            )
+            .with_node(ws[1])
+            .with_tensor(t),
+        );
+    }
+
+    // Use-before-def: consumed names with no producer and no source.
+    let mut reported_missing: HashSet<&str> = HashSet::new();
+    for n in &ir.nodes {
+        for i in &n.inputs {
+            if !sources.contains(i.as_str())
+                && !writers.contains_key(i.as_str())
+                && reported_missing.insert(i.as_str())
+            {
+                lints.push(
+                    Lint::new(
+                        LintCode::UseBeforeDef,
+                        format!(
+                            "node '{}' reads '{}', which no node produces and which is \
+                             not a graph input, parameter, or fed value",
+                            n.name, i
+                        ),
+                    )
+                    .with_node(n.name.as_str())
+                    .with_tensor(i.as_str()),
+                );
+            }
+        }
+    }
+
+    // Cycles: the lenient topo sort treats undefined inputs as available, so
+    // any stuck node is trapped in a genuine dependency cycle.
+    let (_, stuck) = ir.topo_order_lenient();
+    if !stuck.is_empty() {
+        let names: Vec<&str> = stuck.iter().map(|&i| ir.nodes[i].name.as_str()).collect();
+        for &i in &stuck {
+            let n = &ir.nodes[i];
+            lints.push(
+                Lint::new(
+                    LintCode::Cycle,
+                    format!(
+                        "node '{}' is part of a dependency cycle (stuck nodes: {names:?})",
+                        n.name
+                    ),
+                )
+                .with_node(n.name.as_str()),
+            );
+        }
+    }
+
+    // Dangling fetches: declared outputs nothing produces.
+    for o in &ir.outputs {
+        if !writers.contains_key(o.as_str()) && !sources.contains(o.as_str()) {
+            lints.push(
+                Lint::new(
+                    LintCode::DanglingFetch,
+                    format!("declared graph output '{o}' is never produced"),
+                )
+                .with_tensor(o.as_str()),
+            );
+        }
+    }
+
+    // Dangling feeds: declared inputs nothing consumes.
+    let consumed: HashSet<&str> = ir
+        .nodes
+        .iter()
+        .flat_map(|n| n.inputs.iter().map(|s| s.as_str()))
+        .collect();
+    for i in &ir.inputs {
+        if !consumed.contains(i.as_str()) {
+            lints.push(
+                Lint::new(
+                    LintCode::DanglingFeed,
+                    format!("declared graph input '{i}' is never consumed"),
+                )
+                .with_tensor(i.as_str()),
+            );
+        }
+    }
+
+    // Dead nodes: no output consumed or fetched. Transitively dead chains
+    // are reported one node at a time (each sweep of the executor would
+    // still run them all).
+    let fetched: HashSet<&str> = ir.outputs.iter().map(|s| s.as_str()).collect();
+    for n in &ir.nodes {
+        let live = n
+            .outputs
+            .iter()
+            .any(|o| consumed.contains(o.as_str()) || fetched.contains(o.as_str()));
+        if !live {
+            lints.push(
+                Lint::new(
+                    LintCode::DeadNode,
+                    format!(
+                        "node '{}' ({}) has no consumed or fetched output {:?}",
+                        n.name, n.op_type, n.outputs
+                    ),
+                )
+                .with_node(n.name.as_str()),
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! Real loom exhaustively enumerates thread interleavings of code written
+//! against its shadow `loom::sync`/`loom::thread` types. This build
+//! environment has no crates.io access, and the code under test (the
+//! `BufferPool` and `MemoryAccountant` concurrency kernels) is written
+//! against real `std`/`parking_lot` primitives — so this shim keeps loom's
+//! *test-authoring surface* (`loom::model`, `loom::thread::spawn`,
+//! `loom::thread::yield_now`) but explores interleavings by **bounded
+//! schedule perturbation**: each `model` iteration re-runs the closure with
+//! real threads whose startup is staggered by a per-iteration,
+//! deterministic yield pattern, shaking out ordering-dependent failures
+//! without loom's completeness guarantee.
+//!
+//! The divergence is deliberate and documented in `shims/README.md`; tests
+//! written against this shim compile unchanged against real loom (which
+//! subsumes the perturbation by exhaustive search).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of perturbed schedules explored per `model` call. Chosen so the
+/// cfg-gated suites stay fast on single-core CI runners while still cycling
+/// through every distinct yield pattern several times.
+const SCHEDULES: usize = 64;
+
+static CURRENT_SCHEDULE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-spawn counter inside one schedule, so sibling threads of the same
+    /// iteration get *different* perturbations.
+    static SPAWN_SEQ: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Run `f` under `SCHEDULES` perturbed schedules (real loom: under every
+/// possible schedule). Panics propagate, so a failing interleaving fails
+/// the test with that schedule's panic message.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync,
+{
+    for schedule in 0..SCHEDULES {
+        CURRENT_SCHEDULE.store(schedule, Ordering::SeqCst);
+        SPAWN_SEQ.with(|c| c.set(0));
+        f();
+    }
+}
+
+/// Shadow of `loom::thread`.
+pub mod thread {
+    use super::{CURRENT_SCHEDULE, SPAWN_SEQ};
+    use std::sync::atomic::Ordering;
+
+    /// Spawn a real thread whose start is perturbed by the current
+    /// schedule: thread `k` of schedule `s` yields `(s + 3k) % 7` times
+    /// before running the closure, then once per yield point afterwards is
+    /// up to the closure (use [`yield_now`]).
+    pub fn spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let schedule = CURRENT_SCHEDULE.load(Ordering::SeqCst);
+        let seq = SPAWN_SEQ.with(|c| {
+            let v = c.get();
+            c.set(v + 1);
+            v
+        });
+        std::thread::spawn(move || {
+            for _ in 0..(schedule + 3 * seq) % 7 {
+                std::thread::yield_now();
+            }
+            f()
+        })
+    }
+
+    /// Yield point: in real loom this is a preemption point the checker
+    /// branches on; here it is a plain scheduler yield.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_many_schedules_and_joins() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&runs);
+        super::model(move || {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    super::thread::spawn(move || c.fetch_add(1, Ordering::SeqCst))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), super::SCHEDULES);
+    }
+}

@@ -129,9 +129,13 @@ pub fn run_set(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         done: Condvar::new(),
         panicked: AtomicBool::new(false),
     });
-    // Lifetime erasure: helpers submitted to the pool must be 'static, but
-    // we block below until `pending == 0`, so the borrowed closures are
-    // fully consumed before this frame unwinds.
+    // SAFETY: lifetime erasure only — `TaskSet<'a>` and `TaskSet<'static>`
+    // are the same type modulo the closure lifetime, so the transmute
+    // changes no layout. Helpers submitted to the pool must be 'static,
+    // but this frame blocks below until `pending == 0`: every borrowed
+    // closure is consumed (or the panic flag set) before the borrows it
+    // captures can go out of scope, so no helper ever observes a dangling
+    // reference.
     let erased: Arc<TaskSet<'static>> = unsafe { std::mem::transmute(Arc::clone(&set)) };
     let helpers = (pool().threads).min(n - 1);
     for _ in 0..helpers {
