@@ -1,0 +1,181 @@
+//! `profile` — the unified tracing/profiling harness.
+//!
+//! Runs two traced workloads into one shared
+//! [`TraceRecorder`](deep500::metrics::TraceRecorder):
+//!
+//! 1. a 2-epoch wavefront-executor training run (operator, sampling,
+//!    iteration, and epoch spans from the existing `Event` hooks), and
+//! 2. a small data-parallel distributed run with every rank's communicator
+//!    wrapped in a `TracingCommunicator` (per-peer communication spans).
+//!
+//! Emits, at the repo root:
+//!
+//! * `trace.json` — Chrome trace-event JSON; open in `chrome://tracing` or
+//!   Perfetto. Self-validated with `validate_chrome_trace` before writing.
+//! * `BENCH_profile.json` — machine-readable per-operator attribution
+//!   (wall time, GFLOP/s, bytes moved), phase totals, dataset latency, and
+//!   communication volume.
+//!
+//! Run with: `cargo run --release -p deep500-bench --bin profile`
+
+use deep500::dist::{DistributedRunner, Variant};
+use deep500::metrics::{validate_chrome_trace, Phase, TraceRecorder};
+use deep500::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let recorder = TraceRecorder::new();
+
+    // ---- 1. Traced 2-epoch wavefront training ----------------------------
+    let features = 32;
+    let net = models::mlp(features, &[64, 32], 4, 42).expect("build mlp");
+    let mut ex = WavefrontExecutor::new(net).expect("build wavefront executor");
+    ex.events_mut().push(Box::new(recorder.sink("executor")));
+
+    let train_ds = SyntheticDataset::new(
+        "profile-train",
+        deep500::tensor::Shape::new(&[features]),
+        4,
+        256,
+        0.2,
+        7,
+    );
+    let mut sampler = ShuffleSampler::new(Arc::new(train_ds), 16, 7);
+    let mut opt = GradientDescent::new(0.05);
+    let mut runner = TrainingRunner::new(TrainingConfig {
+        epochs: 2,
+        ..Default::default()
+    });
+    runner.events.push(Box::new(recorder.sink("runner")));
+    let log = runner
+        .run(&mut opt, &mut ex, &mut sampler, None)
+        .expect("training run");
+    ex.annotate_trace(&recorder);
+
+    // ---- 2. Traced distributed run ---------------------------------------
+    let dist_net = models::mlp(features, &[32], 4, 43).expect("build dist mlp");
+    let dist_ds: Arc<dyn Dataset> = Arc::new(SyntheticDataset::new(
+        "profile-dist",
+        deep500::tensor::Shape::new(&[features]),
+        4,
+        128,
+        0.2,
+        8,
+    ));
+    let report = DistributedRunner::new(&dist_net, dist_ds)
+        .world(2)
+        .batch(8)
+        .steps(8)
+        .variant(Variant::Cdsgd)
+        .trace(&recorder)
+        .run()
+        .expect("distributed run");
+    assert!(report.all_completed(), "distributed ranks must complete");
+    let volume = report.volume();
+
+    // ---- Chrome trace: validate, then write ------------------------------
+    let json = recorder.chrome_trace_json();
+    let stats = match validate_chrome_trace(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("profile: emitted Chrome trace fails validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../trace.json");
+    std::fs::write(trace_path, &json).expect("write trace.json");
+    println!(
+        "profile: wrote {trace_path} ({} spans, {} metadata events)",
+        stats.spans, stats.metadata
+    );
+
+    // ---- Human-readable attribution --------------------------------------
+    println!("\n{}", recorder.attribution_table().render());
+    let attribution = ex.op_attribution();
+    let attributed: f64 = attribution.iter().map(|r| r.total_s()).sum();
+    let backprop_total = recorder.phase_total_s(Phase::Backprop);
+    let coverage = if backprop_total > 0.0 {
+        attributed / backprop_total
+    } else {
+        0.0
+    };
+    println!(
+        "attribution coverage: {:.1}% of {:.1} ms Backprop wall time",
+        coverage * 100.0,
+        backprop_total * 1e3
+    );
+    let latency = log.dataset_latency().expect("batches were fetched");
+    println!(
+        "dataset latency: median {:.3} ms over {} batches ({:.1} ms total)",
+        latency.median * 1e3,
+        latency.n,
+        log.sampling_total() * 1e3
+    );
+    println!(
+        "communication: {} msgs / {} bytes sent across {} ranks",
+        volume.messages_sent,
+        volume.bytes_sent,
+        report.ranks.len()
+    );
+
+    // ---- BENCH_profile.json ----------------------------------------------
+    let op_rows: Vec<String> = attribution
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"op\": \"{}\", \"forward_calls\": {}, \"backward_calls\": {}, \
+                 \"forward_ms\": {:.6}, \"backward_ms\": {:.6}, \"gflops_per_s\": {:.3}, \
+                 \"flops_per_call\": {:.1}, \"bytes_per_call\": {}}}",
+                r.name,
+                r.forward_calls,
+                r.backward_calls,
+                r.forward_s * 1e3,
+                r.backward_s * 1e3,
+                r.gflops_per_s(),
+                r.flops_per_call,
+                r.bytes_per_call
+            )
+        })
+        .collect();
+    let phase_rows: Vec<String> = [
+        Phase::Backprop,
+        Phase::Iteration,
+        Phase::Epoch,
+        Phase::Sampling,
+        Phase::Communication,
+        Phase::OperatorForward,
+        Phase::OperatorBackward,
+    ]
+    .iter()
+    .map(|p| {
+        format!(
+            "    \"{}\": {:.6}",
+            p.label(),
+            recorder.phase_total_s(*p) * 1e3
+        )
+    })
+    .collect();
+    let profile_json = format!(
+        "{{\n  \"benchmark\": \"profile\",\n  \"trace_file\": \"trace.json\",\n  \
+         \"trace_spans\": {},\n  \"attribution_coverage\": {:.4},\n  \
+         \"phase_totals_ms\": {{\n{}\n  }},\n  \"operators\": [\n{}\n  ],\n  \
+         \"dataset_latency_ms\": {{\"median\": {:.6}, \"mean\": {:.6}, \"max\": {:.6}, \"n\": {}}},\n  \
+         \"communication\": {{\"bytes_sent\": {}, \"bytes_received\": {}, \
+         \"messages_sent\": {}, \"messages_received\": {}}}\n}}\n",
+        stats.spans,
+        coverage,
+        phase_rows.join(",\n"),
+        op_rows.join(",\n"),
+        latency.median * 1e3,
+        latency.mean * 1e3,
+        latency.max * 1e3,
+        latency.n,
+        volume.bytes_sent,
+        volume.bytes_received,
+        volume.messages_sent,
+        volume.messages_received,
+    );
+    let profile_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_profile.json");
+    std::fs::write(profile_path, &profile_json).expect("write BENCH_profile.json");
+    println!("profile: wrote {profile_path}");
+}

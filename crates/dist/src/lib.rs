@@ -51,6 +51,7 @@ pub mod optimizers;
 pub mod runner;
 pub mod scaling;
 pub mod sparse;
+pub mod tracing;
 
 pub use comm::{CommError, CommResult, Communicator, SendOptions, ThreadTransport};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyCommunicator};
@@ -58,3 +59,4 @@ pub use netmodel::NetworkModel;
 pub use runner::{
     ConsistencyReport, DistributedRunner, RankReport, RankStatus, RunReport, Variant,
 };
+pub use tracing::TracingCommunicator;

@@ -35,9 +35,11 @@ use crate::optimizers::{
     mavg::ModelAveraging, pssgd::ConsistentCentralized, signsgd::SignCompressedSgd,
     sparcml::SparseDecentralized, stale::StaleSynchronous, DistributedOptimizer,
 };
+use crate::tracing::TracingCommunicator;
 use deep500_data::sampler::{DatasetSampler, ShardedSampler};
 use deep500_data::Dataset;
 use deep500_graph::{ExecutorKind, Network};
+use deep500_metrics::trace::{OpAttribution, TraceRecorder};
 use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Error, Result};
 use deep500_train::sgd::GradientDescent;
@@ -254,6 +256,8 @@ pub struct RankReport {
     pub virtual_time: f64,
     /// Fault-injection and recovery counters (zero without a plan).
     pub faults: FaultCounters,
+    /// Per-operator wall-time attribution from this rank's executor.
+    pub op_attribution: Vec<OpAttribution>,
 }
 
 /// The outcome of a distributed training run: one report per rank, sorted
@@ -283,6 +287,40 @@ impl RunReport {
             .iter()
             .filter(|r| matches!(r.status, RankStatus::Failed(_)))
             .collect()
+    }
+
+    /// Per-operator attribution merged across all ranks (calls and wall
+    /// time summed by node id; per-call FLOPs/bytes are structural and
+    /// identical on every rank). Sorted by total time, descending.
+    pub fn op_attribution(&self) -> Vec<OpAttribution> {
+        let mut merged: Vec<OpAttribution> = Vec::new();
+        for row in self.ranks.iter().flat_map(|r| &r.op_attribution) {
+            match merged.iter_mut().find(|m| m.id == row.id) {
+                Some(m) => {
+                    m.forward_calls += row.forward_calls;
+                    m.backward_calls += row.backward_calls;
+                    m.forward_s += row.forward_s;
+                    m.backward_s += row.backward_s;
+                }
+                None => merged.push(row.clone()),
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.total_s()
+                .partial_cmp(&a.total_s())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        merged
+    }
+
+    /// Communication counters merged across all ranks.
+    pub fn volume(&self) -> CommunicationVolume {
+        let mut total = CommunicationVolume::new();
+        for r in &self.ranks {
+            total.merge(&r.volume);
+        }
+        total
     }
 
     /// Fault counters merged across all ranks.
@@ -493,6 +531,7 @@ pub struct DistributedRunner {
     executor: ExecutorKind,
     variant: Variant,
     faults: Option<Arc<FaultPlan>>,
+    trace: Option<TraceRecorder>,
 }
 
 impl DistributedRunner {
@@ -512,6 +551,7 @@ impl DistributedRunner {
             executor: ExecutorKind::Reference,
             variant: Variant::Cdsgd,
             faults: None,
+            trace: None,
         }
     }
 
@@ -571,6 +611,16 @@ impl DistributedRunner {
         self
     }
 
+    /// Record every rank's communication into `recorder`: each rank's
+    /// communicator is wrapped in a
+    /// [`TracingCommunicator`](crate::tracing::TracingCommunicator) feeding
+    /// a per-rank track (`rank0`, `rank1`, …), outermost so injected fault
+    /// delays show up in the spans.
+    pub fn trace(mut self, recorder: &TraceRecorder) -> Self {
+        self.trace = Some(recorder.clone());
+        self
+    }
+
     /// Spawn the rank threads, train, and join into a [`RunReport`].
     ///
     /// Planned rank crashes and per-rank communication failures are
@@ -589,16 +639,23 @@ impl DistributedRunner {
             executor,
             variant,
             faults,
+            trace,
         } = self;
         let proto = Arc::new(network);
         let mut ranks = spawn_ranks(world, model, move |ctx| -> Result<RankReport> {
             let rank = ctx.rank;
             let mut exec = executor.build(proto.clone_structure())?;
             let mut sampler = ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
-            let comm: Box<dyn Communicator> = match &faults {
+            let mut comm: Box<dyn Communicator> = match &faults {
                 Some(plan) => Box::new(FaultyCommunicator::new(ctx.comm, plan.clone(), model)),
                 None => Box::new(ctx.comm),
             };
+            if let Some(recorder) = &trace {
+                comm = Box::new(TracingCommunicator::new(
+                    comm,
+                    recorder.sink(format!("rank{rank}")),
+                ));
+            }
             let mut opt = variant.build(lr, comm);
             let mut losses = Vec::with_capacity(steps);
             let mut status = RankStatus::Completed;
@@ -652,6 +709,7 @@ impl DistributedRunner {
                 volume: opt.comm_stats(),
                 virtual_time: opt.virtual_time(),
                 faults: opt.fault_stats(),
+                op_attribution: exec.op_attribution(),
             })
         })?;
         ranks.sort_by_key(|r| r.rank);
@@ -872,6 +930,49 @@ mod tests {
             assert!(report.ranks.iter().all(|r| r.volume.bytes_sent > 0));
             assert_eq!(report.faults(), FaultCounters::default());
         }
+    }
+
+    #[test]
+    fn traced_run_records_per_rank_spans_and_attribution() {
+        let recorder = TraceRecorder::new();
+        let report = DistributedRunner::new(&net(), dataset(128))
+            .world(2)
+            .batch(4)
+            .steps(3)
+            .variant(Variant::Cdsgd)
+            .trace(&recorder)
+            .run()
+            .unwrap();
+        assert!(report.all_completed());
+        // One communication track per rank, with byte-carrying spans.
+        let tracks = recorder.tracks();
+        for rank in 0..2 {
+            let name = format!("rank{rank}");
+            let (_, spans) = tracks
+                .iter()
+                .find(|(t, _)| *t == name)
+                .unwrap_or_else(|| panic!("missing track {name}: {tracks:?}"));
+            assert!(!spans.is_empty(), "{name} has spans");
+            assert!(
+                spans
+                    .iter()
+                    .all(|s| s.phase == deep500_metrics::Phase::Communication),
+                "{name} holds communication spans only"
+            );
+            assert!(spans.iter().any(|s| s.bytes > 0), "{name} carries bytes");
+        }
+        // Every rank's executor attributed its operator time, and the
+        // run-level fold sums calls across ranks.
+        let per_rank_fwd: usize = report.ranks[0]
+            .op_attribution
+            .iter()
+            .map(|r| r.forward_calls)
+            .sum();
+        assert!(per_rank_fwd > 0, "rank 0 attributed forward calls");
+        let merged = report.op_attribution();
+        assert!(!merged.is_empty());
+        let merged_fwd: usize = merged.iter().map(|r| r.forward_calls).sum();
+        assert_eq!(merged_fwd, 2 * per_rank_fwd, "fold sums across ranks");
     }
 
     #[test]

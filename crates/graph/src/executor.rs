@@ -17,6 +17,7 @@
 
 use crate::network::{Network, NodeId};
 use deep500_metrics::event::{Event, EventList, Phase};
+use deep500_metrics::trace::{OpAttribution, TraceRecorder};
 use deep500_ops::Operator;
 use deep500_tensor::{Error, Result, Shape, Tensor};
 use std::collections::HashMap;
@@ -124,6 +125,38 @@ impl MemoryAccountant {
     }
 }
 
+/// Per-node execution totals accumulated by an executor across passes —
+/// the executor-side source of the Level-0 attribution rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpTotals {
+    /// Declared analytical FLOPs of one forward call.
+    pub flops_per_call: f64,
+    /// Bytes moved (inputs + outputs) by one forward call.
+    pub bytes_per_call: u64,
+    /// Forward invocations so far.
+    pub forward_calls: usize,
+    /// Backward invocations so far.
+    pub backward_calls: usize,
+    /// Total forward wall time, seconds.
+    pub forward_s: f64,
+    /// Total backward wall time, seconds.
+    pub backward_s: f64,
+}
+
+impl OpTotals {
+    pub(crate) fn record_forward(&mut self, seconds: f64, flops: f64, bytes: u64) {
+        self.forward_calls += 1;
+        self.forward_s += seconds;
+        self.flops_per_call = flops;
+        self.bytes_per_call = bytes;
+    }
+
+    pub(crate) fn record_backward(&mut self, seconds: f64) {
+        self.backward_calls += 1;
+        self.backward_s += seconds;
+    }
+}
+
 /// The graph-execution interface (paper §IV-D).
 pub trait GraphExecutor: Send {
     /// The executed network.
@@ -152,6 +185,54 @@ pub trait GraphExecutor: Send {
     fn peak_memory(&self) -> usize {
         0
     }
+
+    /// Per-node execution totals accumulated so far, keyed by node id
+    /// (empty for executors that do not track them).
+    fn op_totals(&self) -> HashMap<usize, OpTotals> {
+        HashMap::new()
+    }
+
+    /// Fold [`GraphExecutor::op_totals`] into per-operator attribution
+    /// rows (wall time, FLOPs, bytes moved), named from the network and
+    /// sorted by descending total time.
+    fn op_attribution(&self) -> Vec<OpAttribution> {
+        let mut rows: Vec<OpAttribution> = self
+            .op_totals()
+            .into_iter()
+            .map(|(id, t)| OpAttribution {
+                name: self
+                    .network()
+                    .node(NodeId(id))
+                    .map(|n| n.name.clone())
+                    .unwrap_or_else(|| format!("op{id}")),
+                id,
+                forward_calls: t.forward_calls,
+                backward_calls: t.backward_calls,
+                forward_s: t.forward_s,
+                backward_s: t.backward_s,
+                flops_per_call: t.flops_per_call,
+                bytes_per_call: t.bytes_per_call,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_s()
+                .partial_cmp(&a.total_s())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        rows
+    }
+
+    /// Register node names and per-call FLOP/byte figures with a trace
+    /// recorder, so operator spans export with real names and attribute
+    /// GFLOP/s and bytes moved.
+    fn annotate_trace(&self, recorder: &TraceRecorder) {
+        let totals = self.op_totals();
+        for (id, node) in self.network().nodes() {
+            let t = totals.get(&id.0).cloned().unwrap_or_default();
+            recorder.annotate(id.0, node.name.clone(), t.flops_per_call, t.bytes_per_call);
+        }
+    }
 }
 
 /// The reference topological-sort executor with autodiff.
@@ -162,6 +243,8 @@ pub struct ReferenceExecutor {
     events: EventList,
     memory: MemoryAccountant,
     pass_counter: usize,
+    /// Per-node execution totals across passes (Level-0 attribution).
+    op_totals: HashMap<usize, OpTotals>,
 }
 
 impl ReferenceExecutor {
@@ -188,6 +271,7 @@ impl ReferenceExecutor {
             events: EventList::new(),
             memory: MemoryAccountant::new(capacity),
             pass_counter: 0,
+            op_totals: HashMap::new(),
         })
     }
 
@@ -241,11 +325,19 @@ impl ReferenceExecutor {
             // Workspace accounting (freed right after the op).
             let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
             let workspace = op.workspace_bytes(&shapes);
+            let flops = op.flops(&shapes);
+            let bytes = op.bytes_moved(&shapes);
             self.memory.allocate(workspace)?;
 
             self.events.begin(Phase::OperatorForward, id.0);
+            let start = std::time::Instant::now();
             let outputs = op.forward(&input_refs)?;
+            let seconds = start.elapsed().as_secs_f64();
             self.events.end(Phase::OperatorForward, id.0);
+            self.op_totals
+                .entry(id.0)
+                .or_default()
+                .record_forward(seconds, flops, bytes);
 
             self.memory.release(workspace);
             for (tensor, name) in outputs.into_iter().zip(&node.outputs) {
@@ -355,8 +447,14 @@ impl GraphExecutor for ReferenceExecutor {
             let grad_refs: Vec<&Tensor> = grad_outputs.iter().collect();
 
             self.events.begin(Phase::OperatorBackward, id.0);
+            let start = std::time::Instant::now();
             let input_grads = op.backward(&grad_refs, &input_refs, &output_tensors)?;
+            let seconds = start.elapsed().as_secs_f64();
             self.events.end(Phase::OperatorBackward, id.0);
+            self.op_totals
+                .entry(id.0)
+                .or_default()
+                .record_backward(seconds);
 
             for (gname, gtensor) in node.inputs.iter().zip(input_grads) {
                 match grads.get_mut(gname) {
@@ -392,6 +490,10 @@ impl GraphExecutor for ReferenceExecutor {
 
     fn peak_memory(&self) -> usize {
         self.memory.peak()
+    }
+
+    fn op_totals(&self) -> HashMap<usize, OpTotals> {
+        self.op_totals.clone()
     }
 }
 
@@ -611,6 +713,31 @@ mod tests {
         probe.end(Phase::Inference, 0);
         assert!(probe.total_time() >= probe.operator_time());
         assert!(probe.overhead_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn reference_executor_attributes_op_time() {
+        let mut ex = ReferenceExecutor::new(linear_loss_net()).unwrap();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
+        let target = Tensor::from_vec([1, 1], vec![0.0]).unwrap();
+        ex.inference_and_backprop(&[("x", x), ("target", target)], "loss")
+            .unwrap();
+        let rows = ex.op_attribution();
+        assert_eq!(rows.len(), 2, "fc and mse");
+        let fc = rows.iter().find(|r| r.name == "fc").expect("fc row");
+        assert_eq!(fc.forward_calls, 1);
+        assert_eq!(fc.backward_calls, 1);
+        assert!(fc.forward_s >= 0.0 && fc.backward_s >= 0.0);
+        assert!(fc.flops_per_call > 0.0, "Linear declares FLOPs");
+        assert!(fc.bytes_per_call > 0, "default bytes_moved counts I/O");
+
+        // The same totals annotate a trace recorder with real node names.
+        let rec = deep500_metrics::TraceRecorder::new();
+        ex.annotate_trace(&rec);
+        let mut sink = rec.sink("t");
+        sink.span(Phase::OperatorForward, fc.id, 0.001);
+        sink.flush();
+        assert!(rec.chrome_trace_json().contains("\"name\":\"fc\""));
     }
 
     #[test]

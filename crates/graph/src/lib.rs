@@ -39,7 +39,7 @@ pub mod validate;
 pub mod visitor;
 pub mod wavefront;
 
-pub use executor::{GraphExecutor, MemoryAccountant, ReferenceExecutor};
+pub use executor::{GraphExecutor, MemoryAccountant, OpTotals, ReferenceExecutor};
 pub use network::{Network, Node, NodeId};
 pub use visitor::NetworkVisitor;
 pub use wavefront::{ExecutorKind, WavefrontExecutor};

@@ -9,6 +9,7 @@ use crate::executor::GraphExecutor;
 use crate::grad_name;
 use deep500_metrics::norms::DiffNorms;
 use deep500_metrics::stats::Summary;
+use deep500_metrics::trace::OpAttribution;
 use deep500_metrics::Timer;
 use deep500_tensor::{Error, Result, Tensor};
 
@@ -23,6 +24,10 @@ pub struct ExecutorReport {
     pub candidate_time: Summary,
     /// Wallclock summary of the reference executor.
     pub reference_time: Summary,
+    /// Per-operator attribution rows of the candidate (wall time, FLOPs,
+    /// bytes moved), sorted by descending total time; empty if the
+    /// candidate does not track totals.
+    pub candidate_attribution: Vec<OpAttribution>,
 }
 
 /// Candidate/reference runtime ratio with an explicit degeneracy marker.
@@ -130,6 +135,7 @@ pub fn test_executor(
         gradient_norms: Vec::new(),
         candidate_time: Summary::of(&cand_times),
         reference_time: Summary::of(&ref_times),
+        candidate_attribution: candidate.op_attribution(),
     })
 }
 
@@ -187,6 +193,7 @@ pub fn test_executor_backprop(
         gradient_norms,
         candidate_time: Summary::of(&cand_times),
         reference_time: Summary::of(&ref_times),
+        candidate_attribution: candidate.op_attribution(),
     })
 }
 
@@ -271,6 +278,7 @@ mod tests {
             gradient_norms: Vec::new(),
             candidate_time: deep500_metrics::stats::Summary::of(&[cand]),
             reference_time: deep500_metrics::stats::Summary::of(&[reference]),
+            candidate_attribution: Vec::new(),
         };
         let r = mk(3.0, 0.0);
         assert!(r.slowdown_detail().degenerate);
@@ -288,6 +296,7 @@ mod tests {
             gradient_norms: Vec::new(),
             candidate_time: deep500_metrics::stats::Summary::of(&[1.0]),
             reference_time: deep500_metrics::stats::Summary::of(&[1.0]),
+            candidate_attribution: Vec::new(),
         };
         assert!(report.passes(0.5), "linf == tol must pass");
         assert!(!report.passes(0.49));
@@ -297,6 +306,7 @@ mod tests {
             gradient_norms: Vec::new(),
             candidate_time: deep500_metrics::stats::Summary::of(&[1.0]),
             reference_time: deep500_metrics::stats::Summary::of(&[1.0]),
+            candidate_attribution: Vec::new(),
         };
         assert!(empty.passes(0.0));
     }

@@ -39,7 +39,7 @@
 //! exposed via [`WavefrontExecutor::op_gflops`] for Level-0-style per-op
 //! roofline comparisons.
 
-use crate::executor::{GraphExecutor, MemoryAccountant, ReferenceExecutor};
+use crate::executor::{GraphExecutor, MemoryAccountant, OpTotals, ReferenceExecutor};
 use crate::network::{Network, NodeId};
 use deep500_metrics::event::{EventList, Phase};
 use deep500_ops::Operator;
@@ -52,6 +52,10 @@ use std::sync::Arc;
 /// per-input gradients plus the wall-clock seconds its `backward` took, or
 /// `None` when the node had no output gradients to propagate.
 type BackwardProduct = Option<(Vec<Tensor>, f64)>;
+
+/// What a forward worker hands back: outputs, wall-clock seconds, declared
+/// FLOPs, and bytes moved by the call.
+type ForwardProduct = (Vec<Tensor>, f64, f64, u64);
 
 /// Executor selection for components that construct executors from
 /// configuration (training recipes, distributed runners, benchmarks).
@@ -126,9 +130,10 @@ pub struct WavefrontExecutor {
     /// Max nodes of a level dispatched concurrently (0 = rayon pool width).
     threads: usize,
     pass_counter: usize,
-    /// Per-node forward totals: node id -> (declared FLOPs, seconds),
-    /// accumulated across passes for [`Self::op_gflops`].
-    op_totals: HashMap<NodeId, (f64, f64)>,
+    /// Per-node execution totals (time, FLOPs, bytes, call counts),
+    /// accumulated across passes for [`Self::op_gflops`] and the
+    /// [`GraphExecutor::op_attribution`] rows.
+    op_totals: HashMap<usize, OpTotals>,
 }
 
 impl WavefrontExecutor {
@@ -192,10 +197,10 @@ impl WavefrontExecutor {
         let mut rates: Vec<(String, f64)> = self
             .op_totals
             .iter()
-            .filter_map(|(id, &(flops, seconds))| {
-                let node = self.network.node(*id)?;
-                let rate = if seconds > 0.0 {
-                    flops / seconds / 1e9
+            .filter_map(|(&id, t)| {
+                let node = self.network.node(NodeId(id))?;
+                let rate = if t.forward_s > 0.0 {
+                    t.flops_per_call * t.forward_calls as f64 / t.forward_s / 1e9
                 } else {
                     0.0
                 };
@@ -301,7 +306,7 @@ impl WavefrontExecutor {
         let pool = &self.pool;
         for level in &self.levels {
             for group in level.chunks(width) {
-                let run = |id: NodeId| -> Result<(Vec<Tensor>, f64, f64)> {
+                let run = |id: NodeId| -> Result<ForwardProduct> {
                     let node = network.node(id).expect("live node");
                     let op = ops.get(&id).expect("instantiated op");
                     let mut input_refs: Vec<&Tensor> = Vec::with_capacity(node.inputs.len());
@@ -315,6 +320,7 @@ impl WavefrontExecutor {
                     let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
                     let workspace = op.workspace_bytes(&shapes);
                     let flops = op.flops(&shapes);
+                    let bytes = op.bytes_moved(&shapes);
                     memory.allocate(workspace)?;
                     let start = std::time::Instant::now();
                     let outputs = with_pool(pool, || op.forward(&input_refs));
@@ -324,19 +330,20 @@ impl WavefrontExecutor {
                     for t in &outputs {
                         memory.allocate(t.size_bytes())?;
                     }
-                    Ok((outputs, seconds, flops))
+                    Ok((outputs, seconds, flops, bytes))
                 };
-                let results: Vec<Result<(Vec<Tensor>, f64, f64)>> = if group.len() == 1 {
+                let results: Vec<Result<ForwardProduct>> = if group.len() == 1 {
                     vec![run(group[0])]
                 } else {
                     group.par_iter().map(|&id| run(id)).collect()
                 };
                 for (&id, result) in group.iter().zip(results) {
-                    let (outputs, seconds, flops) = result?;
+                    let (outputs, seconds, flops, bytes) = result?;
                     self.events.span(Phase::OperatorForward, id.0, seconds);
-                    let totals = self.op_totals.entry(id).or_insert((0.0, 0.0));
-                    totals.0 += flops;
-                    totals.1 += seconds;
+                    self.op_totals
+                        .entry(id.0)
+                        .or_default()
+                        .record_forward(seconds, flops, bytes);
                     let node = self.network.node(id).expect("live node");
                     for (tensor, name) in outputs.into_iter().zip(node.outputs.clone()) {
                         env.insert(name, tensor);
@@ -468,6 +475,10 @@ impl WavefrontExecutor {
                         continue;
                     };
                     self.events.span(Phase::OperatorBackward, id.0, seconds);
+                    self.op_totals
+                        .entry(id.0)
+                        .or_default()
+                        .record_backward(seconds);
                     let node = network.node(id).expect("live node");
                     let pos = order_pos[&id];
                     for (gname, gtensor) in node.inputs.iter().zip(input_grads) {
@@ -565,6 +576,10 @@ impl GraphExecutor for WavefrontExecutor {
 
     fn peak_memory(&self) -> usize {
         self.memory.peak()
+    }
+
+    fn op_totals(&self) -> HashMap<usize, OpTotals> {
+        self.op_totals.clone()
     }
 }
 

@@ -107,6 +107,13 @@ impl Event for EnergyMetric {
             }
         }
     }
+    /// Off-thread-timed operator spans carry their duration; accumulate it
+    /// directly instead of timing the ~0 s begin/end forwarding gap.
+    fn span(&mut self, phase: Phase, _id: usize, seconds: f64) {
+        if matches!(phase, Phase::OperatorForward | Phase::OperatorBackward) {
+            self.busy_s += seconds;
+        }
+    }
 }
 
 impl TestMetric for EnergyMetric {
@@ -169,6 +176,17 @@ mod tests {
         assert!(avg <= PowerModel::xeon().active_w * 1.1);
         e.reset();
         assert_eq!(e.busy_seconds(), 0.0);
+    }
+
+    #[test]
+    fn span_accumulates_reported_duration() {
+        // Regression: the default `span` forwarding recorded ~0 s of busy
+        // time for off-thread-timed operators.
+        let mut e = EnergyMetric::new(PowerModel::p100());
+        e.span(Phase::OperatorForward, 0, 0.5);
+        e.span(Phase::OperatorBackward, 0, 0.25);
+        e.span(Phase::Iteration, 0, 10.0); // not busy time
+        assert!((e.busy_seconds() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -29,6 +29,22 @@ pub enum Phase {
     Communication,
 }
 
+impl Phase {
+    /// Stable human-readable label, used by trace exporters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::OperatorForward => "OperatorForward",
+            Phase::OperatorBackward => "OperatorBackward",
+            Phase::Inference => "Inference",
+            Phase::Backprop => "Backprop",
+            Phase::Iteration => "Iteration",
+            Phase::Epoch => "Epoch",
+            Phase::Sampling => "Sampling",
+            Phase::Communication => "Communication",
+        }
+    }
+}
+
 /// A hook invoked by executors, optimizers and runners.
 ///
 /// All methods have no-op defaults so implementors only override what they
@@ -133,6 +149,64 @@ impl Event for EventList {
     }
     fn should_stop(&self) -> bool {
         EventList::should_stop(self)
+    }
+}
+
+/// Shares an [`Event`] hook between an [`EventList`] (which takes ownership
+/// of boxed hooks) and the caller, who keeps a handle to read the metric
+/// back after the run. Cloning shares the same underlying hook.
+///
+/// ```
+/// use deep500_metrics::event::{Event, Phase, SharedEvent};
+/// use deep500_metrics::WallclockTime;
+///
+/// let shared = SharedEvent::new(WallclockTime::new(Phase::Inference));
+/// let handle = shared.clone();
+/// // `Box::new(shared)` goes into an executor's EventList; afterwards:
+/// let samples = handle.with(|m| m.samples().len());
+/// assert_eq!(samples, 0);
+/// ```
+pub struct SharedEvent<E: Event> {
+    inner: std::sync::Arc<std::sync::Mutex<E>>,
+}
+
+impl<E: Event> SharedEvent<E> {
+    /// Wrap a hook for shared ownership.
+    pub fn new(hook: E) -> Self {
+        SharedEvent {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(hook)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the wrapped hook.
+    pub fn with<R>(&self, f: impl FnOnce(&mut E) -> R) -> R {
+        f(&mut self.inner.lock().expect("event hook poisoned"))
+    }
+}
+
+impl<E: Event> Clone for SharedEvent<E> {
+    fn clone(&self) -> Self {
+        SharedEvent {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<E: Event> Event for SharedEvent<E> {
+    fn begin(&mut self, phase: Phase, id: usize) {
+        self.with(|e| e.begin(phase, id));
+    }
+    fn end(&mut self, phase: Phase, id: usize) {
+        self.with(|e| e.end(phase, id));
+    }
+    fn span(&mut self, phase: Phase, id: usize, seconds: f64) {
+        self.with(|e| e.span(phase, id, seconds));
+    }
+    fn should_stop(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("event hook poisoned")
+            .should_stop()
     }
 }
 

@@ -32,6 +32,7 @@ pub mod norms;
 pub mod report;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod variance;
 
 pub use comm::CommunicationVolume;
@@ -43,6 +44,7 @@ pub use heatmap::Heatmap;
 pub use report::Table;
 pub use stats::{ConfidenceInterval, Summary};
 pub use time::{Timer, WallclockTime};
+pub use trace::{validate_chrome_trace, OpAttribution, TraceRecorder, TraceSink, TraceSpan};
 pub use variance::VarianceMap;
 
 /// The result of summarizing a metric: a single number, a series, a 2-D map,
@@ -61,6 +63,10 @@ pub enum MetricValue {
     },
     /// Free-form textual result.
     Text(String),
+    /// No meaningful value could be computed (e.g. summarizing an empty
+    /// sample set). Carries the reason; renders explicitly instead of
+    /// leaking `NaN` into reports.
+    Degenerate(String),
 }
 
 impl MetricValue {
@@ -78,6 +84,11 @@ impl MetricValue {
             MetricValue::Series(v) => Some(v),
             _ => None,
         }
+    }
+
+    /// `true` if no meaningful value could be computed.
+    pub fn is_degenerate(&self) -> bool {
+        matches!(self, MetricValue::Degenerate(_))
     }
 }
 
@@ -113,6 +124,7 @@ pub trait TestMetric {
                 format!("{}: {}x{} map", self.name(), rows, cols)
             }
             MetricValue::Text(t) => format!("{}: {}", self.name(), t),
+            MetricValue::Degenerate(why) => format!("{}: degenerate ({})", self.name(), why),
         }
     }
 

@@ -46,9 +46,19 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Compute a summary of `data`. Panics on an empty sample.
+    /// Compute a summary of `data`. Panics on an empty sample; use
+    /// [`Summary::try_of`] for a typed path.
     pub fn of(data: &[f64]) -> Summary {
-        assert!(!data.is_empty(), "Summary::of requires a non-empty sample");
+        Summary::try_of(data).expect("Summary::of requires a non-empty sample")
+    }
+
+    /// Compute a summary of `data`, or `None` for an empty sample — the
+    /// typed alternative to [`Summary::of`]'s panic, so callers handle
+    /// "no measurements" explicitly instead of leaking NaN into reports.
+    pub fn try_of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() {
+            return None;
+        }
         let mut sorted: Vec<f64> = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
         let n = sorted.len();
@@ -58,7 +68,7 @@ impl Summary {
         } else {
             0.0
         };
-        Summary {
+        Some(Summary {
             n,
             min: sorted[0],
             p25: percentile_sorted(&sorted, 0.25),
@@ -68,7 +78,7 @@ impl Summary {
             mean,
             stddev: var.sqrt(),
             median_ci: median_ci_sorted(&sorted, 0.95),
-        }
+        })
     }
 
     /// One-line rendering like `median 1.234 [1.1, 1.4] (n=30)`.
@@ -88,18 +98,27 @@ pub fn median(data: &[f64]) -> f64 {
 }
 
 /// Linear-interpolation percentile of a **sorted** sample, `q` in `[0, 1]`.
+/// Panics on an empty sample or out-of-range `q`; use
+/// [`try_percentile_sorted`] for a typed path.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    assert!((0.0..=1.0).contains(&q));
+    try_percentile_sorted(sorted, q).expect("percentile of empty sample or q outside [0, 1]")
+}
+
+/// Linear-interpolation percentile of a **sorted** sample, or `None` for an
+/// empty sample or `q` outside `[0, 1]`.
+pub fn try_percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
     let n = sorted.len();
     if n == 1 {
-        return sorted[0];
+        return Some(sorted[0]);
     }
     let pos = q * (n - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
 /// Percentile of an unsorted sample.

@@ -1,0 +1,965 @@
+//! Structured tracing: per-thread span buffers, Chrome trace export, and
+//! per-operator attribution.
+//!
+//! This is the observability backbone of the paper's "metrics-first"
+//! claim: every executor, optimizer, sampler, and communicator feeds
+//! completed spans through the existing [`Event`] hooks into a
+//! [`TraceRecorder`], and a single training run emits one artifact holding
+//! the Level-0 (per-operator time / GFLOP/s / bytes), Level-1 (pass and
+//! framework overhead), Level-2 (sampling, iteration, epoch), and Level-3
+//! (communication) measurements.
+//!
+//! **Hot-path discipline.** Recording must not perturb what it measures, so
+//! the design splits into two halves:
+//!
+//! * [`TraceSink`] — a per-thread buffer implementing [`Event`]. Recording
+//!   a span is a plain `Vec::push`; no locks, no allocation beyond vector
+//!   growth, no clock reads besides the span's own.
+//! * [`TraceRecorder`] — the shared, cloneable handle the sinks were forked
+//!   from. Sinks *merge* their buffers into the recorder under a mutex only
+//!   at coarse boundaries (outer-phase ends and on drop), so the lock is
+//!   taken once per pass per thread, never per operator.
+//!
+//! At report time the recorder exports a Chrome trace-event JSON file
+//! (loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev))
+//! and folds operator spans into a per-op attribution table with
+//! wall time, declared-FLOP-derived GFLOP/s, and bytes moved.
+
+use crate::event::{Event, Phase};
+use crate::report::Table;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed, timestamped span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// The phase this span instruments.
+    pub phase: Phase,
+    /// Phase-dependent instance id (node id, step, epoch, peer rank).
+    pub id: usize,
+    /// Start offset from the recorder's origin, in seconds.
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub dur_s: f64,
+    /// Payload bytes attached to the span (communication spans carry the
+    /// message size; 0 where not applicable).
+    pub bytes: u64,
+}
+
+/// Static per-node metadata used to name and attribute operator spans.
+#[derive(Debug, Clone, Default)]
+pub struct OpInfo {
+    /// Node name in the network.
+    pub name: String,
+    /// Declared analytical FLOPs of one forward call.
+    pub flops_per_call: f64,
+    /// Bytes moved (inputs + outputs) by one forward call.
+    pub bytes_per_call: u64,
+}
+
+/// One row of the per-operator attribution table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpAttribution {
+    /// Node name (falls back to `op<id>` when unannotated).
+    pub name: String,
+    /// Node id the row aggregates.
+    pub id: usize,
+    /// Number of forward spans folded in.
+    pub forward_calls: usize,
+    /// Number of backward spans folded in.
+    pub backward_calls: usize,
+    /// Total forward wall time, seconds.
+    pub forward_s: f64,
+    /// Total backward wall time, seconds.
+    pub backward_s: f64,
+    /// Declared FLOPs of one forward call (0 for unmodeled ops).
+    pub flops_per_call: f64,
+    /// Bytes moved by one forward call.
+    pub bytes_per_call: u64,
+}
+
+impl OpAttribution {
+    /// Total attributed wall time (forward + backward), seconds.
+    pub fn total_s(&self) -> f64 {
+        self.forward_s + self.backward_s
+    }
+
+    /// Achieved forward throughput in GFLOP/s (0 when unmeasurable).
+    pub fn gflops_per_s(&self) -> f64 {
+        if self.forward_s > 0.0 {
+            self.flops_per_call * self.forward_calls as f64 / self.forward_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Total bytes moved by the forward calls.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_call * self.forward_calls as u64
+    }
+}
+
+/// Shared recorder state. Sinks hold an `Arc` to this; the mutexes are
+/// taken only at merge/annotation/report time.
+struct TraceShared {
+    origin: Instant,
+    /// Merged spans per track (a track maps to one Chrome `tid`).
+    tracks: Mutex<Vec<(String, Vec<TraceSpan>)>>,
+    /// Node id → metadata for naming/attributing operator spans.
+    ops: Mutex<HashMap<usize, OpInfo>>,
+}
+
+/// The shared tracing recorder. Clone it freely — clones record into the
+/// same trace. Fork per-thread [`TraceSink`]s with [`TraceRecorder::sink`]
+/// and push them into executor/runner [`EventList`](crate::EventList)s.
+#[derive(Clone)]
+pub struct TraceRecorder {
+    shared: Arc<TraceShared>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A fresh recorder; its origin (trace t=0) is `Instant::now()`.
+    pub fn new() -> Self {
+        TraceRecorder {
+            shared: Arc::new(TraceShared {
+                origin: Instant::now(),
+                tracks: Mutex::new(Vec::new()),
+                ops: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Fork a per-thread sink recording onto the named track. Tracks map
+    /// to Chrome trace threads; use one per executor, runner, or rank.
+    pub fn sink(&self, track: impl Into<String>) -> TraceSink {
+        TraceSink {
+            shared: self.shared.clone(),
+            track: track.into(),
+            buf: Vec::new(),
+            open: HashMap::new(),
+        }
+    }
+
+    /// Attach metadata to node `id` so its operator spans export with a
+    /// real name and attribute FLOPs/bytes. Executors provide this via
+    /// `GraphExecutor::annotate_trace`.
+    pub fn annotate(
+        &self,
+        id: usize,
+        name: impl Into<String>,
+        flops_per_call: f64,
+        bytes_per_call: u64,
+    ) {
+        self.shared.ops.lock().expect("trace ops poisoned").insert(
+            id,
+            OpInfo {
+                name: name.into(),
+                flops_per_call,
+                bytes_per_call,
+            },
+        );
+    }
+
+    /// Snapshot of all merged spans, `(track, spans)` in registration
+    /// order. Spans still buffered in live sinks are not included until
+    /// those sinks flush (outer-phase end or drop).
+    pub fn tracks(&self) -> Vec<(String, Vec<TraceSpan>)> {
+        self.shared.tracks.lock().expect("trace poisoned").clone()
+    }
+
+    /// Total merged span count across all tracks.
+    pub fn span_count(&self) -> usize {
+        self.shared
+            .tracks
+            .lock()
+            .expect("trace poisoned")
+            .iter()
+            .map(|(_, s)| s.len())
+            .sum()
+    }
+
+    /// Sum of merged span durations for `phase`, seconds (across tracks
+    /// and passes).
+    pub fn phase_total_s(&self, phase: Phase) -> f64 {
+        self.shared
+            .tracks
+            .lock()
+            .expect("trace poisoned")
+            .iter()
+            .flat_map(|(_, spans)| spans.iter())
+            .filter(|s| s.phase == phase)
+            .map(|s| s.dur_s)
+            .sum()
+    }
+
+    /// Fold operator spans (`OperatorForward`/`OperatorBackward`) into the
+    /// per-op attribution table, sorted by descending total time.
+    pub fn attribution(&self) -> Vec<OpAttribution> {
+        let ops = self.shared.ops.lock().expect("trace ops poisoned");
+        let tracks = self.shared.tracks.lock().expect("trace poisoned");
+        let mut rows: HashMap<usize, OpAttribution> = HashMap::new();
+        for (_, spans) in tracks.iter() {
+            for s in spans {
+                let (fwd, bwd) = match s.phase {
+                    Phase::OperatorForward => (true, false),
+                    Phase::OperatorBackward => (false, true),
+                    _ => continue,
+                };
+                let row = rows.entry(s.id).or_insert_with(|| {
+                    let info = ops.get(&s.id).cloned().unwrap_or_default();
+                    OpAttribution {
+                        name: if info.name.is_empty() {
+                            format!("op{}", s.id)
+                        } else {
+                            info.name
+                        },
+                        id: s.id,
+                        flops_per_call: info.flops_per_call,
+                        bytes_per_call: info.bytes_per_call,
+                        ..OpAttribution::default()
+                    }
+                });
+                if fwd {
+                    row.forward_calls += 1;
+                    row.forward_s += s.dur_s;
+                }
+                if bwd {
+                    row.backward_calls += 1;
+                    row.backward_s += s.dur_s;
+                }
+            }
+        }
+        let mut rows: Vec<OpAttribution> = rows.into_values().collect();
+        rows.sort_by(|a, b| {
+            b.total_s()
+                .partial_cmp(&a.total_s())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        rows
+    }
+
+    /// Render the attribution as the standard report [`Table`].
+    pub fn attribution_table(&self) -> Table {
+        let mut t = Table::new(
+            "per-operator attribution",
+            &[
+                "op",
+                "fwd",
+                "bwd",
+                "fwd ms",
+                "bwd ms",
+                "GFLOP/s",
+                "bytes/call",
+            ],
+        );
+        for r in self.attribution() {
+            t.row(&[
+                r.name.clone(),
+                r.forward_calls.to_string(),
+                r.backward_calls.to_string(),
+                format!("{:.3}", r.forward_s * 1e3),
+                format!("{:.3}", r.backward_s * 1e3),
+                format!("{:.2}", r.gflops_per_s()),
+                r.bytes_per_call.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Export everything merged so far as Chrome trace-event JSON (the
+    /// "JSON Array Format" with a `traceEvents` wrapper), loadable in
+    /// `chrome://tracing` and Perfetto. Timestamps are microseconds from
+    /// the recorder origin; each track becomes one named thread.
+    pub fn chrome_trace_json(&self) -> String {
+        let ops = self.shared.ops.lock().expect("trace ops poisoned");
+        let tracks = self.shared.tracks.lock().expect("trace poisoned");
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"deep500\"}}",
+        );
+        for (tid, (track, spans)) in tracks.iter().enumerate() {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tid,
+                escape_json(track)
+            ));
+            for s in spans {
+                let info = match s.phase {
+                    Phase::OperatorForward | Phase::OperatorBackward => ops.get(&s.id),
+                    _ => None,
+                };
+                let name = match info {
+                    Some(i) if !i.name.is_empty() => i.name.clone(),
+                    _ => match s.phase {
+                        Phase::OperatorForward | Phase::OperatorBackward => {
+                            format!("op{}", s.id)
+                        }
+                        _ => format!("{}#{}", s.phase.label(), s.id),
+                    },
+                };
+                out.push_str(&format!(
+                    ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":0,\"tid\":{}",
+                    escape_json(&name),
+                    s.phase.label(),
+                    s.start_s * 1e6,
+                    s.dur_s * 1e6,
+                    tid
+                ));
+                let mut args: Vec<String> = vec![format!("\"id\":{}", s.id)];
+                if s.bytes > 0 {
+                    args.push(format!("\"bytes\":{}", s.bytes));
+                }
+                if let Some(i) = info {
+                    if i.flops_per_call > 0.0 {
+                        args.push(format!("\"flops\":{}", fmt_f64(i.flops_per_call)));
+                        if s.dur_s > 0.0 {
+                            args.push(format!(
+                                "\"gflops_per_s\":{}",
+                                fmt_f64(i.flops_per_call / s.dur_s / 1e9)
+                            ));
+                        }
+                    }
+                    if i.bytes_per_call > 0 {
+                        args.push(format!("\"bytes_moved\":{}", i.bytes_per_call));
+                    }
+                }
+                out.push_str(&format!(",\"args\":{{{}}}}}", args.join(",")));
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// A per-thread span buffer implementing [`Event`]. Push one into each
+/// executor/runner event list (or drive it directly). Spans are recorded
+/// into a private `Vec` — no locks on the hot path — and merged into the
+/// recorder when an outer phase ends (`Inference`, `Backprop`, `Epoch`),
+/// on [`TraceSink::flush`], and on drop.
+pub struct TraceSink {
+    shared: Arc<TraceShared>,
+    track: String,
+    buf: Vec<TraceSpan>,
+    /// Open `begin`s: (phase, id) → stack of start offsets (seconds).
+    /// Stacked, not overwritten, so re-entrant/interleaved begins of the
+    /// same phase nest instead of clobbering the outer measurement.
+    open: HashMap<(Phase, usize), Vec<f64>>,
+}
+
+impl TraceSink {
+    fn now_s(&self) -> f64 {
+        self.shared.origin.elapsed().as_secs_f64()
+    }
+
+    /// Record a completed span of `seconds` ending now, with an attached
+    /// byte count (used by communicators for message sizes).
+    pub fn record_span_bytes(&mut self, phase: Phase, id: usize, seconds: f64, bytes: u64) {
+        let end = self.now_s();
+        self.buf.push(TraceSpan {
+            phase,
+            id,
+            start_s: (end - seconds).max(0.0),
+            dur_s: seconds,
+            bytes,
+        });
+    }
+
+    /// Spans buffered locally and not yet merged.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Merge the local buffer into the shared recorder (one lock per call).
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut tracks = self.shared.tracks.lock().expect("trace poisoned");
+        if let Some((_, spans)) = tracks.iter_mut().find(|(t, _)| *t == self.track) {
+            spans.append(&mut self.buf);
+        } else {
+            let spans = std::mem::take(&mut self.buf);
+            tracks.push((self.track.clone(), spans));
+        }
+    }
+}
+
+impl Event for TraceSink {
+    fn begin(&mut self, phase: Phase, id: usize) {
+        let now = self.now_s();
+        self.open.entry((phase, id)).or_default().push(now);
+    }
+
+    fn end(&mut self, phase: Phase, id: usize) {
+        let end = self.now_s();
+        if let Some(stack) = self.open.get_mut(&(phase, id)) {
+            if let Some(start) = stack.pop() {
+                self.buf.push(TraceSpan {
+                    phase,
+                    id,
+                    start_s: start,
+                    dur_s: (end - start).max(0.0),
+                    bytes: 0,
+                });
+            }
+        }
+        // Merge at coarse boundaries only: the per-operator hot path stays
+        // lock-free, and the trace is still readable mid-run.
+        if matches!(phase, Phase::Inference | Phase::Backprop | Phase::Epoch) {
+            self.flush();
+        }
+    }
+
+    fn span(&mut self, phase: Phase, id: usize, seconds: f64) {
+        self.record_span_bytes(phase, id, seconds, 0);
+        if matches!(phase, Phase::Inference | Phase::Backprop | Phase::Epoch) {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 as JSON (no NaN/inf — callers guard; integral values get
+/// a `.0` so the token stays a JSON number).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal Chrome-trace validation: a dependency-free JSON parser plus the
+// schema checks the CI `profile` job and the bench bin run on emitted
+// artifacts. Deliberately small: objects, arrays, strings, numbers, bools,
+// null — enough to verify our own exporter and catch drift.
+// ---------------------------------------------------------------------------
+
+/// What [`validate_chrome_trace`] measured about a valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Number of `ph:"X"` (complete) spans.
+    pub spans: usize,
+    /// Number of `ph:"M"` (metadata) events.
+    pub metadata: usize,
+}
+
+/// Parse `json` and check the minimal Chrome trace-event schema: a root
+/// object with a `traceEvents` array whose entries all carry `name`/`ph`/
+/// `pid`/`tid`, where every `X` event also carries numeric `ts` and `dur`.
+/// Returns counts on success, a description of the first violation on
+/// failure.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let value = JsonParser::parse(json)?;
+    let root = value.as_object().ok_or("root is not an object")?;
+    let events = root
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing 'traceEvents'")?;
+    let events = events.as_array().ok_or("'traceEvents' is not an array")?;
+    let mut stats = ChromeTraceStats {
+        spans: 0,
+        metadata: 0,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let ph = field("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing string 'ph'"))?;
+        for key in ["name", "pid", "tid"] {
+            if field(key).is_none() {
+                return Err(format!("event {i}: missing '{key}'"));
+            }
+        }
+        match ph {
+            "X" => {
+                for key in ["ts", "dur"] {
+                    let v = field(key)
+                        .and_then(|v| v.as_f64())
+                        .ok_or_else(|| format!("event {i}: 'X' event missing number '{key}'"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("event {i}: non-finite/negative '{key}'"));
+                    }
+                }
+                stats.spans += 1;
+            }
+            "M" => stats.metadata += 1,
+            other => return Err(format!("event {i}: unsupported ph '{other}'")),
+        }
+    }
+    Ok(stats)
+}
+
+/// A parsed JSON value (validation-grade subset). Some accessors are only
+/// exercised by the unit tests; the non-test build keeps them for a
+/// complete value API.
+#[cfg_attr(not(test), allow(dead_code))]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(s: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let slice = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or("truncated utf-8 sequence")?;
+                        let s = std::str::from_utf8(slice)
+                            .map_err(|_| "invalid utf-8 in string".to_string())?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number '{s}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_begin_end_pairs_with_timestamps() {
+        let rec = TraceRecorder::new();
+        let mut sink = rec.sink("main");
+        sink.begin(Phase::OperatorForward, 3);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.end(Phase::OperatorForward, 3);
+        assert_eq!(sink.buffered(), 1, "op spans buffer locally");
+        sink.flush();
+        let tracks = rec.tracks();
+        assert_eq!(tracks.len(), 1);
+        let span = &tracks[0].1[0];
+        assert_eq!(span.phase, Phase::OperatorForward);
+        assert_eq!(span.id, 3);
+        assert!(span.dur_s >= 0.001, "measured {}", span.dur_s);
+        assert!(span.start_s >= 0.0);
+    }
+
+    #[test]
+    fn outer_phase_end_auto_flushes() {
+        let rec = TraceRecorder::new();
+        let mut sink = rec.sink("exec");
+        sink.begin(Phase::Backprop, 1);
+        sink.span(Phase::OperatorForward, 0, 0.001);
+        assert_eq!(rec.span_count(), 0, "op span stays local");
+        sink.end(Phase::Backprop, 1);
+        assert_eq!(rec.span_count(), 2, "outer end merges the buffer");
+        assert_eq!(sink.buffered(), 0);
+    }
+
+    #[test]
+    fn off_thread_spans_carry_their_duration() {
+        let rec = TraceRecorder::new();
+        let mut sink = rec.sink("wf");
+        sink.span(Phase::OperatorBackward, 7, 0.25);
+        sink.flush();
+        let tracks = rec.tracks();
+        let span = &tracks[0].1[0];
+        assert!((span.dur_s - 0.25).abs() < 1e-12);
+        // Start is back-dated so the span ends "now"; it must not go
+        // negative even when the duration exceeds the recorder lifetime.
+        assert!(span.start_s >= 0.0);
+    }
+
+    #[test]
+    fn reentrant_begins_nest_instead_of_clobbering() {
+        let rec = TraceRecorder::new();
+        let mut sink = rec.sink("nested");
+        sink.begin(Phase::Communication, 1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.begin(Phase::Communication, 1); // re-entrant same phase+id
+        sink.end(Phase::Communication, 1); // closes the inner one
+        sink.end(Phase::Communication, 1); // closes the outer one
+        sink.flush();
+        let spans = rec.tracks().remove(0).1;
+        assert_eq!(spans.len(), 2);
+        // The second-closed span is the outer one and must be longer.
+        assert!(spans[1].dur_s >= spans[0].dur_s);
+        assert!(spans[1].dur_s >= 0.001);
+    }
+
+    #[test]
+    fn drop_flushes_and_tracks_merge_by_name() {
+        let rec = TraceRecorder::new();
+        {
+            let mut sink = rec.sink("t");
+            sink.span(Phase::Sampling, 0, 0.001);
+        } // drop flushes
+        {
+            let mut sink = rec.sink("t");
+            sink.span(Phase::Sampling, 1, 0.001);
+        }
+        let tracks = rec.tracks();
+        assert_eq!(tracks.len(), 1, "same-name tracks merge");
+        assert_eq!(tracks[0].1.len(), 2);
+    }
+
+    #[test]
+    fn cross_thread_sinks_merge_at_report_time() {
+        let rec = TraceRecorder::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let mut sink = rec.sink(format!("worker{i}"));
+                std::thread::spawn(move || {
+                    for j in 0..10 {
+                        sink.span(Phase::OperatorForward, j, 0.0001);
+                    }
+                    // sink drops here -> flush
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.span_count(), 40);
+        assert_eq!(rec.tracks().len(), 4);
+    }
+
+    #[test]
+    fn attribution_aggregates_and_ranks() {
+        let rec = TraceRecorder::new();
+        rec.annotate(0, "mm", 2e9, 1024);
+        let mut sink = rec.sink("main");
+        sink.span(Phase::OperatorForward, 0, 1.0);
+        sink.span(Phase::OperatorForward, 0, 1.0);
+        sink.span(Phase::OperatorBackward, 0, 0.5);
+        sink.span(Phase::OperatorForward, 1, 0.25); // unannotated
+        sink.span(Phase::Inference, 9, 3.0); // not an operator span
+        drop(sink);
+        let rows = rec.attribution();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "mm");
+        assert_eq!(rows[0].forward_calls, 2);
+        assert_eq!(rows[0].backward_calls, 1);
+        assert!((rows[0].total_s() - 2.5).abs() < 1e-12);
+        // 2 calls * 2 GFLOP in 2 s = 2 GFLOP/s.
+        assert!((rows[0].gflops_per_s() - 2.0).abs() < 1e-9);
+        assert_eq!(rows[0].total_bytes(), 2048);
+        assert_eq!(rows[1].name, "op1");
+        let table = rec.attribution_table().render();
+        assert!(table.contains("mm"));
+    }
+
+    #[test]
+    fn phase_totals_sum_durations() {
+        let rec = TraceRecorder::new();
+        let mut sink = rec.sink("a");
+        sink.span(Phase::Backprop, 0, 1.5);
+        sink.span(Phase::Backprop, 1, 0.5);
+        sink.span(Phase::Inference, 0, 0.25);
+        drop(sink);
+        assert!((rec.phase_total_s(Phase::Backprop) - 2.0).abs() < 1e-12);
+        assert!((rec.phase_total_s(Phase::Inference) - 0.25).abs() < 1e-12);
+        assert_eq!(rec.phase_total_s(Phase::Epoch), 0.0);
+    }
+
+    #[test]
+    fn chrome_export_validates_and_names_ops() {
+        let rec = TraceRecorder::new();
+        rec.annotate(0, "fc1\"w", 1e6, 64); // name needing escaping
+        let mut sink = rec.sink("main");
+        sink.begin(Phase::Inference, 1);
+        sink.span(Phase::OperatorForward, 0, 0.002);
+        sink.end(Phase::Inference, 1);
+        let mut comm = rec.sink("comm");
+        comm.record_span_bytes(Phase::Communication, 2, 0.001, 4096);
+        drop(comm);
+        let json = rec.chrome_trace_json();
+        let stats = validate_chrome_trace(&json).expect("schema-valid");
+        assert_eq!(stats.spans, 3);
+        assert!(stats.metadata >= 3, "process + 2 thread names");
+        assert!(json.contains("\"bytes\":4096"));
+        assert!(json.contains("fc1\\\"w"));
+        assert!(json.contains("\"cat\":\"Communication\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_schema_valid() {
+        let rec = TraceRecorder::new();
+        let stats = validate_chrome_trace(&rec.chrome_trace_json()).unwrap();
+        assert_eq!(stats.spans, 0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("[1,2,3]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // 'X' without ts/dur:
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":0,\"tid\":0}]}"
+        )
+        .is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[").is_err());
+        // Negative dur is a corrupt span.
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\
+             \"ts\":1.0,\"dur\":-2}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = JsonParser::parse(
+            "{\"a\":[1,2.5,-3e2],\"b\":\"x\\n\\u0041\",\"c\":{\"d\":true,\"e\":null}}",
+        )
+        .unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 3);
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(obj[1].1.as_str(), Some("x\nA"));
+        let inner = obj[2].1.as_object().unwrap();
+        assert_eq!(inner[0].1.as_bool(), Some(true));
+        assert!(matches!(inner[1].1, Json::Null));
+    }
+}

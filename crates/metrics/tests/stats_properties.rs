@@ -1,0 +1,125 @@
+//! Property-based tests for the robust-statistics module: percentile and
+//! median-CI behavior at the degenerate sample sizes (n = 0, 1, 2) and on
+//! all-equal samples, where off-by-one order-statistic errors hide.
+
+use deep500_metrics::stats::{median_ci_sorted, percentile_sorted, try_percentile_sorted, Summary};
+use proptest::prelude::*;
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    v
+}
+
+#[test]
+fn empty_sample_takes_the_typed_path() {
+    assert!(Summary::try_of(&[]).is_none());
+    assert_eq!(try_percentile_sorted(&[], 0.5), None);
+    assert_eq!(try_percentile_sorted(&[1.0], 2.0), None);
+    assert_eq!(try_percentile_sorted(&[1.0], -0.1), None);
+}
+
+#[test]
+fn singleton_sample_is_its_own_summary() {
+    let s = Summary::of(&[4.25]);
+    assert_eq!(s.n, 1);
+    assert_eq!(
+        (s.min, s.p25, s.median, s.p75, s.max),
+        (4.25, 4.25, 4.25, 4.25, 4.25)
+    );
+    assert_eq!(s.stddev, 0.0);
+    assert_eq!((s.median_ci.lo, s.median_ci.hi), (4.25, 4.25));
+    // One observation says nothing: the "CI" has zero coverage.
+    assert_eq!(s.median_ci.level, 0.0);
+}
+
+#[test]
+fn two_sample_median_interpolates() {
+    let s = Summary::of(&[1.0, 3.0]);
+    assert_eq!(s.median, 2.0);
+    assert_eq!((s.median_ci.lo, s.median_ci.hi), (1.0, 3.0));
+    assert!(s.median_ci.level < 0.95);
+}
+
+#[test]
+fn percentile_endpoints_are_min_and_max() {
+    let v = [2.0, 3.0, 5.0, 7.0];
+    assert_eq!(percentile_sorted(&v, 0.0), 2.0);
+    assert_eq!(percentile_sorted(&v, 1.0), 7.0);
+    assert_eq!(try_percentile_sorted(&v, 1.0), Some(7.0));
+}
+
+proptest! {
+    /// Every percentile of a sample lies within [min, max], and the typed
+    /// and panicking paths agree wherever the latter is defined.
+    #[test]
+    fn percentile_is_bounded(
+        raw in prop::collection::vec(-1e6f64..1e6, 1..40),
+        q in 0.0f64..1.0
+    ) {
+        let v = sorted(raw);
+        let p = percentile_sorted(&v, q);
+        prop_assert!(p >= v[0] && p <= v[v.len() - 1]);
+        prop_assert_eq!(try_percentile_sorted(&v, q), Some(p));
+    }
+
+    /// Percentile is monotone in q.
+    #[test]
+    fn percentile_is_monotone(
+        raw in prop::collection::vec(-1e6f64..1e6, 1..40),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0
+    ) {
+        let v = sorted(raw);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile_sorted(&v, lo) <= percentile_sorted(&v, hi));
+    }
+
+    /// On an all-equal sample every statistic collapses to that value and
+    /// the spread is exactly zero.
+    #[test]
+    fn all_equal_sample_collapses(x in -1e6f64..1e6, n in 1usize..50) {
+        let v = vec![x; n];
+        let s = Summary::of(&v);
+        prop_assert_eq!(s.n, n);
+        prop_assert_eq!(s.min, x);
+        prop_assert_eq!(s.p25, x);
+        prop_assert_eq!(s.median, x);
+        prop_assert_eq!(s.p75, x);
+        prop_assert_eq!(s.max, x);
+        // The mean of n copies of x can round away from x, so the stddev
+        // is only zero up to accumulation error.
+        prop_assert!(s.stddev <= 1e-9 * x.abs().max(1.0), "stddev {}", s.stddev);
+        prop_assert_eq!(s.median_ci.lo, x);
+        prop_assert_eq!(s.median_ci.hi, x);
+        prop_assert!(s.median_ci.contains(x));
+    }
+
+    /// The median CI always brackets the median, stays within the sample
+    /// range, and never claims more coverage than 1.
+    #[test]
+    fn median_ci_brackets_median(
+        raw in prop::collection::vec(-1e6f64..1e6, 1..60)
+    ) {
+        let v = sorted(raw);
+        let ci = median_ci_sorted(&v, 0.95);
+        let med = percentile_sorted(&v, 0.5);
+        prop_assert!(ci.lo <= med && med <= ci.hi, "CI [{}, {}] vs median {}", ci.lo, ci.hi, med);
+        prop_assert!(ci.lo >= v[0] && ci.hi <= v[v.len() - 1]);
+        prop_assert!((0.0..=1.0).contains(&ci.level));
+        // From n = 6 the order-statistic construction guarantees >= 95%.
+        if v.len() >= 6 {
+            prop_assert!(ci.level >= 0.95, "n={} level={}", v.len(), ci.level);
+        }
+    }
+
+    /// Summary::of never produces NaN on NaN-free input, even at tiny n.
+    #[test]
+    fn summary_is_nan_free(raw in prop::collection::vec(-1e6f64..1e6, 1..8)) {
+        let s = Summary::of(&raw);
+        let fields = [s.min, s.p25, s.median, s.p75, s.max, s.mean, s.stddev,
+                      s.median_ci.lo, s.median_ci.hi, s.median_ci.level];
+        for field in fields {
+            prop_assert!(field.is_finite());
+        }
+    }
+}

@@ -62,6 +62,21 @@ pub trait Operator: Send + Sync {
         let _ = input_shapes;
         0
     }
+
+    /// Bytes moved by one `forward` call — inputs read plus outputs
+    /// written, at `f32` storage — the denominator of Level-0 arithmetic
+    /// intensity and the "bytes moved" column of per-operator attribution.
+    /// The default derives it from the input shapes and
+    /// [`Operator::output_shapes`] (0 when shapes cannot be inferred);
+    /// ops with sparser access patterns can override.
+    fn bytes_moved(&self, input_shapes: &[&Shape]) -> u64 {
+        let read: usize = input_shapes.iter().map(|s| s.numel()).sum();
+        let written: usize = self
+            .output_shapes(input_shapes)
+            .map(|outs| outs.iter().map(Shape::numel).sum())
+            .unwrap_or(0);
+        ((read + written) * std::mem::size_of::<f32>()) as u64
+    }
 }
 
 /// Run an operator's forward pass with shape checking, as executors do.
@@ -157,5 +172,7 @@ mod tests {
         assert_eq!(op.num_outputs(), 1);
         assert!(op.input_differentiable(0));
         assert_eq!(op.flops(&[&Shape::new(&[4])]), 4.0);
+        // 4 floats read + 4 written, 4 bytes each.
+        assert_eq!(op.bytes_moved(&[&Shape::new(&[4])]), 32);
     }
 }

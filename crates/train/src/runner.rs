@@ -11,6 +11,7 @@ use crate::optimizer::{train_step, ThreeStepOptimizer};
 use deep500_data::DatasetSampler;
 use deep500_graph::GraphExecutor;
 use deep500_metrics::event::{Event, EventList, Phase};
+use deep500_metrics::Summary;
 use deep500_ops::loss::accuracy;
 use deep500_tensor::{Error, Result};
 use std::time::Instant;
@@ -50,6 +51,10 @@ pub struct TrainingLog {
     pub test_accuracy: Vec<(usize, f64, f64)>,
     /// Wallclock seconds per epoch.
     pub epoch_times: Vec<f64>,
+    /// Wallclock seconds spent fetching each minibatch (the
+    /// `Phase::Sampling` window) — the dataset-pipeline latency the paper's
+    /// Level-2 metrics attribute separately from compute.
+    pub sampling_times: Vec<f64>,
     /// Total wallclock seconds.
     pub total_time: f64,
     /// Seconds until `target_accuracy` was first reached, if ever.
@@ -70,6 +75,17 @@ impl TrainingLog {
             (Some(&(_, a)), Some(&(_, b))) => Some((a, b)),
             _ => None,
         }
+    }
+
+    /// Summary of per-minibatch dataset latency (`None` before any batch
+    /// was fetched) — mean/median/p95 of the `Phase::Sampling` windows.
+    pub fn dataset_latency(&self) -> Option<Summary> {
+        Summary::try_of(&self.sampling_times)
+    }
+
+    /// Total seconds spent in the data pipeline (sum of sampling windows).
+    pub fn sampling_total(&self) -> f64 {
+        self.sampling_times.iter().sum()
     }
 }
 
@@ -134,9 +150,12 @@ impl TrainingRunner {
             train_sampler.reset_epoch();
             loop {
                 self.events.begin(Phase::Sampling, step);
+                let sample_start = Instant::now();
                 let batch = train_sampler.next_batch()?;
+                let sample_s = sample_start.elapsed().as_secs_f64();
                 self.events.end(Phase::Sampling, step);
                 let Some(batch) = batch else { break };
+                log.sampling_times.push(sample_s);
 
                 self.events.begin(Phase::Iteration, step);
                 let result = train_step(optimizer, executor, &batch)?;
@@ -266,6 +285,38 @@ mod tests {
             .unwrap();
         assert!(log.time_to_accuracy.is_some(), "0.5 should be reachable");
         assert!(log.epochs_run < 30, "early exit on target");
+    }
+
+    #[test]
+    fn dataset_latency_is_summarized_and_traced() {
+        use deep500_metrics::trace::TraceRecorder;
+        let (mut ex, mut train, _) = setup(9);
+        let mut runner = TrainingRunner::new(TrainingConfig {
+            epochs: 2,
+            ..Default::default()
+        });
+        let recorder = TraceRecorder::new();
+        runner.add_event(Box::new(recorder.sink("train")));
+        let mut opt = GradientDescent::new(0.05);
+        let log = runner.run(&mut opt, &mut ex, &mut train, None).unwrap();
+        // One sampling window per completed step (end-of-epoch None fetches
+        // are not batches and are not logged).
+        assert_eq!(log.sampling_times.len(), log.step_losses.len());
+        let latency = log.dataset_latency().expect("batches were fetched");
+        assert!(latency.n == log.sampling_times.len());
+        assert!(latency.mean >= 0.0 && latency.mean.is_finite());
+        assert!(log.sampling_total() >= 0.0);
+        // The trace recorder saw the same Sampling windows via the hooks.
+        let traced = recorder.phase_total_s(Phase::Sampling);
+        assert!(traced >= 0.0);
+        let sampling_spans: usize = recorder
+            .tracks()
+            .iter()
+            .flat_map(|(_, spans)| spans)
+            .filter(|s| s.phase == Phase::Sampling)
+            .count();
+        // Every fetch (including the end-of-epoch empty one) is a span.
+        assert!(sampling_spans >= log.sampling_times.len());
     }
 
     #[test]
