@@ -63,7 +63,8 @@ pub mod prelude {
     pub use deep500_frameworks::{FrameworkExecutor, FrameworkProfile};
     pub use deep500_graph::builder::NetworkBuilder;
     pub use deep500_graph::{
-        models, ExecutorKind, GraphExecutor, Network, ReferenceExecutor, WavefrontExecutor,
+        models, CompileOptions, ExecutorKind, GraphExecutor, Network, PlannedExecutor,
+        ReferenceExecutor, WavefrontExecutor,
     };
     pub use deep500_metrics::{Table, TestMetric, Timer};
     pub use deep500_ops::registry::{create_op, register_op, Attributes};

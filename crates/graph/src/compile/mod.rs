@@ -1,0 +1,422 @@
+//! The graph compile pipeline: an ahead-of-time stage between
+//! `Network::to_ir()` and the executors.
+//!
+//! Deep500 treats the network as "transformable" but leaves every decision
+//! to execution time: the wavefront executor re-derives readiness, pulls
+//! buffers from a dynamic pool, and dispatches whatever nodes the graph
+//! happens to contain. This module moves that work ahead of time:
+//!
+//! 1. **IR optimization passes** ([`passes`]) — constant folding and
+//!    common-subexpression elimination over the [`Network`], each gated by
+//!    the transform-safety diff harness
+//!    ([`deep500_verify::transform_safety`]): a pass that drifts the
+//!    observable interface, a parameter, or a surviving tensor's shape is
+//!    rejected, not executed.
+//! 2. **Generalized fusion** — producer→consumer fusion into GEMM epilogues
+//!    ([`crate::transforms::fusion::fuse_gemm_epilogues`]): a
+//!    `Linear`/`MatMul` followed by a single-consumer `Relu` collapses into
+//!    one node whose packed-microkernel write-back applies the activation
+//!    (zero extra memory traffic), plus the existing elementwise-chain
+//!    fusion.
+//! 3. **Ahead-of-time memory plan** ([`plan::MemoryPlan`]) — greedy
+//!    interval coloring over the live-range interference graph yields a
+//!    static buffer assignment, provably ≥ the verifier's
+//!    `pool_lower_bound` and checked ≤ the pooled executor's observed
+//!    peak.
+//! 4. **Pre-scheduled wavefront** ([`plan::ExecutionPlan`] +
+//!    [`planned::PlannedExecutor`]) — the level partition is frozen into
+//!    per-level dispatch lists over integer tensor ids, so execution stops
+//!    recomputing readiness and stops hashing tensor names each pass.
+//!
+//! Results remain bit-identical to the reference executor: every rewrite
+//! preserves the exact per-element float sequence (see the epilogue
+//! contract in `deep500_ops::gemm::packed`), and the planned executor
+//! reuses the wavefront's deterministic gradient-fold order.
+
+pub mod passes;
+pub mod plan;
+pub mod planned;
+
+pub use plan::{ExecutionPlan, MemoryPlan};
+pub use planned::PlannedExecutor;
+
+use crate::network::Network;
+use crate::transforms::fusion;
+use deep500_tensor::{Error, Result, Shape};
+
+/// Which passes the compile driver runs, in its fixed order:
+/// constant folding → CSE → elementwise-chain fusion → GEMM-epilogue
+/// fusion.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Fold nodes whose inputs are all compile-time constants.
+    pub const_fold: bool,
+    /// Treat parameters as constants when folding. Off for training:
+    /// folded parameters would not see optimizer updates.
+    pub freeze_params: bool,
+    /// Merge structurally identical nodes (same op type, attributes, and
+    /// inputs).
+    pub cse: bool,
+    /// Collapse elementwise chains into `FusedElementwise` nodes.
+    pub fuse_elementwise: bool,
+    /// Fold single-consumer `Relu`s into GEMM write-back epilogues.
+    pub fuse_epilogues: bool,
+}
+
+impl CompileOptions {
+    /// Everything on — parameters are constants, ReLUs ride GEMM
+    /// epilogues. For inference-only deployment.
+    pub fn inference() -> Self {
+        CompileOptions {
+            const_fold: true,
+            freeze_params: true,
+            cse: true,
+            fuse_elementwise: true,
+            fuse_epilogues: true,
+        }
+    }
+
+    /// Training-safe subset: parameters stay live (no folding through
+    /// them), but CSE and both fusions apply — their backward passes are
+    /// exact (the fused epilogue masks gradients identically to a
+    /// standalone `Relu` node).
+    pub fn training() -> Self {
+        CompileOptions {
+            const_fold: false,
+            freeze_params: false,
+            cse: true,
+            fuse_elementwise: true,
+            fuse_epilogues: true,
+        }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::inference()
+    }
+}
+
+/// What the compile driver did to the graph.
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Nodes folded to constants.
+    pub folded: usize,
+    /// Duplicate nodes merged by CSE.
+    pub merged: usize,
+    /// Elementwise chains collapsed.
+    pub fused_elementwise: usize,
+    /// ReLUs folded into GEMM epilogues.
+    pub fused_epilogues: usize,
+    /// Node count before / after the pipeline.
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+}
+
+impl CompileReport {
+    /// Total rewrites applied.
+    pub fn rewrites(&self) -> usize {
+        self.folded + self.merged + self.fused_elementwise + self.fused_epilogues
+    }
+}
+
+/// Run a transform-safety diff of `net` against the `before` snapshot and
+/// turn any deny lint into `Error::Validation` naming the pass. The folded
+/// constants materialized into the value store are threaded as extra input
+/// shapes so shape inference (and therefore drift detection) still reaches
+/// every surviving tensor.
+fn gate_pass(
+    pass: &str,
+    before: &deep500_verify::GraphIr,
+    net: &Network,
+    input_shapes: &[(&str, Shape)],
+) -> Result<()> {
+    let after = net.to_ir();
+    let mut extended: Vec<(&str, Shape)> = input_shapes.to_vec();
+    for (name, t) in net.values() {
+        if !extended.iter().any(|(n, _)| *n == name.as_str()) {
+            extended.push((name.as_str(), t.shape().clone()));
+        }
+    }
+    let diff = deep500_verify::transform_safety::diff(before, &after, &extended);
+    if diff.passes() {
+        Ok(())
+    } else {
+        Err(Error::Validation(format!(
+            "compile pass '{pass}' on '{}' rejected by the transform-safety \
+             harness ({} deny lints):\n{}",
+            net.name,
+            diff.report.deny_count(),
+            diff.report.render(false)
+        )))
+    }
+}
+
+/// Compile `net` in place: run the enabled passes in order, gating each on
+/// the transform-safety harness under the given graph-input shapes.
+/// Returns what was rewritten. The network afterwards is ready for any
+/// executor; [`PlannedExecutor`] additionally freezes the schedule and
+/// memory plan at its first pass.
+pub fn compile(
+    net: &mut Network,
+    input_shapes: &[(&str, Shape)],
+    opts: &CompileOptions,
+) -> Result<CompileReport> {
+    let mut report = CompileReport {
+        nodes_before: net.num_nodes(),
+        ..CompileReport::default()
+    };
+
+    if opts.const_fold {
+        let before = net.to_ir();
+        report.folded = passes::constant_fold(net, opts.freeze_params)?;
+        if report.folded > 0 {
+            gate_pass("constant_fold", &before, net, input_shapes)?;
+        }
+    }
+    if opts.cse {
+        let before = net.to_ir();
+        report.merged = passes::eliminate_common_subexpressions(net)?;
+        if report.merged > 0 {
+            gate_pass("cse", &before, net, input_shapes)?;
+        }
+    }
+    if opts.fuse_elementwise {
+        let before = net.to_ir();
+        report.fused_elementwise = fusion::fuse_elementwise(net)?;
+        if report.fused_elementwise > 0 {
+            gate_pass("fuse_elementwise", &before, net, input_shapes)?;
+        }
+    }
+    if opts.fuse_epilogues {
+        let before = net.to_ir();
+        report.fused_epilogues = fusion::fuse_gemm_epilogues(net)?;
+        if report.fused_epilogues > 0 {
+            gate_pass("fuse_gemm_epilogues", &before, net, input_shapes)?;
+        }
+    }
+
+    report.nodes_after = net.num_nodes();
+    // Final structural gate: whatever the pipeline produced must still
+    // pass the constructor-grade verifier.
+    deep500_verify::gate(&net.to_ir())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{GraphExecutor, ReferenceExecutor};
+    use crate::models;
+    use deep500_ops::registry::Attributes;
+    use deep500_tensor::Tensor;
+
+    #[test]
+    fn compile_mlp_fuses_relus_and_preserves_outputs() {
+        let net = models::mlp(16, &[32, 24], 4, 11).unwrap();
+        let feeds = [
+            ("x", Tensor::ones([3, 16])),
+            ("labels", Tensor::from_slice(&[0.0, 1.0, 2.0])),
+        ];
+        let mut reference = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let expect = reference.inference(&feeds).unwrap();
+
+        let mut compiled = net.clone_structure();
+        let report = compile(
+            &mut compiled,
+            &[("x", Shape::new(&[3, 16])), ("labels", Shape::new(&[3]))],
+            &CompileOptions::inference(),
+        )
+        .unwrap();
+        assert_eq!(report.fused_epilogues, 2, "both hidden ReLUs fold");
+        assert!(report.nodes_after < report.nodes_before);
+
+        let mut ex = ReferenceExecutor::new(compiled).unwrap();
+        let got = ex.inference(&feeds).unwrap();
+        for (name, t) in &expect {
+            assert_eq!(
+                got[name].data(),
+                t.data(),
+                "compiled output '{name}' must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_is_idempotent() {
+        let mut net = models::mlp(8, &[8], 3, 7).unwrap();
+        let shapes = [("x", Shape::new(&[2, 8])), ("labels", Shape::new(&[2]))];
+        let first = compile(&mut net, &shapes, &CompileOptions::inference()).unwrap();
+        assert!(first.rewrites() > 0);
+        let second = compile(&mut net, &shapes, &CompileOptions::inference()).unwrap();
+        assert_eq!(
+            second.rewrites(),
+            0,
+            "second compile finds nothing: {second:?}"
+        );
+        assert_eq!(second.nodes_before, second.nodes_after);
+    }
+
+    #[test]
+    fn interface_breaking_pass_is_rejected_by_gate() {
+        // Simulate a broken pass by diffing against a snapshot with a
+        // different output set.
+        let mut net = Network::new("g");
+        net.add_input("x");
+        net.add_node("r", "Relu", Attributes::new(), &["x"], &["y"])
+            .unwrap();
+        net.add_output("y");
+        let mut before = net.to_ir();
+        before.outputs.push("ghost".into());
+        let err = gate_pass("broken", &before, &net, &[("x", Shape::new(&[1, 4]))]).unwrap_err();
+        assert!(matches!(err, Error::Validation(_)));
+    }
+
+    #[test]
+    fn training_options_keep_params_unfolded() {
+        let opts = CompileOptions::training();
+        assert!(!opts.const_fold && !opts.freeze_params);
+        let mut net = models::mlp(4, &[4], 2, 3).unwrap();
+        let shapes = [("x", Shape::new(&[1, 4])), ("labels", Shape::new(&[1]))];
+        let report = compile(&mut net, &shapes, &opts).unwrap();
+        assert_eq!(report.folded, 0);
+        assert!(report.fused_epilogues > 0);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use crate::executor::{GraphExecutor, ReferenceExecutor};
+    use crate::models;
+    use deep500_ops::registry::Attributes;
+    use deep500_tensor::Tensor;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The full pipeline is idempotent and exact on the MLP family:
+        /// a second `compile` finds nothing to rewrite, and the compiled
+        /// graph's outputs are bit-identical to the uncompiled reference.
+        #[test]
+        fn compile_is_idempotent_and_exact_on_mlps(
+            seed in 1u64..500,
+            hidden in 1usize..24,
+            batch in 1usize..4,
+            training in any::<bool>(),
+        ) {
+            let net = models::mlp(6, &[hidden], 3, seed).unwrap();
+            let x: Vec<f32> = (0..batch * 6)
+                .map(|i| ((i as f32) + seed as f32).sin() * 2.0)
+                .collect();
+            let feeds = [
+                ("x", Tensor::from_vec([batch, 6], x).unwrap()),
+                ("labels", Tensor::from_slice(&vec![1.0; batch])),
+            ];
+            let shapes = [
+                ("x", Shape::new(&[batch, 6])),
+                ("labels", Shape::new(&[batch])),
+            ];
+            let opts = if training {
+                CompileOptions::training()
+            } else {
+                CompileOptions::inference()
+            };
+            let mut reference = ReferenceExecutor::new(net.clone_structure()).unwrap();
+            let expect = reference.inference(&feeds).unwrap();
+
+            let mut compiled = net.clone_structure();
+            let first = compile(&mut compiled, &shapes, &opts).unwrap();
+            let second = compile(&mut compiled, &shapes, &opts).unwrap();
+            prop_assert_eq!(second.rewrites(), 0, "first {:?}, second {:?}", first, second);
+
+            let mut ex = ReferenceExecutor::new(compiled).unwrap();
+            let got = ex.inference(&feeds).unwrap();
+            for (name, t) in &expect {
+                // Bitwise comparison: NaNs (if any) must match too.
+                let gb: Vec<u32> = got[name].data().iter().map(|v| v.to_bits()).collect();
+                let eb: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&gb, &eb, "output '{}' drifted", name);
+            }
+        }
+
+        /// Constant folding and CSE individually reach a fixpoint on
+        /// graphs of duplicated parameter-fed Scale chains, and the
+        /// surviving graph still produces bit-identical outputs.
+        #[test]
+        fn fold_and_cse_reach_fixpoints(
+            alpha in -2.0f64..2.0,
+            dup in 2usize..5,
+        ) {
+            let build = || {
+                let mut net = Network::new("p");
+                net.add_input("x");
+                net.add_parameter("w", Tensor::from_slice(&[1.0, -2.0, 3.0]));
+                let mut sums: Vec<String> = Vec::new();
+                for i in 0..dup {
+                    // Identical chains: Scale(w) -> Add(x, ·)
+                    net.add_node(
+                        format!("s{i}"),
+                        "Scale",
+                        Attributes::new().with_float("alpha", alpha),
+                        &["w"],
+                        &[&format!("c{i}")],
+                    )
+                    .unwrap();
+                    net.add_node(
+                        format!("a{i}"),
+                        "Add",
+                        Attributes::new(),
+                        &["x", &format!("c{i}")],
+                        &[&format!("t{i}")],
+                    )
+                    .unwrap();
+                    sums.push(format!("t{i}"));
+                }
+                let mut acc = sums[0].clone();
+                for (i, s) in sums.iter().enumerate().skip(1) {
+                    // The last accumulator is the declared output.
+                    let out = if i == dup - 1 {
+                        "y".to_string()
+                    } else {
+                        format!("acc{i}")
+                    };
+                    net.add_node(
+                        format!("sum{i}"),
+                        "Add",
+                        Attributes::new(),
+                        &[&acc, s],
+                        &[&out],
+                    )
+                    .unwrap();
+                    acc = out;
+                }
+                net.add_output("y");
+                net
+            };
+            let x = Tensor::from_slice(&[0.5, 1.5, -0.5]);
+            let mut reference = ReferenceExecutor::new(build()).unwrap();
+            let expect = reference.inference(&[("x", x.clone())]).unwrap()["y"].clone();
+
+            // CSE alone: all duplicate chains merge, then nothing more.
+            let mut net = build();
+            let merged = passes::eliminate_common_subexpressions(&mut net).unwrap();
+            prop_assert_eq!(merged, 2 * (dup - 1), "scale+add per duplicate chain");
+            prop_assert_eq!(passes::eliminate_common_subexpressions(&mut net).unwrap(), 0);
+
+            // Folding alone: each Scale folds (params frozen), fixpoint after.
+            let mut net = build();
+            let folded = passes::constant_fold(&mut net, true).unwrap();
+            prop_assert_eq!(folded, dup);
+            prop_assert_eq!(passes::constant_fold(&mut net, true).unwrap(), 0);
+
+            // Both still compute the same bits.
+            let mut ex = ReferenceExecutor::new(net).unwrap();
+            let got = ex.inference(&[("x", x)]).unwrap()["y"].clone();
+            let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, eb);
+        }
+    }
+}

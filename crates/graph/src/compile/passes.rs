@@ -1,0 +1,284 @@
+//! IR optimization passes over the [`Network`]: constant folding and
+//! common-subexpression elimination.
+//!
+//! Both passes are *structural* rewrites the compile driver
+//! ([`super::compile`]) gates with the transform-safety harness; on their
+//! own they only promise not to touch the declared graph interface,
+//! parameters-as-tensors, or any stochastic operator.
+
+use crate::network::{Network, NodeId};
+use deep500_ops::registry;
+use deep500_tensor::{Result, Tensor};
+use std::collections::HashSet;
+
+/// Operator types that must never fold or merge: their output is not a
+/// pure function of their inputs.
+fn is_stochastic(op_type: &str) -> bool {
+    op_type == "Dropout"
+}
+
+/// Fold every node whose inputs are all compile-time constants: parameters
+/// (when `freeze_params`) and outputs of previously folded nodes. The
+/// folded node is removed and its outputs are materialized into the
+/// network value store, where executors' `fetch_tensor` fallback picks
+/// them up like any prefed tensor. Returns the number of nodes folded.
+///
+/// Producers of declared graph outputs are skipped — executors collect
+/// outputs from the pass environment, which only ever holds feeds and node
+/// products. Note the materialized constants live in the value store, so a
+/// later `clear_values()` discards them; re-run the compile pipeline after
+/// clearing.
+pub fn constant_fold(net: &mut Network, freeze_params: bool) -> Result<usize> {
+    let mut constants: HashSet<String> = HashSet::new();
+    if freeze_params {
+        constants.extend(net.get_params().iter().cloned());
+    }
+    let graph_outputs: HashSet<String> = net.graph_outputs().iter().cloned().collect();
+
+    let mut folded = 0usize;
+    loop {
+        let mut target: Option<NodeId> = None;
+        for id in net.topological_order()? {
+            let node = net.node(id).expect("live node");
+            if is_stochastic(&node.op_type) {
+                continue;
+            }
+            if node.outputs.iter().any(|o| graph_outputs.contains(o)) {
+                continue;
+            }
+            if !node.inputs.iter().all(|i| constants.contains(i)) {
+                continue;
+            }
+            target = Some(id);
+            break;
+        }
+        let Some(id) = target else {
+            return Ok(folded);
+        };
+        let node = net.node(id).expect("live node").clone();
+        let op = registry::create_op(&node.op_type, &node.attrs)?;
+        let inputs: Vec<&Tensor> = node
+            .inputs
+            .iter()
+            .map(|n| net.fetch_tensor(n))
+            .collect::<Result<_>>()?;
+        let outputs = op.forward(&inputs)?;
+        net.remove_node(id)?;
+        for (name, t) in node.outputs.iter().zip(outputs) {
+            net.feed_tensor(name.clone(), t);
+            constants.insert(name.clone());
+        }
+        folded += 1;
+    }
+}
+
+/// Merge structurally identical nodes: same operator type, equal
+/// attributes, and the same input tensor names in the same order compute
+/// the same values, so every consumer of the duplicate's outputs is
+/// rewired onto the first occurrence and the duplicate removed. Runs to a
+/// fixpoint (merging two nodes can make their consumers identical).
+/// Returns the number of nodes eliminated.
+///
+/// Stochastic operators never merge (two Dropouts draw different masks),
+/// and a duplicate whose output is a declared graph output is kept — the
+/// name must stay produced.
+pub fn eliminate_common_subexpressions(net: &mut Network) -> Result<usize> {
+    let graph_outputs: HashSet<String> = net.graph_outputs().iter().cloned().collect();
+    let mut merged = 0usize;
+    loop {
+        let order = net.topological_order()?;
+        let mut pair: Option<(NodeId, NodeId)> = None;
+        'scan: for (i, &a) in order.iter().enumerate() {
+            let an = net.node(a).expect("live node");
+            if is_stochastic(&an.op_type) {
+                continue;
+            }
+            for &b in &order[i + 1..] {
+                let bn = net.node(b).expect("live node");
+                if an.op_type == bn.op_type
+                    && an.inputs == bn.inputs
+                    && an.attrs == bn.attrs
+                    && !bn.outputs.iter().any(|o| graph_outputs.contains(o))
+                {
+                    pair = Some((a, b));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((keep, drop)) = pair else {
+            return Ok(merged);
+        };
+        let keep_outputs = net.node(keep).expect("live node").outputs.clone();
+        let dropped = net.remove_node(drop)?;
+        for (from, to) in dropped.outputs.iter().zip(&keep_outputs) {
+            net.rename_input(from, to);
+        }
+        merged += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{GraphExecutor, ReferenceExecutor};
+    use deep500_ops::registry::Attributes;
+
+    /// w --Scale(2)--> c --Add(x)--> y : Scale folds when params freeze.
+    fn foldable_net() -> Network {
+        let mut net = Network::new("fold");
+        net.add_input("x");
+        net.add_parameter("w", Tensor::from_slice(&[1.0, 2.0]));
+        net.add_node(
+            "s",
+            "Scale",
+            Attributes::new().with_float("alpha", 2.0),
+            &["w"],
+            &["c"],
+        )
+        .unwrap();
+        net.add_node("a", "Add", Attributes::new(), &["x", "c"], &["y"])
+            .unwrap();
+        net.add_output("y");
+        net
+    }
+
+    #[test]
+    fn folds_param_only_subgraph() {
+        let mut net = foldable_net();
+        assert_eq!(constant_fold(&mut net, true).unwrap(), 1);
+        assert_eq!(net.num_nodes(), 1, "only the Add survives");
+        assert_eq!(net.fetch_tensor("c").unwrap().data(), &[2.0, 4.0]);
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let out = ex
+            .inference(&[("x", Tensor::from_slice(&[1.0, 1.0]))])
+            .unwrap();
+        assert_eq!(out["y"].data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn without_frozen_params_nothing_folds() {
+        let mut net = foldable_net();
+        assert_eq!(constant_fold(&mut net, false).unwrap(), 0);
+        assert_eq!(net.num_nodes(), 2);
+    }
+
+    #[test]
+    fn graph_output_producers_never_fold() {
+        let mut net = Network::new("out");
+        net.add_parameter("w", Tensor::from_slice(&[3.0]));
+        net.add_node(
+            "s",
+            "Scale",
+            Attributes::new().with_float("alpha", 2.0),
+            &["w"],
+            &["y"],
+        )
+        .unwrap();
+        net.add_output("y");
+        assert_eq!(constant_fold(&mut net, true).unwrap(), 0);
+        assert_eq!(net.num_nodes(), 1);
+    }
+
+    #[test]
+    fn cse_merges_identical_scales_and_preserves_output() {
+        // Two identical Scale(2) nodes on x, summed: one must merge away.
+        let build = || {
+            let mut net = Network::new("cse");
+            net.add_input("x");
+            net.add_node(
+                "s1",
+                "Scale",
+                Attributes::new().with_float("alpha", 2.0),
+                &["x"],
+                &["a"],
+            )
+            .unwrap();
+            net.add_node(
+                "s2",
+                "Scale",
+                Attributes::new().with_float("alpha", 2.0),
+                &["x"],
+                &["b"],
+            )
+            .unwrap();
+            net.add_node("sum", "Add", Attributes::new(), &["a", "b"], &["y"])
+                .unwrap();
+            net.add_output("y");
+            net
+        };
+        let x = Tensor::from_slice(&[1.5, -2.0]);
+        let mut reference = ReferenceExecutor::new(build()).unwrap();
+        let expect = reference.inference(&[("x", x.clone())]).unwrap()["y"].clone();
+
+        let mut net = build();
+        assert_eq!(eliminate_common_subexpressions(&mut net).unwrap(), 1);
+        assert_eq!(net.num_nodes(), 2);
+        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let got = ex.inference(&[("x", x)]).unwrap()["y"].clone();
+        assert_eq!(got.data(), expect.data(), "bit-identical after CSE");
+    }
+
+    #[test]
+    fn cse_skips_different_attrs_and_graph_outputs() {
+        let mut net = Network::new("no-cse");
+        net.add_input("x");
+        net.add_node(
+            "s1",
+            "Scale",
+            Attributes::new().with_float("alpha", 2.0),
+            &["x"],
+            &["a"],
+        )
+        .unwrap();
+        net.add_node(
+            "s2",
+            "Scale",
+            Attributes::new().with_float("alpha", 3.0),
+            &["x"],
+            &["b"],
+        )
+        .unwrap();
+        net.add_output("a");
+        net.add_output("b");
+        assert_eq!(eliminate_common_subexpressions(&mut net).unwrap(), 0);
+        // Even identical twins survive when the duplicate feeds a graph
+        // output.
+        net.add_node(
+            "s3",
+            "Scale",
+            Attributes::new().with_float("alpha", 2.0),
+            &["x"],
+            &["c"],
+        )
+        .unwrap();
+        net.add_output("c");
+        assert_eq!(eliminate_common_subexpressions(&mut net).unwrap(), 0);
+        assert_eq!(net.num_nodes(), 3);
+    }
+
+    #[test]
+    fn cse_runs_to_fixpoint_through_chains() {
+        // Two identical two-node chains collapse level by level.
+        let mut net = Network::new("chain");
+        net.add_input("x");
+        for (n, t) in [("p1", "a1"), ("p2", "a2")] {
+            net.add_node(
+                n,
+                "Scale",
+                Attributes::new().with_float("alpha", 2.0),
+                &["x"],
+                &[t],
+            )
+            .unwrap();
+        }
+        net.add_node("r1", "Relu", Attributes::new(), &["a1"], &["b1"])
+            .unwrap();
+        net.add_node("r2", "Relu", Attributes::new(), &["a2"], &["b2"])
+            .unwrap();
+        net.add_node("sum", "Add", Attributes::new(), &["b1", "b2"], &["y"])
+            .unwrap();
+        net.add_output("y");
+        assert_eq!(eliminate_common_subexpressions(&mut net).unwrap(), 2);
+        assert_eq!(net.num_nodes(), 3, "one scale, one relu, the add");
+    }
+}

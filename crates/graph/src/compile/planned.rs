@@ -1,0 +1,679 @@
+//! The pre-scheduled wavefront executor.
+//!
+//! [`PlannedExecutor`] runs the same level partition as
+//! [`WavefrontExecutor`](crate::WavefrontExecutor) but consumes a frozen
+//! [`ExecutionPlan`] instead of re-deriving schedule state every pass:
+//!
+//! * the tensor environment is a dense `Vec<Option<Tensor>>` indexed by
+//!   interned tensor id — no string hashing on the hot path,
+//! * dispatch lists and per-level death lists are precomputed — readiness
+//!   and remaining-consumer counts are never recomputed,
+//! * operator outputs draw their buffers from the ahead-of-time
+//!   [`MemoryPlan`](super::MemoryPlan) slots (delivered through the tensor
+//!   crate's slot-buffer scope), falling back to the shared
+//!   [`BufferPool`] only for tensors the shape pass could not size.
+//!
+//! Results are bit-identical to the reference executor: slot buffers are
+//! zero-filled exactly like pool buffers, within a level only independent
+//! nodes run, and the backward sweep folds gradient contributions in the
+//! same descending topological-position order as the wavefront executor.
+//!
+//! The plan is shape-dependent, so it is built lazily at the first pass
+//! from the actual feed shapes and rebuilt transparently if they change.
+
+use super::plan::{ExecutionPlan, PlanStep, ValueRef};
+use crate::executor::{GraphExecutor, MemoryAccountant, OpTotals};
+use crate::network::{Network, NodeId};
+use crate::wavefront::partition_levels;
+use deep500_metrics::event::{EventList, Phase};
+use deep500_ops::Operator;
+use deep500_tensor::{
+    with_pool, with_slot_buffers, BufferPool, Error, PoolStats, Result, Shape, Tensor,
+};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a forward worker hands back: outputs, unconsumed slot buffers,
+/// wall-clock seconds, declared FLOPs, and bytes moved.
+type SlotBufs = Vec<(usize, Vec<f32>)>;
+type ForwardProduct = (Vec<Tensor>, SlotBufs, f64, f64, u64);
+type BackwardProduct = Option<(Vec<Tensor>, f64)>;
+
+/// The plan-driven executor. See the module docs for the design.
+pub struct PlannedExecutor {
+    network: Network,
+    ops: HashMap<NodeId, Box<dyn Operator>>,
+    order: Vec<NodeId>,
+    levels: Vec<Vec<NodeId>>,
+    /// Topological position per node for the deterministic gradient fold.
+    order_pos: HashMap<NodeId, usize>,
+    plan: Option<ExecutionPlan>,
+    /// Feed shapes the current plan was built for.
+    plan_key: Vec<(String, Shape)>,
+    /// Static buffer per memory-plan slot (`None` until first donated).
+    slots: Vec<Option<Vec<f32>>>,
+    events: EventList,
+    memory: MemoryAccountant,
+    pool: Arc<BufferPool>,
+    threads: usize,
+    pass_counter: usize,
+    op_totals: HashMap<usize, OpTotals>,
+}
+
+impl PlannedExecutor {
+    /// Build an executor for `network` with unbounded memory.
+    pub fn new(network: Network) -> Result<Self> {
+        Self::with_memory_limit(network, usize::MAX)
+    }
+
+    /// Build with a device memory capacity in bytes. Construction is gated
+    /// on the static verifier like the other executors.
+    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        deep500_verify::gate(&network.to_ir())?;
+        let ops = network.instantiate_ops()?;
+        let order = network.topological_order()?;
+        let levels = partition_levels(&network, &order);
+        let order_pos = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        Ok(PlannedExecutor {
+            network,
+            ops,
+            order,
+            levels,
+            order_pos,
+            plan: None,
+            plan_key: Vec::new(),
+            slots: Vec::new(),
+            events: EventList::new(),
+            memory: MemoryAccountant::new(capacity),
+            pool: Arc::new(BufferPool::new()),
+            threads: 0,
+            pass_counter: 0,
+            op_totals: HashMap::new(),
+        })
+    }
+
+    /// Cap concurrent nodes per level (`0` = full rayon pool).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The current execution plan, if one has been built.
+    pub fn plan(&self) -> Option<&ExecutionPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Total bytes of the static memory plan, once built.
+    pub fn plan_bytes(&self) -> Option<usize> {
+        self.plan.as_ref().map(|p| p.memory.total_bytes)
+    }
+
+    /// Buffer-pool effectiveness counters (the dynamic fallback tier).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Re-derive operators, order, levels, and invalidate the plan after a
+    /// graph transformation mutated the network.
+    pub fn refresh(&mut self) -> Result<()> {
+        deep500_verify::gate(&self.network.to_ir())?;
+        self.ops = self.network.instantiate_ops()?;
+        self.order = self.network.topological_order()?;
+        self.levels = partition_levels(&self.network, &self.order);
+        self.order_pos = self
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        self.plan = None;
+        self.plan_key.clear();
+        self.slots.clear();
+        Ok(())
+    }
+
+    /// Consume the executor, returning its network.
+    pub fn into_network(self) -> Network {
+        self.network
+    }
+
+    fn group_width(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Build (or rebuild) the plan for the given feed shapes.
+    fn ensure_plan(&mut self, feeds: &[(&str, Tensor)]) -> Result<()> {
+        let mut key: Vec<(String, Shape)> = feeds
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.shape().clone()))
+            .collect();
+        key.sort_by(|a, b| a.0.cmp(&b.0));
+        if self.plan.is_some() && self.plan_key == key {
+            return Ok(());
+        }
+        let input_shapes: Vec<(&str, Shape)> =
+            feeds.iter().map(|(n, t)| (*n, t.shape().clone())).collect();
+        let plan = ExecutionPlan::build(&self.network, &self.order, &self.levels, &input_shapes)?;
+        self.slots = vec![None; plan.memory.num_slots()];
+        self.plan = Some(plan);
+        self.plan_key = key;
+        Ok(())
+    }
+
+    /// The planned forward pass. With `reclaim`, buffers of tensors whose
+    /// consumers are exhausted are donated back to their static slot as
+    /// soon as their level's successors join (inference); without it the
+    /// whole environment stays live for backprop and only the memory
+    /// accounting is released, mirroring the wavefront executor.
+    fn forward_planned(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        reclaim: bool,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let width = self.group_width();
+        let Self {
+            network,
+            ops,
+            plan,
+            slots,
+            events,
+            memory,
+            pool,
+            op_totals,
+            ..
+        } = self;
+        let plan = plan.as_ref().expect("ensure_plan ran");
+
+        memory.reset();
+        let mut env: Vec<Option<Tensor>> = vec![None; plan.num_env()];
+        for (name, t) in feeds {
+            let Some(&id) = plan.feed_ids.get(*name) else {
+                return Err(Error::Invalid(format!(
+                    "feed '{name}' is not a declared graph input of '{}'",
+                    network.name
+                )));
+            };
+            memory.allocate(t.size_bytes())?;
+            env[id] = Some(t.clone());
+        }
+
+        for (l, &(lo, hi)) in plan.level_ranges.iter().enumerate() {
+            let level_steps = &plan.steps[lo..hi];
+            for group in level_steps.chunks(width) {
+                // The coordinator owns the slot store; pre-take each
+                // step's output buffers before dispatch. Tensors defined
+                // in the same level always interfere, so no two steps of a
+                // group contend for a slot.
+                let jobs: Vec<(&PlanStep, SlotBufs)> = group
+                    .iter()
+                    .map(|step| {
+                        let bufs = step
+                            .outputs
+                            .iter()
+                            .zip(&step.out_numels)
+                            .filter_map(|(&oid, &numel)| {
+                                if numel == 0 {
+                                    return None;
+                                }
+                                let slot = plan.slot_of_id[oid]?;
+                                slots[slot].take().map(|b| (numel, b))
+                            })
+                            .collect();
+                        (step, bufs)
+                    })
+                    .collect();
+
+                let env_ref = &env;
+                let run = |step: &PlanStep, bufs: SlotBufs| -> Result<ForwardProduct> {
+                    let op = ops.get(&step.node).expect("instantiated op");
+                    let mut input_refs: Vec<&Tensor> = Vec::with_capacity(step.inputs.len());
+                    for r in &step.inputs {
+                        let t = match r {
+                            ValueRef::Env(id) => match env_ref[*id].as_ref() {
+                                Some(t) => t,
+                                // Undeclared-but-prefed name: store fallback.
+                                None => network.fetch_tensor(&plan.tensor_names[*id])?,
+                            },
+                            ValueRef::Net(name) => network.fetch_tensor(name)?,
+                        };
+                        input_refs.push(t);
+                    }
+                    let shapes: Vec<&Shape> = input_refs.iter().map(|t| t.shape()).collect();
+                    let workspace = op.workspace_bytes(&shapes);
+                    let flops = op.flops(&shapes);
+                    let bytes = op.bytes_moved(&shapes);
+                    memory.allocate(workspace)?;
+                    let start = std::time::Instant::now();
+                    let (outputs, leftovers) =
+                        with_slot_buffers(bufs, || with_pool(pool, || op.forward(&input_refs)));
+                    let seconds = start.elapsed().as_secs_f64();
+                    memory.release(workspace);
+                    let outputs = outputs?;
+                    for t in &outputs {
+                        memory.allocate(t.size_bytes())?;
+                    }
+                    Ok((outputs, leftovers, seconds, flops, bytes))
+                };
+                let results: Vec<Result<ForwardProduct>> = if jobs.len() == 1 {
+                    let (step, bufs) = jobs.into_iter().next().expect("one job");
+                    vec![run(step, bufs)]
+                } else {
+                    jobs.into_par_iter()
+                        .map(|(step, bufs)| run(step, bufs))
+                        .collect()
+                };
+                for (step, result) in group.iter().zip(results) {
+                    let (outputs, leftovers, seconds, flops, bytes) = result?;
+                    events.span(Phase::OperatorForward, step.node.0, seconds);
+                    op_totals
+                        .entry(step.node.0)
+                        .or_default()
+                        .record_forward(seconds, flops, bytes);
+                    for (&oid, tensor) in step.outputs.iter().zip(outputs) {
+                        env[oid] = Some(tensor);
+                    }
+                    // Buffers the operator did not consume go back to
+                    // their slot (matched by tagged numel) or the pool.
+                    for (numel, buf) in leftovers {
+                        let home =
+                            step.outputs
+                                .iter()
+                                .zip(&step.out_numels)
+                                .find_map(|(&oid, &n)| {
+                                    if n != numel {
+                                        return None;
+                                    }
+                                    plan.slot_of_id[oid].filter(|&s| slots[s].is_none())
+                                });
+                        match home {
+                            Some(s) => slots[s] = Some(buf),
+                            None => pool.recycle(buf),
+                        }
+                    }
+                }
+            }
+            // Level joined: process the precomputed death list.
+            for &id in &plan.dies_after_level[l] {
+                if reclaim {
+                    if let Some(t) = env[id].take() {
+                        memory.release(t.size_bytes());
+                        let v = t.into_vec();
+                        match plan.slot_of_id[id] {
+                            Some(s) if slots[s].is_none() => slots[s] = Some(v),
+                            _ => pool.recycle(v),
+                        }
+                    }
+                } else if let Some(t) = env[id].as_ref() {
+                    // Keep the value for backprop; release accounting only,
+                    // like the wavefront executor.
+                    memory.release(t.size_bytes());
+                }
+            }
+        }
+        Ok(env)
+    }
+
+    /// Collect declared graph outputs from a planned environment.
+    fn collect_outputs(&self, env: &[Option<Tensor>]) -> Result<HashMap<String, Tensor>> {
+        let plan = self.plan.as_ref().expect("plan built");
+        let mut out = HashMap::new();
+        for (name, id) in &plan.outputs {
+            let t = env[*id]
+                .as_ref()
+                .ok_or_else(|| Error::NotFound(format!("graph output '{name}'")))?;
+            out.insert(name.clone(), t.clone());
+        }
+        Ok(out)
+    }
+
+    /// Return a pass environment's remaining buffers to their static slots
+    /// (first donor wins) or the dynamic pool.
+    fn reclaim_env(&mut self, env: Vec<Option<Tensor>>) {
+        let plan = self.plan.as_ref().expect("plan built");
+        for (id, slot_tensor) in env.into_iter().enumerate() {
+            let Some(t) = slot_tensor else { continue };
+            let v = t.into_vec();
+            match plan.slot_of_id[id] {
+                Some(s) if self.slots[s].is_none() => self.slots[s] = Some(v),
+                _ => self.pool.recycle(v),
+            }
+        }
+    }
+
+    /// Fold buffered gradient contributions in descending topological
+    /// position of the contributing consumer — identical to the wavefront
+    /// executor, and therefore to the reference sweep.
+    fn materialize(
+        pending: &mut HashMap<String, Vec<(usize, Tensor)>>,
+        grads: &mut HashMap<String, Tensor>,
+        pool: &BufferPool,
+        name: &str,
+    ) -> Result<()> {
+        if let Some(mut contribs) = pending.remove(name) {
+            contribs.sort_by_key(|c| std::cmp::Reverse(c.0));
+            let mut it = contribs.into_iter();
+            let (_, mut acc) = it.next().expect("contribution lists are non-empty");
+            for (_, t) in it {
+                acc.axpy(1.0, &t)?;
+                pool.recycle(t.into_vec());
+            }
+            grads.insert(name.to_string(), acc);
+        }
+        Ok(())
+    }
+
+    /// Backward sweep over the frozen levels in reverse; mirrors the
+    /// wavefront executor's deterministic accumulation.
+    fn backward_planned(&mut self, env: &[Option<Tensor>], loss: &str) -> Result<()> {
+        let width = self.group_width();
+        let plan = self.plan.as_ref().expect("plan built");
+        let loss_id = plan
+            .tensor_ids
+            .get(loss)
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
+        let loss_tensor = env[loss_id]
+            .as_ref()
+            .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
+        let mut pending: HashMap<String, Vec<(usize, Tensor)>> = HashMap::new();
+        pending
+            .entry(loss.to_string())
+            .or_default()
+            .push((usize::MAX, Tensor::full(loss_tensor.shape().clone(), 1.0)));
+        let mut grads: HashMap<String, Tensor> = HashMap::new();
+
+        let network = &self.network;
+        let ops = &self.ops;
+        let order_pos = &self.order_pos;
+        let pool = &self.pool;
+        let mut spans: Vec<(usize, f64)> = Vec::new();
+        for &(lo, hi) in plan.level_ranges.iter().rev() {
+            let level_steps = &plan.steps[lo..hi];
+            // Finalize this level's output gradients: all consumers live
+            // in higher levels and have already contributed.
+            for step in level_steps {
+                let node = network.node(step.node).expect("live node");
+                for o in &node.outputs {
+                    Self::materialize(&mut pending, &mut grads, pool, o)?;
+                }
+            }
+            let rev: Vec<&PlanStep> = level_steps.iter().rev().collect();
+            for group in rev.chunks(width) {
+                let run = |step: &PlanStep| -> Result<BackwardProduct> {
+                    let node = network.node(step.node).expect("live node");
+                    if !node.outputs.iter().any(|o| grads.contains_key(o)) {
+                        return Ok(None);
+                    }
+                    let op = ops.get(&step.node).expect("instantiated op");
+                    let mut input_refs: Vec<&Tensor> = Vec::with_capacity(step.inputs.len());
+                    for r in &step.inputs {
+                        let t = match r {
+                            ValueRef::Env(id) => match env[*id].as_ref() {
+                                Some(t) => t,
+                                None => network.fetch_tensor(&plan.tensor_names[*id])?,
+                            },
+                            ValueRef::Net(name) => network.fetch_tensor(name)?,
+                        };
+                        input_refs.push(t);
+                    }
+                    let output_tensors: Vec<&Tensor> = step
+                        .outputs
+                        .iter()
+                        .map(|&oid| {
+                            env[oid]
+                                .as_ref()
+                                .ok_or_else(|| Error::NotFound(plan.tensor_names[oid].clone()))
+                        })
+                        .collect::<Result<_>>()?;
+                    let grad_outputs: Vec<Tensor> = with_pool(pool, || {
+                        node.outputs
+                            .iter()
+                            .zip(&output_tensors)
+                            .map(|(name, t)| {
+                                grads
+                                    .get(name)
+                                    .cloned()
+                                    .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+                            })
+                            .collect()
+                    });
+                    let grad_refs: Vec<&Tensor> = grad_outputs.iter().collect();
+                    let start = std::time::Instant::now();
+                    let input_grads = with_pool(pool, || {
+                        op.backward(&grad_refs, &input_refs, &output_tensors)
+                    });
+                    let seconds = start.elapsed().as_secs_f64();
+                    for t in grad_outputs {
+                        pool.recycle(t.into_vec());
+                    }
+                    Ok(Some((input_grads?, seconds)))
+                };
+                let results: Vec<Result<BackwardProduct>> = if group.len() == 1 {
+                    vec![run(group[0])]
+                } else {
+                    group.par_iter().map(|&step| run(step)).collect()
+                };
+                for (&step, result) in group.iter().zip(results) {
+                    let Some((input_grads, seconds)) = result? else {
+                        continue;
+                    };
+                    spans.push((step.node.0, seconds));
+                    let node = network.node(step.node).expect("live node");
+                    let pos = order_pos[&step.node];
+                    for (gname, gtensor) in node.inputs.iter().zip(input_grads) {
+                        pending
+                            .entry(gname.clone())
+                            .or_default()
+                            .push((pos, gtensor));
+                    }
+                }
+            }
+        }
+
+        // Contributions to producer-less tensors (feeds, parameters).
+        let unresolved: Vec<String> = pending.keys().cloned().collect();
+        for name in unresolved {
+            Self::materialize(&mut pending, &mut grads, pool, &name)?;
+        }
+
+        for (id, seconds) in spans {
+            self.events.span(Phase::OperatorBackward, id, seconds);
+            self.op_totals
+                .entry(id)
+                .or_default()
+                .record_backward(seconds);
+        }
+
+        // Publish parameter gradients into the network value store.
+        for (pname, gname) in self.network.gradient() {
+            let g = grads.get(&pname).cloned().unwrap_or_else(|| {
+                let shape = self
+                    .network
+                    .fetch_tensor(&pname)
+                    .map(|t| t.shape().clone())
+                    .unwrap_or_else(|_| Shape::scalar());
+                Tensor::zeros(shape)
+            });
+            self.network.feed_tensor(gname, g);
+        }
+        for (_, t) in grads.drain() {
+            self.pool.recycle(t.into_vec());
+        }
+        Ok(())
+    }
+}
+
+impl GraphExecutor for PlannedExecutor {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Inference, pass);
+        self.ensure_plan(feeds)?;
+        let env = self.forward_planned(feeds, true)?;
+        let outputs = self.collect_outputs(&env);
+        self.events.end(Phase::Inference, pass);
+        self.reclaim_env(env);
+        outputs
+    }
+
+    fn inference_and_backprop(
+        &mut self,
+        feeds: &[(&str, Tensor)],
+        loss: &str,
+    ) -> Result<HashMap<String, Tensor>> {
+        self.pass_counter += 1;
+        let pass = self.pass_counter;
+        self.events.begin(Phase::Backprop, pass);
+        self.ensure_plan(feeds)?;
+        let env = self.forward_planned(feeds, false)?;
+        self.backward_planned(&env, loss)?;
+        let outputs = self.collect_outputs(&env);
+        self.events.end(Phase::Backprop, pass);
+        self.reclaim_env(env);
+        outputs
+    }
+
+    fn events_mut(&mut self) -> &mut EventList {
+        &mut self.events
+    }
+
+    fn peak_memory(&self) -> usize {
+        self.memory.peak()
+    }
+
+    fn op_totals(&self) -> HashMap<usize, OpTotals> {
+        self.op_totals.clone()
+    }
+
+    fn buffer_pool_stats(&self) -> Option<PoolStats> {
+        Some(self.pool.stats())
+    }
+
+    fn static_plan_bytes(&self) -> Option<usize> {
+        self.plan_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ReferenceExecutor;
+    use crate::models;
+
+    fn mlp_feeds(batch: usize, features: usize) -> Vec<(String, Tensor)> {
+        let x: Vec<f32> = (0..batch * features)
+            .map(|i| ((i * 37 % 17) as f32 - 8.0) / 5.0)
+            .collect();
+        let labels: Vec<f32> = (0..batch).map(|i| (i % 2) as f32).collect();
+        vec![
+            (
+                "x".to_string(),
+                Tensor::from_vec([batch, features], x).unwrap(),
+            ),
+            ("labels".to_string(), Tensor::from_slice(&labels)),
+        ]
+    }
+
+    fn as_refs(feeds: &[(String, Tensor)]) -> Vec<(&str, Tensor)> {
+        feeds.iter().map(|(n, t)| (n.as_str(), t.clone())).collect()
+    }
+
+    #[test]
+    fn planned_inference_is_bit_identical_to_reference() {
+        let net = models::mlp(12, &[16, 8], 3, 9).unwrap();
+        let feeds = mlp_feeds(4, 12);
+        let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut pl = PlannedExecutor::new(net).unwrap();
+        let expect = rf.inference(&as_refs(&feeds)).unwrap();
+        // Two passes: the second exercises slot reuse.
+        for _ in 0..2 {
+            let got = pl.inference(&as_refs(&feeds)).unwrap();
+            for (name, t) in &expect {
+                assert_eq!(got[name].data(), t.data(), "output '{name}'");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_backprop_matches_reference_gradients_bitwise() {
+        let net = models::mlp(10, &[12], 4, 21).unwrap();
+        let feeds = mlp_feeds(3, 10);
+        let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut pl = PlannedExecutor::new(net).unwrap();
+        rf.inference_and_backprop(&as_refs(&feeds), "loss").unwrap();
+        pl.inference_and_backprop(&as_refs(&feeds), "loss").unwrap();
+        for p in rf.network().get_params().to_vec() {
+            let g = crate::grad_name(&p);
+            let rg = rf.network().fetch_tensor(&g).unwrap();
+            let pg = pl.network().fetch_tensor(&g).unwrap();
+            assert_eq!(rg.data(), pg.data(), "gradient of '{p}'");
+        }
+    }
+
+    #[test]
+    fn plan_rebuilds_on_feed_shape_change() {
+        let net = models::mlp(6, &[6], 2, 2).unwrap();
+        let mut pl = PlannedExecutor::new(net).unwrap();
+        pl.inference(&as_refs(&mlp_feeds(2, 6))).unwrap();
+        let bytes_small = pl.plan_bytes().unwrap();
+        pl.inference(&as_refs(&mlp_feeds(8, 6))).unwrap();
+        let bytes_large = pl.plan_bytes().unwrap();
+        assert!(bytes_large > bytes_small, "plan follows the batch size");
+        // And back again, still correct.
+        pl.inference(&as_refs(&mlp_feeds(2, 6))).unwrap();
+        assert_eq!(pl.plan_bytes().unwrap(), bytes_small);
+    }
+
+    #[test]
+    fn undeclared_feed_is_rejected() {
+        let net = models::mlp(4, &[], 2, 3).unwrap();
+        let mut pl = PlannedExecutor::new(net).unwrap();
+        let err = pl
+            .inference(&[("ghost", Tensor::ones([1, 4]))])
+            .unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)));
+    }
+
+    #[test]
+    fn slot_plan_bytes_cover_lower_bound_and_report_via_trait() {
+        let net = models::mlp(16, &[24, 16], 4, 4).unwrap();
+        let mut pl = PlannedExecutor::new(net).unwrap();
+        pl.inference(&as_refs(&mlp_feeds(4, 16))).unwrap();
+        let plan = pl.plan().unwrap();
+        assert!(plan.memory.total_bytes >= plan.memory.pool_lower_bound);
+        let as_trait: &dyn GraphExecutor = &pl;
+        assert_eq!(as_trait.static_plan_bytes(), Some(plan.memory.total_bytes));
+        assert!(as_trait.buffer_pool_stats().is_some());
+    }
+
+    #[test]
+    fn planned_ooms_on_tiny_capacity() {
+        let net = models::mlp(4, &[4], 2, 5).unwrap();
+        let mut pl = PlannedExecutor::with_memory_limit(net, 8).unwrap();
+        let err = pl.inference(&as_refs(&mlp_feeds(2, 4))).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn executor_kind_builds_planned() {
+        let net = models::mlp(4, &[4], 2, 6).unwrap();
+        let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut ex = crate::ExecutorKind::Planned.build(net).unwrap();
+        let feeds = mlp_feeds(2, 4);
+        let got = ex.inference(&as_refs(&feeds)).unwrap();
+        let expect = rf.inference(&as_refs(&feeds)).unwrap();
+        assert_eq!(got["loss"].data(), expect["loss"].data());
+    }
+}

@@ -125,6 +125,23 @@ impl MemoryAccountant {
     }
 }
 
+/// Remaining-consumer counts for activation freeing, computed once per
+/// graph (re)build instead of once per pass. Declared graph outputs are
+/// pinned (consumer count saturated); each pass clones this template
+/// rather than re-walking every node's input list.
+pub(crate) fn consumer_template(network: &Network) -> HashMap<String, usize> {
+    let mut remaining: HashMap<String, usize> = HashMap::new();
+    for (_, node) in network.nodes() {
+        for i in &node.inputs {
+            *remaining.entry(i.clone()).or_insert(0) += 1;
+        }
+    }
+    for out in network.graph_outputs() {
+        *remaining.entry(out.clone()).or_insert(0) += usize::MAX / 2;
+    }
+    remaining
+}
+
 /// Per-node execution totals accumulated by an executor across passes —
 /// the executor-side source of the Level-0 attribution rows.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -192,6 +209,20 @@ pub trait GraphExecutor: Send {
         HashMap::new()
     }
 
+    /// Dynamic buffer-pool counters, for executors backed by a
+    /// [`BufferPool`](deep500_tensor::BufferPool) (`None` otherwise).
+    fn buffer_pool_stats(&self) -> Option<deep500_tensor::PoolStats> {
+        None
+    }
+
+    /// Total bytes of the ahead-of-time memory plan, for executors running
+    /// a compiled [`MemoryPlan`](crate::compile::MemoryPlan) (`None` for
+    /// dynamically pooled executors, or before the first pass builds the
+    /// plan).
+    fn static_plan_bytes(&self) -> Option<usize> {
+        None
+    }
+
     /// Fold [`GraphExecutor::op_totals`] into per-operator attribution
     /// rows (wall time, FLOPs, bytes moved), named from the network and
     /// sorted by descending total time.
@@ -240,6 +271,8 @@ pub struct ReferenceExecutor {
     network: Network,
     ops: HashMap<NodeId, Box<dyn Operator>>,
     order: Vec<NodeId>,
+    /// Pre-counted consumer template cloned at each pass start.
+    consumers: HashMap<String, usize>,
     events: EventList,
     memory: MemoryAccountant,
     pass_counter: usize,
@@ -264,10 +297,12 @@ impl ReferenceExecutor {
         deep500_verify::gate(&network.to_ir())?;
         let ops = network.instantiate_ops()?;
         let order = network.topological_order()?;
+        let consumers = consumer_template(&network);
         Ok(ReferenceExecutor {
             network,
             ops,
             order,
+            consumers,
             events: EventList::new(),
             memory: MemoryAccountant::new(capacity),
             pass_counter: 0,
@@ -282,6 +317,7 @@ impl ReferenceExecutor {
         deep500_verify::gate(&self.network.to_ir())?;
         self.ops = self.network.instantiate_ops()?;
         self.order = self.network.topological_order()?;
+        self.consumers = consumer_template(&self.network);
         Ok(())
     }
 
@@ -298,17 +334,9 @@ impl ReferenceExecutor {
             self.memory.allocate(t.size_bytes())?;
             env.insert(name.to_string(), t.clone());
         }
-        // Remaining-consumer counts for activation freeing. Declared graph
-        // outputs and feeds are pinned (consumer count saturated).
-        let mut remaining: HashMap<String, usize> = HashMap::new();
-        for (_, node) in self.network.nodes() {
-            for i in &node.inputs {
-                *remaining.entry(i.clone()).or_insert(0) += 1;
-            }
-        }
-        for out in self.network.graph_outputs() {
-            *remaining.entry(out.clone()).or_insert(0) += usize::MAX / 2;
-        }
+        // Remaining-consumer counts for activation freeing, cloned from the
+        // per-build template.
+        let mut remaining = self.consumers.clone();
 
         for &id in &self.order.clone() {
             let node = self.network.node(id).expect("live node").clone();

@@ -30,6 +30,7 @@
 //!   [`test_executor_backprop`](validate::test_executor_backprop).
 
 pub mod builder;
+pub mod compile;
 pub mod executor;
 pub mod format;
 pub mod models;
@@ -39,6 +40,9 @@ pub mod validate;
 pub mod visitor;
 pub mod wavefront;
 
+pub use compile::{
+    compile, CompileOptions, CompileReport, ExecutionPlan, MemoryPlan, PlannedExecutor,
+};
 pub use executor::{GraphExecutor, MemoryAccountant, OpTotals, ReferenceExecutor};
 pub use network::{Network, Node, NodeId};
 pub use visitor::NetworkVisitor;

@@ -282,6 +282,71 @@ fn fuse_elementwise_inner(net: &mut Network) -> Result<usize> {
     }
 }
 
+/// Fold single-consumer `Relu`s into the write-back epilogue of their
+/// producing GEMM node (`Linear` or `MatMul`). The pair collapses into one
+/// node carrying `epilogue = "relu"`, which the operator registry lowers
+/// onto the packed microkernel's epilogue hook
+/// (`deep500_ops::gemm::Epilogue`): the activation is applied to each
+/// output tile while it is still register-resident, so the intermediate
+/// pre-activation tensor is never written to memory at all. Returns the
+/// number of pairs fused.
+///
+/// Eligibility mirrors [`fuse_elementwise`]: the GEMM's output must have
+/// exactly one consumer, must not be a declared graph output (the
+/// pre-activation name disappears), and the GEMM must not already carry an
+/// epilogue. The rewrite is exact — the epilogue applies `max(x, 0)` to the
+/// identical per-element values a standalone `Relu` node would see, and the
+/// fused backward masks gradients through the (retained) post-activation
+/// output exactly like `ReluOp::backward`.
+pub fn fuse_gemm_epilogues(net: &mut Network) -> Result<usize> {
+    let mut fused = 0usize;
+    loop {
+        let mut pair: Option<(NodeId, NodeId)> = None;
+        'search: for (id, node) in net.nodes() {
+            if node.op_type != "Linear" && node.op_type != "MatMul" {
+                continue;
+            }
+            if !node.attrs.str_or("epilogue", "").is_empty() {
+                continue;
+            }
+            if node.outputs.len() != 1 {
+                continue;
+            }
+            let out = &node.outputs[0];
+            if net.graph_outputs().contains(out) {
+                continue;
+            }
+            let consumers = net.consumers_of(out);
+            if consumers.len() != 1 {
+                continue;
+            }
+            let rn = net.node(consumers[0]).expect("live");
+            // The consumer must read the GEMM output exactly once — a
+            // hypothetical Relu(y, y) shape would double-count.
+            if rn.op_type == "Relu" && rn.inputs.len() == 1 {
+                pair = Some((id, consumers[0]));
+                break 'search;
+            }
+        }
+        let Some((gemm, relu)) = pair else {
+            if fused > 0 {
+                deep500_verify::gate(&net.to_ir())?;
+            }
+            return Ok(fused);
+        };
+        let g = net.remove_node(gemm)?;
+        let r = net.remove_node(relu)?;
+        net.add_node(
+            g.name,
+            g.op_type,
+            g.attrs.with_str("epilogue", "relu"),
+            &g.inputs.iter().map(String::as_str).collect::<Vec<_>>(),
+            &r.outputs.iter().map(String::as_str).collect::<Vec<_>>(),
+        )?;
+        fused += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ use deep500_metrics::norms::DiffNorms;
 use deep500_metrics::stats::Summary;
 use deep500_metrics::trace::OpAttribution;
 use deep500_metrics::Timer;
-use deep500_tensor::{Error, Result, Tensor};
+use deep500_tensor::{Error, PoolStats, Result, Tensor};
 
 /// Result of comparing two executors.
 #[derive(Debug, Clone)]
@@ -28,6 +28,14 @@ pub struct ExecutorReport {
     /// bytes moved), sorted by descending total time; empty if the
     /// candidate does not track totals.
     pub candidate_attribution: Vec<OpAttribution>,
+    /// Dynamic buffer-pool counters of the candidate, if it is
+    /// pool-backed ([`GraphExecutor::buffer_pool_stats`]).
+    pub candidate_pool: Option<PoolStats>,
+    /// Static memory-plan bytes of the candidate, if it runs an
+    /// ahead-of-time plan ([`GraphExecutor::static_plan_bytes`]). Reported
+    /// alongside the pool stats so plan-vs-pool memory comparisons come
+    /// straight out of validation runs.
+    pub candidate_plan_bytes: Option<usize>,
 }
 
 /// Candidate/reference runtime ratio with an explicit degeneracy marker.
@@ -136,6 +144,8 @@ pub fn test_executor(
         candidate_time: Summary::of(&cand_times),
         reference_time: Summary::of(&ref_times),
         candidate_attribution: candidate.op_attribution(),
+        candidate_pool: candidate.buffer_pool_stats(),
+        candidate_plan_bytes: candidate.static_plan_bytes(),
     })
 }
 
@@ -194,6 +204,8 @@ pub fn test_executor_backprop(
         candidate_time: Summary::of(&cand_times),
         reference_time: Summary::of(&ref_times),
         candidate_attribution: candidate.op_attribution(),
+        candidate_pool: candidate.buffer_pool_stats(),
+        candidate_plan_bytes: candidate.static_plan_bytes(),
     })
 }
 
@@ -279,6 +291,8 @@ mod tests {
             candidate_time: deep500_metrics::stats::Summary::of(&[cand]),
             reference_time: deep500_metrics::stats::Summary::of(&[reference]),
             candidate_attribution: Vec::new(),
+            candidate_pool: None,
+            candidate_plan_bytes: None,
         };
         let r = mk(3.0, 0.0);
         assert!(r.slowdown_detail().degenerate);
@@ -286,6 +300,30 @@ mod tests {
         let r = mk(3.0, 1.5);
         assert!(!r.slowdown_detail().degenerate);
         assert_eq!(r.slowdown(), 2.0);
+    }
+
+    #[test]
+    fn report_carries_pool_stats_and_plan_bytes() {
+        let net = models::mlp(6, &[6], 2, 8).unwrap();
+        let feeds = [
+            ("x", Tensor::ones([2, 6])),
+            ("labels", Tensor::from_slice(&[0.0, 1.0])),
+        ];
+        // Reference candidate: neither a pool nor a plan.
+        let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut b = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let r = test_executor(&mut a, &mut b, &feeds, 1).unwrap();
+        assert!(r.candidate_pool.is_none() && r.candidate_plan_bytes.is_none());
+        // Planned candidate: both reported, bit-identical outputs.
+        let mut p = crate::compile::PlannedExecutor::new(net.clone_structure()).unwrap();
+        let r = test_executor(&mut p, &mut b, &feeds, 2).unwrap();
+        assert!(r.passes(0.0), "planned executor is bit-identical");
+        assert!(r.candidate_pool.is_some());
+        assert!(r.candidate_plan_bytes.unwrap() > 0);
+        // Wavefront candidate: pool yes, plan no.
+        let mut w = crate::WavefrontExecutor::new(net).unwrap();
+        let r = test_executor(&mut w, &mut b, &feeds, 1).unwrap();
+        assert!(r.candidate_pool.is_some() && r.candidate_plan_bytes.is_none());
     }
 
     #[test]
@@ -297,6 +335,8 @@ mod tests {
             candidate_time: deep500_metrics::stats::Summary::of(&[1.0]),
             reference_time: deep500_metrics::stats::Summary::of(&[1.0]),
             candidate_attribution: Vec::new(),
+            candidate_pool: None,
+            candidate_plan_bytes: None,
         };
         assert!(report.passes(0.5), "linf == tol must pass");
         assert!(!report.passes(0.49));
@@ -307,6 +347,8 @@ mod tests {
             candidate_time: deep500_metrics::stats::Summary::of(&[1.0]),
             reference_time: deep500_metrics::stats::Summary::of(&[1.0]),
             candidate_attribution: Vec::new(),
+            candidate_pool: None,
+            candidate_plan_bytes: None,
         };
         assert!(empty.passes(0.0));
     }

@@ -66,6 +66,12 @@ pub enum ExecutorKind {
     Reference,
     /// Level-parallel execution on the rayon pool ([`WavefrontExecutor`]).
     Wavefront,
+    /// Level-parallel execution driven by an ahead-of-time compiled
+    /// [`ExecutionPlan`](crate::compile::ExecutionPlan): frozen dispatch
+    /// lists, integer-indexed tensor environment, and a static memory plan
+    /// instead of per-op pool lookups
+    /// ([`PlannedExecutor`](crate::compile::PlannedExecutor)).
+    Planned,
 }
 
 impl ExecutorKind {
@@ -87,13 +93,20 @@ impl ExecutorKind {
             ExecutorKind::Wavefront => {
                 Box::new(WavefrontExecutor::with_memory_limit(network, capacity)?)
             }
+            ExecutorKind::Planned => Box::new(crate::compile::PlannedExecutor::with_memory_limit(
+                network, capacity,
+            )?),
         })
     }
 }
 
 /// Group the topological order into dependency levels. Within each level
 /// nodes keep their topological order, so `levels.concat() == order`.
-fn partition_levels(network: &Network, order: &[NodeId]) -> Vec<Vec<NodeId>> {
+/// Shared with the compile pipeline, whose [`ExecutionPlan`] freezes the
+/// same partition ahead of time.
+///
+/// [`ExecutionPlan`]: crate::compile::ExecutionPlan
+pub(crate) fn partition_levels(network: &Network, order: &[NodeId]) -> Vec<Vec<NodeId>> {
     let mut level_of: HashMap<NodeId, usize> = HashMap::new();
     let mut levels: Vec<Vec<NodeId>> = Vec::new();
     for &id in order {
@@ -124,6 +137,8 @@ pub struct WavefrontExecutor {
     /// Topological position of each node; gradient contributions are folded
     /// in descending-position order to replicate the reference sweep.
     order_pos: HashMap<NodeId, usize>,
+    /// Pre-counted consumer template cloned at each pass start.
+    consumers: HashMap<String, usize>,
     events: EventList,
     memory: MemoryAccountant,
     pool: Arc<BufferPool>,
@@ -155,12 +170,14 @@ impl WavefrontExecutor {
         let order = network.topological_order()?;
         let levels = partition_levels(&network, &order);
         let order_pos = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let consumers = crate::executor::consumer_template(&network);
         Ok(WavefrontExecutor {
             network,
             ops,
             order,
             levels,
             order_pos,
+            consumers,
             events: EventList::new(),
             memory: MemoryAccountant::new(capacity),
             pool: Arc::new(BufferPool::new()),
@@ -263,6 +280,7 @@ impl WavefrontExecutor {
             .enumerate()
             .map(|(i, &id)| (id, i))
             .collect();
+        self.consumers = crate::executor::consumer_template(&self.network);
         Ok(())
     }
 
@@ -289,15 +307,7 @@ impl WavefrontExecutor {
             self.memory.allocate(t.size_bytes())?;
             env.insert(name.to_string(), t.clone());
         }
-        let mut remaining: HashMap<String, usize> = HashMap::new();
-        for (_, node) in self.network.nodes() {
-            for i in &node.inputs {
-                *remaining.entry(i.clone()).or_insert(0) += 1;
-            }
-        }
-        for out in self.network.graph_outputs() {
-            *remaining.entry(out.clone()).or_insert(0) += usize::MAX / 2;
-        }
+        let mut remaining = self.consumers.clone();
 
         let width = self.group_width();
         let network = &self.network;
@@ -580,6 +590,10 @@ impl GraphExecutor for WavefrontExecutor {
 
     fn op_totals(&self) -> HashMap<usize, OpTotals> {
         self.op_totals.clone()
+    }
+
+    fn buffer_pool_stats(&self) -> Option<PoolStats> {
+        Some(self.pool.stats())
     }
 }
 

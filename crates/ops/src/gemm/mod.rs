@@ -28,7 +28,7 @@ pub mod packed;
 use deep500_tensor::{Error, Result, Tensor};
 use rayon::prelude::*;
 
-pub use packed::{Blocking, MR, NR};
+pub use packed::{Blocking, Epilogue, MR, NR};
 
 /// GEMM kernel selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -167,6 +167,55 @@ pub fn matmul(algo: Algorithm, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(c)
 }
 
+/// [`matmul`] with a fused write-back [`Epilogue`]. Under `Packed` the
+/// epilogue runs inside the final `KC`-block store (zero extra memory
+/// traffic); the other tiers apply it as a separate pass with the identical
+/// per-element float sequence, so all tiers stay bit-identical to an
+/// unfused GEMM followed by separate bias/ReLU passes.
+pub fn matmul_with_epilogue(
+    algo: Algorithm,
+    a: &Tensor,
+    b: &Tensor,
+    epilogue: Epilogue<'_>,
+) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(Error::ShapeMismatch(format!(
+            "matmul requires rank-2 operands, got {} and {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, ka) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(Error::ShapeMismatch(format!(
+            "matmul inner dims: {} vs {}",
+            ka, kb
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    match algo {
+        Algorithm::Packed => {
+            packed::gemm_packed_into_epilogue(
+                m,
+                n,
+                ka,
+                a.data(),
+                false,
+                b.data(),
+                false,
+                c.data_mut(),
+                epilogue,
+            );
+        }
+        _ => {
+            gemm_into(algo, m, n, ka, a.data(), b.data(), c.data_mut());
+            epilogue.apply_matrix(c.data_mut(), n);
+        }
+    }
+    Ok(c)
+}
+
 /// `A^T * B` for rows `ib..ib+rows` of the result; `cpanel` holds exactly
 /// those rows. Per output element the `p` reduction ascends, matching the
 /// historical serial kernel bit for bit regardless of panelling. Every
@@ -265,15 +314,62 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     matmul_a_bt_with(Algorithm::default(), a, b)
 }
 
-/// The `MatMul` operator: `C = A * B`.
+/// [`matmul_a_bt_with`] with a fused write-back [`Epilogue`] — the
+/// fully-connected forward product (`y = x * W^T` plus bias/activation in
+/// one pass). Fusion/fallback semantics as in [`matmul_with_epilogue`].
+pub fn matmul_a_bt_with_epilogue(
+    algo: Algorithm,
+    a: &Tensor,
+    b: &Tensor,
+    epilogue: Epilogue<'_>,
+) -> Result<Tensor> {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, kb) = (b.shape().dim(0), b.shape().dim(1));
+    if k != kb {
+        return Err(Error::ShapeMismatch(format!(
+            "A*B^T inner dims: {k} vs {kb}"
+        )));
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    match algo {
+        Algorithm::Packed => {
+            packed::gemm_packed_into_epilogue(m, n, k, ad, false, bd, true, cd, epilogue);
+        }
+        Algorithm::Parallel if m * n * k >= PAR_THRESHOLD => {
+            cd.par_chunks_mut(BLOCK * n)
+                .enumerate()
+                .for_each(|(chunk, cpanel)| a_bt_panel(chunk * BLOCK, n, k, ad, bd, cpanel));
+            epilogue.apply_matrix(cd, n);
+        }
+        _ => {
+            a_bt_panel(0, n, k, ad, bd, cd);
+            epilogue.apply_matrix(cd, n);
+        }
+    }
+    Ok(c)
+}
+
+/// The `MatMul` operator: `C = A * B`, optionally with a ReLU fused into
+/// the GEMM write-back (`epilogue = "relu"` attribute, installed by the
+/// graph crate's epilogue-fusion transform).
 #[derive(Debug, Clone, Default)]
 pub struct MatMulOp {
     pub algo: Algorithm,
+    /// Fold `max(x, 0)` into the write-back. Bit-identical to a separate
+    /// `Relu` node (same float sequence; NaN maps to 0 either way).
+    pub relu: bool,
 }
 
 impl MatMulOp {
     pub fn new(algo: Algorithm) -> Self {
-        MatMulOp { algo }
+        MatMulOp { algo, relu: false }
+    }
+
+    /// Enable the fused ReLU epilogue.
+    pub fn with_relu(mut self, relu: bool) -> Self {
+        self.relu = relu;
+        self
     }
 }
 
@@ -294,15 +390,33 @@ impl crate::operator::Operator for MatMulOp {
         ])])
     }
     fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
-        Ok(vec![matmul(self.algo, inputs[0], inputs[1])?])
+        let epilogue = if self.relu {
+            Epilogue::Relu
+        } else {
+            Epilogue::None
+        };
+        Ok(vec![matmul_with_epilogue(
+            self.algo, inputs[0], inputs[1], epilogue,
+        )?])
     }
     fn backward(
         &self,
         grad_outputs: &[&Tensor],
         inputs: &[&Tensor],
-        _outputs: &[&Tensor],
+        outputs: &[&Tensor],
     ) -> Result<Vec<Tensor>> {
         let g = grad_outputs[0];
+        // With the fused ReLU, first mask the incoming gradient exactly
+        // like a standalone Relu node's backward: g * (y > 0 ? 1 : 0),
+        // where y is this op's (post-ReLU) output.
+        let masked;
+        let g = if self.relu {
+            let y = outputs[0];
+            masked = g.zip(y, |gv, yv| gv * if yv > 0.0 { 1.0 } else { 0.0 })?;
+            &masked
+        } else {
+            g
+        };
         // dA = dC * B^T ; dB = A^T * dC
         let da = matmul_a_bt_with(self.algo, g, inputs[1])?;
         let db = matmul_at_b_with(self.algo, inputs[0], g)?;
@@ -496,5 +610,107 @@ mod tests {
         let s1 = deep500_tensor::Shape::new(&[2, 3]);
         let s2 = deep500_tensor::Shape::new(&[3, 4]);
         assert_eq!(op.flops(&[&s1, &s2]), 48.0);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Unfused reference: plain GEMM, then the epilogue as a separate
+    /// elementwise pass written out longhand — the float sequence a
+    /// standalone bias-add / `Relu` node pair would execute.
+    fn unfused(algo: Algorithm, a: &Tensor, b: &Tensor, ep: &Epilogue<'_>) -> Tensor {
+        let mut c = matmul(algo, a, b).unwrap();
+        let n = c.shape().dim(1);
+        for (i, v) in c.data_mut().iter_mut().enumerate() {
+            let j = i % n;
+            match *ep {
+                Epilogue::None => {}
+                Epilogue::Bias(bias) => *v += bias[j],
+                Epilogue::Relu => *v = v.max(0.0),
+                Epilogue::BiasRelu(bias) => *v = (*v + bias[j]).max(0.0),
+            }
+        }
+        c
+    }
+
+    /// Inject a non-finite value at `pos` (wrapped) so NaN/inf paths are
+    /// exercised in every case.
+    fn poison(vals: &mut [f32], pos: usize, kind: u8) {
+        let i = pos % vals.len();
+        vals[i] = match kind % 3 {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Fused epilogue write-back is bit-identical to GEMM + separate
+        /// epilogue pass on every kernel tier, including NaN and ±inf
+        /// propagation (compared on raw bit patterns; `max` maps NaN to 0
+        /// in both paths).
+        #[test]
+        fn fused_epilogue_matches_unfused_bitwise(
+            m in 1usize..10,
+            n in 1usize..10,
+            k in 1usize..10,
+            seed in 0u64..1000,
+            pos in 0usize..64,
+            kind in 0u8..3,
+            which in 0u8..4,
+        ) {
+            let mut rng = deep500_tensor::rng::Xoshiro256StarStar::seed_from_u64(seed);
+            let mut a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+            let mut bias = vec![0.0f32; n];
+            for v in bias.iter_mut() {
+                *v = rng.next_f32() - 0.5;
+            }
+            poison(a.data_mut(), pos, kind);
+            if kind == 0 {
+                poison(&mut bias, pos, kind); // NaN through the bias path too
+            }
+            let ep = match which % 4 {
+                0 => Epilogue::None,
+                1 => Epilogue::Bias(&bias),
+                2 => Epilogue::Relu,
+                _ => Epilogue::BiasRelu(&bias),
+            };
+            for algo in [
+                Algorithm::Naive,
+                Algorithm::Blocked,
+                Algorithm::Parallel,
+                Algorithm::Packed,
+            ] {
+                let fused = matmul_with_epilogue(algo, &a, &b, ep).unwrap();
+                let reference = unfused(algo, &a, &b, &ep);
+                let fb: Vec<u32> = fused.data().iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&fb, &rb, "algo {:?}, epilogue {:?}", algo, ep);
+            }
+            // The transposed entry point used by Linear forward
+            // (x * W^T) under the same epilogue.
+            let bt = Tensor::rand_uniform([n, k], -2.0, 2.0, &mut rng);
+            let fused = matmul_a_bt_with_epilogue(Algorithm::Packed, &a, &bt, ep).unwrap();
+            let mut reference = matmul_a_bt_with(Algorithm::Packed, &a, &bt).unwrap();
+            let cols = reference.shape().dim(1);
+            for (i, v) in reference.data_mut().iter_mut().enumerate() {
+                let j = i % cols;
+                match ep {
+                    Epilogue::None => {}
+                    Epilogue::Bias(bias) => *v += bias[j],
+                    Epilogue::Relu => *v = v.max(0.0),
+                    Epilogue::BiasRelu(bias) => *v = (*v + bias[j]).max(0.0),
+                }
+            }
+            let fb: Vec<u32> = fused.data().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&fb, &rb, "a_bt epilogue {:?}", ep);
+        }
     }
 }

@@ -48,6 +48,7 @@
 use super::PAR_THRESHOLD;
 use deep500_tensor::{recycle_scratch, scratch_zeroed};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Microkernel tile rows (`C` rows kept in registers).
 pub const MR: usize = 8;
@@ -68,11 +69,21 @@ pub struct Blocking {
 }
 
 impl Blocking {
+    /// Pick blocking from the problem shape, memoized per thread: graph
+    /// executors issue the same GEMM shapes pass after pass, so repeated
+    /// calls hit a small shape cache instead of redoing the divisions.
+    pub fn for_shape(m: usize, n: usize, k: usize) -> Blocking {
+        thread_local! {
+            static CACHE: RefCell<ShapeCache> = const { RefCell::new(ShapeCache::new()) };
+        }
+        CACHE.with(|c| c.borrow_mut().get_or_compute(m, n, k))
+    }
+
     /// Pick blocking from the problem shape. Targets are conservative
     /// laptop/server-class caches: `MR x KC` and `KC x NR` slivers well
     /// inside a 32 KiB L1, the packed A panel in half of a 256 KiB L2,
     /// and the packed B macro-panel in a ~1 MiB L3 share.
-    pub fn for_shape(m: usize, n: usize, k: usize) -> Blocking {
+    fn compute(m: usize, n: usize, k: usize) -> Blocking {
         let kc = k.clamp(1, 256);
         let mc_cap = ((128 * 1024 / 4) / kc).max(MR);
         let mc = round_up(m.clamp(1, mc_cap), MR);
@@ -82,8 +93,105 @@ impl Blocking {
     }
 }
 
+type CacheEntry = ((usize, usize, usize), Blocking);
+
+/// Tiny per-thread shape→[`Blocking`] cache with round-robin replacement.
+/// A handful of entries covers every GEMM shape a network issues (forward
+/// plus both transposed backward products per layer).
+struct ShapeCache {
+    entries: [Option<CacheEntry>; ShapeCache::WAYS],
+    cursor: usize,
+}
+
+impl ShapeCache {
+    const WAYS: usize = 8;
+
+    const fn new() -> ShapeCache {
+        ShapeCache {
+            entries: [None; ShapeCache::WAYS],
+            cursor: 0,
+        }
+    }
+
+    fn get_or_compute(&mut self, m: usize, n: usize, k: usize) -> Blocking {
+        let key = (m, n, k);
+        for e in self.entries.iter().flatten() {
+            if e.0 == key {
+                return e.1;
+            }
+        }
+        let bl = Blocking::compute(m, n, k);
+        self.entries[self.cursor] = Some((key, bl));
+        self.cursor = (self.cursor + 1) % Self::WAYS;
+        bl
+    }
+}
+
 fn round_up(v: usize, to: usize) -> usize {
     v.div_ceil(to) * to
+}
+
+/// Elementwise transform fused into the GEMM write-back: applied to each
+/// output element exactly once, while its cache line is still hot from the
+/// final `KC`-block store, so post-GEMM bias/activation passes cost zero
+/// extra memory traffic.
+///
+/// **Bit-identity contract:** the fused sequence per element is exactly the
+/// unfused one — full `K` reduction in the tier's accumulation order, then
+/// `+= bias[j]` (`j` the absolute output column), then `max(x, 0.0)` — so a
+/// fused `Linear(+Relu)` is bit-identical to `Linear` followed by a
+/// separate `Relu` pass, including NaN propagation (`max` maps NaN to 0,
+/// matching `ActivationOp`).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Epilogue<'a> {
+    /// Plain accumulate write-back.
+    #[default]
+    None,
+    /// `C[i][j] += bias[j]` after the final `K` block.
+    Bias(&'a [f32]),
+    /// `C[i][j] = max(C[i][j], 0.0)` after the final `K` block.
+    Relu,
+    /// Bias add, then ReLU.
+    BiasRelu(&'a [f32]),
+}
+
+impl Epilogue<'_> {
+    /// Apply to one row segment covering absolute output columns
+    /// `j0..j0 + seg.len()`.
+    #[inline]
+    fn apply_row(&self, seg: &mut [f32], j0: usize) {
+        let cols = seg.len();
+        match *self {
+            Epilogue::None => {}
+            Epilogue::Bias(bias) => {
+                for (cv, &bv) in seg.iter_mut().zip(&bias[j0..j0 + cols]) {
+                    *cv += bv;
+                }
+            }
+            Epilogue::Relu => {
+                for cv in seg.iter_mut() {
+                    *cv = cv.max(0.0);
+                }
+            }
+            Epilogue::BiasRelu(bias) => {
+                for (cv, &bv) in seg.iter_mut().zip(&bias[j0..j0 + cols]) {
+                    *cv = (*cv + bv).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Apply as a separate pass over a row-major `M x N` matrix — the
+    /// fallback for kernel tiers without a fusable write-back. Produces the
+    /// same per-element float sequence as the fused path.
+    pub(crate) fn apply_matrix(&self, c: &mut [f32], n: usize) {
+        if n == 0 || matches!(self, Epilogue::None) {
+            return;
+        }
+        for row in c.chunks_mut(n) {
+            self.apply_row(row, 0);
+        }
+    }
 }
 
 /// Pack the `mc x kc` block of logical `A` starting at `(ic, pc)` into
@@ -252,7 +360,9 @@ fn microkernel(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]
 
 /// Process one packed `A` panel against one packed `B` macro-panel,
 /// accumulating into the `C` row panel `cpanel` (rows `ic..ic+mc` of the
-/// full `M x N` output, `ldc = N`).
+/// full `M x N` output, `ldc = N`). When `last` is set (final `KC` block of
+/// the reduction), `epilogue` runs over each freshly stored tile while it
+/// is still cache-hot.
 #[allow(clippy::too_many_arguments)] // hot-path plumbing: all scalars
 fn run_panel(
     apack: &[f32],
@@ -263,8 +373,11 @@ fn run_panel(
     mc: usize,
     nc: usize,
     kc: usize,
+    epilogue: Epilogue<'_>,
+    last: bool,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
+    let fuse = last && !matches!(epilogue, Epilogue::None);
     for (jt, bsliver) in bpack[..nc.div_ceil(NR) * NR * kc]
         .chunks(NR * kc)
         .enumerate()
@@ -283,6 +396,9 @@ fn run_panel(
                 let crow = &mut cpanel[(i0 + i) * ldc + j0..(i0 + i) * ldc + j0 + cols];
                 for (cv, &av) in crow.iter_mut().zip(arow) {
                     *cv += av;
+                }
+                if fuse {
+                    epilogue.apply_row(crow, j0);
                 }
             }
         }
@@ -309,8 +425,33 @@ pub(super) fn gemm_packed_into(
     b_trans: bool,
     c: &mut [f32],
 ) {
-    if m == 0 || n == 0 || k == 0 {
-        return; // C already holds the correct (zero-product) result.
+    gemm_packed_into_epilogue(m, n, k, a, a_trans, b, b_trans, c, Epilogue::None)
+}
+
+/// [`gemm_packed_into`] with a fused write-back [`Epilogue`], applied to
+/// every output element exactly once during the final `KC`-block store.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn gemm_packed_into_epilogue(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // The zero-length reduction leaves C as the caller's addend; the
+        // epilogue still owes its pass over every element.
+        for crow in c.chunks_mut(n) {
+            epilogue.apply_row(crow, 0);
+        }
+        return;
     }
     let bl = Blocking::for_shape(m, n, k);
     let lda = if a_trans { m } else { k };
@@ -321,13 +462,14 @@ pub(super) fn gemm_packed_into(
         let nc = bl.nc.min(n - jc);
         for pc in (0..k).step_by(bl.kc) {
             let kc = bl.kc.min(k - pc);
+            let last = pc + kc == k;
             pack_b(&mut bpack, b, b_trans, ldb, pc, jc, kc, nc);
             let bshared = &bpack;
             let do_panel = |ic: usize, cpanel: &mut [f32]| {
                 let mc = cpanel.len() / n;
                 let mut apack = scratch_zeroed(round_up(mc, MR) * kc);
                 pack_a(&mut apack, a, a_trans, lda, ic, pc, mc, kc);
-                run_panel(&apack, bshared, cpanel, n, jc, mc, nc, kc);
+                run_panel(&apack, bshared, cpanel, n, jc, mc, nc, kc, epilogue, last);
                 recycle_scratch(apack);
             };
             if parallel {
@@ -383,6 +525,94 @@ mod tests {
     }
 
     #[test]
+    fn blocking_memoization_matches_fresh_computation() {
+        // More distinct shapes than cache ways, twice over, so both the
+        // replacement path and repeat hits are exercised.
+        let shapes: Vec<(usize, usize, usize)> = (0..20)
+            .map(|i| (8 * i + 1, 16 * i + 3, 32 * i + 5))
+            .collect();
+        for _ in 0..2 {
+            for &(m, n, k) in &shapes {
+                assert_eq!(Blocking::for_shape(m, n, k), Blocking::compute(m, n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_matches_separate_passes_bitwise() {
+        use deep500_tensor::rng::Xoshiro256StarStar;
+        use deep500_tensor::Tensor;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        // Multiple KC blocks (k > 256) so the final-block gating matters,
+        // plus ragged edges in every dimension.
+        let (m, n, k) = (13, 21, 300);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.25 - 2.0).collect();
+
+        let mut unfused = vec![0.0f32; m * n];
+        gemm_packed_into(m, n, k, a.data(), false, b.data(), false, &mut unfused);
+        for row in unfused.chunks_mut(n) {
+            for (cv, &bv) in row.iter_mut().zip(&bias) {
+                *cv += bv;
+            }
+        }
+        for v in unfused.iter_mut() {
+            *v = v.max(0.0);
+        }
+
+        let mut fused = vec![0.0f32; m * n];
+        gemm_packed_into_epilogue(
+            m,
+            n,
+            k,
+            a.data(),
+            false,
+            b.data(),
+            false,
+            &mut fused,
+            Epilogue::BiasRelu(&bias),
+        );
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn epilogue_propagates_nan_like_separate_relu() {
+        // A NaN product: relu(NaN) must be 0.0 (f32::max semantics), both
+        // fused and unfused.
+        let a = [f32::NAN, 1.0];
+        let b = [1.0, 1.0, 2.0, -5.0]; // 2x2
+        let mut fused = vec![0.0f32; 2];
+        gemm_packed_into_epilogue(1, 2, 2, &a, false, &b, false, &mut fused, Epilogue::Relu);
+        let mut unfused = vec![0.0f32; 2];
+        gemm_packed_into(1, 2, 2, &a, false, &b, false, &mut unfused);
+        for v in unfused.iter_mut() {
+            *v = v.max(0.0);
+        }
+        assert!(!fused[0].is_nan() && fused[0] == 0.0);
+        assert_eq!(fused[0].to_bits(), unfused[0].to_bits());
+        assert_eq!(fused[1].to_bits(), unfused[1].to_bits());
+    }
+
+    #[test]
+    fn epilogue_runs_even_for_empty_k() {
+        let bias = [1.5, -2.0, 3.0];
+        let mut c = vec![0.0f32; 6];
+        gemm_packed_into_epilogue(
+            2,
+            3,
+            0,
+            &[],
+            false,
+            &[],
+            false,
+            &mut c,
+            Epilogue::BiasRelu(&bias),
+        );
+        assert_eq!(c, vec![1.5, 0.0, 3.0, 1.5, 0.0, 3.0]);
+    }
+
+    #[test]
     fn packing_pads_edge_tiles_with_zeros() {
         // 3x2 A block packed into one MR-sliver: rows 3..MR must be zero.
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2 row-major
@@ -418,7 +648,19 @@ mod tests {
                     let mc = cpanel.len() / n;
                     let mut apack = vec![0.0f32; mc.div_ceil(MR) * MR * kc];
                     pack_a(&mut apack, a.data(), false, k, chunk * bl.mc, pc, mc, kc);
-                    run_panel(&apack, &bpack, cpanel, n, jc, mc, nc, kc);
+                    let last = pc + kc == k;
+                    run_panel(
+                        &apack,
+                        &bpack,
+                        cpanel,
+                        n,
+                        jc,
+                        mc,
+                        nc,
+                        kc,
+                        Epilogue::None,
+                        last,
+                    );
                 }
             }
         }

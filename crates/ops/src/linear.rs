@@ -3,19 +3,32 @@
 //! Inputs: `X [N, in]`, `W [out, in]`, `b [out]`; output `Y [N, out]`.
 //! Backed by the Level-0 GEMM kernels.
 
-use crate::gemm::{self, Algorithm};
+use crate::gemm::{self, Algorithm, Epilogue};
 use crate::operator::Operator;
 use deep500_tensor::{Error, Result, Shape, Tensor};
 
-/// Fully-connected layer operator.
+/// Fully-connected layer operator. The bias add always rides the GEMM
+/// write-back epilogue (zero extra memory traffic under `Packed`), and a
+/// downstream ReLU can be folded in too (`epilogue = "relu"` attribute,
+/// installed by the graph crate's epilogue-fusion transform). Both fusions
+/// are bit-identical to the separate passes — same per-element float
+/// sequence, including NaN-to-0 under `max`.
 #[derive(Debug, Clone, Default)]
 pub struct LinearOp {
     pub algo: Algorithm,
+    /// Fold `max(x, 0)` into the write-back after the bias add.
+    pub relu: bool,
 }
 
 impl LinearOp {
     pub fn new(algo: Algorithm) -> Self {
-        LinearOp { algo }
+        LinearOp { algo, relu: false }
+    }
+
+    /// Enable the fused ReLU epilogue.
+    pub fn with_relu(mut self, relu: bool) -> Self {
+        self.relu = relu;
+        self
     }
 
     fn dims(&self, x: &Shape, w: &Shape, b: &Shape) -> Result<(usize, usize, usize)> {
@@ -46,26 +59,35 @@ impl Operator for LinearOp {
     }
     fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
         let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
-        let (n, _fin, fout) = self.dims(x.shape(), w.shape(), b.shape())?;
-        // Y = X * Wᵀ
-        let mut y = gemm::matmul_a_bt_with(self.algo, x, w)?;
-        let yd = y.data_mut();
-        let bd = b.data();
-        for r in 0..n {
-            for c in 0..fout {
-                yd[r * fout + c] += bd[c];
-            }
-        }
+        self.dims(x.shape(), w.shape(), b.shape())?;
+        // Y = X * Wᵀ (+ b, [+ ReLU]) in one write-back pass.
+        let epilogue = if self.relu {
+            Epilogue::BiasRelu(b.data())
+        } else {
+            Epilogue::Bias(b.data())
+        };
+        let y = gemm::matmul_a_bt_with_epilogue(self.algo, x, w, epilogue)?;
         Ok(vec![y])
     }
     fn backward(
         &self,
         grad_outputs: &[&Tensor],
         inputs: &[&Tensor],
-        _outputs: &[&Tensor],
+        outputs: &[&Tensor],
     ) -> Result<Vec<Tensor>> {
         let g = grad_outputs[0]; // [N, out]
         let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
+        // With the fused ReLU, first mask the incoming gradient exactly
+        // like a standalone Relu node's backward: g * (y > 0 ? 1 : 0),
+        // where y is this op's (post-ReLU) output.
+        let masked;
+        let g = if self.relu {
+            let y = outputs[0];
+            masked = g.zip(y, |gv, yv| gv * if yv > 0.0 { 1.0 } else { 0.0 })?;
+            &masked
+        } else {
+            g
+        };
         // dX = g * W          [N, in]
         let dx = gemm::matmul(self.algo, g, w)?;
         // dW = gᵀ * X         [out, in]
@@ -78,7 +100,6 @@ impl Operator for LinearOp {
                 db.data_mut()[c] += g.data()[r * fout + c];
             }
         }
-        let _ = w;
         Ok(vec![dx, dw, db])
     }
     fn flops(&self, s: &[&Shape]) -> f64 {

@@ -187,6 +187,12 @@ fn parse_gemm_algo(attrs: &Attributes) -> Algorithm {
     }
 }
 
+/// `epilogue = "relu"` folds a downstream ReLU into the GEMM write-back
+/// (installed by the graph crate's epilogue-fusion transform).
+fn parse_gemm_epilogue(attrs: &Attributes) -> bool {
+    attrs.str_or("epilogue", "") == "relu"
+}
+
 fn parse_conv_algo(attrs: &Attributes) -> ConvAlgorithm {
     match attrs.str_or("algorithm", "im2col") {
         "direct" => ConvAlgorithm::Direct,
@@ -203,13 +209,19 @@ fn register_builtins(r: &Registry) {
     reg(
         "MatMul",
         Arc::new(|a: &Attributes| {
-            Ok(Box::new(MatMulOp::new(parse_gemm_algo(a))) as Box<dyn Operator>)
+            Ok(
+                Box::new(MatMulOp::new(parse_gemm_algo(a)).with_relu(parse_gemm_epilogue(a)))
+                    as Box<dyn Operator>,
+            )
         }),
     );
     reg(
         "Linear",
         Arc::new(|a: &Attributes| {
-            Ok(Box::new(LinearOp::new(parse_gemm_algo(a))) as Box<dyn Operator>)
+            Ok(
+                Box::new(LinearOp::new(parse_gemm_algo(a)).with_relu(parse_gemm_epilogue(a)))
+                    as Box<dyn Operator>,
+            )
         }),
     );
     reg(

@@ -39,6 +39,80 @@ pub struct AliasReport {
     pub level_bytes: Vec<usize>,
 }
 
+/// Live range of one produced tensor over a level partition, exported for
+/// the graph crate's ahead-of-time memory planner (greedy interval coloring
+/// over these ranges yields the static buffer assignment).
+#[derive(Debug, Clone)]
+pub struct LiveRange {
+    /// Produced tensor name.
+    pub tensor: String,
+    /// Level whose execution defines the tensor.
+    pub def: usize,
+    /// Inclusive: the tensor is accounted live at the end of levels
+    /// `def..=end` (its last consumer runs at level `end + 1`; graph
+    /// outputs and never-consumed tensors stay live to the last level).
+    pub end: usize,
+    /// Buffer size (0 when the shape pass could not infer a shape).
+    pub bytes: usize,
+}
+
+/// Compute the live ranges of all produced tensors under the given level
+/// partition, sorted by tensor name (deterministic). Semantics match the
+/// executors exactly: consumption at level `cl` keeps the buffer live
+/// through the end of level `cl - 1`; fetched (graph-output) and
+/// never-consumed tensors are pinned to the final level.
+pub fn live_ranges(
+    ir: &GraphIr,
+    levels: &[Vec<String>],
+    shapes: &HashMap<String, Shape>,
+) -> Vec<LiveRange> {
+    let num_levels = levels.len();
+    let mut level_of_node: HashMap<&str, usize> = HashMap::new();
+    for (l, names) in levels.iter().enumerate() {
+        for n in names {
+            level_of_node.insert(n.as_str(), l);
+        }
+    }
+    let mut def_of: HashMap<&str, usize> = HashMap::new();
+    for n in &ir.nodes {
+        let Some(&l) = level_of_node.get(n.name.as_str()) else {
+            continue; // stuck in a cycle; dataflow pass denies separately
+        };
+        for o in &n.outputs {
+            def_of.entry(o.as_str()).or_insert(l);
+        }
+    }
+    let fetched: std::collections::HashSet<&str> = ir.outputs.iter().map(|s| s.as_str()).collect();
+    let mut ranges = Vec::with_capacity(def_of.len());
+    for (tensor, &def) in &def_of {
+        let consumers = ir.consumers_of(tensor);
+        let mut end = def; // live at least through its def level
+        if fetched.contains(tensor) || consumers.is_empty() {
+            end = num_levels.saturating_sub(1);
+        } else {
+            for c in consumers {
+                if let Some(&cl) = level_of_node.get(ir.nodes[c].name.as_str()) {
+                    // Consumed at level cl => still accounted at the end of
+                    // every level strictly before cl.
+                    end = end.max(cl.saturating_sub(1));
+                }
+            }
+        }
+        let bytes = shapes
+            .get(*tensor)
+            .map(|s| s.numel() * std::mem::size_of::<f32>())
+            .unwrap_or(0);
+        ranges.push(LiveRange {
+            tensor: tensor.to_string(),
+            def,
+            end,
+            bytes,
+        });
+    }
+    ranges.sort_by(|a, b| a.tensor.cmp(&b.tensor));
+    ranges
+}
+
 /// Derive a level partition from the IR exactly like the wavefront
 /// executor: a node's level is one more than the deepest level among its
 /// input producers. Returns levels of node indices. Nodes stuck in cycles
@@ -140,50 +214,23 @@ pub fn analyze(
         }
     }
 
-    // Live ranges of produced tensors: [def, last_use) in level numbers,
-    // where graph outputs and never-consumed tensors stay live to the end
-    // (the executor pins fetched outputs and never releases unconsumed
-    // buffers mid-pass).
-    let fetched: std::collections::HashSet<&str> = ir.outputs.iter().map(|s| s.as_str()).collect();
-    struct Range {
-        def: usize,
-        end: usize, // exclusive: live at the end of levels def..end
-        bytes: usize,
-    }
-    let mut ranges: Vec<(String, Range)> = Vec::new();
-    for (tensor, &(def, _)) in &def_of {
-        let consumers = ir.consumers_of(tensor);
-        let mut end = def; // live at least through its def level
-        if fetched.contains(tensor) || consumers.is_empty() {
-            end = num_levels.saturating_sub(1);
-        } else {
-            for c in consumers {
-                if let Some(&cl) = level_of_node.get(ir.nodes[c].name.as_str()) {
-                    // Consumed at level cl => still accounted at the end of
-                    // every level strictly before cl.
-                    end = end.max(cl.saturating_sub(1));
-                }
-            }
-        }
-        let bytes = shapes
-            .get(*tensor)
-            .map(|s| s.numel() * std::mem::size_of::<f32>())
-            .unwrap_or(0);
-        ranges.push((tensor.to_string(), Range { def, end, bytes }));
-    }
-    ranges.sort_by(|a, b| a.0.cmp(&b.0));
+    // Live ranges of produced tensors: graph outputs and never-consumed
+    // tensors stay live to the end (the executor pins fetched outputs and
+    // never releases unconsumed buffers mid-pass). Shared with the memory
+    // planner via [`live_ranges`].
+    let ranges = live_ranges(ir, levels, shapes);
 
     // Interference edges + per-level live bytes.
     let mut interference_edges = 0;
-    for (i, (_, a)) in ranges.iter().enumerate() {
-        for (_, b) in ranges.iter().skip(i + 1) {
+    for (i, a) in ranges.iter().enumerate() {
+        for b in ranges.iter().skip(i + 1) {
             if a.def <= b.end && b.def <= a.end {
                 interference_edges += 1;
             }
         }
     }
     let mut level_bytes = vec![0usize; num_levels];
-    for (_, r) in &ranges {
+    for r in &ranges {
         for lb in level_bytes.iter_mut().take(r.end + 1).skip(r.def) {
             *lb += r.bytes;
         }

@@ -34,7 +34,7 @@ pub mod lint;
 pub mod shape_pass;
 pub mod transform_safety;
 
-pub use aliasing::AliasReport;
+pub use aliasing::{AliasReport, LiveRange};
 pub use ir::{GraphIr, NodeIr};
 pub use lint::{Lint, LintCode, Severity, VerifyReport};
 pub use shape_pass::{SymDim, SymShape};

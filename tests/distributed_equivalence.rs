@@ -120,11 +120,17 @@ fn virtual_time_reflects_network_quality() {
             .unwrap()
             .makespan()
     };
-    let aries = run(NetworkModel::aries());
-    let ethernet = run(NetworkModel::ethernet_10g());
-    // Virtual time = measured local compute (identical distribution on
-    // both runs) + modeled communication, so the gap is narrower than the
-    // pure-communication ratio — but slower networks must still cost more.
+    // Virtual time = measured local compute + modeled communication, so
+    // the gap is narrower than the pure-communication ratio — but slower
+    // networks must still cost more. CPU contention from concurrently
+    // running test binaries inflates the measured compute term and can
+    // swamp the modeled gap; the communication model is deterministic and
+    // contention noise is strictly additive, so the minimum over a few
+    // repetitions recovers the contention-free comparison.
+    let best =
+        |model: fn() -> NetworkModel| (0..3).map(|_| run(model())).fold(f64::INFINITY, f64::min);
+    let aries = best(NetworkModel::aries);
+    let ethernet = best(NetworkModel::ethernet_10g);
     assert!(
         ethernet > aries * 1.2,
         "ethernet {ethernet} should clearly exceed aries {aries}"
