@@ -14,7 +14,7 @@
 //! host's `nproc` next to any numbers you keep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deep500::graph::{GraphExecutor, Network, ReferenceExecutor, WavefrontExecutor};
+use deep500::graph::{Engine, ExecutorKind, Network};
 use deep500::ops::registry::Attributes;
 use deep500::tensor::{Tensor, Xoshiro256StarStar};
 
@@ -87,7 +87,8 @@ fn bench_executors(c: &mut Criterion) {
     let feeds = feeds();
 
     group.bench_function("reference", |b| {
-        let mut ex = ReferenceExecutor::new(wide_net()).unwrap();
+        let engine = Engine::builder(wide_net()).build().unwrap();
+        let mut ex = engine.lock();
         b.iter(|| criterion::black_box(ex.inference_and_backprop(&feeds, "loss").unwrap()));
     });
 
@@ -98,9 +99,12 @@ fn bench_executors(c: &mut Criterion) {
             format!("wavefront/{threads}")
         };
         group.bench_function(&label, |b| {
-            let mut ex = WavefrontExecutor::new(wide_net())
-                .unwrap()
-                .with_threads(threads);
+            let engine = Engine::builder(wide_net())
+                .executor(ExecutorKind::Wavefront)
+                .threads(threads)
+                .build()
+                .unwrap();
+            let mut ex = engine.lock();
             // Warm the buffer pool so steady-state reuse is what's measured.
             ex.inference_and_backprop(&feeds, "loss").unwrap();
             b.iter(|| criterion::black_box(ex.inference_and_backprop(&feeds, "loss").unwrap()));

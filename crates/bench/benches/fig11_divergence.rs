@@ -39,15 +39,16 @@ fn main() {
         let n = b.labels.numel();
         b.x.reshape(&[n, 28 * 28]).unwrap();
     }
-    let mut exec_a = ReferenceExecutor::new(net.clone_structure()).unwrap();
-    let mut exec_b = ReferenceExecutor::new(net).unwrap();
+    let engine_a = Engine::builder(net.clone_structure()).build().unwrap();
+    let engine_b = Engine::builder(net).build().unwrap();
+    let (mut exec_a, mut exec_b) = (engine_a.lock(), engine_b.lock());
     let mut native = FusedAdam::new(0.002);
     let mut reference = Adam::new(0.002);
 
     let log = compare_trajectories(
-        &mut exec_a,
+        &mut *exec_a,
         &mut native,
-        &mut exec_b,
+        &mut *exec_b,
         &mut reference,
         &batches,
     )

@@ -111,7 +111,8 @@ fn main() {
             SyntheticDataset::new("fig9", Shape::new(&[3, hw, hw]), 10, train_len, 2.0, 9);
         let test_ds = train_ds.holdout(train_len / 4);
         let net = models::lenet(3, hw, 10, 99).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let mut train = ShuffleSampler::new(Arc::new(train_ds), batch, 1);
         let mut test = ShuffleSampler::new(Arc::new(test_ds), batch * 2, 1);
         let mut runner = TrainingRunner::new(TrainingConfig {
@@ -120,7 +121,7 @@ fn main() {
             ..Default::default()
         });
         let log = runner
-            .run(entry.opt.as_mut(), &mut ex, &mut train, Some(&mut test))
+            .run(entry.opt.as_mut(), &mut *ex, &mut train, Some(&mut test))
             .unwrap();
         let mut cells = vec![entry.name.to_string()];
         for e in 0..epochs {

@@ -116,8 +116,14 @@ fn run_case(case: &Case) -> Row {
     let mut compiled = case.net.clone_structure();
     let report = compile::compile(&mut compiled, &shapes, &CompileOptions::inference())
         .expect("compile (inference)");
-    let mut reference = ReferenceExecutor::new(case.net.clone_structure()).expect("reference");
-    let mut planned = PlannedExecutor::new(compiled).expect("planned");
+    let reference_engine = Engine::builder(case.net.clone_structure())
+        .build()
+        .expect("reference");
+    let mut reference = reference_engine.lock();
+    // `plan()` (memory-plan introspection below) lives on the concrete
+    // executor, not the `GraphExecutor` trait, so construct directly.
+    #[allow(deprecated)]
+    let mut planned = deep500::graph::PlannedExecutor::new(compiled).expect("planned");
     let expect = reference.inference(&feeds).expect("reference pass");
     let mut parity = true;
     // Two passes so slot reuse is exercised, not just first-touch buffers.
@@ -135,8 +141,15 @@ fn run_case(case: &Case) -> Row {
     let mut train_compiled = case.net.clone_structure();
     compile::compile(&mut train_compiled, &shapes, &CompileOptions::training())
         .expect("compile (training)");
-    let mut tref = ReferenceExecutor::new(case.net.clone_structure()).expect("reference");
-    let mut tplan = PlannedExecutor::new(train_compiled).expect("planned");
+    let tref_engine = Engine::builder(case.net.clone_structure())
+        .build()
+        .expect("reference");
+    let mut tref = tref_engine.lock();
+    let tplan_engine = Engine::builder(train_compiled)
+        .executor(ExecutorKind::Planned)
+        .build()
+        .expect("planned");
+    let mut tplan = tplan_engine.lock();
     let r_out = tref
         .inference_and_backprop(&feeds, "loss")
         .expect("reference backprop");
@@ -155,7 +168,11 @@ fn run_case(case: &Case) -> Row {
     }
 
     // ---- Timing: planned (compiled) vs pooled wavefront (original) ----
-    let mut wavefront = WavefrontExecutor::new(case.net.clone_structure()).expect("wavefront");
+    let wavefront_engine = Engine::builder(case.net.clone_structure())
+        .executor(ExecutorKind::Wavefront)
+        .build()
+        .expect("wavefront");
+    let mut wavefront = wavefront_engine.lock();
     let warmup = (case.reps / 10).max(3);
     for _ in 0..warmup {
         planned.inference(&feeds).expect("planned warmup");

@@ -29,8 +29,12 @@ fn main() {
     // ---- 1. Traced 2-epoch wavefront training ----------------------------
     let features = 32;
     let net = models::mlp(features, &[64, 32], 4, 42).expect("build mlp");
-    let mut ex = WavefrontExecutor::new(net).expect("build wavefront executor");
-    ex.events_mut().push(Box::new(recorder.sink("executor")));
+    let engine = Engine::builder(net)
+        .executor(ExecutorKind::Wavefront)
+        .trace(&recorder)
+        .build()
+        .expect("build wavefront engine");
+    let mut ex = engine.lock();
 
     let train_ds = SyntheticDataset::new(
         "profile-train",
@@ -48,7 +52,7 @@ fn main() {
     });
     runner.events.push(Box::new(recorder.sink("runner")));
     let log = runner
-        .run(&mut opt, &mut ex, &mut sampler, None)
+        .run(&mut opt, &mut *ex, &mut sampler, None)
         .expect("training run");
     ex.annotate_trace(&recorder);
 

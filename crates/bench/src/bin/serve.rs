@@ -1,0 +1,239 @@
+//! `serve` — load-generation benchmark for the deep500-serve front-end.
+//!
+//! Drives the mlp and lenet zoo models behind the serving layer with both
+//! load-generator shapes at two batching policies each:
+//!
+//! * closed loop — C clients, one request in flight each: the
+//!   latency-vs-concurrency probe;
+//! * open loop — Poisson arrivals at a fixed offered rate (seeded, so
+//!   reproducible): exposes queueing delay and typed `QueueFull`
+//!   back-pressure.
+//!
+//! Emits `BENCH_serve.json` at the repo root with p50/p95/p99 latency,
+//! throughput, rejection counts, and mean assembled batch size per
+//! (model, loadgen, policy) cell, and exits non-zero if dynamic batching
+//! fails to coalesce anything under the closed-loop burst.
+//!
+//! Run with: `cargo run --release -p deep500-bench --bin serve`
+//! Set `D5_SERVE_SMOKE=1` for the fast CI-sized run.
+
+use deep500::prelude::*;
+use deep500::serve::{closed_loop, open_loop, LoadSummary};
+use std::time::Duration;
+
+struct Case {
+    model: &'static str,
+    loadgen: &'static str,
+    policy_label: String,
+    summary: LoadSummary,
+}
+
+struct ZooModel {
+    name: &'static str,
+    net_fn: fn() -> Network,
+    feeds_fn: fn(usize) -> Vec<(String, Tensor)>,
+    /// (input name, per-sample trailing dims) pairs for the contract.
+    batched: &'static [(&'static str, &'static [usize])],
+}
+
+fn mlp_net() -> Network {
+    models::mlp(16, &[32, 24], 4, 21).expect("mlp")
+}
+
+fn mlp_feeds(i: usize) -> Vec<(String, Tensor)> {
+    let x: Vec<f32> = (0..16)
+        .map(|j| ((i * 16 + j) as f32 * 0.31).sin())
+        .collect();
+    vec![
+        ("x".to_string(), Tensor::from_vec([1, 16], x).unwrap()),
+        ("labels".to_string(), Tensor::from_slice(&[(i % 4) as f32])),
+    ]
+}
+
+fn lenet_net() -> Network {
+    models::lenet(1, 12, 4, 22).expect("lenet")
+}
+
+fn lenet_feeds(i: usize) -> Vec<(String, Tensor)> {
+    let x: Vec<f32> = (0..144)
+        .map(|j| ((i * 144 + j) as f32 * 0.17).cos())
+        .collect();
+    vec![
+        (
+            "x".to_string(),
+            Tensor::from_vec([1, 1, 12, 12], x).unwrap(),
+        ),
+        ("labels".to_string(), Tensor::from_slice(&[(i % 4) as f32])),
+    ]
+}
+
+fn zoo() -> Vec<ZooModel> {
+    vec![
+        ZooModel {
+            name: "mlp",
+            net_fn: mlp_net,
+            feeds_fn: mlp_feeds,
+            batched: &[("x", &[16]), ("labels", &[])],
+        },
+        ZooModel {
+            name: "lenet",
+            net_fn: lenet_net,
+            feeds_fn: lenet_feeds,
+            batched: &[("x", &[1, 12, 12]), ("labels", &[])],
+        },
+    ]
+}
+
+fn build_server(model: &ZooModel, policy: BatchPolicy, workers: usize) -> Server {
+    let mut config = ModelConfig::new((model.net_fn)())
+        .executor(ExecutorKind::Planned)
+        .policy(policy)
+        .workers(workers)
+        .queue_capacity(256);
+    for (name, rest) in model.batched {
+        config = config.batched_input(*name, rest);
+    }
+    Server::builder()
+        .model(model.name, config)
+        .build()
+        .expect("server build")
+}
+
+fn main() {
+    let smoke = std::env::var("D5_SERVE_SMOKE").is_ok();
+    let (clients, per_client, open_total, open_rate) = if smoke {
+        (4, 16, 96, 300.0)
+    } else {
+        (8, 64, 512, 600.0)
+    };
+    let policies = |max_delay_ms: u64| {
+        vec![
+            BatchPolicy::Single,
+            BatchPolicy::Dynamic {
+                max_batch: 16,
+                max_delay: Duration::from_millis(max_delay_ms),
+            },
+        ]
+    };
+
+    let mut cases: Vec<Case> = Vec::new();
+    let mut coalesced_somewhere = false;
+    for model in zoo() {
+        for policy in policies(2) {
+            let server = build_server(&model, policy, 2);
+            let summary = closed_loop(&server, model.name, clients, per_client, model.feeds_fn);
+            println!(
+                "serve: {:<6} closed {:<18} p50 {:7.3}ms p95 {:7.3}ms p99 {:7.3}ms \
+                 {:7.1} req/s mean batch {:.2}",
+                model.name,
+                policy.label(),
+                summary.p50_ms,
+                summary.p95_ms,
+                summary.p99_ms,
+                summary.throughput_rps,
+                summary.mean_batch_rows,
+            );
+            if matches!(policy, BatchPolicy::Dynamic { .. }) && summary.mean_batch_rows > 1.0 {
+                coalesced_somewhere = true;
+            }
+            cases.push(Case {
+                model: model.name,
+                loadgen: "closed",
+                policy_label: policy.label(),
+                summary,
+            });
+            server.shutdown();
+
+            let server = build_server(&model, policy, 2);
+            let summary = open_loop(
+                &server,
+                model.name,
+                open_rate,
+                open_total,
+                0xD5,
+                model.feeds_fn,
+            );
+            println!(
+                "serve: {:<6} open   {:<18} p50 {:7.3}ms p95 {:7.3}ms p99 {:7.3}ms \
+                 {:7.1} req/s rejected {}",
+                model.name,
+                policy.label(),
+                summary.p50_ms,
+                summary.p95_ms,
+                summary.p99_ms,
+                summary.throughput_rps,
+                summary.rejected,
+            );
+            cases.push(Case {
+                model: model.name,
+                loadgen: "open",
+                policy_label: policy.label(),
+                summary,
+            });
+            server.shutdown();
+        }
+    }
+
+    let rows: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            let s = &c.summary;
+            format!(
+                "    {{\"model\": \"{}\", \"loadgen\": \"{}\", \"policy\": \"{}\", \
+                 \"sent\": {}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
+                 \"duration_s\": {:.4}, \"throughput_rps\": {:.2}, \
+                 \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+                 \"mean_batch_rows\": {:.3}}}",
+                c.model,
+                c.loadgen,
+                c.policy_label,
+                s.sent,
+                s.completed,
+                s.rejected,
+                s.failed,
+                s.duration_s,
+                s.throughput_rps,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.mean_batch_rows,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"smoke\": {smoke},\n  \
+         \"clients\": {clients},\n  \"open_rate_rps\": {open_rate},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("serve: wrote {path}");
+
+    let incomplete: Vec<&Case> = cases
+        .iter()
+        .filter(|c| {
+            c.summary.failed > 0 || c.summary.completed + c.summary.rejected != c.summary.sent
+        })
+        .collect();
+    if !incomplete.is_empty() {
+        for c in &incomplete {
+            eprintln!(
+                "serve: FAIL {} {} {}: sent {} completed {} rejected {} failed {}",
+                c.model,
+                c.loadgen,
+                c.policy_label,
+                c.summary.sent,
+                c.summary.completed,
+                c.summary.rejected,
+                c.summary.failed
+            );
+        }
+        std::process::exit(1);
+    }
+    if !coalesced_somewhere {
+        eprintln!("serve: FAIL dynamic batching never coalesced under closed-loop load");
+        std::process::exit(1);
+    }
+    println!("serve: all requests accounted for; dynamic batching coalesced under load");
+}

@@ -29,13 +29,14 @@
 //!
 //! // A LeNet-style CNN on a synthetic MNIST-shaped dataset.
 //! let net = models::lenet(1, 28, 10, 42).unwrap();
-//! let mut executor = ReferenceExecutor::new(net).unwrap();
+//! let engine = Engine::builder(net).build().unwrap();
+//! let mut executor = engine.lock();
 //! let train_ds = SyntheticDataset::mnist_like(64, 7);
 //! let mut sampler = ShuffleSampler::new(Arc::new(train_ds), 16, 1);
 //! let mut optimizer = GradientDescent::new(0.05);
 //! let mut runner = TrainingRunner::new(TrainingConfig::default());
 //! let log = runner
-//!     .run(&mut optimizer, &mut executor, &mut sampler, None)
+//!     .run(&mut optimizer, &mut *executor, &mut sampler, None)
 //!     .unwrap();
 //! assert!(!log.step_losses.is_empty());
 //! ```
@@ -46,6 +47,7 @@ pub use deep500_frameworks as frameworks;
 pub use deep500_graph as graph;
 pub use deep500_metrics as metrics;
 pub use deep500_ops as ops;
+pub use deep500_serve as serve;
 pub use deep500_tensor as tensor;
 pub use deep500_train as train;
 pub use deep500_verify as verify;
@@ -63,12 +65,13 @@ pub mod prelude {
     pub use deep500_frameworks::{FrameworkExecutor, FrameworkProfile};
     pub use deep500_graph::builder::NetworkBuilder;
     pub use deep500_graph::{
-        models, CompileOptions, ExecutorKind, GraphExecutor, Network, PlannedExecutor,
-        ReferenceExecutor, WavefrontExecutor,
+        models, CompileOptions, Engine, EngineBuilder, ExecutorKind, GraphExecutor, Network,
+        PlannedExecutor, ReferenceExecutor, Session, WavefrontExecutor,
     };
     pub use deep500_metrics::{Table, TestMetric, Timer};
     pub use deep500_ops::registry::{create_op, register_op, Attributes};
     pub use deep500_ops::Operator;
+    pub use deep500_serve::{BatchPolicy, ModelConfig, ServeError, Server};
     pub use deep500_tensor::{Shape, Tensor, Xoshiro256StarStar};
     pub use deep500_train::accelegrad::{AcceleGrad, AcceleGradConfig};
     pub use deep500_train::adagrad::AdaGrad;

@@ -13,7 +13,7 @@ pub use deep500_train::validate::{test_optimizer, test_training};
 
 use deep500_data::sampler::ShuffleSampler;
 use deep500_data::synthetic::SyntheticDataset;
-use deep500_graph::{models, ExecutorKind, GraphExecutor};
+use deep500_graph::{models, Engine, ExecutorKind, GraphExecutor};
 use deep500_tensor::{Result, Shape};
 use deep500_train::{ThreeStepOptimizer, TrainingConfig, TrainingLog, TrainingRunner};
 use std::sync::Arc;
@@ -73,7 +73,7 @@ impl Scenario {
         let test_ds = train_ds.holdout(train_len / 2);
         let net = models::mlp(features, &[features * 2], classes, seed ^ 0x5EED)?;
         Ok(Scenario {
-            executor: kind.build(net)?,
+            executor: Engine::builder(net).executor(kind).build()?.into_inner()?,
             train_sampler: ShuffleSampler::new(Arc::new(train_ds), batch, seed),
             test_sampler: ShuffleSampler::new(Arc::new(test_ds), batch * 2, seed),
             name: format!("mlp-{features}f-{classes}c"),
@@ -113,7 +113,7 @@ impl Scenario {
         let test_ds = train_ds.holdout(train_len / 2);
         let net = models::lenet(3, hw, classes, seed ^ 0x5EED)?;
         Ok(Scenario {
-            executor: kind.build(net)?,
+            executor: Engine::builder(net).executor(kind).build()?.into_inner()?,
             train_sampler: ShuffleSampler::new(Arc::new(train_ds), batch, seed),
             test_sampler: ShuffleSampler::new(Arc::new(test_ds), batch * 2, seed),
             name: format!("cnn-{hw}px-{classes}c"),
@@ -139,7 +139,10 @@ impl Scenario {
     /// Swap in a fresh executor with identically-seeded parameters, so
     /// several optimizers can be compared from the same start.
     pub fn reset_model(&mut self, net: deep500_graph::Network) -> Result<()> {
-        self.executor = self.kind.build(net)?;
+        self.executor = Engine::builder(net)
+            .executor(self.kind)
+            .build()?
+            .into_inner()?;
         Ok(())
     }
 }

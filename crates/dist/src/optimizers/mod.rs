@@ -191,26 +191,27 @@ impl SchemeCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deep500_graph::{models, ReferenceExecutor};
+    use deep500_graph::{models, Engine};
     use deep500_train::sgd::GradientDescent;
 
     #[test]
     fn flatten_unflatten_roundtrip() {
         let net = models::mlp(4, &[3], 2, 1).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let batch = Minibatch {
             x: Tensor::ones([2, 4]),
             labels: Tensor::from_slice(&[0.0, 1.0]),
         };
         let mut sgd = GradientDescent::new(0.1);
-        local_backprop(&mut sgd, &mut ex, &batch).unwrap();
-        let before = collect_gradients(&ex).unwrap();
-        let (buf, layout) = flatten_gradients(&ex).unwrap();
+        local_backprop(&mut sgd, &mut *ex, &batch).unwrap();
+        let before = collect_gradients(&*ex).unwrap();
+        let (buf, layout) = flatten_gradients(&*ex).unwrap();
         assert_eq!(
             buf.len(),
             before.iter().map(|(_, g)| g.numel()).sum::<usize>()
         );
-        let after = unflatten_gradients(&mut ex, &buf, &layout).unwrap();
+        let after = unflatten_gradients(&mut *ex, &buf, &layout).unwrap();
         for ((n1, g1), (n2, g2)) in before.iter().zip(&after) {
             assert_eq!(n1, n2);
             assert_eq!(g1, g2);

@@ -22,10 +22,6 @@
 //! planned crashes from failures. [`ranks_consistent`] produces a
 //! [`ConsistencyReport`] that *names* the diverging ranks and parameters
 //! instead of a bare boolean.
-//!
-//! The pre-builder entry points ([`run_distributed`],
-//! [`train_data_parallel`], [`train_data_parallel_with`]) remain as thin
-//! deprecated wrappers.
 
 use crate::comm::{CommError, Communicator, ThreadCommunicator, ThreadTransport};
 use crate::fault::{FaultPlan, FaultyCommunicator};
@@ -38,7 +34,7 @@ use crate::optimizers::{
 use crate::tracing::TracingCommunicator;
 use deep500_data::sampler::{DatasetSampler, ShardedSampler};
 use deep500_data::Dataset;
-use deep500_graph::{ExecutorKind, Network};
+use deep500_graph::{Engine, ExecutorKind, Network};
 use deep500_metrics::trace::{OpAttribution, TraceRecorder};
 use deep500_metrics::{CommunicationVolume, FaultCounters};
 use deep500_tensor::{Error, Result};
@@ -90,19 +86,8 @@ fn spawn_ranks<T: Send + 'static>(
     }
 }
 
-/// Spawn `world` rank threads running `f`; returns per-rank results (index
-/// = rank). Any rank error aborts the whole run.
-#[deprecated(note = "use DistributedRunner (or Variant::Custom) instead")]
-pub fn run_distributed<T: Send + 'static>(
-    world: usize,
-    model: NetworkModel,
-    f: impl Fn(RankContext) -> Result<T> + Send + Sync + Clone + 'static,
-) -> Result<Vec<T>> {
-    spawn_ranks(world, model, f)
-}
-
-/// Per-rank outcome of a distributed training run (legacy shape kept for
-/// the deprecated wrappers and consistency checks).
+/// Per-rank parameters-and-losses summary consumed by the cross-rank
+/// consistency checks ([`ranks_consistent`]).
 #[derive(Debug, Clone)]
 pub struct RankResult {
     pub rank: usize,
@@ -115,13 +100,6 @@ pub struct RankResult {
     /// Virtual time (compute + modeled communication).
     pub virtual_time: f64,
 }
-
-/// Scheme factory: builds the per-rank distributed optimizer from its
-/// communicator (legacy signature over the concrete [`ThreadCommunicator`];
-/// the builder's [`Variant::Custom`] takes a boxed [`Communicator`] so it
-/// composes with fault injection).
-pub type SchemeFactory =
-    Arc<dyn Fn(ThreadCommunicator) -> Box<dyn DistributedOptimizer> + Send + Sync>;
 
 /// Factory signature of [`Variant::Custom`].
 pub type CustomFactory =
@@ -644,7 +622,10 @@ impl DistributedRunner {
         let proto = Arc::new(network);
         let mut ranks = spawn_ranks(world, model, move |ctx| -> Result<RankReport> {
             let rank = ctx.rank;
-            let mut exec = executor.build(proto.clone_structure())?;
+            let mut exec = Engine::builder(proto.clone_structure())
+                .executor(executor)
+                .build()?
+                .into_inner()?;
             let mut sampler = ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
             let mut comm: Box<dyn Communicator> = match &faults {
                 Some(plan) => Box::new(FaultyCommunicator::new(ctx.comm, plan.clone(), model)),
@@ -717,98 +698,12 @@ impl DistributedRunner {
     }
 }
 
-/// Data-parallel distributed training (Listing 8): every rank replicates
-/// `network`, draws disjoint shards of `dataset`, and steps its scheme for
-/// `steps` iterations with per-rank batch `batch`.
-#[deprecated(note = "use DistributedRunner::new(network, dataset).world(n)…run()")]
-#[allow(clippy::too_many_arguments)] // legacy experiment-configuration surface
-pub fn train_data_parallel(
-    network: &Network,
-    dataset: Arc<dyn Dataset>,
-    scheme: SchemeFactory,
-    world: usize,
-    batch: usize,
-    steps: usize,
-    model: NetworkModel,
-    seed: u64,
-) -> Result<Vec<RankResult>> {
-    #[allow(deprecated)]
-    let wrapped = train_data_parallel_with(
-        ExecutorKind::Reference,
-        network,
-        dataset,
-        scheme,
-        world,
-        batch,
-        steps,
-        model,
-        seed,
-    );
-    wrapped
-}
-
-/// [`train_data_parallel`] with an explicit per-rank executor selection.
-#[deprecated(note = "use DistributedRunner::new(network, dataset).executor(kind)…run()")]
-#[allow(clippy::too_many_arguments)] // legacy experiment-configuration surface
-pub fn train_data_parallel_with(
-    executor_kind: ExecutorKind,
-    network: &Network,
-    dataset: Arc<dyn Dataset>,
-    scheme: SchemeFactory,
-    world: usize,
-    batch: usize,
-    steps: usize,
-    model: NetworkModel,
-    seed: u64,
-) -> Result<Vec<RankResult>> {
-    let proto = Arc::new(network.clone_structure());
-    let mut results = spawn_ranks(world, model, move |ctx| -> Result<RankResult> {
-        let rank = ctx.rank;
-        let mut exec = executor_kind.build(proto.clone_structure())?;
-        let mut sampler = ShardedSampler::new(dataset.clone(), batch, rank, world, true, seed);
-        // The legacy factory takes the concrete transport endpoint.
-        let mut opt = scheme(ctx.comm);
-        let mut losses = Vec::with_capacity(steps);
-        for step in 0..steps {
-            opt.begin_step(step as u64)?;
-            let mb = match sampler.next_batch()? {
-                Some(mb) => mb,
-                None => {
-                    sampler.reset_epoch();
-                    sampler.next_batch()?.ok_or_else(|| {
-                        Error::Invalid("empty shard: world too large for dataset".into())
-                    })?
-                }
-            };
-            let t = std::time::Instant::now();
-            let result = opt.train_step(exec.as_mut(), &mb)?;
-            opt.advance_virtual(t.elapsed().as_secs_f64());
-            losses.push(result.loss);
-        }
-        let final_params = exec
-            .network()
-            .get_params()
-            .iter()
-            .map(|p| Ok((p.clone(), exec.network().fetch_tensor(p)?.data().to_vec())))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(RankResult {
-            rank,
-            losses,
-            final_params,
-            volume: opt.comm_stats(),
-            virtual_time: opt.virtual_time(),
-        })
-    })?;
-    results.sort_by_key(|r| r.rank);
-    Ok(results)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::optimizers::dsgd::ConsistentDecentralized;
     use deep500_data::synthetic::SyntheticDataset;
-    use deep500_graph::{models, GraphExecutor, ReferenceExecutor};
+    use deep500_graph::models;
     use deep500_train::optimizer::train_step;
 
     fn dataset(n: usize) -> Arc<dyn Dataset> {
@@ -853,7 +748,9 @@ mod tests {
         let proto2 = Arc::new(proto.clone_structure());
         let ds2 = ds.clone();
         let results = spawn_ranks(world, NetworkModel::instant(), move |ctx| {
-            let mut executor = ReferenceExecutor::new(proto2.clone_structure())?;
+            let mut executor = Engine::builder(proto2.clone_structure())
+                .build()?
+                .into_inner()?;
             let mut sampler = ShardedSampler::new(
                 ds2.clone(),
                 per_rank_batch,
@@ -868,7 +765,7 @@ mod tests {
             );
             for _ in 0..steps {
                 let mb = sampler.next_batch()?.expect("enough data");
-                opt.train_step(&mut executor, &mb)?;
+                opt.train_step(&mut *executor, &mb)?;
             }
             executor
                 .network()
@@ -881,7 +778,11 @@ mod tests {
 
         // Sequential run with the union batches (same samples, same order
         // by construction of the strided shards).
-        let mut executor = ReferenceExecutor::new(proto).unwrap();
+        let mut executor = Engine::builder(proto)
+            .build()
+            .unwrap()
+            .into_inner()
+            .unwrap();
         let mut opt = GradientDescent::new(0.1);
         for step in 0..steps {
             // Union of all ranks' step-th batches: global indices
@@ -893,7 +794,7 @@ mod tests {
                 }
             }
             let mb = deep500_data::dataset::assemble_minibatch(ds.as_ref(), &indices).unwrap();
-            train_step(&mut opt, &mut executor, &mb).unwrap();
+            train_step(&mut opt, &mut *executor, &mb).unwrap();
         }
         let seq_params: Vec<Vec<f32>> = executor
             .network()
@@ -1056,31 +957,6 @@ mod tests {
                 assert!(r.virtual_time > 0.0, "{name}: virtual time tracked");
             }
         }
-    }
-
-    #[test]
-    fn legacy_wrappers_still_work() {
-        #![allow(deprecated)]
-        let scheme: SchemeFactory = Arc::new(|comm: ThreadCommunicator| {
-            Box::new(ConsistentDecentralized::optimized(
-                Box::new(GradientDescent::new(0.05)),
-                Box::new(comm),
-            )) as Box<dyn DistributedOptimizer>
-        });
-        let results = train_data_parallel(
-            &net(),
-            dataset(128),
-            scheme,
-            3,
-            4,
-            2,
-            NetworkModel::instant(),
-            1,
-        )
-        .unwrap();
-        assert_eq!(results.len(), 3);
-        let consistency = ranks_consistent(&results, 1e-5);
-        assert!(consistency.is_consistent(), "{consistency}");
     }
 
     #[test]

@@ -371,7 +371,7 @@ impl GraphExecutor for FrameworkExecutor {
 mod tests {
     use super::*;
     use deep500_graph::validate::{test_executor, test_executor_backprop};
-    use deep500_graph::{models, ReferenceExecutor};
+    use deep500_graph::{models, Engine};
 
     fn net() -> Network {
         models::lenet(1, 12, 4, 77).unwrap()
@@ -389,8 +389,9 @@ mod tests {
         for profile in FrameworkProfile::all() {
             let name = profile.name;
             let mut fx = FrameworkExecutor::new(&net(), profile).unwrap();
-            let mut rx = ReferenceExecutor::new(net()).unwrap();
-            let report = test_executor(&mut fx, &mut rx, &feeds(), 2).unwrap();
+            let rg = Engine::builder(net()).build().unwrap();
+            let mut rx = rg.lock();
+            let report = test_executor(&mut fx, &mut *rx, &feeds(), 2).unwrap();
             assert!(
                 report.passes(1e-4),
                 "{name}: outputs diverge: {:?}",
@@ -402,8 +403,9 @@ mod tests {
     #[test]
     fn backprop_gradients_match_reference() {
         let mut fx = FrameworkExecutor::new(&net(), FrameworkProfile::tensorflow()).unwrap();
-        let mut rx = ReferenceExecutor::new(net()).unwrap();
-        let report = test_executor_backprop(&mut fx, &mut rx, &feeds(), "loss", 2).unwrap();
+        let rg = Engine::builder(net()).build().unwrap();
+        let mut rx = rg.lock();
+        let report = test_executor_backprop(&mut fx, &mut *rx, &feeds(), "loss", 2).unwrap();
         assert!(report.passes(1e-3), "{:?}", report.gradient_norms);
         assert!(!report.gradient_norms.is_empty());
     }

@@ -346,7 +346,7 @@ mod tests {
             net.graph_outputs(),
             &["logits".to_string(), "loss".to_string()]
         );
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let x = Tensor::zeros([2, 1, 8, 8]);
         let labels = Tensor::from_slice(&[1.0, 3.0]);
         let out = ex
@@ -419,7 +419,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(net.graph_outputs().len(), 1);
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let out = ex.inference(&[("x", Tensor::zeros([3, 6]))]).unwrap();
         assert_eq!(out.values().next().unwrap().shape().dims(), &[3, 2]);
     }

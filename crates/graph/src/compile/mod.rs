@@ -38,7 +38,7 @@ pub mod plan;
 pub mod planned;
 
 pub use plan::{ExecutionPlan, MemoryPlan};
-pub use planned::PlannedExecutor;
+pub use planned::{PlanCacheStats, PlannedExecutor};
 
 use crate::network::Network;
 use crate::transforms::fusion;
@@ -218,7 +218,8 @@ mod tests {
             ("x", Tensor::ones([3, 16])),
             ("labels", Tensor::from_slice(&[0.0, 1.0, 2.0])),
         ];
-        let mut reference = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut reference =
+            ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
         let expect = reference.inference(&feeds).unwrap();
 
         let mut compiled = net.clone_structure();
@@ -231,7 +232,7 @@ mod tests {
         assert_eq!(report.fused_epilogues, 2, "both hidden ReLUs fold");
         assert!(report.nodes_after < report.nodes_before);
 
-        let mut ex = ReferenceExecutor::new(compiled).unwrap();
+        let mut ex = ReferenceExecutor::construct(compiled, usize::MAX).unwrap();
         let got = ex.inference(&feeds).unwrap();
         for (name, t) in &expect {
             assert_eq!(
@@ -323,7 +324,7 @@ mod properties {
             } else {
                 CompileOptions::inference()
             };
-            let mut reference = ReferenceExecutor::new(net.clone_structure()).unwrap();
+            let mut reference = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
             let expect = reference.inference(&feeds).unwrap();
 
             let mut compiled = net.clone_structure();
@@ -331,7 +332,7 @@ mod properties {
             let second = compile(&mut compiled, &shapes, &opts).unwrap();
             prop_assert_eq!(second.rewrites(), 0, "first {:?}, second {:?}", first, second);
 
-            let mut ex = ReferenceExecutor::new(compiled).unwrap();
+            let mut ex = ReferenceExecutor::construct(compiled, usize::MAX).unwrap();
             let got = ex.inference(&feeds).unwrap();
             for (name, t) in &expect {
                 // Bitwise comparison: NaNs (if any) must match too.
@@ -396,7 +397,7 @@ mod properties {
                 net
             };
             let x = Tensor::from_slice(&[0.5, 1.5, -0.5]);
-            let mut reference = ReferenceExecutor::new(build()).unwrap();
+            let mut reference = ReferenceExecutor::construct(build(), usize::MAX).unwrap();
             let expect = reference.inference(&[("x", x.clone())]).unwrap()["y"].clone();
 
             // CSE alone: all duplicate chains merge, then nothing more.
@@ -412,7 +413,7 @@ mod properties {
             prop_assert_eq!(passes::constant_fold(&mut net, true).unwrap(), 0);
 
             // Both still compute the same bits.
-            let mut ex = ReferenceExecutor::new(net).unwrap();
+            let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
             let got = ex.inference(&[("x", x)]).unwrap()["y"].clone();
             let gb: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
             let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();

@@ -148,7 +148,7 @@ mod tests {
         assert_eq!(constant_fold(&mut net, true).unwrap(), 1);
         assert_eq!(net.num_nodes(), 1, "only the Add survives");
         assert_eq!(net.fetch_tensor("c").unwrap().data(), &[2.0, 4.0]);
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let out = ex
             .inference(&[("x", Tensor::from_slice(&[1.0, 1.0]))])
             .unwrap();
@@ -207,13 +207,13 @@ mod tests {
             net
         };
         let x = Tensor::from_slice(&[1.5, -2.0]);
-        let mut reference = ReferenceExecutor::new(build()).unwrap();
+        let mut reference = ReferenceExecutor::construct(build(), usize::MAX).unwrap();
         let expect = reference.inference(&[("x", x.clone())]).unwrap()["y"].clone();
 
         let mut net = build();
         assert_eq!(eliminate_common_subexpressions(&mut net).unwrap(), 1);
         assert_eq!(net.num_nodes(), 2);
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let got = ex.inference(&[("x", x)]).unwrap()["y"].clone();
         assert_eq!(got.data(), expect.data(), "bit-identical after CSE");
     }

@@ -363,7 +363,7 @@ mod tests {
             ),
         ];
         for (net, input_shapes) in cases {
-            let ex = WavefrontExecutor::new(net).unwrap();
+            let ex = WavefrontExecutor::construct(net, usize::MAX).unwrap();
             let plan = ExecutionPlan::build(
                 ex.network(),
                 &ex.network().topological_order().unwrap(),
@@ -385,7 +385,7 @@ mod tests {
     #[test]
     fn death_lists_cover_every_unpinned_consumed_tensor_once() {
         let net = models::mlp(8, &[8, 8], 3, 5).unwrap();
-        let ex = WavefrontExecutor::new(net).unwrap();
+        let ex = WavefrontExecutor::construct(net, usize::MAX).unwrap();
         let plan = ExecutionPlan::build(
             ex.network(),
             &ex.network().topological_order().unwrap(),

@@ -40,6 +40,38 @@ type SlotBufs = Vec<(usize, Vec<f32>)>;
 type ForwardProduct = (Vec<Tensor>, SlotBufs, f64, f64, u64);
 type BackwardProduct = Option<(Vec<Tensor>, f64)>;
 
+/// One memoized compiled plan: the frozen schedule plus its static slot
+/// buffers (each `None` until first donated).
+struct PlanEntry {
+    plan: ExecutionPlan,
+    slots: Vec<Option<Vec<f32>>>,
+}
+
+/// Feed shapes, sorted by input name — the memoization key for compiled
+/// plans. Dynamic batching makes the concrete batch size bounce between
+/// passes; keying the cache on the assembled shapes means each batch size
+/// compiles once, then reuses its frozen plan and slot buffers.
+type PlanKey = Vec<(String, Shape)>;
+
+/// Plan-cache effectiveness counters (see
+/// [`PlannedExecutor::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans compiled from scratch.
+    pub builds: usize,
+    /// Passes that switched to an already-compiled plan instead of
+    /// recompiling (same-shape consecutive passes are not counted; they
+    /// never rebuilt).
+    pub hits: usize,
+    /// Plans currently memoized.
+    pub cached: usize,
+}
+
+/// Upper bound on memoized plans; past it an arbitrary non-current entry
+/// is evicted. Generous against dynamic batching's worst case (one plan
+/// per assembled batch size up to `max_batch`).
+const MAX_CACHED_PLANS: usize = 32;
+
 /// The plan-driven executor. See the module docs for the design.
 pub struct PlannedExecutor {
     network: Network,
@@ -48,11 +80,12 @@ pub struct PlannedExecutor {
     levels: Vec<Vec<NodeId>>,
     /// Topological position per node for the deterministic gradient fold.
     order_pos: HashMap<NodeId, usize>,
-    plan: Option<ExecutionPlan>,
-    /// Feed shapes the current plan was built for.
-    plan_key: Vec<(String, Shape)>,
-    /// Static buffer per memory-plan slot (`None` until first donated).
-    slots: Vec<Option<Vec<f32>>>,
+    /// Compiled plans memoized by sorted feed shapes.
+    plans: HashMap<PlanKey, PlanEntry>,
+    /// Key of the plan the current pass runs under.
+    current: Option<PlanKey>,
+    plan_builds: usize,
+    plan_hits: usize,
     events: EventList,
     memory: MemoryAccountant,
     pool: Arc<BufferPool>,
@@ -63,13 +96,24 @@ pub struct PlannedExecutor {
 
 impl PlannedExecutor {
     /// Build an executor for `network` with unbounded memory.
+    #[deprecated(note = "use Engine::builder(network).executor(ExecutorKind::Planned).build()")]
     pub fn new(network: Network) -> Result<Self> {
-        Self::with_memory_limit(network, usize::MAX)
+        Self::construct(network, usize::MAX)
     }
 
-    /// Build with a device memory capacity in bytes. Construction is gated
-    /// on the static verifier like the other executors.
+    /// Build with a device memory capacity in bytes.
+    #[deprecated(note = "use Engine::builder(network).executor(ExecutorKind::Planned)\
+                .memory_limit(bytes).build()")]
     pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        Self::construct(network, capacity)
+    }
+
+    /// The verified construction path shared by [`Engine`] and the
+    /// deprecated wrappers. Construction is gated on the static verifier
+    /// like the other executors.
+    ///
+    /// [`Engine`]: crate::engine::Engine
+    pub(crate) fn construct(network: Network, capacity: usize) -> Result<Self> {
         deep500_verify::gate(&network.to_ir())?;
         let ops = network.instantiate_ops()?;
         let order = network.topological_order()?;
@@ -81,9 +125,10 @@ impl PlannedExecutor {
             order,
             levels,
             order_pos,
-            plan: None,
-            plan_key: Vec::new(),
-            slots: Vec::new(),
+            plans: HashMap::new(),
+            current: None,
+            plan_builds: 0,
+            plan_hits: 0,
             events: EventList::new(),
             memory: MemoryAccountant::new(capacity),
             pool: Arc::new(BufferPool::new()),
@@ -101,12 +146,25 @@ impl PlannedExecutor {
 
     /// The current execution plan, if one has been built.
     pub fn plan(&self) -> Option<&ExecutionPlan> {
-        self.plan.as_ref()
+        self.current
+            .as_ref()
+            .and_then(|k| self.plans.get(k))
+            .map(|e| &e.plan)
+    }
+
+    /// Plan-cache counters: compiles, rebuild-avoiding cache hits, and
+    /// entries currently memoized.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            builds: self.plan_builds,
+            hits: self.plan_hits,
+            cached: self.plans.len(),
+        }
     }
 
     /// Total bytes of the static memory plan, once built.
     pub fn plan_bytes(&self) -> Option<usize> {
-        self.plan.as_ref().map(|p| p.memory.total_bytes)
+        self.plan().map(|p| p.memory.total_bytes)
     }
 
     /// Buffer-pool effectiveness counters (the dynamic fallback tier).
@@ -127,9 +185,8 @@ impl PlannedExecutor {
             .enumerate()
             .map(|(i, &id)| (id, i))
             .collect();
-        self.plan = None;
-        self.plan_key.clear();
-        self.slots.clear();
+        self.plans.clear();
+        self.current = None;
         Ok(())
     }
 
@@ -146,22 +203,38 @@ impl PlannedExecutor {
         }
     }
 
-    /// Build (or rebuild) the plan for the given feed shapes.
+    /// Ensure a compiled plan exists for the given feed shapes and make it
+    /// current. Shapes seen before reuse their memoized plan (and slot
+    /// buffers) instead of recompiling — the property dynamic batching
+    /// leans on when assembled batch sizes bounce between passes.
     fn ensure_plan(&mut self, feeds: &[(&str, Tensor)]) -> Result<()> {
-        let mut key: Vec<(String, Shape)> = feeds
+        let mut key: PlanKey = feeds
             .iter()
             .map(|(n, t)| (n.to_string(), t.shape().clone()))
             .collect();
         key.sort_by(|a, b| a.0.cmp(&b.0));
-        if self.plan.is_some() && self.plan_key == key {
+        if self.current.as_ref() == Some(&key) {
+            return Ok(());
+        }
+        if self.plans.contains_key(&key) {
+            self.plan_hits += 1;
+            self.current = Some(key);
             return Ok(());
         }
         let input_shapes: Vec<(&str, Shape)> =
             feeds.iter().map(|(n, t)| (*n, t.shape().clone())).collect();
         let plan = ExecutionPlan::build(&self.network, &self.order, &self.levels, &input_shapes)?;
-        self.slots = vec![None; plan.memory.num_slots()];
-        self.plan = Some(plan);
-        self.plan_key = key;
+        self.plan_builds += 1;
+        if self.plans.len() >= MAX_CACHED_PLANS {
+            // Evict an arbitrary entry (iteration order): the cache is a
+            // memoization aid, not a correctness surface.
+            if let Some(victim) = self.plans.keys().next().cloned() {
+                self.plans.remove(&victim);
+            }
+        }
+        let slots = vec![None; plan.memory.num_slots()];
+        self.plans.insert(key.clone(), PlanEntry { plan, slots });
+        self.current = Some(key);
         Ok(())
     }
 
@@ -179,15 +252,19 @@ impl PlannedExecutor {
         let Self {
             network,
             ops,
-            plan,
-            slots,
+            plans,
+            current,
             events,
             memory,
             pool,
             op_totals,
             ..
         } = self;
-        let plan = plan.as_ref().expect("ensure_plan ran");
+        let entry = plans
+            .get_mut(current.as_ref().expect("ensure_plan ran"))
+            .expect("current plan is cached");
+        let PlanEntry { plan, slots } = entry;
+        let plan = &*plan;
 
         memory.reset();
         let mut env: Vec<Option<Tensor>> = vec![None; plan.num_env()];
@@ -320,7 +397,7 @@ impl PlannedExecutor {
 
     /// Collect declared graph outputs from a planned environment.
     fn collect_outputs(&self, env: &[Option<Tensor>]) -> Result<HashMap<String, Tensor>> {
-        let plan = self.plan.as_ref().expect("plan built");
+        let plan = self.plan().expect("plan built");
         let mut out = HashMap::new();
         for (name, id) in &plan.outputs {
             let t = env[*id]
@@ -334,12 +411,16 @@ impl PlannedExecutor {
     /// Return a pass environment's remaining buffers to their static slots
     /// (first donor wins) or the dynamic pool.
     fn reclaim_env(&mut self, env: Vec<Option<Tensor>>) {
-        let plan = self.plan.as_ref().expect("plan built");
+        let entry = self
+            .plans
+            .get_mut(self.current.as_ref().expect("plan built"))
+            .expect("current plan is cached");
+        let PlanEntry { plan, slots } = entry;
         for (id, slot_tensor) in env.into_iter().enumerate() {
             let Some(t) = slot_tensor else { continue };
             let v = t.into_vec();
             match plan.slot_of_id[id] {
-                Some(s) if self.slots[s].is_none() => self.slots[s] = Some(v),
+                Some(s) if slots[s].is_none() => slots[s] = Some(v),
                 _ => self.pool.recycle(v),
             }
         }
@@ -371,7 +452,7 @@ impl PlannedExecutor {
     /// wavefront executor's deterministic accumulation.
     fn backward_planned(&mut self, env: &[Option<Tensor>], loss: &str) -> Result<()> {
         let width = self.group_width();
-        let plan = self.plan.as_ref().expect("plan built");
+        let plan = self.plan().expect("plan built");
         let loss_id = plan
             .tensor_ids
             .get(loss)
@@ -594,8 +675,8 @@ mod tests {
     fn planned_inference_is_bit_identical_to_reference() {
         let net = models::mlp(12, &[16, 8], 3, 9).unwrap();
         let feeds = mlp_feeds(4, 12);
-        let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut pl = PlannedExecutor::new(net).unwrap();
+        let mut rf = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
+        let mut pl = PlannedExecutor::construct(net, usize::MAX).unwrap();
         let expect = rf.inference(&as_refs(&feeds)).unwrap();
         // Two passes: the second exercises slot reuse.
         for _ in 0..2 {
@@ -610,8 +691,8 @@ mod tests {
     fn planned_backprop_matches_reference_gradients_bitwise() {
         let net = models::mlp(10, &[12], 4, 21).unwrap();
         let feeds = mlp_feeds(3, 10);
-        let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut pl = PlannedExecutor::new(net).unwrap();
+        let mut rf = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
+        let mut pl = PlannedExecutor::construct(net, usize::MAX).unwrap();
         rf.inference_and_backprop(&as_refs(&feeds), "loss").unwrap();
         pl.inference_and_backprop(&as_refs(&feeds), "loss").unwrap();
         for p in rf.network().get_params().to_vec() {
@@ -625,7 +706,7 @@ mod tests {
     #[test]
     fn plan_rebuilds_on_feed_shape_change() {
         let net = models::mlp(6, &[6], 2, 2).unwrap();
-        let mut pl = PlannedExecutor::new(net).unwrap();
+        let mut pl = PlannedExecutor::construct(net, usize::MAX).unwrap();
         pl.inference(&as_refs(&mlp_feeds(2, 6))).unwrap();
         let bytes_small = pl.plan_bytes().unwrap();
         pl.inference(&as_refs(&mlp_feeds(8, 6))).unwrap();
@@ -637,9 +718,32 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_memoizes_alternating_batch_sizes() {
+        let net = models::mlp(6, &[6], 2, 2).unwrap();
+        let mut pl = PlannedExecutor::construct(net, usize::MAX).unwrap();
+        // Alternate between two batch sizes: after the first visit to each,
+        // every revisit must hit the cache instead of replanning — the
+        // property dynamic batching relies on to keep tail latency flat.
+        let small = mlp_feeds(2, 6);
+        let large = mlp_feeds(8, 6);
+        let expect_small = pl.inference(&as_refs(&small)).unwrap();
+        let expect_large = pl.inference(&as_refs(&large)).unwrap();
+        for _ in 0..3 {
+            let got = pl.inference(&as_refs(&small)).unwrap();
+            assert_eq!(got["loss"].data(), expect_small["loss"].data());
+            let got = pl.inference(&as_refs(&large)).unwrap();
+            assert_eq!(got["loss"].data(), expect_large["loss"].data());
+        }
+        let stats = pl.plan_cache_stats();
+        assert_eq!(stats.builds, 2, "one build per distinct batch size");
+        assert_eq!(stats.hits, 6, "every revisit is a cache hit");
+        assert_eq!(stats.cached, 2);
+    }
+
+    #[test]
     fn undeclared_feed_is_rejected() {
         let net = models::mlp(4, &[], 2, 3).unwrap();
-        let mut pl = PlannedExecutor::new(net).unwrap();
+        let mut pl = PlannedExecutor::construct(net, usize::MAX).unwrap();
         let err = pl
             .inference(&[("ghost", Tensor::ones([1, 4]))])
             .unwrap_err();
@@ -649,7 +753,7 @@ mod tests {
     #[test]
     fn slot_plan_bytes_cover_lower_bound_and_report_via_trait() {
         let net = models::mlp(16, &[24, 16], 4, 4).unwrap();
-        let mut pl = PlannedExecutor::new(net).unwrap();
+        let mut pl = PlannedExecutor::construct(net, usize::MAX).unwrap();
         pl.inference(&as_refs(&mlp_feeds(4, 16))).unwrap();
         let plan = pl.plan().unwrap();
         assert!(plan.memory.total_bytes >= plan.memory.pool_lower_bound);
@@ -661,15 +765,16 @@ mod tests {
     #[test]
     fn planned_ooms_on_tiny_capacity() {
         let net = models::mlp(4, &[4], 2, 5).unwrap();
-        let mut pl = PlannedExecutor::with_memory_limit(net, 8).unwrap();
+        let mut pl = PlannedExecutor::construct(net, 8).unwrap();
         let err = pl.inference(&as_refs(&mlp_feeds(2, 4))).unwrap_err();
         assert!(matches!(err, Error::OutOfMemory { .. }));
     }
 
     #[test]
+    #[allow(deprecated)] // regression: the legacy wrapper must stay equivalent
     fn executor_kind_builds_planned() {
         let net = models::mlp(4, &[4], 2, 6).unwrap();
-        let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut rf = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
         let mut ex = crate::ExecutorKind::Planned.build(net).unwrap();
         let feeds = mlp_feeds(2, 4);
         let got = ex.inference(&as_refs(&feeds)).unwrap();

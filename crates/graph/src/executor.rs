@@ -283,17 +283,28 @@ pub struct ReferenceExecutor {
 impl ReferenceExecutor {
     /// Build an executor for `network`, instantiating all operators and
     /// fixing the topological order. Unbounded memory.
+    #[deprecated(note = "use Engine::builder(network).build() instead")]
     pub fn new(network: Network) -> Result<Self> {
-        Self::with_memory_limit(network, usize::MAX)
+        Self::construct(network, usize::MAX)
     }
 
-    /// Build with a device memory capacity in bytes; execution fails with
-    /// `Error::OutOfMemory` when live activations + workspace exceed it.
+    /// Build with a device memory capacity in bytes.
+    #[deprecated(note = "use Engine::builder(network).memory_limit(bytes).build() instead")]
+    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        Self::construct(network, capacity)
+    }
+
+    /// The verified construction path shared by [`Engine`] and the
+    /// deprecated wrappers: a device memory capacity in bytes; execution
+    /// fails with `Error::OutOfMemory` when live activations + workspace
+    /// exceed it.
     ///
     /// Construction is gated on the static verifier: a graph with a `Deny`
     /// lint (use-before-def, cycle, duplicate writer, dangling fetch, ...)
     /// is rejected with `Error::Validation` before any operator is built.
-    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+    ///
+    /// [`Engine`]: crate::engine::Engine
+    pub(crate) fn construct(network: Network, capacity: usize) -> Result<Self> {
         deep500_verify::gate(&network.to_ir())?;
         let ops = network.instantiate_ops()?;
         let order = network.topological_order()?;
@@ -658,7 +669,7 @@ mod tests {
 
     #[test]
     fn inference_computes_outputs() {
-        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        let mut ex = ReferenceExecutor::construct(relu_scale_net(), usize::MAX).unwrap();
         let x = Tensor::from_slice(&[-1.0, 2.0]);
         let out = ex.inference(&[("x", x)]).unwrap();
         assert_eq!(out["y"].data(), &[0.0, 4.0]);
@@ -666,7 +677,7 @@ mod tests {
 
     #[test]
     fn backprop_produces_param_grads() {
-        let mut ex = ReferenceExecutor::new(linear_loss_net()).unwrap();
+        let mut ex = ReferenceExecutor::construct(linear_loss_net(), usize::MAX).unwrap();
         let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
         let target = Tensor::from_vec([1, 1], vec![0.0]).unwrap();
         let out = ex
@@ -683,7 +694,7 @@ mod tests {
 
     #[test]
     fn missing_feed_is_detected() {
-        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        let mut ex = ReferenceExecutor::construct(relu_scale_net(), usize::MAX).unwrap();
         assert!(ex.inference(&[]).is_err());
     }
 
@@ -709,7 +720,7 @@ mod tests {
     #[test]
     fn executor_ooms_on_tiny_capacity() {
         let net = relu_scale_net();
-        let mut ex = ReferenceExecutor::with_memory_limit(net, 8).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, 8).unwrap();
         let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]); // 16 bytes
         let err = ex.inference(&[("x", x)]).unwrap_err();
         assert!(matches!(err, Error::OutOfMemory { .. }));
@@ -717,7 +728,7 @@ mod tests {
 
     #[test]
     fn peak_memory_is_reported() {
-        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        let mut ex = ReferenceExecutor::construct(relu_scale_net(), usize::MAX).unwrap();
         let x = Tensor::from_slice(&[1.0; 100]);
         ex.inference(&[("x", x)]).unwrap();
         assert!(ex.peak_memory() >= 400);
@@ -725,7 +736,7 @@ mod tests {
 
     #[test]
     fn overhead_probe_accumulates() {
-        let mut ex = ReferenceExecutor::new(relu_scale_net()).unwrap();
+        let mut ex = ReferenceExecutor::construct(relu_scale_net(), usize::MAX).unwrap();
         ex.events_mut()
             .push(Box::new(FrameworkOverheadProbe::new()));
         let x = Tensor::from_slice(&[1.0; 1000]);
@@ -745,7 +756,7 @@ mod tests {
 
     #[test]
     fn reference_executor_attributes_op_time() {
-        let mut ex = ReferenceExecutor::new(linear_loss_net()).unwrap();
+        let mut ex = ReferenceExecutor::construct(linear_loss_net(), usize::MAX).unwrap();
         let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
         let target = Tensor::from_vec([1, 1], vec![0.0]).unwrap();
         ex.inference_and_backprop(&[("x", x), ("target", target)], "loss")
@@ -809,7 +820,7 @@ mod tests {
         .unwrap();
         net.add_output("loss");
         net.add_parameter("dummy", Tensor::scalar(0.0));
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let x = Tensor::from_vec([2, 1], vec![1.0, 1.0]).unwrap();
         let t = Tensor::from_vec([2, 1], vec![0.0, 0.0]).unwrap();
         let out = ex

@@ -286,8 +286,8 @@ mod tests {
         let bytes = encode(&net);
         let back = decode(&bytes).unwrap();
         let x = Tensor::from_vec([1, 3], vec![1.0, -2.0, 0.5]).unwrap();
-        let mut e1 = ReferenceExecutor::new(net).unwrap();
-        let mut e2 = ReferenceExecutor::new(back).unwrap();
+        let mut e1 = ReferenceExecutor::construct(net, usize::MAX).unwrap();
+        let mut e2 = ReferenceExecutor::construct(back, usize::MAX).unwrap();
         let o1 = e1.inference(&[("x", x.clone())]).unwrap();
         let o2 = e2.inference(&[("x", x)]).unwrap();
         assert_eq!(o1["z"], o2["z"]);

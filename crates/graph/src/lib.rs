@@ -31,6 +31,7 @@
 
 pub mod builder;
 pub mod compile;
+pub mod engine;
 pub mod executor;
 pub mod format;
 pub mod models;
@@ -43,6 +44,7 @@ pub mod wavefront;
 pub use compile::{
     compile, CompileOptions, CompileReport, ExecutionPlan, MemoryPlan, PlannedExecutor,
 };
+pub use engine::{Engine, EngineBuilder, EngineGuard, Session};
 pub use executor::{GraphExecutor, MemoryAccountant, OpTotals, ReferenceExecutor};
 pub use network::{Network, Node, NodeId};
 pub use visitor::NetworkVisitor;

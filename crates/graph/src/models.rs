@@ -237,7 +237,7 @@ mod tests {
     use crate::executor::{GraphExecutor, ReferenceExecutor};
 
     fn run_train_step(net: Network, x: Tensor, labels: Tensor) -> (f32, usize) {
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let out = ex
             .inference_and_backprop(&[("x", x), ("labels", labels)], "loss")
             .unwrap();

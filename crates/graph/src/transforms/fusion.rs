@@ -384,14 +384,14 @@ mod tests {
     #[test]
     fn fusion_collapses_chain_and_preserves_output() {
         let x = Tensor::from_slice(&[-3.0, 0.0, 2.0]);
-        let mut ref_ex = ReferenceExecutor::new(chain_net()).unwrap();
+        let mut ref_ex = ReferenceExecutor::construct(chain_net(), usize::MAX).unwrap();
         let expect = ref_ex.inference(&[("x", x.clone())]).unwrap()["y"].clone();
 
         let mut net = chain_net();
         let n = fuse_elementwise(&mut net).unwrap();
         assert_eq!(n, 1);
         assert_eq!(net.num_nodes(), 1, "3 ops fused into 1");
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let got = ex.inference(&[("x", x)]).unwrap()["y"].clone();
         assert!(expect.approx_eq(&got, 1e-6));
     }

@@ -291,7 +291,7 @@ mod tests {
 
         // Original output.
         let net = conv_net();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let orig = ex.inference(&[("x", x.clone())]).unwrap()["y"].clone();
 
         // Transformed output: force splitting with a tiny workspace cap.
@@ -300,7 +300,7 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert!(reports[0].plan.sizes.len() > 1, "must actually split");
         assert!(reports[0].workspace_after <= 40_000);
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let transformed = ex.inference(&[("x", x)]).unwrap()["y"].clone();
         assert!(
             orig.approx_eq(&transformed, 1e-4),
@@ -317,7 +317,7 @@ mod tests {
         let cap = 50_000;
 
         let net = conv_net();
-        let mut ex = ReferenceExecutor::with_memory_limit(net, cap).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, cap).unwrap();
         assert!(
             matches!(
                 ex.inference(&[("x", x.clone())]),
@@ -328,7 +328,7 @@ mod tests {
 
         let mut net = conv_net();
         microbatch_convolutions(&mut net, &[("x", x_shape)], 20_000).unwrap();
-        let mut ex = ReferenceExecutor::with_memory_limit(net, cap).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, cap).unwrap();
         ex.inference(&[("x", x)]).expect("transformed net fits");
     }
 
@@ -368,7 +368,7 @@ mod tests {
             20_000,
         )
         .unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let x = Tensor::ones([8, 2, 8, 8]);
         let labels = Tensor::zeros([8]);
         ex.inference_and_backprop(&[("x", x), ("labels", labels)], "loss")

@@ -218,8 +218,8 @@ mod tests {
     #[test]
     fn executor_agrees_with_itself() {
         let net = models::mlp(8, &[6], 3, 5).unwrap();
-        let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut b = ReferenceExecutor::new(net).unwrap();
+        let mut a = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
+        let mut b = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         let x = Tensor::ones([2, 8]);
         let labels = Tensor::from_slice(&[0.0, 1.0]);
         let report = test_executor(
@@ -242,8 +242,8 @@ mod tests {
     fn divergent_parameters_fail_validation() {
         let net_a = models::mlp(4, &[4], 2, 1).unwrap();
         let net_b = models::mlp(4, &[4], 2, 2).unwrap(); // different seed
-        let mut a = ReferenceExecutor::new(net_a).unwrap();
-        let mut b = ReferenceExecutor::new(net_b).unwrap();
+        let mut a = ReferenceExecutor::construct(net_a, usize::MAX).unwrap();
+        let mut b = ReferenceExecutor::construct(net_b, usize::MAX).unwrap();
         let x = Tensor::ones([1, 4]);
         let labels = Tensor::from_slice(&[0.0]);
         let report = test_executor(&mut a, &mut b, &[("x", x), ("labels", labels)], 2).unwrap();
@@ -253,8 +253,8 @@ mod tests {
     #[test]
     fn zero_reruns_rejected() {
         let net = models::mlp(4, &[], 2, 1).unwrap();
-        let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut b = ReferenceExecutor::new(net).unwrap();
+        let mut a = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
+        let mut b = ReferenceExecutor::construct(net, usize::MAX).unwrap();
         assert!(test_executor(&mut a, &mut b, &[], 0).is_err());
     }
 
@@ -310,18 +310,19 @@ mod tests {
             ("labels", Tensor::from_slice(&[0.0, 1.0])),
         ];
         // Reference candidate: neither a pool nor a plan.
-        let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut b = ReferenceExecutor::new(net.clone_structure()).unwrap();
+        let mut a = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
+        let mut b = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
         let r = test_executor(&mut a, &mut b, &feeds, 1).unwrap();
         assert!(r.candidate_pool.is_none() && r.candidate_plan_bytes.is_none());
         // Planned candidate: both reported, bit-identical outputs.
-        let mut p = crate::compile::PlannedExecutor::new(net.clone_structure()).unwrap();
+        let mut p =
+            crate::compile::PlannedExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
         let r = test_executor(&mut p, &mut b, &feeds, 2).unwrap();
         assert!(r.passes(0.0), "planned executor is bit-identical");
         assert!(r.candidate_pool.is_some());
         assert!(r.candidate_plan_bytes.unwrap() > 0);
         // Wavefront candidate: pool yes, plan no.
-        let mut w = crate::WavefrontExecutor::new(net).unwrap();
+        let mut w = crate::WavefrontExecutor::construct(net, usize::MAX).unwrap();
         let r = test_executor(&mut w, &mut b, &feeds, 1).unwrap();
         assert!(r.candidate_pool.is_some() && r.candidate_plan_bytes.is_none());
     }
@@ -375,8 +376,8 @@ mod properties {
         ) {
             let net_a = models::mlp(6, &[5], 3, seed_a).unwrap();
             let net_b = models::mlp(6, &[5], 3, seed_b).unwrap();
-            let mut ea = ReferenceExecutor::new(net_a.clone_structure()).unwrap();
-            let mut eb = ReferenceExecutor::new(net_b.clone_structure()).unwrap();
+            let mut ea = ReferenceExecutor::construct(net_a.clone_structure(), usize::MAX).unwrap();
+            let mut eb = ReferenceExecutor::construct(net_b.clone_structure(), usize::MAX).unwrap();
             let x = Tensor::ones([batch, 6]);
             let labels = Tensor::from_slice(&vec![0.0; batch]);
             let feeds = [("x", x), ("labels", labels)];

@@ -76,26 +76,41 @@ pub enum ExecutorKind {
 
 impl ExecutorKind {
     /// Build the selected executor over `network` with unbounded memory.
+    #[deprecated(note = "use Engine::builder(network).executor(kind).build()")]
     pub fn build(self, network: Network) -> Result<Box<dyn GraphExecutor>> {
-        self.build_with_memory_limit(network, usize::MAX)
+        self.construct(network, usize::MAX, 0)
     }
 
     /// Build the selected executor with a device memory capacity in bytes.
+    #[deprecated(note = "use Engine::builder(network).executor(kind).memory_limit(bytes).build()")]
     pub fn build_with_memory_limit(
         self,
         network: Network,
         capacity: usize,
     ) -> Result<Box<dyn GraphExecutor>> {
+        self.construct(network, capacity, 0)
+    }
+
+    /// The shared construction path behind [`Engine`] and the deprecated
+    /// wrappers. `threads` caps per-level concurrency for the concurrent
+    /// tiers (`0` = full rayon pool; ignored by the reference tier).
+    ///
+    /// [`Engine`]: crate::engine::Engine
+    pub(crate) fn construct(
+        self,
+        network: Network,
+        capacity: usize,
+        threads: usize,
+    ) -> Result<Box<dyn GraphExecutor>> {
         Ok(match self {
-            ExecutorKind::Reference => {
-                Box::new(ReferenceExecutor::with_memory_limit(network, capacity)?)
-            }
+            ExecutorKind::Reference => Box::new(ReferenceExecutor::construct(network, capacity)?),
             ExecutorKind::Wavefront => {
-                Box::new(WavefrontExecutor::with_memory_limit(network, capacity)?)
+                Box::new(WavefrontExecutor::construct(network, capacity)?.with_threads(threads))
             }
-            ExecutorKind::Planned => Box::new(crate::compile::PlannedExecutor::with_memory_limit(
-                network, capacity,
-            )?),
+            ExecutorKind::Planned => Box::new(
+                crate::compile::PlannedExecutor::construct(network, capacity)?
+                    .with_threads(threads),
+            ),
         })
     }
 }
@@ -153,18 +168,32 @@ pub struct WavefrontExecutor {
 
 impl WavefrontExecutor {
     /// Build an executor for `network` with unbounded memory.
+    #[deprecated(note = "use Engine::builder(network).executor(ExecutorKind::Wavefront).build()")]
     pub fn new(network: Network) -> Result<Self> {
-        Self::with_memory_limit(network, usize::MAX)
+        Self::construct(network, usize::MAX)
     }
 
-    /// Build with a device memory capacity in bytes; execution fails with
-    /// `Error::OutOfMemory` when live activations + workspace exceed it.
+    /// Build with a device memory capacity in bytes.
+    #[deprecated(
+        note = "use Engine::builder(network).executor(ExecutorKind::Wavefront)\
+                .memory_limit(bytes).build()"
+    )]
+    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+        Self::construct(network, capacity)
+    }
+
+    /// The verified construction path shared by [`Engine`] and the
+    /// deprecated wrappers: a device memory capacity in bytes; execution
+    /// fails with `Error::OutOfMemory` when live activations + workspace
+    /// exceed it.
     ///
     /// Construction is gated on the static verifier (`Error::Validation` on
     /// any `Deny` lint) — level-parallel execution over pooled buffers makes
     /// dataflow defects like duplicate writers actively dangerous, not just
     /// wrong.
-    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
+    ///
+    /// [`Engine`]: crate::engine::Engine
+    pub(crate) fn construct(network: Network, capacity: usize) -> Result<Self> {
         deep500_verify::gate(&network.to_ir())?;
         let ops = network.instantiate_ops()?;
         let order = network.topological_order()?;
@@ -637,7 +666,7 @@ mod tests {
 
     #[test]
     fn levels_partition_the_order() {
-        let ex = WavefrontExecutor::new(diamond_net()).unwrap();
+        let ex = WavefrontExecutor::construct(diamond_net(), usize::MAX).unwrap();
         let levels = ex.levels();
         assert_eq!(levels.len(), 2);
         assert_eq!(levels[0].len(), 2, "independent scales share a level");
@@ -649,14 +678,15 @@ mod tests {
     #[test]
     fn diamond_inference_matches_reference() {
         let x = Tensor::from_vec([2, 1], vec![1.5, -0.5]).unwrap();
-        let mut wf = WavefrontExecutor::new(diamond_net()).unwrap();
-        let mut rf = ReferenceExecutor::new(diamond_net()).unwrap();
+        let mut wf = WavefrontExecutor::construct(diamond_net(), usize::MAX).unwrap();
+        let mut rf = ReferenceExecutor::construct(diamond_net(), usize::MAX).unwrap();
         let w = wf.inference(&[("x", x.clone())]).unwrap();
         let r = rf.inference(&[("x", x)]).unwrap();
         assert_eq!(w["y"].data(), r["y"].data());
     }
 
     #[test]
+    #[allow(deprecated)] // regression: the legacy wrapper must stay equivalent
     fn executor_kind_builds_both() {
         for kind in [ExecutorKind::Reference, ExecutorKind::Wavefront] {
             let mut ex = kind.build(diamond_net()).unwrap();
@@ -669,7 +699,7 @@ mod tests {
 
     #[test]
     fn wavefront_ooms_on_tiny_capacity() {
-        let mut ex = WavefrontExecutor::with_memory_limit(diamond_net(), 8).unwrap();
+        let mut ex = WavefrontExecutor::construct(diamond_net(), 8).unwrap();
         let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]); // 16 bytes
         let err = ex.inference(&[("x", x)]).unwrap_err();
         assert!(matches!(err, Error::OutOfMemory { .. }));
@@ -683,7 +713,7 @@ mod tests {
         net.add_node("mm", "MatMul", Attributes::new(), &["a", "b"], &["y"])
             .unwrap();
         net.add_output("y");
-        let mut ex = WavefrontExecutor::new(net).unwrap();
+        let mut ex = WavefrontExecutor::construct(net, usize::MAX).unwrap();
         let a = Tensor::ones([64, 64]);
         let b = Tensor::ones([64, 64]);
         ex.inference(&[("a", a), ("b", b)]).unwrap();
@@ -699,7 +729,7 @@ mod tests {
 
     #[test]
     fn pool_recycles_across_passes() {
-        let mut ex = WavefrontExecutor::new(diamond_net()).unwrap();
+        let mut ex = WavefrontExecutor::construct(diamond_net(), usize::MAX).unwrap();
         let x = Tensor::from_slice(&[1.0; 256]);
         ex.inference(&[("x", x.clone())]).unwrap();
         let after_first = ex.pool_stats();

@@ -5,7 +5,7 @@
 use deep500_graph::format;
 use deep500_graph::network::Network;
 use deep500_graph::transforms::{infer_shapes, microbatch::plan_microbatches};
-use deep500_graph::{GraphExecutor, ReferenceExecutor};
+use deep500_graph::Engine;
 use deep500_ops::registry::Attributes;
 use deep500_tensor::{Shape, Tensor, Xoshiro256StarStar};
 use proptest::prelude::*;
@@ -96,8 +96,11 @@ proptest! {
             1.0,
             &mut Xoshiro256StarStar::seed_from_u64(seed ^ 9),
         );
-        let mut e1 = ReferenceExecutor::new(net).unwrap();
-        let mut e2 = ReferenceExecutor::new(back).unwrap();
+        let (g1, g2) = (
+            Engine::builder(net).build().unwrap(),
+            Engine::builder(back).build().unwrap(),
+        );
+        let (mut e1, mut e2) = (g1.lock(), g2.lock());
         let o1 = e1.inference(&[("x", x.clone())]).unwrap();
         let o2 = e2.inference(&[("x", x)]).unwrap();
         for (k, v) in &o1 {
@@ -142,7 +145,8 @@ proptest! {
         let shapes =
             infer_shapes(&net, &[("x", Shape::new(&[batch, features]))]).unwrap();
         let out_name = net.graph_outputs()[0].clone();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let x = Tensor::zeros([batch, features]);
         let out = ex.inference(&[("x", x)]).unwrap();
         prop_assert_eq!(out[&out_name].shape(), &shapes[&out_name]);
@@ -186,7 +190,8 @@ proptest! {
             .unwrap();
         net.add_output("loss");
         let nparams = net.get_params().len();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let x = Tensor::ones([2, 4]);
         let t = Tensor::zeros([2, 4]);
         ex.inference_and_backprop(&[("x", x), ("target", t)], "loss").unwrap();

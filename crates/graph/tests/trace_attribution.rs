@@ -16,7 +16,7 @@
 //!    network (the scheduling overhead bound of the issue's acceptance
 //!    criteria).
 
-use deep500_graph::{GraphExecutor, Network, ReferenceExecutor, WavefrontExecutor};
+use deep500_graph::{Engine, ExecutorKind, Network};
 use deep500_metrics::event::SharedEvent;
 use deep500_metrics::time::WallclockTime;
 use deep500_metrics::{Phase, TraceRecorder};
@@ -79,7 +79,11 @@ fn feeds(batch: usize, inner: usize, seed: u64) -> (Tensor, Tensor) {
 /// span-forwarding re-measured on the coordinator and breaks this.
 #[test]
 fn wavefront_span_reaches_hooks_with_worker_measured_time() {
-    let mut ex = WavefrontExecutor::new(chain_net(32, 128, 1)).unwrap();
+    let engine = Engine::builder(chain_net(32, 128, 1))
+        .executor(ExecutorKind::Wavefront)
+        .build()
+        .unwrap();
+    let mut ex = engine.lock();
     let clock = SharedEvent::new(WallclockTime::new(Phase::OperatorForward));
     ex.events_mut().push(Box::new(clock.clone()));
     let (x, target) = feeds(32, 128, 2);
@@ -110,11 +114,13 @@ fn wavefront_span_reaches_hooks_with_worker_measured_time() {
 fn both_executors_feed_time_hooks_per_op() {
     for wavefront in [false, true] {
         let net = chain_net(16, 64, 3);
-        let mut ex: Box<dyn GraphExecutor> = if wavefront {
-            Box::new(WavefrontExecutor::new(net).unwrap())
+        let kind = if wavefront {
+            ExecutorKind::Wavefront
         } else {
-            Box::new(ReferenceExecutor::new(net).unwrap())
+            ExecutorKind::Reference
         };
+        let engine = Engine::builder(net).executor(kind).build().unwrap();
+        let mut ex = engine.lock();
         let clock = SharedEvent::new(WallclockTime::new(Phase::OperatorForward));
         ex.events_mut().push(Box::new(clock.clone()));
         let (x, target) = feeds(16, 64, 4);
@@ -139,9 +145,13 @@ fn wavefront_attribution_sums_to_backprop_phase() {
     // the matmul time; a chain, so op times are disjoint (no parallel
     // overlap double-counting against the wall).
     let (batch, inner) = (64, 256);
-    let mut ex = WavefrontExecutor::new(chain_net(batch, inner, 5)).unwrap();
     let recorder = TraceRecorder::new();
-    ex.events_mut().push(Box::new(recorder.sink("wavefront")));
+    let engine = Engine::builder(chain_net(batch, inner, 5))
+        .executor(ExecutorKind::Wavefront)
+        .trace(&recorder)
+        .build()
+        .unwrap();
+    let mut ex = engine.lock();
 
     let passes = 3;
     for pass in 0..passes {

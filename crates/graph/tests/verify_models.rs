@@ -147,6 +147,9 @@ fn symbolic_batch_reaches_the_logits_of_every_model() {
 }
 
 #[test]
+// `verify_aliasing` lives on the concrete executor, not the `GraphExecutor`
+// trait, so this test constructs directly rather than through `Engine`.
+#[allow(deprecated)]
 fn wavefront_pool_bound_is_a_true_lower_bound_on_observed_peak() {
     for case in zoo() {
         let mut ex = WavefrontExecutor::new(case.net.clone_structure()).unwrap();

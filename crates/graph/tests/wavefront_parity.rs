@@ -5,9 +5,7 @@
 //! across a level must never reorder any floating-point accumulation.
 
 use deep500_graph::validate::{test_executor, test_executor_backprop};
-use deep500_graph::{
-    grad_name, GraphExecutor, MemoryAccountant, Network, ReferenceExecutor, WavefrontExecutor,
-};
+use deep500_graph::{grad_name, Engine, ExecutorKind, MemoryAccountant, Network};
 use deep500_tensor::{Error, Tensor};
 
 /// A `(model name, network, feeds)` parity test case.
@@ -47,12 +45,15 @@ fn zoo() -> Vec<ZooCase> {
 fn wavefront_inference_is_bit_identical_across_widths() {
     for (name, net, feeds) in zoo() {
         for threads in [0usize, 1, 2] {
-            let mut wf = WavefrontExecutor::new(net.clone_structure())
-                .unwrap()
-                .with_threads(threads);
-            let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
+            let wf = Engine::builder(net.clone_structure())
+                .executor(ExecutorKind::Wavefront)
+                .threads(threads)
+                .build()
+                .unwrap();
+            let rf = Engine::builder(net.clone_structure()).build().unwrap();
+            let (mut wf, mut rf) = (wf.lock(), rf.lock());
             let feeds: Vec<(&str, Tensor)> = feeds.iter().map(|(n, t)| (*n, t.clone())).collect();
-            let report = test_executor(&mut wf, &mut rf, &feeds, 2).unwrap();
+            let report = test_executor(&mut *wf, &mut *rf, &feeds, 2).unwrap();
             assert!(
                 report.passes(0.0),
                 "{name} (threads={threads}): outputs differ: {:?}",
@@ -66,12 +67,15 @@ fn wavefront_inference_is_bit_identical_across_widths() {
 fn wavefront_backprop_is_bit_identical_across_widths() {
     for (name, net, feeds) in zoo() {
         for threads in [0usize, 1, 2] {
-            let mut wf = WavefrontExecutor::new(net.clone_structure())
-                .unwrap()
-                .with_threads(threads);
-            let mut rf = ReferenceExecutor::new(net.clone_structure()).unwrap();
+            let wf = Engine::builder(net.clone_structure())
+                .executor(ExecutorKind::Wavefront)
+                .threads(threads)
+                .build()
+                .unwrap();
+            let rf = Engine::builder(net.clone_structure()).build().unwrap();
+            let (mut wf, mut rf) = (wf.lock(), rf.lock());
             let feeds: Vec<(&str, Tensor)> = feeds.iter().map(|(n, t)| (*n, t.clone())).collect();
-            let report = test_executor_backprop(&mut wf, &mut rf, &feeds, "loss", 2).unwrap();
+            let report = test_executor_backprop(&mut *wf, &mut *rf, &feeds, "loss", 2).unwrap();
             assert!(
                 !report.gradient_norms.is_empty(),
                 "{name}: no parameter gradients compared"
@@ -92,8 +96,12 @@ fn wavefront_backprop_is_bit_identical_across_widths() {
 #[test]
 fn wavefront_gradients_match_reference_bitwise() {
     let (_, net, feeds) = zoo().remove(0);
-    let mut wf = WavefrontExecutor::new(net.clone_structure()).unwrap();
-    let mut rf = ReferenceExecutor::new(net).unwrap();
+    let wf = Engine::builder(net.clone_structure())
+        .executor(ExecutorKind::Wavefront)
+        .build()
+        .unwrap();
+    let rf = Engine::builder(net).build().unwrap();
+    let (mut wf, mut rf) = (wf.lock(), rf.lock());
     let feeds: Vec<(&str, Tensor)> = feeds.iter().map(|(n, t)| (*n, t.clone())).collect();
     wf.inference_and_backprop(&feeds, "loss").unwrap();
     rf.inference_and_backprop(&feeds, "loss").unwrap();
@@ -112,7 +120,11 @@ fn wavefront_gradients_match_reference_bitwise() {
 #[test]
 fn wavefront_is_deterministic_across_repeated_passes() {
     let (_, net, feeds) = zoo().remove(1);
-    let mut wf = WavefrontExecutor::new(net).unwrap();
+    let engine = Engine::builder(net)
+        .executor(ExecutorKind::Wavefront)
+        .build()
+        .unwrap();
+    let mut wf = engine.lock();
     let feeds: Vec<(&str, Tensor)> = feeds.iter().map(|(n, t)| (*n, t.clone())).collect();
     let first = wf.inference_and_backprop(&feeds, "loss").unwrap();
     for _ in 0..3 {
@@ -170,7 +182,12 @@ fn accountant_enforces_capacity_under_concurrency() {
 #[test]
 fn wavefront_respects_memory_limit() {
     let net = deep500_graph::models::mlp(64, &[64], 8, 1).unwrap();
-    let mut ex = WavefrontExecutor::with_memory_limit(net, 1024).unwrap();
+    let engine = Engine::builder(net)
+        .executor(ExecutorKind::Wavefront)
+        .memory_limit(1024)
+        .build()
+        .unwrap();
+    let mut ex = engine.lock();
     let err = ex
         .inference(&[
             ("x", Tensor::ones([4, 64])),

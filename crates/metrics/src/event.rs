@@ -27,6 +27,12 @@ pub enum Phase {
     Sampling,
     /// A distributed communication operation (allreduce, push/pull, ...).
     Communication,
+    /// One serving request, admission to reply; `id` is the request id.
+    Request,
+    /// Time a serving request spent queued before batch assembly.
+    Queue,
+    /// One assembled batch's execution; `id` is the batch sequence number.
+    Batch,
 }
 
 impl Phase {
@@ -41,6 +47,9 @@ impl Phase {
             Phase::Epoch => "Epoch",
             Phase::Sampling => "Sampling",
             Phase::Communication => "Communication",
+            Phase::Request => "Request",
+            Phase::Queue => "Queue",
+            Phase::Batch => "Batch",
         }
     }
 }

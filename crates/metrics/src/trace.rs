@@ -417,14 +417,20 @@ impl Event for TraceSink {
         }
         // Merge at coarse boundaries only: the per-operator hot path stays
         // lock-free, and the trace is still readable mid-run.
-        if matches!(phase, Phase::Inference | Phase::Backprop | Phase::Epoch) {
+        if matches!(
+            phase,
+            Phase::Inference | Phase::Backprop | Phase::Epoch | Phase::Request
+        ) {
             self.flush();
         }
     }
 
     fn span(&mut self, phase: Phase, id: usize, seconds: f64) {
         self.record_span_bytes(phase, id, seconds, 0);
-        if matches!(phase, Phase::Inference | Phase::Backprop | Phase::Epoch) {
+        if matches!(
+            phase,
+            Phase::Inference | Phase::Backprop | Phase::Epoch | Phase::Request
+        ) {
             self.flush();
         }
     }

@@ -1,0 +1,59 @@
+//! Typed serving failures.
+//!
+//! The server degrades gracefully under overload: admission queues are
+//! bounded, and a full queue rejects the request with
+//! [`ServeError::QueueFull`] instead of stalling the caller or growing
+//! without bound. Every other failure mode is equally typed so load
+//! generators and clients can distinguish back-pressure from bugs.
+
+use std::fmt;
+
+/// Why a serving request was not (or could not be) answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The model's admission queue is at capacity; retry later or shed
+    /// load. Carries the queue capacity for the client's back-off logic.
+    QueueFull {
+        /// Model whose queue rejected the request.
+        model: String,
+        /// The bounded queue's capacity.
+        capacity: usize,
+    },
+    /// No model registered under this name.
+    UnknownModel(String),
+    /// The server is shutting down (or has shut down); the request was
+    /// not executed.
+    Shutdown,
+    /// The request's feeds do not satisfy the model's interface: a
+    /// missing input, a per-sample tensor with the wrong trailing shape,
+    /// or inconsistent leading (row) dimensions.
+    BadRequest(String),
+    /// The executor failed while running the batch that contained this
+    /// request.
+    Execution(deep500_tensor::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { model, capacity } => {
+                write!(f, "queue full for model '{model}' (capacity {capacity})")
+            }
+            ServeError::UnknownModel(m) => write!(f, "unknown model '{m}'"),
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<deep500_tensor::Error> for ServeError {
+    fn from(e: deep500_tensor::Error) -> Self {
+        ServeError::Execution(e)
+    }
+}
+
+/// Serving-layer result.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,205 @@
+//! Closed- and open-loop load generators for [`Server`] benchmarking.
+//!
+//! Closed loop: `clients` threads each keep exactly one request in
+//! flight (submit, wait, repeat) — throughput self-limits to the
+//! server's service rate, the classic latency-vs-concurrency probe.
+//!
+//! Open loop: requests arrive on a Poisson process at a fixed offered
+//! rate regardless of completions (seeded exponential inter-arrivals, so
+//! runs are reproducible), which is what exposes queueing delay and
+//! back-pressure: when the offered rate exceeds capacity the bounded
+//! admission queue fills and the generator records typed
+//! [`QueueFull`](crate::ServeError::QueueFull) rejections instead of
+//! letting latency grow without bound.
+//!
+//! Latency is taken from each reply's worker-measured
+//! [`RequestTiming::total_s`](crate::RequestTiming::total_s) (admission →
+//! reply), so collector scheduling does not distort the tail.
+
+use crate::error::ServeError;
+use crate::server::Server;
+use deep500_tensor::rng::Xoshiro256StarStar;
+use deep500_tensor::Tensor;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What one load-generation run observed.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Requests the generator attempted to admit.
+    pub sent: usize,
+    /// Requests that came back with outputs.
+    pub completed: usize,
+    /// Requests bounced at admission with `QueueFull`.
+    pub rejected: usize,
+    /// Requests that failed any other way.
+    pub failed: usize,
+    /// Wall-clock of the whole run, seconds.
+    pub duration_s: f64,
+    /// Completed requests per second of wall-clock.
+    pub throughput_rps: f64,
+    /// Median admission-to-reply latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean rows per executor batch over the completed requests.
+    pub mean_batch_rows: f64,
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies_s: Vec<f64>,
+    batch_rows: Vec<usize>,
+    rejected: usize,
+    failed: usize,
+    sent: usize,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.latencies_s.extend(other.latencies_s);
+        self.batch_rows.extend(other.batch_rows);
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self.sent += other.sent;
+    }
+
+    fn summarize(mut self, duration_s: f64) -> LoadSummary {
+        self.latencies_s
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let completed = self.latencies_s.len();
+        let pct = |p: f64| -> f64 {
+            if self.latencies_s.is_empty() {
+                return 0.0;
+            }
+            let idx = ((p / 100.0) * (completed as f64 - 1.0)).round() as usize;
+            self.latencies_s[idx.min(completed - 1)] * 1e3
+        };
+        LoadSummary {
+            sent: self.sent,
+            completed,
+            rejected: self.rejected,
+            failed: self.failed,
+            duration_s,
+            throughput_rps: if duration_s > 0.0 {
+                completed as f64 / duration_s
+            } else {
+                0.0
+            },
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            mean_batch_rows: if completed > 0 {
+                self.batch_rows.iter().sum::<usize>() as f64 / completed as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn record(tally: &mut Tally, outcome: Result<crate::InferReply, ServeError>) {
+    match outcome {
+        Ok(reply) => {
+            tally.latencies_s.push(reply.timing.total_s);
+            tally.batch_rows.push(reply.timing.batch_rows);
+        }
+        Err(ServeError::QueueFull { .. }) => tally.rejected += 1,
+        Err(_) => tally.failed += 1,
+    }
+}
+
+/// Closed loop: `clients` threads, each submitting `per_client` requests
+/// back to back. `make_feeds` maps a global request index to that
+/// request's feeds.
+pub fn closed_loop(
+    server: &Server,
+    model: &str,
+    clients: usize,
+    per_client: usize,
+    make_feeds: impl Fn(usize) -> Vec<(String, Tensor)> + Sync,
+) -> LoadSummary {
+    let total = Mutex::new(Tally::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let total = &total;
+            let make_feeds = &make_feeds;
+            scope.spawn(move || {
+                let mut tally = Tally::default();
+                for i in 0..per_client {
+                    let feeds = make_feeds(c * per_client + i);
+                    let refs: Vec<(&str, Tensor)> =
+                        feeds.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+                    tally.sent += 1;
+                    record(&mut tally, server.infer(model, &refs));
+                }
+                total
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .absorb(tally);
+            });
+        }
+    });
+    let duration_s = start.elapsed().as_secs_f64();
+    total
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .summarize(duration_s)
+}
+
+/// Open loop: `total` requests offered at `rate_rps` with seeded
+/// exponential inter-arrival times. A dispatcher thread admits on
+/// schedule (never waiting for completions); a collector thread waits the
+/// tickets as they resolve.
+pub fn open_loop(
+    server: &Server,
+    model: &str,
+    rate_rps: f64,
+    total: usize,
+    seed: u64,
+    make_feeds: impl Fn(usize) -> Vec<(String, Tensor)> + Sync,
+) -> LoadSummary {
+    assert!(rate_rps > 0.0, "offered rate must be positive");
+    let start = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<crate::Ticket>();
+    let mut tally = Tally::default();
+    let collected = std::thread::scope(|scope| {
+        let collector = scope.spawn(move || {
+            let mut tally = Tally::default();
+            while let Ok(ticket) = rx.recv() {
+                record(&mut tally, ticket.wait());
+            }
+            tally
+        });
+
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut next_arrival = 0.0f64;
+        for i in 0..total {
+            // Exponential(rate) inter-arrival; 1-u keeps ln's argument in
+            // (0, 1].
+            let u = 1.0 - rng.next_f64();
+            next_arrival += -u.ln() / rate_rps;
+            let due = Duration::from_secs_f64(next_arrival);
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            let feeds = make_feeds(i);
+            let refs: Vec<(&str, Tensor)> =
+                feeds.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+            tally.sent += 1;
+            match server.submit(model, &refs) {
+                Ok(ticket) => tx.send(ticket).expect("collector alive"),
+                Err(outcome) => record(&mut tally, Err(outcome)),
+            }
+        }
+        drop(tx);
+        collector.join().expect("collector panicked")
+    });
+    tally.absorb(collected);
+    let duration_s = start.elapsed().as_secs_f64();
+    tally.summarize(duration_s)
+}

@@ -1,0 +1,260 @@
+//! End-to-end serving contract tests: batched replies are bit-identical
+//! to unbatched single-request execution, bounded queues reject with
+//! typed errors, interface violations are caught at admission, and
+//! non-batchable models cannot be put behind a dynamic policy.
+
+use deep500_graph::{models, Engine, ExecutorKind};
+use deep500_metrics::event::Phase;
+use deep500_metrics::trace::TraceRecorder;
+use deep500_serve::{BatchPolicy, ModelConfig, ServeError, Server};
+use deep500_tensor::Tensor;
+use std::time::Duration;
+
+const FEATURES: usize = 8;
+const CLASSES: usize = 4;
+const SEED: u64 = 11;
+
+fn mlp() -> deep500_graph::Network {
+    models::mlp(FEATURES, &[16, 12], CLASSES, SEED).unwrap()
+}
+
+/// Deterministic per-request feeds, distinct across request indices.
+fn request_feeds(i: usize) -> Vec<(String, Tensor)> {
+    let x: Vec<f32> = (0..FEATURES)
+        .map(|j| ((i * FEATURES + j) as f32 * 0.37).sin())
+        .collect();
+    vec![
+        ("x".to_string(), Tensor::from_vec([1, FEATURES], x).unwrap()),
+        (
+            "labels".to_string(),
+            Tensor::from_slice(&[(i % CLASSES) as f32]),
+        ),
+    ]
+}
+
+fn as_refs(feeds: &[(String, Tensor)]) -> Vec<(&str, Tensor)> {
+    feeds.iter().map(|(n, t)| (n.as_str(), t.clone())).collect()
+}
+
+fn dynamic_mlp(executor: ExecutorKind, max_batch: usize) -> ModelConfig {
+    ModelConfig::new(mlp())
+        .executor(executor)
+        .batched_input("x", &[FEATURES])
+        .batched_input("labels", &[])
+        .policy(BatchPolicy::Dynamic {
+            max_batch,
+            max_delay: Duration::from_millis(200),
+        })
+}
+
+#[test]
+fn batched_replies_are_bit_identical_to_single_request_execution() {
+    for executor in [ExecutorKind::Reference, ExecutorKind::Planned] {
+        let server = Server::builder()
+            .model("mlp", dynamic_mlp(executor, 4))
+            .build()
+            .unwrap();
+        // Submit a burst of four; the worker coalesces them (all four if
+        // it wins the race, fewer otherwise — correctness must not depend
+        // on the assembled batch size).
+        let tickets: Vec<_> = (0..4)
+            .map(|i| server.submit("mlp", &as_refs(&request_feeds(i))).unwrap())
+            .collect();
+        let replies: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+
+        // Ground truth: each request alone on a fresh engine of the same
+        // seeded network.
+        for (i, reply) in replies.iter().enumerate() {
+            let engine = Engine::builder(mlp()).executor(executor).build().unwrap();
+            let alone = engine.session().infer(&as_refs(&request_feeds(i))).unwrap();
+            assert_eq!(
+                reply.outputs["logits"].data(),
+                alone["logits"].data(),
+                "{executor:?}: request {i} logits diverged from solo execution"
+            );
+            assert!(
+                !reply.outputs.contains_key("loss"),
+                "batch-aggregate outputs must not be attributed to a request"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn dynamic_policy_coalesces_a_burst_into_fewer_passes() {
+    let server = Server::builder()
+        .model("mlp", dynamic_mlp(ExecutorKind::Reference, 8))
+        .build()
+        .unwrap();
+    let tickets: Vec<_> = (0..8)
+        .map(|i| server.submit("mlp", &as_refs(&request_feeds(i))).unwrap())
+        .collect();
+    let replies: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    let stats = server.stats("mlp").unwrap();
+    assert_eq!(stats.served, 8);
+    assert!(
+        stats.batches < 8,
+        "a 200ms assembly window must coalesce at least one pair out of \
+         a same-thread burst of 8 (got {} batches)",
+        stats.batches
+    );
+    let max_rows = replies.iter().map(|r| r.timing.batch_rows).max().unwrap();
+    assert!(
+        max_rows > 1,
+        "some reply should have ridden in a real batch"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bounded_queue_rejects_with_typed_error_and_shutdown_fails_the_rest() {
+    // Zero workers: admission-only, so overflow is deterministic.
+    let server = Server::builder()
+        .model(
+            "mlp",
+            dynamic_mlp(ExecutorKind::Reference, 4)
+                .workers(0)
+                .queue_capacity(2),
+        )
+        .build()
+        .unwrap();
+    let t0 = server.submit("mlp", &as_refs(&request_feeds(0))).unwrap();
+    let t1 = server.submit("mlp", &as_refs(&request_feeds(1))).unwrap();
+    let err = server
+        .submit("mlp", &as_refs(&request_feeds(2)))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::QueueFull {
+            model: "mlp".into(),
+            capacity: 2
+        }
+    );
+    let stats = server.stats("mlp").unwrap();
+    assert_eq!((stats.rejected, stats.queued), (1, 2));
+    server.shutdown();
+    // The queued-but-never-served requests fail typed, not hang.
+    assert_eq!(t0.wait().unwrap_err(), ServeError::Shutdown);
+    assert_eq!(t1.wait().unwrap_err(), ServeError::Shutdown);
+}
+
+#[test]
+fn unknown_model_and_interface_violations_are_rejected_at_admission() {
+    let server = Server::builder()
+        .model("mlp", dynamic_mlp(ExecutorKind::Reference, 4))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        server.submit("nope", &as_refs(&request_feeds(0))),
+        Err(ServeError::UnknownModel(_))
+    ));
+    // Missing input.
+    let missing = vec![("x".to_string(), Tensor::ones([1, FEATURES]))];
+    assert!(matches!(
+        server.submit("mlp", &as_refs(&missing)),
+        Err(ServeError::BadRequest(_))
+    ));
+    // Wrong trailing shape.
+    let bad = vec![
+        ("x".to_string(), Tensor::ones([1, FEATURES + 1])),
+        ("labels".to_string(), Tensor::from_slice(&[0.0])),
+    ];
+    assert!(matches!(
+        server.submit("mlp", &as_refs(&bad)),
+        Err(ServeError::BadRequest(_))
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn non_batchable_interface_cannot_go_behind_a_dynamic_policy() {
+    // Declaring x fixed leaves nothing to carry the batch dim, so the
+    // contract is not batchable; Dynamic must be refused at build...
+    let config = ModelConfig::new(mlp())
+        .fixed_input("x", &[2, FEATURES])
+        .fixed_input("labels", &[2])
+        .policy(BatchPolicy::Dynamic {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+        });
+    let err = Server::builder().model("mlp", config).build().unwrap_err();
+    assert!(matches!(err, ServeError::BadRequest(_)));
+
+    // ...while Single serves the very same interface fine, aggregates
+    // included.
+    let config = ModelConfig::new(mlp())
+        .fixed_input("x", &[2, FEATURES])
+        .fixed_input("labels", &[2]);
+    let server = Server::builder().model("mlp", config).build().unwrap();
+    let feeds = vec![
+        ("x".to_string(), Tensor::ones([2, FEATURES])),
+        ("labels".to_string(), Tensor::from_slice(&[0.0, 1.0])),
+    ];
+    let reply = server.infer("mlp", &as_refs(&feeds)).unwrap();
+    assert!(reply.outputs.contains_key("loss"));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_against_a_multi_worker_shard_all_get_their_rows() {
+    let server = Server::builder()
+        .model(
+            "mlp",
+            dynamic_mlp(ExecutorKind::Wavefront, 4)
+                .workers(2)
+                .queue_capacity(64),
+        )
+        .build()
+        .unwrap();
+    let n = 24;
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let server = &server;
+            scope.spawn(move || {
+                let reply = server.infer("mlp", &as_refs(&request_feeds(i))).unwrap();
+                let engine = Engine::builder(mlp()).build().unwrap();
+                let alone = engine.session().infer(&as_refs(&request_feeds(i))).unwrap();
+                assert_eq!(
+                    reply.outputs["logits"].data(),
+                    alone["logits"].data(),
+                    "request {i} got someone else's rows"
+                );
+            });
+        }
+    });
+    let stats = server.stats("mlp").unwrap();
+    assert_eq!((stats.served, stats.queued), (n, 0));
+    server.shutdown();
+}
+
+#[test]
+fn request_spans_flow_into_the_trace_recorder() {
+    let rec = TraceRecorder::new();
+    let server = Server::builder()
+        .model("mlp", dynamic_mlp(ExecutorKind::Reference, 4))
+        .trace(&rec)
+        .build()
+        .unwrap();
+    for i in 0..3 {
+        server.infer("mlp", &as_refs(&request_feeds(i))).unwrap();
+    }
+    server.shutdown();
+    for phase in [Phase::Request, Phase::Queue, Phase::Batch] {
+        assert!(
+            rec.phase_total_s(phase) >= 0.0,
+            "{phase:?} track missing from the trace"
+        );
+    }
+    let tracks = rec.tracks();
+    assert!(
+        tracks
+            .iter()
+            .any(|(name, spans)| name.starts_with("serve/mlp/")
+                && spans.iter().any(|s| s.phase == Phase::Request)),
+        "per-worker serve track with Request spans expected, got {:?}",
+        tracks.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+    );
+    deep500_metrics::trace::validate_chrome_trace(&rec.chrome_trace_json())
+        .expect("serve spans export as a valid chrome trace");
+}

@@ -236,9 +236,10 @@ mod tests {
     fn trains_a_network_end_to_end() {
         use crate::optimizer::train_step;
         use deep500_data::Minibatch;
-        use deep500_graph::{models, ReferenceExecutor};
+        use deep500_graph::{models, Engine};
         let net = models::mlp(8, &[16], 3, 21).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let mut o = StochasticLbfgs::new(0.05, 8);
         let mut x = Tensor::zeros([6, 8]);
         for i in 0..6 {
@@ -248,10 +249,10 @@ mod tests {
             x,
             labels: Tensor::from_slice(&[0.0, 1.0, 2.0, 0.0, 1.0, 2.0]),
         };
-        let first = train_step(&mut o, &mut ex, &mb).unwrap().loss;
+        let first = train_step(&mut o, &mut *ex, &mb).unwrap().loss;
         let mut last = first;
         for _ in 0..30 {
-            last = train_step(&mut o, &mut ex, &mb).unwrap().loss;
+            last = train_step(&mut o, &mut *ex, &mb).unwrap().loss;
         }
         assert!(last < first * 0.5, "L-BFGS training: {first} -> {last}");
     }

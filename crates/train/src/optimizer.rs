@@ -105,7 +105,7 @@ pub fn train_step(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deep500_graph::{models, ReferenceExecutor};
+    use deep500_graph::{models, Engine};
 
     /// Minimal update rule for trait-machinery tests: plain SGD.
     pub struct PlainSgd {
@@ -139,9 +139,10 @@ mod tests {
     fn train_step_updates_parameters_and_reports_loss() {
         let net = models::mlp(8, &[6], 3, 1).unwrap();
         let before = net.fetch_tensor("fc1.w").unwrap().clone();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let mut opt = PlainSgd { lr: 0.1 };
-        let r = train_step(&mut opt, &mut ex, &batch()).unwrap();
+        let r = train_step(&mut opt, &mut *ex, &batch()).unwrap();
         assert!(r.loss > 0.0 && r.loss.is_finite());
         assert!(r.accuracy.is_some());
         let after = ex.network().fetch_tensor("fc1.w").unwrap();
@@ -151,13 +152,14 @@ mod tests {
     #[test]
     fn repeated_steps_reduce_loss_on_a_fixed_batch() {
         let net = models::mlp(8, &[16], 3, 2).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let mut opt = PlainSgd { lr: 0.5 };
         let b = batch();
-        let first = train_step(&mut opt, &mut ex, &b).unwrap().loss;
+        let first = train_step(&mut opt, &mut *ex, &b).unwrap().loss;
         let mut last = first;
         for _ in 0..20 {
-            last = train_step(&mut opt, &mut ex, &b).unwrap().loss;
+            last = train_step(&mut opt, &mut *ex, &b).unwrap().loss;
         }
         assert!(
             last < first * 0.5,
@@ -177,8 +179,9 @@ mod tests {
             }
         }
         let net = models::mlp(8, &[], 3, 3).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
-        assert!(train_step(&mut Bad, &mut ex, &batch()).is_err());
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
+        assert!(train_step(&mut Bad, &mut *ex, &batch()).is_err());
     }
 
     #[test]

@@ -213,11 +213,11 @@ mod tests {
     use crate::sgd::GradientDescent;
     use deep500_data::sampler::ShuffleSampler;
     use deep500_data::synthetic::SyntheticDataset;
-    use deep500_graph::{models, ReferenceExecutor};
+    use deep500_graph::{models, Engine, GraphExecutor};
     use deep500_metrics::event::StopAfterIterations;
     use std::sync::Arc;
 
-    fn setup(seed: u64) -> (ReferenceExecutor, ShuffleSampler, ShuffleSampler) {
+    fn setup(seed: u64) -> (Box<dyn GraphExecutor>, ShuffleSampler, ShuffleSampler) {
         // A small MLP on a learnable synthetic task; the test set is a
         // disjoint holdout of the same distribution.
         let train_ds =
@@ -226,7 +226,7 @@ mod tests {
         let ds: Arc<dyn deep500_data::Dataset> = Arc::new(train_ds);
         let net = models::mlp(16, &[32], 4, seed).unwrap();
         (
-            ReferenceExecutor::new(net).unwrap(),
+            Engine::builder(net).build().unwrap().into_inner().unwrap(),
             ShuffleSampler::new(ds, 16, seed),
             ShuffleSampler::new(test, 32, seed),
         )
@@ -235,14 +235,14 @@ mod tests {
     #[test]
     fn training_improves_accuracy() {
         let (mut ex, mut train, mut test) = setup(5);
-        let initial = evaluate(&mut ex, &mut test).unwrap();
+        let initial = evaluate(&mut *ex, &mut test).unwrap();
         let mut runner = TrainingRunner::new(TrainingConfig {
             epochs: 8,
             ..Default::default()
         });
         let mut opt = GradientDescent::new(0.1);
         let log = runner
-            .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+            .run(&mut opt, &mut *ex, &mut train, Some(&mut test))
             .unwrap();
         let final_acc = log.final_test_accuracy().unwrap();
         assert!(
@@ -266,7 +266,7 @@ mod tests {
         });
         runner.add_event(Box::new(StopAfterIterations::new(3)));
         let mut opt = GradientDescent::new(0.05);
-        let log = runner.run(&mut opt, &mut ex, &mut train, None).unwrap();
+        let log = runner.run(&mut opt, &mut *ex, &mut train, None).unwrap();
         assert_eq!(log.step_losses.len(), 3);
         assert!(log.epochs_run < 100);
     }
@@ -281,7 +281,7 @@ mod tests {
         });
         let mut opt = GradientDescent::new(0.1);
         let log = runner
-            .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+            .run(&mut opt, &mut *ex, &mut train, Some(&mut test))
             .unwrap();
         assert!(log.time_to_accuracy.is_some(), "0.5 should be reachable");
         assert!(log.epochs_run < 30, "early exit on target");
@@ -298,7 +298,7 @@ mod tests {
         let recorder = TraceRecorder::new();
         runner.add_event(Box::new(recorder.sink("train")));
         let mut opt = GradientDescent::new(0.05);
-        let log = runner.run(&mut opt, &mut ex, &mut train, None).unwrap();
+        let log = runner.run(&mut opt, &mut *ex, &mut train, None).unwrap();
         // One sampling window per completed step (end-of-epoch None fetches
         // are not batches and are not logged).
         assert_eq!(log.sampling_times.len(), log.step_losses.len());
@@ -329,7 +329,7 @@ mod tests {
             epochs: 5,
             ..Default::default()
         });
-        let r = runner.run(&mut opt, &mut ex, &mut train, None);
+        let r = runner.run(&mut opt, &mut *ex, &mut train, None);
         assert!(matches!(r, Err(Error::Validation(_))), "{r:?}");
     }
 }

@@ -100,7 +100,7 @@ mod tests {
     use crate::sgd::GradientDescent;
     use deep500_data::sampler::{DatasetSampler, ShuffleSampler};
     use deep500_data::synthetic::SyntheticDataset;
-    use deep500_graph::{models, ReferenceExecutor};
+    use deep500_graph::{models, Engine, GraphExecutor};
     use std::sync::Arc;
 
     fn batches(n: usize, seed: u64) -> Vec<Minibatch> {
@@ -123,12 +123,10 @@ mod tests {
         out
     }
 
-    fn execs(seed: u64) -> (ReferenceExecutor, ReferenceExecutor) {
+    fn execs(seed: u64) -> (Box<dyn GraphExecutor>, Box<dyn GraphExecutor>) {
         let net = models::mlp(8, &[8], 3, seed).unwrap();
-        (
-            ReferenceExecutor::new(net.clone_structure()).unwrap(),
-            ReferenceExecutor::new(net).unwrap(),
-        )
+        let build = |n| Engine::builder(n).build().unwrap().into_inner().unwrap();
+        (build(net.clone_structure()), build(net))
     }
 
     #[test]
@@ -136,7 +134,8 @@ mod tests {
         let (mut ea, mut eb) = execs(1);
         let mut oa = GradientDescent::new(0.05);
         let mut ob = GradientDescent::new(0.05);
-        let log = compare_trajectories(&mut ea, &mut oa, &mut eb, &mut ob, &batches(5, 1)).unwrap();
+        let log =
+            compare_trajectories(&mut *ea, &mut oa, &mut *eb, &mut ob, &batches(5, 1)).unwrap();
         assert!(log.within(0.0), "bitwise identical trajectories");
         assert_eq!(log.total_l2.len(), 5);
     }
@@ -147,7 +146,7 @@ mod tests {
         let mut oa = GradientDescent::new(0.05);
         let mut ob = Adam::new(0.05);
         let log =
-            compare_trajectories(&mut ea, &mut oa, &mut eb, &mut ob, &batches(10, 2)).unwrap();
+            compare_trajectories(&mut *ea, &mut oa, &mut *eb, &mut ob, &batches(10, 2)).unwrap();
         assert!(log.final_total_l2() > 0.0);
         // Divergence at the end exceeds divergence after step 1 (chaotic
         // growth, Fig. 11's qualitative shape).
@@ -163,7 +162,8 @@ mod tests {
         let (mut ea, mut eb) = execs(3);
         let mut oa = GradientDescent::new(0.0500);
         let mut ob = GradientDescent::new(0.0501);
-        let log = compare_trajectories(&mut ea, &mut oa, &mut eb, &mut ob, &batches(5, 3)).unwrap();
+        let log =
+            compare_trajectories(&mut *ea, &mut oa, &mut *eb, &mut ob, &batches(5, 3)).unwrap();
         assert!(log.final_total_l2() > 0.0);
         assert!(
             log.final_total_l2() < 1.0,

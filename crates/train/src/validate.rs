@@ -133,7 +133,7 @@ mod tests {
     use crate::sgd::GradientDescent;
     use deep500_data::sampler::ShuffleSampler;
     use deep500_data::synthetic::SyntheticDataset;
-    use deep500_graph::{models, ReferenceExecutor};
+    use deep500_graph::{models, Engine};
     use std::sync::Arc;
 
     fn batches(n: usize, seed: u64) -> Vec<Minibatch> {
@@ -154,12 +154,14 @@ mod tests {
         // Momentum with mu = 0 must trace exactly the same trajectory as
         // plain gradient descent.
         let net = models::mlp(8, &[8], 3, 9).unwrap();
-        let mut ea = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut eb = ReferenceExecutor::new(net).unwrap();
+        let ga = Engine::builder(net.clone_structure()).build().unwrap();
+        let mut ea = ga.lock();
+        let gb = Engine::builder(net).build().unwrap();
+        let mut eb = gb.lock();
         let mut cand = Momentum::new(0.05, 0.0);
         let mut refr = GradientDescent::new(0.05);
         let report =
-            test_optimizer(&mut cand, &mut ea, &mut refr, &mut eb, &batches(4, 9)).unwrap();
+            test_optimizer(&mut cand, &mut *ea, &mut refr, &mut *eb, &batches(4, 9)).unwrap();
         assert!(report.passes(1e-6), "{:?}", report.param_norms);
         assert!(report.slowdown() > 0.0);
     }
@@ -167,12 +169,14 @@ mod tests {
     #[test]
     fn different_optimizers_fail_the_tolerance() {
         let net = models::mlp(8, &[8], 3, 10).unwrap();
-        let mut ea = ReferenceExecutor::new(net.clone_structure()).unwrap();
-        let mut eb = ReferenceExecutor::new(net).unwrap();
+        let ga = Engine::builder(net.clone_structure()).build().unwrap();
+        let mut ea = ga.lock();
+        let gb = Engine::builder(net).build().unwrap();
+        let mut eb = gb.lock();
         let mut cand = Adam::new(0.05);
         let mut refr = GradientDescent::new(0.05);
         let report =
-            test_optimizer(&mut cand, &mut ea, &mut refr, &mut eb, &batches(4, 10)).unwrap();
+            test_optimizer(&mut cand, &mut *ea, &mut refr, &mut *eb, &batches(4, 10)).unwrap();
         assert!(!report.passes(1e-9));
     }
 
@@ -183,13 +187,14 @@ mod tests {
         let test_ds: Arc<dyn deep500_data::Dataset> = Arc::new(train_src.holdout(64));
         let ds: Arc<dyn deep500_data::Dataset> = Arc::new(train_src);
         let net = models::mlp(16, &[32], 4, 13).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let mut train = ShuffleSampler::new(ds, 16, 1);
         let mut test = ShuffleSampler::new(test_ds, 32, 1);
         let mut opt = GradientDescent::new(0.1);
         let report = test_training(
             &mut opt,
-            &mut ex,
+            &mut *ex,
             &mut train,
             &mut test,
             TrainingConfig {
@@ -218,13 +223,14 @@ mod tests {
             14,
         ));
         let net = models::mlp(8, &[4], 3, 15).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let engine = Engine::builder(net).build().unwrap();
+        let mut ex = engine.lock();
         let mut train = ShuffleSampler::new(ds.clone(), 8, 1);
         let mut test = ShuffleSampler::new(ds, 8, 2);
         let mut opt = GradientDescent::new(0.001); // too slow to converge
         let report = test_training(
             &mut opt,
-            &mut ex,
+            &mut *ex,
             &mut train,
             &mut test,
             TrainingConfig {

@@ -28,6 +28,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aliasing;
+pub mod batch_contract;
 pub mod dataflow;
 pub mod ir;
 pub mod lint;
@@ -35,6 +36,7 @@ pub mod shape_pass;
 pub mod transform_safety;
 
 pub use aliasing::{AliasReport, LiveRange};
+pub use batch_contract::{batch_contract, BatchContract, BatchRole};
 pub use ir::{GraphIr, NodeIr};
 pub use lint::{Lint, LintCode, Severity, VerifyReport};
 pub use shape_pass::{SymDim, SymShape};

@@ -120,7 +120,8 @@ fn main() {
     net.add_node("mp", "MyMedianPool", Attributes::new(), &["a"], &["y"])
         .unwrap();
     net.add_output("y");
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let out = ex.inference(&[("x", x)]).unwrap();
     println!(
         "network with custom op produced output of shape {}",

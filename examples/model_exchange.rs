@@ -42,7 +42,9 @@ fn main() {
     let labels = Tensor::from_slice(&[0.0, 1.0, 2.0, 3.0]);
     let feeds = vec![("x", x), ("labels", labels)];
 
-    let mut reference = ReferenceExecutor::new(loaded).unwrap();
+    let reference_engine = Engine::builder(loaded).build().unwrap();
+
+    let mut reference = reference_engine.lock();
     let ref_out = reference.inference(&feeds).unwrap()["logits"].clone();
 
     let mut table = Table::new(

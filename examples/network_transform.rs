@@ -32,7 +32,8 @@ fn main() {
     let x = Tensor::rand_uniform(input_shape.clone(), -1.0, 1.0, &mut rng);
 
     // Original output + peak memory.
-    let mut ex = ReferenceExecutor::new(net.clone_structure()).unwrap();
+    let ex_engine = Engine::builder(net.clone_structure()).build().unwrap();
+    let mut ex = ex_engine.lock();
     let original = ex.inference(&[("x", x.clone())]).unwrap()["y"].clone();
     let peak_before = ex.peak_memory();
 
@@ -50,7 +51,8 @@ fn main() {
             deep500::metrics::report::fmt_bytes(r.workspace_after as u64)
         );
     }
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let transformed = ex.inference(&[("x", x)]).unwrap()["y"].clone();
     println!(
         "semantics preserved: {} | peak memory {} -> {}",
@@ -88,11 +90,13 @@ fn main() {
     net.add_output("y");
     let nodes_before = net.num_nodes();
     let x = Tensor::rand_uniform([4096], -2.0, 2.0, &mut rng);
-    let mut ex = ReferenceExecutor::new(net.clone_structure()).unwrap();
+    let ex_engine = Engine::builder(net.clone_structure()).build().unwrap();
+    let mut ex = ex_engine.lock();
     let before = ex.inference(&[("x", x.clone())]).unwrap()["y"].clone();
 
     let fused = fuse_elementwise(&mut net).unwrap();
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let after = ex.inference(&[("x", x)]).unwrap()["y"].clone();
     println!(
         "\nfused {fused} chain(s): {nodes_before} nodes -> {} node(s); outputs match: {}",

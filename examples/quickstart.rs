@@ -33,7 +33,8 @@ fn main() {
         net.get_params().len(),
         net.parameter_bytes()
     );
-    let mut executor = ReferenceExecutor::new(net).unwrap();
+    let executor_engine = Engine::builder(net).build().unwrap();
+    let mut executor = executor_engine.lock();
 
     // Level 2: shuffle sampler + momentum SGD + the training runner.
     let mut train_sampler = ShuffleSampler::new(Arc::new(train_ds), 32, SEED);
@@ -49,7 +50,7 @@ fn main() {
     let log = runner
         .run(
             &mut optimizer,
-            &mut executor,
+            &mut *executor,
             &mut train_sampler,
             Some(&mut test_sampler),
         )

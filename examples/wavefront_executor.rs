@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 fn train(kind: ExecutorKind, seed: u64) -> deep500::tensor::Result<(Vec<f32>, String)> {
     let net = models::lenet(1, 28, 10, seed)?;
-    let mut executor = kind.build(net)?;
+    let engine = Engine::builder(net).executor(kind).build()?;
+    let mut executor = engine.lock();
     let ds = SyntheticDataset::mnist_like(96, 7);
     let mut sampler = ShuffleSampler::new(Arc::new(ds), 16, 1);
     let mut opt = Momentum::new(0.02, 0.9);
@@ -20,7 +21,7 @@ fn train(kind: ExecutorKind, seed: u64) -> deep500::tensor::Result<(Vec<f32>, St
         epochs: 2,
         ..Default::default()
     });
-    let log = runner.run(&mut opt, executor.as_mut(), &mut sampler, None)?;
+    let log = runner.run(&mut opt, executor.executor(), &mut sampler, None)?;
     let losses = log.step_losses.iter().map(|&(_, loss)| loss).collect();
     Ok((losses, format!("{kind:?}")))
 }
@@ -52,7 +53,10 @@ fn main() -> deep500::tensor::Result<()> {
 
     // Peek at the pool: a standalone wavefront pass recycles its buffers.
     let net = models::lenet(1, 14, 4, seed)?;
-    let mut wf = WavefrontExecutor::new(net)?;
+    let engine = Engine::builder(net)
+        .executor(ExecutorKind::Wavefront)
+        .build()?;
+    let mut wf = engine.lock();
     let feeds = vec![
         ("x", Tensor::ones([2, 1, 14, 14])),
         ("labels", Tensor::from_slice(&[1.0, 3.0])),
@@ -60,7 +64,7 @@ fn main() -> deep500::tensor::Result<()> {
     for _ in 0..3 {
         wf.inference_and_backprop(&feeds, "loss")?;
     }
-    let stats = wf.pool_stats();
+    let stats = wf.buffer_pool_stats().expect("wavefront pools buffers");
     println!(
         "buffer pool after 3 passes: {} hits, {} misses, {} recycles, {} KiB parked",
         stats.hits,

@@ -26,14 +26,15 @@ fn every_backend_matches_the_reference_on_lenet() {
         let name = profile.name;
         let net = models::lenet(1, 16, 4, 31).unwrap();
         let mut fx = FrameworkExecutor::new(&net, profile).unwrap();
-        let mut rx = ReferenceExecutor::new(net).unwrap();
-        let report = test_executor(&mut fx, &mut rx, &feeds(31), 3).unwrap();
+        let rx_engine = Engine::builder(net).build().unwrap();
+        let mut rx = rx_engine.lock();
+        let report = test_executor(&mut fx, &mut *rx, &feeds(31), 3).unwrap();
         assert!(
             report.passes(1e-3),
             "{name} inference diverged: {:?}",
             report.output_norms
         );
-        let report = test_executor_backprop(&mut fx, &mut rx, &feeds(31), "loss", 2).unwrap();
+        let report = test_executor_backprop(&mut fx, &mut *rx, &feeds(31), "loss", 2).unwrap();
         assert!(
             report.passes(5e-3),
             "{name} gradients diverged: {:?}",
@@ -49,7 +50,8 @@ fn deep500_wrapped_training_matches_native_trajectory() {
     // as over the reference executor.
     let net = models::mlp(12, &[8], 3, 17).unwrap();
     let mut fx = FrameworkExecutor::new(&net, FrameworkProfile::caffe2()).unwrap();
-    let mut rx = ReferenceExecutor::new(net).unwrap();
+    let rx_engine = Engine::builder(net).build().unwrap();
+    let mut rx = rx_engine.lock();
     let ds: Arc<dyn Dataset> = Arc::new(SyntheticDataset::new(
         "xfw",
         Shape::new(&[12]),
@@ -65,7 +67,7 @@ fn deep500_wrapped_training_matches_native_trajectory() {
     }
     let mut cand = GradientDescent::new(0.05);
     let mut refr = GradientDescent::new(0.05);
-    let report = test_optimizer(&mut cand, &mut fx, &mut refr, &mut rx, &batches).unwrap();
+    let report = test_optimizer(&mut cand, &mut fx, &mut refr, &mut *rx, &batches).unwrap();
     assert!(report.passes(1e-4), "{:?}", report.param_norms);
 }
 
@@ -78,7 +80,8 @@ fn fused_and_composed_adam_reach_equal_accuracy() {
         let train_ds = SyntheticDataset::new("fvc", Shape::new(&[16]), 4, 256, 0.3, 23);
         let test_ds = train_ds.holdout(128);
         let net = models::mlp(16, &[24], 4, 23).unwrap();
-        let mut ex = ReferenceExecutor::new(net).unwrap();
+        let ex_engine = Engine::builder(net).build().unwrap();
+        let mut ex = ex_engine.lock();
         let mut train = ShuffleSampler::new(Arc::new(train_ds), 32, 5);
         let mut test = ShuffleSampler::new(Arc::new(test_ds), 64, 5);
         let mut runner = TrainingRunner::new(TrainingConfig {
@@ -88,12 +91,12 @@ fn fused_and_composed_adam_reach_equal_accuracy() {
         let log = if fused {
             let mut opt = FusedAdam::new(0.01);
             runner
-                .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+                .run(&mut opt, &mut *ex, &mut train, Some(&mut test))
                 .unwrap()
         } else {
             let mut opt = Adam::new(0.01);
             runner
-                .run(&mut opt, &mut ex, &mut train, Some(&mut test))
+                .run(&mut opt, &mut *ex, &mut train, Some(&mut test))
                 .unwrap()
         };
         log.final_test_accuracy().unwrap()
@@ -145,7 +148,8 @@ fn custom_op_participates_in_cross_framework_execution() {
         .unwrap();
     net.add_output("y");
     let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
-    let mut a = ReferenceExecutor::new(net.clone_structure()).unwrap();
+    let a_engine = Engine::builder(net.clone_structure()).build().unwrap();
+    let mut a = a_engine.lock();
     let mut b = FrameworkExecutor::new(&net, FrameworkProfile::tensorflow()).unwrap();
     let ya = a.inference(&[("x", x.clone())]).unwrap();
     let yb = b.inference(&[("x", x)]).unwrap();

@@ -41,7 +41,8 @@ fn record_pipeline_feeds_training() {
     let mut pipeline = RecordPipeline::new(reader, 64, true, 3);
 
     let net = models::lenet(3, 32, 10, 12).unwrap();
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let mut opt = GradientDescent::new(0.02);
     let mut losses = Vec::new();
     while let Some(batch) = pipeline.next_batch(16).unwrap() {
@@ -49,7 +50,7 @@ fn record_pipeline_feeds_training() {
             x: batch.x,
             labels: batch.labels,
         };
-        let r = deep500::train::train_step(&mut opt, &mut ex, &mb).unwrap();
+        let r = deep500::train::train_step(&mut opt, &mut *ex, &mb).unwrap();
         losses.push(r.loss);
     }
     assert!(
@@ -102,14 +103,15 @@ fn binfile_dataset_trains_like_synthetic() {
     let ds: Arc<dyn Dataset> =
         Arc::new(BinFileDataset::open(&path, 10, &StorageModel::local_ssd(), &clock).unwrap());
     let net = models::lenet(1, 28, 10, 10).unwrap();
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let mut sampler = ShuffleSampler::new(ds, 16, 4);
     let mut opt = GradientDescent::new(0.05);
     let mut runner = TrainingRunner::new(TrainingConfig {
         epochs: 1,
         ..Default::default()
     });
-    let log = runner.run(&mut opt, &mut ex, &mut sampler, None).unwrap();
+    let log = runner.run(&mut opt, &mut *ex, &mut sampler, None).unwrap();
     assert_eq!(log.step_losses.len(), 4);
     std::fs::remove_file(&path).ok();
 }
@@ -127,7 +129,8 @@ fn lossy_codec_preserves_labels_and_learnability() {
     let batch = pipeline.next_batch(128).unwrap().unwrap();
 
     let net = models::lenet(3, 32, 10, 13).unwrap();
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let mut opt = Momentum::new(0.02, 0.9);
     let mb = Minibatch {
         x: batch.x,
@@ -135,7 +138,7 @@ fn lossy_codec_preserves_labels_and_learnability() {
     };
     let mut final_acc = 0.0;
     for _ in 0..30 {
-        let r = deep500::train::train_step(&mut opt, &mut ex, &mb).unwrap();
+        let r = deep500::train::train_step(&mut opt, &mut *ex, &mb).unwrap();
         final_acc = r.accuracy.unwrap();
     }
     assert!(

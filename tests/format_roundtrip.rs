@@ -14,25 +14,27 @@ fn trained_model_survives_a_roundtrip() {
 
     // Train briefly.
     let net = models::mlp(10, &[12], 3, 41).unwrap();
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let mut sampler = ShuffleSampler::new(Arc::new(train_ds), 16, 1);
     let mut opt = GradientDescent::new(0.1);
     let mut runner = TrainingRunner::new(TrainingConfig {
         epochs: 3,
         ..Default::default()
     });
-    runner.run(&mut opt, &mut ex, &mut sampler, None).unwrap();
+    runner.run(&mut opt, &mut *ex, &mut sampler, None).unwrap();
 
     // Evaluate, save, reload, evaluate again: identical accuracy.
     let mut test_sampler = ShuffleSampler::new(test_arc.clone(), 32, 2);
-    let acc_before = deep500::train::runner::evaluate(&mut ex, &mut test_sampler).unwrap();
+    let acc_before = deep500::train::runner::evaluate(&mut *ex, &mut test_sampler).unwrap();
 
     let path = std::env::temp_dir().join("d5-roundtrip-integration.d5nx");
     format::save(ex.network(), &path).unwrap();
     let reloaded = format::load(&path).unwrap();
-    let mut ex2 = ReferenceExecutor::new(reloaded).unwrap();
+    let ex2_engine = Engine::builder(reloaded).build().unwrap();
+    let mut ex2 = ex2_engine.lock();
     let mut test_sampler = ShuffleSampler::new(test_arc, 32, 2);
-    let acc_after = deep500::train::runner::evaluate(&mut ex2, &mut test_sampler).unwrap();
+    let acc_after = deep500::train::runner::evaluate(&mut *ex2, &mut test_sampler).unwrap();
     assert_eq!(acc_before, acc_after, "bitwise identical evaluation");
     std::fs::remove_file(&path).ok();
 }
@@ -81,7 +83,8 @@ fn custom_ops_roundtrip_when_registered() {
     net.add_output("y");
     let bytes = format::encode(&net);
     let back = format::decode(&bytes).unwrap();
-    let mut ex = ReferenceExecutor::new(back).unwrap();
+    let ex_engine = Engine::builder(back).build().unwrap();
+    let mut ex = ex_engine.lock();
     let out = ex.inference(&[("x", Tensor::from_slice(&[4.0]))]).unwrap();
     assert_eq!(out["y"].data(), &[2.0]);
 }
@@ -108,8 +111,10 @@ fn microbatched_graph_roundtrips() {
     let back = format::decode(&format::encode(&net)).unwrap();
     // The transformed (Split/Conv*/Concat) graph still executes correctly.
     let x = Tensor::rand_uniform([16, 1, 8, 8], -1.0, 1.0, &mut rng);
-    let mut e1 = ReferenceExecutor::new(net).unwrap();
-    let mut e2 = ReferenceExecutor::new(back).unwrap();
+    let e1_engine = Engine::builder(net).build().unwrap();
+    let mut e1 = e1_engine.lock();
+    let e2_engine = Engine::builder(back).build().unwrap();
+    let mut e2 = e2_engine.lock();
     let y1 = e1.inference(&[("x", x.clone())]).unwrap();
     let y2 = e2.inference(&[("x", x)]).unwrap();
     assert_eq!(y1["y"], y2["y"]);

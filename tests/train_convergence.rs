@@ -6,12 +6,12 @@ use deep500::prelude::*;
 use deep500::train::TrainingConfig;
 use std::sync::Arc;
 
-fn scenario(seed: u64) -> (ReferenceExecutor, ShuffleSampler, ShuffleSampler) {
+fn scenario(seed: u64) -> (Box<dyn GraphExecutor>, ShuffleSampler, ShuffleSampler) {
     let train_ds = SyntheticDataset::new("conv-task", Shape::new(&[1, 12, 12]), 4, 192, 0.4, seed);
     let test_ds = train_ds.holdout(96);
     let net = models::lenet(1, 12, 4, seed).unwrap();
     (
-        ReferenceExecutor::new(net).unwrap(),
+        Engine::builder(net).build().unwrap().into_inner().unwrap(),
         ShuffleSampler::new(Arc::new(train_ds), 16, seed),
         ShuffleSampler::new(Arc::new(test_ds), 32, seed),
     )
@@ -24,7 +24,7 @@ fn train_with(opt: &mut dyn ThreeStepOptimizer, seed: u64) -> (f32, f32, f64) {
         ..Default::default()
     });
     let log = runner
-        .run(opt, &mut ex, &mut train, Some(&mut test))
+        .run(opt, &mut *ex, &mut train, Some(&mut test))
         .unwrap();
     let (first, last) = log.loss_endpoints().unwrap();
     (first, last, log.final_test_accuracy().unwrap())
@@ -99,14 +99,15 @@ fn resnet_like_model_trains_end_to_end() {
     use deep500::graph::models::resnet_like;
     let train_ds = SyntheticDataset::new("res-task", Shape::new(&[1, 8, 8]), 3, 96, 0.3, 9);
     let net = resnet_like(1, 8, 4, 2, 3, 9).unwrap();
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let engine = Engine::builder(net).build().unwrap();
+    let mut ex = engine.lock();
     let mut sampler = ShuffleSampler::new(Arc::new(train_ds), 12, 9);
     let mut opt = GradientDescent::new(0.02);
     let mut runner = TrainingRunner::new(TrainingConfig {
         epochs: 2,
         ..Default::default()
     });
-    let log = runner.run(&mut opt, &mut ex, &mut sampler, None).unwrap();
+    let log = runner.run(&mut opt, &mut *ex, &mut sampler, None).unwrap();
     let (first, last) = log.loss_endpoints().unwrap();
     assert!(last < first, "resnet loss {first} -> {last}");
 }

@@ -9,7 +9,7 @@
 
 use deep500::graph::network::Network;
 use deep500::graph::transforms::{fusion::fuse_elementwise, microbatch::microbatch_convolutions};
-use deep500::graph::{GraphExecutor, ReferenceExecutor};
+use deep500::graph::Engine;
 use deep500::ops::registry::Attributes;
 use deep500::tensor::{Shape, Tensor};
 use deep500::verify::transform_safety;
@@ -84,12 +84,14 @@ fn fusion_passes_the_transform_safety_harness() {
 #[test]
 fn fusion_result_still_executes_identically() {
     let x = Tensor::from_slice(&[-3.0, 0.0, 2.0]);
-    let mut r = ReferenceExecutor::new(chain_net()).unwrap();
+    let r_engine = Engine::builder(chain_net()).build().unwrap();
+    let mut r = r_engine.lock();
     let expect = r.inference(&[("x", x.clone())]).unwrap()["y"].clone();
     let mut net = chain_net();
     fuse_elementwise(&mut net).unwrap();
     // The constructor re-runs the structural gate over the fused graph.
-    let mut ex = ReferenceExecutor::new(net).unwrap();
+    let ex_engine = Engine::builder(net).build().unwrap();
+    let mut ex = ex_engine.lock();
     let got = ex.inference(&[("x", x)]).unwrap()["y"].clone();
     assert!(expect.approx_eq(&got, 1e-6));
 }
