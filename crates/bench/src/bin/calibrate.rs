@@ -49,6 +49,10 @@ fn main() {
         ConvAlgorithm::Winograd,
     ] {
         let op = Conv2dOp::new(c.stride, c.pad, algo);
+        // Untimed warm-up: the first call pays first-touch of the input,
+        // filter packing, and scratch growth — without it the tier that
+        // happens to run first looks slower than it is.
+        let _ = op.forward(&[&x, &w, &bias]).unwrap();
         let t = Timer::start();
         let _ = op.forward(&[&x, &w, &bias]).unwrap();
         println!(

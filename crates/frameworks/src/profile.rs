@@ -121,11 +121,7 @@ impl FrameworkProfile {
 
     /// The conv algorithm name as a registry attribute value.
     pub fn conv_algo_attr(&self) -> &'static str {
-        match self.conv_algo {
-            ConvAlgorithm::Direct => "direct",
-            ConvAlgorithm::Im2col => "im2col",
-            ConvAlgorithm::Winograd => "winograd",
-        }
+        self.conv_algo.attr_name()
     }
 
     /// The GEMM algorithm name as a registry attribute value.

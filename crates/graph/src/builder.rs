@@ -70,10 +70,12 @@ impl NetworkBuilder {
         }
     }
 
-    /// Convolution layer (`algorithm` from the registry: "direct",
-    /// "im2col", "winograd").
+    /// Convolution layer. Defaults to `algorithm = "auto"`: the tier
+    /// (direct / im2col / winograd) is resolved per shape — at compile
+    /// time by the layout pass, else per call by the operator. Use
+    /// [`Self::conv_with_algo`] to pin a tier explicitly.
     pub fn conv(mut self, out_c: usize, kernel: usize, stride: usize, pad: usize) -> Self {
-        self.conv_impl(out_c, kernel, stride, pad, "im2col");
+        self.conv_impl(out_c, kernel, stride, pad, "auto");
         self
     }
 

@@ -6,24 +6,30 @@
 //! buffers from a dynamic pool, and dispatches whatever nodes the graph
 //! happens to contain. This module moves that work ahead of time:
 //!
-//! 1. **IR optimization passes** ([`passes`]) — constant folding and
+//! 1. **Convolution layout selection** ([`layout`]) — every `auto` conv's
+//!    execution tier is pinned from statically inferred shapes, and on the
+//!    direct tier the filter's blocked-layout packing is hoisted into a
+//!    `PackConv2dFilter` node that the constant folder then materializes
+//!    into the value store (eliding the conversion from the runtime graph
+//!    entirely).
+//! 2. **IR optimization passes** ([`passes`]) — constant folding and
 //!    common-subexpression elimination over the [`Network`], each gated by
 //!    the transform-safety diff harness
 //!    ([`deep500_verify::transform_safety`]): a pass that drifts the
 //!    observable interface, a parameter, or a surviving tensor's shape is
 //!    rejected, not executed.
-//! 2. **Generalized fusion** — producer→consumer fusion into GEMM epilogues
+//! 3. **Generalized fusion** — producer→consumer fusion into GEMM epilogues
 //!    ([`crate::transforms::fusion::fuse_gemm_epilogues`]): a
-//!    `Linear`/`MatMul` followed by a single-consumer `Relu` collapses into
-//!    one node whose packed-microkernel write-back applies the activation
-//!    (zero extra memory traffic), plus the existing elementwise-chain
-//!    fusion.
-//! 3. **Ahead-of-time memory plan** ([`plan::MemoryPlan`]) — greedy
+//!    `Linear`/`MatMul`/`Conv2d` followed by a single-consumer `Relu`
+//!    collapses into one node whose packed-microkernel write-back applies
+//!    the activation (zero extra memory traffic), plus the existing
+//!    elementwise-chain fusion.
+//! 4. **Ahead-of-time memory plan** ([`plan::MemoryPlan`]) — greedy
 //!    interval coloring over the live-range interference graph yields a
 //!    static buffer assignment, provably ≥ the verifier's
 //!    `pool_lower_bound` and checked ≤ the pooled executor's observed
 //!    peak.
-//! 4. **Pre-scheduled wavefront** ([`plan::ExecutionPlan`] +
+//! 5. **Pre-scheduled wavefront** ([`plan::ExecutionPlan`] +
 //!    [`planned::PlannedExecutor`]) — the level partition is frozen into
 //!    per-level dispatch lists over integer tensor ids, so execution stops
 //!    recomputing readiness and stops hashing tensor names each pass.
@@ -33,6 +39,7 @@
 //! contract in `deep500_ops::gemm::packed`), and the planned executor
 //! reuses the wavefront's deterministic gradient-fold order.
 
+pub mod layout;
 pub mod passes;
 pub mod plan;
 pub mod planned;
@@ -45,10 +52,14 @@ use crate::transforms::fusion;
 use deep500_tensor::{Error, Result, Shape};
 
 /// Which passes the compile driver runs, in its fixed order:
-/// constant folding → CSE → elementwise-chain fusion → GEMM-epilogue
-/// fusion.
+/// conv layout selection → constant folding → CSE → elementwise-chain
+/// fusion → GEMM-epilogue fusion.
 #[derive(Debug, Clone)]
 pub struct CompileOptions {
+    /// Pin each convolution's execution tier from static shapes and (with
+    /// `freeze_params`) hoist direct-tier filter packing out of the hot
+    /// path. Runs first so the constant folder can elide the pack nodes.
+    pub layout: bool,
     /// Fold nodes whose inputs are all compile-time constants.
     pub const_fold: bool,
     /// Treat parameters as constants when folding. Off for training:
@@ -68,6 +79,7 @@ impl CompileOptions {
     /// epilogues. For inference-only deployment.
     pub fn inference() -> Self {
         CompileOptions {
+            layout: true,
             const_fold: true,
             freeze_params: true,
             cse: true,
@@ -82,6 +94,7 @@ impl CompileOptions {
     /// standalone `Relu` node).
     pub fn training() -> Self {
         CompileOptions {
+            layout: true,
             const_fold: false,
             freeze_params: false,
             cse: true,
@@ -100,6 +113,10 @@ impl Default for CompileOptions {
 /// What the compile driver did to the graph.
 #[derive(Debug, Clone, Default)]
 pub struct CompileReport {
+    /// Convolutions whose `algorithm` attribute was pinned to a tier.
+    pub conv_retagged: usize,
+    /// Convolutions switched to ahead-of-time packed filters.
+    pub filters_packed: usize,
     /// Nodes folded to constants.
     pub folded: usize,
     /// Duplicate nodes merged by CSE.
@@ -116,7 +133,12 @@ pub struct CompileReport {
 impl CompileReport {
     /// Total rewrites applied.
     pub fn rewrites(&self) -> usize {
-        self.folded + self.merged + self.fused_elementwise + self.fused_epilogues
+        self.conv_retagged
+            + self.filters_packed
+            + self.folded
+            + self.merged
+            + self.fused_elementwise
+            + self.fused_epilogues
     }
 }
 
@@ -167,6 +189,15 @@ pub fn compile(
         ..CompileReport::default()
     };
 
+    if opts.layout {
+        let before = net.to_ir();
+        let lr = layout::select_conv_layouts(net, input_shapes, opts.freeze_params)?;
+        report.conv_retagged = lr.retagged;
+        report.filters_packed = lr.packed;
+        if lr.rewrites() > 0 {
+            gate_pass("layout", &before, net, input_shapes)?;
+        }
+    }
     if opts.const_fold {
         let before = net.to_ir();
         report.folded = passes::constant_fold(net, opts.freeze_params)?;

@@ -37,7 +37,7 @@ use std::sync::Arc;
 /// What a forward worker hands back: outputs, unconsumed slot buffers,
 /// wall-clock seconds, declared FLOPs, and bytes moved.
 type SlotBufs = Vec<(usize, Vec<f32>)>;
-type ForwardProduct = (Vec<Tensor>, SlotBufs, f64, f64, u64);
+type ForwardProduct = (Vec<Tensor>, SlotBufs, f64, f64, u64, Option<String>);
 type BackwardProduct = Option<(Vec<Tensor>, f64)>;
 
 /// One memoized compiled plan: the frozen schedule plus its static slot
@@ -334,7 +334,14 @@ impl PlannedExecutor {
                     for t in &outputs {
                         memory.allocate(t.size_bytes())?;
                     }
-                    Ok((outputs, leftovers, seconds, flops, bytes))
+                    Ok((
+                        outputs,
+                        leftovers,
+                        seconds,
+                        flops,
+                        bytes,
+                        op.annotation(&shapes),
+                    ))
                 };
                 let results: Vec<Result<ForwardProduct>> = if jobs.len() == 1 {
                     let (step, bufs) = jobs.into_iter().next().expect("one job");
@@ -345,12 +352,11 @@ impl PlannedExecutor {
                         .collect()
                 };
                 for (step, result) in group.iter().zip(results) {
-                    let (outputs, leftovers, seconds, flops, bytes) = result?;
+                    let (outputs, leftovers, seconds, flops, bytes, note) = result?;
                     events.span(Phase::OperatorForward, step.node.0, seconds);
-                    op_totals
-                        .entry(step.node.0)
-                        .or_default()
-                        .record_forward(seconds, flops, bytes);
+                    let totals = op_totals.entry(step.node.0).or_default();
+                    totals.record_note(note);
+                    totals.record_forward(seconds, flops, bytes);
                     for (&oid, tensor) in step.outputs.iter().zip(outputs) {
                         env[oid] = Some(tensor);
                     }

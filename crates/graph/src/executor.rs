@@ -158,6 +158,10 @@ pub struct OpTotals {
     pub forward_s: f64,
     /// Total backward wall time, seconds.
     pub backward_s: f64,
+    /// The operator's self-reported dispatch annotation (e.g. a conv's
+    /// resolved tier, [`Operator::annotation`]), captured on the first
+    /// forward call; `None` for ops that report nothing.
+    pub note: Option<String>,
 }
 
 impl OpTotals {
@@ -166,6 +170,14 @@ impl OpTotals {
         self.forward_s += seconds;
         self.flops_per_call = flops;
         self.bytes_per_call = bytes;
+    }
+
+    /// Store the dispatch note from the first forward call (later calls
+    /// resolve identically — shapes are fixed per node).
+    pub(crate) fn record_note(&mut self, note: Option<String>) {
+        if self.note.is_none() {
+            self.note = note;
+        }
     }
 
     pub(crate) fn record_backward(&mut self, seconds: f64) {
@@ -243,6 +255,7 @@ pub trait GraphExecutor: Send {
                 backward_s: t.backward_s,
                 flops_per_call: t.flops_per_call,
                 bytes_per_call: t.bytes_per_call,
+                note: t.note.unwrap_or_default(),
             })
             .collect();
         rows.sort_by(|a, b| {
@@ -254,14 +267,21 @@ pub trait GraphExecutor: Send {
         rows
     }
 
-    /// Register node names and per-call FLOP/byte figures with a trace
-    /// recorder, so operator spans export with real names and attribute
-    /// GFLOP/s and bytes moved.
+    /// Register node names, per-call FLOP/byte figures, and dispatch
+    /// notes with a trace recorder, so operator spans export with real
+    /// names, attribute GFLOP/s and bytes moved, and carry dispatch
+    /// decisions (e.g. a conv's resolved tier) in their `args.detail`.
     fn annotate_trace(&self, recorder: &TraceRecorder) {
         let totals = self.op_totals();
         for (id, node) in self.network().nodes() {
             let t = totals.get(&id.0).cloned().unwrap_or_default();
-            recorder.annotate(id.0, node.name.clone(), t.flops_per_call, t.bytes_per_call);
+            recorder.annotate_with_note(
+                id.0,
+                node.name.clone(),
+                t.flops_per_call,
+                t.bytes_per_call,
+                t.note.unwrap_or_default(),
+            );
         }
     }
 }
@@ -373,10 +393,11 @@ impl ReferenceExecutor {
             let outputs = op.forward(&input_refs)?;
             let seconds = start.elapsed().as_secs_f64();
             self.events.end(Phase::OperatorForward, id.0);
-            self.op_totals
-                .entry(id.0)
-                .or_default()
-                .record_forward(seconds, flops, bytes);
+            let totals = self.op_totals.entry(id.0).or_default();
+            if totals.forward_calls == 0 {
+                totals.record_note(op.annotation(&shapes));
+            }
+            totals.record_forward(seconds, flops, bytes);
 
             self.memory.release(workspace);
             for (tensor, name) in outputs.into_iter().zip(&node.outputs) {
@@ -828,5 +849,48 @@ mod tests {
             .unwrap();
         // y = [3, 1]; loss = (9+1)/2 = 5
         assert!((out["loss"].data()[0] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv_attribution_rows_carry_the_resolved_tier() {
+        let net = crate::models::lenet(1, 28, 10, 5).unwrap();
+        let mut ex = ReferenceExecutor::construct(net, usize::MAX).unwrap();
+        let feeds = [
+            ("x", Tensor::ones([1, 1, 28, 28])),
+            ("labels", Tensor::from_slice(&[0.0])),
+        ];
+        ex.inference(&feeds).unwrap();
+        let conv_notes: Vec<String> = ex
+            .op_attribution()
+            .into_iter()
+            .filter(|r| r.name.starts_with("conv"))
+            .map(|r| r.note)
+            .collect();
+        assert_eq!(conv_notes.len(), 2, "both LeNet convs attributed");
+        for note in &conv_notes {
+            assert!(
+                note.starts_with("tier="),
+                "conv attribution note must name the dispatch tier, got '{note}'"
+            );
+        }
+
+        // The note rides into the trace recorder and the Chrome export's
+        // span args.
+        let recorder = deep500_metrics::trace::TraceRecorder::new();
+        let conv_id = ex
+            .network()
+            .nodes()
+            .find(|(_, n)| n.op_type == "Conv2d")
+            .expect("lenet has convs")
+            .0;
+        let mut sink = recorder.sink("t0");
+        sink.span(deep500_metrics::Phase::OperatorForward, conv_id.0, 0.001);
+        drop(sink);
+        ex.annotate_trace(&recorder);
+        let json = recorder.chrome_trace_json();
+        assert!(
+            json.contains("\"detail\":\"tier="),
+            "chrome export must carry the tier note: {json}"
+        );
     }
 }

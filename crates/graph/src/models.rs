@@ -51,10 +51,10 @@ pub fn mlp(features: usize, hidden: &[usize], classes: usize, seed: u64) -> Resu
 /// not ImageNet accuracy).
 pub fn alexnet_like(in_c: usize, hw: usize, classes: usize, seed: u64) -> Result<Network> {
     NetworkBuilder::image_input("alexnet", in_c, hw, hw, seed)
-        .conv_with_algo(16, 5, 2, 2, "im2col")
+        .conv_with_algo(16, 5, 2, 2, "auto")
         .relu()
         .maxpool(2, 2)
-        .conv_with_algo(32, 3, 1, 1, "im2col")
+        .conv_with_algo(32, 3, 1, 1, "auto")
         .relu()
         .maxpool(2, 2)
         .flatten()
@@ -99,7 +99,10 @@ pub fn resnet_like(
         net.add_node(
             name,
             "Conv2d",
-            Attributes::new().with_int("stride", 1).with_int("pad", 1),
+            Attributes::new()
+                .with_int("stride", 1)
+                .with_int("pad", 1)
+                .with_str("algorithm", "auto"),
             &[input, &wname, &bname],
             &[output],
         )?;

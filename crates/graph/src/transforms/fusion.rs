@@ -283,13 +283,15 @@ fn fuse_elementwise_inner(net: &mut Network) -> Result<usize> {
 }
 
 /// Fold single-consumer `Relu`s into the write-back epilogue of their
-/// producing GEMM node (`Linear` or `MatMul`). The pair collapses into one
-/// node carrying `epilogue = "relu"`, which the operator registry lowers
-/// onto the packed microkernel's epilogue hook
+/// producing GEMM-backed node (`Linear`, `MatMul`, or `Conv2d`). The pair
+/// collapses into one node carrying `epilogue = "relu"`, which the operator
+/// registry lowers onto the packed microkernel's epilogue hook
 /// (`deep500_ops::gemm::Epilogue`): the activation is applied to each
 /// output tile while it is still register-resident, so the intermediate
-/// pre-activation tensor is never written to memory at all. Returns the
-/// number of pairs fused.
+/// pre-activation tensor is never written to memory at all. (On the
+/// direct convolution tier the bias ride-along makes this a single fused
+/// bias+ReLU write-back; the other conv tiers apply the identical values
+/// in a separate in-place pass.) Returns the number of pairs fused.
 ///
 /// Eligibility mirrors [`fuse_elementwise`]: the GEMM's output must have
 /// exactly one consumer, must not be a declared graph output (the
@@ -303,7 +305,7 @@ pub fn fuse_gemm_epilogues(net: &mut Network) -> Result<usize> {
     loop {
         let mut pair: Option<(NodeId, NodeId)> = None;
         'search: for (id, node) in net.nodes() {
-            if node.op_type != "Linear" && node.op_type != "MatMul" {
+            if node.op_type != "Linear" && node.op_type != "MatMul" && node.op_type != "Conv2d" {
                 continue;
             }
             if !node.attrs.str_or("epilogue", "").is_empty() {

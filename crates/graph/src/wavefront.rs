@@ -55,7 +55,7 @@ type BackwardProduct = Option<(Vec<Tensor>, f64)>;
 
 /// What a forward worker hands back: outputs, wall-clock seconds, declared
 /// FLOPs, and bytes moved by the call.
-type ForwardProduct = (Vec<Tensor>, f64, f64, u64);
+type ForwardProduct = (Vec<Tensor>, f64, f64, u64, Option<String>);
 
 /// Executor selection for components that construct executors from
 /// configuration (training recipes, distributed runners, benchmarks).
@@ -369,7 +369,7 @@ impl WavefrontExecutor {
                     for t in &outputs {
                         memory.allocate(t.size_bytes())?;
                     }
-                    Ok((outputs, seconds, flops, bytes))
+                    Ok((outputs, seconds, flops, bytes, op.annotation(&shapes)))
                 };
                 let results: Vec<Result<ForwardProduct>> = if group.len() == 1 {
                     vec![run(group[0])]
@@ -377,12 +377,11 @@ impl WavefrontExecutor {
                     group.par_iter().map(|&id| run(id)).collect()
                 };
                 for (&id, result) in group.iter().zip(results) {
-                    let (outputs, seconds, flops, bytes) = result?;
+                    let (outputs, seconds, flops, bytes, note) = result?;
                     self.events.span(Phase::OperatorForward, id.0, seconds);
-                    self.op_totals
-                        .entry(id.0)
-                        .or_default()
-                        .record_forward(seconds, flops, bytes);
+                    let totals = self.op_totals.entry(id.0).or_default();
+                    totals.record_note(note);
+                    totals.record_forward(seconds, flops, bytes);
                     let node = self.network.node(id).expect("live node");
                     for (tensor, name) in outputs.into_iter().zip(node.outputs.clone()) {
                         env.insert(name, tensor);

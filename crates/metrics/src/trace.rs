@@ -56,6 +56,10 @@ pub struct OpInfo {
     pub flops_per_call: f64,
     /// Bytes moved (inputs + outputs) by one forward call.
     pub bytes_per_call: u64,
+    /// Free-form operator annotation (e.g. a convolution's resolved
+    /// execution tier, `"tier=direct+relu prepacked"`); empty when the
+    /// operator reports none.
+    pub note: String,
 }
 
 /// One row of the per-operator attribution table.
@@ -77,6 +81,9 @@ pub struct OpAttribution {
     pub flops_per_call: f64,
     /// Bytes moved by one forward call.
     pub bytes_per_call: u64,
+    /// Operator annotation (dispatch decisions such as a conv's resolved
+    /// tier); empty when unannotated.
+    pub note: String,
 }
 
 impl OpAttribution {
@@ -157,12 +164,27 @@ impl TraceRecorder {
         flops_per_call: f64,
         bytes_per_call: u64,
     ) {
+        self.annotate_with_note(id, name, flops_per_call, bytes_per_call, "");
+    }
+
+    /// [`Self::annotate`] with an operator note (e.g. the dispatch tier a
+    /// convolution resolved to). The note rides along into attribution
+    /// rows and the Chrome export's span `args.detail`.
+    pub fn annotate_with_note(
+        &self,
+        id: usize,
+        name: impl Into<String>,
+        flops_per_call: f64,
+        bytes_per_call: u64,
+        note: impl Into<String>,
+    ) {
         self.shared.ops.lock().expect("trace ops poisoned").insert(
             id,
             OpInfo {
                 name: name.into(),
                 flops_per_call,
                 bytes_per_call,
+                note: note.into(),
             },
         );
     }
@@ -223,6 +245,7 @@ impl TraceRecorder {
                         id: s.id,
                         flops_per_call: info.flops_per_call,
                         bytes_per_call: info.bytes_per_call,
+                        note: info.note,
                         ..OpAttribution::default()
                     }
                 });
@@ -333,6 +356,9 @@ impl TraceRecorder {
                     }
                     if i.bytes_per_call > 0 {
                         args.push(format!("\"bytes_moved\":{}", i.bytes_per_call));
+                    }
+                    if !i.note.is_empty() {
+                        args.push(format!("\"detail\":\"{}\"", escape_json(&i.note)));
                     }
                 }
                 out.push_str(&format!(",\"args\":{{{}}}}}", args.join(",")));

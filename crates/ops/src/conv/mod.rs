@@ -4,34 +4,75 @@
 //! computed using different methods, e.g., im2col or Winograd"; the Level-1
 //! micro-batch experiment even assigns *different* algorithms to different
 //! micro-batch sizes (Fig. 7). We implement three interchangeable
-//! algorithms:
+//! algorithms plus an automatic selector:
 //!
-//! * [`ConvAlgorithm::Direct`] — seven-loop direct convolution,
-//!   parallelized over images,
-//! * [`ConvAlgorithm::Im2col`] — lowering to GEMM (the "implicit precompute
-//!   GEMM" of the paper's figure), sharing the Level-0 GEMM kernels,
+//! * [`ConvAlgorithm::Direct`] — the fast tier ([`direct`]): implicit-GEMM
+//!   convolution in an NCHWc blocked layout driving the packed SIMD GEMM
+//!   microkernel, with weights pre-packed once per op instance (or ahead
+//!   of time by the graph compiler), the activation layout conversion
+//!   fused into the panel-packing gather, and bias/ReLU folded into the
+//!   GEMM write-back via [`Epilogue`](crate::gemm::Epilogue),
+//! * [`ConvAlgorithm::Im2col`] — lowering to GEMM through a materialized
+//!   whole-image column buffer (the "explicit precompute GEMM" of the
+//!   paper's figure), sharing the Level-0 GEMM kernels,
 //! * [`ConvAlgorithm::Winograd`] — F(2×2, 3×3) Winograd for stride-1 3×3
 //!   kernels (falls back to im2col otherwise), with genuinely different
 //!   floating-point rounding, which is what makes the paper's ℓ∞
-//!   cross-implementation comparisons non-trivial.
+//!   cross-implementation comparisons non-trivial,
+//! * [`ConvAlgorithm::Auto`] — per-shape heuristic selection (3×3 stride-1
+//!   with deep channels → Winograd; anything with enough reduction depth
+//!   and output width to feed the microkernel → Direct; tiny problems →
+//!   Im2col), reported through [`Operator::annotation`] so per-op trace
+//!   attribution records which tier actually ran.
 //!
 //! Inputs follow ONNX `Conv`: `X [N,C,H,W]`, `W [Cout,Cin,kh,kw]`,
-//! `B [Cout]`.
+//! `B [Cout]` — or, when the graph compiler's layout pass has pre-packed
+//! the filter (`weights_packed` attribute), the rank-1 blocked image
+//! produced by [`direct::PackConv2dFilterOp`].
 
+pub mod direct;
 pub mod winograd;
 
-use crate::gemm;
+use crate::gemm::{self, packed::NR};
 use crate::operator::Operator;
 use deep500_tensor::{Error, Result, Shape, Tensor};
+use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Convolution algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConvAlgorithm {
+    /// Pick per shape: Winograd for deep 3×3 stride-1, Direct for
+    /// anything microkernel-friendly, Im2col as the fallback.
+    Auto,
     Direct,
     #[default]
     Im2col,
     Winograd,
+}
+
+impl ConvAlgorithm {
+    /// The registry `algorithm` attribute value naming this variant.
+    pub fn attr_name(self) -> &'static str {
+        match self {
+            ConvAlgorithm::Auto => "auto",
+            ConvAlgorithm::Direct => "direct",
+            ConvAlgorithm::Im2col => "im2col",
+            ConvAlgorithm::Winograd => "winograd",
+        }
+    }
+
+    /// Parse a registry `algorithm` attribute value (unknown → Im2col,
+    /// matching the registry's historical default).
+    pub fn parse(s: &str) -> ConvAlgorithm {
+        match s {
+            "auto" => ConvAlgorithm::Auto,
+            "direct" => ConvAlgorithm::Direct,
+            "winograd" => ConvAlgorithm::Winograd,
+            _ => ConvAlgorithm::Im2col,
+        }
+    }
 }
 
 /// Resolved convolution dimensions:
@@ -71,11 +112,35 @@ impl ConvGeometry {
     }
 }
 
+/// Memoized packed filter keyed by the weight tensor's content-version
+/// stamp ([`Tensor::version`]): O(1) per call, and sound even when the
+/// buffer pool recycles a freed parameter allocation at the same address
+/// — a recycled buffer is a new construction with a fresh stamp.
+#[derive(Debug, Default)]
+struct FilterCache {
+    version: u64,
+    packed: Option<Arc<direct::PackedFilter>>,
+}
+
 /// The 2-D convolution operator.
 #[derive(Debug, Clone)]
 pub struct Conv2dOp {
     pub geometry: ConvGeometry,
     pub algo: ConvAlgorithm,
+    /// Fold `max(x, 0)` into the write-back (installed by the graph
+    /// crate's epilogue-fusion transform). On the direct tier this rides
+    /// the GEMM epilogue; the other tiers apply the identical float
+    /// sequence as a separate pass.
+    pub relu: bool,
+    /// `Some([co, ci, kh, kw])` when input 1 is a filter pre-packed by
+    /// [`direct::PackConv2dFilterOp`] (rank-1, [`direct::packed_filter_len`]
+    /// floats) rather than the natural `[Co, Cin, kh, kw]` tensor. Forces
+    /// the direct tier; inference-only.
+    pub packed_weights: Option<[usize; 4]>,
+    /// Per-instance packed-filter memo for the direct tier with natural
+    /// weights (training, or inference without the compile pass). Shared
+    /// across clones so executor snapshots reuse one packing.
+    cache: Arc<Mutex<FilterCache>>,
 }
 
 impl Conv2dOp {
@@ -84,17 +149,53 @@ impl Conv2dOp {
         Conv2dOp {
             geometry: ConvGeometry { stride, pad },
             algo,
+            relu: false,
+            packed_weights: None,
+            cache: Arc::new(Mutex::new(FilterCache::default())),
         }
     }
 
+    /// Enable the fused ReLU epilogue.
+    pub fn with_relu(mut self, relu: bool) -> Self {
+        self.relu = relu;
+        self
+    }
+
+    /// Declare input 1 as a pre-packed filter with the given natural
+    /// `[co, ci, kh, kw]` dimensions.
+    pub fn with_packed_weights(mut self, dims: [usize; 4]) -> Self {
+        self.packed_weights = Some(dims);
+        self
+    }
+
     fn dims(&self, x: &Shape, w: &Shape) -> Result<ConvDims> {
-        if x.rank() != 4 || w.rank() != 4 {
+        if x.rank() != 4 {
             return Err(Error::ShapeMismatch(format!(
-                "Conv2d: X {x} and W {w} must be rank 4"
+                "Conv2d: X {x} must be rank 4"
             )));
         }
+        let (co, ci, kh, kw) = match self.packed_weights {
+            Some([co, ci, kh, kw]) => {
+                let expect = direct::packed_filter_len(co, ci * kh * kw);
+                if w.numel() != expect {
+                    return Err(Error::ShapeMismatch(format!(
+                        "Conv2d: packed filter {w} has {} floats, expected {expect} \
+                         for [{co},{ci},{kh},{kw}]",
+                        w.numel()
+                    )));
+                }
+                (co, ci, kh, kw)
+            }
+            None => {
+                if w.rank() != 4 {
+                    return Err(Error::ShapeMismatch(format!(
+                        "Conv2d: W {w} must be rank 4"
+                    )));
+                }
+                (w.dim(0), w.dim(1), w.dim(2), w.dim(3))
+            }
+        };
         let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-        let (co, ci, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
         if ci != c {
             return Err(Error::ShapeMismatch(format!(
                 "Conv2d: input channels {c} vs kernel channels {ci}"
@@ -104,7 +205,66 @@ impl Conv2dOp {
         let wo = self.geometry.out_extent(wd, kw)?;
         Ok((n, c, h, wd, co, kh, kw, ho, wo))
     }
+
+    /// The algorithm that will actually execute for these dimensions:
+    /// `Auto` resolved by the heuristic, Winograd's non-3×3/stride≠1
+    /// fallback applied, pre-packed weights forcing the direct tier.
+    pub fn resolved_algo(&self, d: &ConvDims) -> ConvAlgorithm {
+        if self.packed_weights.is_some() {
+            return ConvAlgorithm::Direct;
+        }
+        let (_, c, _, _, co, kh, kw, ho, wo) = *d;
+        let wino_ok = kh == 3 && kw == 3 && self.geometry.stride == 1;
+        let resolved = match self.algo {
+            ConvAlgorithm::Auto => {
+                if wino_ok && c >= 32 && co >= 32 {
+                    // Deep 3×3 stride-1: Winograd's 2.25x FLOP reduction
+                    // beats the direct tier's better data movement.
+                    ConvAlgorithm::Winograd
+                } else if c * kh * kw >= MIN_DIRECT_K && ho * wo >= NR {
+                    // Enough reduction depth and output width to feed the
+                    // 8x8 microkernel.
+                    ConvAlgorithm::Direct
+                } else {
+                    ConvAlgorithm::Im2col
+                }
+            }
+            a => a,
+        };
+        if resolved == ConvAlgorithm::Winograd && !wino_ok {
+            ConvAlgorithm::Im2col
+        } else {
+            resolved
+        }
+    }
+
+    /// [`Self::resolved_algo`] from raw input shapes — the entry point the
+    /// graph compiler's layout pass uses to pin each conv's tier ahead of
+    /// time from statically inferred shapes.
+    pub fn resolved_algo_for(&self, x: &Shape, w: &Shape) -> Result<ConvAlgorithm> {
+        Ok(self.resolved_algo(&self.dims(x, w)?))
+    }
+
+    /// Pack (or fetch the memoized packing of) the natural-layout filter.
+    fn packed_filter(&self, w: &Tensor, co: usize, k: usize) -> Arc<direct::PackedFilter> {
+        let version = w.version();
+        let mut cache = self.cache.lock();
+        match &cache.packed {
+            Some(p) if cache.version == version => Arc::clone(p),
+            _ => {
+                let p = Arc::new(direct::pack_filter(w.data(), co, k));
+                cache.version = version;
+                cache.packed = Some(Arc::clone(&p));
+                p
+            }
+        }
+    }
 }
+
+/// Minimum reduction depth (`C·kh·kw`) for `Auto` to pick the direct tier:
+/// below one microkernel tile's worth there is nothing to amortize the
+/// panel packing against.
+const MIN_DIRECT_K: usize = 8;
 
 impl Operator for Conv2dOp {
     fn name(&self) -> &str {
@@ -126,15 +286,30 @@ impl Operator for Conv2dOp {
     fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
         let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
         let g = self.geometry;
-        let out = match self.algo {
-            ConvAlgorithm::Direct => forward_direct(x, w, b, g)?,
-            ConvAlgorithm::Im2col => forward_im2col(x, w, b, g)?,
-            ConvAlgorithm::Winograd => {
-                if w.shape().dim(2) == 3 && w.shape().dim(3) == 3 && g.stride == 1 {
-                    winograd::forward_winograd_3x3(x, w, b, g.pad)?
+        let d = self.dims(x.shape(), w.shape())?;
+        let (_, c, _, _, co, kh, kw, _, _) = d;
+        let out = match self.resolved_algo(&d) {
+            ConvAlgorithm::Direct => {
+                if self.packed_weights.is_some() {
+                    direct::forward_direct_packed(x, w.data(), co, kh, kw, b, g, self.relu)?
                 } else {
-                    forward_im2col(x, w, b, g)?
+                    let pf = self.packed_filter(w, co, c * kh * kw);
+                    direct::forward_direct_packed(x, &pf.data, co, kh, kw, b, g, self.relu)?
                 }
+            }
+            ConvAlgorithm::Winograd => {
+                let mut y = winograd::forward_winograd_3x3(x, w, b, g.pad)?;
+                if self.relu {
+                    relu_inplace(&mut y);
+                }
+                y
+            }
+            _ => {
+                let mut y = forward_im2col(x, w, b, g)?;
+                if self.relu {
+                    relu_inplace(&mut y);
+                }
+                y
             }
         };
         Ok(vec![out])
@@ -143,9 +318,25 @@ impl Operator for Conv2dOp {
         &self,
         grad_outputs: &[&Tensor],
         inputs: &[&Tensor],
-        _outputs: &[&Tensor],
+        outputs: &[&Tensor],
     ) -> Result<Vec<Tensor>> {
-        backward_direct(grad_outputs[0], inputs[0], inputs[1], self.geometry)
+        if self.packed_weights.is_some() {
+            return Err(Error::Invalid(
+                "Conv2d with pre-packed weights is inference-only (no backward)".into(),
+            ));
+        }
+        // With the fused ReLU, first mask the incoming gradient exactly
+        // like a standalone Relu node's backward: g * (y > 0 ? 1 : 0),
+        // where y is this op's (post-ReLU) output.
+        let masked;
+        let dy = if self.relu {
+            let y = outputs[0];
+            masked = grad_outputs[0].zip(y, |gv, yv| gv * if yv > 0.0 { 1.0 } else { 0.0 })?;
+            &masked
+        } else {
+            grad_outputs[0]
+        };
+        backward_direct(dy, inputs[0], inputs[1], self.geometry)
     }
     fn flops(&self, s: &[&Shape]) -> f64 {
         match self.dims(s[0], s[1]) {
@@ -156,21 +347,82 @@ impl Operator for Conv2dOp {
         }
     }
     fn workspace_bytes(&self, s: &[&Shape]) -> usize {
-        // Models a framework-style whole-batch lowering buffer: im2col
-        // materializes [N * C*kh*kw * Ho*Wo] floats; Winograd keeps the
-        // transformed input tiles V[16][C x T] plus the GEMM products
-        // M[16][Co x T] (4 floats per output element per channel on each
-        // side). This batch-proportional workspace is exactly what the
-        // micro-batch transformation (Fig. 7) reduces. Direct convolution
-        // needs none.
+        // Models the per-algorithm lowering buffer: im2col materializes
+        // [N * C*kh*kw * Ho*Wo] floats; Winograd keeps the transformed
+        // input tiles V[16][C x T] plus the GEMM products M[16][Co x T]
+        // (4 floats per output element per channel on each side). This
+        // batch-proportional workspace is exactly what the micro-batch
+        // transformation (Fig. 7) reduces. The direct tier never
+        // materializes the lowering — only a cache-blocked B panel plus
+        // a gather row per worker.
         match self.dims(s[0], s[1]) {
-            Ok((n, c, _, _, co, kh, kw, ho, wo)) => match self.algo {
-                ConvAlgorithm::Direct => 0,
-                ConvAlgorithm::Im2col => n * c * kh * kw * ho * wo * 4,
-                ConvAlgorithm::Winograd => n * (c + co) * ho * wo * 4 * 4,
-            },
+            Ok(d) => {
+                let (n, c, _, _, co, kh, kw, ho, wo) = d;
+                let k = c * kh * kw;
+                let cols = ho * wo;
+                match self.resolved_algo(&d) {
+                    ConvAlgorithm::Direct => {
+                        let bl = gemm::Blocking::for_shape(co, cols, k);
+                        let bwidth = bl.nc.min(cols.div_ceil(NR) * NR);
+                        (bwidth * bl.kc + bwidth) * 4
+                    }
+                    ConvAlgorithm::Winograd => n * (c + co) * ho * wo * 4 * 4,
+                    _ => n * k * cols * 4,
+                }
+            }
             Err(_) => 0,
         }
+    }
+    fn bytes_moved(&self, s: &[&Shape]) -> u64 {
+        // Inputs read + outputs written, plus the lowering-buffer traffic
+        // the tier actually generates (written once, read once by its
+        // GEMM): the whole [K x Ho·Wo] im2col matrix per image for the
+        // explicit lowering, nothing for the direct tier (its packed
+        // panels stay cache-resident by construction — that difference is
+        // the point of the tier, and it is what the attribution's
+        // bytes-moved column should show).
+        let io: usize = s.iter().map(|sh| sh.numel()).sum::<usize>()
+            + self
+                .output_shapes(s)
+                .map(|o| o.iter().map(Shape::numel).sum())
+                .unwrap_or(0);
+        let lowering = match self.dims(s[0], s[1]) {
+            Ok(d) => {
+                let (n, c, _, _, co, kh, kw, ho, wo) = d;
+                match self.resolved_algo(&d) {
+                    ConvAlgorithm::Direct => 0,
+                    ConvAlgorithm::Winograd => 2 * n * (c + co) * ho * wo * 4,
+                    _ => 2 * n * c * kh * kw * ho * wo,
+                }
+            }
+            Err(_) => 0,
+        };
+        ((io + lowering) * std::mem::size_of::<f32>()) as u64
+    }
+    fn annotation(&self, s: &[&Shape]) -> Option<String> {
+        let d = self.dims(s[0], s[1]).ok()?;
+        let tier = match self.resolved_algo(&d) {
+            ConvAlgorithm::Direct => "direct",
+            ConvAlgorithm::Winograd => "winograd",
+            _ => "im2col",
+        };
+        let mut note = format!("tier={tier}");
+        if self.relu {
+            note.push_str("+relu");
+        }
+        if self.packed_weights.is_some() {
+            note.push_str(" prepacked");
+        }
+        Some(note)
+    }
+}
+
+/// `max(x, 0)` over a whole tensor — the unfused ReLU pass for tiers
+/// without a fusable write-back. Same per-element float op as the fused
+/// [`Epilogue`] path and `ActivationOp::relu` (NaN maps to 0).
+fn relu_inplace(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = v.max(0.0);
     }
 }
 
@@ -194,8 +446,10 @@ fn fetch(
     }
 }
 
-/// Direct convolution, parallel over images.
-pub fn forward_direct(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Result<Tensor> {
+/// Seven-loop reference convolution, parallel over images. Kept as the
+/// bit-transparent oracle for the optimized tiers' parity tests; not
+/// selected by any [`ConvAlgorithm`].
+pub fn forward_reference(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Result<Tensor> {
     let (n, c, h, wd) = {
         let s = x.shape();
         (s.dim(0), s.dim(1), s.dim(2), s.dim(3))
@@ -234,7 +488,25 @@ pub fn forward_direct(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Re
     Ok(out)
 }
 
-/// Lower one image into a column matrix `[C*kh*kw, ho*wo]`.
+/// Direct-tier convolution from natural-layout inputs: packs the filter
+/// (unmemoized) and runs the NCHWc implicit-GEMM fast path — the
+/// standalone entry point mirroring [`forward_im2col`]. [`Conv2dOp`] goes
+/// through its packing memo instead.
+pub fn forward_direct(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Result<Tensor> {
+    let s = w.shape();
+    if s.rank() != 4 {
+        return Err(Error::ShapeMismatch(format!(
+            "Conv2d: W {s} must be rank 4"
+        )));
+    }
+    let (co, k) = (s.dim(0), s.dim(1) * s.dim(2) * s.dim(3));
+    let pf = direct::pack_filter(w.data(), co, k);
+    direct::forward_direct_packed(x, &pf.data, co, s.dim(2), s.dim(3), b, g, false)
+}
+
+/// Lower one image into a column matrix `[C*kh*kw, ho*wo]`. Writes every
+/// element of `col[..C*kh*kw * ho*wo]` (zero padding included), so callers
+/// may hand in dirty scratch.
 #[allow(clippy::too_many_arguments)] // kernel plumbing: all scalars
 fn im2col_image(
     xd: &[f32],
@@ -286,7 +558,10 @@ pub fn forward_im2col(x: &Tensor, w: &Tensor, b: &Tensor, g: ConvGeometry) -> Re
         .par_chunks_mut(co * cols)
         .enumerate()
         .for_each(|(img, optr)| {
-            let mut col = deep500_tensor::scratch_zeroed(k * cols);
+            // Dirty scratch: im2col_image overwrites all k * cols elements
+            // (padding written explicitly), so acquire-time zeroing was
+            // pure wasted traffic — k * cols floats cleared per image.
+            let mut col = deep500_tensor::scratch_dirty(k * cols);
             im2col_image(xd, img, c, h, wd, kh, kw, ho, wo, g, &mut col);
             // W [co x k] * col [k x cols] -> out [co x cols]; `optr` comes
             // from Tensor::zeros, so the zeroed-C gemm_into contract holds.
@@ -455,6 +730,8 @@ mod tests {
     #[test]
     fn algorithms_agree() {
         let (x, w, b) = rand_case(2, 3, 9, 9, 4, 3, 7);
+        let g = ConvGeometry { stride: 1, pad: 1 };
+        let reference = forward_reference(&x, &w, &b, g).unwrap();
         let direct = Conv2dOp::new(1, 1, ConvAlgorithm::Direct)
             .forward(&[&x, &w, &b])
             .unwrap();
@@ -465,10 +742,11 @@ mod tests {
             .forward(&[&x, &w, &b])
             .unwrap();
         assert!(linf_diff(direct[0].data(), im2col[0].data()) < 1e-4);
+        assert!(linf_diff(reference.data(), direct[0].data()) < 1e-4);
         assert!(
-            linf_diff(direct[0].data(), wino[0].data()) < 1e-3,
+            linf_diff(reference.data(), wino[0].data()) < 1e-3,
             "winograd error {}",
-            linf_diff(direct[0].data(), wino[0].data())
+            linf_diff(reference.data(), wino[0].data())
         );
     }
 
@@ -505,5 +783,167 @@ mod tests {
         let b = Shape::new(&[1]);
         // single output pixel, 9 MACs = 18 FLOPs
         assert_eq!(op.flops(&[&x, &w, &b]), 18.0);
+    }
+
+    #[test]
+    fn im2col_is_stale_scratch_safe() {
+        // Regression for the wasted-zeroing fix: forward_im2col now takes
+        // *dirty* pool scratch for the column buffer, relying on
+        // im2col_image writing every element (padding included). Poison
+        // the current thread's scratch pool with NaN-filled buffers of the
+        // exact class the conv will draw, then check parity against the
+        // reference. (The per-image closure runs on rayon workers whose
+        // pools start clean, so a same-thread single-image case is the
+        // sharp version of this test.)
+        let (x, w, b) = rand_case(1, 2, 7, 7, 3, 3, 21);
+        let g = ConvGeometry { stride: 1, pad: 2 };
+        let k_cols = (2 * 3 * 3) * (9 * 9);
+        for _ in 0..4 {
+            let mut buf = deep500_tensor::scratch_dirty(k_cols);
+            buf.fill(f32::NAN);
+            deep500_tensor::recycle_scratch(buf);
+        }
+        let lowered = forward_im2col(&x, &w, &b, g).unwrap();
+        let reference = forward_reference(&x, &w, &b, g).unwrap();
+        assert!(
+            lowered.data().iter().all(|v| v.is_finite()),
+            "stale NaN scratch leaked into the output"
+        );
+        assert!(linf_diff(lowered.data(), reference.data()) < 1e-4);
+    }
+
+    #[test]
+    fn auto_resolves_by_shape() {
+        // Deep 3x3 stride-1 -> Winograd.
+        let op = Conv2dOp::new(1, 1, ConvAlgorithm::Auto);
+        let d = op
+            .dims(&Shape::new(&[1, 32, 8, 8]), &Shape::new(&[32, 32, 3, 3]))
+            .unwrap();
+        assert_eq!(op.resolved_algo(&d), ConvAlgorithm::Winograd);
+        // Microkernel-friendly 5x5 -> Direct.
+        let d = op
+            .dims(&Shape::new(&[1, 8, 14, 14]), &Shape::new(&[16, 8, 5, 5]))
+            .unwrap();
+        assert_eq!(op.resolved_algo(&d), ConvAlgorithm::Direct);
+        // Tiny 1x1 single-channel -> Im2col fallback.
+        let d = op
+            .dims(&Shape::new(&[1, 1, 4, 4]), &Shape::new(&[2, 1, 1, 1]))
+            .unwrap();
+        assert_eq!(op.resolved_algo(&d), ConvAlgorithm::Im2col);
+        // Explicit Winograd on a non-3x3 kernel falls back to im2col.
+        let op = Conv2dOp::new(1, 0, ConvAlgorithm::Winograd);
+        let d = op
+            .dims(&Shape::new(&[1, 2, 8, 8]), &Shape::new(&[4, 2, 5, 5]))
+            .unwrap();
+        assert_eq!(op.resolved_algo(&d), ConvAlgorithm::Im2col);
+    }
+
+    #[test]
+    fn fused_relu_matches_separate_pass_bitwise() {
+        for algo in [
+            ConvAlgorithm::Direct,
+            ConvAlgorithm::Im2col,
+            ConvAlgorithm::Winograd,
+        ] {
+            let (x, w, b) = rand_case(2, 3, 7, 7, 4, 3, 31);
+            let plain = Conv2dOp::new(1, 1, algo).forward(&[&x, &w, &b]).unwrap();
+            let fused = Conv2dOp::new(1, 1, algo)
+                .with_relu(true)
+                .forward(&[&x, &w, &b])
+                .unwrap();
+            let mut want = plain[0].clone();
+            relu_inplace(&mut want);
+            let fb: Vec<u32> = fused[0].data().iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, wb, "{algo:?}: fused ReLU diverged from separate pass");
+        }
+    }
+
+    #[test]
+    fn prepacked_weights_match_natural_layout() {
+        let (x, w, b) = rand_case(2, 3, 9, 9, 5, 3, 41);
+        let natural = Conv2dOp::new(1, 1, ConvAlgorithm::Direct)
+            .forward(&[&x, &w, &b])
+            .unwrap();
+        let packed = direct::PackConv2dFilterOp.forward(&[&w]).unwrap();
+        let op = Conv2dOp::new(1, 1, ConvAlgorithm::Auto).with_packed_weights([5, 3, 3, 3]);
+        let y = op.forward(&[&x, &packed[0], &b]).unwrap();
+        assert_eq!(
+            natural[0].data(),
+            y[0].data(),
+            "pre-packed filter path must be bit-identical to the op-cache path"
+        );
+        // Declared output shape goes through the packed-dims path too.
+        let shapes = op
+            .output_shapes(&[x.shape(), packed[0].shape(), b.shape()])
+            .unwrap();
+        assert_eq!(shapes[0], *y[0].shape());
+        // Backward through a packed filter is a contract violation.
+        let dy = Tensor::ones(y[0].shape().clone());
+        assert!(op
+            .backward(&[&dy], &[&x, &packed[0], &b], &[&y[0]])
+            .is_err());
+    }
+
+    #[test]
+    fn filter_cache_tracks_weight_updates() {
+        // Same op instance, mutated weights: the packing memo must notice
+        // the content change (an optimizer step replacing the parameter)
+        // and repack rather than serving the stale filter.
+        let (x, w, b) = rand_case(1, 2, 6, 6, 4, 3, 51);
+        let op = Conv2dOp::new(1, 1, ConvAlgorithm::Direct);
+        let y1 = op.forward(&[&x, &w, &b]).unwrap();
+        let w2 = w.scale(2.0);
+        let y2 = op.forward(&[&x, &w2, &b]).unwrap();
+        let fresh = Conv2dOp::new(1, 1, ConvAlgorithm::Direct)
+            .forward(&[&x, &w2, &b])
+            .unwrap();
+        assert_eq!(y2[0].data(), fresh[0].data(), "stale packed filter served");
+        assert_ne!(y1[0].data(), y2[0].data());
+    }
+
+    #[test]
+    fn annotation_reports_resolved_tier() {
+        let op = Conv2dOp::new(1, 1, ConvAlgorithm::Auto).with_relu(true);
+        let x = Shape::new(&[1, 8, 14, 14]);
+        let w = Shape::new(&[16, 8, 5, 5]);
+        let b = Shape::new(&[16]);
+        assert_eq!(
+            op.annotation(&[&x, &w, &b]).as_deref(),
+            Some("tier=direct+relu")
+        );
+        let op = Conv2dOp::new(1, 0, ConvAlgorithm::Im2col);
+        assert_eq!(
+            op.annotation(&[&Shape::new(&[1, 1, 4, 4]), &Shape::new(&[2, 1, 1, 1]), &b])
+                .as_deref(),
+            Some("tier=im2col")
+        );
+    }
+
+    #[test]
+    fn direct_tier_parity_on_awkward_shapes() {
+        // Odd channels, edge-tile output widths, 1x1 kernels, strides.
+        for (n, c, h, w, co, k, stride, pad, seed) in [
+            (
+                1usize, 3usize, 9usize, 9usize, 7usize, 3usize, 1usize, 1usize, 61u64,
+            ),
+            (2, 1, 8, 8, 9, 1, 1, 0, 62),
+            (1, 5, 12, 10, 11, 3, 2, 1, 63),
+            (3, 2, 6, 6, 4, 5, 1, 2, 64),
+            (1, 4, 17, 3, 13, 3, 3, 1, 65),
+        ] {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let x = Tensor::rand_uniform([n, c, h, w], -1.0, 1.0, &mut rng);
+            let wt = Tensor::rand_uniform([co, c, k, k], -0.5, 0.5, &mut rng);
+            let b = Tensor::rand_uniform([co], -0.1, 0.1, &mut rng);
+            let g = ConvGeometry { stride, pad };
+            let direct = forward_direct(&x, &wt, &b, g).unwrap();
+            let lowered = forward_im2col(&x, &wt, &b, g).unwrap();
+            let err = linf_diff(direct.data(), lowered.data());
+            assert!(
+                err < 1e-4,
+                "n{n} c{c} {h}x{w} co{co} k{k} s{stride} p{pad}: linf {err}"
+            );
+        }
     }
 }

@@ -631,6 +631,8 @@ mod properties {
                 Epilogue::Bias(bias) => *v += bias[j],
                 Epilogue::Relu => *v = v.max(0.0),
                 Epilogue::BiasRelu(bias) => *v = (*v + bias[j]).max(0.0),
+                Epilogue::BiasRow(bias) => *v += bias[i / n],
+                Epilogue::BiasRowRelu(bias) => *v = (*v + bias[i / n]).max(0.0),
             }
         }
         c
@@ -706,6 +708,8 @@ mod properties {
                     Epilogue::Bias(bias) => *v += bias[j],
                     Epilogue::Relu => *v = v.max(0.0),
                     Epilogue::BiasRelu(bias) => *v = (*v + bias[j]).max(0.0),
+                    Epilogue::BiasRow(bias) => *v += bias[i / cols],
+                    Epilogue::BiasRowRelu(bias) => *v = (*v + bias[i / cols]).max(0.0),
                 }
             }
             let fb: Vec<u32> = fused.data().iter().map(|v| v.to_bits()).collect();

@@ -46,7 +46,7 @@
 //! accumulation order the paper's cross-kernel ℓ∞ comparisons measure.
 
 use super::PAR_THRESHOLD;
-use deep500_tensor::{recycle_scratch, scratch_zeroed};
+use deep500_tensor::{recycle_scratch, scratch_dirty, scratch_zeroed};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -54,6 +54,11 @@ use std::cell::RefCell;
 pub const MR: usize = 8;
 /// Microkernel tile columns (one 8-wide SIMD vector per row).
 pub const NR: usize = 8;
+/// Wide-variant microkernel tile columns (two 16-lane vectors per row),
+/// used by the direct convolution tier on AVX-512-class hosts. The A
+/// sliver format is shared with the narrow kernel (`MR` rows), so a
+/// filter packed once serves both widths.
+pub const NR_W: usize = 32;
 
 /// Cache-aware blocking parameters, in elements. `mc`/`nc` are rounded to
 /// microkernel tile multiples; all three are clamped to the problem shape
@@ -89,6 +94,37 @@ impl Blocking {
         let mc = round_up(m.clamp(1, mc_cap), MR);
         let nc_cap = ((1024 * 1024 / 4) / kc).max(NR);
         let nc = round_up(n.clamp(1, nc_cap), NR);
+        Blocking { mc, kc, nc }
+    }
+
+    /// Blocking for the direct convolution tier's implicit GEMM at sliver
+    /// width `nr` ([`NR`] or [`NR_W`]). Differs from [`Blocking::compute`]
+    /// in two ways. First, the `kc` cap stretches beyond 256 (up to 512)
+    /// while the `Co`-row A panel still fits the L2 budget — conv GEMMs
+    /// have few rows, and every extra `KC` block costs a full
+    /// read-modify-write pass over the output, so a 288-deep ResNet-body
+    /// reduction runs as *one* block (store + fused epilogue, `C` touched
+    /// once) instead of 256 + 32 — and the cap stretches a further 25%
+    /// when that single step turns a two-pass reduction into one (576
+    /// deep on few-row conv GEMMs: the A panel grows by kilobytes, the
+    /// saved `C` pass is megabytes). Within the cap the reduction splits
+    /// into equal-depth blocks (576 past the stretch would run 2x288,
+    /// not 256 + 256 + 64). Second, `nc` is rounded to the selected
+    /// sliver width so every packed tile is whole.
+    pub(crate) fn for_conv(m: usize, n: usize, k: usize, nr: usize) -> Blocking {
+        let mut kc_cap = ((128 * 1024 / 4) / m.max(1)).clamp(256, 512);
+        if k > kc_cap && k <= kc_cap + kc_cap / 4 {
+            kc_cap = k;
+        }
+        let kc = if k == 0 {
+            1
+        } else {
+            k.div_ceil(k.div_ceil(kc_cap))
+        };
+        let mc_cap = ((128 * 1024 / 4) / kc).max(MR);
+        let mc = round_up(m.clamp(1, mc_cap), MR);
+        let nc_cap = ((1024 * 1024 / 4) / kc).max(nr);
+        let nc = round_up(n.clamp(1, nc_cap), nr);
         Blocking { mc, kc, nc }
     }
 }
@@ -127,7 +163,7 @@ impl ShapeCache {
     }
 }
 
-fn round_up(v: usize, to: usize) -> usize {
+pub(crate) fn round_up(v: usize, to: usize) -> usize {
     v.div_ceil(to) * to
 }
 
@@ -138,7 +174,9 @@ fn round_up(v: usize, to: usize) -> usize {
 ///
 /// **Bit-identity contract:** the fused sequence per element is exactly the
 /// unfused one — full `K` reduction in the tier's accumulation order, then
-/// `+= bias[j]` (`j` the absolute output column), then `max(x, 0.0)` — so a
+/// `+= bias[j]` (`j` the absolute output column) or `+= bias[i]` (`i` the
+/// absolute output row, for the `BiasRow*` variants the NCHWc convolution
+/// uses: its `C` rows are output channels), then `max(x, 0.0)` — so a
 /// fused `Linear(+Relu)` is bit-identical to `Linear` followed by a
 /// separate `Relu` pass, including NaN propagation (`max` maps NaN to 0,
 /// matching `ActivationOp`).
@@ -153,13 +191,17 @@ pub enum Epilogue<'a> {
     Relu,
     /// Bias add, then ReLU.
     BiasRelu(&'a [f32]),
+    /// `C[i][j] += bias[i]` after the final `K` block (per-row bias).
+    BiasRow(&'a [f32]),
+    /// Per-row bias add, then ReLU.
+    BiasRowRelu(&'a [f32]),
 }
 
 impl Epilogue<'_> {
-    /// Apply to one row segment covering absolute output columns
-    /// `j0..j0 + seg.len()`.
+    /// Apply to one row segment of absolute output row `i`, covering
+    /// absolute output columns `j0..j0 + seg.len()`.
     #[inline]
-    fn apply_row(&self, seg: &mut [f32], j0: usize) {
+    fn apply_row(&self, seg: &mut [f32], i: usize, j0: usize) {
         let cols = seg.len();
         match *self {
             Epilogue::None => {}
@@ -178,6 +220,18 @@ impl Epilogue<'_> {
                     *cv = (*cv + bv).max(0.0);
                 }
             }
+            Epilogue::BiasRow(bias) => {
+                let bv = bias[i];
+                for cv in seg.iter_mut() {
+                    *cv += bv;
+                }
+            }
+            Epilogue::BiasRowRelu(bias) => {
+                let bv = bias[i];
+                for cv in seg.iter_mut() {
+                    *cv = (*cv + bv).max(0.0);
+                }
+            }
         }
     }
 
@@ -188,8 +242,8 @@ impl Epilogue<'_> {
         if n == 0 || matches!(self, Epilogue::None) {
             return;
         }
-        for row in c.chunks_mut(n) {
-            self.apply_row(row, 0);
+        for (i, row) in c.chunks_mut(n).enumerate() {
+            self.apply_row(row, i, 0);
         }
     }
 }
@@ -200,7 +254,7 @@ impl Epilogue<'_> {
 /// `A` is stored row-major `[M x K]` (`trans = false`, `lda = K`) or
 /// `[K x M]` (`trans = true`, `lda = M`).
 #[allow(clippy::too_many_arguments)] // pack-kernel plumbing: all scalars
-fn pack_a(
+pub(crate) fn pack_a(
     dst: &mut [f32],
     a: &[f32],
     trans: bool,
@@ -358,17 +412,239 @@ fn microkernel(kc: usize, asliver: &[f32], bsliver: &[f32], acc: &mut [[f32; NR]
     microkernel_portable(kc, asliver, bsliver, acc)
 }
 
+/// Portable wide microkernel: identical loop nest to
+/// [`microkernel_portable`] at `NR_W` columns, reading `B` *row-major*
+/// with row stride `ldb` (the wide path skips sliver-packing `B`
+/// entirely — an unaligned strided load costs the same as a packed one,
+/// and skipping the pack halves the activation-side memory traffic).
+/// Exercised on non-AVX-512 hosts (where the wide tier is never
+/// *selected*, but stays testable) and under miri, which cannot interpret
+/// vendor intrinsics.
+#[inline(always)]
+fn microkernel_wide_portable(
+    kc: usize,
+    asliver: &[f32],
+    b: &[f32],
+    ldb: usize,
+    acc: &mut [[f32; NR_W]; MR],
+) {
+    for p in 0..kc {
+        let ar = &asliver[p * MR..p * MR + MR];
+        let br = &b[p * ldb..p * ldb + NR_W];
+        for i in 0..MR {
+            let ai = ar[i];
+            for j in 0..NR_W {
+                acc[i][j] += ai * br[j];
+            }
+        }
+    }
+}
+
+/// Explicit 16-wide AVX-512 microkernel for the `MR x NR_W` tile: two
+/// `__m512` accumulators per `C` row (16 live accumulator registers plus
+/// four `B` vectors and one broadcast — well inside the 32 zmm registers),
+/// with the `K` loop unrolled by two so the four `B` loads per iteration
+/// hide the FMA latency chain. `B` is read *row-major* with row stride
+/// `ldb` — no sliver packing on the activation side. Per output element
+/// the reduction still ascends in `p` one FMA at a time, so results are
+/// bit-identical to the non-unrolled order (and to [`microkernel_avx2`]'s,
+/// which fuses the same per-element multiply-add sequence).
+///
+/// # Safety
+///
+/// * The caller must have proven, at runtime, that the executing CPU
+///   supports AVX-512F — calling this without it is immediate UB (illegal
+///   instruction). [`microkernel_wide`] is the only caller and establishes
+///   this with `is_x86_feature_detected!`.
+/// * `asliver.len() >= kc * MR`, and for `kc > 0`,
+///   `b.len() >= (kc - 1) * ldb + NR_W`: the unaligned vector loads read
+///   `MR` lanes / `NR_W` lanes at each `p`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512(
+    kc: usize,
+    asliver: &[f32],
+    b: &[f32],
+    ldb: usize,
+    acc: &mut [[f32; NR_W]; MR],
+) {
+    use core::arch::x86_64::*;
+    debug_assert!(asliver.len() >= kc * MR);
+    debug_assert!(kc == 0 || b.len() >= (kc - 1) * ldb + NR_W);
+    // SAFETY: pointer arithmetic stays inside the slices — the A packer
+    // always produces whole slivers (`asliver.len() >= kc * MR`, edge rows
+    // zero-padded) and the caller guarantees `B` rows of at least `NR_W`
+    // readable lanes at stride `ldb` (zero-padded to a whole tile), so
+    // `p * ldb + 31` and `p * MR + i` (i < MR) index in-bounds for every
+    // `p < kc`. `_mm512_loadu_ps`/`_mm512_storeu_ps` tolerate any
+    // alignment, and `acc[i]` is exactly `NR_W == 32` floats, matching two
+    // `__m512` stores. The intrinsics themselves are safe to execute
+    // because this fn's `#[target_feature]` contract (CPU has avx512f) is
+    // upheld by the caller per the function-level Safety section.
+    unsafe {
+        let mut vacc = [[_mm512_setzero_ps(); 2]; MR];
+        let mut p = 0usize;
+        while p + 2 <= kc {
+            let b0 = _mm512_loadu_ps(b.as_ptr().add(p * ldb));
+            let b1 = _mm512_loadu_ps(b.as_ptr().add(p * ldb + 16));
+            let b2 = _mm512_loadu_ps(b.as_ptr().add((p + 1) * ldb));
+            let b3 = _mm512_loadu_ps(b.as_ptr().add((p + 1) * ldb + 16));
+            let a0 = asliver.as_ptr().add(p * MR);
+            let a1 = asliver.as_ptr().add((p + 1) * MR);
+            for (i, v) in vacc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*a0.add(i));
+                v[0] = _mm512_fmadd_ps(av, b0, v[0]);
+                v[1] = _mm512_fmadd_ps(av, b1, v[1]);
+            }
+            for (i, v) in vacc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*a1.add(i));
+                v[0] = _mm512_fmadd_ps(av, b2, v[0]);
+                v[1] = _mm512_fmadd_ps(av, b3, v[1]);
+            }
+            p += 2;
+        }
+        if p < kc {
+            let b0 = _mm512_loadu_ps(b.as_ptr().add(p * ldb));
+            let b1 = _mm512_loadu_ps(b.as_ptr().add(p * ldb + 16));
+            let a0 = asliver.as_ptr().add(p * MR);
+            for (i, v) in vacc.iter_mut().enumerate() {
+                let av = _mm512_set1_ps(*a0.add(i));
+                v[0] = _mm512_fmadd_ps(av, b0, v[0]);
+                v[1] = _mm512_fmadd_ps(av, b1, v[1]);
+            }
+        }
+        for (i, v) in vacc.into_iter().enumerate() {
+            _mm512_storeu_ps(acc[i].as_mut_ptr(), v[0]);
+            _mm512_storeu_ps(acc[i].as_mut_ptr().add(16), v[1]);
+        }
+    }
+}
+
+/// Run the best wide (`MR x NR_W`) microkernel the host supports. `b` is
+/// a row-major block read at row stride `ldb` starting from the tile's
+/// first column; every row must have `NR_W` readable (zero-padded at the
+/// edge) lanes.
+///
+/// Runtime-dispatch invariant: this function is the *only* caller of
+/// [`microkernel_avx512`], and it calls it exclusively behind a successful
+/// `is_x86_feature_detected!("avx512f")` check on the executing thread —
+/// the same CPUID-backed pattern as [`microkernel`].
+#[inline]
+fn microkernel_wide(
+    kc: usize,
+    asliver: &[f32],
+    b: &[f32],
+    ldb: usize,
+    acc: &mut [[f32; NR_W]; MR],
+) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: the `#[target_feature(enable = "avx512f")]` contract is
+        // established by the runtime detection on this exact execution
+        // path, and the slice-length preconditions hold because the sole
+        // caller (`run_panel_wide`) passes whole packed A slivers of
+        // `kc * MR` elements and a `B` block whose rows carry a whole
+        // zero-padded tile beyond the tile's first column.
+        unsafe { microkernel_avx512(kc, asliver, b, ldb, acc) };
+        return;
+    }
+    microkernel_wide_portable(kc, asliver, b, ldb, acc)
+}
+
+/// Stride-2 gather: `dst[i] = src[2 * i]`. The hot path of strided
+/// (downsampling) convolutions' activation packing — the direct conv
+/// tier calls this from its analytic row gather once the padding bounds
+/// are resolved, so no per-element bounds checks remain. On AVX-512
+/// hosts each 16-element group is produced by two vector loads and one
+/// even-lane compaction shuffle; elsewhere a scalar loop.
+///
+/// Requires `src.len() > 2 * (dst.len() - 1)` (the last element read is
+/// `src[2 * (dst.len() - 1)]`).
+pub(crate) fn strided_copy2(dst: &mut [f32], src: &[f32]) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    if dst.len() >= 16 && std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: the `#[target_feature(enable = "avx512f")]` contract is
+        // established by the runtime detection on this exact execution
+        // path; the slice-length precondition is documented above and
+        // upheld by the (sole) gather_xrow caller, and re-checked inside
+        // via debug_assert plus an explicit in-bounds loop guard.
+        unsafe { strided_copy2_avx512(dst, src) };
+        return;
+    }
+    for (v, &xv) in dst.iter_mut().zip(src.iter().step_by(2)) {
+        *v = xv;
+    }
+}
+
+/// AVX-512 even-lane compaction for [`strided_copy2`]: two 16-lane loads
+/// cover a 32-element source window whose even elements are one
+/// `vpermt2ps` away from the 16 contiguous outputs.
+///
+/// # Safety
+///
+/// * The caller must have proven, at runtime, that the executing CPU
+///   supports AVX-512F ([`strided_copy2`] is the only caller and
+///   establishes this with `is_x86_feature_detected!`).
+/// * `src.len() > 2 * (dst.len() - 1)`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx512f")]
+unsafe fn strided_copy2_avx512(dst: &mut [f32], src: &[f32]) {
+    use core::arch::x86_64::*;
+    let n = dst.len();
+    debug_assert!(src.len() > 2 * (n - 1));
+    // SAFETY: the vector loop only runs while both the 16-lane store
+    // (`i + 16 <= n`) and the full 32-element source window
+    // (`2 * i + 32 <= src.len()`) are in bounds; the scalar tail reads
+    // `src[2 * j]` for `j < n`, in bounds by the function precondition.
+    // The `loadu`/`storeu` intrinsics tolerate any alignment, and the
+    // intrinsics are safe to execute per this fn's `#[target_feature]`
+    // contract, upheld by the caller.
+    unsafe {
+        // Lane k of the result selects element 2k of the concatenated
+        // (a, b) 32-lane window: indices 0..15 pick from a, 16..31 from b.
+        let idx = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30);
+        let mut i = 0usize;
+        while i + 16 <= n && 2 * i + 32 <= src.len() {
+            let a = _mm512_loadu_ps(src.as_ptr().add(2 * i));
+            let b = _mm512_loadu_ps(src.as_ptr().add(2 * i + 16));
+            _mm512_storeu_ps(dst.as_mut_ptr().add(i), _mm512_permutex2var_ps(a, idx, b));
+            i += 16;
+        }
+        for j in i..n {
+            *dst.get_unchecked_mut(j) = *src.get_unchecked(2 * j);
+        }
+    }
+}
+
+/// Whether selecting the wide (`NR_W`-column) tile is a win on this host:
+/// true exactly when the AVX-512 kernel will be dispatched. On narrower
+/// machines the wide tile would run the portable kernel over 4x the
+/// columns of the tuned AVX2 path, so callers (the direct convolution
+/// tier) stay on [`run_panel`] / `NR` there.
+pub(crate) fn wide_tier_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        false
+    }
+}
+
 /// Process one packed `A` panel against one packed `B` macro-panel,
-/// accumulating into the `C` row panel `cpanel` (rows `ic..ic+mc` of the
-/// full `M x N` output, `ldc = N`). When `last` is set (final `KC` block of
-/// the reduction), `epilogue` runs over each freshly stored tile while it
-/// is still cache-hot.
+/// accumulating into the `C` row panel `cpanel` (rows `row0..row0+mc` of
+/// the full `M x N` output, `ldc = N`). When `last` is set (final `KC`
+/// block of the reduction), `epilogue` runs over each freshly stored tile
+/// while it is still cache-hot; `row0` gives the epilogue its absolute row
+/// index (the `BiasRow*` variants index bias per row).
 #[allow(clippy::too_many_arguments)] // hot-path plumbing: all scalars
-fn run_panel(
+pub(crate) fn run_panel(
     apack: &[f32],
     bpack: &[f32],
     cpanel: &mut [f32],
     ldc: usize,
+    row0: usize,
     jc: usize,
     mc: usize,
     nc: usize,
@@ -398,11 +674,242 @@ fn run_panel(
                     *cv += av;
                 }
                 if fuse {
-                    epilogue.apply_row(crow, j0);
+                    epilogue.apply_row(crow, row0 + i0 + i, j0);
                 }
             }
         }
     }
+}
+
+/// [`run_panel`] at the wide tile width, reading `B` *row-major*: `bpack`
+/// holds `kc` gathered reduction rows of `ldb` floats each (the direct
+/// convolution tier gathers them straight off the activation image), with
+/// columns `nc..` of each row zero-filled up to the last whole `NR_W`
+/// tile. Skipping the sliver repack halves the pack-side memory traffic;
+/// the wide microkernel's unaligned strided loads cost the same as packed
+/// ones. The `A` panel format (`MR`-row slivers) is shared with the narrow
+/// path, so pre-packed filters serve both. Epilogue timing and per-element
+/// accumulation order match [`run_panel`] exactly — only the column
+/// grouping per register tile differs.
+///
+/// `first` marks the reduction's first `KC` block over a caller-zeroed
+/// `C`: the tile write-back then *stores* instead of read-modify-writes,
+/// saving one read pass over the output per macro-panel. For finite
+/// inputs this is bit-identical to accumulating into zero — the register
+/// accumulator starts at `+0.0` and IEEE-754 addition can never turn it
+/// into `-0.0`, and `0.0 + x == x` bitwise for every other `x`.
+#[allow(clippy::too_many_arguments)] // hot-path plumbing: all scalars
+pub(crate) fn run_panel_wide(
+    apack: &[f32],
+    bpack: &[f32],
+    ldb: usize,
+    cpanel: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    epilogue: Epilogue<'_>,
+    first: bool,
+    last: bool,
+) {
+    debug_assert!(nc.div_ceil(NR_W) * NR_W <= ldb || kc == 0);
+    debug_assert!(bpack.len() >= kc * ldb);
+    let mut acc = [[0.0f32; NR_W]; MR];
+    let fuse = last && !matches!(epilogue, Epilogue::None);
+    for jt in 0..nc.div_ceil(NR_W) {
+        let j0r = jt * NR_W;
+        let j0 = jc + j0r;
+        let cols = NR_W.min(nc - j0r);
+        // The kernel reads up to `(kc - 1) * ldb + NR_W` lanes past this
+        // offset; in bounds because `j0r + NR_W <= round_up(nc, NR_W) <=
+        // ldb` and `bpack` holds `kc * ldb` floats.
+        let btile = &bpack[j0r..];
+        for (it, asliver) in apack[..mc.div_ceil(MR) * MR * kc]
+            .chunks(MR * kc)
+            .enumerate()
+        {
+            let i0 = it * MR;
+            let rows = MR.min(mc - i0);
+            acc.iter_mut().for_each(|row| row.fill(0.0));
+            microkernel_wide(kc, asliver, btile, ldb, &mut acc);
+            for (i, arow) in acc.iter().enumerate().take(rows) {
+                let crow = &mut cpanel[(i0 + i) * ldc + j0..(i0 + i) * ldc + j0 + cols];
+                if first {
+                    for (cv, &av) in crow.iter_mut().zip(arow) {
+                        *cv = av;
+                    }
+                } else {
+                    for (cv, &av) in crow.iter_mut().zip(arow) {
+                        *cv += av;
+                    }
+                }
+                if fuse {
+                    epilogue.apply_row(crow, row0 + i0 + i, j0);
+                }
+            }
+        }
+    }
+}
+
+/// Portable single-row GEMV tile: `acc[j] = Σ_p a[p] * b[p][j]` over one
+/// `NR_W`-column tile of a row-major `B` read at row stride `ldb` (`acc`
+/// is overwritten, like the SIMD variants). Unfused mul+add, mirroring
+/// [`microkernel_portable`]'s rounding on hosts where the batched path
+/// also runs portable.
+#[inline(always)]
+fn gemv_tile_portable(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [f32; NR_W]) {
+    let mut local = [0.0f32; NR_W];
+    for p in 0..kc {
+        let av = a[p];
+        let br = &b[p * ldb..p * ldb + NR_W];
+        for (s, &bv) in local.iter_mut().zip(br) {
+            *s += av * bv;
+        }
+    }
+    *acc = local;
+}
+
+/// AVX2+FMA single-row GEMV tile: four `__m256` accumulators covering the
+/// same `NR_W`-column tile. Per output element the reduction is one fused
+/// multiply-add per `p`, ascending — the exact float sequence
+/// [`microkernel_avx2`] produces for that element in a batched GEMM, so a
+/// row served through this path is bit-identical to the same row inside a
+/// larger batch.
+///
+/// # Safety
+///
+/// * The executing CPU must support AVX2 and FMA (runtime-detected by
+///   [`gemv_tile`], the only caller); calling without them is UB.
+/// * `a.len() >= kc`, and for `kc > 0`, `b.len() >= (kc - 1) * ldb + NR_W`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemv_tile_avx2(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [f32; NR_W]) {
+    use core::arch::x86_64::*;
+    debug_assert!(a.len() >= kc);
+    debug_assert!(kc == 0 || b.len() >= (kc - 1) * ldb + NR_W);
+    // SAFETY: per the function contract, every `b` row read below carries
+    // `NR_W` readable lanes at stride `ldb` and `a` carries `kc` scalars,
+    // so `p * ldb + 24 + 7` and `p` index in-bounds for `p < kc`. The
+    // unaligned load/store intrinsics tolerate any alignment and `acc` is
+    // exactly `NR_W == 32` floats (four `__m256` stores). Executing the
+    // intrinsics is sound because the caller established avx2+fma.
+    unsafe {
+        let mut v = [_mm256_setzero_ps(); 4];
+        for p in 0..kc {
+            let av = _mm256_set1_ps(*a.get_unchecked(p));
+            let bp = b.as_ptr().add(p * ldb);
+            for (q, vq) in v.iter_mut().enumerate() {
+                *vq = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(q * 8)), *vq);
+            }
+        }
+        for (q, vq) in v.into_iter().enumerate() {
+            _mm256_storeu_ps(acc.as_mut_ptr().add(q * 8), vq);
+        }
+    }
+}
+
+/// AVX-512 single-row GEMV tile: two `__m512` accumulators over the
+/// `NR_W`-column tile, same fused ascending-`p` per-element sequence as
+/// [`gemv_tile_avx2`] and the batched microkernels.
+///
+/// # Safety
+///
+/// Same contract as [`gemv_tile_avx2`] with AVX-512F in place of
+/// AVX2+FMA; [`gemv_tile`] is the only caller.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx512f")]
+unsafe fn gemv_tile_avx512(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [f32; NR_W]) {
+    use core::arch::x86_64::*;
+    debug_assert!(a.len() >= kc);
+    debug_assert!(kc == 0 || b.len() >= (kc - 1) * ldb + NR_W);
+    // SAFETY: bounds as in `gemv_tile_avx2` (rows of `NR_W` readable lanes
+    // at stride `ldb`); `acc` is exactly two `__m512`s wide; avx512f is
+    // established by the caller's runtime detection.
+    unsafe {
+        let mut v0 = _mm512_setzero_ps();
+        let mut v1 = _mm512_setzero_ps();
+        for p in 0..kc {
+            let av = _mm512_set1_ps(*a.get_unchecked(p));
+            let bp = b.as_ptr().add(p * ldb);
+            v0 = _mm512_fmadd_ps(av, _mm512_loadu_ps(bp), v0);
+            v1 = _mm512_fmadd_ps(av, _mm512_loadu_ps(bp.add(16)), v1);
+        }
+        _mm512_storeu_ps(acc.as_mut_ptr(), v0);
+        _mm512_storeu_ps(acc.as_mut_ptr().add(16), v1);
+    }
+}
+
+/// Run the best single-row GEMV tile the host supports, mirroring the
+/// batched kernels' dispatch (and therefore their per-element rounding):
+/// AVX-512F, else AVX2+FMA, else the portable unfused loop.
+#[inline]
+fn gemv_tile(kc: usize, a: &[f32], b: &[f32], ldb: usize, acc: &mut [f32; NR_W]) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        // Each variant runs only behind its own feature detection, and the
+        // slice-length contract (`a.len() >= kc`, `b` rows of `NR_W`
+        // readable lanes at stride `ldb`) is guaranteed by the sole caller
+        // `gemv_bt_padded`, whose weight image is column-padded to a whole
+        // number of `NR_W` tiles.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: avx512f detected; length contract per above.
+            unsafe { gemv_tile_avx512(kc, a, b, ldb, acc) };
+            return;
+        } else if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: avx2+fma detected; length contract per above.
+            unsafe { gemv_tile_avx2(kc, a, b, ldb, acc) };
+            return;
+        }
+    }
+    gemv_tile_portable(kc, a, b, ldb, acc)
+}
+
+/// Row-vector fast path for `Y = x · Wᵀ (+ epilogue)`: the `m == 1` GEMM
+/// every single-request inference (closed-loop serving, batch-1 dense
+/// heads) issues. `wt` is the weight image *pre-transposed* to `[K x
+/// n_pad]` row-major with `n_pad = round_up(n, NR_W)` zero-padded columns
+/// (built once per weight by the caller and cached), so the kernel
+/// streams it unit-stride — no per-call `B` packing, no wasted
+/// register-tile rows for the seven absent `A` rows.
+///
+/// Bit-identity contract: the reduction runs in `KC` chunks of
+/// `k.clamp(1, 256)` — the same chunking [`Blocking::compute`] gives any
+/// batched GEMM at this `k` — and each output element accumulates one
+/// fused multiply-add per `p`, ascending, via [`gemv_tile`]'s
+/// batched-kernel-matching dispatch. A request served alone therefore
+/// reproduces, bit for bit, the row it would produce inside any batch.
+/// The epilogue fires once per element after the last chunk, exactly like
+/// [`run_panel`]'s `last` gating.
+pub(crate) fn gemv_bt_padded(
+    n: usize,
+    k: usize,
+    a: &[f32],
+    wt: &[f32],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    let n_pad = round_up(n, NR_W);
+    debug_assert!(a.len() >= k && c.len() >= n && wt.len() >= k * n_pad);
+    if k > 0 {
+        let kc = k.clamp(1, 256);
+        let mut acc = [0.0f32; NR_W];
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            for jt in 0..n_pad / NR_W {
+                let j0 = jt * NR_W;
+                let cols = NR_W.min(n - j0);
+                gemv_tile(kcb, &a[pc..], &wt[pc * n_pad + j0..], n_pad, &mut acc);
+                for (cv, &s) in c[j0..j0 + cols].iter_mut().zip(&acc) {
+                    *cv += s;
+                }
+            }
+        }
+    }
+    epilogue.apply_row(&mut c[..n], 0, 0);
 }
 
 /// Packed GEMM core: `C += op(A) * op(B)` for row-major storage, where
@@ -448,8 +955,8 @@ pub(super) fn gemm_packed_into_epilogue(
     if k == 0 {
         // The zero-length reduction leaves C as the caller's addend; the
         // epilogue still owes its pass over every element.
-        for crow in c.chunks_mut(n) {
-            epilogue.apply_row(crow, 0);
+        for (i, crow) in c.chunks_mut(n).enumerate() {
+            epilogue.apply_row(crow, i, 0);
         }
         return;
     }
@@ -457,7 +964,11 @@ pub(super) fn gemm_packed_into_epilogue(
     let lda = if a_trans { m } else { k };
     let ldb = if b_trans { k } else { n };
     let parallel = m * n * k >= PAR_THRESHOLD && m > bl.mc;
-    let mut bpack = scratch_zeroed(bl.nc.min(round_up(n, NR)) * bl.kc);
+    // Dirty scratch: pack_b overwrites every element of the prefix
+    // run_panel reads ([..nc.div_ceil(NR) * NR * kc], edge lanes
+    // zero-padded explicitly), so the acquire-time zero-fill would be
+    // wasted traffic.
+    let mut bpack = scratch_dirty(bl.nc.min(round_up(n, NR)) * bl.kc);
     for jc in (0..n).step_by(bl.nc) {
         let nc = bl.nc.min(n - jc);
         for pc in (0..k).step_by(bl.kc) {
@@ -469,7 +980,9 @@ pub(super) fn gemm_packed_into_epilogue(
                 let mc = cpanel.len() / n;
                 let mut apack = scratch_zeroed(round_up(mc, MR) * kc);
                 pack_a(&mut apack, a, a_trans, lda, ic, pc, mc, kc);
-                run_panel(&apack, bshared, cpanel, n, jc, mc, nc, kc, epilogue, last);
+                run_panel(
+                    &apack, bshared, cpanel, n, ic, jc, mc, nc, kc, epilogue, last,
+                );
                 recycle_scratch(apack);
             };
             if parallel {
@@ -654,6 +1167,7 @@ mod tests {
                         &bpack,
                         cpanel,
                         n,
+                        chunk * bl.mc,
                         jc,
                         mc,
                         nc,

@@ -1,11 +1,30 @@
 //! The fully-connected (dense) layer: `Y = X Wᵀ + b`.
 //!
 //! Inputs: `X [N, in]`, `W [out, in]`, `b [out]`; output `Y [N, out]`.
-//! Backed by the Level-0 GEMM kernels.
+//! Backed by the Level-0 GEMM kernels. Single-row batches (`N == 1`, the
+//! closed-loop serving case) under `Packed` skip the GEMM machinery for a
+//! dedicated GEMV over a per-instance cached transposed weight image —
+//! bit-identical to the batched path (see
+//! [`gemv_bt_padded`](crate::gemm::packed::gemv_bt_padded)), but with the
+//! `B`-pack and the 7-of-8 wasted register-tile rows gone.
 
+use crate::gemm::packed::{gemv_bt_padded, round_up, NR_W};
 use crate::gemm::{self, Algorithm, Epilogue};
 use crate::operator::Operator;
 use deep500_tensor::{Error, Result, Shape, Tensor};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-instance memo of the `[K x n_pad]` transposed, column-padded weight
+/// image the `N == 1` GEMV fast path streams. Keyed on the weight
+/// tensor's content-version stamp ([`Tensor::version`]) like the conv
+/// filter cache — O(1) per call, and immune to the buffer pool recycling
+/// a freed parameter allocation at the same address.
+#[derive(Debug, Default)]
+struct GemvCache {
+    version: u64,
+    wt: Option<Arc<Vec<f32>>>,
+}
 
 /// Fully-connected layer operator. The bias add always rides the GEMM
 /// write-back epilogue (zero extra memory traffic under `Packed`), and a
@@ -18,17 +37,49 @@ pub struct LinearOp {
     pub algo: Algorithm,
     /// Fold `max(x, 0)` into the write-back after the bias add.
     pub relu: bool,
+    /// Transposed-weight memo for the single-row GEMV path. Shared across
+    /// clones so executor snapshots reuse one image.
+    cache: Arc<Mutex<GemvCache>>,
 }
 
 impl LinearOp {
     pub fn new(algo: Algorithm) -> Self {
-        LinearOp { algo, relu: false }
+        LinearOp {
+            algo,
+            relu: false,
+            cache: Arc::new(Mutex::new(GemvCache::default())),
+        }
     }
 
     /// Enable the fused ReLU epilogue.
     pub fn with_relu(mut self, relu: bool) -> Self {
         self.relu = relu;
         self
+    }
+
+    /// Fetch (or build and memoize) the `[K x round_up(out, NR_W)]`
+    /// transposed weight image of a `[out, K]` parameter, zero-padding the
+    /// trailing columns so the GEMV kernel's whole-tile loads stay in
+    /// bounds and inert.
+    fn transposed(&self, w: &Tensor, fout: usize, fin: usize) -> Arc<Vec<f32>> {
+        let version = w.version();
+        let mut cache = self.cache.lock();
+        if let Some(wt) = &cache.wt {
+            if cache.version == version {
+                return Arc::clone(wt);
+            }
+        }
+        let n_pad = round_up(fout, NR_W);
+        let mut wt = vec![0.0f32; fin * n_pad];
+        for (j, wrow) in w.data().chunks(fin).enumerate() {
+            for (p, &wv) in wrow.iter().enumerate() {
+                wt[p * n_pad + j] = wv;
+            }
+        }
+        let wt = Arc::new(wt);
+        cache.version = version;
+        cache.wt = Some(Arc::clone(&wt));
+        wt
     }
 
     fn dims(&self, x: &Shape, w: &Shape, b: &Shape) -> Result<(usize, usize, usize)> {
@@ -59,13 +110,22 @@ impl Operator for LinearOp {
     }
     fn forward(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
         let (x, w, b) = (inputs[0], inputs[1], inputs[2]);
-        self.dims(x.shape(), w.shape(), b.shape())?;
+        let (n, fin, fout) = self.dims(x.shape(), w.shape(), b.shape())?;
         // Y = X * Wᵀ (+ b, [+ ReLU]) in one write-back pass.
         let epilogue = if self.relu {
             Epilogue::BiasRelu(b.data())
         } else {
             Epilogue::Bias(b.data())
         };
+        if n == 1 && self.algo == Algorithm::Packed {
+            // Single-row fast path: GEMV over the cached transposed
+            // weights. Bit-identical to the batched GEMM below — the
+            // other `Algorithm` tiers stay on their reference kernels.
+            let wt = self.transposed(w, fout, fin);
+            let mut y = Tensor::zeros([1, fout]);
+            gemv_bt_padded(fout, fin, x.data(), &wt, y.data_mut(), epilogue);
+            return Ok(vec![y]);
+        }
         let y = gemm::matmul_a_bt_with_epilogue(self.algo, x, w, epilogue)?;
         Ok(vec![y])
     }
@@ -137,6 +197,52 @@ mod tests {
         assert!(grads[2].data().iter().all(|&v| v == 2.0));
         // dX row = sum of W rows = 4 * 0.5 = 2.0 per input feature
         assert!(grads[0].data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn single_row_gemv_is_bit_identical_to_batched_rows() {
+        use deep500_tensor::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        // Ragged out-features (neither a multiple of the GEMV tile nor the
+        // GEMM sliver) and k past one KC block to exercise the chunking.
+        for (fin, fout) in [(120, 84), (300, 37), (64, 120)] {
+            let xb = Tensor::rand_uniform([3, fin], -1.0, 1.0, &mut rng);
+            let w = Tensor::rand_uniform([fout, fin], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform([fout], -1.0, 1.0, &mut rng);
+            for relu in [false, true] {
+                let op = LinearOp::new(Algorithm::Packed).with_relu(relu);
+                let yb = op.forward(&[&xb, &w, &b]).unwrap();
+                for r in 0..3 {
+                    let xr = Tensor::from_vec([1, fin], xb.data()[r * fin..(r + 1) * fin].to_vec())
+                        .unwrap();
+                    let yr = op.forward(&[&xr, &w, &b]).unwrap();
+                    let got: Vec<u32> = yr[0].data().iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u32> = yb[0].data()[r * fout..(r + 1) * fout]
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(
+                        got, want,
+                        "{fin}x{fout} relu={relu}: solo row {r} diverged from its batched row"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_cache_tracks_weight_content() {
+        // Same instance, two different weight tensors: the memo must not
+        // serve the first image for the second tensor.
+        let op = LinearOp::new(Algorithm::Packed);
+        let x = Tensor::from_vec([1, 2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::zeros([2]);
+        let w1 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let y1 = op.forward(&[&x, &w1, &b]).unwrap();
+        assert_eq!(y1[0].data(), &[1.0, 2.0]);
+        let w2 = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let y2 = op.forward(&[&x, &w2, &b]).unwrap();
+        assert_eq!(y2[0].data(), &[2.0, 1.0]);
     }
 
     #[test]

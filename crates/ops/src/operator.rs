@@ -63,6 +63,17 @@ pub trait Operator: Send + Sync {
         0
     }
 
+    /// Short human-readable note on *how* this operator will execute for
+    /// the given input shapes — e.g. the convolution tier picked by
+    /// [`ConvAlgorithm::Auto`](crate::conv::ConvAlgorithm) — surfaced in
+    /// trace span args and the per-op attribution table so profiles show
+    /// which code path actually ran. `None` (the default) when there is
+    /// nothing interesting to report.
+    fn annotation(&self, input_shapes: &[&Shape]) -> Option<String> {
+        let _ = input_shapes;
+        None
+    }
+
     /// Bytes moved by one `forward` call — inputs read plus outputs
     /// written, at `f32` storage — the denominator of Level-0 arithmetic
     /// intensity and the "bytes moved" column of per-operator attribution.

@@ -2,7 +2,8 @@
 //! analytical invariants, and gradient correctness on random inputs.
 
 use deep500_ops::activation::{ActivationOp, SoftmaxOp};
-use deep500_ops::conv::{forward_direct, forward_im2col, ConvGeometry};
+use deep500_ops::conv::direct::pack_filter;
+use deep500_ops::conv::{forward_direct, forward_im2col, Conv2dOp, ConvAlgorithm, ConvGeometry};
 use deep500_ops::gemm::{
     gemm_into, matmul, matmul_a_bt_with, matmul_at_b_with, Algorithm, Blocking,
 };
@@ -116,6 +117,62 @@ proptest! {
         let direct = forward_direct(&x, &w, &b, g).unwrap();
         let lowered = forward_im2col(&x, &w, &b, g).unwrap();
         prop_assert!(direct.approx_eq(&lowered, 1e-4));
+    }
+
+    /// The direct NCHWc tier agrees with the im2col tier within l-inf 1e-4
+    /// across stride, padding, odd channel counts, 1x1 kernels, and
+    /// degenerate spatial extents — with and without the fused ReLU
+    /// epilogue — and the ahead-of-time packed-filter path is bit-identical
+    /// to the direct tier packing on the fly.
+    #[test]
+    fn conv_tier_parity_direct_vs_im2col(
+        n in 1usize..3, ci in 0usize..5, hwi in 0usize..5,
+        co in 1usize..18, k in 1usize..5, stride in 1usize..4, pad in 0usize..3,
+        relu in any::<bool>(), seed in 0u64..500,
+    ) {
+        // Odd/prime channel counts and tile-edge spatial sizes.
+        let c = [1, 3, 7, 8, 13][ci];
+        let hw = [1, 2, 5, 9, 16][hwi];
+        prop_assume!(hw + 2 * pad >= k);
+        let x = rand_tensor(&[n, c, hw, hw], seed);
+        let w = rand_tensor(&[co, c, k, k], seed ^ 3);
+        let b = rand_tensor(&[co], seed ^ 4);
+
+        let direct = Conv2dOp::new(stride, pad, ConvAlgorithm::Direct).with_relu(relu);
+        let im2col = Conv2dOp::new(stride, pad, ConvAlgorithm::Im2col).with_relu(relu);
+        let yd = direct.forward(&[&x, &w, &b]).unwrap();
+        let yi = im2col.forward(&[&x, &w, &b]).unwrap();
+        prop_assert!(yd[0].approx_eq(&yi[0], 1e-4),
+                     "direct vs im2col n={n} c={c} hw={hw} co={co} k={k} s={stride} p={pad}");
+
+        // Pre-packed weights: same kernel, same blocking, same bits.
+        let packed = pack_filter(w.data(), co, c * k * k);
+        let wp = Tensor::from_vec([packed.data.len()], packed.data).unwrap();
+        let prepacked = Conv2dOp::new(stride, pad, ConvAlgorithm::Direct)
+            .with_relu(relu)
+            .with_packed_weights([co, c, k, k]);
+        let yp = prepacked.forward(&[&x, &wp, &b]).unwrap();
+        prop_assert_eq!(
+            yp[0].data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            yd[0].data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "prepacked filter must be bit-identical to on-the-fly packing"
+        );
+    }
+
+    /// The direct tier's backward pass agrees with numerical gradients on
+    /// random conv instances (stride, padding, 1x1, fused ReLU).
+    #[test]
+    fn conv_direct_gradcheck_random(
+        c in 1usize..4, hw in 3usize..7, co in 1usize..10, k in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2, seed in 0u64..50,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let x = rand_tensor(&[1, c, hw, hw], seed);
+        let w = rand_tensor(&[co, c, k, k], seed ^ 5);
+        let b = rand_tensor(&[co], seed ^ 6);
+        let op = Conv2dOp::new(stride, pad, ConvAlgorithm::Direct);
+        let report = test_gradient(&op, &[&x, &w, &b], 1e-3, 40).unwrap();
+        prop_assert!(report.passes(5e-3), "max rel {}", report.max_rel_error);
     }
 
     /// Pooling order: min(window) <= avg <= max for every output element.

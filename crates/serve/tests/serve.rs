@@ -258,3 +258,75 @@ fn request_spans_flow_into_the_trace_recorder() {
     deep500_metrics::trace::validate_chrome_trace(&rec.chrome_trace_json())
         .expect("serve spans export as a valid chrome trace");
 }
+
+/// A conv model (auto-tier LeNet) served behind dynamic batching replies
+/// bit-identically to a solo engine compiled down the whole fast path —
+/// layout-pinned direct tier, ahead-of-time packed filters, fused
+/// bias+ReLU epilogues. Exercises the contract end to end: batch
+/// assembly, the direct conv tier's per-image independence, and every
+/// compile rewrite must preserve the exact float sequence.
+#[test]
+fn conv_model_replies_are_bit_identical_to_a_compiled_solo_engine() {
+    use deep500_graph::compile::CompileOptions;
+    use deep500_tensor::Shape;
+
+    const HW: usize = 12;
+    let lenet = || models::lenet(1, HW, CLASSES, SEED).unwrap();
+    let conv_feeds = |i: usize| -> Vec<(String, Tensor)> {
+        let x: Vec<f32> = (0..HW * HW)
+            .map(|j| ((i * HW * HW + j) as f32 * 0.11).cos())
+            .collect();
+        vec![
+            (
+                "x".to_string(),
+                Tensor::from_vec([1, 1, HW, HW], x).unwrap(),
+            ),
+            (
+                "labels".to_string(),
+                Tensor::from_slice(&[(i % CLASSES) as f32]),
+            ),
+        ]
+    };
+
+    let server = Server::builder()
+        .model(
+            "lenet",
+            ModelConfig::new(lenet())
+                .executor(ExecutorKind::Reference)
+                .batched_input("x", &[1, HW, HW])
+                .batched_input("labels", &[])
+                .policy(BatchPolicy::Dynamic {
+                    max_batch: 4,
+                    max_delay: Duration::from_millis(200),
+                }),
+        )
+        .build()
+        .unwrap();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| server.submit("lenet", &as_refs(&conv_feeds(i))).unwrap())
+        .collect();
+    let replies: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+
+    let engine = Engine::builder(lenet())
+        .compile(CompileOptions::inference())
+        .input_shape("x", Shape::new(&[1, 1, HW, HW]))
+        .input_shape("labels", Shape::new(&[1]))
+        .build()
+        .unwrap();
+    let report = engine.compile_report().expect("compiled");
+    assert!(
+        report.filters_packed > 0,
+        "solo engine must ride the packed direct tier: {report:?}"
+    );
+    for (i, reply) in replies.iter().enumerate() {
+        let alone = engine.session().infer(&as_refs(&conv_feeds(i))).unwrap();
+        let got: Vec<u32> = reply.outputs["logits"]
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let want: Vec<u32> = alone["logits"].data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "request {i}: served conv logits diverged");
+    }
+    server.shutdown();
+}

@@ -111,6 +111,36 @@ impl BufferPool {
         }
     }
 
+    /// A buffer of `numel` elements with *unspecified* (but initialized)
+    /// contents: a recycled buffer keeps whatever values it retired with,
+    /// a fresh allocation is zeroed. For callers that overwrite every
+    /// element they read — pack gathers, im2col lowering — this skips the
+    /// zero-fill pass of [`BufferPool::acquire`], which on a recycled
+    /// multi-megabyte panel is pure wasted memory traffic.
+    pub fn acquire_dirty(&self, numel: usize) -> Vec<f32> {
+        let class = Self::class_of(numel);
+        let reused = self.classes.lock().get_mut(&class).and_then(Vec::pop);
+        match reused {
+            Some(mut buf) => {
+                self.held_bytes
+                    .fetch_sub(class * std::mem::size_of::<f32>(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // No clear(): the prefix keeps its stale values. resize only
+                // zero-fills growth beyond the retired length, so this stays
+                // safe code with no uninitialized memory.
+                buf.truncate(numel);
+                buf.resize(numel, 0.0);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let mut buf = Vec::with_capacity(class);
+                buf.resize(numel, 0.0);
+                buf
+            }
+        }
+    }
+
     /// A buffer holding a copy of `src`, recycled when possible. Skips the
     /// zero-fill of [`BufferPool::acquire`] since every element is written.
     pub fn acquire_copy(&self, src: &[f32]) -> Vec<f32> {
@@ -306,6 +336,19 @@ pub fn scratch_zeroed(numel: usize) -> Vec<f32> {
     })
 }
 
+/// [`scratch_zeroed`] without the zero-fill: the buffer's contents are
+/// unspecified (stale values from a previous user of the pool, zeros when
+/// freshly allocated). Only for callers that overwrite every element they
+/// subsequently read — e.g. pack gathers that write whole slivers,
+/// zero-padding their edges explicitly.
+pub fn scratch_dirty(numel: usize) -> Vec<f32> {
+    let padded = numel.div_ceil(LINE_F32) * LINE_F32;
+    ACTIVE_POOL.with(|p| match p.borrow().as_ref() {
+        Some(pool) => pool.acquire_dirty(padded),
+        None => scratch_pool().acquire_dirty(padded),
+    })
+}
+
 /// Return a buffer obtained from [`scratch_zeroed`] for reuse.
 pub fn recycle_scratch(buf: Vec<f32>) {
     ACTIVE_POOL.with(|p| match p.borrow().as_ref() {
@@ -318,6 +361,26 @@ pub fn recycle_scratch(buf: Vec<f32>) {
 mod tests {
     use super::*;
     use crate::Tensor;
+
+    #[test]
+    fn acquire_dirty_keeps_stale_prefix_and_zero_fills_growth() {
+        let pool = BufferPool::new();
+        let mut buf = pool.acquire(64);
+        buf.fill(f32::NAN);
+        pool.recycle(buf);
+        // Same class: the dirty acquire must surface the stale NaNs (that
+        // is the contract callers opt into) without any zeroing pass...
+        let dirty = pool.acquire_dirty(64);
+        assert!(dirty.iter().all(|v| v.is_nan()));
+        pool.recycle(dirty);
+        // ...and growing past the retired length zero-fills only the tail,
+        // keeping the buffer fully initialized.
+        let grown = pool.acquire_dirty(100);
+        assert_eq!(grown.len(), 100);
+        assert!(grown[64..].iter().all(|&v| v == 0.0));
+        // A fresh (miss) dirty acquire is all zeros.
+        assert!(pool.acquire_dirty(4096).iter().all(|&v| v == 0.0));
+    }
 
     #[test]
     fn acquire_recycle_reuses_capacity() {

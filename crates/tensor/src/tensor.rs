@@ -9,22 +9,48 @@
 use crate::error::{Error, Result};
 use crate::rng::Xoshiro256StarStar;
 use crate::shape::Shape;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of content-version stamps. Never repeats, so two
+/// tensors carry the same [`Tensor::version`] only when one was cloned
+/// from the other and neither has been mutated since — i.e. equal versions
+/// imply bitwise-equal contents. Buffer-pool recycling cannot forge a
+/// collision: a recycled allocation is a new construction and gets a
+/// fresh stamp regardless of its address.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An owned, contiguous, row-major tensor of `f32`.
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+    version: u64,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Tensor) -> bool {
+        // Value equality only — the version stamp is cache-identity
+        // metadata, not part of the tensor's value.
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Clone for Tensor {
     fn clone(&self) -> Tensor {
         // Pool-aware: inside a `with_pool` scope the copy reuses a retired
         // buffer instead of allocating (executors clone activations and
-        // gradients on every pass).
+        // gradients on every pass). The clone keeps the source's version:
+        // its contents are identical until one of the two is mutated, and
+        // mutation re-stamps — so weight caches keyed on the version hit
+        // across executor parameter snapshots.
         Tensor {
             shape: self.shape.clone(),
             data: crate::pool::alloc_copy(&self.data),
+            version: self.version,
         }
     }
 }
@@ -38,6 +64,7 @@ impl Tensor {
         Tensor {
             shape,
             data: crate::pool::alloc_zeroed(n),
+            version: next_version(),
         }
     }
 
@@ -54,7 +81,11 @@ impl Tensor {
         if value != 0.0 {
             data.fill(value);
         }
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data,
+            version: next_version(),
+        }
     }
 
     /// Tensor from an existing buffer; length must match the shape.
@@ -68,7 +99,11 @@ impl Tensor {
                 shape.numel()
             )));
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data,
+            version: next_version(),
+        })
     }
 
     /// Rank-1 tensor from a slice.
@@ -76,6 +111,7 @@ impl Tensor {
         Tensor {
             shape: Shape::new(&[data.len()]),
             data: data.to_vec(),
+            version: next_version(),
         }
     }
 
@@ -84,6 +120,7 @@ impl Tensor {
         Tensor {
             shape: Shape::scalar(),
             data: vec![value],
+            version: next_version(),
         }
     }
 
@@ -96,6 +133,7 @@ impl Tensor {
     ) -> Tensor {
         let mut t = Tensor::zeros(shape);
         rng.fill_uniform(&mut t.data, lo, hi);
+        t.version = next_version();
         t
     }
 
@@ -108,6 +146,7 @@ impl Tensor {
     ) -> Tensor {
         let mut t = Tensor::zeros(shape);
         rng.fill_normal(&mut t.data, mean, stddev);
+        t.version = next_version();
         t
     }
 
@@ -133,9 +172,20 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the flat buffer.
+    /// Mutable view of the flat buffer. Re-stamps the content version:
+    /// the caller may write anything through it.
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.version = next_version();
         &mut self.data
+    }
+
+    /// Monotonic content-version stamp. Two tensors with equal versions
+    /// hold bitwise-identical buffers (clone shares the stamp; every
+    /// mutation path re-stamps from a never-repeating global counter), so
+    /// derived-data caches — packed conv filters, transposed GEMV weight
+    /// images — can key on this instead of hashing the buffer per call.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Consume into the flat buffer.
@@ -151,6 +201,7 @@ impl Tensor {
     /// Set element at a multi-index.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let off = self.shape.offset(index)?;
+        self.version = next_version();
         self.data[off] = value;
         Ok(())
     }
@@ -205,6 +256,7 @@ impl Tensor {
         Ok(Tensor {
             shape: self.shape.clone(),
             data,
+            version: next_version(),
         })
     }
 
@@ -216,6 +268,7 @@ impl Tensor {
                 self.shape, other.shape
             )));
         }
+        self.version = next_version();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -229,6 +282,7 @@ impl Tensor {
 
     /// In-place scale.
     pub fn scale_inplace(&mut self, alpha: f32) {
+        self.version = next_version();
         for v in &mut self.data {
             *v *= alpha;
         }
@@ -243,6 +297,7 @@ impl Tensor {
 
     /// Elementwise map in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.version = next_version();
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -331,6 +386,7 @@ impl Tensor {
         Ok(Tensor {
             shape: self.shape.with_dim(0, len),
             data,
+            version: next_version(),
         })
     }
 
@@ -344,7 +400,11 @@ impl Tensor {
             data[off..off + p.data.len()].copy_from_slice(&p.data);
             off += p.data.len();
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data,
+            version: next_version(),
+        })
     }
 
     /// Transpose a rank-2 tensor.
@@ -365,6 +425,7 @@ impl Tensor {
         Ok(Tensor {
             shape: Shape::new(&[c, r]),
             data,
+            version: next_version(),
         })
     }
 

@@ -103,6 +103,7 @@ impl Verifier {
         let mut lints = Vec::new();
         dataflow::run(ir, &mut lints);
         let shapes = shape_pass::infer(ir, input_shapes, input_dtypes, &mut lints);
+        shape_pass::check_layouts(ir, &shapes, &mut lints);
         let levels: Vec<Vec<String>> = aliasing::compute_levels(ir)
             .into_iter()
             .map(|level| {

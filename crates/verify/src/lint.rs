@@ -72,6 +72,10 @@ pub enum LintCode {
     InterfaceDrift,
     /// Transform safety: the transform dropped or reshaped parameters.
     ParamDrift,
+    /// A node declares a blocked-layout contract its edges do not satisfy —
+    /// e.g. a `Conv2d` marked `weights_packed` whose filter edge is not the
+    /// rank-1 packed image `PackConv2dFilter` produces for its `w_dims`.
+    LayoutMismatch,
 }
 
 impl LintCode {
@@ -93,6 +97,7 @@ impl LintCode {
             LintCode::ShapeDrift => "V013",
             LintCode::InterfaceDrift => "V014",
             LintCode::ParamDrift => "V015",
+            LintCode::LayoutMismatch => "V016",
         }
     }
 
@@ -109,7 +114,8 @@ impl LintCode {
             | LintCode::UnknownOp
             | LintCode::SameLevelHazard
             | LintCode::ShapeDrift
-            | LintCode::InterfaceDrift => Severity::Deny,
+            | LintCode::InterfaceDrift
+            | LintCode::LayoutMismatch => Severity::Deny,
             LintCode::DanglingFeed | LintCode::DeadNode | LintCode::NonAffineBatch => {
                 Severity::Warn
             }
@@ -201,6 +207,15 @@ impl LintCode {
             LintCode::ParamDrift => {
                 "The transform dropped or reshaped parameter tensors; optimizer state \
                  keyed by parameter name would silently desynchronize."
+            }
+            LintCode::LayoutMismatch => {
+                "The node declares a blocked-layout contract its edges do not satisfy. \
+                 A Conv2d marked `weights_packed = 1` promises its filter input is the \
+                 rank-1 MR-blocked image PackConv2dFilter emits for the natural \
+                 [co, ci, kh, kw] recorded in `w_dims`; a filter edge of any other \
+                 rank or length would be reinterpreted as garbage weights at \
+                 execution time. Usual cause: a layout rewrite that retagged the conv \
+                 without inserting (or after deleting) the matching pack node."
             }
         }
     }

@@ -337,3 +337,73 @@ fn transform_diff_passes_identity_and_flags_drift() {
         .iter()
         .any(|l| l.code == LintCode::InterfaceDrift));
 }
+
+// -------------------------------------------------------- layout contract
+
+/// A `Conv2d` declaring `weights_packed` must present a rank-1 filter edge
+/// of exactly the blocked-layout length its `w_dims` promises; anything
+/// else is a V016 deny. The same check runs inside the transform-safety
+/// diff, so a compile pass that retags a conv without producing the packed
+/// image is rejected at the gate.
+#[test]
+fn packed_conv_layout_contract_is_enforced() {
+    let conv = |attrs: Attributes| {
+        GraphIr::new("packed-conv")
+            .input("x")
+            .input("w")
+            .input("b")
+            .node("c", "Conv2d", attrs, &["x", "w", "b"], &["y"])
+            .output("y")
+    };
+    let base = || {
+        Attributes::new()
+            .with_int("stride", 1)
+            .with_int("pad", 0)
+            .with_str("algorithm", "direct")
+            .with_int("weights_packed", 1)
+    };
+    let x = ("x", Shape::new(&[1, 2, 8, 8]));
+    let b = ("b", Shape::new(&[8]));
+    let k = 2 * 3 * 3;
+    let good_len = deep500_ops::conv::direct::packed_filter_len(8, k);
+
+    // Missing w_dims: denied.
+    let ir = conv(base());
+    let report = Verifier::new()
+        .check_with_inputs(&ir, &[x.clone(), ("w", Shape::new(&[good_len])), b.clone()]);
+    let lints = report.with_code(LintCode::LayoutMismatch);
+    assert_eq!(lints.len(), 1, "{}", report.render(true));
+    assert_eq!(lints[0].severity, Severity::Deny);
+    assert_eq!(lints[0].node.as_deref(), Some("c"));
+
+    // Natural (rank-4) filter edge despite the packed claim: denied.
+    let ir = conv(base().with_ints("w_dims", &[8, 2, 3, 3]));
+    let report = Verifier::new().check_with_inputs(
+        &ir,
+        &[x.clone(), ("w", Shape::new(&[8, 2, 3, 3])), b.clone()],
+    );
+    assert_eq!(report.with_code(LintCode::LayoutMismatch).len(), 1);
+
+    // Correct packed image: clean.
+    let ir = conv(base().with_ints("w_dims", &[8, 2, 3, 3]));
+    let report = Verifier::new()
+        .check_with_inputs(&ir, &[x.clone(), ("w", Shape::new(&[good_len])), b.clone()]);
+    assert!(
+        report.with_code(LintCode::LayoutMismatch).is_empty(),
+        "{}",
+        report.render(true)
+    );
+
+    // The transform-safety harness catches a broken layout rewrite: the
+    // "after" graph claims packing but kept the natural filter.
+    let before = conv(
+        Attributes::new()
+            .with_int("stride", 1)
+            .with_int("pad", 0)
+            .with_str("algorithm", "direct"),
+    );
+    let after = conv(base().with_ints("w_dims", &[8, 2, 3, 3]));
+    let diff = transform_safety::diff(&before, &after, &[x, ("w", Shape::new(&[8, 2, 3, 3])), b]);
+    assert!(!diff.passes(), "broken layout rewrite must be denied");
+    assert_eq!(diff.report.with_code(LintCode::LayoutMismatch).len(), 1);
+}
