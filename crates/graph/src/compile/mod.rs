@@ -43,9 +43,11 @@ pub mod layout;
 pub mod passes;
 pub mod plan;
 pub mod planned;
+pub mod shadow;
 
 pub use plan::{ExecutionPlan, MemoryPlan};
 pub use planned::{PlanCacheStats, PlannedExecutor};
+pub use shadow::ShadowChecker;
 
 use crate::network::Network;
 use crate::transforms::fusion;
@@ -231,6 +233,20 @@ pub fn compile(
     // Final structural gate: whatever the pipeline produced must still
     // pass the constructor-grade verifier.
     deep500_verify::gate(&net.to_ir())?;
+    // Plan-soundness gate (V017–V020): freeze the schedule and memory
+    // plan the planned executor would run at these shapes and prove slot
+    // safety, fusion aliasing, and memo invalidation before anything
+    // executes. Under training options the parameters count as mutable,
+    // so a pipeline that froze packed weights into a trainable graph is
+    // rejected here.
+    let exec_plan = plan::ExecutionPlan::freeze(net, input_shapes)?;
+    let ops = net.instantiate_ops()?;
+    let mutable: Vec<String> = if opts.freeze_params {
+        Vec::new()
+    } else {
+        net.gradient().into_iter().map(|(p, _)| p).collect()
+    };
+    deep500_verify::gate_plan(&exec_plan.to_plan_ir(net, &ops, &mutable))?;
     Ok(report)
 }
 

@@ -303,9 +303,99 @@ impl ExecutionPlan {
         })
     }
 
+    /// Convenience constructor: freeze a plan for `network` using its own
+    /// topological order and wavefront level partition — exactly the
+    /// schedule [`PlannedExecutor`](super::PlannedExecutor) and the
+    /// wavefront executor run at these feed shapes.
+    pub fn freeze(network: &Network, input_shapes: &[(&str, Shape)]) -> Result<ExecutionPlan> {
+        let order = network.topological_order()?;
+        let levels = crate::wavefront::partition_levels(network, &order);
+        ExecutionPlan::build(network, &order, &levels, input_shapes)
+    }
+
     /// Number of environment tensors.
     pub fn num_env(&self) -> usize {
         self.tensor_names.len()
+    }
+
+    /// Lower the frozen plan into the verifier's plain-data [`PlanIr`] for
+    /// the plan-soundness pipeline (`V017`–`V020`), mirroring how
+    /// `Network::to_ir()` feeds the graph-level passes.
+    ///
+    /// `ops` supplies the instantiated operators whose effect annotations
+    /// ([`deep500_ops::OpEffects`]) mark version-memoized and mutated
+    /// inputs; `mutable_params` lists the parameters the runtime may
+    /// re-stamp between passes (the trained set — empty for pure
+    /// inference).
+    pub fn to_plan_ir(
+        &self,
+        network: &Network,
+        ops: &HashMap<NodeId, Box<dyn deep500_ops::Operator>>,
+        mutable_params: &[String],
+    ) -> deep500_verify::PlanIr {
+        use deep500_verify::{FrozenMemoIr, PlanIr, PlanStepIr, PlanValueIr};
+
+        let mut steps = Vec::with_capacity(self.steps.len());
+        let mut frozen_memos = Vec::new();
+        for (l, &(lo, hi)) in self.level_ranges.iter().enumerate() {
+            for step in &self.steps[lo..hi.min(self.steps.len())] {
+                let node = network.node(step.node).expect("live node");
+                let effects = ops
+                    .get(&step.node)
+                    .map(|op| op.effects())
+                    .unwrap_or_default();
+                let inputs: Vec<PlanValueIr> = step
+                    .inputs
+                    .iter()
+                    .map(|v| match v {
+                        ValueRef::Env(id) => PlanValueIr::Env(*id),
+                        ValueRef::Net(name) => PlanValueIr::Net(name.clone()),
+                    })
+                    .collect();
+                // A conv retagged `weights_packed` whose packed image comes
+                // from the value store (the pack node was const-folded
+                // away) consumes a compile-time-frozen artifact: nothing in
+                // the schedule re-derives it if its source is re-stamped.
+                if node.attrs.int_or("weights_packed", 0) == 1 {
+                    for input in &inputs {
+                        let PlanValueIr::Net(name) = input else {
+                            continue;
+                        };
+                        if let Some(src) = name.strip_suffix("::packed") {
+                            frozen_memos.push(FrozenMemoIr {
+                                node: node.name.clone(),
+                                artifact: name.clone(),
+                                source: src.to_string(),
+                            });
+                        }
+                    }
+                }
+                steps.push(PlanStepIr {
+                    node: node.name.clone(),
+                    op_type: node.op_type.clone(),
+                    level: l,
+                    inputs,
+                    outputs: step.outputs.clone(),
+                    memo_inputs: effects.version_memo_inputs,
+                    mutated_inputs: effects.mutated_inputs,
+                    epilogue: !node.attrs.str_or("epilogue", "").is_empty(),
+                });
+            }
+        }
+        let mut feed_ids: Vec<usize> = self.feed_ids.values().copied().collect();
+        feed_ids.sort_unstable();
+        PlanIr {
+            name: network.name.clone(),
+            tensor_names: self.tensor_names.clone(),
+            steps,
+            level_count: self.level_ranges.len(),
+            slot_of_id: self.slot_of_id.clone(),
+            dies_after_level: self.dies_after_level.clone(),
+            pinned_outputs: self.outputs.iter().map(|(_, id)| *id).collect(),
+            feed_ids,
+            mutable_params: mutable_params.to_vec(),
+            frozen_memos,
+        }
     }
 }
 

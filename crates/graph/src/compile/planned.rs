@@ -22,6 +22,7 @@
 //! from the actual feed shapes and rebuilt transparently if they change.
 
 use super::plan::{ExecutionPlan, PlanStep, ValueRef};
+use super::shadow::ShadowChecker;
 use crate::executor::{GraphExecutor, MemoryAccountant, OpTotals};
 use crate::network::{Network, NodeId};
 use crate::wavefront::partition_levels;
@@ -40,11 +41,22 @@ type SlotBufs = Vec<(usize, Vec<f32>)>;
 type ForwardProduct = (Vec<Tensor>, SlotBufs, f64, f64, u64, Option<String>);
 type BackwardProduct = Option<(Vec<Tensor>, f64)>;
 
+/// Whether the runtime shadow checker cross-validates slot residency this
+/// build: debug builds and the `shadow-check` feature opt in; release hot
+/// paths stay free of the bookkeeping.
+const SHADOW: bool = cfg!(any(debug_assertions, feature = "shadow-check"));
+
 /// One memoized compiled plan: the frozen schedule plus its static slot
 /// buffers (each `None` until first donated).
 struct PlanEntry {
     plan: ExecutionPlan,
     slots: Vec<Option<Vec<f32>>>,
+    /// Whether the plan passed the plan-soundness gate with the trained
+    /// parameter set marked mutable (re-checked lazily on the first
+    /// backprop pass; inference-soundness is checked at build).
+    verified_training: bool,
+    /// Runtime cross-validation of the static slot-safety proof.
+    shadow: ShadowChecker,
 }
 
 /// Feed shapes, sorted by input name — the memoization key for compiled
@@ -207,35 +219,79 @@ impl PlannedExecutor {
     /// current. Shapes seen before reuse their memoized plan (and slot
     /// buffers) instead of recompiling — the property dynamic batching
     /// leans on when assembled batch sizes bounce between passes.
-    fn ensure_plan(&mut self, feeds: &[(&str, Tensor)]) -> Result<()> {
+    ///
+    /// Every freshly built plan must pass the plan-soundness gate
+    /// ([`deep500_verify::gate_plan`], `V017`–`V020`) before any pass runs
+    /// it. With `training`, the gate additionally runs with the trained
+    /// parameter set marked mutable (once per cached plan) — a plan
+    /// consuming compile-time-frozen packed weights is sound for inference
+    /// but denied for backprop, since nothing re-derives the artifact
+    /// after an optimizer step.
+    fn ensure_plan(&mut self, feeds: &[(&str, Tensor)], training: bool) -> Result<()> {
         let mut key: PlanKey = feeds
             .iter()
             .map(|(n, t)| (n.to_string(), t.shape().clone()))
             .collect();
         key.sort_by(|a, b| a.0.cmp(&b.0));
-        if self.current.as_ref() == Some(&key) {
-            return Ok(());
-        }
-        if self.plans.contains_key(&key) {
+        if !self.plans.contains_key(&key) {
+            let input_shapes: Vec<(&str, Shape)> =
+                feeds.iter().map(|(n, t)| (*n, t.shape().clone())).collect();
+            let plan =
+                ExecutionPlan::build(&self.network, &self.order, &self.levels, &input_shapes)?;
+            deep500_verify::gate_plan(&plan.to_plan_ir(&self.network, &self.ops, &[]))?;
+            self.plan_builds += 1;
+            if self.plans.len() >= MAX_CACHED_PLANS {
+                // Evict an arbitrary entry (iteration order): the cache is a
+                // memoization aid, not a correctness surface.
+                if let Some(victim) = self.plans.keys().next().cloned() {
+                    self.plans.remove(&victim);
+                }
+            }
+            let slots = vec![None; plan.memory.num_slots()];
+            let shadow = ShadowChecker::new(plan.memory.num_slots());
+            self.plans.insert(
+                key.clone(),
+                PlanEntry {
+                    plan,
+                    slots,
+                    verified_training: false,
+                    shadow,
+                },
+            );
+        } else if self.current.as_ref() != Some(&key) {
             self.plan_hits += 1;
-            self.current = Some(key);
-            return Ok(());
         }
-        let input_shapes: Vec<(&str, Shape)> =
-            feeds.iter().map(|(n, t)| (*n, t.shape().clone())).collect();
-        let plan = ExecutionPlan::build(&self.network, &self.order, &self.levels, &input_shapes)?;
-        self.plan_builds += 1;
-        if self.plans.len() >= MAX_CACHED_PLANS {
-            // Evict an arbitrary entry (iteration order): the cache is a
-            // memoization aid, not a correctness surface.
-            if let Some(victim) = self.plans.keys().next().cloned() {
-                self.plans.remove(&victim);
+        if training && !self.plans[&key].verified_training {
+            let mutable: Vec<String> = self
+                .network
+                .gradient()
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect();
+            let plan_ir = self.plans[&key]
+                .plan
+                .to_plan_ir(&self.network, &self.ops, &mutable);
+            deep500_verify::gate_plan(&plan_ir)?;
+            if let Some(entry) = self.plans.get_mut(&key) {
+                entry.verified_training = true;
             }
         }
-        let slots = vec![None; plan.memory.num_slots()];
-        self.plans.insert(key.clone(), PlanEntry { plan, slots });
         self.current = Some(key);
         Ok(())
+    }
+
+    /// Shadow-checker violation count of the current plan, when runtime
+    /// cross-validation is compiled in (debug builds or the `shadow-check`
+    /// feature). `Some(0)` is the expected steady state: the static
+    /// analysis proved exactly what the runtime observes.
+    pub fn shadow_violations(&self) -> Option<usize> {
+        if !SHADOW {
+            return None;
+        }
+        self.current
+            .as_ref()
+            .and_then(|k| self.plans.get(k))
+            .map(|e| e.shadow.violations())
     }
 
     /// The planned forward pass. With `reclaim`, buffers of tensors whose
@@ -263,8 +319,25 @@ impl PlannedExecutor {
         let entry = plans
             .get_mut(current.as_ref().expect("ensure_plan ran"))
             .expect("current plan is cached");
-        let PlanEntry { plan, slots } = entry;
+        let PlanEntry {
+            plan,
+            slots,
+            shadow,
+            ..
+        } = entry;
         let plan = &*plan;
+        let shadow = &*shadow;
+        // Residency tracking only makes sense when the pass exercises the
+        // reclaim protocol; backprop passes keep buffers alive past their
+        // death levels by design.
+        let epoch = if SHADOW && reclaim {
+            shadow.begin_pass()
+        } else {
+            if SHADOW {
+                shadow.suspend_pass();
+            }
+            0
+        };
 
         memory.reset();
         let mut env: Vec<Option<Tensor>> = vec![None; plan.num_env()];
@@ -277,6 +350,11 @@ impl PlannedExecutor {
             };
             memory.allocate(t.size_bytes())?;
             env[id] = Some(t.clone());
+            if SHADOW {
+                if let Some(s) = plan.slot_of_id[id] {
+                    shadow.occupy(epoch, s, id);
+                }
+            }
         }
 
         for (l, &(lo, hi)) in plan.level_ranges.iter().enumerate() {
@@ -359,6 +437,11 @@ impl PlannedExecutor {
                     totals.record_forward(seconds, flops, bytes);
                     for (&oid, tensor) in step.outputs.iter().zip(outputs) {
                         env[oid] = Some(tensor);
+                        if SHADOW {
+                            if let Some(s) = plan.slot_of_id[oid] {
+                                shadow.occupy(epoch, s, oid);
+                            }
+                        }
                     }
                     // Buffers the operator did not consume go back to
                     // their slot (matched by tagged numel) or the pool.
@@ -386,6 +469,11 @@ impl PlannedExecutor {
                     if let Some(t) = env[id].take() {
                         memory.release(t.size_bytes());
                         let v = t.into_vec();
+                        if SHADOW {
+                            if let Some(s) = plan.slot_of_id[id] {
+                                shadow.vacate(epoch, s, id);
+                            }
+                        }
                         match plan.slot_of_id[id] {
                             Some(s) if slots[s].is_none() => slots[s] = Some(v),
                             _ => pool.recycle(v),
@@ -421,14 +509,28 @@ impl PlannedExecutor {
             .plans
             .get_mut(self.current.as_ref().expect("plan built"))
             .expect("current plan is cached");
-        let PlanEntry { plan, slots } = entry;
+        let PlanEntry {
+            plan,
+            slots,
+            shadow,
+            ..
+        } = entry;
+        let epoch = shadow.current_epoch();
         for (id, slot_tensor) in env.into_iter().enumerate() {
             let Some(t) = slot_tensor else { continue };
             let v = t.into_vec();
+            if SHADOW {
+                if let Some(s) = plan.slot_of_id[id] {
+                    shadow.vacate(epoch, s, id);
+                }
+            }
             match plan.slot_of_id[id] {
                 Some(s) if slots[s].is_none() => slots[s] = Some(v),
                 _ => self.pool.recycle(v),
             }
+        }
+        if SHADOW {
+            shadow.end_pass();
         }
     }
 
@@ -607,7 +709,7 @@ impl GraphExecutor for PlannedExecutor {
         self.pass_counter += 1;
         let pass = self.pass_counter;
         self.events.begin(Phase::Inference, pass);
-        self.ensure_plan(feeds)?;
+        self.ensure_plan(feeds, false)?;
         let env = self.forward_planned(feeds, true)?;
         let outputs = self.collect_outputs(&env);
         self.events.end(Phase::Inference, pass);
@@ -623,7 +725,7 @@ impl GraphExecutor for PlannedExecutor {
         self.pass_counter += 1;
         let pass = self.pass_counter;
         self.events.begin(Phase::Backprop, pass);
-        self.ensure_plan(feeds)?;
+        self.ensure_plan(feeds, true)?;
         let env = self.forward_planned(feeds, false)?;
         self.backward_planned(&env, loss)?;
         let outputs = self.collect_outputs(&env);
@@ -650,6 +752,10 @@ impl GraphExecutor for PlannedExecutor {
 
     fn static_plan_bytes(&self) -> Option<usize> {
         self.plan_bytes()
+    }
+
+    fn shadow_violations(&self) -> Option<usize> {
+        PlannedExecutor::shadow_violations(self)
     }
 }
 

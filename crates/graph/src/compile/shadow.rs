@@ -1,0 +1,250 @@
+//! Runtime shadow checker for the static plan-soundness analysis.
+//!
+//! [`check_plan`](deep500_verify::check_plan) proves, from the plan data
+//! alone, that no two buffers ever occupy one static slot at the same time
+//! (`V017`/`V018`). The [`ShadowChecker`] cross-validates that proof at
+//! runtime: the planned executor reports every slot occupancy transition
+//! (a tensor with a slot assignment landing in the pass environment) and
+//! every vacation (the death list or end-of-pass reclaim releasing it),
+//! and the checker verifies the transitions describe an exclusive
+//! residency per slot — any overlap the static analysis should have denied
+//! shows up as a logged violation instead of silent corruption.
+//!
+//! Bookkeeping is one CAS per transition on a per-slot `AtomicU64` packing
+//! `(epoch << 32) | (tensor id + 1)` (`0` = vacant), so the checker is
+//! sound even if an executor ever drives transitions from worker threads,
+//! and a vacate left over from a previous pass (stale epoch) can never
+//! satisfy the current pass's expected word. The loom suite drives the
+//! same API from racing threads to model the CAS protocol itself.
+//!
+//! The checker always compiles; the planned executor only *calls* it under
+//! `debug_assertions` or the `shadow-check` feature, keeping release hot
+//! paths free of the extra atomics.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Pack an occupancy word: `(epoch << 32) | (id + 1)`; `0` means vacant.
+fn word(epoch: u32, id: usize) -> u64 {
+    ((epoch as u64) << 32) | ((id as u64 + 1) & 0xffff_ffff)
+}
+
+/// Per-slot exclusive-residency monitor. See the module docs.
+#[derive(Debug)]
+pub struct ShadowChecker {
+    slots: Vec<AtomicU64>,
+    epoch: AtomicU64,
+    /// Whether the pass in flight exercises the slot-reclaim protocol at
+    /// all. Backprop forward passes keep every tensor alive past its death
+    /// level and draw fresh buffers instead of recycling slots, so there
+    /// is no residency protocol to check — transitions become no-ops.
+    tracking: std::sync::atomic::AtomicBool,
+    violations: AtomicUsize,
+    log: Mutex<Vec<String>>,
+}
+
+impl ShadowChecker {
+    /// A checker for a plan with `num_slots` static slots.
+    pub fn new(num_slots: usize) -> ShadowChecker {
+        ShadowChecker {
+            slots: (0..num_slots).map(|_| AtomicU64::new(0)).collect(),
+            epoch: AtomicU64::new(0),
+            tracking: std::sync::atomic::AtomicBool::new(true),
+            violations: AtomicUsize::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn flag(&self, message: String) {
+        self.violations.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut log) = self.log.lock() {
+            if log.len() < 64 {
+                log.push(message);
+            }
+        }
+    }
+
+    /// Start a pass: bump the epoch so stale transitions from earlier
+    /// passes can never pair with this one's, and clear any residency
+    /// left behind by a pass that errored out mid-flight (already flagged
+    /// by `end_pass` if it got there; silently reset here so an aborted
+    /// pass does not cascade into false positives).
+    pub fn begin_pass(&self) -> u32 {
+        for cell in &self.slots {
+            cell.store(0, Ordering::Release);
+        }
+        self.tracking.store(true, Ordering::Release);
+        (self.epoch.fetch_add(1, Ordering::Relaxed) + 1) as u32
+    }
+
+    /// Start a pass that does not exercise the reclaim protocol (backprop
+    /// keeps buffers alive past their death levels): clear state and turn
+    /// every transition into a no-op until the next [`Self::begin_pass`].
+    pub fn suspend_pass(&self) {
+        for cell in &self.slots {
+            cell.store(0, Ordering::Release);
+        }
+        self.tracking.store(false, Ordering::Release);
+    }
+
+    /// The epoch of the pass currently in flight.
+    pub fn current_epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Relaxed) as u32
+    }
+
+    /// Record tensor `id` taking residency of `slot`. A slot that is not
+    /// vacant is a residency overlap — exactly what `V017` proves absent.
+    pub fn occupy(&self, epoch: u32, slot: usize, id: usize) {
+        if !self.tracking.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(cell) = self.slots.get(slot) else {
+            self.flag(format!("occupy of unknown slot {slot} by tensor {id}"));
+            return;
+        };
+        if let Err(prev) =
+            cell.compare_exchange(0, word(epoch, id), Ordering::AcqRel, Ordering::Acquire)
+        {
+            self.flag(format!(
+                "slot {slot}: tensor {id} occupied while word {prev:#x} \
+                 (epoch {}, tensor {}) still resident",
+                prev >> 32,
+                (prev & 0xffff_ffff) as i64 - 1,
+            ));
+        }
+    }
+
+    /// Record tensor `id` vacating `slot`. The slot must hold exactly this
+    /// pass's `(epoch, id)` word — a mismatch means a double free, a free
+    /// of a buffer another tensor took over, or a stale cross-pass vacate.
+    pub fn vacate(&self, epoch: u32, slot: usize, id: usize) {
+        if !self.tracking.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(cell) = self.slots.get(slot) else {
+            self.flag(format!("vacate of unknown slot {slot} by tensor {id}"));
+            return;
+        };
+        let expect = word(epoch, id);
+        if let Err(prev) = cell.compare_exchange(expect, 0, Ordering::AcqRel, Ordering::Acquire) {
+            self.flag(format!(
+                "slot {slot}: tensor {id} vacated but the slot held {prev:#x}, \
+                 expected {expect:#x}",
+            ));
+        }
+    }
+
+    /// End a pass: every slot must be vacant again (the death lists plus
+    /// the end-of-pass reclaim release everything). Residual occupancies
+    /// are flagged and cleared so one bad pass does not cascade.
+    pub fn end_pass(&self) {
+        if !self.tracking.load(Ordering::Acquire) {
+            return;
+        }
+        for (slot, cell) in self.slots.iter().enumerate() {
+            let prev = cell.swap(0, Ordering::AcqRel);
+            if prev != 0 {
+                self.flag(format!(
+                    "slot {slot}: word {prev:#x} still resident at pass end",
+                ));
+            }
+        }
+    }
+
+    /// Number of violations observed so far.
+    pub fn violations(&self) -> usize {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// The (bounded) violation log, for diagnostics and tests.
+    pub fn log(&self) -> Vec<String> {
+        self.log.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_occupancy_protocol_has_no_violations() {
+        let sc = ShadowChecker::new(2);
+        for _ in 0..3 {
+            let e = sc.begin_pass();
+            sc.occupy(e, 0, 7);
+            sc.occupy(e, 1, 8);
+            sc.vacate(e, 0, 7);
+            // Slot 0 handed off to a new tenant within the pass.
+            sc.occupy(e, 0, 9);
+            sc.vacate(e, 0, 9);
+            sc.vacate(e, 1, 8);
+            sc.end_pass();
+        }
+        assert_eq!(sc.violations(), 0, "{:?}", sc.log());
+    }
+
+    #[test]
+    fn overlapping_residency_is_flagged() {
+        let sc = ShadowChecker::new(1);
+        let e = sc.begin_pass();
+        sc.occupy(e, 0, 1);
+        sc.occupy(e, 0, 2); // overlap
+        assert_eq!(sc.violations(), 1);
+        assert!(sc.log()[0].contains("slot 0"));
+    }
+
+    #[test]
+    fn mismatched_and_stale_vacates_are_flagged() {
+        let sc = ShadowChecker::new(1);
+        let e1 = sc.begin_pass();
+        sc.occupy(e1, 0, 1);
+        sc.vacate(e1, 0, 2); // wrong tenant
+        assert_eq!(sc.violations(), 1);
+        sc.vacate(e1, 0, 1); // correct
+        sc.end_pass();
+        let _e2 = sc.begin_pass();
+        sc.vacate(e1, 0, 1); // stale epoch, slot vacant
+        assert_eq!(sc.violations(), 2);
+        sc.end_pass();
+    }
+
+    #[test]
+    fn leftover_residency_at_pass_end_is_flagged_and_cleared() {
+        let sc = ShadowChecker::new(2);
+        let e = sc.begin_pass();
+        sc.occupy(e, 1, 5);
+        sc.end_pass();
+        assert_eq!(sc.violations(), 1);
+        // The residual was cleared: the next pass starts clean.
+        let e = sc.begin_pass();
+        sc.occupy(e, 1, 6);
+        sc.vacate(e, 1, 6);
+        sc.end_pass();
+        assert_eq!(sc.violations(), 1);
+    }
+
+    #[test]
+    fn suspended_passes_ignore_transitions() {
+        let sc = ShadowChecker::new(1);
+        sc.suspend_pass();
+        sc.occupy(1, 0, 1);
+        sc.occupy(1, 0, 2); // would be an overlap if tracked
+        sc.vacate(1, 0, 9); // would be a mismatch if tracked
+        sc.end_pass();
+        assert_eq!(sc.violations(), 0);
+        // Tracking resumes with the next real pass.
+        let e = sc.begin_pass();
+        sc.occupy(e, 0, 1);
+        sc.occupy(e, 0, 2);
+        assert_eq!(sc.violations(), 1);
+    }
+
+    #[test]
+    fn out_of_range_slots_are_violations_not_panics() {
+        let sc = ShadowChecker::new(1);
+        let e = sc.begin_pass();
+        sc.occupy(e, 9, 0);
+        sc.vacate(e, 9, 0);
+        assert_eq!(sc.violations(), 2);
+    }
+}

@@ -235,6 +235,15 @@ pub trait GraphExecutor: Send {
         None
     }
 
+    /// Violations observed by the runtime shadow checker cross-validating
+    /// the static plan-soundness analysis (see
+    /// [`ShadowChecker`](crate::compile::ShadowChecker)). `None` for
+    /// executors without residency tracking or builds where it is compiled
+    /// out; `Some(0)` is the expected steady state.
+    fn shadow_violations(&self) -> Option<usize> {
+        None
+    }
+
     /// Fold [`GraphExecutor::op_totals`] into per-operator attribution
     /// rows (wall time, FLOPs, bytes moved), named from the network and
     /// sorted by descending total time.

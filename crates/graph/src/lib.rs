@@ -43,6 +43,7 @@ pub mod wavefront;
 
 pub use compile::{
     compile, CompileOptions, CompileReport, ExecutionPlan, MemoryPlan, PlannedExecutor,
+    ShadowChecker,
 };
 pub use engine::{Engine, EngineBuilder, EngineGuard, Session};
 pub use executor::{GraphExecutor, MemoryAccountant, OpTotals, ReferenceExecutor};

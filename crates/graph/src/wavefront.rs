@@ -229,6 +229,29 @@ impl WavefrontExecutor {
         &self.levels
     }
 
+    /// Run the plan-soundness analysis (`V017`–`V020`) over the schedule
+    /// *this* executor runs at the given feed shapes: freeze its own level
+    /// partition into an [`ExecutionPlan`](crate::compile::ExecutionPlan)
+    /// and gate the lowered plan. The wavefront executor re-derives
+    /// readiness dynamically, but its level partition — and therefore its
+    /// happens-before order and buffer lifetimes — is exactly what the
+    /// plan freezes, so the static proof transfers. `mutable_params`
+    /// follows the intended use: empty for inference, the trained set for
+    /// backprop.
+    pub fn verify_plan(
+        &self,
+        input_shapes: &[(&str, Shape)],
+        mutable_params: &[String],
+    ) -> Result<deep500_verify::VerifyReport> {
+        let plan = crate::compile::ExecutionPlan::build(
+            &self.network,
+            &self.order,
+            &self.levels,
+            input_shapes,
+        )?;
+        deep500_verify::gate_plan(&plan.to_plan_ir(&self.network, &self.ops, mutable_params))
+    }
+
     /// Buffer-pool effectiveness counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()

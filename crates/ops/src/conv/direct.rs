@@ -319,6 +319,14 @@ fn conv_image(
             }
             for ic in (0..co).step_by(bl.mc) {
                 let mc_b = bl.mc.min(co - ic);
+                // Safety audit: these calls are safe fns, but they feed the
+                // `unsafe` microkernels in `gemm::packed`, whose SAFETY
+                // comments assume whole `MR`/`nr`-padded slivers. The A
+                // slice is `round_up(mc_b, MR)·kc_b` by construction here
+                // and the B rows were padded to `round_up(nc_b, nr)` above;
+                // the kernels re-assert both via slice indexing, and the CI
+                // miri job interprets the `conv::direct` tests to check the
+                // packing arithmetic end to end.
                 let apack = &pf[rows_pad * pc + ic * kc_b..][..round_up(mc_b, MR) * kc_b];
                 let cpanel = &mut optr[ic * cols..(ic + mc_b) * cols];
                 if wide {

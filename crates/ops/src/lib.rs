@@ -39,4 +39,4 @@ pub mod registry;
 pub mod shape_ops;
 pub mod validate;
 
-pub use operator::Operator;
+pub use operator::{OpEffects, Operator};

@@ -104,6 +104,18 @@ impl Operator for LinearOp {
     fn num_inputs(&self) -> usize {
         3
     }
+    fn effects(&self) -> crate::operator::OpEffects {
+        // Under `Packed`, single-row batches take the GEMV fast path over a
+        // transposed weight image memoized on input 1's version stamp.
+        crate::operator::OpEffects {
+            version_memo_inputs: if self.algo == Algorithm::Packed {
+                vec![1]
+            } else {
+                Vec::new()
+            },
+            mutated_inputs: Vec::new(),
+        }
+    }
     fn output_shapes(&self, s: &[&Shape]) -> Result<Vec<Shape>> {
         let (n, _, fout) = self.dims(s[0], s[1], s[2])?;
         Ok(vec![Shape::new(&[n, fout])])
@@ -121,6 +133,10 @@ impl Operator for LinearOp {
             // Single-row fast path: GEMV over the cached transposed
             // weights. Bit-identical to the batched GEMM below — the
             // other `Algorithm` tiers stay on their reference kernels.
+            // Safety audit: `gemv_bt_padded`'s SIMD tiles assume every
+            // cached row is padded to `round_up(fout, NR_W)` readable
+            // lanes; `transposed` builds exactly that layout, and the CI
+            // miri job interprets the `linear` tests to check it.
             let wt = self.transposed(w, fout, fin);
             let mut y = Tensor::zeros([1, fout]);
             gemv_bt_padded(fout, fin, x.data(), &wt, y.data_mut(), epilogue);

@@ -30,15 +30,19 @@
 pub mod aliasing;
 pub mod batch_contract;
 pub mod dataflow;
+pub mod happens_before;
 pub mod ir;
 pub mod lint;
+pub mod plan_check;
 pub mod shape_pass;
 pub mod transform_safety;
 
 pub use aliasing::{AliasReport, LiveRange};
 pub use batch_contract::{batch_contract, BatchContract, BatchRole};
+pub use happens_before::HappensBefore;
 pub use ir::{GraphIr, NodeIr};
 pub use lint::{Lint, LintCode, Severity, VerifyReport};
+pub use plan_check::{check_plan, FrozenMemoIr, PlanIr, PlanStepIr, PlanValueIr};
 pub use shape_pass::{SymDim, SymShape};
 pub use transform_safety::TransformDiff;
 
@@ -165,6 +169,14 @@ pub fn gate(ir: &GraphIr) -> Result<VerifyReport> {
 pub fn gate_with_inputs(ir: &GraphIr, input_shapes: &[(&str, Shape)]) -> Result<VerifyReport> {
     let report = Verifier::new().check_with_inputs(ir, input_shapes);
     deny_to_error(&ir.name, report)
+}
+
+/// Gate over the plan-soundness pipeline ([`plan_check::check_plan`]):
+/// executors call this on a lowered [`PlanIr`] before the first pass runs
+/// over a compiled plan.
+pub fn gate_plan(plan: &PlanIr) -> Result<VerifyReport> {
+    let report = check_plan(plan);
+    deny_to_error(&plan.name, report)
 }
 
 fn deny_to_error(graph: &str, report: VerifyReport) -> Result<VerifyReport> {

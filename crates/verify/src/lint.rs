@@ -76,6 +76,21 @@ pub enum LintCode {
     /// e.g. a `Conv2d` marked `weights_packed` whose filter edge is not the
     /// rank-1 packed image `PackConv2dFilter` produces for its `w_dims`.
     LayoutMismatch,
+    /// Plan soundness: one memory slot is assigned to two buffers whose
+    /// live ranges overlap under the schedule's happens-before relation,
+    /// so concurrent steps could read and write the same physical buffer.
+    PlanSlotRace,
+    /// Plan soundness: a step reads an environment tensor after the plan
+    /// already recycled its buffer (death level before the read), or a
+    /// value is read before any ordered step defines it.
+    PlanLivenessGap,
+    /// Plan soundness: a fused epilogue (or in-place rewrite) writes an
+    /// output slot that aliases a live input of a step unordered with it.
+    EpilogueAlias,
+    /// Plan soundness: a version-keyed memo (packed conv filter, GEMV
+    /// weight image) can serve stale derived data — its source may be
+    /// re-stamped on a path the plan never re-validates.
+    StaleMemo,
 }
 
 impl LintCode {
@@ -98,7 +113,39 @@ impl LintCode {
             LintCode::InterfaceDrift => "V014",
             LintCode::ParamDrift => "V015",
             LintCode::LayoutMismatch => "V016",
+            LintCode::PlanSlotRace => "V017",
+            LintCode::PlanLivenessGap => "V018",
+            LintCode::EpilogueAlias => "V019",
+            LintCode::StaleMemo => "V020",
         }
+    }
+
+    /// Every lint code, in `V###` order — rendering and explain-coverage
+    /// tests iterate this so a newly added code cannot ship without its
+    /// `code()`/`explain()` entries.
+    pub fn all() -> &'static [LintCode] {
+        &[
+            LintCode::UseBeforeDef,
+            LintCode::Cycle,
+            LintCode::DuplicateWriter,
+            LintCode::DanglingFetch,
+            LintCode::DanglingFeed,
+            LintCode::DeadNode,
+            LintCode::ShapeMismatch,
+            LintCode::DtypeMismatch,
+            LintCode::ArityMismatch,
+            LintCode::UnknownOp,
+            LintCode::NonAffineBatch,
+            LintCode::SameLevelHazard,
+            LintCode::ShapeDrift,
+            LintCode::InterfaceDrift,
+            LintCode::ParamDrift,
+            LintCode::LayoutMismatch,
+            LintCode::PlanSlotRace,
+            LintCode::PlanLivenessGap,
+            LintCode::EpilogueAlias,
+            LintCode::StaleMemo,
+        ]
     }
 
     /// Default severity, before any [`crate::Verifier::severity`] override.
@@ -115,7 +162,11 @@ impl LintCode {
             | LintCode::SameLevelHazard
             | LintCode::ShapeDrift
             | LintCode::InterfaceDrift
-            | LintCode::LayoutMismatch => Severity::Deny,
+            | LintCode::LayoutMismatch
+            | LintCode::PlanSlotRace
+            | LintCode::PlanLivenessGap
+            | LintCode::EpilogueAlias
+            | LintCode::StaleMemo => Severity::Deny,
             LintCode::DanglingFeed | LintCode::DeadNode | LintCode::NonAffineBatch => {
                 Severity::Warn
             }
@@ -216,6 +267,45 @@ impl LintCode {
                  rank or length would be reinterpreted as garbage weights at \
                  execution time. Usual cause: a layout rewrite that retagged the conv \
                  without inserting (or after deleting) the matching pack node."
+            }
+            LintCode::PlanSlotRace => {
+                "The memory plan assigns one static slot to two buffers whose live \
+                 ranges overlap under the schedule's happens-before relation. Steps in \
+                 the same wavefront level are unordered, so slot reuse is sound only \
+                 when every reader of the old tenant happens-before the writer of the \
+                 new one — the next definition must sit strictly after the level of \
+                 the old tenant's last consumer. A violating plan lets a concurrent \
+                 writer scribble over a buffer another step is still reading. Usual \
+                 cause: an interval-coloring bug or a plan mutated after coloring."
+            }
+            LintCode::PlanLivenessGap => {
+                "A step reads an environment tensor outside the window in which the \
+                 plan guarantees its buffer holds that value: either the tensor's \
+                 death level precedes the reading step's level (the buffer may \
+                 already be recycled into its slot), the tensor is never defined by \
+                 any step ordered before the read, or a pinned graph output appears \
+                 in a death list. Usual cause: a death list or level assignment \
+                 edited out of sync with the dispatch schedule."
+            }
+            LintCode::EpilogueAlias => {
+                "A step carrying a fused write-back epilogue (e.g. `epilogue = relu` \
+                 riding a GEMM/conv write-back) has an output slot that aliases a \
+                 live input of a step unordered with it. The epilogue writes the \
+                 buffer element-by-element as the kernel retires tiles, so an \
+                 unordered reader of the same slot could observe a half-applied \
+                 activation. Fusion is sound only when the fused output's slot is \
+                 disjoint from every buffer a same-level step may still read."
+            }
+            LintCode::StaleMemo => {
+                "A version-keyed memo (packed conv filter image, GEMV transposed \
+                 weight image) can serve stale derived data. Soundness requires the \
+                 memoized source to be stable while the consuming step runs: a \
+                 frozen pre-packed artifact whose natural source parameter can still \
+                 be re-stamped (training), or a memoized input produced by a step \
+                 not ordered before its consumer, re-validates on no path and can \
+                 pair an old version stamp with new bytes. Usual cause: freezing \
+                 packed weights in a plan that also trains them, or a schedule edit \
+                 that made the memoized producer concurrent with its consumer."
             }
         }
     }

@@ -407,3 +407,111 @@ fn packed_conv_layout_contract_is_enforced() {
     assert!(!diff.passes(), "broken layout rewrite must be denied");
     assert_eq!(diff.report.with_code(LintCode::LayoutMismatch).len(), 1);
 }
+
+// ------------------------------------------------- explain / rendering
+
+/// Every registered lint code ships a stable `V###` code string and a
+/// substantive long-form explanation — `LintCode::all()` is the registry,
+/// so a new code cannot land without both.
+#[test]
+fn every_lint_code_has_distinct_code_and_explain() {
+    let all = LintCode::all();
+    assert_eq!(all.len(), 20, "V001..V020");
+    let mut codes = std::collections::HashSet::new();
+    let mut explains = std::collections::HashSet::new();
+    for (i, lc) in all.iter().enumerate() {
+        let code = lc.code();
+        assert_eq!(
+            code,
+            format!("V{:03}", i + 1),
+            "codes are dense and ordered"
+        );
+        assert!(codes.insert(code), "duplicate code string");
+        let text = lc.explain();
+        assert!(
+            text.len() > 80,
+            "{} explain text is a stub: {text:?}",
+            lc.code()
+        );
+        assert!(explains.insert(text), "{} shares explain text", lc.code());
+    }
+}
+
+/// `render(true)` appends each distinct code's long-form text exactly once
+/// (the `--explain` contract), `render(false)` never does — exercised over
+/// the plan-soundness codes V017–V020 plus V016, which gained its text.
+#[test]
+fn render_emits_each_explain_exactly_once() {
+    use deep500_verify::{Lint, VerifyReport};
+    let mut report = VerifyReport::default();
+    for code in [
+        LintCode::LayoutMismatch,
+        LintCode::PlanSlotRace,
+        LintCode::PlanSlotRace, // repeated: explained once
+        LintCode::PlanLivenessGap,
+        LintCode::EpilogueAlias,
+        LintCode::StaleMemo,
+    ] {
+        report.lints.push(Lint {
+            code,
+            severity: code.default_severity(),
+            node: Some("n".into()),
+            tensor: None,
+            message: format!("synthetic {}", code.code()),
+        });
+    }
+    let plain = report.render(false);
+    assert!(
+        !plain.contains("= explain("),
+        "no explain text unless asked"
+    );
+    let explained = report.render(true);
+    for code in ["V016", "V017", "V018", "V019", "V020"] {
+        let marker = format!("= explain({code}):");
+        assert_eq!(
+            explained.matches(&marker).count(),
+            1,
+            "{code} explained exactly once:\n{explained}"
+        );
+    }
+}
+
+/// The plan verifier's diagnostics render with their explanations: a
+/// minimal corrupted plan produces a V017 whose `--explain` rendering
+/// carries the long-form race description.
+#[test]
+fn plan_lints_render_with_explanations() {
+    use deep500_verify::{check_plan, PlanIr, PlanStepIr, PlanValueIr};
+    let step = |node: &str, level: usize, input: usize, output: usize| PlanStepIr {
+        node: node.into(),
+        op_type: "Relu".into(),
+        level,
+        inputs: vec![PlanValueIr::Env(input)],
+        outputs: vec![output],
+        memo_inputs: Vec::new(),
+        mutated_inputs: Vec::new(),
+        epilogue: false,
+    };
+    let plan = PlanIr {
+        name: "mini".into(),
+        tensor_names: vec!["x".into(), "a".into(), "y".into()],
+        steps: vec![step("a", 0, 0, 1), step("y", 1, 1, 2)],
+        level_count: 2,
+        // Both live tensors share slot 0 while their windows overlap.
+        slot_of_id: vec![None, Some(0), Some(0)],
+        dies_after_level: vec![vec![0], vec![1]],
+        pinned_outputs: vec![2],
+        feed_ids: vec![0],
+        mutable_params: Vec::new(),
+        frozen_memos: Vec::new(),
+    };
+    let report = check_plan(&plan);
+    let lints = report.with_code(LintCode::PlanSlotRace);
+    assert!(!lints.is_empty(), "{}", report.render(true));
+    assert_eq!(lints[0].severity, Severity::Deny);
+    let rendered = report.render(true);
+    assert!(
+        rendered.contains("= explain(V017):"),
+        "rendering carries the explanation:\n{rendered}"
+    );
+}
