@@ -121,9 +121,17 @@ fn run_case(case: &Case) -> Row {
         .expect("reference");
     let mut reference = reference_engine.lock();
     // `plan()` (memory-plan introspection below) lives on the concrete
-    // executor, not the `GraphExecutor` trait, so construct directly.
-    #[allow(deprecated)]
-    let mut planned = deep500::graph::PlannedExecutor::new(compiled).expect("planned");
+    // executor, not the `GraphExecutor` trait, so unwrap and downcast.
+    let mut planned_boxed = Engine::builder(compiled)
+        .executor(ExecutorKind::Planned)
+        .build()
+        .expect("planned")
+        .into_inner()
+        .expect("sole handle");
+    let planned = planned_boxed
+        .as_any_mut()
+        .downcast_mut::<deep500::graph::PlannedExecutor>()
+        .expect("planned engine holds a PlannedExecutor");
     let expect = reference.inference(&feeds).expect("reference pass");
     let mut parity = true;
     // Two passes so slot reuse is exercised, not just first-touch buffers.

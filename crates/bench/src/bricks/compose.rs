@@ -1,0 +1,191 @@
+//! Stage 4: compose brick costs into whole-model runtime predictions.
+//!
+//! Summing per-brick span times under-predicts a real model: every node
+//! also pays a dispatch cost the spans do not cover (topological walk,
+//! feed routing, timer bookkeeping). That overhead is *measured*, not
+//! assumed: [`calibrate`] runs two Relu-chain networks of different
+//! depths, subtracts their operator-span totals from wall time, and
+//! solves the two-point linear system for a fixed-per-pass and a
+//! per-node overhead term — separately for forward-only and full
+//! training passes, which exercise different amounts of glue.
+
+use super::decompose::{BrickInstance, BrickKey};
+use super::microbench::BrickCost;
+use deep500::graph::{Engine, ExecutorKind, Network};
+use deep500::ops::registry::Attributes;
+use deep500::tensor::{Shape, Tensor, Xoshiro256StarStar};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Measured dispatch overhead of the execution engine, seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Overhead {
+    /// Fixed cost of one forward pass, independent of node count.
+    pub fwd_fixed_s: f64,
+    /// Marginal cost per node of a forward pass.
+    pub fwd_per_node_s: f64,
+    /// Fixed cost of one forward+backward pass.
+    pub train_fixed_s: f64,
+    /// Marginal cost per node of a forward+backward pass.
+    pub train_per_node_s: f64,
+}
+
+/// Predicted whole-model runtime, seconds per pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prediction {
+    /// One forward pass.
+    pub forward_s: f64,
+    /// One training step (forward + backward).
+    pub train_s: f64,
+}
+
+/// A `k`-deep Relu chain with an MseLoss tail: `k + 1` nodes whose
+/// operator work is deliberately tiny, so wall time minus span time is
+/// almost pure dispatch overhead.
+fn relu_chain(k: usize) -> Result<(Network, Vec<(String, Tensor)>), String> {
+    let shape = Shape::new(&[32, 64]);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xca11);
+    let mut net = Network::new(format!("calibrate-relu-{k}"));
+    net.add_input("x");
+    let mut prev = "x".to_string();
+    for i in 0..k {
+        let out = format!("a{i}");
+        net.add_node(
+            format!("relu{i}"),
+            "Relu",
+            Attributes::new(),
+            &[&prev],
+            &[&out],
+        )
+        .map_err(|e| format!("calibration chain: {e}"))?;
+        prev = out;
+    }
+    net.add_input("target");
+    net.add_node(
+        "mse",
+        "MseLoss",
+        Attributes::new(),
+        &[&prev, "target"],
+        &["loss"],
+    )
+    .map_err(|e| format!("calibration chain: {e}"))?;
+    net.add_output("loss");
+    let feeds = vec![
+        (
+            "x".to_string(),
+            Tensor::rand_uniform(shape.clone(), -0.5, 0.5, &mut rng),
+        ),
+        (
+            "target".to_string(),
+            Tensor::rand_uniform(shape, -0.5, 0.5, &mut rng),
+        ),
+    ];
+    Ok((net, feeds))
+}
+
+/// Best-of-N (forward, train) overhead of one pass over `net`: wall time
+/// minus the sum of all operator span deltas.
+fn measure_overhead(
+    net: Network,
+    feeds: &[(String, Tensor)],
+    warmup: usize,
+    rounds: usize,
+) -> Result<(f64, f64), String> {
+    // Trace exactly like the whole-model validation runs do: per-op span
+    // recording is part of the dispatch overhead a traced model pays, so
+    // the calibration chain must pay it too.
+    let recorder = deep500::metrics::TraceRecorder::new();
+    let engine = Engine::builder(net)
+        .executor(ExecutorKind::Reference)
+        .trace(&recorder)
+        .build()
+        .map_err(|e| format!("calibration engine: {e}"))?;
+    let session = engine.session();
+    let feed_refs =
+        || -> Vec<(&str, Tensor)> { feeds.iter().map(|(n, t)| (n.as_str(), t.clone())).collect() };
+    let span_totals = || -> (f64, f64) {
+        engine
+            .lock()
+            .op_attribution()
+            .iter()
+            .map(|r| (r.forward_s, r.backward_s))
+            .fold((0.0, 0.0), |(f, b), (df, db)| (f + df, b + db))
+    };
+
+    for _ in 0..warmup.max(1) {
+        session
+            .infer_and_backprop(&feed_refs(), "loss")
+            .map_err(|e| format!("calibration warmup: {e}"))?;
+    }
+
+    let mut fwd_overhead = f64::INFINITY;
+    let mut train_overhead = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let (f0, _) = span_totals();
+        let t0 = Instant::now();
+        session
+            .infer(&feed_refs())
+            .map_err(|e| format!("calibration infer: {e}"))?;
+        let wall = t0.elapsed().as_secs_f64();
+        let (f1, _) = span_totals();
+        fwd_overhead = fwd_overhead.min((wall - (f1 - f0)).max(0.0));
+
+        let (f0, b0) = span_totals();
+        let t0 = Instant::now();
+        session
+            .infer_and_backprop(&feed_refs(), "loss")
+            .map_err(|e| format!("calibration train: {e}"))?;
+        let wall = t0.elapsed().as_secs_f64();
+        let (f1, b1) = span_totals();
+        train_overhead = train_overhead.min((wall - (f1 - f0) - (b1 - b0)).max(0.0));
+    }
+    Ok((fwd_overhead, train_overhead))
+}
+
+/// Measure the engine's dispatch overhead from two Relu-chain depths.
+pub fn calibrate(warmup: usize, rounds: usize) -> Result<Overhead, String> {
+    const K1: usize = 4;
+    const K2: usize = 16;
+    let (net1, feeds1) = relu_chain(K1)?;
+    let (net2, feeds2) = relu_chain(K2)?;
+    let (f1, t1) = measure_overhead(net1, &feeds1, warmup, rounds)?;
+    let (f2, t2) = measure_overhead(net2, &feeds2, warmup, rounds)?;
+    // The MseLoss tail makes the node counts k + 1.
+    let n1 = (K1 + 1) as f64;
+    let n2 = (K2 + 1) as f64;
+    let fwd_per_node_s = ((f2 - f1) / (n2 - n1)).max(0.0);
+    let train_per_node_s = ((t2 - t1) / (n2 - n1)).max(0.0);
+    Ok(Overhead {
+        fwd_fixed_s: (f1 - fwd_per_node_s * n1).max(0.0),
+        fwd_per_node_s,
+        train_fixed_s: (t1 - train_per_node_s * n1).max(0.0),
+        train_per_node_s,
+    })
+}
+
+/// Predict a model's per-pass runtime by summing its bricks' measured
+/// costs plus the calibrated dispatch overhead for its node count.
+pub fn predict(
+    instances: &[BrickInstance],
+    costs: &HashMap<BrickKey, BrickCost>,
+    overhead: &Overhead,
+) -> Result<Prediction, String> {
+    let mut fwd = 0.0;
+    let mut bwd = 0.0;
+    for inst in instances {
+        let c = costs
+            .get(&inst.key)
+            .ok_or_else(|| format!("no measured cost for brick {}", inst.key.render()))?;
+        fwd += c.forward_s;
+        // Backprop never reaches gradient-free nodes (dead branches like
+        // a logits alias): the executor skips their backward entirely.
+        if inst.grad_density > 0.0 {
+            bwd += c.backward_s;
+        }
+    }
+    let n = instances.len() as f64;
+    Ok(Prediction {
+        forward_s: fwd + overhead.fwd_fixed_s + overhead.fwd_per_node_s * n,
+        train_s: fwd + bwd + overhead.train_fixed_s + overhead.train_per_node_s * n,
+    })
+}

@@ -8,6 +8,8 @@
 use deep500::metrics::stats::Summary;
 use deep500::metrics::Timer;
 
+pub mod bricks;
+
 /// Read an environment scaling knob (`D5_BENCH_SCALE`): `full` runs
 /// paper-scale problem sizes, anything else (default) runs reduced sizes
 /// that finish in minutes on one core.

@@ -267,6 +267,12 @@ impl GraphExecutor for FrameworkExecutor {
     fn network_mut(&mut self) -> &mut Network {
         &mut self.network
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
         self.pass_counter += 1;

@@ -107,22 +107,8 @@ pub struct PlannedExecutor {
 }
 
 impl PlannedExecutor {
-    /// Build an executor for `network` with unbounded memory.
-    #[deprecated(note = "use Engine::builder(network).executor(ExecutorKind::Planned).build()")]
-    pub fn new(network: Network) -> Result<Self> {
-        Self::construct(network, usize::MAX)
-    }
-
-    /// Build with a device memory capacity in bytes.
-    #[deprecated(note = "use Engine::builder(network).executor(ExecutorKind::Planned)\
-                .memory_limit(bytes).build()")]
-    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
-        Self::construct(network, capacity)
-    }
-
-    /// The verified construction path shared by [`Engine`] and the
-    /// deprecated wrappers. Construction is gated on the static verifier
-    /// like the other executors.
+    /// The verified construction path behind [`Engine`]. Construction is
+    /// gated on the static verifier like the other executors.
     ///
     /// [`Engine`]: crate::engine::Engine
     pub(crate) fn construct(network: Network, capacity: usize) -> Result<Self> {
@@ -558,7 +544,7 @@ impl PlannedExecutor {
 
     /// Backward sweep over the frozen levels in reverse; mirrors the
     /// wavefront executor's deterministic accumulation.
-    fn backward_planned(&mut self, env: &[Option<Tensor>], loss: &str) -> Result<()> {
+    fn backward_planned(&mut self, env: &[Option<Tensor>], loss: &str, pass: usize) -> Result<()> {
         let width = self.group_width();
         let plan = self.plan().expect("plan built");
         let loss_id = plan
@@ -569,12 +555,14 @@ impl PlannedExecutor {
         let loss_tensor = env[loss_id]
             .as_ref()
             .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
+        let seed_start = std::time::Instant::now();
         let mut pending: HashMap<String, Vec<(usize, Tensor)>> = HashMap::new();
         pending
             .entry(loss.to_string())
             .or_default()
             .push((usize::MAX, Tensor::full(loss_tensor.shape().clone(), 1.0)));
         let mut grads: HashMap<String, Tensor> = HashMap::new();
+        let seed_s = seed_start.elapsed().as_secs_f64();
 
         let network = &self.network;
         let ops = &self.ops;
@@ -670,6 +658,7 @@ impl PlannedExecutor {
             Self::materialize(&mut pending, &mut grads, pool, &name)?;
         }
 
+        self.events.span(Phase::LossSeed, pass, seed_s);
         for (id, seconds) in spans {
             self.events.span(Phase::OperatorBackward, id, seconds);
             self.op_totals
@@ -679,6 +668,7 @@ impl PlannedExecutor {
         }
 
         // Publish parameter gradients into the network value store.
+        let publish_start = std::time::Instant::now();
         for (pname, gname) in self.network.gradient() {
             let g = grads.get(&pname).cloned().unwrap_or_else(|| {
                 let shape = self
@@ -693,6 +683,11 @@ impl PlannedExecutor {
         for (_, t) in grads.drain() {
             self.pool.recycle(t.into_vec());
         }
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            publish_start.elapsed().as_secs_f64(),
+        );
         Ok(())
     }
 }
@@ -704,6 +699,12 @@ impl GraphExecutor for PlannedExecutor {
     fn network_mut(&mut self) -> &mut Network {
         &mut self.network
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
         self.pass_counter += 1;
@@ -712,8 +713,16 @@ impl GraphExecutor for PlannedExecutor {
         self.ensure_plan(feeds, false)?;
         let env = self.forward_planned(feeds, true)?;
         let outputs = self.collect_outputs(&env);
-        self.events.end(Phase::Inference, pass);
+        // Reclaim inside the phase window so the Bookkeeping span merges
+        // with the pass it belongs to (sinks flush at outer-phase ends).
+        let reclaim_start = std::time::Instant::now();
         self.reclaim_env(env);
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            reclaim_start.elapsed().as_secs_f64(),
+        );
+        self.events.end(Phase::Inference, pass);
         outputs
     }
 
@@ -727,10 +736,16 @@ impl GraphExecutor for PlannedExecutor {
         self.events.begin(Phase::Backprop, pass);
         self.ensure_plan(feeds, true)?;
         let env = self.forward_planned(feeds, false)?;
-        self.backward_planned(&env, loss)?;
+        self.backward_planned(&env, loss, pass)?;
         let outputs = self.collect_outputs(&env);
-        self.events.end(Phase::Backprop, pass);
+        let reclaim_start = std::time::Instant::now();
         self.reclaim_env(env);
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            reclaim_start.elapsed().as_secs_f64(),
+        );
+        self.events.end(Phase::Backprop, pass);
         outputs
     }
 
@@ -883,11 +898,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // regression: the legacy wrapper must stay equivalent
     fn executor_kind_builds_planned() {
         let net = models::mlp(4, &[4], 2, 6).unwrap();
         let mut rf = ReferenceExecutor::construct(net.clone_structure(), usize::MAX).unwrap();
-        let mut ex = crate::ExecutorKind::Planned.build(net).unwrap();
+        let mut ex = crate::ExecutorKind::Planned
+            .construct(net, usize::MAX, 0)
+            .unwrap();
         let feeds = mlp_feeds(2, 4);
         let got = ex.inference(&as_refs(&feeds)).unwrap();
         let expect = rf.inference(&as_refs(&feeds)).unwrap();

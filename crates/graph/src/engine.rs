@@ -5,7 +5,8 @@
 //! `ReferenceExecutor::new`, `*::with_memory_limit`, and
 //! `ExecutorKind::build` — and every caller (examples, benches, the
 //! training runner, the distributed runner, the serving front-end) picked
-//! one ad hoc. [`Engine::builder`] replaces all three: one builder that
+//! one ad hoc. Those wrappers are gone; [`Engine::builder`] replaces all
+//! three: one builder that
 //! takes the model, the [`ExecutorKind`], a device memory limit, optional
 //! ahead-of-time [`CompileOptions`], and a [`TraceRecorder`], and produces
 //! an `Engine` that
@@ -18,9 +19,6 @@
 //! * still exposes exclusive access ([`Engine::lock`]) for training loops
 //!   and other callers that need the raw [`GraphExecutor`] across several
 //!   calls.
-//!
-//! The old constructors remain for one release as thin `#[deprecated]`
-//! wrappers.
 //!
 //! ```
 //! use deep500_graph::{models, Engine, ExecutorKind, CompileOptions};

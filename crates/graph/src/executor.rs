@@ -210,6 +210,16 @@ pub trait GraphExecutor: Send {
     /// Event hooks invoked around execution phases.
     fn events_mut(&mut self) -> &mut EventList;
 
+    /// The concrete executor behind the trait object, for callers that
+    /// need tier-specific analyses (e.g.
+    /// [`WavefrontExecutor::verify_plan`](crate::WavefrontExecutor::verify_plan))
+    /// after building through [`Engine`](crate::Engine):
+    /// `engine.into_inner()?.as_any().downcast_ref::<WavefrontExecutor>()`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable counterpart of [`GraphExecutor::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
     /// Peak memory of the last pass in bytes (0 if not tracked).
     fn peak_memory(&self) -> usize {
         0
@@ -310,23 +320,9 @@ pub struct ReferenceExecutor {
 }
 
 impl ReferenceExecutor {
-    /// Build an executor for `network`, instantiating all operators and
-    /// fixing the topological order. Unbounded memory.
-    #[deprecated(note = "use Engine::builder(network).build() instead")]
-    pub fn new(network: Network) -> Result<Self> {
-        Self::construct(network, usize::MAX)
-    }
-
-    /// Build with a device memory capacity in bytes.
-    #[deprecated(note = "use Engine::builder(network).memory_limit(bytes).build() instead")]
-    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
-        Self::construct(network, capacity)
-    }
-
-    /// The verified construction path shared by [`Engine`] and the
-    /// deprecated wrappers: a device memory capacity in bytes; execution
-    /// fails with `Error::OutOfMemory` when live activations + workspace
-    /// exceed it.
+    /// The verified construction path behind [`Engine`]: a device memory
+    /// capacity in bytes; execution fails with `Error::OutOfMemory` when
+    /// live activations + workspace exceed it.
     ///
     /// Construction is gated on the static verifier: a graph with a `Deny`
     /// lint (use-before-def, cycle, duplicate writer, dangling fetch, ...)
@@ -450,6 +446,12 @@ impl GraphExecutor for ReferenceExecutor {
     fn network_mut(&mut self) -> &mut Network {
         &mut self.network
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
         self.pass_counter += 1;
@@ -475,11 +477,14 @@ impl GraphExecutor for ReferenceExecutor {
             .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
 
         // Seed: dL/dL = 1.
+        let seed_start = std::time::Instant::now();
         let mut grads: HashMap<String, Tensor> = HashMap::new();
         grads.insert(
             loss.to_string(),
             Tensor::full(loss_tensor.shape().clone(), 1.0),
         );
+        self.events
+            .span(Phase::LossSeed, pass, seed_start.elapsed().as_secs_f64());
 
         for &id in self.order.clone().iter().rev() {
             let node = self.network.node(id).expect("live node").clone();
@@ -536,6 +541,7 @@ impl GraphExecutor for ReferenceExecutor {
         }
 
         // Publish parameter gradients into the network value store.
+        let publish_start = std::time::Instant::now();
         for (pname, gname) in self.network.gradient() {
             let g = grads.get(&pname).cloned().unwrap_or_else(|| {
                 let shape = self
@@ -547,6 +553,11 @@ impl GraphExecutor for ReferenceExecutor {
             });
             self.network.feed_tensor(gname, g);
         }
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            publish_start.elapsed().as_secs_f64(),
+        );
 
         let outputs = self.collect_outputs(&env);
         self.events.end(Phase::Backprop, pass);

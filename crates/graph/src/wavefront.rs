@@ -75,25 +75,9 @@ pub enum ExecutorKind {
 }
 
 impl ExecutorKind {
-    /// Build the selected executor over `network` with unbounded memory.
-    #[deprecated(note = "use Engine::builder(network).executor(kind).build()")]
-    pub fn build(self, network: Network) -> Result<Box<dyn GraphExecutor>> {
-        self.construct(network, usize::MAX, 0)
-    }
-
-    /// Build the selected executor with a device memory capacity in bytes.
-    #[deprecated(note = "use Engine::builder(network).executor(kind).memory_limit(bytes).build()")]
-    pub fn build_with_memory_limit(
-        self,
-        network: Network,
-        capacity: usize,
-    ) -> Result<Box<dyn GraphExecutor>> {
-        self.construct(network, capacity, 0)
-    }
-
-    /// The shared construction path behind [`Engine`] and the deprecated
-    /// wrappers. `threads` caps per-level concurrency for the concurrent
-    /// tiers (`0` = full rayon pool; ignored by the reference tier).
+    /// The construction path behind [`Engine`]. `threads` caps per-level
+    /// concurrency for the concurrent tiers (`0` = full rayon pool;
+    /// ignored by the reference tier).
     ///
     /// [`Engine`]: crate::engine::Engine
     pub(crate) fn construct(
@@ -167,25 +151,9 @@ pub struct WavefrontExecutor {
 }
 
 impl WavefrontExecutor {
-    /// Build an executor for `network` with unbounded memory.
-    #[deprecated(note = "use Engine::builder(network).executor(ExecutorKind::Wavefront).build()")]
-    pub fn new(network: Network) -> Result<Self> {
-        Self::construct(network, usize::MAX)
-    }
-
-    /// Build with a device memory capacity in bytes.
-    #[deprecated(
-        note = "use Engine::builder(network).executor(ExecutorKind::Wavefront)\
-                .memory_limit(bytes).build()"
-    )]
-    pub fn with_memory_limit(network: Network, capacity: usize) -> Result<Self> {
-        Self::construct(network, capacity)
-    }
-
-    /// The verified construction path shared by [`Engine`] and the
-    /// deprecated wrappers: a device memory capacity in bytes; execution
-    /// fails with `Error::OutOfMemory` when live activations + workspace
-    /// exceed it.
+    /// The verified construction path behind [`Engine`]: a device memory
+    /// capacity in bytes; execution fails with `Error::OutOfMemory` when
+    /// live activations + workspace exceed it.
     ///
     /// Construction is gated on the static verifier (`Error::Validation` on
     /// any `Deny` lint) — level-parallel execution over pooled buffers makes
@@ -453,17 +421,25 @@ impl WavefrontExecutor {
 
     /// Backward sweep over the levels in reverse; publishes parameter
     /// gradients into the network value store like the reference.
-    fn backward_env(&mut self, env: &HashMap<String, Tensor>, loss: &str) -> Result<()> {
+    fn backward_env(
+        &mut self,
+        env: &HashMap<String, Tensor>,
+        loss: &str,
+        pass: usize,
+    ) -> Result<()> {
         let loss_tensor = env
             .get(loss)
             .ok_or_else(|| Error::NotFound(format!("loss tensor '{loss}'")))?;
         // Seed dL/dL = 1, positioned after every node so it folds first.
+        let seed_start = std::time::Instant::now();
         let mut pending: HashMap<String, Vec<(usize, Tensor)>> = HashMap::new();
         pending
             .entry(loss.to_string())
             .or_default()
             .push((usize::MAX, Tensor::full(loss_tensor.shape().clone(), 1.0)));
         let mut grads: HashMap<String, Tensor> = HashMap::new();
+        self.events
+            .span(Phase::LossSeed, pass, seed_start.elapsed().as_secs_f64());
 
         let width = self.group_width();
         let network = &self.network;
@@ -559,6 +535,7 @@ impl WavefrontExecutor {
         }
 
         // Publish parameter gradients into the network value store.
+        let publish_start = std::time::Instant::now();
         for (pname, gname) in self.network.gradient() {
             let g = grads.get(&pname).cloned().unwrap_or_else(|| {
                 let shape = self
@@ -573,6 +550,11 @@ impl WavefrontExecutor {
         for (_, t) in grads.drain() {
             self.pool.recycle(t.into_vec());
         }
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            publish_start.elapsed().as_secs_f64(),
+        );
         Ok(())
     }
 
@@ -603,6 +585,12 @@ impl GraphExecutor for WavefrontExecutor {
     fn network_mut(&mut self) -> &mut Network {
         &mut self.network
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 
     fn inference(&mut self, feeds: &[(&str, Tensor)]) -> Result<HashMap<String, Tensor>> {
         self.pass_counter += 1;
@@ -610,8 +598,16 @@ impl GraphExecutor for WavefrontExecutor {
         self.events.begin(Phase::Inference, pass);
         let env = self.forward_env(feeds)?;
         let outputs = self.collect_outputs(&env);
-        self.events.end(Phase::Inference, pass);
+        // Recycle inside the phase window so the Bookkeeping span merges
+        // with the pass it belongs to (sinks flush at outer-phase ends).
+        let recycle_start = std::time::Instant::now();
         self.recycle_env(env);
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            recycle_start.elapsed().as_secs_f64(),
+        );
+        self.events.end(Phase::Inference, pass);
         outputs
     }
 
@@ -624,10 +620,16 @@ impl GraphExecutor for WavefrontExecutor {
         let pass = self.pass_counter;
         self.events.begin(Phase::Backprop, pass);
         let env = self.forward_env(feeds)?;
-        self.backward_env(&env, loss)?;
+        self.backward_env(&env, loss, pass)?;
         let outputs = self.collect_outputs(&env);
-        self.events.end(Phase::Backprop, pass);
+        let recycle_start = std::time::Instant::now();
         self.recycle_env(env);
+        self.events.span(
+            Phase::Bookkeeping,
+            pass,
+            recycle_start.elapsed().as_secs_f64(),
+        );
+        self.events.end(Phase::Backprop, pass);
         outputs
     }
 
@@ -708,10 +710,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // regression: the legacy wrapper must stay equivalent
     fn executor_kind_builds_both() {
         for kind in [ExecutorKind::Reference, ExecutorKind::Wavefront] {
-            let mut ex = kind.build(diamond_net()).unwrap();
+            let mut ex = kind.construct(diamond_net(), usize::MAX, 0).unwrap();
             let out = ex
                 .inference(&[("x", Tensor::from_vec([1, 1], vec![1.0]).unwrap())])
                 .unwrap();

@@ -15,7 +15,7 @@
 use deep500_graph::compile::{compile, CompileOptions, ExecutionPlan};
 use deep500_graph::executor::GraphExecutor;
 use deep500_graph::network::Network;
-use deep500_graph::{models, ExecutorKind, WavefrontExecutor};
+use deep500_graph::{models, Engine, ExecutorKind, WavefrontExecutor};
 use deep500_tensor::{Shape, Tensor};
 use deep500_verify::{check_plan, FrozenMemoIr, LintCode, PlanIr, PlanValueIr};
 
@@ -117,10 +117,19 @@ fn zoo_plans_verify_clean_raw_and_compiled() {
 }
 
 #[test]
-#[allow(deprecated)] // the direct constructor is the only unboxed one
+// `verify_plan` lives on the concrete tier; unwrap the engine and downcast.
 fn wavefront_executor_verifies_its_own_schedule() {
     for (name, net, shapes) in zoo() {
-        let ex = WavefrontExecutor::new(net).unwrap();
+        let boxed = Engine::builder(net)
+            .executor(ExecutorKind::Wavefront)
+            .build()
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        let ex = boxed
+            .as_any()
+            .downcast_ref::<WavefrontExecutor>()
+            .expect("wavefront engine holds a WavefrontExecutor");
         let report = ex.verify_plan(&shapes, &[]).unwrap();
         assert!(report.passes(), "{name}:\n{}", report.render(true));
         let mutable: Vec<String> = ex
@@ -427,10 +436,14 @@ fn mutant_unordered_memo_producer_is_stale() {
 // ------------------------------------------- shadow cross-validation
 
 #[test]
-#[allow(deprecated)] // unboxed construction keeps the concrete executor visible
 fn shadow_checker_is_clean_on_the_unmutated_zoo() {
     for (name, net, shapes) in zoo() {
-        let mut ex = ExecutorKind::Planned.build(net).unwrap();
+        let mut ex = Engine::builder(net)
+            .executor(ExecutorKind::Planned)
+            .build()
+            .unwrap()
+            .into_inner()
+            .unwrap();
         for salt in 0..3u64 {
             let feeds = feeds_for(&shapes, salt);
             ex.inference(&as_refs(&feeds)).unwrap();
@@ -455,12 +468,16 @@ fn shadow_checker_is_clean_on_the_unmutated_zoo() {
 }
 
 #[test]
-#[allow(deprecated)]
 fn shadow_checker_is_clean_on_compiled_zoo_models() {
     for (name, net, shapes) in zoo() {
         let mut compiled = net.clone_structure();
         compile(&mut compiled, &shapes, &CompileOptions::inference()).unwrap();
-        let mut ex = ExecutorKind::Planned.build(compiled).unwrap();
+        let mut ex = Engine::builder(compiled)
+            .executor(ExecutorKind::Planned)
+            .build()
+            .unwrap()
+            .into_inner()
+            .unwrap();
         for salt in 0..2u64 {
             let feeds = feeds_for(&shapes, salt);
             ex.inference(&as_refs(&feeds)).unwrap();

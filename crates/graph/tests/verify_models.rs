@@ -10,7 +10,7 @@
 
 use deep500_graph::models;
 use deep500_graph::network::Network;
-use deep500_graph::{GraphExecutor, WavefrontExecutor};
+use deep500_graph::{Engine, ExecutorKind, GraphExecutor, WavefrontExecutor};
 use deep500_tensor::{Shape, Tensor};
 use deep500_verify::{SymShape, Verifier};
 
@@ -148,11 +148,19 @@ fn symbolic_batch_reaches_the_logits_of_every_model() {
 
 #[test]
 // `verify_aliasing` lives on the concrete executor, not the `GraphExecutor`
-// trait, so this test constructs directly rather than through `Engine`.
-#[allow(deprecated)]
+// trait, so this test unwraps the engine and downcasts to the tier.
 fn wavefront_pool_bound_is_a_true_lower_bound_on_observed_peak() {
     for case in zoo() {
-        let mut ex = WavefrontExecutor::new(case.net.clone_structure()).unwrap();
+        let mut boxed = Engine::builder(case.net.clone_structure())
+            .executor(ExecutorKind::Wavefront)
+            .build()
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        let ex = boxed
+            .as_any_mut()
+            .downcast_mut::<WavefrontExecutor>()
+            .expect("wavefront engine holds a WavefrontExecutor");
         let shape_feeds: Vec<(&str, Shape)> = case
             .feeds
             .iter()

@@ -33,6 +33,18 @@ pub enum Phase {
     Queue,
     /// One assembled batch's execution; `id` is the batch sequence number.
     Batch,
+    /// Assembling one training minibatch into feed tensors (optimizer
+    /// prepare + feed construction); `id` is the iteration number.
+    BatchAssembly,
+    /// Seeding the loss gradient before the backward sweep; `id` is the
+    /// pass number.
+    LossSeed,
+    /// Applying optimizer update rules to the parameters; `id` is the
+    /// iteration number.
+    OptimizerUpdate,
+    /// Executor bookkeeping around a pass: publishing parameter gradients
+    /// and recycling/reclaiming pooled buffers; `id` is the pass number.
+    Bookkeeping,
 }
 
 impl Phase {
@@ -50,7 +62,54 @@ impl Phase {
             Phase::Request => "Request",
             Phase::Queue => "Queue",
             Phase::Batch => "Batch",
+            Phase::BatchAssembly => "BatchAssembly",
+            Phase::LossSeed => "LossSeed",
+            Phase::OptimizerUpdate => "OptimizerUpdate",
+            Phase::Bookkeeping => "Bookkeeping",
         }
+    }
+
+    /// Every phase, in the declaration order above. Reports that aggregate
+    /// per-phase totals should iterate this instead of hardcoding a subset,
+    /// so a phase added later cannot be silently dropped.
+    pub const fn all() -> &'static [Phase] {
+        const ALL: &[Phase] = &[
+            Phase::OperatorForward,
+            Phase::OperatorBackward,
+            Phase::Inference,
+            Phase::Backprop,
+            Phase::Iteration,
+            Phase::Epoch,
+            Phase::Sampling,
+            Phase::Communication,
+            Phase::Request,
+            Phase::Queue,
+            Phase::Batch,
+            Phase::BatchAssembly,
+            Phase::LossSeed,
+            Phase::OptimizerUpdate,
+            Phase::Bookkeeping,
+        ];
+        // Compile-time guard: adding a variant without listing it above
+        // fails this exhaustive match, pointing here.
+        const _: fn(Phase) = |p| match p {
+            Phase::OperatorForward
+            | Phase::OperatorBackward
+            | Phase::Inference
+            | Phase::Backprop
+            | Phase::Iteration
+            | Phase::Epoch
+            | Phase::Sampling
+            | Phase::Communication
+            | Phase::Request
+            | Phase::Queue
+            | Phase::Batch
+            | Phase::BatchAssembly
+            | Phase::LossSeed
+            | Phase::OptimizerUpdate
+            | Phase::Bookkeeping => {}
+        };
+        ALL
     }
 }
 
@@ -279,6 +338,14 @@ mod tests {
         assert!(!s.should_stop());
         s.end(Phase::Iteration, 0);
         assert!(s.should_stop());
+    }
+
+    #[test]
+    fn phase_all_is_exhaustive_and_labels_unique() {
+        let all = Phase::all();
+        assert!(all.len() >= 15);
+        let labels: std::collections::HashSet<&str> = all.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), all.len(), "duplicate phase label");
     }
 
     #[test]

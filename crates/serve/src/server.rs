@@ -30,7 +30,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------- replies
 
@@ -125,6 +125,15 @@ struct Pending {
 struct ShardState {
     queue: VecDeque<Pending>,
     open: bool,
+    /// Rows admitted but not yet delivered (queued + in assembling/running
+    /// batches). When an assembling batch holds every outstanding row, no
+    /// straggler can arrive before the replies go out — closed-loop
+    /// clients block on their tickets — so the batch fires immediately
+    /// instead of sleeping out the coalescing deadline. Decremented only
+    /// after delivery, so the count can over-estimate (never
+    /// under-estimate) what could still join: early fire stays
+    /// conservative.
+    outstanding: usize,
 }
 
 /// One model's admission queue + contract; shared by its workers.
@@ -188,8 +197,19 @@ impl Shard {
                         max_delay,
                     } => (max_batch, first.enqueued + max_delay),
                 };
+                // When the batch covers every outstanding row, closed-loop
+                // clients are all blocked on these replies — nothing more
+                // is coming, so sleeping out `max_delay` only adds latency.
+                // A short grace wait (a sliver of the deadline) absorbs a
+                // burst still being admitted; once it expires quietly, fire
+                // early.
+                let grace = match self.policy {
+                    BatchPolicy::Dynamic { max_delay, .. } => max_delay / 16,
+                    BatchPolicy::Single => Duration::ZERO,
+                };
                 let mut rows = first.rows;
                 let mut batch = vec![first];
+                let mut grace_expired = false;
                 loop {
                     while rows < max_rows {
                         let fits = st.queue.front().is_some_and(|p| rows + p.rows <= max_rows);
@@ -206,15 +226,30 @@ impl Shard {
                     if rows >= max_rows || !st.queue.is_empty() || !st.open {
                         break;
                     }
+                    let covers_all = rows >= st.outstanding;
+                    if covers_all && grace_expired {
+                        break;
+                    }
                     let now = Instant::now();
                     if now >= deadline {
                         break;
                     }
-                    let (guard, _) = self
+                    let wait = if covers_all {
+                        grace.min(deadline - now)
+                    } else {
+                        deadline - now
+                    };
+                    let (guard, timeout) = self
                         .not_empty
-                        .wait_timeout(st, deadline - now)
+                        .wait_timeout(st, wait)
                         .unwrap_or_else(|e| e.into_inner());
                     st = guard;
+                    // A notification restarts the grace: the drain above
+                    // picks up what just landed and the next quiet grace
+                    // window closes the batch.
+                    if covers_all && timeout.timed_out() {
+                        grace_expired = true;
+                    }
                 }
                 return Some(batch);
             }
@@ -281,6 +316,10 @@ impl Shard {
                 s.record_span_bytes(Phase::Queue, p.id, queued_s, 0);
                 s.record_span_bytes(Phase::Request, p.id, total_s, 0);
             }
+            // Count before delivering: the ticket's mutex hand-off makes
+            // the increment visible to a client that reads stats right
+            // after its `wait()` returns.
+            self.served.fetch_add(1, Ordering::Relaxed);
             p.ticket.deliver(outcome.map(|outputs| InferReply {
                 outputs,
                 timing: RequestTiming {
@@ -291,11 +330,18 @@ impl Shard {
                     batch_id,
                 },
             }));
-            self.served.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(s) = sink.as_mut() {
             s.flush();
         }
+        // Replies are out: retire these rows from the outstanding count and
+        // wake any worker holding a half-assembled batch — its early-fire
+        // condition may have just become true.
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.outstanding = st.outstanding.saturating_sub(batch_rows);
+        }
+        self.not_empty.notify_all();
     }
 }
 
@@ -465,6 +511,7 @@ impl ServerBuilder {
                 state: Mutex::new(ShardState {
                     queue: VecDeque::new(),
                     open: true,
+                    outstanding: 0,
                 }),
                 not_empty: Condvar::new(),
                 served: AtomicUsize::new(0),
@@ -577,6 +624,7 @@ impl Server {
                     capacity: shard.capacity,
                 });
             }
+            st.outstanding += rows;
             st.queue.push_back(Pending {
                 id,
                 feeds: owned,

@@ -82,6 +82,39 @@ fn batched_replies_are_bit_identical_to_single_request_execution() {
 }
 
 #[test]
+fn closed_loop_request_fires_before_the_coalescing_deadline() {
+    // A lone closed-loop client blocks on its ticket, so nothing else can
+    // join the batch; the shard must fire as soon as its batch covers
+    // every outstanding row instead of sleeping out `max_delay`. The
+    // deliberately huge 5s window makes a regression unmissable.
+    let server = Server::builder()
+        .model(
+            "mlp",
+            ModelConfig::new(mlp())
+                .executor(ExecutorKind::Reference)
+                .batched_input("x", &[FEATURES])
+                .batched_input("labels", &[])
+                .policy(BatchPolicy::Dynamic {
+                    max_batch: 8,
+                    max_delay: Duration::from_secs(5),
+                }),
+        )
+        .build()
+        .unwrap();
+    for i in 0..3 {
+        let start = std::time::Instant::now();
+        let reply = server.infer("mlp", &as_refs(&request_feeds(i))).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "request {i} waited out the coalescing deadline: {elapsed:?}"
+        );
+        assert_eq!(reply.timing.batch_rows, 1);
+    }
+    server.shutdown();
+}
+
+#[test]
 fn dynamic_policy_coalesces_a_burst_into_fewer_passes() {
     let server = Server::builder()
         .model("mlp", dynamic_mlp(ExecutorKind::Reference, 8))

@@ -34,5 +34,5 @@ pub mod sgd;
 pub mod trajectory;
 pub mod validate;
 
-pub use optimizer::{train_step, StepResult, ThreeStepOptimizer};
+pub use optimizer::{train_step, train_step_traced, StepResult, ThreeStepOptimizer};
 pub use runner::{TrainingConfig, TrainingLog, TrainingRunner};

@@ -11,6 +11,7 @@
 
 use deep500_data::Minibatch;
 use deep500_graph::{grad_name, GraphExecutor};
+use deep500_metrics::{EventList, Phase};
 use deep500_ops::loss::accuracy;
 use deep500_tensor::{Error, Result, Tensor};
 
@@ -56,6 +57,25 @@ pub fn train_step(
     executor: &mut dyn GraphExecutor,
     batch: &Minibatch,
 ) -> Result<StepResult> {
+    let mut events = EventList::new();
+    train_step_traced(opt, executor, batch, &mut events, 0)
+}
+
+/// [`train_step`] with event instrumentation: the optimizer's own work —
+/// batch assembly (prepare + feed construction, [`Phase::BatchAssembly`])
+/// and the parameter update sweep ([`Phase::OptimizerUpdate`]) — is
+/// reported as spans to `events`, keyed by the iteration number `step`.
+/// Runners pass their event list so whole-run attribution can account for
+/// the time between operator spans; `train_step` itself delegates here
+/// with a throwaway list.
+pub fn train_step_traced(
+    opt: &mut dyn ThreeStepOptimizer,
+    executor: &mut dyn GraphExecutor,
+    batch: &Minibatch,
+    events: &mut EventList,
+    step: usize,
+) -> Result<StepResult> {
+    let assembly_start = std::time::Instant::now();
     opt.new_input();
     let params: Vec<String> = executor.network().get_params().to_vec();
     for pname in &params {
@@ -65,6 +85,11 @@ pub fn train_step(
         }
     }
     let feeds = batch.feeds();
+    events.span(
+        Phase::BatchAssembly,
+        step,
+        assembly_start.elapsed().as_secs_f64(),
+    );
     let outputs = executor.inference_and_backprop(&feeds, "loss")?;
     let loss = outputs
         .get("loss")
@@ -81,6 +106,7 @@ pub fn train_step(
         .get("logits")
         .and_then(|l| accuracy(l, &batch.labels).ok());
 
+    let update_start = std::time::Instant::now();
     for pname in &params {
         let gname = grad_name(pname);
         let grad = executor.network().fetch_tensor(&gname)?.clone();
@@ -96,6 +122,11 @@ pub fn train_step(
         }
         executor.network_mut().feed_tensor(pname.clone(), updated);
     }
+    events.span(
+        Phase::OptimizerUpdate,
+        step,
+        update_start.elapsed().as_secs_f64(),
+    );
     Ok(StepResult {
         loss,
         accuracy: acc,

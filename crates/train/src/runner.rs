@@ -7,7 +7,7 @@
 //! time-to-accuracy (the combined performance/accuracy metric of
 //! Challenge 2).
 
-use crate::optimizer::{train_step, ThreeStepOptimizer};
+use crate::optimizer::{train_step_traced, ThreeStepOptimizer};
 use deep500_data::DatasetSampler;
 use deep500_graph::GraphExecutor;
 use deep500_metrics::event::{Event, EventList, Phase};
@@ -158,7 +158,8 @@ impl TrainingRunner {
                 log.sampling_times.push(sample_s);
 
                 self.events.begin(Phase::Iteration, step);
-                let result = train_step(optimizer, executor, &batch)?;
+                let result =
+                    train_step_traced(optimizer, executor, &batch, &mut self.events, step)?;
                 self.events.end(Phase::Iteration, step);
 
                 if !result.loss.is_finite() {
